@@ -1,0 +1,83 @@
+//! Experiment E6 (§4 automatic translation): control steps → clock
+//! signals under both clock schemes, with commit-trace equivalence, plus
+//! the cost of translation and of the equivalence check itself.
+
+use clockless_bench::dense_model;
+use clockless_clocked::{check_clocked_equivalence, ClockScheme, ClockedDesign, ClockedSimulation};
+use clockless_core::model::fig1_model;
+use clockless_iks::prelude::*;
+use clockless_kernel::NS;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn schemes() -> [(&'static str, ClockScheme); 2] {
+    [
+        (
+            "one_cycle",
+            ClockScheme::OneCyclePerStep { period_fs: 10 * NS },
+        ),
+        (
+            "two_cycle",
+            ClockScheme::TwoCyclesPerStep { period_fs: 10 * NS },
+        ),
+    ]
+}
+
+fn report() {
+    eprintln!("--- E6: automatic translation to clocked RTL ---");
+    eprintln!(
+        "{:<12} {:<10} {:>8} {:>10} {:>10} {:>12}",
+        "model", "scheme", "cycles", "ctrl-sigs", "sim-ns", "equivalent"
+    );
+    let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+    let iks = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds");
+    let models: Vec<(&str, clockless_core::RtModel)> = vec![
+        ("fig1", fig1_model(3, 4)),
+        ("dense8x8", dense_model(8, 8)),
+        ("iks_chip", iks.model),
+    ];
+    for (name, model) in &models {
+        for (sname, scheme) in schemes() {
+            let design = ClockedDesign::translate(model, scheme).expect("translates");
+            let mut sim = ClockedSimulation::new(&design, false).expect("elaborates");
+            sim.run_to_completion().expect("runs");
+            let eq = check_clocked_equivalence(model, scheme).expect("checks");
+            eprintln!(
+                "{name:<12} {sname:<10} {:>8} {:>10} {:>10} {:>12}",
+                design.total_cycles(),
+                design.tables().control_signal_count(),
+                sim.elapsed_fs() / NS,
+                eq.equivalent()
+            );
+            assert!(eq.equivalent());
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("clocked_translation");
+
+    let model = dense_model(8, 8);
+    for (sname, scheme) in schemes() {
+        g.bench_with_input(BenchmarkId::new("translate", sname), &scheme, |b, &s| {
+            b.iter(|| ClockedDesign::translate(&model, s).expect("translates"))
+        });
+        let design = ClockedDesign::translate(&model, scheme).expect("translates");
+        g.bench_with_input(BenchmarkId::new("simulate", sname), &design, |b, d| {
+            b.iter(|| {
+                let mut sim = ClockedSimulation::new(d, false).expect("elaborates");
+                sim.run_to_completion().expect("runs")
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("equivalence_check", sname),
+            &scheme,
+            |b, &s| b.iter(|| check_clocked_equivalence(&model, s).expect("checks")),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E3 (§2.7 conflict localization): every injected conflict is
+//! found at exactly the predicted step and phase; the bench measures the
+//! cost of the traced run plus report extraction, and of the static
+//! analysis, across conflict densities.
+
+use clockless_bench::conflicted_model;
+use clockless_core::{Phase, PhaseTime, RtSimulation};
+use clockless_verify::{cross_check, static_conflicts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn report() {
+    eprintln!("--- E3: conflict detection and localization ---");
+    eprintln!(
+        "{:>8} {:>10} {:>10} {:>12} {:>14}",
+        "pairs", "predicted", "confirmed", "dyn-only", "localization"
+    );
+    for pairs in [1usize, 4, 16] {
+        let model = conflicted_model(pairs);
+        let cc = cross_check(&model).expect("runs");
+        // Every injected pair is predicted and confirmed at (step, rb).
+        let mut exact = true;
+        for i in 0..pairs {
+            let want = PhaseTime::new(2 * i as u32 + 1, Phase::Rb);
+            exact &= cc
+                .confirmed
+                .iter()
+                .any(|p| p.name == format!("X{i}") && p.visible_at() == want);
+        }
+        eprintln!(
+            "{pairs:>8} {:>10} {:>10} {:>12} {:>14}",
+            cc.predicted.len(),
+            cc.confirmed.len(),
+            cc.dynamic_only.len(),
+            if exact { "exact" } else { "MISSED" }
+        );
+        assert!(cc.all_confirmed());
+        assert!(exact);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("conflict_detection");
+
+    for pairs in [1usize, 4, 16] {
+        let model = conflicted_model(pairs);
+        g.bench_with_input(
+            BenchmarkId::new("dynamic_traced_run", pairs),
+            &model,
+            |b, m| {
+                b.iter(|| {
+                    let mut sim = RtSimulation::traced(m).expect("elaborates");
+                    sim.run_to_completion().expect("runs");
+                    sim.conflicts().expect("traced")
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("static_analysis", pairs),
+            &model,
+            |b, m| b.iter(|| static_conflicts(m)),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Experiment E8 (§4 high-level synthesis): scheduling + allocation +
+//! emission over the classic workloads and resource budgets, the
+//! abstract-level simulation of the results, and the automatic prover.
+
+use std::collections::HashMap;
+
+use clockless_core::{ModuleTiming, Op, RtSimulation};
+use clockless_hls::{
+    critical_path, diffeq, fir, force_directed_schedule, random_dag, synthesize, ResourceClass,
+    ResourceSet,
+};
+use clockless_verify::verify_synthesis;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn resources(muls: usize, alus: usize) -> ResourceSet {
+    ResourceSet::new([
+        ResourceClass::new(
+            "MUL",
+            [Op::Mul],
+            ModuleTiming::Pipelined { latency: 2 },
+            muls,
+        ),
+        ResourceClass::new(
+            "ALU",
+            [Op::Add, Op::Sub, Op::Min, Op::Max, Op::Xor],
+            ModuleTiming::Pipelined { latency: 1 },
+            alus,
+        ),
+    ])
+}
+
+fn fir_inputs(n: usize) -> (Vec<String>, Vec<i64>) {
+    (
+        (0..n).map(|i| format!("x{i}")).collect(),
+        (0..n).map(|i| i as i64 * 3 - 4).collect(),
+    )
+}
+
+fn report() {
+    eprintln!("--- E8: high-level synthesis onto the clock-free subset ---");
+    eprintln!(
+        "{:<14} {:>5} {:>5} {:>6} {:>6} {:>6} {:>9}",
+        "workload", "muls", "alus", "steps", "regs", "buses", "verified"
+    );
+    let diffeq_inputs: HashMap<&str, i64> = [("x", 1), ("y", 2), ("u", 3), ("dx", 1)]
+        .into_iter()
+        .collect();
+    let (fir_names, fir_vals) = fir_inputs(8);
+    let fir_map: HashMap<&str, i64> = fir_names
+        .iter()
+        .zip(&fir_vals)
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    let fir8 = fir(&[1, -2, 3, -4, 5, -6, 7, -8]);
+    let deq = diffeq();
+
+    let cases: Vec<(&str, &clockless_hls::Dfg, &HashMap<&str, i64>)> =
+        vec![("fir8", &fir8, &fir_map), ("diffeq", &deq, &diffeq_inputs)];
+    for (name, g, inputs) in cases {
+        for (muls, alus) in [(1usize, 1usize), (2, 2)] {
+            let syn = synthesize(g, &resources(muls, alus), inputs).expect("synthesis");
+            let mut sim = RtSimulation::new(&syn.model).expect("elaborates");
+            sim.run_to_completion().expect("runs");
+            let verified = verify_synthesis(g, &syn, 8).expect("verifies").passed();
+            eprintln!(
+                "{name:<14} {muls:>5} {alus:>5} {:>6} {:>6} {:>6} {verified:>9}",
+                syn.model.cs_max(),
+                syn.model.registers().len(),
+                syn.model.buses().len()
+            );
+            assert!(verified);
+        }
+    }
+}
+
+fn report_fds() {
+    // The dual scheduler: resource minimization under a deadline.
+    eprintln!("\n--- E8b: force-directed scheduling (resource/latency trade) ---");
+    eprintln!(
+        "{:<14} {:>9} {:>6} {:>6}",
+        "workload", "deadline", "muls", "alus"
+    );
+    let deq = diffeq();
+    let r = resources(99, 99);
+    let cp = critical_path(&deq, &r).expect("critical path");
+    for slack in [0u32, 3, 6] {
+        let fds = force_directed_schedule(&deq, &r, cp + slack).expect("schedules");
+        eprintln!(
+            "{:<14} {:>9} {:>6} {:>6}",
+            "diffeq",
+            cp + slack,
+            fds.instances[0],
+            fds.instances[1]
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    report_fds();
+    let mut g = c.benchmark_group("hls_flow");
+
+    // Scheduling + allocation + emission cost over graph size.
+    for nodes in [10usize, 40, 160] {
+        let graph = random_dag(99, nodes, 4);
+        let names: Vec<String> = (0..4).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 + 1))
+            .collect();
+        let res = resources(2, 2);
+        g.bench_with_input(BenchmarkId::new("synthesize", nodes), &graph, |b, gr| {
+            b.iter(|| synthesize(gr, &res, &inputs).expect("synthesis"))
+        });
+        let syn = synthesize(&graph, &res, &inputs).expect("synthesis");
+        g.bench_with_input(
+            BenchmarkId::new("simulate_result", nodes),
+            &syn.model,
+            |b, m| {
+                b.iter(|| {
+                    let mut sim = RtSimulation::new(m).expect("elaborates");
+                    sim.run_to_completion().expect("runs")
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("verify", nodes), &syn, |b, s| {
+            b.iter(|| verify_synthesis(&graph, s, 4).expect("verifies"))
+        });
+
+        let cp = critical_path(&graph, &res).expect("critical path");
+        g.bench_with_input(
+            BenchmarkId::new("force_directed", nodes),
+            &graph,
+            |b, gr| b.iter(|| force_directed_schedule(gr, &res, cp + 4).expect("schedules")),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

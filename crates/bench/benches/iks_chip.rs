@@ -1,0 +1,127 @@
+//! Experiment E4 (§3, Fig. 3): the IKS chip — microcode translation and
+//! full-chip simulation, with the paper's bottom-up verification against
+//! the algorithmic level.
+
+use clockless_core::RtSimulation;
+use clockless_iks::prelude::*;
+use clockless_iks::{
+    build_fir_chip, build_fk_chip, chip_model, ik_microprogram, ik_opcode_maps, translate,
+    FIR_OUT_REG, FK_X_REG, FK_Y_REG, IK_STEPS, THETA1_REG, THETA2_REG,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn report() {
+    let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+    eprintln!("--- E4: IKS chip (microcode -> transfers -> simulation) ---");
+    let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds");
+    eprintln!(
+        "inventory: {} registers, {} buses, {} modules, {} transfers, {} steps",
+        chip.model.registers().len(),
+        chip.model.buses().len(),
+        chip.model.modules().len(),
+        chip.model.tuples().len(),
+        chip.model.cs_max()
+    );
+    eprintln!(
+        "{:>14} {:>10} {:>10} {:>10}",
+        "pose", "θ1", "θ2", "bit-exact"
+    );
+    for (px, py) in [(1.0, 1.0), (1.5, 0.2), (-0.8, 1.1)] {
+        let chip = build_ik_chip(to_fx(px), to_fx(py), constants).expect("builds");
+        let mut sim = RtSimulation::new(&chip.model).expect("elaborates");
+        let summary = sim.run_to_completion().expect("runs");
+        let t1 = summary.register(THETA1_REG).unwrap().num().unwrap();
+        let t2 = summary.register(THETA2_REG).unwrap().num().unwrap();
+        let golden = solve_ik(to_fx(px), to_fx(py), &constants).expect("reachable");
+        let exact = t1 == golden.theta1 && t2 == golden.theta2;
+        eprintln!(
+            "({px:>5.2},{py:>5.2}) {:>10.4} {:>10.4} {exact:>10}",
+            from_fx(t1),
+            from_fx(t2)
+        );
+        assert!(exact);
+    }
+
+    // The FK loop and the MACC FIR program on the same resources.
+    let chip = build_ik_chip(to_fx(1.2), to_fx(0.7), constants).expect("builds");
+    let mut sim = RtSimulation::new(&chip.model).expect("elaborates");
+    let s = sim.run_to_completion().expect("runs");
+    let t1 = s.register(THETA1_REG).unwrap().num().unwrap();
+    let t2 = s.register(THETA2_REG).unwrap().num().unwrap();
+    let fk = build_fk_chip(t1, t2, constants).expect("builds");
+    let mut sim = RtSimulation::new(&fk.model).expect("elaborates");
+    let s = sim.run_to_completion().expect("runs");
+    let x = from_fx(s.register(FK_X_REG).unwrap().num().unwrap());
+    let y = from_fx(s.register(FK_Y_REG).unwrap().num().unwrap());
+    eprintln!("IK∘FK(1.20, 0.70) = ({x:.4}, {y:.4})  (closes the loop on chip)");
+    assert!((x - 1.2).abs() < 2e-2 && (y - 0.7).abs() < 2e-2);
+
+    let samples = [to_fx(0.5), to_fx(1.5), to_fx(-1.0), to_fx(2.0)];
+    let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
+    let fir = build_fir_chip(samples, coeffs).expect("builds");
+    let mut sim = RtSimulation::new(&fir).expect("elaborates");
+    let s = sim.run_to_completion().expect("runs");
+    use clockless_iks::fixed::mul_fx;
+    let golden: i64 = samples.iter().zip(&coeffs).map(|(&a, &c)| mul_fx(a, c)).sum();
+    eprintln!(
+        "MACC FIR(4 taps) = {} (golden {golden}, {} steps)",
+        s.register(FIR_OUT_REG).unwrap(),
+        fir.cs_max()
+    );
+    assert_eq!(s.register(FIR_OUT_REG).unwrap().num(), Some(golden));
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+    let mut g = c.benchmark_group("iks_chip");
+
+    // The translator alone (the paper's "C program").
+    let maps = ik_opcode_maps();
+    let program = ik_microprogram();
+    let skeleton = chip_model(IK_STEPS, &[]);
+    g.bench_function("microcode_translation", |b| {
+        b.iter(|| translate(black_box(&program), black_box(&maps), black_box(&skeleton)).unwrap())
+    });
+
+    // Chip build (skeleton + preload + translation + insertion).
+    g.bench_function("build_chip", |b| {
+        b.iter(|| build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds"))
+    });
+
+    // Full pose solve on the simulated chip.
+    let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds");
+    g.bench_function("simulate_pose", |b| {
+        b.iter(|| {
+            let mut sim = RtSimulation::new(&chip.model).expect("elaborates");
+            sim.run_to_completion().expect("runs")
+        })
+    });
+
+    // The algorithmic golden model for scale.
+    g.bench_function("golden_algorithm", |b| {
+        b.iter(|| solve_ik(black_box(to_fx(1.0)), black_box(to_fx(1.0)), &constants).unwrap())
+    });
+
+    // The companion microprograms on the same resources.
+    let fk = build_fk_chip(to_fx(0.3), to_fx(0.9), constants).expect("builds");
+    g.bench_function("simulate_fk", |b| {
+        b.iter(|| {
+            let mut sim = RtSimulation::new(&fk.model).expect("elaborates");
+            sim.run_to_completion().expect("runs")
+        })
+    });
+    let fir = build_fir_chip([to_fx(0.5); 4], [to_fx(0.25); 4]).expect("builds");
+    g.bench_function("simulate_fir_macc", |b| {
+        b.iter(|| {
+            let mut sim = RtSimulation::new(&fir).expect("elaborates");
+            sim.run_to_completion().expect("runs")
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

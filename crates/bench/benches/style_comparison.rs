@@ -1,0 +1,126 @@
+//! Experiment E5 (§2.7 speed claim): "Execution is very fast, because we
+//! need not deal with asynchronous handshake." The same schedules are
+//! executed as (a) the clock-free control-step model, (b) the 4-phase
+//! handshake network, (c) the clocked translation — wall time via
+//! criterion, kernel counters in the report. The expected shape: the
+//! clock-free style's cost scales with steps, the handshake style's with
+//! (serialized) transfers; dense schedules make the gap grow with width.
+
+use clockless_bench::dense_model;
+use clockless_clocked::{ClockScheme, ClockedDesign, ClockedSimulation, HandshakeSim};
+use clockless_core::{ElaborateOptions, RtSimulation};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn report() {
+    eprintln!("--- E5: modeling-style cost comparison (depth 8) ---");
+    eprintln!(
+        "{:>6} {:>22} {:>22} {:>22}",
+        "width", "clock-free (δ/act/ev)", "handshake (δ/act/ev)", "clocked (δ/act/ev)"
+    );
+    for width in [1usize, 4, 16] {
+        let model = dense_model(width, 8);
+
+        let mut cf = RtSimulation::new(&model).expect("elaborates");
+        let cf_stats = cf.run_to_completion().expect("runs").stats;
+
+        let mut hs = HandshakeSim::new(&model).expect("builds");
+        let hs_stats = hs.run_to_completion().expect("runs");
+
+        let design = ClockedDesign::translate(&model, ClockScheme::default()).expect("translates");
+        let mut ck = ClockedSimulation::new(&design, false).expect("elaborates");
+        let ck_stats = ck.run_to_completion().expect("runs");
+
+        eprintln!(
+            "{width:>6} {:>22} {:>22} {:>22}",
+            format!(
+                "{}/{}/{}",
+                cf_stats.delta_cycles, cf_stats.process_activations, cf_stats.events
+            ),
+            format!(
+                "{}/{}/{}",
+                hs_stats.delta_cycles, hs_stats.process_activations, hs_stats.events
+            ),
+            format!(
+                "{}/{}/{}",
+                ck_stats.delta_cycles, ck_stats.process_activations, ck_stats.events
+            ),
+        );
+        // Results agree across styles.
+        assert_eq!(cf.registers(), hs.registers());
+        assert_eq!(cf.registers(), ck.registers());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("style_comparison");
+
+    // Simulation-only timings (elaboration excluded via iter_batched,
+    // so the comparison isolates the event-loop cost of each style).
+    for width in [1usize, 4, 16] {
+        let model = dense_model(width, 8);
+
+        g.bench_with_input(BenchmarkId::new("clock_free", width), &model, |b, m| {
+            b.iter_batched(
+                || RtSimulation::new(m).expect("elaborates"),
+                |mut sim| sim.run_to_completion().expect("runs"),
+                BatchSize::SmallInput,
+            )
+        });
+
+        g.bench_with_input(
+            BenchmarkId::new("clock_free_faithful_wakeups", width),
+            &model,
+            |b, m| {
+                b.iter_batched(
+                    || {
+                        RtSimulation::with_options(
+                            m,
+                            ElaborateOptions {
+                                trace: false,
+                                faithful_trans_wakeups: true,
+                            },
+                        )
+                        .expect("elaborates")
+                    },
+                    |mut sim| sim.run_to_completion().expect("runs"),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+
+        g.bench_with_input(BenchmarkId::new("handshake", width), &model, |b, m| {
+            b.iter_batched(
+                || HandshakeSim::new(m).expect("builds"),
+                |mut sim| sim.run_to_completion().expect("runs"),
+                BatchSize::SmallInput,
+            )
+        });
+
+        let design = ClockedDesign::translate(&model, ClockScheme::default()).expect("translates");
+        g.bench_with_input(BenchmarkId::new("clocked", width), &design, |b, d| {
+            b.iter_batched(
+                || ClockedSimulation::new(d, false).expect("elaborates"),
+                |mut sim| sim.run_to_completion().expect("runs"),
+                BatchSize::SmallInput,
+            )
+        });
+
+        // Elaboration cost, reported separately.
+        g.bench_with_input(
+            BenchmarkId::new("clock_free_elaborate", width),
+            &model,
+            |b, m| b.iter(|| RtSimulation::new(m).expect("elaborates")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("handshake_elaborate", width),
+            &model,
+            |b, m| b.iter(|| HandshakeSim::new(m).expect("builds")),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment E7 (§2.7 formal semantics): the bidirectional tuple ↔
+//! process mapping. The bench measures expansion, reconstruction and the
+//! full round trip over growing models; the report confirms identity.
+
+use clockless_bench::dense_model;
+use clockless_core::TransferSpec;
+use clockless_verify::{merge_partials, reconstruct_partials, roundtrip_check};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn report() {
+    eprintln!("--- E7: tuple <-> process round trip ---");
+    eprintln!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "tuples", "processes", "partials", "roundtrip"
+    );
+    for width in [2usize, 8, 32] {
+        let model = dense_model(width, 8);
+        let specs: Vec<TransferSpec> = model.tuples().iter().flat_map(|t| t.expand()).collect();
+        let partials = reconstruct_partials(&specs).expect("reconstructs");
+        let merged = merge_partials(partials.clone(), &model).expect("merges");
+        let identity = roundtrip_check(&model).is_ok();
+        eprintln!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            model.tuples().len(),
+            specs.len(),
+            partials.len(),
+            identity
+        );
+        assert!(identity);
+        assert_eq!(merged.len(), model.tuples().len());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("tuple_roundtrip");
+
+    for width in [2usize, 8, 32] {
+        let model = dense_model(width, 8);
+        let specs: Vec<TransferSpec> = model.tuples().iter().flat_map(|t| t.expand()).collect();
+
+        g.bench_with_input(BenchmarkId::new("expand", width), &model, |b, m| {
+            b.iter(|| {
+                m.tuples()
+                    .iter()
+                    .flat_map(|t| t.expand())
+                    .collect::<Vec<_>>()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("reconstruct", width), &specs, |b, s| {
+            b.iter(|| reconstruct_partials(s).expect("reconstructs"))
+        });
+
+        g.bench_with_input(BenchmarkId::new("full_roundtrip", width), &model, |b, m| {
+            b.iter(|| roundtrip_check(m).expect("identity"))
+        });
+
+        // The full source-level loop: model -> VHDL text -> model.
+        g.bench_with_input(BenchmarkId::new("vhdl_roundtrip", width), &model, |b, m| {
+            b.iter(|| {
+                let text = clockless_core::vhdl::emit_vhdl(m).expect("emits");
+                clockless_verify::model_from_vhdl(&text).expect("imports")
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Cross-style equivalence helpers.
+//!
+//! The paper's flow relies on translations preserving behaviour: the same
+//! register-transfer schedule executed as a clock-free model, as a clocked
+//! design or as a handshake network must commit the same values into the
+//! same registers at the same control steps. These helpers run the styles
+//! side by side and compare.
+
+use std::fmt;
+
+use clockless_core::{RtModel, RtSimulation, Step, Value};
+use clockless_kernel::KernelError;
+
+use crate::handshake::HandshakeSim;
+use crate::sim::ClockedSimulation;
+use crate::translate::{ClockScheme, ClockedDesign, TranslateError};
+
+/// One disagreement between two styles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The register whose values disagree.
+    pub register: String,
+    /// The control step of the disagreement (`None` for final-value
+    /// comparisons).
+    pub step: Option<Step>,
+    /// Value in the reference (clock-free) run.
+    pub reference: Option<Value>,
+    /// Value in the compared run.
+    pub compared: Option<Value>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some(s) => write!(
+                f,
+                "register `{}` at step {}: reference {:?} vs compared {:?}",
+                self.register, s, self.reference, self.compared
+            ),
+            None => write!(
+                f,
+                "register `{}` final value: reference {:?} vs compared {:?}",
+                self.register, self.reference, self.compared
+            ),
+        }
+    }
+}
+
+/// Result of an equivalence run.
+#[derive(Debug, Clone, Default)]
+pub struct EquivalenceReport {
+    /// All found disagreements (empty = equivalent).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl EquivalenceReport {
+    /// `true` when no disagreement was found.
+    pub fn equivalent(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for EquivalenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.equivalent() {
+            return writeln!(f, "equivalent");
+        }
+        writeln!(f, "{} mismatch(es):", self.mismatches.len())?;
+        for m in &self.mismatches {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors while running an equivalence comparison.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EquivError {
+    /// A simulation failed.
+    Kernel(KernelError),
+    /// The clocked translation was rejected (static conflict).
+    Translate(TranslateError),
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::Kernel(e) => write!(f, "simulation failed: {e}"),
+            EquivError::Translate(e) => write!(f, "translation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+impl From<KernelError> for EquivError {
+    fn from(e: KernelError) -> Self {
+        EquivError::Kernel(e)
+    }
+}
+
+impl From<TranslateError> for EquivError {
+    fn from(e: TranslateError) -> Self {
+        EquivError::Translate(e)
+    }
+}
+
+fn compare_final(reference: &[(String, Value)], compared: &[(String, Value)]) -> EquivalenceReport {
+    let mut report = EquivalenceReport::default();
+    for (name, ref_v) in reference {
+        let comp_v = compared.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        if comp_v != Some(*ref_v) {
+            report.mismatches.push(Mismatch {
+                register: name.clone(),
+                step: None,
+                reference: Some(*ref_v),
+                compared: comp_v,
+            });
+        }
+    }
+    report
+}
+
+/// Runs the clock-free model and its clocked translation under `scheme`
+/// and compares the *commit traces* (register, step, value) as well as
+/// final register values.
+///
+/// # Errors
+///
+/// Returns [`EquivError`] when translation or either simulation fails.
+pub fn check_clocked_equivalence(
+    model: &RtModel,
+    scheme: ClockScheme,
+) -> Result<EquivalenceReport, EquivError> {
+    let mut abstract_sim = RtSimulation::traced(model)?;
+    abstract_sim.run_to_completion()?;
+    let design = ClockedDesign::translate(model, scheme)?;
+    let mut clocked = ClockedSimulation::new(&design, true)?;
+    clocked.run_to_completion()?;
+
+    let mut report = compare_final(&abstract_sim.registers(), &clocked.registers());
+
+    let ref_commits = abstract_sim
+        .register_commits()
+        .expect("traced simulation records commits");
+    let comp_commits = clocked
+        .register_commits()
+        .expect("traced simulation records commits");
+    // Commit traces must match exactly, in order, per register.
+    for (name, _) in abstract_sim.registers() {
+        let r: Vec<(Step, Value)> = ref_commits
+            .iter()
+            .filter(|c| c.register == name)
+            .map(|c| (c.step, c.value))
+            .collect();
+        let c: Vec<(Step, Value)> = comp_commits
+            .iter()
+            .filter(|c| c.register == name)
+            .map(|c| (c.step, c.value))
+            .collect();
+        if r != c {
+            // Report the first diverging position.
+            let pos = r.iter().zip(&c).take_while(|(a, b)| a == b).count();
+            report.mismatches.push(Mismatch {
+                register: name.clone(),
+                step: r.get(pos).or(c.get(pos)).map(|(s, _)| *s),
+                reference: r.get(pos).map(|(_, v)| *v),
+                compared: c.get(pos).map(|(_, v)| *v),
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the clock-free model and its handshake rendering and compares
+/// final register values (the handshake network has no step timing, so
+/// only functional results are comparable).
+///
+/// # Errors
+///
+/// Returns [`EquivError`] when either simulation fails.
+pub fn check_handshake_equivalence(model: &RtModel) -> Result<EquivalenceReport, EquivError> {
+    let mut abstract_sim = RtSimulation::new(model)?;
+    abstract_sim.run_to_completion()?;
+    let mut hs = HandshakeSim::new(model)?;
+    hs.run_to_completion()?;
+    Ok(compare_final(&abstract_sim.registers(), &hs.registers()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+    use clockless_kernel::NS;
+
+    #[test]
+    fn fig1_equivalent_under_both_schemes() {
+        let model = fig1_model(3, 4);
+        for scheme in [
+            ClockScheme::OneCyclePerStep { period_fs: 10 * NS },
+            ClockScheme::TwoCyclesPerStep { period_fs: 10 * NS },
+        ] {
+            let report = check_clocked_equivalence(&model, scheme).unwrap();
+            assert!(report.equivalent(), "{report}");
+        }
+    }
+
+    #[test]
+    fn fig1_handshake_equivalent() {
+        let model = fig1_model(9, 33);
+        let report = check_handshake_equivalence(&model).unwrap();
+        assert!(report.equivalent(), "{report}");
+    }
+
+    #[test]
+    fn mismatch_display_names_register() {
+        let m = Mismatch {
+            register: "R1".into(),
+            step: Some(4),
+            reference: Some(Value::Num(1)),
+            compared: Some(Value::Num(2)),
+        };
+        assert!(m.to_string().contains("R1"));
+        assert!(m.to_string().contains("step 4"));
+    }
+}

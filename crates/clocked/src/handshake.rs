@@ -1,0 +1,661 @@
+//! The asynchronous-handshake baseline.
+//!
+//! §2.7 motivates the clock-free subset's speed by contrast: "Execution is
+//! very fast, because we need not deal with asynchronous handshake, as it
+//! is often used for exchanging values between modules when more abstract
+//! timing is modeled by means of VHDL without introducing physical time."
+//!
+//! This module implements that *other* style so the claim can be measured:
+//! the same register-transfer schedule is executed by communicating
+//! agents — one per register, one per module, one per transfer — that
+//! synchronize exclusively through **4-phase request/acknowledge
+//! handshakes** in delta time. A sequencer walks the schedule (reads of a
+//! step before its writes, preserving the abstract model's semantics) and
+//! triggers each transfer agent through its own handshake.
+//!
+//! Every value exchange costs four signal transitions plus the wake-ups of
+//! both parties; the style-comparison bench counts exactly how much more
+//! delta-cycle traffic this is than the six-phase control-step scheme.
+
+use clockless_core::value::kernel_resolver;
+use clockless_core::{Op, RtModel, Step, Value};
+use clockless_kernel::{KernelError, ProcessCtx, SignalId, SimStats, Simulator, Wait};
+
+/// One schedulable action of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ActionKind {
+    /// Fetch operands and run the module (read phases of a step).
+    Read,
+    /// Deliver the result into the destination register (write phases).
+    Write,
+}
+
+/// The handshake rendering of a clock-free RT model.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::model::fig1_model;
+/// use clockless_clocked::HandshakeSim;
+/// use clockless_core::Value;
+///
+/// let model = fig1_model(3, 4);
+/// let mut sim = HandshakeSim::new(&model)?;
+/// sim.run_to_completion()?;
+/// assert_eq!(sim.register_value("R1"), Some(Value::Num(7)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct HandshakeSim {
+    model: RtModel,
+    sim: Simulator<Value>,
+    reg_data: Vec<SignalId>,
+}
+
+/// Per-module channel signal bundle (shared among clients; request and
+/// data lines are resolved signals so the inactive clients' `DISC` drives
+/// do not disturb the active one).
+#[derive(Debug, Clone, Copy)]
+struct ModuleChannel {
+    req: SignalId,
+    d1: SignalId,
+    d2: SignalId,
+    opsel: SignalId,
+    ack: SignalId,
+    res: SignalId,
+}
+
+/// Per-register write channel bundle.
+#[derive(Debug, Clone, Copy)]
+struct RegChannel {
+    wreq: SignalId,
+    wdata: SignalId,
+    wack: SignalId,
+    data: SignalId,
+}
+
+/// The module server: waits for a request, applies the selected
+/// operation, acknowledges, and releases after the client does.
+struct ModuleAgent {
+    ch: ModuleChannel,
+    ops: Vec<Op>,
+    /// false = idle (awaiting request), true = serving (awaiting release).
+    serving: bool,
+    started: bool,
+}
+
+impl clockless_kernel::Process<Value> for ModuleAgent {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        if !self.serving {
+            if *ctx.value(self.ch.req) == Value::Num(1) {
+                let op_idx = ctx.value(self.ch.opsel).num().unwrap_or(0) as usize;
+                let op = self.ops.get(op_idx).copied().unwrap_or(self.ops[0]);
+                let a = *ctx.value(self.ch.d1);
+                let b = *ctx.value(self.ch.d2);
+                ctx.assign(self.ch.res, op.apply(a, b));
+                ctx.assign(self.ch.ack, Value::Num(1));
+                self.serving = true;
+            }
+        } else if *ctx.value(self.ch.req) == Value::Disc {
+            ctx.assign(self.ch.ack, Value::Num(0));
+            ctx.assign(self.ch.res, Value::Disc);
+            self.serving = false;
+        }
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::Event(vec![self.ch.req])
+        }
+    }
+}
+
+/// The register server: waits for a write request, stores the data on its
+/// output, acknowledges, releases.
+struct RegAgent {
+    ch: RegChannel,
+    serving: bool,
+    started: bool,
+}
+
+impl clockless_kernel::Process<Value> for RegAgent {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        if !self.serving {
+            if *ctx.value(self.ch.wreq) == Value::Num(1) {
+                let v = *ctx.value(self.ch.wdata);
+                if v != Value::Disc {
+                    ctx.assign(self.ch.data, v);
+                }
+                ctx.assign(self.ch.wack, Value::Num(1));
+                self.serving = true;
+            }
+        } else if *ctx.value(self.ch.wreq) == Value::Disc {
+            ctx.assign(self.ch.wack, Value::Num(0));
+            self.serving = false;
+        }
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::Event(vec![self.ch.wreq])
+        }
+    }
+}
+
+/// States of a transfer agent's double handshake choreography.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransState {
+    AwaitReadTrig,
+    AwaitModuleAck,
+    AwaitModuleRelease,
+    AwaitReadTrigDrop,
+    AwaitWriteTrig,
+    AwaitRegAck,
+    AwaitRegRelease,
+    AwaitWriteTrigDrop,
+    Finished,
+}
+
+/// One transfer's client agent: on the read trigger it fetches operands
+/// (plain reads of the steady register outputs) and runs a 4-phase
+/// handshake with the module; on the write trigger it runs a 4-phase
+/// handshake with the destination register.
+struct TransferAgent {
+    // Trigger channel to/from the sequencer.
+    read_trig: SignalId,
+    read_ack: SignalId,
+    write_trig: Option<SignalId>,
+    write_ack: Option<SignalId>,
+    // Operand sources (register data signals).
+    src_a: Option<SignalId>,
+    src_b: Option<SignalId>,
+    op_index: i64,
+    module: ModuleChannel,
+    dest: Option<RegChannel>,
+    result: Value,
+    state: TransState,
+    started: bool,
+}
+
+impl clockless_kernel::Process<Value> for TransferAgent {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        use TransState::*;
+        // A single wake-up can enable at most one step of the protocol;
+        // loop so back-to-back enabling events are not missed.
+        loop {
+            let next = match self.state {
+                AwaitReadTrig => {
+                    if *ctx.value(self.read_trig) == Value::Num(1) {
+                        let a = self.src_a.map(|s| *ctx.value(s)).unwrap_or(Value::Disc);
+                        let b = self.src_b.map(|s| *ctx.value(s)).unwrap_or(Value::Disc);
+                        ctx.assign(self.module.d1, a);
+                        ctx.assign(self.module.d2, b);
+                        ctx.assign(self.module.opsel, Value::Num(self.op_index));
+                        ctx.assign(self.module.req, Value::Num(1));
+                        Some(AwaitModuleAck)
+                    } else {
+                        None
+                    }
+                }
+                AwaitModuleAck => {
+                    if *ctx.value(self.module.ack) == Value::Num(1) {
+                        self.result = *ctx.value(self.module.res);
+                        ctx.assign(self.module.d1, Value::Disc);
+                        ctx.assign(self.module.d2, Value::Disc);
+                        ctx.assign(self.module.opsel, Value::Disc);
+                        ctx.assign(self.module.req, Value::Disc);
+                        Some(AwaitModuleRelease)
+                    } else {
+                        None
+                    }
+                }
+                AwaitModuleRelease => {
+                    if *ctx.value(self.module.ack) == Value::Num(0) {
+                        ctx.assign(self.read_ack, Value::Num(1));
+                        Some(AwaitReadTrigDrop)
+                    } else {
+                        None
+                    }
+                }
+                AwaitReadTrigDrop => {
+                    if *ctx.value(self.read_trig) == Value::Num(0) {
+                        ctx.assign(self.read_ack, Value::Num(0));
+                        Some(if self.dest.is_some() {
+                            AwaitWriteTrig
+                        } else {
+                            Finished
+                        })
+                    } else {
+                        None
+                    }
+                }
+                AwaitWriteTrig => {
+                    let trig = self.write_trig.expect("write states imply write channel");
+                    if *ctx.value(trig) == Value::Num(1) {
+                        let dest = self.dest.expect("write states imply destination");
+                        ctx.assign(dest.wdata, self.result);
+                        ctx.assign(dest.wreq, Value::Num(1));
+                        Some(AwaitRegAck)
+                    } else {
+                        None
+                    }
+                }
+                AwaitRegAck => {
+                    let dest = self.dest.expect("write states imply destination");
+                    if *ctx.value(dest.wack) == Value::Num(1) {
+                        ctx.assign(dest.wdata, Value::Disc);
+                        ctx.assign(dest.wreq, Value::Disc);
+                        Some(AwaitRegRelease)
+                    } else {
+                        None
+                    }
+                }
+                AwaitRegRelease => {
+                    let dest = self.dest.expect("write states imply destination");
+                    if *ctx.value(dest.wack) == Value::Num(0) {
+                        let ack = self.write_ack.expect("write states imply write channel");
+                        ctx.assign(ack, Value::Num(1));
+                        Some(AwaitWriteTrigDrop)
+                    } else {
+                        None
+                    }
+                }
+                AwaitWriteTrigDrop => {
+                    let trig = self.write_trig.expect("write states imply write channel");
+                    if *ctx.value(trig) == Value::Num(0) {
+                        let ack = self.write_ack.expect("write states imply write channel");
+                        ctx.assign(ack, Value::Num(0));
+                        Some(Finished)
+                    } else {
+                        None
+                    }
+                }
+                Finished => None,
+            };
+            match next {
+                Some(s) => self.state = s,
+                None => break,
+            }
+        }
+        if self.state == Finished {
+            return Wait::Done;
+        }
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            let mut sens = vec![self.read_trig, self.module.ack];
+            if let Some(t) = self.write_trig {
+                sens.push(t);
+            }
+            if let Some(d) = self.dest {
+                sens.push(d.wack);
+            }
+            Wait::Event(sens)
+        }
+    }
+}
+
+/// The sequencer: triggers each action in schedule order through its own
+/// 4-phase handshake.
+struct Sequencer {
+    /// `(trigger, ack)` per action, in execution order.
+    actions: Vec<(SignalId, SignalId)>,
+    index: usize,
+    /// false = trigger raised / awaiting ack, true = trigger dropped /
+    /// awaiting release.
+    dropping: bool,
+    launched: bool,
+    started: bool,
+}
+
+impl clockless_kernel::Process<Value> for Sequencer {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        loop {
+            if self.index >= self.actions.len() {
+                return Wait::Done;
+            }
+            let (trig, ack) = self.actions[self.index];
+            if !self.launched {
+                ctx.assign(trig, Value::Num(1));
+                self.launched = true;
+                self.dropping = false;
+                break;
+            } else if !self.dropping {
+                if *ctx.value(ack) == Value::Num(1) {
+                    ctx.assign(trig, Value::Num(0));
+                    self.dropping = true;
+                }
+                break;
+            } else if *ctx.value(ack) == Value::Num(0) {
+                self.index += 1;
+                self.launched = false;
+                // loop: raise the next trigger immediately.
+            } else {
+                break;
+            }
+        }
+        // Sensitivity must follow the current action's ack line.
+        if self.index < self.actions.len() {
+            let (_, ack) = self.actions[self.index];
+            let w = Wait::Event(vec![ack]);
+            if self.started {
+                // The ack signal changes between actions; re-register.
+                return w;
+            }
+            self.started = true;
+            return w;
+        }
+        Wait::Done
+    }
+}
+
+impl HandshakeSim {
+    /// Builds and initializes the handshake rendering of `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel elaboration errors.
+    pub fn new(model: &RtModel) -> Result<HandshakeSim, KernelError> {
+        let mut sim: Simulator<Value> = Simulator::new();
+
+        // Register channels.
+        let mut reg_ch = Vec::new();
+        for r in model.registers() {
+            let ch = RegChannel {
+                wreq: sim.resolved_signal(
+                    format!("{}_wreq", r.name),
+                    Value::Disc,
+                    kernel_resolver(),
+                ),
+                wdata: sim.resolved_signal(
+                    format!("{}_wdata", r.name),
+                    Value::Disc,
+                    kernel_resolver(),
+                ),
+                wack: sim.signal(format!("{}_wack", r.name), Value::Num(0)),
+                data: sim.signal(format!("{}_data", r.name), r.init),
+            };
+            reg_ch.push(ch);
+        }
+
+        // Module channels.
+        let mut mod_ch = Vec::new();
+        for m in model.modules() {
+            let ch = ModuleChannel {
+                req: sim.resolved_signal(format!("{}_req", m.name), Value::Disc, kernel_resolver()),
+                d1: sim.resolved_signal(format!("{}_d1", m.name), Value::Disc, kernel_resolver()),
+                d2: sim.resolved_signal(format!("{}_d2", m.name), Value::Disc, kernel_resolver()),
+                opsel: sim.resolved_signal(
+                    format!("{}_opsel", m.name),
+                    Value::Disc,
+                    kernel_resolver(),
+                ),
+                ack: sim.signal(format!("{}_ack", m.name), Value::Num(0)),
+                res: sim.signal(format!("{}_res", m.name), Value::Disc),
+            };
+            mod_ch.push(ch);
+        }
+
+        // Transfer agents plus the schedule.
+        // Schedule entries: (step, kind, trigger, ack).
+        let mut schedule: Vec<(Step, ActionKind, SignalId, SignalId)> = Vec::new();
+        for (tidx, tuple) in model.tuples().iter().enumerate() {
+            let mid = model
+                .module_by_name(&tuple.module)
+                .expect("validated tuple references known module");
+            let mdecl = &model.modules()[mid.0 as usize];
+            let op = model.effective_op(tuple);
+            let op_index = mdecl.op_index(op).expect("validated op") as i64;
+
+            let read_trig = sim.signal(format!("t{tidx}_rtrig"), Value::Num(0));
+            let read_ack = sim.signal(format!("t{tidx}_rack"), Value::Num(0));
+            schedule.push((tuple.read_step, ActionKind::Read, read_trig, read_ack));
+
+            let (write_trig, write_ack, dest) = match &tuple.write {
+                Some(w) => {
+                    let trig = sim.signal(format!("t{tidx}_wtrig"), Value::Num(0));
+                    let ack = sim.signal(format!("t{tidx}_wack"), Value::Num(0));
+                    schedule.push((w.step, ActionKind::Write, trig, ack));
+                    let rid = model
+                        .register_by_name(&w.register)
+                        .expect("validated tuple references known register");
+                    (Some(trig), Some(ack), Some(reg_ch[rid.0 as usize]))
+                }
+                None => (None, None, None),
+            };
+
+            let src_sig = |route: &Option<clockless_core::OperandRoute>| {
+                route.as_ref().map(|r| {
+                    let rid = model
+                        .register_by_name(&r.register)
+                        .expect("validated tuple references known register");
+                    reg_ch[rid.0 as usize].data
+                })
+            };
+
+            let ch = mod_ch[mid.0 as usize];
+            let mut drives = vec![ch.d1, ch.d2, ch.opsel, ch.req, read_ack];
+            if let Some(d) = dest {
+                drives.push(d.wreq);
+                drives.push(d.wdata);
+            }
+            if let Some(a) = write_ack {
+                drives.push(a);
+            }
+            sim.process(
+                format!("t{tidx}_agent"),
+                &drives,
+                TransferAgent {
+                    read_trig,
+                    read_ack,
+                    write_trig,
+                    write_ack,
+                    src_a: src_sig(&tuple.src_a),
+                    src_b: src_sig(&tuple.src_b),
+                    op_index,
+                    module: ch,
+                    dest,
+                    result: Value::Disc,
+                    state: TransState::AwaitReadTrig,
+                    started: false,
+                },
+            );
+        }
+
+        // Resource servers.
+        for (i, m) in model.modules().iter().enumerate() {
+            let ch = mod_ch[i];
+            sim.process(
+                format!("{}_agent", m.name),
+                &[ch.ack, ch.res],
+                ModuleAgent {
+                    ch,
+                    ops: m.ops.clone(),
+                    serving: false,
+                    started: false,
+                },
+            );
+        }
+        for (i, r) in model.registers().iter().enumerate() {
+            let ch = reg_ch[i];
+            sim.process(
+                format!("{}_agent", r.name),
+                &[ch.wack, ch.data],
+                RegAgent {
+                    ch,
+                    serving: false,
+                    started: false,
+                },
+            );
+        }
+
+        // Sequencer: reads of a step strictly before its writes.
+        schedule.sort_by_key(|(step, kind, _, _)| (*step, *kind));
+        let actions: Vec<(SignalId, SignalId)> =
+            schedule.iter().map(|(_, _, t, a)| (*t, *a)).collect();
+        let trigs: Vec<SignalId> = actions.iter().map(|(t, _)| *t).collect();
+        sim.process(
+            "SEQ",
+            &trigs,
+            Sequencer {
+                actions,
+                index: 0,
+                dropping: false,
+                launched: false,
+                started: false,
+            },
+        );
+
+        let reg_data = reg_ch.iter().map(|c| c.data).collect();
+        sim.initialize()?;
+        Ok(HandshakeSim {
+            model: model.clone(),
+            sim,
+            reg_data,
+        })
+    }
+
+    /// Runs the full schedule to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn run_to_completion(&mut self) -> Result<SimStats, KernelError> {
+        self.sim.run()
+    }
+
+    /// Final (or current) value of a register.
+    pub fn register_value(&self, name: &str) -> Option<Value> {
+        let rid = self.model.register_by_name(name)?;
+        Some(*self.sim.value(self.reg_data[rid.0 as usize]))
+    }
+
+    /// All register values, in declaration order.
+    pub fn registers(&self) -> Vec<(String, Value)> {
+        self.model
+            .registers()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), *self.sim.value(self.reg_data[i])))
+            .collect()
+    }
+
+    /// Kernel statistics (the expensive part: compare `delta_cycles`,
+    /// `events` and `process_activations` with the clock-free model's).
+    pub fn stats(&self) -> SimStats {
+        self.sim.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+    use clockless_core::prelude::*;
+
+    #[test]
+    fn fig1_handshake_matches_abstract_result() {
+        let model = fig1_model(3, 4);
+        let mut sim = HandshakeSim::new(&model).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.register_value("R1"), Some(Value::Num(7)));
+        assert_eq!(sim.register_value("R2"), Some(Value::Num(4)));
+    }
+
+    /// Builds a model with `k` independent transfers all scheduled in the
+    /// same control step — the concurrency the control-step scheme
+    /// synchronizes for free and the handshake network must serialize.
+    fn parallel_model(k: usize) -> RtModel {
+        let mut m = RtModel::new("parallel", 2);
+        for i in 0..k {
+            m.add_register_init(format!("A{i}"), Value::Num(i as i64))
+                .unwrap();
+            m.add_register_init(format!("B{i}"), Value::Num(2 * i as i64))
+                .unwrap();
+            m.add_register(format!("C{i}")).unwrap();
+            m.add_bus(format!("X{i}")).unwrap();
+            m.add_bus(format!("Y{i}")).unwrap();
+            m.add_module(ModuleDecl::single(
+                format!("ADD{i}"),
+                Op::Add,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+            m.add_transfer(
+                TransferTuple::new(1, format!("ADD{i}"))
+                    .src_a(format!("A{i}"), format!("X{i}"))
+                    .src_b(format!("B{i}"), format!("Y{i}"))
+                    .write(2, format!("X{i}"), format!("C{i}")),
+            )
+            .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn handshake_serializes_what_control_steps_parallelize() {
+        let model = parallel_model(8);
+        let mut hs = HandshakeSim::new(&model).unwrap();
+        let hs_stats = hs.run_to_completion().unwrap();
+
+        let mut cf = RtSimulation::new(&model).unwrap();
+        let cf_summary = cf.run_to_completion().unwrap();
+
+        // Same function…
+        for i in 0..8 {
+            assert_eq!(
+                hs.register_value(&format!("C{i}")),
+                cf_summary.register(&format!("C{i}")),
+            );
+            assert_eq!(hs.register_value(&format!("C{i}")), Some(Value::Num(3 * i)));
+        }
+        // …but the clock-free model finishes all eight transfers in
+        // 2 steps x 6 deltas (plus init and the trailing delta that
+        // applies the last-step register commits), while every handshake
+        // exchange costs its own delta cycles, serialized by the chain.
+        assert_eq!(cf_summary.stats.delta_cycles, 1 + 12 + 1);
+        assert!(
+            hs_stats.delta_cycles > 3 * cf_summary.stats.delta_cycles,
+            "handshake {hs_stats:?} vs clock-free {:?}",
+            cf_summary.stats
+        );
+    }
+
+    #[test]
+    fn chained_dependent_transfers_execute_in_order() {
+        // R3 := R1 + R2 (steps 1/2), R4 := R3 + R1 (steps 3/4):
+        // the second read must see the first write's result.
+        let mut m = RtModel::new("chain", 4);
+        m.add_register_init("R1", Value::Num(10)).unwrap();
+        m.add_register_init("R2", Value::Num(20)).unwrap();
+        m.add_register("R3").unwrap();
+        m.add_register("R4").unwrap();
+        m.add_bus("B1").unwrap();
+        m.add_bus("B2").unwrap();
+        m.add_module(ModuleDecl::single(
+            "ADD",
+            Op::Add,
+            ModuleTiming::Pipelined { latency: 1 },
+        ))
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(1, "ADD")
+                .src_a("R1", "B1")
+                .src_b("R2", "B2")
+                .write(2, "B1", "R3"),
+        )
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(3, "ADD")
+                .src_a("R3", "B1")
+                .src_b("R1", "B2")
+                .write(4, "B1", "R4"),
+        )
+        .unwrap();
+        let mut sim = HandshakeSim::new(&m).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.register_value("R3"), Some(Value::Num(30)));
+        assert_eq!(sim.register_value("R4"), Some(Value::Num(40)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Conflict diagnostics.
+//!
+//! §2.7: "simulation results allow easily to locate design errors leading
+//! to resource conflicts: it would result to ILLEGAL values of resolved
+//! signals in specific simulation cycles associated with a specific phase
+//! of a specific control step." This module is that promise made concrete:
+//! a [`Conflict`] names the poisoned object and the exact step and phase
+//! at which the `ILLEGAL` value became visible.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase::PhaseTime;
+
+/// What kind of object carried an `ILLEGAL` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConflictSite {
+    /// A bus: two or more transfers drove it in the same phase.
+    Bus,
+    /// A module operand port: several buses fed it simultaneously, or a
+    /// partial/malformed operand combination reached the module.
+    ModulePort,
+    /// A module operation-select port.
+    ModuleOpPort,
+    /// A module output: the module computed from conflicting operands or
+    /// was re-initiated while busy.
+    ModuleOut,
+    /// A register input port.
+    RegisterPort,
+    /// A register output: the conflict was *stored* and now poisons the
+    /// dataflow downstream.
+    RegisterValue,
+}
+
+impl fmt::Display for ConflictSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConflictSite::Bus => "bus",
+            ConflictSite::ModulePort => "module port",
+            ConflictSite::ModuleOpPort => "module op port",
+            ConflictSite::ModuleOut => "module output",
+            ConflictSite::RegisterPort => "register port",
+            ConflictSite::RegisterValue => "register",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One observed resource conflict: an `ILLEGAL` value on a signal, located
+/// to the control step and phase in which it became visible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conflict {
+    /// The poisoned object's kind.
+    pub site: ConflictSite,
+    /// The object's name (bus, module or register name).
+    pub name: String,
+    /// Step and phase at which the `ILLEGAL` value became visible.
+    ///
+    /// Because assignments are delta-delayed, a collision *driven* at
+    /// phase `p` is *visible* from phase `p.succ()` — e.g. two `ra`-phase
+    /// transfers fighting over a bus surface as `ILLEGAL` at `rb`.
+    pub visible_at: PhaseTime,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ILLEGAL on {} `{}` visible at {}",
+            self.site, self.name, self.visible_at
+        )
+    }
+}
+
+/// A chronologically ordered collection of conflicts with convenience
+/// queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictReport {
+    /// All conflicts, in order of appearance.
+    pub conflicts: Vec<Conflict>,
+}
+
+impl ConflictReport {
+    /// `true` if the run was conflict-free.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// The first conflict — usually the root cause; later entries are
+    /// typically downstream propagation of the same `ILLEGAL` value.
+    pub fn first(&self) -> Option<&Conflict> {
+        self.conflicts.first()
+    }
+
+    /// Conflicts on a specific named object.
+    pub fn on<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Conflict> + 'a {
+        self.conflicts.iter().filter(move |c| c.name == name)
+    }
+}
+
+impl fmt::Display for ConflictReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "no resource conflicts");
+        }
+        writeln!(f, "{} conflict site(s):", self.conflicts.len())?;
+        for c in &self.conflicts {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn sample() -> ConflictReport {
+        ConflictReport {
+            conflicts: vec![
+                Conflict {
+                    site: ConflictSite::Bus,
+                    name: "B1".into(),
+                    visible_at: PhaseTime::new(3, Phase::Rb),
+                },
+                Conflict {
+                    site: ConflictSite::RegisterValue,
+                    name: "R1".into(),
+                    visible_at: PhaseTime::new(4, Phase::Ra),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_queries() {
+        let r = sample();
+        assert!(!r.is_clean());
+        assert_eq!(r.first().unwrap().name, "B1");
+        assert_eq!(r.on("R1").count(), 1);
+        assert_eq!(r.on("nope").count(), 0);
+    }
+
+    #[test]
+    fn display_localizes_conflicts() {
+        let s = sample().to_string();
+        assert!(s.contains("bus `B1` visible at step 3 phase rb"));
+        assert!(ConflictReport::default()
+            .to_string()
+            .contains("no resource conflicts"));
+    }
+}

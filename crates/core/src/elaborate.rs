@@ -1,0 +1,300 @@
+//! Elaboration: instantiating an [`RtModel`] onto the simulation kernel.
+//!
+//! Elaboration mirrors the paper's "concrete register transfer model"
+//! (§2.7): signal declarations for `CS`/`PH`, the ports of the functional
+//! units and the buses, then one controller process, one register process
+//! per register, one module process per module and the transfer processes
+//! derived from the tuples.
+
+use clockless_kernel::{SignalId, Simulator};
+
+use crate::model::RtModel;
+use crate::phase::Phase;
+use crate::processes::{Controller, ModuleProc, Reg, Trans, TransSource};
+use crate::tuples::Endpoint;
+use crate::value::{kernel_resolver, Value};
+
+/// Options controlling elaboration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElaborateOptions {
+    /// Record a full waveform (required for conflict localization and
+    /// register-commit logs; costs memory and time).
+    pub trace: bool,
+    /// Keep transfer processes waking on every `CS`/`PH` event even after
+    /// they have completed, exactly as a literal VHDL `wait until` would.
+    /// Off by default: a completed transfer can never trigger again, so
+    /// the kernel retires it. The style-comparison bench measures the
+    /// difference.
+    pub faithful_trans_wakeups: bool,
+}
+
+impl ElaborateOptions {
+    /// Options with tracing enabled.
+    pub fn traced() -> ElaborateOptions {
+        ElaborateOptions {
+            trace: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Which model object a kernel signal implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalRole {
+    /// The control-step counter `CS`.
+    ControlStep,
+    /// The phase signal `PH`.
+    PhaseSignal,
+    /// A register's input port (resolved).
+    RegIn(String),
+    /// A register's output port.
+    RegOut(String),
+    /// A bus (resolved).
+    Bus(String),
+    /// A module's first operand port (resolved).
+    ModIn1(String),
+    /// A module's second operand port (resolved).
+    ModIn2(String),
+    /// A module's operation-select port (resolved).
+    ModOp(String),
+    /// A module's output port.
+    ModOut(String),
+}
+
+/// The signal map produced by elaboration.
+#[derive(Debug, Clone)]
+pub struct SignalLayout {
+    /// The control-step signal.
+    pub cs: SignalId,
+    /// The phase signal.
+    pub ph: SignalId,
+    /// Register input ports, indexed like `RtModel::registers`.
+    pub reg_in: Vec<SignalId>,
+    /// Register output ports, indexed like `RtModel::registers`.
+    pub reg_out: Vec<SignalId>,
+    /// Buses, indexed like `RtModel::buses`.
+    pub bus: Vec<SignalId>,
+    /// Module first-operand ports, indexed like `RtModel::modules`.
+    pub mod_in1: Vec<SignalId>,
+    /// Module second-operand ports.
+    pub mod_in2: Vec<SignalId>,
+    /// Module operation-select ports (`None` for single-operation modules).
+    pub mod_op: Vec<Option<SignalId>>,
+    /// Module output ports.
+    pub mod_out: Vec<SignalId>,
+    /// Role of every kernel signal, indexed by `SignalId::index()`.
+    pub roles: Vec<SignalRole>,
+}
+
+impl SignalLayout {
+    /// The role of a kernel signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this layout's simulator.
+    pub fn role(&self, id: SignalId) -> &SignalRole {
+        &self.roles[id.index()]
+    }
+
+    /// Resolves a tuple-level endpoint to its kernel signal.
+    ///
+    /// Returns `None` for unknown names or for [`Endpoint::ConstOp`],
+    /// which has no signal.
+    pub fn signal_of(&self, model: &RtModel, endpoint: &Endpoint) -> Option<SignalId> {
+        match endpoint {
+            Endpoint::RegOut(r) => model
+                .register_by_name(r)
+                .map(|id| self.reg_out[id.0 as usize]),
+            Endpoint::RegIn(r) => model
+                .register_by_name(r)
+                .map(|id| self.reg_in[id.0 as usize]),
+            Endpoint::Bus(b) => model.bus_by_name(b).map(|id| self.bus[id.0 as usize]),
+            Endpoint::ModIn1(m) => model
+                .module_by_name(m)
+                .map(|id| self.mod_in1[id.0 as usize]),
+            Endpoint::ModIn2(m) => model
+                .module_by_name(m)
+                .map(|id| self.mod_in2[id.0 as usize]),
+            Endpoint::ModOut(m) => model
+                .module_by_name(m)
+                .map(|id| self.mod_out[id.0 as usize]),
+            Endpoint::ModOp(m) => model
+                .module_by_name(m)
+                .and_then(|id| self.mod_op[id.0 as usize]),
+            Endpoint::ConstOp(_) => None,
+        }
+    }
+}
+
+/// Elaborates a model into a ready-to-initialize simulator plus its
+/// signal layout.
+///
+/// The returned simulator has **not** been initialized; callers normally
+/// use [`RtSimulation::new`](crate::run::RtSimulation::new) instead, which
+/// wraps this and drives the run.
+pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value>, SignalLayout) {
+    let mut sim: Simulator<Value> = Simulator::new();
+    if options.trace {
+        sim.enable_trace();
+    }
+    let mut roles = Vec::new();
+
+    let cs = sim.signal("CS", Value::Num(0));
+    roles.push(SignalRole::ControlStep);
+    let ph = sim.signal("PH", Value::Num(Phase::LAST.index() as i64));
+    roles.push(SignalRole::PhaseSignal);
+
+    let mut reg_in = Vec::new();
+    let mut reg_out = Vec::new();
+    for r in model.registers() {
+        let i = sim.resolved_signal(format!("{}_in", r.name), Value::Disc, kernel_resolver());
+        roles.push(SignalRole::RegIn(r.name.clone()));
+        let o = sim.signal(format!("{}_out", r.name), r.init);
+        roles.push(SignalRole::RegOut(r.name.clone()));
+        reg_in.push(i);
+        reg_out.push(o);
+    }
+
+    let mut bus = Vec::new();
+    for b in model.buses() {
+        let s = sim.resolved_signal(b.name.clone(), Value::Disc, kernel_resolver());
+        roles.push(SignalRole::Bus(b.name.clone()));
+        bus.push(s);
+    }
+
+    let mut mod_in1 = Vec::new();
+    let mut mod_in2 = Vec::new();
+    let mut mod_op = Vec::new();
+    let mut mod_out = Vec::new();
+    for m in model.modules() {
+        let i1 = sim.resolved_signal(format!("{}_in1", m.name), Value::Disc, kernel_resolver());
+        roles.push(SignalRole::ModIn1(m.name.clone()));
+        let i2 = sim.resolved_signal(format!("{}_in2", m.name), Value::Disc, kernel_resolver());
+        roles.push(SignalRole::ModIn2(m.name.clone()));
+        let op = if m.needs_op_port() {
+            let s = sim.resolved_signal(format!("{}_op", m.name), Value::Disc, kernel_resolver());
+            roles.push(SignalRole::ModOp(m.name.clone()));
+            Some(s)
+        } else {
+            None
+        };
+        let o = sim.signal(format!("{}_out", m.name), Value::Disc);
+        roles.push(SignalRole::ModOut(m.name.clone()));
+        mod_in1.push(i1);
+        mod_in2.push(i2);
+        mod_op.push(op);
+        mod_out.push(o);
+    }
+
+    // Processes: controller, registers, modules, transfers.
+    sim.process(
+        "CONTROL",
+        &[cs, ph],
+        Controller::new(model.cs_max(), cs, ph),
+    );
+    for (idx, r) in model.registers().iter().enumerate() {
+        sim.process(
+            format!("{}_proc", r.name),
+            &[reg_out[idx]],
+            Reg::new(ph, reg_in[idx], reg_out[idx]),
+        );
+    }
+    for (idx, m) in model.modules().iter().enumerate() {
+        sim.process(
+            format!("{}_proc", m.name),
+            &[mod_out[idx]],
+            ModuleProc::new(
+                ph,
+                mod_in1[idx],
+                mod_in2[idx],
+                mod_op[idx],
+                mod_out[idx],
+                m.ops.clone(),
+                m.timing,
+            ),
+        );
+    }
+
+    let layout = SignalLayout {
+        cs,
+        ph,
+        reg_in,
+        reg_out,
+        bus,
+        mod_in1,
+        mod_in2,
+        mod_op,
+        mod_out,
+        roles,
+    };
+
+    for tuple in model.tuples() {
+        for spec in tuple.expand() {
+            let src = match &spec.src {
+                Endpoint::ConstOp(op) => {
+                    let mid = model
+                        .module_by_name(&tuple.module)
+                        .expect("validated tuple references known module");
+                    let idx = model.modules()[mid.0 as usize]
+                        .op_index(*op)
+                        .expect("validated tuple selects supported op");
+                    TransSource::Const(Value::Num(idx as i64))
+                }
+                other => TransSource::Signal(
+                    layout
+                        .signal_of(model, other)
+                        .expect("validated tuple references known resources"),
+                ),
+            };
+            let dst = layout
+                .signal_of(model, &spec.dst)
+                .expect("validated tuple references known resources");
+            sim.process(
+                spec.instance_name(),
+                &[dst],
+                Trans::new(
+                    spec.step,
+                    spec.phase,
+                    cs,
+                    ph,
+                    src,
+                    dst,
+                    options.faithful_trans_wakeups,
+                ),
+            );
+        }
+    }
+
+    (sim, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_model;
+
+    #[test]
+    fn fig1_elaborates_with_expected_inventory() {
+        let model = fig1_model(3, 4);
+        let (sim, layout) = elaborate(&model, ElaborateOptions::default());
+        // Signals: CS, PH, 2 regs x 2 ports, 2 buses, module 3 ports
+        // (single-op: no op port).
+        assert_eq!(sim.signal_count(), 2 + 4 + 2 + 3);
+        assert_eq!(layout.roles.len(), sim.signal_count());
+        // Processes: controller + 2 regs + 1 module + 6 transfers.
+        assert_eq!(sim.process_count(), 1 + 2 + 1 + 6);
+        assert!(layout.mod_op[0].is_none());
+    }
+
+    #[test]
+    fn roles_track_signals() {
+        let model = fig1_model(1, 2);
+        let (_sim, layout) = elaborate(&model, ElaborateOptions::default());
+        assert_eq!(layout.role(layout.cs), &SignalRole::ControlStep);
+        assert_eq!(
+            layout.role(layout.reg_out[0]),
+            &SignalRole::RegOut("R1".into())
+        );
+        assert_eq!(layout.role(layout.bus[1]), &SignalRole::Bus("B2".into()));
+    }
+}

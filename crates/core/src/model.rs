@@ -1,0 +1,652 @@
+//! The register-transfer model: resources plus scheduled transfers.
+//!
+//! An [`RtModel`] is the Rust rendering of the paper's "concrete register
+//! transfer model" (§2.7): registers, buses, modules and the transfer
+//! tuples embedded into the control-step scheme, together with the
+//! controller's `CS_MAX`. Construction is incremental and validated — the
+//! scheduling invariants the paper leaves to the designer (existence of
+//! resources, operand arity, module latency vs. write-back step) are
+//! checked when each transfer is added.
+//!
+//! The model is pure data; [`elaborate`](crate::elaborate::elaborate)
+//! instantiates it onto the simulation kernel.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{Arity, Op};
+use crate::phase::Step;
+use crate::resource::{BusDecl, BusId, ModuleDecl, ModuleId, RegisterDecl, RegisterId};
+use crate::tuples::TransferTuple;
+use crate::value::Value;
+
+/// Errors from building an [`RtModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Two resources of the same kind share a name.
+    DuplicateName(String),
+    /// A transfer referenced an unknown register.
+    UnknownRegister(String),
+    /// A transfer referenced an unknown bus.
+    UnknownBus(String),
+    /// A transfer referenced an unknown module.
+    UnknownModule(String),
+    /// A transfer's step lies outside `1..=cs_max`.
+    StepOutOfRange {
+        /// The offending step.
+        step: Step,
+        /// The model's maximum control step.
+        cs_max: Step,
+    },
+    /// The write-back step does not equal read step + module latency.
+    WrongWriteStep {
+        /// The step the tuple asked for.
+        got: Step,
+        /// The step the module's timing requires.
+        expected: Step,
+    },
+    /// The selected operation is not in the module's operation set.
+    OpNotSupported {
+        /// Module name.
+        module: String,
+        /// The unsupported operation.
+        op: Op,
+    },
+    /// A multi-operation module was used without selecting an operation.
+    MissingOp {
+        /// Module name.
+        module: String,
+    },
+    /// Operand routes do not match the operation's arity.
+    ArityMismatch {
+        /// Module name.
+        module: String,
+        /// The operation whose arity was violated.
+        op: Op,
+        /// Human-readable description of the violation.
+        detail: &'static str,
+    },
+    /// The tuple has neither operands nor a write-back: it does nothing.
+    EmptyTransfer,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName(n) => write!(f, "duplicate resource name `{n}`"),
+            ModelError::UnknownRegister(n) => write!(f, "unknown register `{n}`"),
+            ModelError::UnknownBus(n) => write!(f, "unknown bus `{n}`"),
+            ModelError::UnknownModule(n) => write!(f, "unknown module `{n}`"),
+            ModelError::StepOutOfRange { step, cs_max } => {
+                write!(f, "step {step} outside 1..={cs_max}")
+            }
+            ModelError::WrongWriteStep { got, expected } => write!(
+                f,
+                "write-back scheduled at step {got} but module latency requires step {expected}"
+            ),
+            ModelError::OpNotSupported { module, op } => {
+                write!(f, "module `{module}` does not support operation `{op}`")
+            }
+            ModelError::MissingOp { module } => write!(
+                f,
+                "module `{module}` offers several operations; the transfer must select one"
+            ),
+            ModelError::ArityMismatch { module, op, detail } => {
+                write!(f, "operands for `{op}` on module `{module}`: {detail}")
+            }
+            ModelError::EmptyTransfer => write!(f, "transfer has neither operands nor write-back"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A complete clock-free register-transfer model.
+///
+/// # Examples
+///
+/// The model of paper Fig. 1 / §2.7:
+///
+/// ```
+/// use clockless_core::prelude::*;
+///
+/// let mut m = RtModel::new("example", 7);
+/// m.add_register_init("R1", Value::Num(3))?;
+/// m.add_register_init("R2", Value::Num(4))?;
+/// m.add_bus("B1")?;
+/// m.add_bus("B2")?;
+/// m.add_module(ModuleDecl::single("ADD", Op::Add, ModuleTiming::Pipelined { latency: 1 }))?;
+/// m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)".parse::<TransferTuple>().unwrap())?;
+/// assert_eq!(m.tuples().len(), 1);
+/// # Ok::<(), clockless_core::model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RtModel {
+    name: String,
+    cs_max: Step,
+    registers: Vec<RegisterDecl>,
+    buses: Vec<BusDecl>,
+    modules: Vec<ModuleDecl>,
+    tuples: Vec<TransferTuple>,
+    #[serde(skip)]
+    reg_index: HashMap<String, RegisterId>,
+    #[serde(skip)]
+    bus_index: HashMap<String, BusId>,
+    #[serde(skip)]
+    mod_index: HashMap<String, ModuleId>,
+}
+
+impl RtModel {
+    /// Creates an empty model simulating control steps `1..=cs_max`
+    /// (the controller's `CS_MAX` generic).
+    pub fn new(name: impl Into<String>, cs_max: Step) -> RtModel {
+        RtModel {
+            name: name.into(),
+            cs_max,
+            registers: Vec::new(),
+            buses: Vec::new(),
+            modules: Vec::new(),
+            tuples: Vec::new(),
+            reg_index: HashMap::new(),
+            bus_index: HashMap::new(),
+            mod_index: HashMap::new(),
+        }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum control step (`CS_MAX`).
+    pub fn cs_max(&self) -> Step {
+        self.cs_max
+    }
+
+    /// Adds a register whose output starts at `DISC`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a register of this name
+    /// exists.
+    pub fn add_register(&mut self, name: impl Into<String>) -> Result<RegisterId, ModelError> {
+        self.add_register_init(name, Value::Disc)
+    }
+
+    /// Adds a register preloaded with `init` (visible on its output port
+    /// from step 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a register of this name
+    /// exists.
+    pub fn add_register_init(
+        &mut self,
+        name: impl Into<String>,
+        init: Value,
+    ) -> Result<RegisterId, ModelError> {
+        let name = name.into();
+        if self.reg_index.contains_key(&name) {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = RegisterId(self.registers.len() as u32);
+        self.reg_index.insert(name.clone(), id);
+        self.registers.push(RegisterDecl { name, init });
+        Ok(id)
+    }
+
+    /// Adds a bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a bus of this name exists.
+    pub fn add_bus(&mut self, name: impl Into<String>) -> Result<BusId, ModelError> {
+        let name = name.into();
+        if self.bus_index.contains_key(&name) {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = BusId(self.buses.len() as u32);
+        self.bus_index.insert(name.clone(), id);
+        self.buses.push(BusDecl { name });
+        Ok(id)
+    }
+
+    /// Adds a functional module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a module of this name
+    /// exists.
+    pub fn add_module(&mut self, decl: ModuleDecl) -> Result<ModuleId, ModelError> {
+        if self.mod_index.contains_key(&decl.name) {
+            return Err(ModelError::DuplicateName(decl.name));
+        }
+        let id = ModuleId(self.modules.len() as u32);
+        self.mod_index.insert(decl.name.clone(), id);
+        self.modules.push(decl);
+        Ok(id)
+    }
+
+    /// Adds a register transfer after validating it against the declared
+    /// resources and the module's timing.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelError`] variant describing the violated invariant.
+    pub fn add_transfer(&mut self, tuple: TransferTuple) -> Result<(), ModelError> {
+        self.validate_tuple(&tuple)?;
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Validates a tuple without adding it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_transfer`](Self::add_transfer).
+    pub fn validate_tuple(&self, tuple: &TransferTuple) -> Result<(), ModelError> {
+        if tuple.src_a.is_none() && tuple.src_b.is_none() && tuple.write.is_none() {
+            return Err(ModelError::EmptyTransfer);
+        }
+        self.check_step(tuple.read_step)?;
+        let module = self
+            .module_by_name(&tuple.module)
+            .ok_or_else(|| ModelError::UnknownModule(tuple.module.clone()))?;
+        let decl = &self.modules[module.0 as usize];
+
+        // Resolve the effective operation.
+        let op = match (tuple.op, decl.ops.len()) {
+            (Some(op), _) => {
+                if decl.op_index(op).is_none() {
+                    return Err(ModelError::OpNotSupported {
+                        module: decl.name.clone(),
+                        op,
+                    });
+                }
+                op
+            }
+            (None, 1) => decl.ops[0],
+            (None, _) => {
+                return Err(ModelError::MissingOp {
+                    module: decl.name.clone(),
+                })
+            }
+        };
+
+        // Operand routes must exist and match the operation's arity.
+        for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
+            if self.register_by_name(&route.register).is_none() {
+                return Err(ModelError::UnknownRegister(route.register.clone()));
+            }
+            if self.bus_by_name(&route.bus).is_none() {
+                return Err(ModelError::UnknownBus(route.bus.clone()));
+            }
+        }
+        let arity_err = |detail| ModelError::ArityMismatch {
+            module: decl.name.clone(),
+            op,
+            detail,
+        };
+        match op.arity() {
+            Arity::Binary => {
+                if tuple.src_a.is_none() || tuple.src_b.is_none() {
+                    return Err(arity_err("binary operation needs both operand routes"));
+                }
+            }
+            Arity::UnaryA => {
+                if tuple.src_a.is_none() {
+                    return Err(arity_err("unary operation needs the first operand route"));
+                }
+                if tuple.src_b.is_some() {
+                    return Err(arity_err(
+                        "unary operation must leave the second port quiet",
+                    ));
+                }
+            }
+            Arity::UnaryB => {
+                if tuple.src_b.is_none() {
+                    return Err(arity_err("operation needs the second operand route"));
+                }
+                if tuple.src_a.is_some() {
+                    return Err(arity_err("operation must leave the first port quiet"));
+                }
+            }
+        }
+
+        if let Some(w) = &tuple.write {
+            self.check_step(w.step)?;
+            if self.bus_by_name(&w.bus).is_none() {
+                return Err(ModelError::UnknownBus(w.bus.clone()));
+            }
+            if self.register_by_name(&w.register).is_none() {
+                return Err(ModelError::UnknownRegister(w.register.clone()));
+            }
+            let expected = tuple.read_step + decl.timing.latency();
+            if w.step != expected {
+                return Err(ModelError::WrongWriteStep {
+                    got: w.step,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_step(&self, step: Step) -> Result<(), ModelError> {
+        if step < 1 || step > self.cs_max {
+            Err(ModelError::StepOutOfRange {
+                step,
+                cs_max: self.cs_max,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The declared registers, indexable by [`RegisterId`].
+    pub fn registers(&self) -> &[RegisterDecl] {
+        &self.registers
+    }
+
+    /// The declared buses, indexable by [`BusId`].
+    pub fn buses(&self) -> &[BusDecl] {
+        &self.buses
+    }
+
+    /// The declared modules, indexable by [`ModuleId`].
+    pub fn modules(&self) -> &[ModuleDecl] {
+        &self.modules
+    }
+
+    /// The scheduled transfers.
+    pub fn tuples(&self) -> &[TransferTuple] {
+        &self.tuples
+    }
+
+    /// Looks up a register by name.
+    pub fn register_by_name(&self, name: &str) -> Option<RegisterId> {
+        self.reg_index.get(name).copied()
+    }
+
+    /// Looks up a bus by name.
+    pub fn bus_by_name(&self, name: &str) -> Option<BusId> {
+        self.bus_index.get(name).copied()
+    }
+
+    /// Looks up a module by name.
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
+        self.mod_index.get(name).copied()
+    }
+
+    /// The effective operation of a (validated) tuple: its selector, or
+    /// the module's single operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's module is unknown or ambiguous; tuples taken
+    /// from [`tuples`](Self::tuples) never are.
+    pub fn effective_op(&self, tuple: &TransferTuple) -> Op {
+        match tuple.op {
+            Some(op) => op,
+            None => {
+                let m = self
+                    .module_by_name(&tuple.module)
+                    .expect("validated tuple references known module");
+                self.modules[m.0 as usize].ops[0]
+            }
+        }
+    }
+
+    /// Rebuilds the name indices; required after deserialization (they are
+    /// not serialized).
+    pub fn rebuild_indices(&mut self) {
+        self.reg_index = self
+            .registers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), RegisterId(i as u32)))
+            .collect();
+        self.bus_index = self
+            .buses
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.name.clone(), BusId(i as u32)))
+            .collect();
+        self.mod_index = self
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), ModuleId(i as u32)))
+            .collect();
+    }
+}
+
+/// Builds the model of paper Fig. 1 / §2.7: registers `R1`, `R2`, buses
+/// `B1`, `B2`, a pipelined adder, and the transfer
+/// `(R1,B1,R2,B2,5,ADD,6,B1,R1)`, with `CS_MAX = 7`.
+///
+/// `R1` and `R2` are preloaded with the given values so the transfer has
+/// data to move (the paper feeds them through entity ports).
+pub fn fig1_model(r1: i64, r2: i64) -> RtModel {
+    use crate::resource::ModuleTiming;
+
+    let mut m = RtModel::new("fig1_example", 7);
+    m.add_register_init("R1", Value::Num(r1))
+        .expect("fresh name");
+    m.add_register_init("R2", Value::Num(r2))
+        .expect("fresh name");
+    m.add_bus("B1").expect("fresh name");
+    m.add_bus("B2").expect("fresh name");
+    m.add_module(ModuleDecl::single(
+        "ADD",
+        Op::Add,
+        ModuleTiming::Pipelined { latency: 1 },
+    ))
+    .expect("fresh name");
+    m.add_transfer(
+        TransferTuple::new(5, "ADD")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1"),
+    )
+    .expect("fig1 tuple is valid");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ModuleTiming;
+
+    fn base() -> RtModel {
+        let mut m = RtModel::new("t", 10);
+        m.add_register("R1").unwrap();
+        m.add_register("R2").unwrap();
+        m.add_bus("B1").unwrap();
+        m.add_bus("B2").unwrap();
+        m.add_module(ModuleDecl::single(
+            "ADD",
+            Op::Add,
+            ModuleTiming::Pipelined { latency: 1 },
+        ))
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn duplicate_names_rejected_per_kind() {
+        let mut m = base();
+        assert!(matches!(
+            m.add_register("R1"),
+            Err(ModelError::DuplicateName(_))
+        ));
+        assert!(matches!(m.add_bus("B1"), Err(ModelError::DuplicateName(_))));
+        // Same name across kinds is fine (namespaces are separate).
+        assert!(m.add_bus("R1").is_ok());
+    }
+
+    #[test]
+    fn valid_transfer_accepted() {
+        let mut m = base();
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1");
+        assert!(m.add_transfer(t).is_ok());
+        assert_eq!(m.tuples().len(), 1);
+    }
+
+    #[test]
+    fn unknown_resources_rejected() {
+        let mut m = base();
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("Rx", "B1")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1");
+        assert_eq!(
+            m.add_transfer(t),
+            Err(ModelError::UnknownRegister("Rx".into()))
+        );
+
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("R1", "Bx")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1");
+        assert_eq!(m.add_transfer(t), Err(ModelError::UnknownBus("Bx".into())));
+
+        let t = TransferTuple::new(5, "MUL")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1");
+        assert_eq!(
+            m.add_transfer(t),
+            Err(ModelError::UnknownModule("MUL".into()))
+        );
+    }
+
+    #[test]
+    fn write_step_must_match_latency() {
+        let mut m = base();
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(7, "B1", "R1");
+        assert_eq!(
+            m.add_transfer(t),
+            Err(ModelError::WrongWriteStep {
+                got: 7,
+                expected: 6
+            })
+        );
+    }
+
+    #[test]
+    fn steps_must_fit_cs_max() {
+        let mut m = base();
+        let t = TransferTuple::new(10, "ADD")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(11, "B1", "R1");
+        assert_eq!(
+            m.add_transfer(t),
+            Err(ModelError::StepOutOfRange {
+                step: 11,
+                cs_max: 10
+            })
+        );
+    }
+
+    #[test]
+    fn binary_op_needs_both_operands() {
+        let mut m = base();
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("R1", "B1")
+            .write(6, "B1", "R1");
+        assert!(matches!(
+            m.add_transfer(t),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unary_op_rejects_second_operand() {
+        let mut m = base();
+        m.add_module(ModuleDecl::single(
+            "CP",
+            Op::PassA,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        let ok = TransferTuple::new(2, "CP")
+            .src_a("R1", "B1")
+            .write(2, "B2", "R2");
+        assert!(m.add_transfer(ok).is_ok());
+        let bad = TransferTuple::new(3, "CP")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(3, "B2", "R2");
+        assert!(matches!(
+            m.add_transfer(bad),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_op_module_requires_selector() {
+        let mut m = base();
+        m.add_module(ModuleDecl::multi(
+            "ALU",
+            [Op::Add, Op::Sub],
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        let t = TransferTuple::new(2, "ALU")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(2, "B1", "R1");
+        assert!(matches!(
+            m.add_transfer(t.clone()),
+            Err(ModelError::MissingOp { .. })
+        ));
+        assert!(m.add_transfer(t.clone().op(Op::Sub)).is_ok());
+        assert!(matches!(
+            m.add_transfer(t.op(Op::Mul)),
+            Err(ModelError::OpNotSupported { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_transfer_rejected() {
+        let mut m = base();
+        assert_eq!(
+            m.add_transfer(TransferTuple::new(1, "ADD")),
+            Err(ModelError::EmptyTransfer)
+        );
+    }
+
+    #[test]
+    fn fig1_model_builds() {
+        let m = fig1_model(3, 4);
+        assert_eq!(m.cs_max(), 7);
+        assert_eq!(m.registers().len(), 2);
+        assert_eq!(m.tuples().len(), 1);
+        assert_eq!(m.effective_op(&m.tuples()[0]), Op::Add);
+    }
+
+    #[test]
+    fn indices_rebuild_after_being_cleared() {
+        // Emulates the post-deserialization state, where the skipped
+        // index maps come back empty.
+        let mut m2 = fig1_model(1, 2);
+        m2.reg_index.clear();
+        m2.bus_index.clear();
+        m2.mod_index.clear();
+        m2.rebuild_indices();
+        assert!(m2.register_by_name("R1").is_some());
+        assert!(m2.bus_by_name("B2").is_some());
+        assert!(m2.module_by_name("ADD").is_some());
+    }
+}

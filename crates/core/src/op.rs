@@ -1,0 +1,618 @@
+//! Operations performed by functional modules.
+//!
+//! The paper's base model shows a single-operation pipelined adder; the
+//! IKS application (§3) required the extension that "a register transfer
+//! also defines the operation to be performed by the module". [`Op`]
+//! enumerates the operations our modules support — enough for the paper's
+//! examples, the HLS workloads and the IKS chip (including fixed-point
+//! multiply and the `Rshift` used by the IKS opcode maps).
+//!
+//! Operand semantics follow §2.6: a module combines its operands only when
+//! *all required* operands are regular numbers; an all-`DISC` input yields
+//! `DISC`; any partial or `ILLEGAL` input yields `ILLEGAL`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// An operation a functional module can perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `a + b` (the paper's `ADD`).
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// Fixed-point multiply: `(a * b) >> frac` with an `i128` intermediate,
+    /// used by the IKS MACC datapath.
+    MulFx(u8),
+    /// Arithmetic shift right by the second operand: `a >> b`
+    /// (the IKS opcode maps' `Rshift(x, i)`).
+    Shr,
+    /// Shift left by the second operand: `a << b`.
+    Shl,
+    /// Pass the first operand through unchanged (unary). Used for the
+    /// copy modules the paper introduces for register-to-register links.
+    PassA,
+    /// Pass the second operand through unchanged (unary on port B).
+    PassB,
+    /// Negate the first operand (unary).
+    Neg,
+    /// Absolute value of the first operand (unary).
+    Abs,
+    /// `min(a, b)`.
+    Min,
+    /// `max(a, b)`.
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Fixed-point four-quadrant arctangent: `atan2(a, b)` in radians,
+    /// all values in Q`frac` fixed point. Computed by integer CORDIC
+    /// vectoring — this is the `cordic core` resource of the IKS chip
+    /// (§3), modeled at the operation level.
+    Atan2Fx(u8),
+    /// Fixed-point square root (unary): `sqrt(a)` with `a` and the result
+    /// in Q`frac`. `ILLEGAL` for negative operands. The IKS chip computes
+    /// this on its CORDIC core (hyperbolic mode); we use an exact integer
+    /// Newton iteration.
+    SqrtFx(u8),
+    /// Fixed-point sine (unary): `sin(a)` with the angle and result in
+    /// Q`frac`; integer CORDIC rotation mode with full range reduction.
+    SinFx(u8),
+    /// Fixed-point cosine (unary); see [`Op::SinFx`].
+    CosFx(u8),
+}
+
+/// How many operand ports an [`Op`] consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Uses only the first operand port; the second must stay `DISC`.
+    UnaryA,
+    /// Uses only the second operand port; the first must stay `DISC`.
+    UnaryB,
+    /// Uses both operand ports.
+    Binary,
+}
+
+impl Op {
+    /// The operand ports this operation consumes.
+    pub fn arity(self) -> Arity {
+        match self {
+            Op::PassA | Op::Neg | Op::Abs | Op::SqrtFx(_) | Op::SinFx(_) | Op::CosFx(_) => {
+                Arity::UnaryA
+            }
+            Op::PassB => Arity::UnaryB,
+            _ => Arity::Binary,
+        }
+    }
+
+    /// Applies the operation to the module's operand port values,
+    /// following the paper's §2.6 rules:
+    ///
+    /// * any `ILLEGAL` operand → `ILLEGAL`;
+    /// * all *required* operands `DISC` (and unused ports `DISC`) → `DISC`
+    ///   ("no operation this step");
+    /// * all required operands numeric (and unused ports `DISC`) → result;
+    /// * anything else (partial operands, or a value on an unused port) →
+    ///   `ILLEGAL`.
+    ///
+    /// Arithmetic wraps on overflow (two's-complement behaviour of the
+    /// eventual hardware); shifts with negative or oversized amounts and
+    /// shifts of negative values yield `ILLEGAL`.
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        use Value::*;
+        if a == Illegal || b == Illegal {
+            return Illegal;
+        }
+        match self.arity() {
+            Arity::UnaryA => match (a, b) {
+                (Disc, Disc) => Disc,
+                (Num(x), Disc) => self.unary(x),
+                _ => Illegal,
+            },
+            Arity::UnaryB => match (a, b) {
+                (Disc, Disc) => Disc,
+                (Disc, Num(y)) => Num(y),
+                _ => Illegal,
+            },
+            Arity::Binary => match (a, b) {
+                (Disc, Disc) => Disc,
+                (Num(x), Num(y)) => self.binary(x, y),
+                _ => Illegal,
+            },
+        }
+    }
+
+    fn unary(self, x: i64) -> Value {
+        match self {
+            Op::PassA => Value::Num(x),
+            Op::Neg => Value::Num(x.wrapping_neg()),
+            Op::Abs => Value::Num(x.wrapping_abs()),
+            Op::SqrtFx(frac) => {
+                if x < 0 {
+                    Value::Illegal
+                } else {
+                    Value::Num(sqrt_fx(x, frac))
+                }
+            }
+            Op::SinFx(frac) => Value::Num(sincos_fx(x, frac).0),
+            Op::CosFx(frac) => Value::Num(sincos_fx(x, frac).1),
+            _ => unreachable!("unary() called for non-unary op {self:?}"),
+        }
+    }
+
+    fn binary(self, x: i64, y: i64) -> Value {
+        match self {
+            Op::Add => Value::Num(x.wrapping_add(y)),
+            Op::Sub => Value::Num(x.wrapping_sub(y)),
+            Op::Mul => Value::Num(x.wrapping_mul(y)),
+            Op::MulFx(frac) => {
+                let wide = (x as i128) * (y as i128);
+                Value::Num((wide >> frac) as i64)
+            }
+            Op::Shr => {
+                if !(0..64).contains(&y) {
+                    Value::Illegal
+                } else {
+                    Value::Num(x >> y)
+                }
+            }
+            Op::Shl => {
+                if !(0..64).contains(&y) {
+                    Value::Illegal
+                } else {
+                    Value::Num(x.wrapping_shl(y as u32))
+                }
+            }
+            Op::Min => Value::Num(x.min(y)),
+            Op::Max => Value::Num(x.max(y)),
+            Op::And => Value::Num(x & y),
+            Op::Or => Value::Num(x | y),
+            Op::Xor => Value::Num(x ^ y),
+            Op::Atan2Fx(frac) => Value::Num(atan2_fx(x, y, frac)),
+            _ => unreachable!("binary() called for non-binary op {self:?}"),
+        }
+    }
+
+    /// A short lowercase mnemonic, parseable by [`FromStr`].
+    pub fn mnemonic(self) -> String {
+        match self {
+            Op::Add => "add".into(),
+            Op::Sub => "sub".into(),
+            Op::Mul => "mul".into(),
+            Op::MulFx(f) => format!("mulfx{f}"),
+            Op::Shr => "shr".into(),
+            Op::Shl => "shl".into(),
+            Op::PassA => "passa".into(),
+            Op::PassB => "passb".into(),
+            Op::Neg => "neg".into(),
+            Op::Abs => "abs".into(),
+            Op::Min => "min".into(),
+            Op::Max => "max".into(),
+            Op::And => "and".into(),
+            Op::Or => "or".into(),
+            Op::Xor => "xor".into(),
+            Op::Atan2Fx(f) => format!("atan2fx{f}"),
+            Op::SqrtFx(f) => format!("sqrtfx{f}"),
+            Op::SinFx(f) => format!("sinfx{f}"),
+            Op::CosFx(f) => format!("cosfx{f}"),
+        }
+    }
+}
+
+/// Integer CORDIC vectoring: four-quadrant `atan2(y, x)` where `y`, `x`
+/// and the returned angle (radians) are Q`frac` fixed-point values.
+///
+/// This is the reference semantics of [`Op::Atan2Fx`], exposed so golden
+/// models (the IKS algorithm level) share the exact same arithmetic.
+/// Accuracy is limited by the 48 CORDIC iterations and the output
+/// quantization, i.e. well below one ulp of reasonable `frac` (< 30).
+pub fn atan2_fx(y: i64, x: i64, frac: u8) -> i64 {
+    // Work in Q60 inside i128: comfortably exact for |inputs| < 2^63.
+    const WORK: u32 = 60;
+    let pi: i128 = (std::f64::consts::PI * 2f64.powi(WORK as i32)) as i128;
+
+    if x == 0 && y == 0 {
+        return 0;
+    }
+    let (mut xw, mut yw) = (x as i128, y as i128);
+    // Pre-rotate into the right half plane.
+    let mut z: i128 = 0;
+    if xw < 0 {
+        z = if yw >= 0 { pi } else { -pi };
+        xw = -xw;
+        yw = -yw;
+    }
+    // Scale up for precision through the 48 right-shifting iterations.
+    xw <<= 32;
+    yw <<= 32;
+    let tab = cordic_atan_table();
+    for (i, &a) in tab.iter().enumerate() {
+        let (xo, yo) = (xw, yw);
+        if yw <= 0 {
+            xw -= yo >> i;
+            yw += xo >> i;
+            z -= a;
+        } else {
+            xw += yo >> i;
+            yw -= xo >> i;
+            z += a;
+        }
+    }
+    // z is Q60; rescale to Qfrac, rounding to nearest.
+    let scale = WORK - frac as u32;
+    ((z + (1i128 << (scale - 1))) >> scale) as i64
+}
+
+/// Integer CORDIC rotation: `(sin θ, cos θ)` for an angle in Q`frac`
+/// radians (any magnitude; full range reduction modulo 2π is applied).
+/// Reference semantics of [`Op::SinFx`]/[`Op::CosFx`].
+///
+/// Accuracy follows the 48 iterations and the Q`frac` output
+/// quantization — a few ulps for `frac ≤ 30`.
+pub fn sincos_fx(theta: i64, frac: u8) -> (i64, i64) {
+    const WORK: u32 = 60;
+    const ITERS: usize = 48;
+    let scale = WORK - frac as u32;
+    let pi: i128 = (std::f64::consts::PI * 2f64.powi(WORK as i32)) as i128;
+    let pi_half = pi / 2;
+    let two_pi = pi * 2;
+
+    // Range reduction into (-π, π], then into [-π/2, π/2] with a sign
+    // flip (sin/cos are both negated by a ±π shift).
+    let mut z = (theta as i128) << scale;
+    z %= two_pi;
+    if z > pi {
+        z -= two_pi;
+    } else if z < -pi {
+        z += two_pi;
+    }
+    let mut sign: i128 = 1;
+    if z > pi_half {
+        z -= pi;
+        sign = -1;
+    } else if z < -pi_half {
+        z += pi;
+        sign = -1;
+    }
+
+    // Rotation mode from (1/K, 0): the CORDIC gain cancels and the final
+    // vector is (cos z, sin z) in Q60.
+    let k_inv: i128 = (0.607_252_935_008_881_3_f64 * 2f64.powi(WORK as i32)) as i128;
+    let (mut x, mut y) = (k_inv, 0i128);
+    let tab = cordic_atan_table();
+    for (i, &a) in tab.iter().enumerate().take(ITERS) {
+        let (xo, yo) = (x, y);
+        if z >= 0 {
+            x -= yo >> i;
+            y += xo >> i;
+            z -= a;
+        } else {
+            x += yo >> i;
+            y -= xo >> i;
+            z += a;
+        }
+    }
+    // Round to nearest on the way down to Q`frac` (plain flooring turns
+    // sin 0 into -1 ulp because the residual oscillates around zero).
+    let round = |v: i128| -> i64 { ((v + (1i128 << (scale - 1))) >> scale) as i64 };
+    (round(sign * y), round(sign * x))
+}
+
+/// `atan(2^-i)` in Q60 radians, shared by the vectoring and rotation
+/// CORDIC modes.
+fn cordic_atan_table() -> &'static [i128; 48] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[i128; 48]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0i128; 48];
+        for (i, e) in t.iter_mut().enumerate() {
+            *e = ((2f64.powi(-(i as i32))).atan() * 2f64.powi(60)) as i128;
+        }
+        t
+    })
+}
+
+/// Fixed-point square root: `sqrt(a)` with `a` and the result in Q`frac`
+/// (exact floor). Reference semantics of [`Op::SqrtFx`].
+///
+/// # Panics
+///
+/// Panics if `a` is negative (the operation maps negatives to
+/// `ILLEGAL` before calling this).
+pub fn sqrt_fx(a: i64, frac: u8) -> i64 {
+    assert!(a >= 0, "sqrt_fx needs a non-negative operand");
+    // result = floor(sqrt(a << frac)): (r/2^f)^2 <= a/2^f.
+    let wide = (a as u128) << frac;
+    isqrt_u128(wide) as i64
+}
+
+/// Floor integer square root of a `u128` (Newton's method).
+fn isqrt_u128(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = 1u128 << (n.ilog2() / 2 + 1);
+    loop {
+        let y = (x + n / x) / 2;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// Error parsing an [`Op`] from its mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpError(pub String);
+
+impl fmt::Display for ParseOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseOpError {}
+
+impl FromStr for Op {
+    type Err = ParseOpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.to_ascii_lowercase();
+        if let Some(frac) = s.strip_prefix("mulfx") {
+            let f: u8 = frac.parse().map_err(|_| ParseOpError(s.clone()))?;
+            return Ok(Op::MulFx(f));
+        }
+        if let Some(frac) = s.strip_prefix("atan2fx") {
+            let f: u8 = frac.parse().map_err(|_| ParseOpError(s.clone()))?;
+            return Ok(Op::Atan2Fx(f));
+        }
+        if let Some(frac) = s.strip_prefix("sqrtfx") {
+            let f: u8 = frac.parse().map_err(|_| ParseOpError(s.clone()))?;
+            return Ok(Op::SqrtFx(f));
+        }
+        if let Some(frac) = s.strip_prefix("sinfx") {
+            let f: u8 = frac.parse().map_err(|_| ParseOpError(s.clone()))?;
+            return Ok(Op::SinFx(f));
+        }
+        if let Some(frac) = s.strip_prefix("cosfx") {
+            let f: u8 = frac.parse().map_err(|_| ParseOpError(s.clone()))?;
+            return Ok(Op::CosFx(f));
+        }
+        Ok(match s.as_str() {
+            "add" => Op::Add,
+            "sub" => Op::Sub,
+            "mul" => Op::Mul,
+            "shr" => Op::Shr,
+            "shl" => Op::Shl,
+            "passa" | "copy" => Op::PassA,
+            "passb" => Op::PassB,
+            "neg" => Op::Neg,
+            "abs" => Op::Abs,
+            "min" => Op::Min,
+            "max" => Op::Max,
+            "and" => Op::And,
+            "or" => Op::Or,
+            "xor" => Op::Xor,
+            _ => return Err(ParseOpError(s)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Value::*;
+
+    #[test]
+    fn binary_disc_rules_match_paper() {
+        // §2.6: "either both operand values are natural values or both are DISC".
+        assert_eq!(Op::Add.apply(Disc, Disc), Disc);
+        assert_eq!(Op::Add.apply(Num(2), Num(3)), Num(5));
+        assert_eq!(Op::Add.apply(Num(2), Disc), Illegal);
+        assert_eq!(Op::Add.apply(Disc, Num(3)), Illegal);
+        assert_eq!(Op::Add.apply(Illegal, Num(3)), Illegal);
+        assert_eq!(Op::Add.apply(Num(1), Illegal), Illegal);
+    }
+
+    #[test]
+    fn unary_ops_require_quiet_other_port() {
+        assert_eq!(Op::PassA.apply(Num(7), Disc), Num(7));
+        assert_eq!(Op::PassA.apply(Num(7), Num(1)), Illegal);
+        assert_eq!(Op::PassA.apply(Disc, Disc), Disc);
+        assert_eq!(Op::PassB.apply(Disc, Num(9)), Num(9));
+        assert_eq!(Op::PassB.apply(Num(1), Num(9)), Illegal);
+        assert_eq!(Op::Neg.apply(Num(4), Disc), Num(-4));
+        assert_eq!(Op::Abs.apply(Num(-4), Disc), Num(4));
+    }
+
+    #[test]
+    fn arithmetic_results() {
+        assert_eq!(Op::Sub.apply(Num(10), Num(4)), Num(6));
+        assert_eq!(Op::Mul.apply(Num(6), Num(7)), Num(42));
+        assert_eq!(Op::Min.apply(Num(3), Num(-2)), Num(-2));
+        assert_eq!(Op::Max.apply(Num(3), Num(-2)), Num(3));
+        assert_eq!(Op::And.apply(Num(0b1100), Num(0b1010)), Num(0b1000));
+        assert_eq!(Op::Or.apply(Num(0b1100), Num(0b1010)), Num(0b1110));
+        assert_eq!(Op::Xor.apply(Num(0b1100), Num(0b1010)), Num(0b0110));
+    }
+
+    #[test]
+    fn shifts_validate_amounts() {
+        assert_eq!(Op::Shr.apply(Num(16), Num(2)), Num(4));
+        assert_eq!(Op::Shr.apply(Num(16), Num(-1)), Illegal);
+        assert_eq!(Op::Shr.apply(Num(16), Num(64)), Illegal);
+        assert_eq!(Op::Shl.apply(Num(1), Num(4)), Num(16));
+        // Arithmetic right shift of negatives keeps sign (CORDIC needs it).
+        assert_eq!(Op::Shr.apply(Num(-8), Num(1)), Num(-4));
+    }
+
+    #[test]
+    fn fixed_point_multiply_scales() {
+        // 1.5 * 2.0 in Q4: 24 * 32 = 768; >> 4 = 48 = 3.0 in Q4.
+        assert_eq!(Op::MulFx(4).apply(Num(24), Num(32)), Num(48));
+        // Large intermediates do not overflow thanks to i128.
+        let big = 1i64 << 40;
+        assert_eq!(Op::MulFx(40).apply(Num(big), Num(big)), Num(big));
+    }
+
+    #[test]
+    fn add_wraps_on_overflow() {
+        assert_eq!(Op::Add.apply(Num(i64::MAX), Num(1)), Num(i64::MIN));
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for op in [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::MulFx(12),
+            Op::Shr,
+            Op::Shl,
+            Op::PassA,
+            Op::PassB,
+            Op::Neg,
+            Op::Abs,
+            Op::Min,
+            Op::Max,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Atan2Fx(16),
+            Op::SqrtFx(20),
+            Op::SinFx(16),
+            Op::CosFx(8),
+        ] {
+            assert_eq!(op.mnemonic().parse::<Op>().unwrap(), op);
+        }
+        assert!("frobnicate".parse::<Op>().is_err());
+        assert_eq!("copy".parse::<Op>().unwrap(), Op::PassA);
+    }
+
+    #[test]
+    fn sqrt_fx_matches_floats() {
+        let frac = 16u8;
+        for v in [0.0f64, 1.0, 2.0, 0.25, 100.0, 12345.678] {
+            let fx = (v * 65536.0) as i64;
+            let got = sqrt_fx(fx, frac) as f64 / 65536.0;
+            assert!(
+                (got - v.sqrt()).abs() < 1e-4,
+                "sqrt({v}) = {got}, expected {}",
+                v.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_fx_is_exact_floor() {
+        // (r)^2 <= a<<frac < (r+1)^2 must hold exactly.
+        for a in [0i64, 1, 2, 3, 65536, 65537, 1 << 40, (1 << 40) + 12345] {
+            let r = sqrt_fx(a, 16) as u128;
+            let target = (a as u128) << 16;
+            assert!(r * r <= target);
+            assert!((r + 1) * (r + 1) > target);
+        }
+    }
+
+    #[test]
+    fn sqrt_op_rejects_negatives() {
+        assert_eq!(Op::SqrtFx(16).apply(Num(-1), Disc), Illegal);
+        assert_eq!(Op::SqrtFx(16).apply(Num(4 << 16), Disc), Num(2 << 16));
+    }
+
+    #[test]
+    fn atan2_fx_matches_floats_in_all_quadrants() {
+        let frac = 16u8;
+        let cases = [
+            (1.0f64, 1.0f64),
+            (1.0, -1.0),
+            (-1.0, 1.0),
+            (-1.0, -1.0),
+            (0.0, 1.0),
+            (0.0, -1.0),
+            (1.0, 0.0),
+            (-1.0, 0.0),
+            (0.3, 2.7),
+            (-123.0, 4.5),
+        ];
+        for (y, x) in cases {
+            let fy = (y * 65536.0) as i64;
+            let fx = (x * 65536.0) as i64;
+            let got = atan2_fx(fy, fx, frac) as f64 / 65536.0;
+            let expect = y.atan2(x);
+            assert!(
+                (got - expect).abs() < 1e-3,
+                "atan2({y}, {x}) = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn atan2_fx_origin_is_zero() {
+        assert_eq!(atan2_fx(0, 0, 16), 0);
+    }
+
+    #[test]
+    fn sincos_fx_matches_floats_over_the_circle() {
+        let frac = 16u8;
+        for deg in (-720..=720).step_by(15) {
+            let theta = (deg as f64).to_radians();
+            let fx = (theta * 65536.0) as i64;
+            let (s, c) = sincos_fx(fx, frac);
+            let (sf, cf) = (s as f64 / 65536.0, c as f64 / 65536.0);
+            assert!(
+                (sf - theta.sin()).abs() < 2e-3,
+                "sin({deg}°) = {sf}, expected {}",
+                theta.sin()
+            );
+            assert!(
+                (cf - theta.cos()).abs() < 2e-3,
+                "cos({deg}°) = {cf}, expected {}",
+                theta.cos()
+            );
+        }
+    }
+
+    #[test]
+    fn sincos_fx_pythagorean_identity() {
+        let frac = 16u8;
+        let one = 1i64 << frac;
+        for k in -20..=20 {
+            let theta = k * one / 7;
+            let (s, c) = sincos_fx(theta, frac);
+            let norm = (s as i128 * s as i128 + c as i128 * c as i128) >> frac;
+            let err = (norm - one as i128).abs();
+            assert!(err < 64, "|sin²+cos² - 1| = {err} at theta {theta}");
+        }
+    }
+
+    #[test]
+    fn sincos_ops_are_unary() {
+        assert_eq!(Op::SinFx(16).apply(Num(0), Disc), Num(0));
+        assert_eq!(Op::CosFx(16).apply(Num(0), Disc), Num(1 << 16));
+        assert_eq!(Op::SinFx(16).apply(Num(1), Num(1)), Illegal);
+        assert_eq!(Op::CosFx(16).apply(Disc, Disc), Disc);
+    }
+
+    #[test]
+    fn atan2_op_applies_paper_operand_rules() {
+        assert_eq!(Op::Atan2Fx(16).apply(Disc, Disc), Disc);
+        assert_eq!(Op::Atan2Fx(16).apply(Num(1), Disc), Illegal);
+        assert!(Op::Atan2Fx(16).apply(Num(65536), Num(65536)).is_num());
+    }
+}

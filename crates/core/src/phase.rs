@@ -1,0 +1,269 @@
+//! Control steps and the six-phase timing scheme (paper Fig. 2).
+//!
+//! A control step is partitioned into six successive phases occurring
+//! cyclically:
+//!
+//! ```text
+//! ra → rb → cm → wa → wb → cr → (next step) ra → …
+//! ```
+//!
+//! | phase | meaning                              |
+//! |-------|--------------------------------------|
+//! | `ra`  | register output ports to buses       |
+//! | `rb`  | buses to module input ports          |
+//! | `cm`  | module compute                       |
+//! | `wa`  | module output ports to buses         |
+//! | `wb`  | buses to register input ports        |
+//! | `cr`  | register input to output ports       |
+//!
+//! Phases advance with delta delay only; one control step therefore costs
+//! exactly [`PHASES_PER_STEP`] delta cycles, the paper's key timing fact.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of phases per control step.
+pub const PHASES_PER_STEP: u64 = 6;
+
+/// A control step number. Steps are numbered from 1; 0 is the
+/// pre-simulation state of the controller.
+pub type Step = u32;
+
+/// One of the six phases of a control step (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants documented in the module table
+pub enum Phase {
+    Ra,
+    Rb,
+    Cm,
+    Wa,
+    Wb,
+    Cr,
+}
+
+impl Phase {
+    /// All phases in cyclic order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Ra,
+        Phase::Rb,
+        Phase::Cm,
+        Phase::Wa,
+        Phase::Wb,
+        Phase::Cr,
+    ];
+
+    /// The first phase of a step (VHDL `Phase'Low`).
+    pub const FIRST: Phase = Phase::Ra;
+    /// The last phase of a step (VHDL `Phase'High`).
+    pub const LAST: Phase = Phase::Cr;
+
+    /// The next phase within the same step (VHDL `Phase'Succ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Phase::Cr`], which has no successor within a step; the
+    /// controller wraps to [`Phase::Ra`] of the next step instead.
+    pub fn succ(self) -> Phase {
+        match self {
+            Phase::Ra => Phase::Rb,
+            Phase::Rb => Phase::Cm,
+            Phase::Cm => Phase::Wa,
+            Phase::Wa => Phase::Wb,
+            Phase::Wb => Phase::Cr,
+            Phase::Cr => panic!("Phase'Succ(cr) is undefined; the step wraps"),
+        }
+    }
+
+    /// The next phase, wrapping `cr → ra`.
+    pub fn succ_wrapping(self) -> Phase {
+        if self == Phase::Cr {
+            Phase::Ra
+        } else {
+            self.succ()
+        }
+    }
+
+    /// Dense index (`ra = 0` … `cr = 5`).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Phase from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 6`.
+    pub fn from_index(index: u8) -> Phase {
+        Phase::ALL[index as usize]
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Ra => "ra",
+            Phase::Rb => "rb",
+            Phase::Cm => "cm",
+            Phase::Wa => "wa",
+            Phase::Wb => "wb",
+            Phase::Cr => "cr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error parsing a [`Phase`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePhaseError(pub String);
+
+impl fmt::Display for ParsePhaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown phase `{}` (expected ra|rb|cm|wa|wb|cr)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePhaseError {}
+
+impl FromStr for Phase {
+    type Err = ParsePhaseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ra" => Ok(Phase::Ra),
+            "rb" => Ok(Phase::Rb),
+            "cm" => Ok(Phase::Cm),
+            "wa" => Ok(Phase::Wa),
+            "wb" => Ok(Phase::Wb),
+            "cr" => Ok(Phase::Cr),
+            other => Err(ParsePhaseError(other.to_string())),
+        }
+    }
+}
+
+/// A fully qualified instant in control-step time: step plus phase.
+///
+/// Ordered chronologically (step-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhaseTime {
+    /// The control step (numbered from 1).
+    pub step: Step,
+    /// The phase within the step.
+    pub phase: Phase,
+}
+
+impl PhaseTime {
+    /// Creates a phase time.
+    pub fn new(step: Step, phase: Phase) -> PhaseTime {
+        PhaseTime { step, phase }
+    }
+
+    /// The chronologically next phase time (wrapping into the next step).
+    pub fn next(self) -> PhaseTime {
+        if self.phase == Phase::LAST {
+            PhaseTime::new(self.step + 1, Phase::FIRST)
+        } else {
+            PhaseTime::new(self.step, self.phase.succ())
+        }
+    }
+
+    /// Delta-cycle index at which this phase is *active*, counted from the
+    /// start of simulation.
+    ///
+    /// The controller's initial execution happens in delta 0; phase `ra`
+    /// of step 1 is then active in delta 1, and in general phase `p` of
+    /// step `s` is active in delta `(s-1)*6 + p.index() + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is 0 (no phases are active before step 1).
+    pub fn active_delta(self) -> u64 {
+        assert!(self.step >= 1, "phases are active from step 1 onwards");
+        (self.step as u64 - 1) * PHASES_PER_STEP + self.phase.index() as u64 + 1
+    }
+
+    /// Inverse of [`active_delta`](Self::active_delta): the phase time
+    /// active in a given delta cycle, or `None` for delta 0 (initialization).
+    pub fn from_active_delta(delta: u64) -> Option<PhaseTime> {
+        if delta == 0 {
+            return None;
+        }
+        let d = delta - 1;
+        Some(PhaseTime::new(
+            (d / PHASES_PER_STEP) as Step + 1,
+            Phase::from_index((d % PHASES_PER_STEP) as u8),
+        ))
+    }
+}
+
+impl fmt::Display for PhaseTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {} phase {}", self.step, self.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succ_chain_matches_paper() {
+        let mut p = Phase::FIRST;
+        let mut seen = vec![p];
+        while p != Phase::LAST {
+            p = p.succ();
+            seen.push(p);
+        }
+        assert_eq!(seen, Phase::ALL);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn succ_of_cr_panics() {
+        let _ = Phase::Cr.succ();
+    }
+
+    #[test]
+    fn wrapping_succ_cycles() {
+        assert_eq!(Phase::Cr.succ_wrapping(), Phase::Ra);
+        assert_eq!(Phase::Wa.succ_wrapping(), Phase::Wb);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(p.to_string().parse::<Phase>().unwrap(), p);
+        }
+        assert!("xx".parse::<Phase>().is_err());
+        assert_eq!("RA".parse::<Phase>().unwrap(), Phase::Ra);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn phase_time_ordering_is_chronological() {
+        let a = PhaseTime::new(1, Phase::Cr);
+        let b = PhaseTime::new(2, Phase::Ra);
+        assert!(a < b);
+        assert_eq!(a.next(), b);
+    }
+
+    #[test]
+    fn active_delta_roundtrip() {
+        // Step 1 ra is delta 1; step 1 cr is delta 6; step 2 ra is delta 7.
+        assert_eq!(PhaseTime::new(1, Phase::Ra).active_delta(), 1);
+        assert_eq!(PhaseTime::new(1, Phase::Cr).active_delta(), 6);
+        assert_eq!(PhaseTime::new(2, Phase::Ra).active_delta(), 7);
+        for d in 1..=37 {
+            let pt = PhaseTime::from_active_delta(d).unwrap();
+            assert_eq!(pt.active_delta(), d);
+        }
+        assert_eq!(PhaseTime::from_active_delta(0), None);
+    }
+}

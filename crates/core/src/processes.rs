@@ -1,0 +1,621 @@
+//! Kernel processes implementing the paper's building blocks.
+//!
+//! Each type here is the Rust state-machine rendering of one VHDL process
+//! of §2: [`Controller`] (§2.2), [`Trans`] (§2.4), [`Reg`] (§2.5) and
+//! [`ModuleProc`] (§2.6, generalized to selectable operations and three
+//! timing disciplines as required by §3).
+//!
+//! Signal conventions: the control-step signal `CS` carries
+//! `Value::Num(step)` and the phase signal `PH` carries
+//! `Value::Num(phase index)`; both are regular (single-driver) signals
+//! owned by the controller.
+
+use std::collections::VecDeque;
+
+use clockless_kernel::{ProcessCtx, SignalId, Wait};
+
+use crate::op::Op;
+use crate::phase::{Phase, Step};
+use crate::resource::ModuleTiming;
+use crate::value::Value;
+
+/// Reads a `Num` payload from a control signal.
+///
+/// # Panics
+///
+/// Panics if the signal does not carry a number — control signals are
+/// driven only by the controller, so anything else is a wiring bug.
+fn num_of(ctx: &ProcessCtx<'_, Value>, sig: SignalId) -> i64 {
+    ctx.value(sig)
+        .num()
+        .expect("control signal carries a number")
+}
+
+/// The controller process (§2.2): cycles `PH` through the six phases and
+/// increments `CS` at each wrap, with delta delay only, until
+/// `CS = cs_max` completes — after which nothing is assigned and the
+/// simulation quiesces.
+///
+/// Initial state (set at elaboration): `CS = 0`, `PH = cr` (`Phase'High`),
+/// exactly as in the paper's entity declaration.
+#[derive(Debug)]
+pub struct Controller {
+    cs_max: Step,
+    cs: SignalId,
+    ph: SignalId,
+    started: bool,
+}
+
+impl Controller {
+    /// Creates a controller driving `cs` and `ph` for `cs_max` steps.
+    pub fn new(cs_max: Step, cs: SignalId, ph: SignalId) -> Controller {
+        Controller {
+            cs_max,
+            cs,
+            ph,
+            started: false,
+        }
+    }
+}
+
+impl clockless_kernel::Process<Value> for Controller {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        let ph = Phase::from_index(num_of(ctx, self.ph) as u8);
+        if ph == Phase::LAST {
+            let cs = num_of(ctx, self.cs) as Step;
+            if cs < self.cs_max {
+                ctx.assign(self.cs, Value::Num(cs as i64 + 1));
+                ctx.assign(self.ph, Value::Num(Phase::FIRST.index() as i64));
+            }
+            // else: no assignment; the model quiesces (end of simulation).
+        } else {
+            ctx.assign(self.ph, Value::Num(ph.succ().index() as i64));
+        }
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::Event(vec![self.ph])
+        }
+    }
+}
+
+/// Where a transfer process takes its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransSource {
+    /// Read a signal (register/module output port or bus) at the
+    /// activation phase.
+    Signal(SignalId),
+    /// Drive a constant — used for operation-select transfers, whose
+    /// "source" is the operation code named by the tuple.
+    Const(Value),
+}
+
+/// A transfer process (§2.4): at phase `phase` of step `step` it assigns
+/// the source value to the sink; at the succeeding phase it assigns
+/// `DISC`, releasing its drive on the resolved sink.
+///
+/// Two observations allow an exact-semantics optimization over a literal
+/// VHDL `wait until CS = S and PH = P` (which would resume the process on
+/// *every* `CS`/`PH` event, i.e. every delta cycle):
+///
+/// 1. `CS` increases monotonically, so until `CS = S` the process can
+///    sleep on `CS` alone — one wake-up per control step instead of six;
+/// 2. after the release, the activation condition can never hold again,
+///    so the process terminates.
+///
+/// `faithful_wakeups` disables both and reproduces byte-for-byte VHDL
+/// `wait until` behaviour; the style-comparison benches quantify the
+/// difference.
+#[derive(Debug)]
+pub struct Trans {
+    step: Step,
+    phase: Phase,
+    cs: SignalId,
+    ph: SignalId,
+    src: TransSource,
+    dst: SignalId,
+    state: TransState,
+    faithful_wakeups: bool,
+    started: bool,
+}
+
+/// Control state of a [`Trans`] process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransState {
+    /// Sleeping on `CS` until the activation step arrives.
+    AwaitStep,
+    /// In the activation step, following `PH` to the activation phase.
+    AwaitPhase,
+    /// Asserted; following `PH` to the release phase.
+    AwaitRelease,
+    /// Released; nothing left to do.
+    Finished,
+}
+
+impl Trans {
+    /// Creates a transfer process active at `(step, phase)`.
+    pub fn new(
+        step: Step,
+        phase: Phase,
+        cs: SignalId,
+        ph: SignalId,
+        src: TransSource,
+        dst: SignalId,
+        faithful_wakeups: bool,
+    ) -> Trans {
+        Trans {
+            step,
+            phase,
+            cs,
+            ph,
+            src,
+            dst,
+            state: TransState::AwaitStep,
+            faithful_wakeups,
+            started: false,
+        }
+    }
+
+    /// The step and phase at which the sink is released again.
+    fn release_at(&self) -> (Step, Phase) {
+        if self.phase == Phase::LAST {
+            (self.step + 1, Phase::FIRST)
+        } else {
+            (self.step, self.phase.succ())
+        }
+    }
+}
+
+impl Trans {
+    /// Performs the assert action.
+    fn assert_value(&self, ctx: &mut ProcessCtx<'_, Value>) {
+        let v = match self.src {
+            TransSource::Signal(s) => *ctx.value(s),
+            TransSource::Const(v) => v,
+        };
+        ctx.assign(self.dst, v);
+    }
+
+    /// Literal VHDL semantics: wake on every `CS`/`PH` event and re-check
+    /// the full condition.
+    fn resume_faithful(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        let cs = num_of(ctx, self.cs) as Step;
+        let ph = Phase::from_index(num_of(ctx, self.ph) as u8);
+        match self.state {
+            TransState::AwaitStep | TransState::AwaitPhase => {
+                if cs == self.step && ph == self.phase {
+                    self.assert_value(ctx);
+                    self.state = TransState::AwaitRelease;
+                }
+            }
+            TransState::AwaitRelease => {
+                let (rs, rp) = self.release_at();
+                if cs == rs && ph == rp {
+                    ctx.assign(self.dst, Value::Disc);
+                    self.state = TransState::Finished;
+                }
+            }
+            TransState::Finished => {}
+        }
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::Event(vec![self.cs, self.ph])
+        }
+    }
+}
+
+impl clockless_kernel::Process<Value> for Trans {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        if self.faithful_wakeups {
+            return self.resume_faithful(ctx);
+        }
+        // Optimized path: in-kernel wake filters mean each resumption
+        // coincides with its awaited condition; a transfer process runs
+        // exactly three or four times over the whole simulation.
+        let cs = num_of(ctx, self.cs) as Step;
+        let until_phase = |p: Phase| Wait::UntilEq(self.ph, Value::Num(p.index() as i64));
+        match self.state {
+            TransState::AwaitStep => {
+                if cs != self.step {
+                    // Initialization resume (or a spurious early wake):
+                    // sleep until CS reaches our step.
+                    return Wait::UntilEq(self.cs, Value::Num(self.step as i64));
+                }
+                // Step boundary delta: PH is at ra. Activate now or
+                // follow PH to our phase.
+                if self.phase == Phase::Ra {
+                    self.assert_value(ctx);
+                    self.state = TransState::AwaitRelease;
+                    until_phase(self.release_at().1)
+                } else {
+                    self.state = TransState::AwaitPhase;
+                    until_phase(self.phase)
+                }
+            }
+            TransState::AwaitPhase => {
+                self.assert_value(ctx);
+                self.state = TransState::AwaitRelease;
+                until_phase(self.release_at().1)
+            }
+            TransState::AwaitRelease => {
+                ctx.assign(self.dst, Value::Disc);
+                self.state = TransState::Finished;
+                Wait::Done
+            }
+            TransState::Finished => Wait::Done,
+        }
+    }
+}
+
+/// A register process (§2.5): at each `cr` phase, if the input port is
+/// not `DISC`, the value is stored and driven on the output port.
+///
+/// `ILLEGAL` inputs are stored like any other non-`DISC` value — exactly
+/// the paper's `if R_in /= DISC then R_out <= R_in` — so a bus conflict
+/// visibly poisons the destination register.
+#[derive(Debug)]
+pub struct Reg {
+    ph: SignalId,
+    input: SignalId,
+    output: SignalId,
+    started: bool,
+}
+
+impl Reg {
+    /// Creates a register process between `input` and `output` ports.
+    pub fn new(ph: SignalId, input: SignalId, output: SignalId) -> Reg {
+        Reg {
+            ph,
+            input,
+            output,
+            started: false,
+        }
+    }
+}
+
+impl clockless_kernel::Process<Value> for Reg {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        let ph = Phase::from_index(num_of(ctx, self.ph) as u8);
+        if ph == Phase::Cr {
+            let v = *ctx.value(self.input);
+            if v != Value::Disc {
+                ctx.assign(self.output, v);
+            }
+        }
+        // The store happens only at cr; the in-kernel filter skips the
+        // five other phases entirely (VHDL's implicit `wait until PH=cR`
+        // loop, evaluated by the scheduler).
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::UntilEq(self.ph, Value::Num(Phase::Cr.index() as i64))
+        }
+    }
+}
+
+/// A functional-module process (§2.6), generalized:
+///
+/// * **operation selection** — multi-operation modules read an operation
+///   code from their `op` port (the IKS extension of §3);
+/// * **timing** — combinational (result this step), pipelined (result
+///   `latency` steps later, new operands every step; the paper's `ADD` is
+///   `latency = 1`), or sequential (non-pipelined: new operands while busy
+///   are a conflict and poison the in-flight computation).
+///
+/// At each `cm` phase the module emits the result due this step and
+/// inserts the combination of the current operand ports into its internal
+/// pipeline — the generalization of the paper's `M_out <= M; M := …`
+/// idiom.
+#[derive(Debug)]
+pub struct ModuleProc {
+    ph: SignalId,
+    in1: SignalId,
+    in2: SignalId,
+    op_port: Option<SignalId>,
+    out: SignalId,
+    ops: Vec<Op>,
+    timing: ModuleTiming,
+    /// Results in flight; `pipe.len() == latency` (empty if combinational).
+    pipe: VecDeque<Value>,
+    /// Remaining busy steps (sequential modules only).
+    busy: u32,
+    started: bool,
+}
+
+impl ModuleProc {
+    /// Creates a module process.
+    ///
+    /// `op_port` must be `Some` exactly when `ops.len() > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or the op-port presence contradicts the
+    /// operation count.
+    pub fn new(
+        ph: SignalId,
+        in1: SignalId,
+        in2: SignalId,
+        op_port: Option<SignalId>,
+        out: SignalId,
+        ops: Vec<Op>,
+        timing: ModuleTiming,
+    ) -> ModuleProc {
+        assert!(!ops.is_empty(), "module needs at least one operation");
+        assert_eq!(
+            op_port.is_some(),
+            ops.len() > 1,
+            "op port present iff multiple operations"
+        );
+        let latency = timing.latency() as usize;
+        ModuleProc {
+            ph,
+            in1,
+            in2,
+            op_port,
+            out,
+            ops,
+            timing,
+            pipe: std::iter::repeat_n(Value::Disc, latency).collect(),
+            busy: 0,
+            started: false,
+        }
+    }
+
+    /// Combines the current operand ports per §2.6.
+    fn combine(&self, ctx: &ProcessCtx<'_, Value>) -> Value {
+        let a = *ctx.value(self.in1);
+        let b = *ctx.value(self.in2);
+        let op = match self.op_port {
+            None => self.ops[0],
+            Some(port) => match *ctx.value(port) {
+                Value::Disc => {
+                    // No operation selected: only legal if idle.
+                    if a == Value::Disc && b == Value::Disc {
+                        return Value::Disc;
+                    }
+                    return Value::Illegal;
+                }
+                Value::Illegal => return Value::Illegal,
+                Value::Num(i) => match usize::try_from(i).ok().and_then(|i| self.ops.get(i)) {
+                    Some(&op) => op,
+                    None => return Value::Illegal,
+                },
+            },
+        };
+        op.apply(a, b)
+    }
+}
+
+impl clockless_kernel::Process<Value> for ModuleProc {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        let ph = Phase::from_index(num_of(ctx, self.ph) as u8);
+        if ph == Phase::Cm {
+            let mut result = self.combine(ctx);
+            if let ModuleTiming::Sequential { latency } = self.timing {
+                if self.busy > 0 {
+                    self.busy -= 1;
+                    if result != Value::Disc {
+                        // New operands while busy: resource conflict.
+                        // Poison both the new request and everything in
+                        // flight — the shared datapath is corrupted.
+                        result = Value::Illegal;
+                        for v in self.pipe.iter_mut() {
+                            *v = Value::Illegal;
+                        }
+                    }
+                } else if result != Value::Disc {
+                    self.busy = latency.saturating_sub(1);
+                }
+            }
+            if self.pipe.is_empty() {
+                // Combinational: result is visible to this step's wa phase.
+                ctx.assign(self.out, result);
+            } else {
+                let due = self.pipe.pop_front().expect("pipe holds `latency` slots");
+                ctx.assign(self.out, due);
+                self.pipe.push_back(result);
+            }
+        }
+        // Modules compute only at cm; the kernel filter skips the other
+        // phases.
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::UntilEq(self.ph, Value::Num(Phase::Cm.index() as i64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::kernel_resolver;
+    use clockless_kernel::Simulator;
+
+    /// Builds a simulator with controller signals and a controller for
+    /// `cs_max` steps; returns `(sim, cs, ph)`.
+    fn with_controller(cs_max: Step) -> (Simulator<Value>, SignalId, SignalId) {
+        let mut sim = Simulator::new();
+        let cs = sim.signal("CS", Value::Num(0));
+        let ph = sim.signal("PH", Value::Num(Phase::LAST.index() as i64));
+        let ctrl = Controller::new(cs_max, cs, ph);
+        sim.process("CONTROL", &[cs, ph], ctrl);
+        (sim, cs, ph)
+    }
+
+    #[test]
+    fn controller_runs_six_deltas_per_step() {
+        let (mut sim, cs, ph) = with_controller(4);
+        sim.initialize().unwrap();
+        let stats = sim.run().unwrap();
+        // Initial execution (delta 0) + 6 deltas per control step.
+        assert_eq!(stats.delta_cycles, 1 + 6 * 4);
+        assert_eq!(*sim.value(cs), Value::Num(4));
+        assert_eq!(*sim.value(ph), Value::Num(Phase::Cr.index() as i64));
+    }
+
+    #[test]
+    fn controller_phase_sequence_follows_fig2() {
+        let (mut sim, _cs, ph) = with_controller(2);
+        sim.initialize().unwrap();
+        let mut seen = Vec::new();
+        loop {
+            match sim.step_delta().unwrap() {
+                clockless_kernel::StepOutcome::Quiescent => break,
+                _ => seen.push(Phase::from_index(sim.value(ph).num().unwrap() as u8)),
+            }
+        }
+        // After the first delta (initial run applied), phases march
+        // ra,rb,cm,wa,wb,cr twice.
+        let expected: Vec<Phase> = std::iter::once(Phase::Cr) // delta 0: init, PH still cr
+            .chain(Phase::ALL.iter().copied())
+            .chain(Phase::ALL.iter().copied())
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn trans_asserts_then_releases() {
+        let (mut sim, cs, ph) = with_controller(3);
+        let src = sim.signal("SRC", Value::Num(42));
+        let bus = sim.resolved_signal("BUS", Value::Disc, kernel_resolver());
+        let t = Trans::new(2, Phase::Ra, cs, ph, TransSource::Signal(src), bus, false);
+        sim.process("T", &[bus], t);
+        sim.initialize().unwrap();
+
+        let mut observed = Vec::new();
+        loop {
+            match sim.step_delta().unwrap() {
+                clockless_kernel::StepOutcome::Quiescent => break,
+                _ => {
+                    let step = sim.value(cs).num().unwrap() as Step;
+                    let phase = Phase::from_index(sim.value(ph).num().unwrap() as u8);
+                    observed.push(((step, phase), *sim.value(bus)));
+                }
+            }
+        }
+        // The bus carries 42 exactly during rb of step 2 (assigned at ra,
+        // visible one delta later, released at rb, visible at cm).
+        for ((step, phase), v) in observed {
+            if step == 2 && phase == Phase::Rb {
+                assert_eq!(v, Value::Num(42));
+            } else {
+                assert_eq!(v, Value::Disc, "bus should be quiet at step {step} {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_trans_produce_illegal() {
+        let (mut sim, cs, ph) = with_controller(2);
+        let s1 = sim.signal("S1", Value::Num(1));
+        let s2 = sim.signal("S2", Value::Num(2));
+        let bus = sim.resolved_signal("BUS", Value::Disc, kernel_resolver());
+        sim.process(
+            "T1",
+            &[bus],
+            Trans::new(1, Phase::Ra, cs, ph, TransSource::Signal(s1), bus, false),
+        );
+        sim.process(
+            "T2",
+            &[bus],
+            Trans::new(1, Phase::Ra, cs, ph, TransSource::Signal(s2), bus, false),
+        );
+        sim.initialize().unwrap();
+        let mut saw_illegal_at = None;
+        loop {
+            match sim.step_delta().unwrap() {
+                clockless_kernel::StepOutcome::Quiescent => break,
+                _ => {
+                    if *sim.value(bus) == Value::Illegal && saw_illegal_at.is_none() {
+                        let step = sim.value(cs).num().unwrap() as Step;
+                        let phase = Phase::from_index(sim.value(ph).num().unwrap() as u8);
+                        saw_illegal_at = Some((step, phase));
+                    }
+                }
+            }
+        }
+        // Both drive at ra of step 1; the conflict is visible from rb.
+        assert_eq!(saw_illegal_at, Some((1, Phase::Rb)));
+    }
+
+    #[test]
+    fn reg_stores_only_at_cr() {
+        let (mut sim, cs, ph) = with_controller(3);
+        let src = sim.signal("SRC", Value::Num(7));
+        let rin = sim.resolved_signal("R_in", Value::Disc, kernel_resolver());
+        let rout = sim.signal("R_out", Value::Disc);
+        sim.process("REG", &[rout], Reg::new(ph, rin, rout));
+        // Assign to R_in at wb of step 1.
+        sim.process(
+            "T",
+            &[rin],
+            Trans::new(1, Phase::Wb, cs, ph, TransSource::Signal(src), rin, false),
+        );
+        sim.initialize().unwrap();
+        sim.run().unwrap();
+        assert_eq!(*sim.value(rout), Value::Num(7));
+    }
+
+    #[test]
+    fn module_pipelined_latency_one_matches_paper_add() {
+        let (mut sim, cs, ph) = with_controller(4);
+        let in1 = sim.resolved_signal("M_in1", Value::Disc, kernel_resolver());
+        let in2 = sim.resolved_signal("M_in2", Value::Disc, kernel_resolver());
+        let out = sim.signal("M_out", Value::Disc);
+        let m = ModuleProc::new(
+            ph,
+            in1,
+            in2,
+            None,
+            out,
+            vec![Op::Add],
+            ModuleTiming::Pipelined { latency: 1 },
+        );
+        sim.process("ADD", &[out], m);
+        // Stimulus: operands land on the ports for step 2's cm phase via
+        // two transfer processes reading constant-valued signals.
+        let c1 = sim.signal("c1", Value::Num(20));
+        let c2 = sim.signal("c2", Value::Num(22));
+        sim.process(
+            "TA",
+            &[in1],
+            Trans::new(2, Phase::Rb, cs, ph, TransSource::Signal(c1), in1, false),
+        );
+        sim.process(
+            "TB",
+            &[in2],
+            Trans::new(2, Phase::Rb, cs, ph, TransSource::Signal(c2), in2, false),
+        );
+        sim.initialize().unwrap();
+
+        let mut out_by_step_phase = Vec::new();
+        loop {
+            match sim.step_delta().unwrap() {
+                clockless_kernel::StepOutcome::Quiescent => break,
+                _ => {
+                    let step = sim.value(cs).num().unwrap() as Step;
+                    let phase = Phase::from_index(sim.value(ph).num().unwrap() as u8);
+                    out_by_step_phase.push(((step, phase), *sim.value(out)));
+                }
+            }
+        }
+        // Result 42 must be on M_out during wa of step 3 (latency 1).
+        let at_wa3 = out_by_step_phase
+            .iter()
+            .find(|((s, p), _)| *s == 3 && *p == Phase::Wa)
+            .map(|(_, v)| *v);
+        assert_eq!(at_wa3, Some(Value::Num(42)));
+        // And still DISC during wa of step 2.
+        let at_wa2 = out_by_step_phase
+            .iter()
+            .find(|((s, p), _)| *s == 2 && *p == Phase::Wa)
+            .map(|(_, v)| *v);
+        assert_eq!(at_wa2, Some(Value::Disc));
+    }
+}

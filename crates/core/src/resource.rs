@@ -1,0 +1,193 @@
+//! Resource declarations: registers, buses and functional modules.
+//!
+//! A register transfer model is "a set of registers, a set of modules
+//! performing arithmetical and logical operations, a set of buses used for
+//! transfers of values between modules and registers, and the timing of
+//! transfers" (§2.1). Registers and modules together are the *functional
+//! units*. This module holds the declaration types the
+//! [`RtModel`](crate::model::RtModel) builder assembles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Op;
+use crate::value::Value;
+
+/// Identifies a register within one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegisterId(pub u32);
+
+/// Identifies a bus within one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BusId(pub u32);
+
+/// Identifies a module within one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub u32);
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reg#{}", self.0)
+    }
+}
+impl fmt::Display for BusId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus#{}", self.0)
+    }
+}
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mod#{}", self.0)
+    }
+}
+
+/// A register declaration.
+///
+/// Registers fetch a new value at phase `cr` whenever a transfer assigned
+/// their input port this step, and keep the old value otherwise (§2.5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterDecl {
+    /// The register's name, unique among registers.
+    pub name: String,
+    /// Value presented on the output port from the start of simulation.
+    ///
+    /// The paper's registers output `DISC` until first written; an initial
+    /// value models a preloaded register (or an input port of the design).
+    pub init: Value,
+}
+
+/// A bus declaration.
+///
+/// Buses are resolved signals; simultaneous drivers resolve to `ILLEGAL`.
+/// The paper models even direct register-to-module links as (dedicated)
+/// buses, preferring "more resources" over subset extensions (§3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusDecl {
+    /// The bus's name, unique among buses.
+    pub name: String,
+}
+
+/// Timing behaviour of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModuleTiming {
+    /// Result is available in the *same* control step the operands are
+    /// read (combinational module, e.g. the IKS adders).
+    Combinational,
+    /// Operands may be fetched every control step; the result appears
+    /// `latency` steps later (e.g. the paper's `ADD` with latency 1, the
+    /// IKS multiplier with latency 2).
+    Pipelined {
+        /// Control steps from operand fetch to result.
+        latency: u32,
+    },
+    /// The module accepts new operands only every `latency` steps; the
+    /// result appears `latency` steps after the fetch. Feeding operands
+    /// while busy is a resource conflict and poisons the in-flight result.
+    Sequential {
+        /// Control steps from operand fetch to result, and the minimum
+        /// distance between fetches.
+        latency: u32,
+    },
+}
+
+impl ModuleTiming {
+    /// Control steps between operand read and result write for this module
+    /// (0 for combinational).
+    pub fn latency(self) -> u32 {
+        match self {
+            ModuleTiming::Combinational => 0,
+            ModuleTiming::Pipelined { latency } | ModuleTiming::Sequential { latency } => latency,
+        }
+    }
+
+    /// Minimum number of steps between successive operand fetches.
+    pub fn initiation_interval(self) -> u32 {
+        match self {
+            ModuleTiming::Combinational | ModuleTiming::Pipelined { .. } => 1,
+            ModuleTiming::Sequential { latency } => latency.max(1),
+        }
+    }
+}
+
+/// A functional-module declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleDecl {
+    /// The module's name, unique among modules.
+    pub name: String,
+    /// Operations the module can perform. Single-operation modules (the
+    /// paper's base model) need no operation selection; multi-operation
+    /// modules (the IKS extension) get an operation port driven by the
+    /// transfer that uses them.
+    pub ops: Vec<Op>,
+    /// Timing behaviour.
+    pub timing: ModuleTiming,
+}
+
+impl ModuleDecl {
+    /// A single-operation module.
+    pub fn single(name: impl Into<String>, op: Op, timing: ModuleTiming) -> ModuleDecl {
+        ModuleDecl {
+            name: name.into(),
+            ops: vec![op],
+            timing,
+        }
+    }
+
+    /// A multi-operation module (the IKS extension: the transfer selects
+    /// the operation).
+    pub fn multi(
+        name: impl Into<String>,
+        ops: impl IntoIterator<Item = Op>,
+        timing: ModuleTiming,
+    ) -> ModuleDecl {
+        ModuleDecl {
+            name: name.into(),
+            ops: ops.into_iter().collect(),
+            timing,
+        }
+    }
+
+    /// `true` if the module needs an operation-select port.
+    pub fn needs_op_port(&self) -> bool {
+        self.ops.len() > 1
+    }
+
+    /// Index of `op` in this module's operation list, if supported.
+    pub fn op_index(&self, op: Op) -> Option<usize> {
+        self.ops.iter().position(|&o| o == op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_latency_and_ii() {
+        assert_eq!(ModuleTiming::Combinational.latency(), 0);
+        assert_eq!(ModuleTiming::Combinational.initiation_interval(), 1);
+        let p = ModuleTiming::Pipelined { latency: 2 };
+        assert_eq!(p.latency(), 2);
+        assert_eq!(p.initiation_interval(), 1);
+        let s = ModuleTiming::Sequential { latency: 3 };
+        assert_eq!(s.latency(), 3);
+        assert_eq!(s.initiation_interval(), 3);
+    }
+
+    #[test]
+    fn multi_op_modules_need_op_port() {
+        let add = ModuleDecl::single("ADD", Op::Add, ModuleTiming::Pipelined { latency: 1 });
+        assert!(!add.needs_op_port());
+        assert_eq!(add.op_index(Op::Add), Some(0));
+        assert_eq!(add.op_index(Op::Sub), None);
+
+        let alu = ModuleDecl::multi(
+            "ALU",
+            [Op::Add, Op::Sub, Op::Shr],
+            ModuleTiming::Combinational,
+        );
+        assert!(alu.needs_op_port());
+        assert_eq!(alu.op_index(Op::Shr), Some(2));
+    }
+}

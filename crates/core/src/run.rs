@@ -1,0 +1,429 @@
+//! Running elaborated models and harvesting results.
+//!
+//! [`RtSimulation`] owns an elaborated model plus its kernel simulator and
+//! provides RT-level observation: current step/phase, register and bus
+//! values, per-commit logs and the conflict report promised by §2.7.
+
+use clockless_kernel::{KernelError, SimStats, Simulator, StepOutcome};
+
+use crate::diag::{Conflict, ConflictReport, ConflictSite};
+use crate::elaborate::{elaborate, ElaborateOptions, SignalLayout, SignalRole};
+use crate::model::RtModel;
+use crate::phase::{PhaseTime, Step, PHASES_PER_STEP};
+use crate::value::Value;
+
+/// A value committed into a register, located in control-step time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterCommit {
+    /// The register's name.
+    pub register: String,
+    /// The control step whose `cr` phase stored the value.
+    pub step: Step,
+    /// The stored value.
+    pub value: Value,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Kernel statistics (delta cycles, activations, events…).
+    pub stats: SimStats,
+    /// Final value of every register, in declaration order.
+    pub registers: Vec<(String, Value)>,
+    /// Conflict report (`None` when the run was not traced).
+    pub conflicts: Option<ConflictReport>,
+}
+
+impl RunSummary {
+    /// Final value of a register by name.
+    pub fn register(&self, name: &str) -> Option<Value> {
+        self.registers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// An elaborated, initialized clock-free RT simulation.
+///
+/// # Examples
+///
+/// Running the paper's Fig. 1 example end to end:
+///
+/// ```
+/// use clockless_core::model::fig1_model;
+/// use clockless_core::run::RtSimulation;
+/// use clockless_core::value::Value;
+///
+/// let model = fig1_model(3, 4);
+/// let mut sim = RtSimulation::new(&model)?;
+/// let summary = sim.run_to_completion()?;
+/// // R1 := R1 + R2 executed at steps 5/6.
+/// assert_eq!(summary.register("R1"), Some(Value::Num(7)));
+/// // One control step costs exactly 6 delta cycles (+1 initialization).
+/// assert_eq!(summary.stats.delta_cycles, 1 + 6 * 7);
+/// # Ok::<(), clockless_kernel::KernelError>(())
+/// ```
+#[derive(Debug)]
+pub struct RtSimulation {
+    model: RtModel,
+    sim: Simulator<Value>,
+    layout: SignalLayout,
+}
+
+impl RtSimulation {
+    /// Elaborates and initializes `model` with default options
+    /// (no tracing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel elaboration errors.
+    pub fn new(model: &RtModel) -> Result<RtSimulation, KernelError> {
+        Self::with_options(model, ElaborateOptions::default())
+    }
+
+    /// Elaborates and initializes `model` with tracing enabled, making
+    /// [`conflicts`](Self::conflicts) and
+    /// [`register_commits`](Self::register_commits) available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel elaboration errors.
+    pub fn traced(model: &RtModel) -> Result<RtSimulation, KernelError> {
+        Self::with_options(model, ElaborateOptions::traced())
+    }
+
+    /// Elaborates and initializes `model` with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel elaboration errors.
+    pub fn with_options(
+        model: &RtModel,
+        options: ElaborateOptions,
+    ) -> Result<RtSimulation, KernelError> {
+        let (mut sim, layout) = elaborate(model, options);
+        sim.initialize()?;
+        Ok(RtSimulation {
+            model: model.clone(),
+            sim,
+            layout,
+        })
+    }
+
+    /// The model this simulation was elaborated from.
+    pub fn model(&self) -> &RtModel {
+        &self.model
+    }
+
+    /// The signal layout (for low-level observation).
+    pub fn layout(&self) -> &SignalLayout {
+        &self.layout
+    }
+
+    /// Direct access to the kernel simulator.
+    pub fn kernel(&self) -> &Simulator<Value> {
+        &self.sim
+    }
+
+    /// Executes one delta cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (notably delta overflow).
+    pub fn step_delta(&mut self) -> Result<StepOutcome, KernelError> {
+        self.sim.step_delta()
+    }
+
+    /// Executes one full control step (six delta cycles), or less if the
+    /// simulation quiesces first. Returns `true` while activity remains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn step_control_step(&mut self) -> Result<bool, KernelError> {
+        for _ in 0..PHASES_PER_STEP {
+            if self.sim.step_delta()? == StepOutcome::Quiescent {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs to quiescence and summarizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn run_to_completion(&mut self) -> Result<RunSummary, KernelError> {
+        let stats = self.sim.run()?;
+        Ok(RunSummary {
+            stats,
+            registers: self.registers(),
+            conflicts: self.conflicts(),
+        })
+    }
+
+    /// The current control step and phase, or `None` during
+    /// initialization (before step 1 begins).
+    pub fn phase_time(&self) -> Option<PhaseTime> {
+        let step = self.sim.value(self.layout.cs).num()? as Step;
+        if step == 0 {
+            return None;
+        }
+        let ph = self.sim.value(self.layout.ph).num()? as u8;
+        Some(PhaseTime::new(step, crate::phase::Phase::from_index(ph)))
+    }
+
+    /// Current value on a register's output port.
+    pub fn register_value(&self, name: &str) -> Option<Value> {
+        let id = self.model.register_by_name(name)?;
+        Some(*self.sim.value(self.layout.reg_out[id.0 as usize]))
+    }
+
+    /// Current value on a bus.
+    pub fn bus_value(&self, name: &str) -> Option<Value> {
+        let id = self.model.bus_by_name(name)?;
+        Some(*self.sim.value(self.layout.bus[id.0 as usize]))
+    }
+
+    /// Current value on a module's output port.
+    pub fn module_out(&self, name: &str) -> Option<Value> {
+        let id = self.model.module_by_name(name)?;
+        Some(*self.sim.value(self.layout.mod_out[id.0 as usize]))
+    }
+
+    /// All register values, in declaration order.
+    pub fn registers(&self) -> Vec<(String, Value)> {
+        self.model
+            .registers()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), *self.sim.value(self.layout.reg_out[i])))
+            .collect()
+    }
+
+    /// Registers currently holding `ILLEGAL` — works without tracing.
+    pub fn poisoned_registers(&self) -> Vec<String> {
+        self.registers()
+            .into_iter()
+            .filter(|(_, v)| v.is_illegal())
+            .map(|(n, _)| n)
+            .collect()
+    }
+
+    /// Kernel statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.sim.stats()
+    }
+
+    /// The conflict report: every `ILLEGAL` occurrence, located to the
+    /// step and phase at which it became visible (§2.7). `None` when the
+    /// simulation was not traced.
+    pub fn conflicts(&self) -> Option<ConflictReport> {
+        let trace = self.sim.trace()?;
+        let mut conflicts = Vec::new();
+        for e in trace.events() {
+            if e.value != Value::Illegal {
+                continue;
+            }
+            let Some(visible_at) = PhaseTime::from_active_delta(e.at.delta) else {
+                continue;
+            };
+            let (site, name) = match self.layout.role(e.signal) {
+                SignalRole::Bus(n) => (ConflictSite::Bus, n.clone()),
+                SignalRole::ModIn1(n) | SignalRole::ModIn2(n) => {
+                    (ConflictSite::ModulePort, n.clone())
+                }
+                SignalRole::ModOp(n) => (ConflictSite::ModuleOpPort, n.clone()),
+                SignalRole::ModOut(n) => (ConflictSite::ModuleOut, n.clone()),
+                SignalRole::RegIn(n) => (ConflictSite::RegisterPort, n.clone()),
+                SignalRole::RegOut(n) => (ConflictSite::RegisterValue, n.clone()),
+                SignalRole::ControlStep | SignalRole::PhaseSignal => continue,
+            };
+            conflicts.push(Conflict {
+                site,
+                name,
+                visible_at,
+            });
+        }
+        Some(ConflictReport { conflicts })
+    }
+
+    /// The observable register commits: each change of a register's output
+    /// port, attributed to the control step whose `cr` phase stored it.
+    /// `None` when the simulation was not traced.
+    ///
+    /// A commit that stores the value already held is invisible (no signal
+    /// event) and therefore not listed; functional comparisons should
+    /// compare final values as well.
+    pub fn register_commits(&self) -> Option<Vec<RegisterCommit>> {
+        let trace = self.sim.trace()?;
+        let mut commits = Vec::new();
+        for e in trace.events() {
+            let SignalRole::RegOut(name) = self.layout.role(e.signal) else {
+                continue;
+            };
+            let Some(pt) = PhaseTime::from_active_delta(e.at.delta) else {
+                continue; // initial value, not a commit
+            };
+            // The output changes in the delta after cr, i.e. at ra of the
+            // following step; attribute the commit to the storing step.
+            commits.push(RegisterCommit {
+                register: name.clone(),
+                step: pt.step - 1,
+                value: e.value,
+            });
+        }
+        Some(commits)
+    }
+
+    /// Renders the recorded waveform as a VCD document, or `None` when
+    /// the simulation was not traced.
+    pub fn to_vcd(&self) -> Option<String> {
+        let trace = self.sim.trace()?;
+        let names: Vec<String> = self.sim.signal_names().map(str::to_string).collect();
+        Some(trace.to_vcd(&names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_model;
+    use crate::op::Op;
+    use crate::phase::Phase;
+    use crate::resource::{ModuleDecl, ModuleTiming};
+    use crate::tuples::TransferTuple;
+
+    #[test]
+    fn fig1_computes_r1_plus_r2() {
+        let model = fig1_model(3, 4);
+        let mut sim = RtSimulation::new(&model).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        assert_eq!(summary.register("R1"), Some(Value::Num(7)));
+        assert_eq!(summary.register("R2"), Some(Value::Num(4)));
+    }
+
+    #[test]
+    fn fig1_costs_six_deltas_per_step() {
+        let model = fig1_model(1, 1);
+        let mut sim = RtSimulation::new(&model).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        // §2.2: "The complete simulation takes CS_MAX × 6 delta simulation
+        // cycles" — plus the initialization cycle our kernel counts.
+        assert_eq!(
+            summary.stats.delta_cycles,
+            1 + PHASES_PER_STEP * model.cs_max() as u64
+        );
+    }
+
+    #[test]
+    fn phase_time_tracks_controller() {
+        let model = fig1_model(0, 0);
+        let mut sim = RtSimulation::new(&model).unwrap();
+        assert_eq!(sim.phase_time(), None);
+        sim.step_delta().unwrap(); // initial execution applied
+        sim.step_delta().unwrap(); // CS=1, PH=ra visible
+        assert_eq!(sim.phase_time(), Some(PhaseTime::new(1, Phase::Ra)));
+    }
+
+    #[test]
+    fn step_control_step_advances_one_step() {
+        let model = fig1_model(0, 0);
+        let mut sim = RtSimulation::new(&model).unwrap();
+        sim.step_delta().unwrap(); // init execution, CS/PH still (0, cr)
+        assert!(sim.step_control_step().unwrap());
+        // Six deltas make ra..cr of step 1 visible in turn.
+        assert_eq!(sim.phase_time(), Some(PhaseTime::new(1, Phase::Cr)));
+        assert!(sim.step_control_step().unwrap());
+        assert_eq!(sim.phase_time(), Some(PhaseTime::new(2, Phase::Cr)));
+    }
+
+    #[test]
+    fn traced_run_reports_commits() {
+        let model = fig1_model(10, 20);
+        let mut sim = RtSimulation::traced(&model).unwrap();
+        sim.run_to_completion().unwrap();
+        let commits = sim.register_commits().unwrap();
+        assert_eq!(
+            commits,
+            vec![RegisterCommit {
+                register: "R1".into(),
+                step: 6,
+                value: Value::Num(30)
+            }]
+        );
+    }
+
+    #[test]
+    fn clean_run_has_clean_conflict_report() {
+        let model = fig1_model(1, 2);
+        let mut sim = RtSimulation::traced(&model).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        assert!(summary.conflicts.unwrap().is_clean());
+        assert!(sim.poisoned_registers().is_empty());
+    }
+
+    /// Two transfers drive B1 in the same ra phase: the bus conflict must
+    /// surface as ILLEGAL at rb of that step and poison the destination.
+    #[test]
+    fn bus_conflict_is_localized() {
+        let mut m = RtModel::new("conflict", 6);
+        m.add_register_init("R1", Value::Num(1)).unwrap();
+        m.add_register_init("R2", Value::Num(2)).unwrap();
+        m.add_register("R3").unwrap();
+        m.add_bus("B1").unwrap();
+        m.add_bus("B2").unwrap();
+        m.add_module(ModuleDecl::single(
+            "ADD",
+            Op::Add,
+            ModuleTiming::Pipelined { latency: 1 },
+        ))
+        .unwrap();
+        m.add_module(ModuleDecl::single(
+            "CP",
+            Op::PassA,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        // Transfer 1 routes R1 over B1 at step 3 (read) for ADD.
+        m.add_transfer(
+            TransferTuple::new(3, "ADD")
+                .src_a("R1", "B1")
+                .src_b("R2", "B2")
+                .write(4, "B2", "R3"),
+        )
+        .unwrap();
+        // Transfer 2 also routes R2 over B1 at step 3 — the conflict.
+        m.add_transfer(
+            TransferTuple::new(3, "CP")
+                .src_a("R2", "B1")
+                .write(3, "B2", "R3"),
+        )
+        .unwrap();
+
+        let mut sim = RtSimulation::traced(&m).unwrap();
+        sim.run_to_completion().unwrap();
+        let report = sim.conflicts().unwrap();
+        assert!(!report.is_clean());
+        let first = report.first().unwrap();
+        assert_eq!(first.site, ConflictSite::Bus);
+        assert_eq!(first.name, "B1");
+        assert_eq!(first.visible_at, PhaseTime::new(3, Phase::Rb));
+    }
+
+    #[test]
+    fn vcd_export_available_when_traced() {
+        let model = fig1_model(1, 2);
+        let mut sim = RtSimulation::traced(&model).unwrap();
+        sim.run_to_completion().unwrap();
+        let vcd = sim.to_vcd().unwrap();
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("R1_out"));
+
+        let mut untraced = RtSimulation::new(&model).unwrap();
+        untraced.run_to_completion().unwrap();
+        assert!(untraced.to_vcd().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Step/phase transcripts: an RT-level "waveform" for terminals.
+//!
+//! §2.7 argues the models are "easy to understand in the sense that there
+//! is a straightforward way of identifying register transfers"; a
+//! transcript makes that visible: one row per control-step phase, one
+//! column per observed object, `DISC` rows elided. This is the textual
+//! sibling of the VCD export — resolution is exactly one delta cycle, so
+//! conflicts show up as `ILLEGAL` in the row of their phase.
+
+use std::fmt;
+
+use clockless_kernel::{KernelError, SignalId, StepOutcome};
+
+use crate::model::RtModel;
+use crate::run::RtSimulation;
+use crate::value::Value;
+
+/// Errors from rendering a transcript.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TranscriptError {
+    /// A requested name is neither a register, a bus nor a module.
+    UnknownSignal(String),
+    /// The simulation failed.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for TranscriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranscriptError::UnknownSignal(n) => {
+                write!(f, "`{n}` names no register, bus or module of the model")
+            }
+            TranscriptError::Kernel(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranscriptError {}
+
+impl From<KernelError> for TranscriptError {
+    fn from(e: KernelError) -> Self {
+        TranscriptError::Kernel(e)
+    }
+}
+
+/// Runs `model` and renders the phase-by-phase values of the named
+/// objects (registers show their output port, buses their value, modules
+/// their output port). Rows in which every column is `DISC` are elided
+/// with a `…` marker.
+///
+/// # Errors
+///
+/// [`TranscriptError::UnknownSignal`] for unknown names, or kernel errors
+/// from the run.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::model::fig1_model;
+/// use clockless_core::transcript::transcript;
+///
+/// let text = transcript(&fig1_model(3, 4), &["B1", "ADD", "R1"])?;
+/// assert!(text.contains("ILLEGAL") == false);
+/// assert!(text.contains("5.rb")); // the operand on B1
+/// # Ok::<(), clockless_core::transcript::TranscriptError>(())
+/// ```
+pub fn transcript(model: &RtModel, names: &[&str]) -> Result<String, TranscriptError> {
+    let mut sim = RtSimulation::new(model)?;
+    let layout = sim.layout();
+
+    // Resolve names: register output, bus, then module output.
+    let mut columns: Vec<(String, SignalId)> = Vec::with_capacity(names.len());
+    for &name in names {
+        let sid = model
+            .register_by_name(name)
+            .map(|r| layout.reg_out[r.0 as usize])
+            .or_else(|| model.bus_by_name(name).map(|b| layout.bus[b.0 as usize]))
+            .or_else(|| {
+                model
+                    .module_by_name(name)
+                    .map(|m| layout.mod_out[m.0 as usize])
+            })
+            .ok_or_else(|| TranscriptError::UnknownSignal(name.to_string()))?;
+        columns.push((name.to_string(), sid));
+    }
+
+    // Column widths: at least the header, at least "ILLEGAL".
+    let widths: Vec<usize> = columns.iter().map(|(n, _)| n.len().max(7)).collect();
+
+    let mut out = String::new();
+    {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{:>8} ", "step.ph");
+        for ((n, _), w) in columns.iter().zip(&widths) {
+            let _ = write!(out, " {n:>w$}");
+        }
+        out.push('\n');
+    }
+
+    let mut elided = false;
+    loop {
+        match sim.step_delta()? {
+            StepOutcome::Quiescent => break,
+            _ => {
+                let Some(pt) = sim.phase_time() else { continue };
+                let values: Vec<Value> = columns
+                    .iter()
+                    .map(|(_, sid)| *sim.kernel().value(*sid))
+                    .collect();
+                if values.iter().all(|v| v.is_disc()) {
+                    if !elided {
+                        out.push_str("     ...\n");
+                        elided = true;
+                    }
+                    continue;
+                }
+                elided = false;
+                use std::fmt::Write as _;
+                let _ = write!(out, "{:>8} ", format!("{}.{}", pt.step, pt.phase));
+                for (v, w) in values.iter().zip(&widths) {
+                    let _ = write!(out, " {:>w$}", v.to_string());
+                }
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_model;
+    use crate::prelude::*;
+
+    #[test]
+    fn fig1_transcript_shows_the_transfer() {
+        let text = transcript(&fig1_model(3, 4), &["B1", "B2", "ADD", "R1"]).unwrap();
+        // Operands ride the buses at rb of step 5.
+        let rb5 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("5.rb"))
+            .unwrap();
+        assert!(rb5.contains('3') && rb5.contains('4'), "{rb5}");
+        // The sum is on ADD_out at wa of step 6 and in R1 from step 7.
+        let wa6 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("6.wa"))
+            .unwrap();
+        assert!(wa6.contains('7'), "{wa6}");
+        // With only the bus observed, everything outside steps 5/6 is
+        // quiet and elided.
+        let bus_only = transcript(&fig1_model(3, 4), &["B1"]).unwrap();
+        assert!(
+            bus_only.contains("..."),
+            "quiet phases are elided:\n{bus_only}"
+        );
+        assert!(!bus_only.contains("1.ra"), "{bus_only}");
+    }
+
+    #[test]
+    fn conflict_appears_as_illegal_in_its_phase() {
+        let mut m = RtModel::new("c", 4);
+        m.add_register_init("A", Value::Num(1)).unwrap();
+        m.add_register_init("B", Value::Num(2)).unwrap();
+        m.add_register("T").unwrap();
+        m.add_bus("X").unwrap();
+        m.add_bus("Y").unwrap();
+        m.add_module(ModuleDecl::single(
+            "CP1",
+            Op::PassA,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m.add_module(ModuleDecl::single(
+            "CP2",
+            Op::PassA,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP1")
+                .src_a("A", "X")
+                .write(2, "Y", "T"),
+        )
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP2")
+                .src_a("B", "X")
+                .write(2, "Y", "T"),
+        )
+        .unwrap();
+        let text = transcript(&m, &["X"]).unwrap();
+        let rb2 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("2.rb"))
+            .unwrap();
+        assert!(rb2.contains("ILLEGAL"), "{text}");
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let err = transcript(&fig1_model(1, 1), &["nope"]).unwrap_err();
+        assert!(matches!(err, TranscriptError::UnknownSignal(_)));
+    }
+
+    #[test]
+    fn register_columns_show_committed_values() {
+        let text = transcript(&fig1_model(10, 20), &["R1"]).unwrap();
+        // R1 = 10 until the commit of step 6 becomes visible at step 7 ra.
+        let ra7 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("7.ra"))
+            .unwrap();
+        assert!(ra7.contains("30"), "{ra7}");
+    }
+}

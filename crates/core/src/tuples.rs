@@ -1,0 +1,513 @@
+//! Register transfers as 9-tuples, and their expansion into transfer
+//! processes.
+//!
+//! The paper denotes a concrete register transfer by the tuple
+//!
+//! ```text
+//! (R1, B1, R2, B2, 5, ADD, 6, B1, R1)
+//! ```
+//!
+//! read as: *in control step 5, route register `R1` over bus `B1` to the
+//! left input of module `ADD` and `R2` over `B2` to its right input; in
+//! step 6 route the module's output over `B1` into register `R1`*. Partial
+//! tuples use `-` for absent elements. §2.7 gives the straightforward,
+//! bidirectional mapping between tuples and transfer-process instances;
+//! [`TransferTuple::expand`] implements the forward direction (the reverse
+//! lives in `clockless-verify`).
+//!
+//! The IKS extension (§3) adds an operation selector: our textual form is
+//! `MODULE:op` in the module position.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Op;
+use crate::phase::{Phase, Step};
+
+/// One operand route: a register read onto a bus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OperandRoute {
+    /// Source register name.
+    pub register: String,
+    /// Bus carrying the value to the module port.
+    pub bus: String,
+}
+
+impl OperandRoute {
+    /// Creates a route from register to bus.
+    pub fn new(register: impl Into<String>, bus: impl Into<String>) -> OperandRoute {
+        OperandRoute {
+            register: register.into(),
+            bus: bus.into(),
+        }
+    }
+}
+
+/// The result route: module output over a bus into a register.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WriteRoute {
+    /// Control step of the write-back (`wa`/`wb` phases).
+    pub step: Step,
+    /// Bus carrying the result.
+    pub bus: String,
+    /// Destination register name.
+    pub register: String,
+}
+
+impl WriteRoute {
+    /// Creates a write-back route.
+    pub fn new(step: Step, bus: impl Into<String>, register: impl Into<String>) -> WriteRoute {
+        WriteRoute {
+            step,
+            bus: bus.into(),
+            register: register.into(),
+        }
+    }
+}
+
+/// A register transfer: the paper's 9-tuple plus the IKS operation
+/// extension.
+///
+/// # Examples
+///
+/// The transfer of paper Fig. 1:
+///
+/// ```
+/// use clockless_core::tuples::TransferTuple;
+///
+/// let t: TransferTuple = "(R1,B1,R2,B2,5,ADD,6,B1,R1)".parse()?;
+/// assert_eq!(t.read_step, 5);
+/// assert_eq!(t.module, "ADD");
+/// assert_eq!(t.to_string(), "(R1,B1,R2,B2,5,ADD,6,B1,R1)");
+/// # Ok::<(), clockless_core::tuples::ParseTupleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferTuple {
+    /// Route for the module's first (left) operand, if used.
+    pub src_a: Option<OperandRoute>,
+    /// Route for the module's second (right) operand, if used.
+    pub src_b: Option<OperandRoute>,
+    /// Control step in which operands are read (`ra`/`rb` phases).
+    pub read_step: Step,
+    /// The functional module performing the operation.
+    pub module: String,
+    /// Operation selector for multi-operation modules (IKS extension,
+    /// §3). `None` for single-operation modules.
+    pub op: Option<Op>,
+    /// Result route, if the transfer writes a register this tuple.
+    pub write: Option<WriteRoute>,
+}
+
+impl TransferTuple {
+    /// Starts building a tuple for `module` with operands read at
+    /// `read_step`.
+    pub fn new(read_step: Step, module: impl Into<String>) -> TransferTuple {
+        TransferTuple {
+            src_a: None,
+            src_b: None,
+            read_step,
+            module: module.into(),
+            op: None,
+            write: None,
+        }
+    }
+
+    /// Sets the first-operand route.
+    pub fn src_a(mut self, register: impl Into<String>, bus: impl Into<String>) -> Self {
+        self.src_a = Some(OperandRoute::new(register, bus));
+        self
+    }
+
+    /// Sets the second-operand route.
+    pub fn src_b(mut self, register: impl Into<String>, bus: impl Into<String>) -> Self {
+        self.src_b = Some(OperandRoute::new(register, bus));
+        self
+    }
+
+    /// Sets the operation selector (IKS extension).
+    pub fn op(mut self, op: Op) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Sets the write-back route.
+    pub fn write(
+        mut self,
+        step: Step,
+        bus: impl Into<String>,
+        register: impl Into<String>,
+    ) -> Self {
+        self.write = Some(WriteRoute::new(step, bus, register));
+        self
+    }
+
+    /// Expands the tuple into its transfer-process specifications,
+    /// following the mapping of §2.7: up to two `ra`-phase, two
+    /// `rb`-phase, one `wa`-phase and one `wb`-phase processes, plus the
+    /// operation-select process for multi-operation modules.
+    pub fn expand(&self) -> Vec<TransferSpec> {
+        let mut out = Vec::with_capacity(7);
+        if let Some(a) = &self.src_a {
+            out.push(TransferSpec {
+                step: self.read_step,
+                phase: Phase::Ra,
+                src: Endpoint::RegOut(a.register.clone()),
+                dst: Endpoint::Bus(a.bus.clone()),
+            });
+            out.push(TransferSpec {
+                step: self.read_step,
+                phase: Phase::Rb,
+                src: Endpoint::Bus(a.bus.clone()),
+                dst: Endpoint::ModIn1(self.module.clone()),
+            });
+        }
+        if let Some(b) = &self.src_b {
+            out.push(TransferSpec {
+                step: self.read_step,
+                phase: Phase::Ra,
+                src: Endpoint::RegOut(b.register.clone()),
+                dst: Endpoint::Bus(b.bus.clone()),
+            });
+            out.push(TransferSpec {
+                step: self.read_step,
+                phase: Phase::Rb,
+                src: Endpoint::Bus(b.bus.clone()),
+                dst: Endpoint::ModIn2(self.module.clone()),
+            });
+        }
+        if let Some(op) = self.op {
+            out.push(TransferSpec {
+                step: self.read_step,
+                phase: Phase::Rb,
+                src: Endpoint::ConstOp(op),
+                dst: Endpoint::ModOp(self.module.clone()),
+            });
+        }
+        if let Some(w) = &self.write {
+            out.push(TransferSpec {
+                step: w.step,
+                phase: Phase::Wa,
+                src: Endpoint::ModOut(self.module.clone()),
+                dst: Endpoint::Bus(w.bus.clone()),
+            });
+            out.push(TransferSpec {
+                step: w.step,
+                phase: Phase::Wb,
+                src: Endpoint::Bus(w.bus.clone()),
+                dst: Endpoint::RegIn(w.register.clone()),
+            });
+        }
+        out
+    }
+}
+
+/// A connection endpoint of one transfer process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A register's output port (transfer source).
+    RegOut(String),
+    /// A register's input port (transfer sink).
+    RegIn(String),
+    /// A bus (source or sink).
+    Bus(String),
+    /// A module's first operand port (sink).
+    ModIn1(String),
+    /// A module's second operand port (sink).
+    ModIn2(String),
+    /// A module's output port (source).
+    ModOut(String),
+    /// A module's operation-select port (sink; IKS extension).
+    ModOp(String),
+    /// A constant operation code (source for [`Endpoint::ModOp`]).
+    ConstOp(Op),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::RegOut(r) => write!(f, "{r}_out"),
+            Endpoint::RegIn(r) => write!(f, "{r}_in"),
+            Endpoint::Bus(b) => write!(f, "{b}"),
+            Endpoint::ModIn1(m) => write!(f, "{m}_in1"),
+            Endpoint::ModIn2(m) => write!(f, "{m}_in2"),
+            Endpoint::ModOut(m) => write!(f, "{m}_out"),
+            Endpoint::ModOp(m) => write!(f, "{m}_op"),
+            Endpoint::ConstOp(op) => write!(f, "const({op})"),
+        }
+    }
+}
+
+/// One transfer-process instance: the paper's `TRANS` generic-mapped to a
+/// step and phase, port-mapped to a source and a sink.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TransferSpec {
+    /// The control step at which the process is active.
+    pub step: Step,
+    /// The phase at which the process assigns the source to the sink.
+    pub phase: Phase,
+    /// The value source (read at `phase`).
+    pub src: Endpoint,
+    /// The value sink (assigned at `phase`, disconnected at the
+    /// successor phase).
+    pub dst: Endpoint,
+}
+
+impl TransferSpec {
+    /// Instance name in the style the paper uses
+    /// (e.g. `R1_out_B1_5`, `B1_ADD_in1_5`).
+    pub fn instance_name(&self) -> String {
+        format!("{}_{}_{}", self.src, self.dst, self.step)
+    }
+}
+
+impl fmt::Display for TransferSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} @ step {} phase {}",
+            self.src, self.dst, self.step, self.phase
+        )
+    }
+}
+
+/// Error parsing a [`TransferTuple`] from the paper's textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTupleError {
+    msg: String,
+}
+
+impl ParseTupleError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseTupleError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseTupleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid transfer tuple: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseTupleError {}
+
+impl fmt::Display for TransferTuple {
+    /// Prints in the paper's 9-tuple notation, with `-` for absent
+    /// elements and `MODULE:op` for the operation extension.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dash = "-".to_string();
+        let (ra, ba) = self
+            .src_a
+            .as_ref()
+            .map(|r| (r.register.clone(), r.bus.clone()))
+            .unwrap_or((dash.clone(), dash.clone()));
+        let (rb, bb) = self
+            .src_b
+            .as_ref()
+            .map(|r| (r.register.clone(), r.bus.clone()))
+            .unwrap_or((dash.clone(), dash.clone()));
+        let module = match self.op {
+            Some(op) => format!("{}:{}", self.module, op),
+            None => self.module.clone(),
+        };
+        let (ws, wb, wr) = self
+            .write
+            .as_ref()
+            .map(|w| (w.step.to_string(), w.bus.clone(), w.register.clone()))
+            .unwrap_or((dash.clone(), dash.clone(), dash));
+        write!(
+            f,
+            "({ra},{ba},{rb},{bb},{},{module},{ws},{wb},{wr})",
+            self.read_step
+        )
+    }
+}
+
+impl FromStr for TransferTuple {
+    type Err = ParseTupleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .trim()
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| ParseTupleError::new("missing parentheses"))?;
+        let parts: Vec<&str> = body.split(',').map(str::trim).collect();
+        if parts.len() != 9 {
+            return Err(ParseTupleError::new(format!(
+                "expected 9 elements, found {}",
+                parts.len()
+            )));
+        }
+        let opt = |s: &str| -> Option<String> {
+            if s == "-" {
+                None
+            } else {
+                Some(s.to_string())
+            }
+        };
+        let src_a = match (opt(parts[0]), opt(parts[1])) {
+            (Some(r), Some(b)) => Some(OperandRoute {
+                register: r,
+                bus: b,
+            }),
+            (None, None) => None,
+            _ => {
+                return Err(ParseTupleError::new(
+                    "operand A must name both register and bus",
+                ))
+            }
+        };
+        let src_b = match (opt(parts[2]), opt(parts[3])) {
+            (Some(r), Some(b)) => Some(OperandRoute {
+                register: r,
+                bus: b,
+            }),
+            (None, None) => None,
+            _ => {
+                return Err(ParseTupleError::new(
+                    "operand B must name both register and bus",
+                ))
+            }
+        };
+        let read_step: Step = parts[4]
+            .parse()
+            .map_err(|_| ParseTupleError::new(format!("bad read step `{}`", parts[4])))?;
+        let (module, op) = match parts[5].split_once(':') {
+            Some((m, o)) => {
+                let op = o
+                    .parse::<Op>()
+                    .map_err(|e| ParseTupleError::new(e.to_string()))?;
+                (m.to_string(), Some(op))
+            }
+            None => (parts[5].to_string(), None),
+        };
+        if module.is_empty() || module == "-" {
+            return Err(ParseTupleError::new("module name is required"));
+        }
+        let write = match (opt(parts[6]), opt(parts[7]), opt(parts[8])) {
+            (Some(s), Some(b), Some(r)) => {
+                let step: Step = s
+                    .parse()
+                    .map_err(|_| ParseTupleError::new(format!("bad write step `{s}`")))?;
+                Some(WriteRoute {
+                    step,
+                    bus: b,
+                    register: r,
+                })
+            }
+            (None, None, None) => None,
+            _ => {
+                return Err(ParseTupleError::new(
+                    "write-back must name step, bus and register together",
+                ))
+            }
+        };
+        Ok(TransferTuple {
+            src_a,
+            src_b,
+            read_step,
+            module,
+            op,
+            write,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> TransferTuple {
+        TransferTuple::new(5, "ADD")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1")
+    }
+
+    #[test]
+    fn fig1_expansion_matches_paper_mapping() {
+        // §2.7 derives exactly six TRANS instances from the Fig. 1 tuple.
+        let specs = fig1().expand();
+        assert_eq!(specs.len(), 6);
+        assert_eq!(
+            specs[0],
+            TransferSpec {
+                step: 5,
+                phase: Phase::Ra,
+                src: Endpoint::RegOut("R1".into()),
+                dst: Endpoint::Bus("B1".into()),
+            }
+        );
+        assert_eq!(specs[0].instance_name(), "R1_out_B1_5");
+        assert_eq!(specs[1].instance_name(), "B1_ADD_in1_5");
+        assert_eq!(specs[2].instance_name(), "R2_out_B2_5");
+        assert_eq!(specs[3].instance_name(), "B2_ADD_in2_5");
+        assert_eq!(specs[4].instance_name(), "ADD_out_B1_6");
+        assert_eq!(specs[5].instance_name(), "B1_R1_in_6");
+        // Phases follow Fig. 2.
+        assert_eq!(specs[4].phase, Phase::Wa);
+        assert_eq!(specs[5].phase, Phase::Wb);
+    }
+
+    #[test]
+    fn tuple_display_parse_roundtrip() {
+        let t = fig1();
+        let s = t.to_string();
+        assert_eq!(s, "(R1,B1,R2,B2,5,ADD,6,B1,R1)");
+        assert_eq!(s.parse::<TransferTuple>().unwrap(), t);
+    }
+
+    #[test]
+    fn partial_tuples_roundtrip() {
+        // The paper's reconstruction examples use '-' for unknown parts.
+        let t: TransferTuple = "(R1,B1,-,-,5,ADD,-,-,-)".parse().unwrap();
+        assert!(t.src_b.is_none());
+        assert!(t.write.is_none());
+        assert_eq!(t.to_string(), "(R1,B1,-,-,5,ADD,-,-,-)");
+    }
+
+    #[test]
+    fn op_extension_roundtrip() {
+        let t: TransferTuple = "(Y,BusA,-,-,3,XADD:shr,4,BusB,X)".parse().unwrap();
+        assert_eq!(t.op, Some(Op::Shr));
+        assert_eq!(t.to_string(), "(Y,BusA,-,-,3,XADD:shr,4,BusB,X)");
+        // Op expansion adds the operation-select process.
+        let specs = t.expand();
+        assert!(specs
+            .iter()
+            .any(|s| matches!(&s.dst, Endpoint::ModOp(m) if m == "XADD")));
+    }
+
+    #[test]
+    fn unary_transfer_expands_to_four() {
+        let t = TransferTuple::new(2, "COPY")
+            .src_a("Z", "Z_R_link")
+            .write(3, "Z_R_link2", "Rfile");
+        assert_eq!(t.expand().len(), 4);
+    }
+
+    #[test]
+    fn malformed_tuples_rejected() {
+        assert!("(R1,B1)".parse::<TransferTuple>().is_err());
+        assert!("R1,B1,R2,B2,5,ADD,6,B1,R1"
+            .parse::<TransferTuple>()
+            .is_err());
+        assert!("(R1,-,R2,B2,5,ADD,6,B1,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+        assert!("(R1,B1,R2,B2,x,ADD,6,B1,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+        assert!("(R1,B1,R2,B2,5,-,6,B1,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+        assert!("(R1,B1,R2,B2,5,ADD,6,-,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+        assert!("(R1,B1,R2,B2,5,ADD:frob,6,B1,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+    }
+}

@@ -1,0 +1,591 @@
+//! Parsing the paper's VHDL subset back into model structure.
+//!
+//! The inverse of [`crate::vhdl`]: a §2.7-style "concrete register
+//! transfer model" — the top-level architecture instantiating
+//! `CONTROLLER`, `TRANS`, `REG` and module entities — is parsed back into
+//! resources and [`TransferSpec`]s. Together with the tuple
+//! reconstruction of `clockless-verify` this closes the loop the paper's
+//! formal semantics promise: VHDL source ↔ transfer processes ↔ tuples,
+//! in both directions.
+//!
+//! The accepted grammar is the emitted subset (§2 conventions):
+//! module entities carry their timing in the
+//! `-- Section 2.6 style module: NAME (timing)` header comment and their
+//! operations as the `r := <expr>` bodies this library generates; the
+//! top architecture is recognized as the one instantiating
+//! `work.CONTROLLER`.
+
+use std::fmt;
+
+use crate::op::Op;
+use crate::phase::{Phase, Step};
+use crate::resource::{ModuleDecl, ModuleTiming};
+use crate::tuples::{Endpoint, TransferSpec};
+use crate::value::Value;
+
+/// A design parsed from VHDL: resources plus raw transfer processes
+/// (turn the specs into tuples with
+/// `clockless_verify::semantics::reconstruct_partials`/`merge_partials`,
+/// or via `clockless_verify::model_from_vhdl`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedDesign {
+    /// The top entity's name.
+    pub name: String,
+    /// The controller's `CS_MAX` generic.
+    pub cs_max: Step,
+    /// Registers with their initial values (from the `_out` signal
+    /// defaults).
+    pub registers: Vec<(String, Value)>,
+    /// Bus names.
+    pub buses: Vec<String>,
+    /// Module declarations (operations and timing recovered from the
+    /// module entities).
+    pub modules: Vec<ModuleDecl>,
+    /// One entry per `TRANS` instantiation.
+    pub specs: Vec<TransferSpec>,
+}
+
+/// Errors from parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseVhdlError {
+    /// No architecture instantiating `work.CONTROLLER` was found.
+    NoTopArchitecture,
+    /// A statement could not be parsed.
+    Malformed {
+        /// The offending statement (trimmed).
+        statement: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A module entity's operation expression is not in the subset.
+    UnknownExpression(String),
+    /// A `TRANS` port refers to a name that is neither a declared
+    /// register port, module port nor bus.
+    UnknownSignal(String),
+}
+
+impl fmt::Display for ParseVhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseVhdlError::NoTopArchitecture => {
+                write!(f, "no architecture instantiates work.CONTROLLER")
+            }
+            ParseVhdlError::Malformed { statement, reason } => {
+                write!(f, "cannot parse `{statement}`: {reason}")
+            }
+            ParseVhdlError::UnknownExpression(e) => {
+                write!(f, "operation expression `{e}` is not in the subset")
+            }
+            ParseVhdlError::UnknownSignal(s) => {
+                write!(f, "`{s}` is not a declared port or bus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseVhdlError {}
+
+/// Reverse of the emitter's operation table.
+fn expr_op(expr: &str) -> Option<Op> {
+    let e = expr.trim();
+    Some(match e {
+        "a + b" => Op::Add,
+        "a - b" => Op::Sub,
+        "a * b" => Op::Mul,
+        "a" => Op::PassA,
+        "b" => Op::PassB,
+        "-a" => Op::Neg,
+        "abs a" => Op::Abs,
+        "minimum(a, b)" => Op::Min,
+        "maximum(a, b)" => Op::Max,
+        "to_integer(shift_right(to_signed(a, 64), b))" => Op::Shr,
+        "to_integer(shift_left(to_signed(a, 64), b))" => Op::Shl,
+        _ => {
+            let scaled = e.strip_prefix("(a * b) / ")?;
+            let div: i64 = scaled.parse().ok()?;
+            if div.count_ones() == 1 {
+                Op::MulFx(div.trailing_zeros() as u8)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+/// Strips `--` comments and normalizes whitespace.
+fn clean(line: &str) -> &str {
+    match line.find("--") {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+/// Parses a VHDL document in the subset.
+///
+/// # Errors
+///
+/// Any [`ParseVhdlError`] describing the first unparseable construct.
+pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
+    // ---- Pass 1: module entities (timing from the header comment, ----
+    // ---- operations from the process body).                        ----
+    let mut modules: Vec<ModuleDecl> = Vec::new();
+    {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0;
+        while i < lines.len() {
+            let line = lines[i].trim();
+            if let Some(rest) = line.strip_prefix("-- Section 2.6 style module: ") {
+                // "NAME (timing...)".
+                let (name, timing_txt) =
+                    rest.split_once(" (")
+                        .ok_or_else(|| ParseVhdlError::Malformed {
+                            statement: line.to_string(),
+                            reason: "expected `NAME (timing)`".into(),
+                        })?;
+                let timing_txt = timing_txt.trim_end_matches(&[')', '.'][..]);
+                let timing = parse_timing(timing_txt).ok_or_else(|| ParseVhdlError::Malformed {
+                    statement: line.to_string(),
+                    reason: format!("unknown timing `{timing_txt}`"),
+                })?;
+                // Scan the entity/architecture body for operations until
+                // `end transfer;`.
+                let mut ops: Vec<(usize, Op)> = Vec::new();
+                let mut single: Option<Op> = None;
+                let mut j = i + 1;
+                while j < lines.len() {
+                    let l = clean(lines[j]);
+                    if l == "end transfer;" {
+                        break;
+                    }
+                    if let Some(rest) = l.strip_prefix("when ") {
+                        // `when <idx> =>` of the multi-op case.
+                        if let Some((idx, _)) = rest.split_once(" =>") {
+                            if let Ok(idx) = idx.trim().parse::<usize>() {
+                                // The expression is on this or the next line:
+                                // `if <guard> then r := <expr>;`.
+                                for line in lines.iter().skip(j).take(3) {
+                                    if let Some(expr) = extract_assignment(clean(line)) {
+                                        let op = expr_op(&expr)
+                                            .ok_or(ParseVhdlError::UnknownExpression(expr))?;
+                                        ops.push((idx, op));
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    } else if let Some(expr) = extract_assignment(l) {
+                        if expr != "ILLEGAL" && expr != "DISC" && !expr.starts_with('m') {
+                            single = Some(
+                                expr_op(&expr).ok_or(ParseVhdlError::UnknownExpression(expr))?,
+                            );
+                        }
+                    }
+                    j += 1;
+                }
+                let op_list = if ops.is_empty() {
+                    vec![single.ok_or_else(|| ParseVhdlError::Malformed {
+                        statement: format!("module {name}"),
+                        reason: "no operation expression found".into(),
+                    })?]
+                } else {
+                    let mut sorted = ops;
+                    sorted.sort_by_key(|(i, _)| *i);
+                    sorted.into_iter().map(|(_, op)| op).collect()
+                };
+                modules.push(ModuleDecl {
+                    name: name.trim().to_string(),
+                    ops: op_list,
+                    timing,
+                });
+                i = j;
+            }
+            i += 1;
+        }
+    }
+
+    // ---- Pass 2: the top architecture. ----
+    let top_start = text
+        .match_indices("architecture transfer of ")
+        .map(|(pos, _)| pos)
+        .find(|&pos| {
+            let end = text[pos..]
+                .find("end transfer;")
+                .map(|e| pos + e)
+                .unwrap_or(text.len());
+            text[pos..end].contains("work.CONTROLLER")
+        })
+        .ok_or(ParseVhdlError::NoTopArchitecture)?;
+    let top_text = &text[top_start..];
+    let name = top_text["architecture transfer of ".len()..]
+        .split_whitespace()
+        .next()
+        .unwrap_or("top")
+        .to_string();
+    let decl_end = top_text.find("\nbegin").unwrap_or(top_text.len());
+    let decls = &top_text[..decl_end];
+    let body_end = top_text.find("end transfer;").unwrap_or(top_text.len());
+    let body = &top_text[decl_end..body_end];
+
+    // Signal declarations: collect (name, resolved, init).
+    let mut signals: Vec<(String, bool, Option<i64>)> = Vec::new();
+    for raw in decls.lines() {
+        let l = clean(raw);
+        let Some(rest) = l.strip_prefix("signal ") else {
+            continue;
+        };
+        let Some((names, ty)) = rest.split_once(':') else {
+            continue;
+        };
+        let ty = ty.trim().trim_end_matches(';');
+        let (ty, init) = match ty.split_once(":=") {
+            Some((t, v)) => (t.trim(), v.trim().parse::<i64>().ok()),
+            None => (ty, None),
+        };
+        let resolved = ty == "RInteger";
+        if ty != "RInteger" && ty != "Integer" {
+            continue; // CS : Natural, PH : Phase
+        }
+        for n in names.split(',') {
+            signals.push((n.trim().to_string(), resolved, init));
+        }
+    }
+
+    // ---- Pass 3: instantiations. ----
+    let mut registers: Vec<(String, Value)> = Vec::new();
+    let mut used_modules: Vec<String> = Vec::new();
+    let mut trans_raw: Vec<(Step, Phase, String, String)> = Vec::new();
+    let mut cs_max: Step = 0;
+    for stmt in body.split(';') {
+        let s: String = stmt.split_whitespace().collect::<Vec<_>>().join(" ");
+        if s.contains("entity work.REG ") {
+            // `X_proc : entity work.REG port map (PH, X_in, X_out)`
+            let ports = port_list(&s)?;
+            let reg = ports
+                .get(1)
+                .and_then(|p| p.strip_suffix("_in"))
+                .ok_or_else(|| malformed(&s, "REG port map"))?;
+            let init = signals
+                .iter()
+                .find(|(n, _, _)| n == &format!("{reg}_out"))
+                .and_then(|(_, _, i)| *i)
+                .map(Value::Num)
+                .unwrap_or(Value::Disc);
+            registers.push((reg.to_string(), init));
+        } else if s.contains("entity work.TRANS ") {
+            let (step, phase) = generic_pair(&s)?;
+            let ports = port_list(&s)?;
+            if ports.len() != 4 {
+                return Err(malformed(&s, "TRANS takes (CS, PH, src, dst)"));
+            }
+            trans_raw.push((step, phase, ports[2].clone(), ports[3].clone()));
+        } else if s.contains("entity work.CONTROLLER ") {
+            let inner = between(&s, "generic map (", ")")
+                .ok_or_else(|| malformed(&s, "CONTROLLER generic map"))?;
+            cs_max = inner
+                .trim()
+                .parse()
+                .map_err(|_| malformed(&s, "CS_MAX must be a number"))?;
+        } else if let Some(pos) = s.find("entity work.") {
+            let entity: String = s[pos + "entity work.".len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if modules.iter().any(|m| m.name == entity) {
+                used_modules.push(entity);
+            }
+        }
+    }
+    if cs_max == 0 {
+        return Err(ParseVhdlError::NoTopArchitecture);
+    }
+
+    // Buses: resolved signals that are not register inputs or module ports.
+    let mut buses: Vec<String> = Vec::new();
+    for (n, resolved, _) in &signals {
+        if !resolved {
+            continue;
+        }
+        let is_reg_in = n
+            .strip_suffix("_in")
+            .is_some_and(|r| registers.iter().any(|(name, _)| name == r));
+        let is_mod_port = ["_in1", "_in2", "_op"].iter().any(|suf| {
+            n.strip_suffix(suf)
+                .is_some_and(|m| modules.iter().any(|d| d.name == m))
+        });
+        if !is_reg_in && !is_mod_port {
+            buses.push(n.clone());
+        }
+    }
+
+    // Resolve TRANS ports into endpoints.
+    let modules: Vec<ModuleDecl> = modules
+        .into_iter()
+        .filter(|m| used_modules.contains(&m.name))
+        .collect();
+    let to_endpoint = |port: &str, dst_hint: Option<&str>| -> Result<Endpoint, ParseVhdlError> {
+        if let Ok(idx) = port.parse::<usize>() {
+            // A constant operation code; the destination names the module.
+            let module = dst_hint
+                .and_then(|d| d.strip_suffix("_op"))
+                .ok_or_else(|| ParseVhdlError::UnknownSignal(port.to_string()))?;
+            let decl = modules
+                .iter()
+                .find(|m| m.name == module)
+                .ok_or_else(|| ParseVhdlError::UnknownSignal(port.to_string()))?;
+            let op = decl
+                .ops
+                .get(idx)
+                .ok_or_else(|| ParseVhdlError::UnknownSignal(port.to_string()))?;
+            return Ok(Endpoint::ConstOp(*op));
+        }
+        for (suf, make) in [
+            ("_in1", Endpoint::ModIn1 as fn(String) -> Endpoint),
+            ("_in2", Endpoint::ModIn2),
+            ("_op", Endpoint::ModOp),
+        ] {
+            if let Some(m) = port.strip_suffix(suf) {
+                if modules.iter().any(|d| d.name == m) {
+                    return Ok(make(m.to_string()));
+                }
+            }
+        }
+        if let Some(x) = port.strip_suffix("_out") {
+            if registers.iter().any(|(n, _)| n == x) {
+                return Ok(Endpoint::RegOut(x.to_string()));
+            }
+            if modules.iter().any(|d| d.name == x) {
+                return Ok(Endpoint::ModOut(x.to_string()));
+            }
+        }
+        if let Some(r) = port.strip_suffix("_in") {
+            if registers.iter().any(|(n, _)| n == r) {
+                return Ok(Endpoint::RegIn(r.to_string()));
+            }
+        }
+        if buses.iter().any(|b| b == port) {
+            return Ok(Endpoint::Bus(port.to_string()));
+        }
+        Err(ParseVhdlError::UnknownSignal(port.to_string()))
+    };
+
+    let mut specs = Vec::new();
+    for (step, phase, src, dst) in trans_raw {
+        let dst_ep = to_endpoint(&dst, None)?;
+        let src_ep = to_endpoint(&src, Some(&dst))?;
+        specs.push(TransferSpec {
+            step,
+            phase,
+            src: src_ep,
+            dst: dst_ep,
+        });
+    }
+
+    Ok(ParsedDesign {
+        name,
+        cs_max,
+        registers,
+        buses,
+        modules,
+        specs,
+    })
+}
+
+fn parse_timing(s: &str) -> Option<ModuleTiming> {
+    if s == "combinational" {
+        return Some(ModuleTiming::Combinational);
+    }
+    if let Some(l) = s.strip_prefix("pipelined, latency ") {
+        return Some(ModuleTiming::Pipelined {
+            latency: l.parse().ok()?,
+        });
+    }
+    if let Some(l) = s.strip_prefix("sequential, latency ") {
+        return Some(ModuleTiming::Sequential {
+            latency: l.parse().ok()?,
+        });
+    }
+    None
+}
+
+/// Extracts `<expr>` from a `r := <expr>;` fragment anywhere in the line
+/// (`r` must be a standalone identifier — `Integer := DISC` is not an
+/// assignment to `r`).
+fn extract_assignment(line: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(rel) = line[search..].find("r := ") {
+        let pos = search + rel;
+        let boundary = pos == 0
+            || !line[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            let rest = &line[pos + "r := ".len()..];
+            let end = rest.find(';')?;
+            return Some(rest[..end].trim().to_string());
+        }
+        search = pos + 1;
+    }
+    None
+}
+
+fn between<'a>(s: &'a str, open: &str, close: &str) -> Option<&'a str> {
+    let start = s.find(open)? + open.len();
+    let end = s[start..].find(close)? + start;
+    Some(&s[start..end])
+}
+
+fn malformed(stmt: &str, reason: &str) -> ParseVhdlError {
+    ParseVhdlError::Malformed {
+        statement: stmt.chars().take(80).collect(),
+        reason: reason.to_string(),
+    }
+}
+
+/// Parses `generic map (5, ra)`.
+fn generic_pair(s: &str) -> Result<(Step, Phase), ParseVhdlError> {
+    let inner =
+        between(s, "generic map (", ")").ok_or_else(|| malformed(s, "TRANS generic map"))?;
+    let (step, phase) = inner
+        .split_once(',')
+        .ok_or_else(|| malformed(s, "generic map needs (step, phase)"))?;
+    let step: Step = step
+        .trim()
+        .parse()
+        .map_err(|_| malformed(s, "step must be a number"))?;
+    let phase: Phase = phase
+        .trim()
+        .parse()
+        .map_err(|_| malformed(s, "unknown phase"))?;
+    Ok((step, phase))
+}
+
+/// Parses the last `port map (...)` of a statement into its elements.
+fn port_list(s: &str) -> Result<Vec<String>, ParseVhdlError> {
+    let inner = between(s, "port map (", ")").ok_or_else(|| malformed(s, "port map"))?;
+    Ok(inner.split(',').map(|p| p.trim().to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_model;
+    use crate::vhdl::emit_vhdl;
+
+    #[test]
+    fn fig1_roundtrips_through_vhdl() {
+        let model = fig1_model(3, 4);
+        let vhdl = emit_vhdl(&model).unwrap();
+        let parsed = parse_vhdl(&vhdl).unwrap();
+        assert_eq!(parsed.cs_max, 7);
+        assert_eq!(
+            parsed.registers,
+            vec![
+                ("R1".to_string(), Value::Num(3)),
+                ("R2".to_string(), Value::Num(4))
+            ]
+        );
+        assert_eq!(parsed.buses, vec!["B1".to_string(), "B2".to_string()]);
+        assert_eq!(parsed.modules.len(), 1);
+        assert_eq!(parsed.modules[0].ops, vec![Op::Add]);
+        assert_eq!(
+            parsed.modules[0].timing,
+            ModuleTiming::Pipelined { latency: 1 }
+        );
+        // All six transfer processes recovered, matching the expansion.
+        let expected: Vec<TransferSpec> = model.tuples().iter().flat_map(|t| t.expand()).collect();
+        assert_eq!(parsed.specs, expected);
+    }
+
+    #[test]
+    fn paper_style_fragment_parses() {
+        // A hand-written §2.7-style architecture (not emitted by us):
+        // whitespace and ordering differ from the generator's.
+        let vhdl = r#"
+-- Section 2.6 style module: ADD (pipelined, latency 1).
+entity ADD is
+  port (PH : in Phase; M_in1, M_in2 : in Integer; M_out : out Integer := DISC);
+end ADD;
+architecture transfer of ADD is
+begin
+  process
+    variable m1 : Integer := DISC;
+    variable r : Integer;
+    variable a, b : Integer;
+  begin
+    wait until PH = cm;
+    M_out <= m1;
+    a := M_in1;  b := M_in2;
+    if a = ILLEGAL or b = ILLEGAL then
+      r := ILLEGAL;
+    elsif a = DISC and b = DISC then
+      r := DISC;
+    elsif a /= DISC and b /= DISC then
+      r := a + b;
+    else
+      r := ILLEGAL;
+    end if;
+    m1 := r;
+  end process;
+end transfer;
+
+entity example is
+end example;
+
+architecture transfer of example is
+  signal CS : Natural;
+  signal PH : Phase;
+  signal ADD_in1, ADD_in2 : RInteger;
+  signal ADD_out : Integer;
+  signal R1_in, R2_in : RInteger;
+  signal R1_out : Integer := 3;
+  signal R2_out : Integer := 4;
+  signal B1 : RInteger;
+  signal B2 : RInteger;
+begin
+  ADD_proc : entity work.ADD port map (PH, ADD_in1, ADD_in2, ADD_out);
+  R1_proc : entity work.REG port map (PH, R1_in, R1_out);
+  R2_proc : entity work.REG port map (PH, R2_in, R2_out);
+  R1_out_B1_5 : entity work.TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  B1_ADD_in1_5 : entity work.TRANS generic map (5, rb) port map (CS, PH, B1, ADD_in1);
+  R2_out_B2_5 : entity work.TRANS generic map (5, ra) port map (CS, PH, R2_out, B2);
+  B2_ADD_in2_5 : entity work.TRANS generic map (5, rb) port map (CS, PH, B2, ADD_in2);
+  ADD_out_B1_6 : entity work.TRANS generic map (6, wa) port map (CS, PH, ADD_out, B1);
+  B1_R1_in_6 : entity work.TRANS generic map (6, wb) port map (CS, PH, B1, R1_in);
+  CONTROL : entity work.CONTROLLER generic map (7) port map (CS, PH);
+end transfer;
+"#;
+        let parsed = parse_vhdl(vhdl).unwrap();
+        assert_eq!(parsed.name, "example");
+        assert_eq!(parsed.cs_max, 7);
+        assert_eq!(parsed.specs.len(), 6);
+        assert_eq!(parsed.registers.len(), 2);
+        assert_eq!(parsed.buses, vec!["B1".to_string(), "B2".to_string()]);
+    }
+
+    #[test]
+    fn missing_controller_is_rejected() {
+        assert_eq!(
+            parse_vhdl("architecture transfer of x is\nbegin\nend transfer;"),
+            Err(ParseVhdlError::NoTopArchitecture)
+        );
+    }
+
+    #[test]
+    fn unknown_trans_signal_is_rejected() {
+        let vhdl = r#"
+architecture transfer of broken is
+  signal CS : Natural;
+  signal PH : Phase;
+begin
+  X : entity work.TRANS generic map (1, ra) port map (CS, PH, nowhere, nothing);
+  CONTROL : entity work.CONTROLLER generic map (3) port map (CS, PH);
+end transfer;
+"#;
+        assert!(matches!(
+            parse_vhdl(vhdl),
+            Err(ParseVhdlError::UnknownSignal(_))
+        ));
+    }
+}

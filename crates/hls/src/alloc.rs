@@ -1,0 +1,287 @@
+//! Allocation: binding values to registers (left-edge algorithm) and
+//! routes to buses.
+//!
+//! Lifetime rules follow from the model's phase semantics:
+//!
+//! * a node's value is **born** at its commit step (stored at that step's
+//!   `cr` phase) and must survive until its **last read** step (read at
+//!   that step's `ra` phase);
+//! * two values may share a register when the second is born no earlier
+//!   than the first's last read — a same-step read-then-commit is safe
+//!   because `ra` precedes `cr` within the step;
+//! * a bus carries at most one operand route (`ra`/`rb` phases) and at
+//!   most one result route (`wa`/`wb` phases) per step; the two uses never
+//!   collide, so operand and result routes are counted independently
+//!   (exactly how Fig. 1's `B1` carries an operand in step 5 and the
+//!   result in step 6).
+
+use std::collections::HashMap;
+
+use clockless_core::Step;
+
+use crate::dfg::{Dfg, NodeId, Operand};
+use crate::schedule::Schedule;
+
+/// A value that needs a register: a node result, a primary input or a
+/// constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueId {
+    /// A node's result.
+    Node(NodeId),
+    /// A primary input (preloaded).
+    Input(String),
+    /// A constant (preloaded).
+    Const(i64),
+}
+
+/// The allocation result: registers for every value, buses for every
+/// route.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    /// Register index per value.
+    pub register_of: HashMap<ValueId, usize>,
+    /// Total registers allocated.
+    pub register_count: usize,
+    /// Operand-route buses per node: `(bus_a, bus_b)`; `usize::MAX`
+    /// marks an absent operand.
+    pub operand_bus: Vec<(usize, usize)>,
+    /// Result-route bus per node.
+    pub result_bus: Vec<usize>,
+    /// Total buses allocated.
+    pub bus_count: usize,
+}
+
+impl Allocation {
+    /// The register index assigned to a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was not part of the allocated design.
+    pub fn register(&self, v: &ValueId) -> usize {
+        *self
+            .register_of
+            .get(v)
+            .unwrap_or_else(|| panic!("value {v:?} was not allocated"))
+    }
+}
+
+/// Computes the last step at which each value is read (0 = never read).
+fn last_reads(dfg: &Dfg, schedule: &Schedule) -> HashMap<ValueId, Step> {
+    let mut last: HashMap<ValueId, Step> = HashMap::new();
+    for (idx, node) in dfg.nodes().iter().enumerate() {
+        let t = schedule.read_step[idx];
+        for o in node.operands() {
+            let v = match o {
+                Operand::Node(n) => ValueId::Node(*n),
+                Operand::Input(n) => ValueId::Input(n.clone()),
+                Operand::Const(c) => ValueId::Const(*c),
+            };
+            let e = last.entry(v).or_insert(0);
+            *e = (*e).max(t);
+        }
+    }
+    last
+}
+
+/// Allocates registers (left-edge) and buses for a scheduled graph.
+///
+/// Output values are kept alive past the end of the schedule so they can
+/// be observed after the run.
+pub fn allocate(dfg: &Dfg, schedule: &Schedule) -> Allocation {
+    let last = last_reads(dfg, schedule);
+    let horizon = schedule.length + 1;
+
+    // Gather (value, birth, death) triples.
+    let mut values: Vec<(ValueId, Step, Step)> = Vec::new();
+    for name in dfg.inputs() {
+        let death = last
+            .get(&ValueId::Input(name.clone()))
+            .copied()
+            .unwrap_or(0);
+        values.push((ValueId::Input(name), 0, death));
+    }
+    for c in dfg.constants() {
+        let death = last.get(&ValueId::Const(c)).copied().unwrap_or(0);
+        values.push((ValueId::Const(c), 0, death));
+    }
+    for idx in 0..dfg.len() {
+        let id = NodeId(idx as u32);
+        let birth = schedule.commit_step(id);
+        let mut death = last.get(&ValueId::Node(id)).copied().unwrap_or(birth);
+        if dfg.outputs().iter().any(|(_, n)| *n == id) {
+            death = horizon; // outputs survive to the end
+        }
+        death = death.max(birth);
+        values.push((ValueId::Node(id), birth, death));
+    }
+
+    // Left-edge: sort by birth, pack into the first register free at
+    // birth time. `free_at[r]` is the step from which register r may be
+    // overwritten (its current occupant's last read). Two values born in
+    // the same step may never share even if one is dead on arrival —
+    // their `cr`-phase commits would collide — hence the strict
+    // `last_birth` guard.
+    values.sort_by_key(|a| (a.1, a.2));
+    let mut register_of = HashMap::new();
+    let mut free_at: Vec<Step> = Vec::new();
+    let mut last_birth: Vec<Option<Step>> = Vec::new();
+    for (v, birth, death) in values {
+        let slot =
+            (0..free_at.len()).find(|&r| free_at[r] <= birth && last_birth[r] != Some(birth));
+        let r = match slot {
+            Some(r) => r,
+            None => {
+                free_at.push(0);
+                last_birth.push(None);
+                free_at.len() - 1
+            }
+        };
+        free_at[r] = death;
+        last_birth[r] = Some(birth);
+        register_of.insert(v, r);
+    }
+    let register_count = free_at.len();
+
+    // Bus assignment: operand routes and result routes counted per step,
+    // independently (different phases of the step).
+    let n = dfg.len();
+    let mut operand_bus = vec![(usize::MAX, usize::MAX); n];
+    let mut result_bus = vec![usize::MAX; n];
+    let mut reads_in_step: HashMap<Step, usize> = HashMap::new();
+    let mut writes_in_step: HashMap<Step, usize> = HashMap::new();
+    for idx in 0..n {
+        let id = NodeId(idx as u32);
+        let t = schedule.read_step[idx];
+        let reads = reads_in_step.entry(t).or_insert(0);
+        let a = *reads;
+        *reads += 1;
+        let b = if dfg.nodes()[idx].b.is_some() {
+            let b = *reads;
+            *reads += 1;
+            b
+        } else {
+            usize::MAX
+        };
+        operand_bus[idx] = (a, b);
+
+        let w = schedule.commit_step(id);
+        let writes = writes_in_step.entry(w).or_insert(0);
+        result_bus[idx] = *writes;
+        *writes += 1;
+    }
+    let max_reads = reads_in_step.values().copied().max().unwrap_or(0);
+    let max_writes = writes_in_step.values().copied().max().unwrap_or(0);
+    let bus_count = max_reads.max(max_writes);
+
+    Allocation {
+        register_of,
+        register_count,
+        operand_bus,
+        result_bus,
+        bus_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{list_schedule, ResourceClass, ResourceSet};
+    use clockless_core::{ModuleTiming, Op};
+
+    fn chain() -> (Dfg, Schedule) {
+        // t1 = a+b; t2 = t1+c; t3 = t2+d  (one ALU, fully serial)
+        let mut g = Dfg::new("chain");
+        let t1 = g.node(Op::Add, "a", "b").unwrap();
+        let t2 = g.node(Op::Add, t1, "c").unwrap();
+        let t3 = g.node(Op::Add, t2, "d").unwrap();
+        g.output("out", t3).unwrap();
+        let r = ResourceSet::new([ResourceClass::new(
+            "ALU",
+            [Op::Add],
+            ModuleTiming::Pipelined { latency: 1 },
+            1,
+        )]);
+        let s = list_schedule(&g, &r).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn chain_reuses_registers_for_dead_temporaries() {
+        let (g, s) = chain();
+        let a = allocate(&g, &s);
+        // 4 inputs alive at various times + temporaries. t1 dies when t2
+        // reads it; its register can host t2's result (born same step as
+        // a later commit). The output gets a register that is never
+        // reclaimed.
+        assert!(a.register_count <= 6, "got {}", a.register_count);
+        // Every value allocated.
+        assert_eq!(a.register_of.len(), 4 + 3);
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_same_register() {
+        let (g, s) = chain();
+        let a = allocate(&g, &s);
+        // t1 is born at commit(t1) and last read by t2; t2's result is
+        // born strictly later than that read, so sharing is possible.
+        // (Left-edge guarantees no *overlap*; we check soundness.)
+        let mut by_reg: HashMap<usize, Vec<ValueId>> = HashMap::new();
+        for (v, r) in &a.register_of {
+            by_reg.entry(*r).or_default().push(v.clone());
+        }
+        // Recompute lifetimes and check pairwise disjointness.
+        let last = super::last_reads(&g, &s);
+        let lifetime = |v: &ValueId| -> (Step, Step) {
+            match v {
+                ValueId::Node(n) => {
+                    let birth = s.commit_step(*n);
+                    let mut death = last.get(v).copied().unwrap_or(birth);
+                    if g.outputs().iter().any(|(_, o)| o == n) {
+                        death = s.length + 1;
+                    }
+                    (birth, death.max(birth))
+                }
+                _ => (0, last.get(v).copied().unwrap_or(0)),
+            }
+        };
+        for values in by_reg.values() {
+            for i in 0..values.len() {
+                for j in i + 1..values.len() {
+                    let (b1, d1) = lifetime(&values[i]);
+                    let (b2, d2) = lifetime(&values[j]);
+                    let disjoint = d1 <= b2 || d2 <= b1;
+                    assert!(disjoint, "{:?} and {:?} overlap", values[i], values[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bus_counts_cover_busiest_step() {
+        let (g, s) = chain();
+        let a = allocate(&g, &s);
+        // Serial chain: 2 operand routes and 1 result route per step.
+        assert_eq!(a.bus_count, 2);
+        for idx in 0..g.len() {
+            assert!(a.operand_bus[idx].0 < a.bus_count);
+            assert!(a.result_bus[idx] < a.bus_count);
+        }
+    }
+
+    #[test]
+    fn unary_nodes_use_single_operand_bus() {
+        let mut g = Dfg::new("u");
+        let n = g.unary(Op::Neg, "a").unwrap();
+        g.output("o", n).unwrap();
+        let r = ResourceSet::new([ResourceClass::new(
+            "NEG",
+            [Op::Neg],
+            ModuleTiming::Pipelined { latency: 1 },
+            1,
+        )]);
+        let s = list_schedule(&g, &r).unwrap();
+        let a = allocate(&g, &s);
+        assert_eq!(a.operand_bus[0].1, usize::MAX);
+        assert_eq!(a.bus_count, 1);
+    }
+}

@@ -1,0 +1,440 @@
+//! Dataflow graphs: the input of high-level synthesis.
+//!
+//! §4 of the paper names high-level synthesis as a primary client of the
+//! clock-free subset: "the result of scheduling and allocation is given as
+//! a register transfer model. High level synthesis results are translated
+//! into our subset and can then be simulated at a high level before the
+//! next synthesis steps". A [`Dfg`] is the operation-level description
+//! that scheduling and allocation start from.
+//!
+//! Graphs are DAGs by construction: a node can only reference nodes that
+//! already exist. Leaves are named primary inputs or integer constants.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use clockless_core::{Arity, Op};
+
+/// Identifies a node within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One operand of a node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The result of another node.
+    Node(NodeId),
+    /// A named primary input.
+    Input(String),
+    /// An integer constant.
+    Const(i64),
+}
+
+impl From<NodeId> for Operand {
+    fn from(n: NodeId) -> Self {
+        Operand::Node(n)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl From<&str> for Operand {
+    fn from(name: &str) -> Self {
+        Operand::Input(name.to_string())
+    }
+}
+
+/// One operation node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// First operand.
+    pub a: Operand,
+    /// Second operand (`None` for unary operations).
+    pub b: Option<Operand>,
+}
+
+/// Errors from building or evaluating a dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// An operand referenced a node id not (yet) in the graph.
+    UnknownNode(NodeId),
+    /// Operand count does not match the operation's arity.
+    ArityMismatch {
+        /// The operation.
+        op: Op,
+        /// Human-readable description.
+        detail: &'static str,
+    },
+    /// Evaluation was missing a primary input value.
+    MissingInput(String),
+    /// An output name was bound twice.
+    DuplicateOutput(String),
+    /// Evaluation produced a non-numeric result (e.g. shift overflow).
+    IllegalResult(NodeId),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode(n) => write!(f, "operand references unknown node {n}"),
+            DfgError::ArityMismatch { op, detail } => write!(f, "operands for `{op}`: {detail}"),
+            DfgError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+            DfgError::DuplicateOutput(n) => write!(f, "output `{n}` bound twice"),
+            DfgError::IllegalResult(n) => write!(f, "node {n} evaluated to an illegal value"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+/// A dataflow graph: operations over primary inputs and constants, with
+/// named outputs.
+///
+/// # Examples
+///
+/// `out = (a + b) * 2`:
+///
+/// ```
+/// use clockless_hls::dfg::Dfg;
+/// use clockless_core::Op;
+///
+/// let mut g = Dfg::new("demo");
+/// let sum = g.node(Op::Add, "a", "b")?;
+/// let scaled = g.node(Op::Mul, sum, 2)?;
+/// g.output("out", scaled)?;
+///
+/// let r = g.evaluate(&[("a", 3), ("b", 4)].into_iter().collect())?;
+/// assert_eq!(r["out"], 14);
+/// # Ok::<(), clockless_hls::dfg::DfgError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Dfg {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a binary operation node.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::UnknownNode`] if an operand references a node not yet
+    /// added (this is what keeps the graph acyclic), or
+    /// [`DfgError::ArityMismatch`] for unary operations.
+    pub fn node(
+        &mut self,
+        op: Op,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Result<NodeId, DfgError> {
+        if op.arity() != Arity::Binary {
+            return Err(DfgError::ArityMismatch {
+                op,
+                detail: "operation is unary; use `unary`",
+            });
+        }
+        let a = a.into();
+        let b = b.into();
+        self.check_operand(&a)?;
+        self.check_operand(&b)?;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, a, b: Some(b) });
+        Ok(id)
+    }
+
+    /// Adds a unary operation node.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::UnknownNode`] for dangling operands or
+    /// [`DfgError::ArityMismatch`] for binary operations.
+    pub fn unary(&mut self, op: Op, a: impl Into<Operand>) -> Result<NodeId, DfgError> {
+        if op.arity() == Arity::Binary {
+            return Err(DfgError::ArityMismatch {
+                op,
+                detail: "operation is binary; use `node`",
+            });
+        }
+        let a = a.into();
+        self.check_operand(&a)?;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, a, b: None });
+        Ok(id)
+    }
+
+    /// Binds a named output to a node's result.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::DuplicateOutput`] or [`DfgError::UnknownNode`].
+    pub fn output(&mut self, name: impl Into<String>, node: NodeId) -> Result<(), DfgError> {
+        let name = name.into();
+        if self.outputs.iter().any(|(n, _)| *n == name) {
+            return Err(DfgError::DuplicateOutput(name));
+        }
+        if node.index() >= self.nodes.len() {
+            return Err(DfgError::UnknownNode(node));
+        }
+        self.outputs.push((name, node));
+        Ok(())
+    }
+
+    fn check_operand(&self, o: &Operand) -> Result<(), DfgError> {
+        if let Operand::Node(n) = o {
+            if n.index() >= self.nodes.len() {
+                return Err(DfgError::UnknownNode(*n));
+            }
+        }
+        Ok(())
+    }
+
+    /// The nodes, indexable by [`NodeId`] (already topologically ordered).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The named outputs.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// All distinct primary-input names, in first-use order.
+    pub fn inputs(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for n in &self.nodes {
+            for o in n.operands() {
+                if let Operand::Input(name) = o {
+                    if !seen.contains(name) {
+                        seen.push(name.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All distinct constants, in first-use order.
+    pub fn constants(&self) -> Vec<i64> {
+        let mut seen = Vec::new();
+        for n in &self.nodes {
+            for o in n.operands() {
+                if let Operand::Const(c) = o {
+                    if !seen.contains(c) {
+                        seen.push(*c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The node-predecessors of `n` (operands that are nodes).
+    pub fn preds(&self, n: NodeId) -> Vec<NodeId> {
+        self.nodes[n.index()]
+            .operands()
+            .iter()
+            .filter_map(|o| match o {
+                Operand::Node(p) => Some(*p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The node-consumers of `n`.
+    pub fn succs(&self, n: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.operands().iter().any(|o| **o == Operand::Node(n)))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Evaluates the graph over `i64` arithmetic, returning the named
+    /// outputs. This is the *algorithmic-level* reference an emitted RT
+    /// model is verified against.
+    ///
+    /// # Errors
+    ///
+    /// [`DfgError::MissingInput`] if an input has no value, or
+    /// [`DfgError::IllegalResult`] if an operation's operand rules are
+    /// violated (e.g. an out-of-range shift amount).
+    pub fn evaluate(&self, inputs: &HashMap<&str, i64>) -> Result<HashMap<String, i64>, DfgError> {
+        use clockless_core::Value;
+        let mut values: Vec<i64> = Vec::with_capacity(self.nodes.len());
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let fetch = |o: &Operand| -> Result<i64, DfgError> {
+                match o {
+                    Operand::Node(n) => Ok(values[n.index()]),
+                    Operand::Input(name) => inputs
+                        .get(name.as_str())
+                        .copied()
+                        .ok_or_else(|| DfgError::MissingInput(name.clone())),
+                    Operand::Const(c) => Ok(*c),
+                }
+            };
+            let a = Value::Num(fetch(&node.a)?);
+            let b = match &node.b {
+                Some(o) => Value::Num(fetch(o)?),
+                None => Value::Disc,
+            };
+            match node.op.apply(a, b) {
+                Value::Num(v) => values.push(v),
+                _ => return Err(DfgError::IllegalResult(NodeId(idx as u32))),
+            }
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|(name, n)| (name.clone(), values[n.index()]))
+            .collect())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for a graph with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl Node {
+    /// The node's operands (one or two).
+    pub fn operands(&self) -> Vec<&Operand> {
+        match &self.b {
+            Some(b) => vec![&self.a, b],
+            None => vec![&self.a],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dfg {
+        let mut g = Dfg::new("s");
+        let s = g.node(Op::Add, "a", "b").unwrap();
+        let d = g.node(Op::Sub, s, "c").unwrap();
+        let m = g.node(Op::Mul, s, d).unwrap();
+        g.output("out", m).unwrap();
+        g
+    }
+
+    #[test]
+    fn evaluate_computes_expected() {
+        let g = sample();
+        let r = g
+            .evaluate(&[("a", 5), ("b", 3), ("c", 2)].into_iter().collect())
+            .unwrap();
+        // s = 8, d = 6, m = 48
+        assert_eq!(r["out"], 48);
+    }
+
+    #[test]
+    fn inputs_and_constants_deduplicated() {
+        let mut g = Dfg::new("c");
+        let x = g.node(Op::Mul, "x", 3).unwrap();
+        let y = g.node(Op::Add, x, 3).unwrap();
+        let z = g.node(Op::Add, y, "x").unwrap();
+        g.output("o", z).unwrap();
+        assert_eq!(g.inputs(), vec!["x".to_string()]);
+        assert_eq!(g.constants(), vec![3]);
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let g = sample();
+        assert_eq!(g.preds(NodeId(0)), vec![]);
+        assert_eq!(g.preds(NodeId(2)), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(g.succs(NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(g.succs(NodeId(2)), vec![]);
+    }
+
+    #[test]
+    fn dangling_operand_rejected() {
+        let mut g = Dfg::new("d");
+        let err = g.node(Op::Add, NodeId(7), 1).unwrap_err();
+        assert_eq!(err, DfgError::UnknownNode(NodeId(7)));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut g = Dfg::new("a");
+        assert!(matches!(
+            g.node(Op::Neg, "a", "b"),
+            Err(DfgError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            g.unary(Op::Add, "a"),
+            Err(DfgError::ArityMismatch { .. })
+        ));
+        let n = g.unary(Op::Neg, "a").unwrap();
+        let r = g.output("o", n);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn missing_input_detected() {
+        let g = sample();
+        let err = g
+            .evaluate(&[("a", 1), ("b", 2)].into_iter().collect())
+            .unwrap_err();
+        assert_eq!(err, DfgError::MissingInput("c".into()));
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let mut g = Dfg::new("o");
+        let n = g.node(Op::Add, 1, 2).unwrap();
+        g.output("x", n).unwrap();
+        assert_eq!(g.output("x", n), Err(DfgError::DuplicateOutput("x".into())));
+    }
+
+    #[test]
+    fn illegal_evaluation_surfaces() {
+        let mut g = Dfg::new("i");
+        let n = g.node(Op::Shr, "a", -1).unwrap();
+        g.output("o", n).unwrap();
+        let err = g.evaluate(&[("a", 8)].into_iter().collect()).unwrap_err();
+        assert_eq!(err, DfgError::IllegalResult(n));
+    }
+}

@@ -1,0 +1,334 @@
+//! Force-directed scheduling (Paulin & Knight) — the classic
+//! time-constrained scheduler of the paper's era.
+//!
+//! Where list scheduling answers "how fast under these resources?",
+//! force-directed scheduling answers the dual question: "how few
+//! resources under this deadline?". Operations keep their ASAP–ALAP
+//! mobility windows; *distribution graphs* estimate the expected number
+//! of concurrent operations per resource class and step; each iteration
+//! pins the (operation, step) placement with the lowest **force**
+//! (distribution at the step minus the window average), balancing
+//! concurrency and thereby minimizing the instance count.
+//!
+//! This simplified FDS recomputes windows and distributions after each
+//! placement (self-forces only; the window recomputation plays the role
+//! of predecessor/successor forces).
+
+use clockless_core::Step;
+
+use crate::dfg::{Dfg, NodeId};
+use crate::schedule::{alap, asap, critical_path, ResourceSet, Schedule, ScheduleError};
+
+/// Result of force-directed scheduling: the schedule plus the number of
+/// instances each resource class needs to realize it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdsResult {
+    /// The schedule (read steps, bindings, latencies, length).
+    pub schedule: Schedule,
+    /// Instances used per resource class (indexed like
+    /// `ResourceSet::classes`).
+    pub instances: Vec<usize>,
+}
+
+/// Schedules `dfg` within `deadline` steps, minimizing concurrency per
+/// resource class. Instance counts in `resources` are ignored — FDS
+/// *derives* them.
+///
+/// # Errors
+///
+/// [`ScheduleError::DeadlineTooTight`] when the deadline is below the
+/// critical path, or [`ScheduleError::NoResourceFor`] for uncovered
+/// operations.
+pub fn force_directed_schedule(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    deadline: Step,
+) -> Result<FdsResult, ScheduleError> {
+    let n = dfg.len();
+    let cp = critical_path(dfg, resources)?;
+    if deadline < cp {
+        return Err(ScheduleError::DeadlineTooTight {
+            deadline,
+            critical_path: cp,
+        });
+    }
+    let class_of: Vec<usize> = dfg
+        .nodes()
+        .iter()
+        .map(|node| {
+            resources
+                .class_for(node.op)
+                .ok_or(ScheduleError::NoResourceFor(node.op))
+        })
+        .collect::<Result<_, _>>()?;
+    let lat: Vec<u32> = class_of
+        .iter()
+        .map(|&c| resources.classes()[c].timing.latency())
+        .collect();
+
+    // `fixed[i] = Some(step)` once pinned.
+    let mut fixed: Vec<Option<Step>> = vec![None; n];
+
+    // Windows honoring both precedence and already-pinned placements.
+    let windows = |fixed: &[Option<Step>]| -> Result<Vec<(Step, Step)>, ScheduleError> {
+        let mut lo = asap(dfg, resources)?;
+        let mut hi = alap(dfg, resources, deadline)?;
+        // Tighten around pinned nodes, propagating forward and backward.
+        for _ in 0..n {
+            let mut changed = false;
+            for i in 0..n {
+                if let Some(s) = fixed[i] {
+                    if lo[i] != s || hi[i] != s {
+                        lo[i] = s;
+                        hi[i] = s;
+                        changed = true;
+                    }
+                }
+                let id = NodeId(i as u32);
+                for p in dfg.preds(id) {
+                    let min = lo[p.index()] + lat[p.index()] + 1;
+                    if lo[i] < min {
+                        lo[i] = min;
+                        changed = true;
+                    }
+                    let max = hi[i].saturating_sub(lat[p.index()] + 1);
+                    if hi[p.index()] > max {
+                        hi[p.index()] = max;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(lo.into_iter().zip(hi).collect())
+    };
+
+    // Pin all nodes, lowest-force first.
+    for _ in 0..n {
+        let win = windows(&fixed)?;
+        // Distribution graphs: expected initiations per (class, step).
+        let classes = resources.classes().len();
+        let mut dg = vec![vec![0.0f64; deadline as usize + 1]; classes];
+        for i in 0..n {
+            let (lo, hi) = win[i];
+            let w = (hi - lo + 1) as f64;
+            for t in lo..=hi {
+                dg[class_of[i]][t as usize] += 1.0 / w;
+            }
+        }
+        // Lowest self-force placement among unscheduled nodes.
+        let mut best: Option<(usize, Step, f64)> = None;
+        for i in 0..n {
+            if fixed[i].is_some() {
+                continue;
+            }
+            let (lo, hi) = win[i];
+            let class = class_of[i];
+            let avg: f64 =
+                (lo..=hi).map(|t| dg[class][t as usize]).sum::<f64>() / (hi - lo + 1) as f64;
+            for t in lo..=hi {
+                // Placing here raises DG(t) by (1 - 1/w); the self-force
+                // relative to the window average ranks the placements.
+                let force = dg[class][t as usize] - avg;
+                let better = match &best {
+                    None => true,
+                    Some((_, _, f)) => {
+                        force < *f - 1e-12
+                            || ((force - *f).abs() <= 1e-12
+                                && (i, t) < (best.as_ref().unwrap().0, best.as_ref().unwrap().1))
+                    }
+                };
+                if better {
+                    best = Some((i, t, force));
+                }
+            }
+        }
+        let (i, t, _) = best.expect("an unscheduled node exists each iteration");
+        fixed[i] = Some(t);
+    }
+
+    // Bind instances per class: earliest-free scan, like the list
+    // scheduler, growing the instance pool on demand.
+    let read_step: Vec<Step> = fixed.iter().map(|s| s.expect("all pinned")).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (read_step[i], i));
+    let mut pools: Vec<Vec<Step>> = vec![Vec::new(); resources.classes().len()];
+    let mut binding = vec![(0usize, 0usize); n];
+    for i in order {
+        let class = class_of[i];
+        let ii = resources.classes()[class].timing.initiation_interval() as Step;
+        let t = read_step[i];
+        let inst = match pools[class].iter().position(|&free| free <= t) {
+            Some(inst) => inst,
+            None => {
+                pools[class].push(1);
+                pools[class].len() - 1
+            }
+        };
+        pools[class][inst] = t + ii;
+        binding[i] = (class, inst);
+    }
+    let instances = pools.iter().map(Vec::len).collect();
+    let length = (0..n).map(|i| read_step[i] + lat[i]).max().unwrap_or(0);
+    Ok(FdsResult {
+        schedule: Schedule {
+            read_step,
+            binding,
+            latency: lat,
+            length,
+        },
+        instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ResourceClass;
+    use crate::workloads::diffeq;
+    use clockless_core::{ModuleTiming, Op};
+    use std::collections::HashMap;
+
+    fn classes() -> ResourceSet {
+        ResourceSet::new([
+            ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 99),
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub],
+                ModuleTiming::Pipelined { latency: 1 },
+                99,
+            ),
+        ])
+    }
+
+    fn check_valid(dfg: &Dfg, r: &FdsResult, deadline: Step) {
+        let s = &r.schedule;
+        assert!(s.length <= deadline);
+        for i in 0..dfg.len() {
+            let id = NodeId(i as u32);
+            for p in dfg.preds(id) {
+                assert!(
+                    s.read_step[i] > s.commit_step(p),
+                    "node {i} reads before producer {} commits",
+                    p.index()
+                );
+            }
+        }
+        // Binding consistency: no instance double-booked within its II.
+        let mut by_inst: HashMap<(usize, usize), Vec<Step>> = HashMap::new();
+        for i in 0..dfg.len() {
+            by_inst
+                .entry(s.binding[i])
+                .or_default()
+                .push(s.read_step[i]);
+        }
+        for ((class, _), mut steps) in by_inst {
+            steps.sort();
+            let ii = classes().classes()[class].timing.initiation_interval() as Step;
+            for w in steps.windows(2) {
+                assert!(w[1] - w[0] >= ii, "initiations too close: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diffeq_at_critical_path_is_valid() {
+        let g = diffeq();
+        let r = classes();
+        let cp = critical_path(&g, &r).unwrap();
+        let fds = force_directed_schedule(&g, &r, cp).unwrap();
+        check_valid(&g, &fds, cp);
+    }
+
+    #[test]
+    fn relaxed_deadline_needs_fewer_multipliers() {
+        let g = diffeq();
+        let r = classes();
+        let cp = critical_path(&g, &r).unwrap();
+        let tight = force_directed_schedule(&g, &r, cp).unwrap();
+        let relaxed = force_directed_schedule(&g, &r, cp + 6).unwrap();
+        check_valid(&g, &relaxed, cp + 6);
+        // The resource/latency trade: more time, fewer units.
+        assert!(
+            relaxed.instances[0] <= tight.instances[0],
+            "tight {:?} vs relaxed {:?}",
+            tight.instances,
+            relaxed.instances
+        );
+        assert!(
+            relaxed.instances[0] < 6,
+            "FDS must balance the 6 multiplies"
+        );
+    }
+
+    #[test]
+    fn fds_never_beats_its_own_deadline_promise() {
+        let g = crate::workloads::fir(&[1, 2, 3, 4, 5, 6]);
+        let r = classes();
+        let cp = critical_path(&g, &r).unwrap();
+        for slack in [0, 2, 5] {
+            let fds = force_directed_schedule(&g, &r, cp + slack).unwrap();
+            check_valid(&g, &fds, cp + slack);
+        }
+    }
+
+    #[test]
+    fn too_tight_deadline_rejected() {
+        let g = diffeq();
+        let r = classes();
+        let cp = critical_path(&g, &r).unwrap();
+        assert!(matches!(
+            force_directed_schedule(&g, &r, cp - 1),
+            Err(ScheduleError::DeadlineTooTight { .. })
+        ));
+    }
+
+    #[test]
+    fn fds_schedule_emits_and_verifies() {
+        use crate::alloc::allocate;
+        use crate::emit::emit;
+        let g = diffeq();
+        let r = classes();
+        let cp = critical_path(&g, &r).unwrap();
+        let fds = force_directed_schedule(&g, &r, cp + 3).unwrap();
+        let alloc = allocate(&g, &fds.schedule);
+        let inputs: HashMap<&str, i64> = [("x", 4), ("y", -3), ("u", 7), ("dx", 2)]
+            .into_iter()
+            .collect();
+        let syn = emit(&g, &fds.schedule, &alloc, &r, &inputs).unwrap();
+        let mut sim = clockless_core::RtSimulation::new(&syn.model).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        let reference = g.evaluate(&inputs).unwrap();
+        for (name, reg) in &syn.output_registers {
+            assert_eq!(
+                summary.register(reg),
+                Some(clockless_core::Value::Num(reference[name])),
+                "output {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn fds_balances_better_than_asap_packing() {
+        // Eight independent multiplies, deadline allows 4 waves: ASAP
+        // would pile all 8 into step 1 (8 instances); FDS spreads them.
+        let mut g = Dfg::new("m8");
+        for i in 0..8 {
+            let a = format!("a{i}");
+            let b = format!("b{i}");
+            let n = g.node(Op::Mul, a.as_str(), b.as_str()).unwrap();
+            g.output(format!("o{i}"), n).unwrap();
+        }
+        let r = classes();
+        let cp = critical_path(&g, &r).unwrap(); // 3 (read 1, commit 3)
+        let fds = force_directed_schedule(&g, &r, cp + 3).unwrap();
+        check_valid(&g, &fds, cp + 3);
+        assert!(
+            fds.instances[0] <= 2,
+            "expected ~2 multipliers over 4 initiation slots, got {:?}",
+            fds.instances
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # clockless-hls — high-level synthesis onto clock-free RT models
+//!
+//! §4 of the DATE 1998 paper names high-level synthesis as a primary
+//! application of the clock-free subset: scheduling and allocation results
+//! are "translated into our subset and can then be simulated at a high
+//! level before the next synthesis steps". This crate is that front end:
+//!
+//! * [`dfg`] — dataflow graphs (the algorithmic-level description) with a
+//!   reference evaluator;
+//! * [`schedule`] — ASAP/ALAP/mobility, resource-constrained list
+//!   scheduling and bus-budgeted scheduling, honouring the control-step
+//!   timing rules (results pass through registers, one extra step per
+//!   dependence level);
+//! * [`fds`] — force-directed scheduling (Paulin & Knight): the dual,
+//!   time-constrained resource-minimizing scheduler;
+//! * [`alloc`] — left-edge register allocation and per-phase bus
+//!   allocation;
+//! * [`mod@emit`] — emission of validated [`clockless_core::RtModel`]s, one
+//!   transfer tuple per operation;
+//! * [`workloads`] — FIR / Horner / differential-equation benchmarks and
+//!   a reproducible random-DAG generator.
+//!
+//! ## Example
+//!
+//! ```
+//! use clockless_hls::prelude::*;
+//! use clockless_core::prelude::*;
+//!
+//! let g = fir(&[1, 2, 3]);
+//! let resources = ResourceSet::new([
+//!     ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 1),
+//!     ResourceClass::new("ADD", [Op::Add], ModuleTiming::Pipelined { latency: 1 }, 1),
+//! ]);
+//! let inputs = [("x0", 10), ("x1", 20), ("x2", 30)].into_iter().collect();
+//! let syn = synthesize(&g, &resources, &inputs)?;
+//!
+//! let mut sim = RtSimulation::new(&syn.model)?;
+//! let summary = sim.run_to_completion()?;
+//! assert_eq!(
+//!     summary.register(&syn.output_registers["y"]),
+//!     Some(Value::Num(10 + 40 + 90)),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod dfg;
+pub mod emit;
+pub mod fds;
+pub mod schedule;
+pub mod workloads;
+
+pub use alloc::{allocate, Allocation, ValueId};
+pub use dfg::{Dfg, DfgError, Node, NodeId, Operand};
+pub use emit::{emit, synthesize, SynthesisError, Synthesized};
+pub use fds::{force_directed_schedule, FdsResult};
+pub use schedule::{
+    alap, asap, critical_path, default_timing, list_schedule, list_schedule_with_buses, mobility,
+    ResourceClass, ResourceSet, Schedule, ScheduleError,
+};
+pub use workloads::{diffeq, fir, horner, random_dag};
+
+/// Convenient glob import for synthesis flows.
+pub mod prelude {
+    pub use crate::alloc::{allocate, Allocation};
+    pub use crate::dfg::{Dfg, NodeId, Operand};
+    pub use crate::emit::{synthesize, Synthesized};
+    pub use crate::schedule::{list_schedule, ResourceClass, ResourceSet, Schedule};
+    pub use crate::workloads::{diffeq, fir, horner, random_dag};
+}

@@ -1,0 +1,657 @@
+//! Operation scheduling: ASAP, ALAP, mobility and resource-constrained
+//! list scheduling.
+//!
+//! "The scheduling task is to determine the register transfers and to
+//! properly embed them into the control step scheme observing the timing
+//! of the functional units" (§2.1). The timing rules follow from the
+//! clock-free model's semantics:
+//!
+//! * a node reading its operands at step `s` on a module with latency `L`
+//!   commits its result at step `s + L` (`wa`/`wb`/`cr` phases);
+//! * a committed value is readable from step `s + L + 1` (register outputs
+//!   update after `cr`) — there is no operation chaining, every value
+//!   passes through a register;
+//! * a pipelined module accepts one initiation per step, a sequential one
+//!   per `latency` steps.
+
+use std::fmt;
+
+use clockless_core::{ModuleTiming, Op, Step};
+
+use crate::dfg::{Dfg, NodeId};
+
+/// A class of interchangeable functional units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceClass {
+    /// Base name for instances (`ADD` → `ADD0`, `ADD1`, …).
+    pub name: String,
+    /// Operations every instance supports.
+    pub ops: Vec<Op>,
+    /// Timing of every instance.
+    pub timing: ModuleTiming,
+    /// Number of instances available.
+    pub count: usize,
+}
+
+impl ResourceClass {
+    /// A class of `count` single-operation units.
+    pub fn new(
+        name: impl Into<String>,
+        ops: impl IntoIterator<Item = Op>,
+        timing: ModuleTiming,
+        count: usize,
+    ) -> ResourceClass {
+        ResourceClass {
+            name: name.into(),
+            ops: ops.into_iter().collect(),
+            timing,
+            count,
+        }
+    }
+}
+
+/// The set of resource classes a schedule may use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceSet {
+    classes: Vec<ResourceClass>,
+}
+
+impl ResourceSet {
+    /// Creates a resource set.
+    pub fn new(classes: impl IntoIterator<Item = ResourceClass>) -> ResourceSet {
+        ResourceSet {
+            classes: classes.into_iter().collect(),
+        }
+    }
+
+    /// The classes.
+    pub fn classes(&self) -> &[ResourceClass] {
+        &self.classes
+    }
+
+    /// Index of the first class supporting `op`.
+    pub fn class_for(&self, op: Op) -> Option<usize> {
+        self.classes.iter().position(|c| c.ops.contains(&op))
+    }
+
+    /// A set with one dedicated combinational/pipelined unit per distinct
+    /// operation of `dfg`, unlimited in count — the "no resource
+    /// constraints" baseline (ASAP-achievable).
+    pub fn unconstrained(dfg: &Dfg) -> ResourceSet {
+        let mut classes: Vec<ResourceClass> = Vec::new();
+        for node in dfg.nodes() {
+            if !classes.iter().any(|c| c.ops.contains(&node.op)) {
+                classes.push(ResourceClass::new(
+                    format!("U{}", node.op.mnemonic().to_uppercase()),
+                    [node.op],
+                    default_timing(node.op),
+                    dfg.len().max(1),
+                ));
+            }
+        }
+        ResourceSet { classes }
+    }
+}
+
+/// Conventional default timings: multipliers are pipelined two-stage
+/// units, everything else is a single-step pipelined unit.
+pub fn default_timing(op: Op) -> ModuleTiming {
+    match op {
+        Op::Mul | Op::MulFx(_) => ModuleTiming::Pipelined { latency: 2 },
+        _ => ModuleTiming::Pipelined { latency: 1 },
+    }
+}
+
+/// Errors from scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// No resource class supports the operation.
+    NoResourceFor(Op),
+    /// A resource class declares zero instances.
+    EmptyClass(String),
+    /// The ALAP deadline is shorter than the critical path.
+    DeadlineTooTight {
+        /// The requested deadline.
+        deadline: Step,
+        /// The critical-path length (minimum feasible deadline).
+        critical_path: Step,
+    },
+    /// The bus budget cannot carry even a single operation's routes.
+    BusBudgetTooSmall {
+        /// The budget that was requested.
+        budget: usize,
+        /// The minimum needed by the widest operation.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoResourceFor(op) => {
+                write!(f, "no resource class supports operation `{op}`")
+            }
+            ScheduleError::EmptyClass(name) => {
+                write!(f, "resource class `{name}` has zero instances")
+            }
+            ScheduleError::DeadlineTooTight {
+                deadline,
+                critical_path,
+            } => write!(
+                f,
+                "deadline {deadline} shorter than critical path {critical_path}"
+            ),
+            ScheduleError::BusBudgetTooSmall { budget, needed } => write!(
+                f,
+                "bus budget {budget} below the {needed} routes a single operation needs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete schedule: read step and resource binding per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Operand-read step per node.
+    pub read_step: Vec<Step>,
+    /// `(class index, instance index)` per node.
+    pub binding: Vec<(usize, usize)>,
+    /// Latency per node (from its class timing).
+    pub latency: Vec<u32>,
+    /// Total schedule length: the last commit step (`CS_MAX` of the
+    /// emitted model).
+    pub length: Step,
+}
+
+impl Schedule {
+    /// The step at which a node's result is committed.
+    pub fn commit_step(&self, n: NodeId) -> Step {
+        self.read_step[n.index()] + self.latency[n.index()]
+    }
+
+    /// The first step at which a node's result can be read.
+    pub fn available_step(&self, n: NodeId) -> Step {
+        self.commit_step(n) + 1
+    }
+}
+
+/// Latency of each node under a resource set.
+///
+/// # Errors
+///
+/// [`ScheduleError::NoResourceFor`] if some operation has no class.
+fn latencies(dfg: &Dfg, resources: &ResourceSet) -> Result<Vec<u32>, ScheduleError> {
+    dfg.nodes()
+        .iter()
+        .map(|n| {
+            resources
+                .class_for(n.op)
+                .map(|c| resources.classes[c].timing.latency())
+                .ok_or(ScheduleError::NoResourceFor(n.op))
+        })
+        .collect()
+}
+
+/// As-soon-as-possible read steps, ignoring resource counts.
+///
+/// # Errors
+///
+/// [`ScheduleError::NoResourceFor`] if some operation has no class.
+pub fn asap(dfg: &Dfg, resources: &ResourceSet) -> Result<Vec<Step>, ScheduleError> {
+    let lat = latencies(dfg, resources)?;
+    let mut steps = vec![1 as Step; dfg.len()];
+    for idx in 0..dfg.len() {
+        let n = NodeId(idx as u32);
+        let mut earliest = 1;
+        for p in dfg.preds(n) {
+            // Result readable one step after the producer's commit.
+            earliest = earliest.max(steps[p.index()] + lat[p.index()] + 1);
+        }
+        steps[idx] = earliest;
+    }
+    Ok(steps)
+}
+
+/// Critical-path length: the minimum feasible schedule length (last
+/// commit step of an ASAP schedule).
+///
+/// # Errors
+///
+/// [`ScheduleError::NoResourceFor`] if some operation has no class.
+pub fn critical_path(dfg: &Dfg, resources: &ResourceSet) -> Result<Step, ScheduleError> {
+    let lat = latencies(dfg, resources)?;
+    let steps = asap(dfg, resources)?;
+    Ok(steps
+        .iter()
+        .zip(&lat)
+        .map(|(s, l)| s + l)
+        .max()
+        .unwrap_or(0))
+}
+
+/// As-late-as-possible read steps for a given deadline (all commits by
+/// `deadline`).
+///
+/// # Errors
+///
+/// [`ScheduleError::DeadlineTooTight`] when the deadline is below the
+/// critical path, or [`ScheduleError::NoResourceFor`].
+pub fn alap(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    deadline: Step,
+) -> Result<Vec<Step>, ScheduleError> {
+    let lat = latencies(dfg, resources)?;
+    let cp = critical_path(dfg, resources)?;
+    if deadline < cp {
+        return Err(ScheduleError::DeadlineTooTight {
+            deadline,
+            critical_path: cp,
+        });
+    }
+    let mut steps = vec![0 as Step; dfg.len()];
+    for idx in (0..dfg.len()).rev() {
+        let n = NodeId(idx as u32);
+        let succs = dfg.succs(n);
+        let mut latest = deadline - lat[idx];
+        for s in succs {
+            // The consumer reads at steps[s]; our commit must be strictly
+            // before that read.
+            latest = latest.min(steps[s.index()] - lat[idx] - 1);
+        }
+        steps[idx] = latest;
+    }
+    Ok(steps)
+}
+
+/// Mobility (ALAP − ASAP) per node, for a given deadline.
+///
+/// # Errors
+///
+/// Propagates [`asap`]/[`alap`] errors.
+pub fn mobility(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    deadline: Step,
+) -> Result<Vec<Step>, ScheduleError> {
+    let a = asap(dfg, resources)?;
+    let l = alap(dfg, resources, deadline)?;
+    Ok(a.iter().zip(&l).map(|(a, l)| l - a).collect())
+}
+
+/// Resource-constrained list scheduling with mobility priority.
+///
+/// At each step the ready operations (all producers committed in earlier
+/// steps) are considered in order of increasing mobility; each is placed
+/// on a free instance of its class if one exists, otherwise deferred.
+/// Instances respect their initiation interval (1 for combinational and
+/// pipelined units, `latency` for sequential ones).
+///
+/// # Errors
+///
+/// [`ScheduleError::NoResourceFor`] or [`ScheduleError::EmptyClass`].
+pub fn list_schedule(dfg: &Dfg, resources: &ResourceSet) -> Result<Schedule, ScheduleError> {
+    list_schedule_impl(dfg, resources, None)
+}
+
+/// Resource-constrained list scheduling with an additional **bus budget**:
+/// buses are resources too (§2.1), so at most `buses` operand routes may
+/// be read and at most `buses` results written back in any one step (the
+/// two uses occupy different phases of the step and are budgeted
+/// independently, exactly as the allocator packs them).
+///
+/// # Errors
+///
+/// [`ScheduleError::BusBudgetTooSmall`] when a single binary operation
+/// cannot fit, plus the [`list_schedule`] errors.
+pub fn list_schedule_with_buses(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    buses: usize,
+) -> Result<Schedule, ScheduleError> {
+    let needed = dfg
+        .nodes()
+        .iter()
+        .map(|n| n.operands().len())
+        .max()
+        .unwrap_or(0);
+    if buses < needed.max(1) {
+        return Err(ScheduleError::BusBudgetTooSmall {
+            budget: buses,
+            needed: needed.max(1),
+        });
+    }
+    list_schedule_impl(dfg, resources, Some(buses))
+}
+
+fn list_schedule_impl(
+    dfg: &Dfg,
+    resources: &ResourceSet,
+    bus_budget: Option<usize>,
+) -> Result<Schedule, ScheduleError> {
+    for c in resources.classes() {
+        if c.count == 0 {
+            return Err(ScheduleError::EmptyClass(c.name.clone()));
+        }
+    }
+    let lat = latencies(dfg, resources)?;
+    let asap_steps = asap(dfg, resources)?;
+    // Generous deadline for mobility: critical path plus node count.
+    let deadline = critical_path(dfg, resources)? + dfg.len() as Step;
+    let alap_steps = alap(dfg, resources, deadline)?;
+
+    let n = dfg.len();
+    let mut read_step = vec![0 as Step; n];
+    let mut binding = vec![(0usize, 0usize); n];
+    let mut scheduled = vec![false; n];
+    // Per (class, instance): next step at which it can initiate.
+    let mut next_free: Vec<Vec<Step>> = resources
+        .classes()
+        .iter()
+        .map(|c| vec![1; c.count])
+        .collect();
+
+    // Bus-route occupancy per step (operand reads / result writes).
+    let mut reads_used: std::collections::HashMap<Step, usize> = std::collections::HashMap::new();
+    let mut writes_used: std::collections::HashMap<Step, usize> = std::collections::HashMap::new();
+
+    let mut remaining = n;
+    let mut t: Step = 1;
+    while remaining > 0 {
+        // Ready: unscheduled, every producer committed strictly before t.
+        let mut ready: Vec<NodeId> = (0..n)
+            .map(|i| NodeId(i as u32))
+            .filter(|&id| {
+                !scheduled[id.index()]
+                    && asap_steps[id.index()] <= t
+                    && dfg
+                        .preds(id)
+                        .iter()
+                        .all(|p| scheduled[p.index()] && read_step[p.index()] + lat[p.index()] < t)
+            })
+            .collect();
+        ready.sort_by_key(|id| (alap_steps[id.index()] - asap_steps[id.index()], id.index()));
+        for id in ready {
+            let class = resources
+                .class_for(dfg.nodes()[id.index()].op)
+                .expect("latencies() validated all ops");
+            let ii = resources.classes()[class].timing.initiation_interval() as Step;
+            if let Some(inst) = next_free[class].iter().position(|&f| f <= t) {
+                if let Some(budget) = bus_budget {
+                    let routes = dfg.nodes()[id.index()].operands().len();
+                    let commit = t + lat[id.index()];
+                    let reads = reads_used.get(&t).copied().unwrap_or(0);
+                    let writes = writes_used.get(&commit).copied().unwrap_or(0);
+                    if reads + routes > budget || writes + 1 > budget {
+                        continue; // no bus capacity this step; defer
+                    }
+                    *reads_used.entry(t).or_insert(0) += routes;
+                    *writes_used.entry(commit).or_insert(0) += 1;
+                }
+                read_step[id.index()] = t;
+                binding[id.index()] = (class, inst);
+                scheduled[id.index()] = true;
+                next_free[class][inst] = t + ii;
+                remaining -= 1;
+            }
+        }
+        t += 1;
+        debug_assert!(t < 10 * deadline + 10, "list scheduling failed to converge");
+    }
+
+    let length = (0..n).map(|i| read_step[i] + lat[i]).max().unwrap_or(0);
+    Ok(Schedule {
+        read_step,
+        binding,
+        latency: lat,
+        length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::Op;
+
+    /// out = (a+b) * (c-d); adds latency 1, mul latency 2.
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new("diamond");
+        let s = g.node(Op::Add, "a", "b").unwrap();
+        let d = g.node(Op::Sub, "c", "d").unwrap();
+        let m = g.node(Op::Mul, s, d).unwrap();
+        g.output("out", m).unwrap();
+        g
+    }
+
+    fn alu_resources(adders: usize, muls: usize) -> ResourceSet {
+        ResourceSet::new([
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub],
+                ModuleTiming::Pipelined { latency: 1 },
+                adders,
+            ),
+            ResourceClass::new(
+                "MUL",
+                [Op::Mul],
+                ModuleTiming::Pipelined { latency: 2 },
+                muls,
+            ),
+        ])
+    }
+
+    #[test]
+    fn asap_respects_register_passing() {
+        let g = diamond();
+        let r = alu_resources(2, 1);
+        let steps = asap(&g, &r).unwrap();
+        // add/sub read at 1, commit at 2; mul reads at 3 (not 2!).
+        assert_eq!(steps, vec![1, 1, 3]);
+        assert_eq!(critical_path(&g, &r).unwrap(), 5);
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let g = diamond();
+        let r = alu_resources(2, 1);
+        let steps = alap(&g, &r, 7).unwrap();
+        // mul commits at 7 -> reads at 5; producers commit by 4 -> read at 3.
+        assert_eq!(steps, vec![3, 3, 5]);
+        let m = mobility(&g, &r, 7).unwrap();
+        assert_eq!(m, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn alap_rejects_tight_deadline() {
+        let g = diamond();
+        let r = alu_resources(2, 1);
+        assert!(matches!(
+            alap(&g, &r, 4),
+            Err(ScheduleError::DeadlineTooTight {
+                critical_path: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn list_schedule_with_one_alu_serializes() {
+        let g = diamond();
+        let sched = list_schedule(&g, &alu_resources(1, 1)).unwrap();
+        // add and sub compete for the single ALU: steps 1 and 2.
+        let (s_add, s_sub) = (sched.read_step[0], sched.read_step[1]);
+        assert_eq!([s_add, s_sub].iter().min(), Some(&1));
+        assert_eq!([s_add, s_sub].iter().max(), Some(&2));
+        // mul waits for the later producer: commit 3 -> read 4, commit 6.
+        assert_eq!(sched.read_step[2], 4);
+        assert_eq!(sched.length, 6);
+        // Bindings use distinct steps on the same instance.
+        assert_eq!(sched.binding[0].0, sched.binding[1].0);
+        assert_eq!(sched.binding[0].1, sched.binding[1].1);
+    }
+
+    #[test]
+    fn list_schedule_with_two_alus_parallelizes() {
+        let g = diamond();
+        let sched = list_schedule(&g, &alu_resources(2, 1)).unwrap();
+        assert_eq!(sched.read_step[0], 1);
+        assert_eq!(sched.read_step[1], 1);
+        assert_ne!(sched.binding[0].1, sched.binding[1].1);
+        assert_eq!(sched.length, 5);
+    }
+
+    #[test]
+    fn sequential_units_respect_initiation_interval() {
+        // Two independent multiplies on one sequential 2-step multiplier.
+        let mut g = Dfg::new("seq");
+        let m1 = g.node(Op::Mul, "a", "b").unwrap();
+        let m2 = g.node(Op::Mul, "c", "d").unwrap();
+        g.output("x", m1).unwrap();
+        g.output("y", m2).unwrap();
+        let r = ResourceSet::new([ResourceClass::new(
+            "MUL",
+            [Op::Mul],
+            ModuleTiming::Sequential { latency: 2 },
+            1,
+        )]);
+        let sched = list_schedule(&g, &r).unwrap();
+        let mut steps = vec![sched.read_step[0], sched.read_step[1]];
+        steps.sort();
+        assert_eq!(steps, vec![1, 3]); // II = 2
+    }
+
+    #[test]
+    fn missing_resource_reported() {
+        let g = diamond();
+        let r = ResourceSet::new([ResourceClass::new(
+            "ALU",
+            [Op::Add, Op::Sub],
+            ModuleTiming::Pipelined { latency: 1 },
+            1,
+        )]);
+        assert_eq!(
+            list_schedule(&g, &r),
+            Err(ScheduleError::NoResourceFor(Op::Mul))
+        );
+    }
+
+    #[test]
+    fn unconstrained_matches_asap() {
+        let g = diamond();
+        let r = ResourceSet::unconstrained(&g);
+        let sched = list_schedule(&g, &r).unwrap();
+        assert_eq!(sched.read_step, asap(&g, &r).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod bus_budget_tests {
+    use super::*;
+    use clockless_core::Op;
+
+    /// Four independent adds: unconstrained they all go in step 1.
+    fn wide() -> Dfg {
+        let mut g = Dfg::new("wide");
+        let mut outs = Vec::new();
+        for i in 0..4 {
+            let a = format!("a{i}");
+            let b = format!("b{i}");
+            outs.push(g.node(Op::Add, a.as_str(), b.as_str()).unwrap());
+        }
+        for (i, n) in outs.into_iter().enumerate() {
+            g.output(format!("o{i}"), n).unwrap();
+        }
+        g
+    }
+
+    fn adders(n: usize) -> ResourceSet {
+        ResourceSet::new([ResourceClass::new(
+            "ADD",
+            [Op::Add],
+            ModuleTiming::Pipelined { latency: 1 },
+            n,
+        )])
+    }
+
+    #[test]
+    fn bus_budget_serializes_parallel_reads() {
+        let g = wide();
+        // Plenty of adders, but only 4 buses: two adds per step
+        // (2 operand routes each).
+        let sched = list_schedule_with_buses(&g, &adders(4), 4).unwrap();
+        let mut steps: Vec<Step> = sched.read_step.clone();
+        steps.sort();
+        assert_eq!(steps, vec![1, 1, 2, 2]);
+
+        // With 8 buses everything fits in step 1.
+        let sched = list_schedule_with_buses(&g, &adders(4), 8).unwrap();
+        assert_eq!(sched.read_step, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn result_routes_also_budgeted() {
+        // Two adds (4 operand routes, 2 results) under budget 4: operand
+        // routes fit in one step, and so do the 2 results — but budget 2
+        // allows only one add per step (2 operand routes each).
+        let g = wide();
+        let sched = list_schedule_with_buses(&g, &adders(4), 2).unwrap();
+        let mut steps: Vec<Step> = sched.read_step.clone();
+        steps.sort();
+        assert_eq!(steps, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn too_small_budget_rejected() {
+        let g = wide();
+        assert_eq!(
+            list_schedule_with_buses(&g, &adders(4), 1),
+            Err(ScheduleError::BusBudgetTooSmall {
+                budget: 1,
+                needed: 2
+            })
+        );
+    }
+
+    #[test]
+    fn allocation_respects_the_budget() {
+        let g = wide();
+        for budget in [2usize, 4, 8] {
+            let sched = list_schedule_with_buses(&g, &adders(4), budget).unwrap();
+            let alloc = crate::alloc::allocate(&g, &sched);
+            assert!(
+                alloc.bus_count <= budget,
+                "budget {budget}, allocated {}",
+                alloc.bus_count
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_flow_still_verifies() {
+        use std::collections::HashMap;
+        let g = wide();
+        let names: Vec<String> = (0..4)
+            .flat_map(|i| [format!("a{i}"), format!("b{i}")])
+            .collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 * 5 - 7))
+            .collect();
+        let sched = list_schedule_with_buses(&g, &adders(2), 2).unwrap();
+        let alloc = crate::alloc::allocate(&g, &sched);
+        let syn = crate::emit::emit(&g, &sched, &alloc, &adders(2), &inputs).unwrap();
+        let mut sim = clockless_core::RtSimulation::new(&syn.model).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        let reference = g.evaluate(&inputs).unwrap();
+        for (name, reg) in &syn.output_registers {
+            assert_eq!(
+                summary.register(reg),
+                Some(clockless_core::Value::Num(reference[name])),
+            );
+        }
+    }
+}

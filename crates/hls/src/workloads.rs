@@ -1,0 +1,222 @@
+//! Classic high-level-synthesis workloads as dataflow graphs.
+//!
+//! These are the dataflow kernels the HLS literature of the paper's era
+//! schedules and allocates: FIR filters, Horner polynomial evaluation and
+//! the HAL differential-equation benchmark, plus a deterministic random
+//! DAG generator for property tests and benches.
+
+use clockless_core::Op;
+
+use crate::dfg::{Dfg, NodeId, Operand};
+
+/// An `n`-tap FIR filter: `y = Σ c_i · x_i` with constant coefficients
+/// `coeffs` and inputs `x0 … x{n-1}`.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty.
+pub fn fir(coeffs: &[i64]) -> Dfg {
+    assert!(!coeffs.is_empty(), "FIR needs at least one tap");
+    let mut g = Dfg::new(format!("fir{}", coeffs.len()));
+    let mut acc: Option<NodeId> = None;
+    for (i, &c) in coeffs.iter().enumerate() {
+        let x = format!("x{i}");
+        let prod = g
+            .node(Op::Mul, x.as_str(), c)
+            .expect("fresh inputs are valid operands");
+        acc = Some(match acc {
+            None => prod,
+            Some(a) => g.node(Op::Add, a, prod).expect("nodes exist"),
+        });
+    }
+    g.output("y", acc.expect("at least one tap"))
+        .expect("single output");
+    g
+}
+
+/// Horner evaluation of `p(x) = c_0 + c_1·x + … + c_n·x^n`:
+/// `((c_n·x + c_{n-1})·x + …)·x + c_0`, input `x`.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty.
+pub fn horner(coeffs: &[i64]) -> Dfg {
+    assert!(
+        !coeffs.is_empty(),
+        "polynomial needs at least one coefficient"
+    );
+    let mut g = Dfg::new(format!("horner{}", coeffs.len() - 1));
+    let mut acc: Option<NodeId> = None;
+    for &c in coeffs.iter().rev() {
+        acc = Some(match acc {
+            None => {
+                // Highest coefficient: seed the accumulator with c (a
+                // pass-through node so the value lives in the datapath).
+                g.unary(Op::PassA, c).expect("constants are valid")
+            }
+            Some(a) => {
+                let shifted = g.node(Op::Mul, a, "x").expect("nodes exist");
+                g.node(Op::Add, shifted, c).expect("nodes exist")
+            }
+        });
+    }
+    g.output("p", acc.expect("at least one coefficient"))
+        .expect("single output");
+    g
+}
+
+/// The HAL differential-equation benchmark (Paulin & Knight), the classic
+/// scheduling example contemporary with the paper: one Euler step of
+/// `y'' + 3xy' + 3y = 0`.
+///
+/// Inputs `x`, `y`, `u` (= `y'`), `dx`; outputs:
+///
+/// * `x1 = x + dx`
+/// * `u1 = u − 3·x·u·dx − 3·y·dx`
+/// * `y1 = y + u·dx`
+pub fn diffeq() -> Dfg {
+    let mut g = Dfg::new("diffeq");
+    // x1 = x + dx
+    let x1 = g.node(Op::Add, "x", "dx").expect("valid");
+    // t1 = 3*x, t2 = u*dx, t3 = t1*t2 = 3*x*u*dx
+    let t1 = g.node(Op::Mul, 3, "x").expect("valid");
+    let t2 = g.node(Op::Mul, "u", "dx").expect("valid");
+    let t3 = g.node(Op::Mul, t1, t2).expect("valid");
+    // t4 = 3*y, t5 = t4*dx = 3*y*dx
+    let t4 = g.node(Op::Mul, 3, "y").expect("valid");
+    let t5 = g.node(Op::Mul, t4, "dx").expect("valid");
+    // u1 = (u - t3) - t5
+    let d1 = g.node(Op::Sub, "u", t3).expect("valid");
+    let u1 = g.node(Op::Sub, d1, t5).expect("valid");
+    // y1 = y + t2
+    let y1 = g.node(Op::Add, "y", t2).expect("valid");
+    g.output("x1", x1).expect("fresh");
+    g.output("u1", u1).expect("fresh");
+    g.output("y1", y1).expect("fresh");
+    g
+}
+
+/// A deterministic pseudo-random DAG with `n` operation nodes over
+/// `inputs` primary inputs, reproducible from `seed` (xorshift64*; no
+/// external randomness so results are stable across runs and platforms).
+///
+/// Operations are drawn from `{Add, Sub, Mul, Min, Max, Xor}`; operands
+/// are earlier nodes (biased towards recent ones, giving realistic
+/// dependence depth), primary inputs or small constants. Every sink node
+/// becomes an output.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `inputs == 0`.
+pub fn random_dag(seed: u64, n: usize, inputs: usize) -> Dfg {
+    assert!(n > 0, "need at least one node");
+    assert!(inputs > 0, "need at least one input");
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64* — plenty for workload generation.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        state
+    };
+    const OPS: [Op; 6] = [Op::Add, Op::Sub, Op::Mul, Op::Min, Op::Max, Op::Xor];
+
+    let mut g = Dfg::new(format!("rand{n}s{seed}"));
+    let mut ids: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let op = OPS[(next() % OPS.len() as u64) as usize];
+        let mut pick = |g: &Dfg| -> Operand {
+            let r = next() % 100;
+            if i > 0 && r < 55 {
+                // Bias towards recent nodes for non-trivial depth.
+                let back = (next() % 4).min(i as u64 - 1) as usize;
+                Operand::Node(ids[i - 1 - back])
+            } else if r < 85 {
+                Operand::Input(format!("in{}", next() % inputs as u64))
+            } else {
+                let _ = g; // operands validated on insertion
+                Operand::Const((next() % 17) as i64 - 8)
+            }
+        };
+        let a = pick(&g);
+        let b = pick(&g);
+        ids.push(g.node(op, a, b).expect("operands reference existing nodes"));
+    }
+    // Sinks become outputs (at least the last node).
+    let mut any = false;
+    for (k, &id) in ids.iter().enumerate() {
+        if g.succs(id).is_empty() {
+            g.output(format!("out{k}"), id).expect("unique names");
+            any = true;
+        }
+    }
+    assert!(any, "last node is always a sink");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fir_evaluates_dot_product() {
+        let g = fir(&[1, 2, 3]);
+        let inputs: HashMap<&str, i64> = [("x0", 10), ("x1", 20), ("x2", 30)].into_iter().collect();
+        let r = g.evaluate(&inputs).unwrap();
+        assert_eq!(r["y"], 10 + 40 + 90);
+    }
+
+    #[test]
+    fn horner_evaluates_polynomial() {
+        // p(x) = 2 + 3x + 5x^2 at x = 4: 2 + 12 + 80 = 94.
+        let g = horner(&[2, 3, 5]);
+        let r = g.evaluate(&[("x", 4)].into_iter().collect()).unwrap();
+        assert_eq!(r["p"], 94);
+    }
+
+    #[test]
+    fn horner_degree_zero_is_constant() {
+        let g = horner(&[7]);
+        let r = g.evaluate(&HashMap::new()).unwrap();
+        assert_eq!(r["p"], 7);
+    }
+
+    #[test]
+    fn diffeq_computes_euler_step() {
+        let g = diffeq();
+        let inputs: HashMap<&str, i64> = [("x", 1), ("y", 2), ("u", 3), ("dx", 1)]
+            .into_iter()
+            .collect();
+        let r = g.evaluate(&inputs).unwrap();
+        assert_eq!(r["x1"], 2);
+        // u1 = 3 - 3*1*3*1 - 3*2*1 = 3 - 9 - 6 = -12
+        assert_eq!(r["u1"], -12);
+        // y1 = 2 + 3*1 = 5
+        assert_eq!(r["y1"], 5);
+    }
+
+    #[test]
+    fn random_dag_is_reproducible_and_evaluable() {
+        let g1 = random_dag(42, 30, 4);
+        let g2 = random_dag(42, 30, 4);
+        assert_eq!(g1.nodes(), g2.nodes());
+        assert_eq!(g1.len(), 30);
+        let names: Vec<String> = (0..4).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 * 7 - 3))
+            .collect();
+        let r = g1.evaluate(&inputs).unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = random_dag(1, 20, 3);
+        let g2 = random_dag(2, 20, 3);
+        assert_ne!(g1.nodes(), g2.nodes());
+    }
+}

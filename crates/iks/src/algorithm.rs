@@ -1,0 +1,255 @@
+//! The algorithmic-level inverse-kinematics golden model.
+//!
+//! §3 verifies the microcode-derived RT model "against a description at
+//! the algorithmic level" — "some kind of bottom-up evaluation of low
+//! level descriptions". This module is that algorithmic description: the
+//! closed-form inverse kinematics of a two-link planar arm, computed in
+//! the chip's own Q16.16 arithmetic (`mul_fx`, CORDIC `atan2`, `sqrt`) so
+//! the comparison against the simulated chip is **bit-exact**.
+//!
+//! Given a target `(px, py)` and link lengths `l1`, `l2` (elbow-down
+//! solution):
+//!
+//! ```text
+//! c2 = (px² + py² − l1² − l2²) / (2·l1·l2)
+//! s2 = √(1 − c2²)
+//! θ2 = atan2(s2, c2)
+//! θ1 = atan2(py, px) − atan2(l2·s2, l1 + l2·c2)
+//! ```
+
+use std::fmt;
+
+use crate::cordic;
+use crate::fixed::{mul_fx, recip_fx, to_fx, ONE};
+
+/// Geometry of the two-link arm, in Q16.16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmGeometry {
+    /// Length of the first link.
+    pub l1: i64,
+    /// Length of the second link.
+    pub l2: i64,
+}
+
+impl ArmGeometry {
+    /// Geometry from floating-point link lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length is not strictly positive.
+    pub fn new(l1: f64, l2: f64) -> ArmGeometry {
+        assert!(l1 > 0.0 && l2 > 0.0, "link lengths must be positive");
+        ArmGeometry {
+            l1: to_fx(l1),
+            l2: to_fx(l2),
+        }
+    }
+}
+
+/// Precomputed chip constants: the datapath has no divider, so the
+/// division by `2·l1·l2` becomes a multiplication by this precomputed
+/// reciprocal. These values are loaded into the `M[]` register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IkConstants {
+    /// `l1² + l2²` (Q16.16).
+    pub k_sum: i64,
+    /// `1 / (2·l1·l2)` (Q16.16).
+    pub inv_2l1l2: i64,
+    /// The geometry itself.
+    pub geometry: ArmGeometry,
+}
+
+impl IkConstants {
+    /// Computes the constants for a geometry.
+    pub fn new(geometry: ArmGeometry) -> IkConstants {
+        let k_sum = mul_fx(geometry.l1, geometry.l1) + mul_fx(geometry.l2, geometry.l2);
+        let inv_2l1l2 = recip_fx(2 * mul_fx(geometry.l1, geometry.l2));
+        IkConstants {
+            k_sum,
+            inv_2l1l2,
+            geometry,
+        }
+    }
+}
+
+/// A joint-angle solution, Q16.16 radians.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IkSolution {
+    /// Shoulder angle.
+    pub theta1: i64,
+    /// Elbow angle (elbow-down: `θ2 ≥ 0`).
+    pub theta2: i64,
+}
+
+/// Why a pose has no solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IkError {
+    /// The target lies outside the annulus the arm can reach
+    /// (`|c2| > 1`).
+    Unreachable,
+}
+
+impl fmt::Display for IkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IkError::Unreachable => write!(f, "target pose is outside the arm's reach"),
+        }
+    }
+}
+
+impl std::error::Error for IkError {}
+
+/// Solves the inverse kinematics for target `(px, py)` (Q16.16), exactly
+/// as the chip computes it.
+///
+/// # Errors
+///
+/// [`IkError::Unreachable`] when the target is outside the reachable
+/// annulus.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_iks::algorithm::{solve_ik, ArmGeometry, IkConstants};
+/// use clockless_iks::fixed::{from_fx, to_fx};
+///
+/// let consts = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+/// let sol = solve_ik(to_fx(1.0), to_fx(1.0), &consts)?;
+/// // Fully stretched along the diagonal would be (√2, √2); (1,1) bends
+/// // the elbow by 90°.
+/// assert!((from_fx(sol.theta2) - std::f64::consts::FRAC_PI_2).abs() < 1e-2);
+/// # Ok::<(), clockless_iks::algorithm::IkError>(())
+/// ```
+pub fn solve_ik(px: i64, py: i64, consts: &IkConstants) -> Result<IkSolution, IkError> {
+    let g = consts.geometry;
+    // r² = px² + py²
+    let r2 = mul_fx(px, px) + mul_fx(py, py);
+    // c2 = (r² − (l1²+l2²)) · 1/(2·l1·l2)
+    let num = r2 - consts.k_sum;
+    let c2 = mul_fx(num, consts.inv_2l1l2);
+    if !(-ONE..=ONE).contains(&c2) {
+        return Err(IkError::Unreachable);
+    }
+    // s2 = √(1 − c2²)
+    let s2sq = ONE - mul_fx(c2, c2);
+    let s2 = cordic::sqrt(s2sq);
+    let theta2 = cordic::atan2(s2, c2);
+    // θ1 = atan2(py, px) − atan2(l2·s2, l1 + l2·c2)
+    let k1 = g.l1 + mul_fx(g.l2, c2);
+    let k2 = mul_fx(g.l2, s2);
+    let phi = cordic::atan2(py, px);
+    let psi = cordic::atan2(k2, k1);
+    Ok(IkSolution {
+        theta1: phi - psi,
+        theta2,
+    })
+}
+
+/// Forward kinematics in the chip's own Q16.16 arithmetic — the
+/// algorithmic golden model for the forward-kinematics microprogram
+/// (`crate::program::build_fk_chip`): bit-exact against the simulated
+/// chip by construction.
+pub fn forward_kinematics_fx(theta1: i64, theta2: i64, geometry: &ArmGeometry) -> (i64, i64) {
+    let (s1, c1) = crate::cordic::sincos(theta1);
+    let (s12, c12) = crate::cordic::sincos(theta1 + theta2);
+    (
+        mul_fx(geometry.l1, c1) + mul_fx(geometry.l2, c12),
+        mul_fx(geometry.l1, s1) + mul_fx(geometry.l2, s12),
+    )
+}
+
+/// Forward kinematics in floating point — the independent cross-check
+/// for the golden model: feeding a solution back must land on the target.
+pub fn forward_kinematics(sol: &IkSolution, geometry: &ArmGeometry) -> (f64, f64) {
+    use crate::fixed::from_fx;
+    let t1 = from_fx(sol.theta1);
+    let t2 = from_fx(sol.theta2);
+    let l1 = from_fx(geometry.l1);
+    let l2 = from_fx(geometry.l2);
+    (
+        l1 * t1.cos() + l2 * (t1 + t2).cos(),
+        l1 * t1.sin() + l2 * (t1 + t2).sin(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::from_fx;
+
+    fn check_pose(px: f64, py: f64, l1: f64, l2: f64) {
+        let consts = IkConstants::new(ArmGeometry::new(l1, l2));
+        let sol = solve_ik(to_fx(px), to_fx(py), &consts)
+            .unwrap_or_else(|e| panic!("({px},{py}) should be reachable: {e}"));
+        let (fx, fy) = forward_kinematics(&sol, &consts.geometry);
+        assert!(
+            (fx - px).abs() < 5e-3 && (fy - py).abs() < 5e-3,
+            "target ({px},{py}) -> fk ({fx},{fy})"
+        );
+    }
+
+    #[test]
+    fn reachable_poses_roundtrip_through_forward_kinematics() {
+        check_pose(1.0, 1.0, 1.0, 1.0);
+        check_pose(1.5, 0.2, 1.0, 1.0);
+        check_pose(-0.8, 1.1, 1.0, 1.0);
+        check_pose(0.3, -1.2, 1.0, 1.0);
+        check_pose(2.5, 1.0, 2.0, 1.5);
+        check_pose(-1.0, -2.0, 2.0, 1.5);
+    }
+
+    #[test]
+    fn grid_of_poses_roundtrips() {
+        let consts = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        let mut solved = 0;
+        for ix in -10..=10 {
+            for iy in -10..=10 {
+                let (px, py) = (ix as f64 * 0.19, iy as f64 * 0.19);
+                let r = (px * px + py * py).sqrt();
+                if !(0.2..=1.9).contains(&r) {
+                    continue; // avoid the singular fringe
+                }
+                if let Ok(sol) = solve_ik(to_fx(px), to_fx(py), &consts) {
+                    let (fx, fy) = forward_kinematics(&sol, &consts.geometry);
+                    assert!(
+                        (fx - px).abs() < 1e-2 && (fy - py).abs() < 1e-2,
+                        "({px},{py}) -> ({fx},{fy})"
+                    );
+                    solved += 1;
+                }
+            }
+        }
+        assert!(solved > 150, "solved only {solved} poses");
+    }
+
+    #[test]
+    fn unreachable_poses_rejected() {
+        let consts = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        assert_eq!(
+            solve_ik(to_fx(3.0), to_fx(0.0), &consts),
+            Err(IkError::Unreachable)
+        );
+        // Inside the inner annulus of an l1 >> l2 arm.
+        let consts2 = IkConstants::new(ArmGeometry::new(2.0, 0.5));
+        assert_eq!(
+            solve_ik(to_fx(0.1), to_fx(0.0), &consts2),
+            Err(IkError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn elbow_down_solution_has_nonnegative_theta2() {
+        let consts = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        for (px, py) in [(1.0, 1.0), (0.5, -1.2), (-1.3, 0.4)] {
+            let sol = solve_ik(to_fx(px), to_fx(py), &consts).unwrap();
+            assert!(sol.theta2 >= 0, "theta2 = {}", from_fx(sol.theta2));
+        }
+    }
+
+    #[test]
+    fn constants_match_geometry() {
+        let c = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        assert!((from_fx(c.k_sum) - 2.0).abs() < 1e-3);
+        assert!((from_fx(c.inv_2l1l2) - 0.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,87 @@
+//! The CORDIC core's arithmetic, shared with the golden model.
+//!
+//! The IKS chip's trigonometric work runs on a dedicated **cordic core**
+//! resource (§3: "we have modeled resources (called MACC,
+//! multiplier/accumulator and cordic core)"). At the register-transfer
+//! level the core is a sequential module offering `Atan2Fx`/`SqrtFx`
+//! operations; their bit-exact reference arithmetic lives in
+//! `clockless_core::op` and is re-exported here in the chip's Q16.16
+//! format so the algorithmic golden model computes with *exactly* the
+//! operations the datapath performs — the property that makes the
+//! bottom-up verification of §3 a bit-exact comparison.
+
+use crate::fixed::FRAC;
+
+/// Four-quadrant arctangent in Q16.16 (radians).
+///
+/// # Examples
+///
+/// ```
+/// use clockless_iks::cordic::atan2;
+/// use clockless_iks::fixed::{from_fx, to_fx};
+/// let a = atan2(to_fx(1.0), to_fx(1.0));
+/// assert!((from_fx(a) - std::f64::consts::FRAC_PI_4).abs() < 1e-3);
+/// ```
+pub fn atan2(y: i64, x: i64) -> i64 {
+    clockless_core::op::atan2_fx(y, x, FRAC)
+}
+
+/// Square root in Q16.16 (exact floor).
+///
+/// # Panics
+///
+/// Panics if `a` is negative.
+pub fn sqrt(a: i64) -> i64 {
+    clockless_core::op::sqrt_fx(a, FRAC)
+}
+
+/// `(sin θ, cos θ)` for a Q16.16 angle (any magnitude) — the CORDIC
+/// core's rotation mode, used by the forward-kinematics microprogram.
+pub fn sincos(theta: i64) -> (i64, i64) {
+    clockless_core::op::sincos_fx(theta, FRAC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{from_fx, to_fx};
+
+    #[test]
+    fn atan2_sweeps_the_circle() {
+        for deg in (0..360).step_by(15) {
+            let rad = (deg as f64).to_radians();
+            let y = to_fx(rad.sin() * 2.0);
+            let x = to_fx(rad.cos() * 2.0);
+            let got = from_fx(atan2(y, x));
+            let expect = (rad.sin() * 2.0).atan2(rad.cos() * 2.0);
+            assert!(
+                (got - expect).abs() < 2e-3,
+                "deg {deg}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_float() {
+        for v in [0.25f64, 1.0, 2.0, 1234.5] {
+            let got = from_fx(sqrt(to_fx(v)));
+            assert!((got - v.sqrt()).abs() < 1e-3, "sqrt({v}) = {got}");
+        }
+    }
+
+    #[test]
+    fn matches_module_operation_semantics() {
+        use clockless_core::{Op, Value};
+        let y = to_fx(0.7);
+        let x = to_fx(-1.3);
+        assert_eq!(
+            Op::Atan2Fx(FRAC).apply(Value::Num(y), Value::Num(x)),
+            Value::Num(atan2(y, x)),
+        );
+        let a = to_fx(7.0);
+        assert_eq!(
+            Op::SqrtFx(FRAC).apply(Value::Num(a), Value::Disc),
+            Value::Num(sqrt(a)),
+        );
+    }
+}

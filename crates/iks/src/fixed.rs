@@ -1,0 +1,89 @@
+//! Q16.16 fixed-point helpers for the IKS datapath.
+//!
+//! The IKS chip (Leung & Shanblatt, modeled in §3 of the paper) computes
+//! in fixed point. All values on the chip's datapath — and in the golden
+//! algorithmic model it is verified against — use the Q16.16 format: 16
+//! integer bits, 16 fractional bits, stored in `i64` with plenty of
+//! headroom.
+
+/// Fractional bits of the chip's number format.
+pub const FRAC: u8 = 16;
+
+/// The value 1.0 in Q16.16.
+pub const ONE: i64 = 1 << FRAC;
+
+/// Converts a float to Q16.16 (truncating toward zero).
+///
+/// # Examples
+///
+/// ```
+/// use clockless_iks::fixed::{to_fx, ONE};
+/// assert_eq!(to_fx(1.0), ONE);
+/// assert_eq!(to_fx(0.5), ONE / 2);
+/// ```
+pub fn to_fx(v: f64) -> i64 {
+    (v * (1u64 << FRAC) as f64) as i64
+}
+
+/// Converts a Q16.16 value back to a float.
+pub fn from_fx(v: i64) -> f64 {
+    v as f64 / (1u64 << FRAC) as f64
+}
+
+/// Fixed-point multiply: `(a * b) >> FRAC` with an `i128` intermediate —
+/// exactly the semantics of the chip multiplier's `MulFx(16)` operation.
+pub fn mul_fx(a: i64, b: i64) -> i64 {
+    (((a as i128) * (b as i128)) >> FRAC) as i64
+}
+
+/// Fixed-point reciprocal of `a`: `(1 << 32) / a` as Q16.16, computed
+/// host-side when preparing chip constants (the datapath has no divider;
+/// divisions become multiplications by precomputed reciprocals).
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+pub fn recip_fx(a: i64) -> i64 {
+    assert!(a != 0, "reciprocal of zero");
+    (((1i128) << (2 * FRAC)) / a as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_close() {
+        for v in [0.0, 1.0, -2.5, 3.14159, 100.25, -0.0001] {
+            assert!((from_fx(to_fx(v)) - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mul_fx_matches_float_product() {
+        let a = to_fx(2.5);
+        let b = to_fx(-1.25);
+        assert!((from_fx(mul_fx(a, b)) - (-3.125)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mul_fx_handles_large_intermediates() {
+        let a = to_fx(30000.0);
+        let b = to_fx(30000.0);
+        assert!((from_fx(mul_fx(a, b)) - 9.0e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn recip_fx_inverts() {
+        let a = to_fx(4.0);
+        assert!((from_fx(recip_fx(a)) - 0.25).abs() < 1e-4);
+        // a * (1/a) ≈ 1
+        assert!((from_fx(mul_fx(a, recip_fx(a))) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        recip_fx(0);
+    }
+}

@@ -1,0 +1,77 @@
+//! # clockless-iks — the inverse-kinematics-solution chip application
+//!
+//! §3 of the DATE 1998 paper demonstrates the clock-free RT subset on the
+//! IKS chip (Leung & Shanblatt): an ASIC computing the inverse kinematics
+//! solution for a robot arm, whose register transfers are *extracted from
+//! microcode tables* by a small translator program and then verified
+//! against an algorithmic-level description. This crate reproduces that
+//! whole application:
+//!
+//! * [`fixed`] — the chip's Q16.16 arithmetic;
+//! * [`cordic`] — the CORDIC core's reference operations (atan2, sqrt);
+//! * [`algorithm`] — the algorithmic-level golden model (two-link planar
+//!   inverse kinematics) computed with the chip's exact arithmetic;
+//! * [`resources`] — the Fig. 3 resource structure (register files as
+//!   scalar registers, direct links as dedicated buses, the two-stage
+//!   pipelined multiplier, the non-pipelined adders, the sequential
+//!   CORDIC core);
+//! * [`microcode`] — the `addr cycle opc1 opc2 …` instruction format and
+//!   opcode maps;
+//! * [`mod@translate`] — the paper's "C program": microcode tables → transfer
+//!   tuples;
+//! * [`program`] — a complete IK microprogram plus [`build_ik_chip`],
+//!   which assembles a runnable clock-free RT model for a pose.
+//!
+//! ## Example
+//!
+//! ```
+//! use clockless_iks::prelude::*;
+//! use clockless_core::RtSimulation;
+//!
+//! let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+//! let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants)?;
+//! let mut sim = RtSimulation::new(&chip.model)?;
+//! let summary = sim.run_to_completion()?;
+//!
+//! // The chip's answer equals the algorithmic model's, bit for bit.
+//! let golden = solve_ik(to_fx(1.0), to_fx(1.0), &constants)?;
+//! assert_eq!(
+//!     summary.register(THETA2_REG).unwrap().num(),
+//!     Some(golden.theta2),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm;
+pub mod cordic;
+pub mod fixed;
+pub mod microcode;
+pub mod program;
+pub mod resources;
+pub mod translate;
+
+pub use algorithm::{
+    forward_kinematics, forward_kinematics_fx, solve_ik, ArmGeometry, IkConstants, IkError,
+    IkSolution,
+};
+pub use microcode::{
+    Field, MicroInstruction, MicroOp, MicroOpTemplate, MicrocodeError, OpcodeMaps, OperandPort,
+    RegRef,
+};
+pub use program::{
+    build_fir_chip, build_fk_chip, build_ik_chip, fir_microprogram, fk_microprogram,
+    ik_microprogram, ik_opcode_maps, IksChip, FIR_OUT_REG, FIR_STEPS, FK_STEPS, FK_X_REG,
+    FK_Y_REG, IK_STEPS, THETA1_REG, THETA2_REG,
+};
+pub use resources::{chip_model, CORDIC_LATENCY, J_FILE, MULT_LATENCY, M_FILE, R_FILE};
+pub use translate::{translate, TranslateMicrocodeError};
+
+/// Convenient glob import for the IKS application.
+pub mod prelude {
+    pub use crate::algorithm::{solve_ik, ArmGeometry, IkConstants, IkSolution};
+    pub use crate::fixed::{from_fx, to_fx, FRAC, ONE};
+    pub use crate::program::{build_ik_chip, IksChip, THETA1_REG, THETA2_REG};
+}

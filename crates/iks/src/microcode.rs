@@ -1,0 +1,394 @@
+//! The microinstruction format and opcode maps.
+//!
+//! §3 extracts the chip's register transfers "from the microcode for
+//! computing the IKS": each microprogram row carries an address, the
+//! cycle (control step), two opcodes and index fields —
+//!
+//! ```text
+//! addr  cycle  opc1  opc2  m  J  R1  M/R
+//! ```
+//!
+//! — and **code maps** expand `opc1` into bus/direct-link routing and
+//! `opc2` into the operations the adders and the multiplier perform that
+//! cycle. The full tables live in the Leung & Shanblatt book; this module
+//! reconstructs the *format* faithfully (see DESIGN.md): opcode maps are
+//! tables of [`MicroOpTemplate`]s whose register references may be
+//! indexed by the instruction's `J`/`R1`/`M/R` fields.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use clockless_core::{Op, Step};
+
+/// An index field of the microinstruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// The `J` field (joint-register index).
+    J,
+    /// The `R1` field (scratch-register index).
+    R1,
+    /// The `M/R` field (constant/parameter-register index).
+    Mr,
+}
+
+/// A register reference in an opcode-map entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    /// A fixed register (`X`, `Y`, `Z`, `P`, …).
+    Named(String),
+    /// A register-file entry selected by an instruction field
+    /// (`M[mr]`, `J[j]`, `R[r1]`).
+    Indexed {
+        /// File prefix (`M`, `R`, `J`).
+        file: String,
+        /// The field providing the index.
+        field: Field,
+    },
+}
+
+impl RegRef {
+    /// Convenience constructor for a fixed register.
+    pub fn named(name: impl Into<String>) -> RegRef {
+        RegRef::Named(name.into())
+    }
+
+    /// Convenience constructor for a field-indexed file entry.
+    pub fn indexed(file: impl Into<String>, field: Field) -> RegRef {
+        RegRef::Indexed {
+            file: file.into(),
+            field,
+        }
+    }
+}
+
+/// Which module operand port a route feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandPort {
+    /// The first (left) operand.
+    In1,
+    /// The second (right) operand.
+    In2,
+}
+
+/// One element of an opcode-map entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MicroOpTemplate {
+    /// Route a register over a bus into a module operand port (the
+    /// instruction's cycle, `ra`/`rb` phases).
+    Operand {
+        /// Source register.
+        src: RegRef,
+        /// Carrying bus (a shared bus or a direct link).
+        bus: String,
+        /// Target module.
+        module: String,
+        /// Target port.
+        port: OperandPort,
+    },
+    /// Select the operation a module performs this cycle.
+    Operation {
+        /// The module.
+        module: String,
+        /// The operation.
+        op: Op,
+    },
+    /// Route a module's (now ready) result over a bus into a register
+    /// (the instruction's cycle, `wa`/`wb` phases).
+    Result {
+        /// Source module.
+        module: String,
+        /// Carrying bus.
+        bus: String,
+        /// Destination register.
+        dst: RegRef,
+    },
+}
+
+/// The two code maps: `opc1` (routing) and `opc2` (operations).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpcodeMaps {
+    /// Routing codes.
+    pub opc1: BTreeMap<u8, Vec<MicroOpTemplate>>,
+    /// Operation codes.
+    pub opc2: BTreeMap<u8, Vec<MicroOpTemplate>>,
+}
+
+/// One microinstruction: the paper's row format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroInstruction {
+    /// Microprogram store address.
+    pub addr: u32,
+    /// The control step ("cycle") this instruction configures.
+    pub step: Step,
+    /// Routing opcode.
+    pub opc1: u8,
+    /// Operation opcode.
+    pub opc2: u8,
+    /// `J` index field.
+    pub j: u8,
+    /// `R1` index field.
+    pub r1: u8,
+    /// `M/R` index field.
+    pub mr: u8,
+}
+
+/// A decoded micro-operation with concrete register names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Route `src` over `bus` into `module`'s `port`.
+    Operand {
+        /// Concrete source register name.
+        src: String,
+        /// Carrying bus.
+        bus: String,
+        /// Target module.
+        module: String,
+        /// Target port.
+        port: OperandPort,
+    },
+    /// `module` performs `op` this cycle.
+    Operation {
+        /// The module.
+        module: String,
+        /// The operation.
+        op: Op,
+    },
+    /// Route `module`'s result over `bus` into `dst`.
+    Result {
+        /// Source module.
+        module: String,
+        /// Carrying bus.
+        bus: String,
+        /// Concrete destination register name.
+        dst: String,
+    },
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MicrocodeError {
+    /// An instruction used an `opc1` code missing from the map.
+    UnknownOpc1 {
+        /// The code.
+        code: u8,
+        /// The instruction's address.
+        addr: u32,
+    },
+    /// An instruction used an `opc2` code missing from the map.
+    UnknownOpc2 {
+        /// The code.
+        code: u8,
+        /// The instruction's address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MicrocodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicrocodeError::UnknownOpc1 { code, addr } => {
+                write!(f, "address {addr}: opc1 code {code} not in the code map")
+            }
+            MicrocodeError::UnknownOpc2 { code, addr } => {
+                write!(f, "address {addr}: opc2 code {code} not in the code map")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MicrocodeError {}
+
+impl MicroInstruction {
+    /// Value of an index field.
+    pub fn field(&self, f: Field) -> u8 {
+        match f {
+            Field::J => self.j,
+            Field::R1 => self.r1,
+            Field::Mr => self.mr,
+        }
+    }
+
+    /// Resolves a register reference against this instruction's fields.
+    pub fn resolve(&self, r: &RegRef) -> String {
+        match r {
+            RegRef::Named(n) => n.clone(),
+            RegRef::Indexed { file, field } => format!("{file}{}", self.field(*field)),
+        }
+    }
+
+    /// Decodes the instruction against the code maps into concrete
+    /// micro-operations (the paper's "code maps exist for opc1 and
+    /// opc2").
+    ///
+    /// # Errors
+    ///
+    /// [`MicrocodeError`] for codes absent from the maps.
+    pub fn decode(&self, maps: &OpcodeMaps) -> Result<Vec<MicroOp>, MicrocodeError> {
+        let opc1 = maps
+            .opc1
+            .get(&self.opc1)
+            .ok_or(MicrocodeError::UnknownOpc1 {
+                code: self.opc1,
+                addr: self.addr,
+            })?;
+        let opc2 = maps
+            .opc2
+            .get(&self.opc2)
+            .ok_or(MicrocodeError::UnknownOpc2 {
+                code: self.opc2,
+                addr: self.addr,
+            })?;
+        let mut out = Vec::with_capacity(opc1.len() + opc2.len());
+        for t in opc1.iter().chain(opc2.iter()) {
+            out.push(match t {
+                MicroOpTemplate::Operand {
+                    src,
+                    bus,
+                    module,
+                    port,
+                } => MicroOp::Operand {
+                    src: self.resolve(src),
+                    bus: bus.clone(),
+                    module: module.clone(),
+                    port: *port,
+                },
+                MicroOpTemplate::Operation { module, op } => MicroOp::Operation {
+                    module: module.clone(),
+                    op: *op,
+                },
+                MicroOpTemplate::Result { module, bus, dst } => MicroOp::Result {
+                    module: module.clone(),
+                    bus: bus.clone(),
+                    dst: self.resolve(dst),
+                },
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reconstructs the flavour of the paper's microprogram-address-7
+    /// example: `opc1 = 20` routes `J[j]` over `BusA` into the Y-adder
+    /// and `Y` over a direct link into the X-adder; `opc2 = 2` makes the
+    /// X-adder shift and the Y-adder pass — the shape of one CORDIC
+    /// iteration step run on the chip's adders.
+    fn paper_style_maps() -> OpcodeMaps {
+        let mut maps = OpcodeMaps::default();
+        maps.opc1.insert(
+            20,
+            vec![
+                MicroOpTemplate::Operand {
+                    src: RegRef::indexed("J", Field::J),
+                    bus: "BusA".into(),
+                    module: "YADD".into(),
+                    port: OperandPort::In2,
+                },
+                MicroOpTemplate::Operand {
+                    src: RegRef::named("Y"),
+                    bus: "LXA".into(), // a direct link
+                    module: "XADD".into(),
+                    port: OperandPort::In1,
+                },
+            ],
+        );
+        maps.opc2.insert(
+            2,
+            vec![
+                MicroOpTemplate::Operation {
+                    module: "XADD".into(),
+                    op: Op::Shr,
+                },
+                MicroOpTemplate::Operation {
+                    module: "YADD".into(),
+                    op: Op::PassB,
+                },
+            ],
+        );
+        maps
+    }
+
+    #[test]
+    fn addr7_style_decode() {
+        // The paper's row: addr 7, with J field selecting J[6].
+        let instr = MicroInstruction {
+            addr: 7,
+            step: 1,
+            opc1: 20,
+            opc2: 2,
+            j: 6,
+            r1: 0,
+            mr: 0,
+        };
+        let ops = instr.decode(&paper_style_maps()).unwrap();
+        assert_eq!(ops.len(), 4);
+        // The paper derives the transfers (J[6],BusA,…,1) and (Y,direct,…,1).
+        assert_eq!(
+            ops[0],
+            MicroOp::Operand {
+                src: "J6".into(),
+                bus: "BusA".into(),
+                module: "YADD".into(),
+                port: OperandPort::In2,
+            }
+        );
+        assert_eq!(
+            ops[1],
+            MicroOp::Operand {
+                src: "Y".into(),
+                bus: "LXA".into(),
+                module: "XADD".into(),
+                port: OperandPort::In1,
+            }
+        );
+        assert!(matches!(
+            &ops[2],
+            MicroOp::Operation { module, op: Op::Shr } if module == "XADD"
+        ));
+    }
+
+    #[test]
+    fn unknown_codes_are_errors() {
+        let maps = paper_style_maps();
+        let mut instr = MicroInstruction {
+            addr: 3,
+            step: 1,
+            opc1: 99,
+            opc2: 2,
+            j: 0,
+            r1: 0,
+            mr: 0,
+        };
+        assert_eq!(
+            instr.decode(&maps),
+            Err(MicrocodeError::UnknownOpc1 { code: 99, addr: 3 })
+        );
+        instr.opc1 = 20;
+        instr.opc2 = 42;
+        assert_eq!(
+            instr.decode(&maps),
+            Err(MicrocodeError::UnknownOpc2 { code: 42, addr: 3 })
+        );
+    }
+
+    #[test]
+    fn field_resolution() {
+        let instr = MicroInstruction {
+            addr: 0,
+            step: 1,
+            opc1: 0,
+            opc2: 0,
+            j: 2,
+            r1: 3,
+            mr: 5,
+        };
+        assert_eq!(instr.resolve(&RegRef::indexed("M", Field::Mr)), "M5");
+        assert_eq!(instr.resolve(&RegRef::indexed("R", Field::R1)), "R3");
+        assert_eq!(instr.resolve(&RegRef::indexed("J", Field::J)), "J2");
+        assert_eq!(instr.resolve(&RegRef::named("P")), "P");
+    }
+}

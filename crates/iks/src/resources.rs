@@ -1,0 +1,155 @@
+//! The IKS chip's RT-level resource structure (paper Fig. 3).
+//!
+//! Fig. 3 shows register files `R[]`, `J[]`, `M[]`, registers `P`, `Z`,
+//! `Y`, `X`, the two-stage pipelined multiplier `MULT`, the
+//! (non-pipelined) adders `Z-ADD`, `Y-ADD`, `X-ADD`, buses `BusA`/`BusB`
+//! and several **direct links**. Following §3's advice that "it is better
+//! to model more resources than to extend the VHDL subset":
+//!
+//! * register files become individual registers (`M0`…`M7`, `R0`…`R3`,
+//!   `J0`…`J2`);
+//! * direct links become dedicated buses (`LZA`, `LZB`, `LCA`, `LCB`) and
+//!   the shared write-back path becomes bus `W`;
+//! * the chip's trigonometric engine is the `CORDIC` core, a sequential
+//!   (non-pipelined) module with selectable operations — the multi-
+//!   operation extension §3 introduced.
+
+use clockless_core::{ModuleDecl, ModuleTiming, Op, RtModel, Step, Value};
+
+use crate::fixed::FRAC;
+
+/// Size of the constant/parameter file `M[]`.
+pub const M_FILE: usize = 8;
+/// Size of the scratch file `R[]`.
+pub const R_FILE: usize = 4;
+/// Size of the joint-angle file `J[]`.
+pub const J_FILE: usize = 3;
+
+/// Latency (control steps) of the sequential CORDIC core.
+pub const CORDIC_LATENCY: u32 = 8;
+/// Latency of the two-stage pipelined multiplier (§3: "The multiplier is
+/// a 2-stage pipelined unit").
+pub const MULT_LATENCY: u32 = 2;
+
+/// Builds the chip's resource skeleton (no transfers yet), preloading
+/// the `M[]` file with `(index, value)` pairs.
+///
+/// # Panics
+///
+/// Panics if an `M[]` index is out of range.
+pub fn chip_model(cs_max: Step, m_init: &[(usize, i64)]) -> RtModel {
+    let mut m = RtModel::new("iks_chip", cs_max);
+
+    // Register files, expanded to scalar registers.
+    for i in 0..M_FILE {
+        let init = m_init
+            .iter()
+            .find(|(idx, _)| *idx == i)
+            .map(|(_, v)| Value::Num(*v))
+            .unwrap_or(Value::Disc);
+        m.add_register_init(format!("M{i}"), init)
+            .expect("fresh name");
+    }
+    assert!(
+        m_init.iter().all(|(i, _)| *i < M_FILE),
+        "M[] index out of range"
+    );
+    for i in 0..R_FILE {
+        m.add_register(format!("R{i}")).expect("fresh name");
+    }
+    for i in 0..J_FILE {
+        m.add_register(format!("J{i}")).expect("fresh name");
+    }
+    for r in ["X", "Y", "Z", "P"] {
+        m.add_register(r).expect("fresh name");
+    }
+
+    // Buses: the two shared buses of Fig. 3, the write-back path, and
+    // the direct links modeled as dedicated buses.
+    for b in ["BusA", "BusB", "W", "LZA", "LZB", "LCA", "LCB"] {
+        m.add_bus(b).expect("fresh name");
+    }
+
+    // Functional modules.
+    m.add_module(ModuleDecl::single(
+        "MULT",
+        Op::MulFx(FRAC),
+        ModuleTiming::Pipelined {
+            latency: MULT_LATENCY,
+        },
+    ))
+    .expect("fresh name");
+    // The three adders are combinational multi-operation units; the
+    // opcode maps show them computing sums, differences and shifted
+    // operands ("X := 0 + Rshift(x2,i)").
+    for a in ["ZADD", "XADD", "YADD"] {
+        m.add_module(ModuleDecl::multi(
+            a,
+            [Op::Add, Op::Sub, Op::Shr, Op::PassA, Op::PassB],
+            ModuleTiming::Combinational,
+        ))
+        .expect("fresh name");
+    }
+    m.add_module(ModuleDecl::multi(
+        "CORDIC",
+        [
+            Op::Atan2Fx(FRAC),
+            Op::SqrtFx(FRAC),
+            Op::SinFx(FRAC),
+            Op::CosFx(FRAC),
+        ],
+        ModuleTiming::Sequential {
+            latency: CORDIC_LATENCY,
+        },
+    ))
+    .expect("fresh name");
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_inventory_matches_fig3() {
+        let m = chip_model(10, &[(0, 42)]);
+        assert_eq!(m.registers().len(), M_FILE + R_FILE + J_FILE + 4);
+        assert_eq!(m.buses().len(), 7);
+        assert_eq!(m.modules().len(), 5);
+        assert!(m.module_by_name("MULT").is_some());
+        assert!(m.module_by_name("CORDIC").is_some());
+        // Preload visible.
+        let m0 = m.register_by_name("M0").unwrap();
+        assert_eq!(m.registers()[m0.0 as usize].init, Value::Num(42));
+        let m1 = m.register_by_name("M1").unwrap();
+        assert_eq!(m.registers()[m1.0 as usize].init, Value::Disc);
+    }
+
+    #[test]
+    fn multiplier_is_two_stage_pipelined() {
+        let m = chip_model(4, &[]);
+        let mult = m.module_by_name("MULT").unwrap();
+        assert_eq!(
+            m.modules()[mult.0 as usize].timing,
+            ModuleTiming::Pipelined { latency: 2 }
+        );
+    }
+
+    #[test]
+    fn adders_are_combinational_multi_op() {
+        let m = chip_model(4, &[]);
+        for a in ["ZADD", "XADD", "YADD"] {
+            let id = m.module_by_name(a).unwrap();
+            let decl = &m.modules()[id.0 as usize];
+            assert_eq!(decl.timing, ModuleTiming::Combinational);
+            assert!(decl.needs_op_port());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_m_index_panics() {
+        chip_model(4, &[(M_FILE, 1)]);
+    }
+}

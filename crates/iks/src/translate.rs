@@ -1,0 +1,370 @@
+//! The microcode-to-transfers translator.
+//!
+//! §3: "We have extracted the register transfers from the microcode …
+//! This could be easily automated. We have written a C program, that
+//! translates the microcode tables given in \[10\] to transfer process
+//! instances." This module is that program: it decodes every
+//! microinstruction against the code maps, groups the operand routes and
+//! operation selections of each module per cycle, matches each `Result`
+//! route to the initiation `latency` cycles earlier, and produces the
+//! transfer tuples of the clock-free RT model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use clockless_core::{Op, RtModel, Step, TransferTuple};
+
+use crate::microcode::{MicroInstruction, MicroOp, MicrocodeError, OpcodeMaps, OperandPort};
+
+/// Errors from translating a microprogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TranslateMicrocodeError {
+    /// Decoding failed.
+    Decode(MicrocodeError),
+    /// A module's operand port was routed twice in one cycle.
+    DuplicateOperand {
+        /// The module.
+        module: String,
+        /// The cycle.
+        step: Step,
+    },
+    /// A module got two operation selections in one cycle.
+    DuplicateOperation {
+        /// The module.
+        module: String,
+        /// The cycle.
+        step: Step,
+    },
+    /// A module's result was routed twice in one cycle.
+    DuplicateResult {
+        /// The module.
+        module: String,
+        /// The cycle.
+        step: Step,
+    },
+    /// A result route had no matching initiation `latency` cycles
+    /// earlier.
+    OrphanResult {
+        /// The module.
+        module: String,
+        /// The cycle of the orphan result route.
+        step: Step,
+    },
+    /// An instruction referenced a module the model does not declare.
+    UnknownModule(String),
+    /// A single-operation module was given a different operation.
+    WrongOperation {
+        /// The module.
+        module: String,
+        /// The selected operation.
+        op: Op,
+    },
+}
+
+impl fmt::Display for TranslateMicrocodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TranslateMicrocodeError::*;
+        match self {
+            Decode(e) => write!(f, "{e}"),
+            DuplicateOperand { module, step } => {
+                write!(f, "module `{module}` operand routed twice in cycle {step}")
+            }
+            DuplicateOperation { module, step } => {
+                write!(
+                    f,
+                    "module `{module}` operation selected twice in cycle {step}"
+                )
+            }
+            DuplicateResult { module, step } => {
+                write!(f, "module `{module}` result routed twice in cycle {step}")
+            }
+            OrphanResult { module, step } => write!(
+                f,
+                "result of `{module}` routed in cycle {step} without a matching initiation"
+            ),
+            UnknownModule(m) => write!(f, "microcode references unknown module `{m}`"),
+            WrongOperation { module, op } => write!(
+                f,
+                "single-operation module `{module}` cannot perform `{op}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateMicrocodeError {}
+
+impl From<MicrocodeError> for TranslateMicrocodeError {
+    fn from(e: MicrocodeError) -> Self {
+        TranslateMicrocodeError::Decode(e)
+    }
+}
+
+#[derive(Default)]
+struct Initiation {
+    src_a: Option<(String, String)>, // (register, bus)
+    src_b: Option<(String, String)>,
+    op: Option<Op>,
+}
+
+/// Translates a microprogram into transfer tuples against the given chip
+/// model (used for module latencies and operation-port requirements).
+///
+/// # Errors
+///
+/// Any [`TranslateMicrocodeError`] describing the first inconsistency.
+pub fn translate(
+    program: &[MicroInstruction],
+    maps: &OpcodeMaps,
+    model: &RtModel,
+) -> Result<Vec<TransferTuple>, TranslateMicrocodeError> {
+    // Phase 1: decode and bucket.
+    let mut inits: HashMap<(String, Step), Initiation> = HashMap::new();
+    let mut results: HashMap<(String, Step), (String, String)> = HashMap::new(); // (bus, dst)
+    let mut init_order: Vec<(String, Step)> = Vec::new();
+
+    for instr in program {
+        for op in instr.decode(maps)? {
+            match op {
+                MicroOp::Operand {
+                    src,
+                    bus,
+                    module,
+                    port,
+                } => {
+                    let key = (module.clone(), instr.step);
+                    if !inits.contains_key(&key) {
+                        init_order.push(key.clone());
+                    }
+                    let entry = inits.entry(key).or_default();
+                    let slot = match port {
+                        OperandPort::In1 => &mut entry.src_a,
+                        OperandPort::In2 => &mut entry.src_b,
+                    };
+                    if slot.is_some() {
+                        return Err(TranslateMicrocodeError::DuplicateOperand {
+                            module,
+                            step: instr.step,
+                        });
+                    }
+                    *slot = Some((src, bus));
+                }
+                MicroOp::Operation { module, op } => {
+                    let key = (module.clone(), instr.step);
+                    if !inits.contains_key(&key) {
+                        init_order.push(key.clone());
+                    }
+                    let entry = inits.entry(key).or_default();
+                    if entry.op.is_some() {
+                        return Err(TranslateMicrocodeError::DuplicateOperation {
+                            module,
+                            step: instr.step,
+                        });
+                    }
+                    entry.op = Some(op);
+                }
+                MicroOp::Result { module, bus, dst } => {
+                    let key = (module.clone(), instr.step);
+                    if results.insert(key, (bus, dst)).is_some() {
+                        return Err(TranslateMicrocodeError::DuplicateResult {
+                            module,
+                            step: instr.step,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: match results to initiations and build tuples.
+    let mut tuples = Vec::new();
+    let mut consumed: Vec<(String, Step)> = Vec::new();
+    for key in &init_order {
+        let (module, step) = key;
+        let init = &inits[key];
+        let mid = model
+            .module_by_name(module)
+            .ok_or_else(|| TranslateMicrocodeError::UnknownModule(module.clone()))?;
+        let decl = &model.modules()[mid.0 as usize];
+        let mut tuple = TransferTuple::new(*step, module.clone());
+        if let Some((reg, bus)) = &init.src_a {
+            tuple = tuple.src_a(reg.clone(), bus.clone());
+        }
+        if let Some((reg, bus)) = &init.src_b {
+            tuple = tuple.src_b(reg.clone(), bus.clone());
+        }
+        // Operation selection: multi-op modules carry it on the tuple;
+        // single-op modules must agree with their only operation.
+        match init.op {
+            Some(op) if decl.needs_op_port() => tuple = tuple.op(op),
+            Some(op) if decl.ops[0] != op => {
+                return Err(TranslateMicrocodeError::WrongOperation {
+                    module: module.clone(),
+                    op,
+                });
+            }
+            Some(_) | None => {}
+        }
+        let write_step = step + decl.timing.latency();
+        if let Some((bus, dst)) = results.get(&(module.clone(), write_step)) {
+            tuple = tuple.write(write_step, bus.clone(), dst.clone());
+            consumed.push((module.clone(), write_step));
+        }
+        tuples.push(tuple);
+    }
+
+    // Orphan results: routed but never produced.
+    for (module, step) in results.keys() {
+        if !consumed.contains(&(module.clone(), *step)) {
+            return Err(TranslateMicrocodeError::OrphanResult {
+                module: module.clone(),
+                step: *step,
+            });
+        }
+    }
+
+    Ok(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microcode::{Field, MicroOpTemplate, RegRef};
+    use crate::resources::chip_model;
+    use clockless_core::Op;
+
+    fn simple_maps() -> OpcodeMaps {
+        let mut maps = OpcodeMaps::default();
+        maps.opc1.insert(0, vec![]);
+        maps.opc1.insert(
+            1,
+            vec![
+                MicroOpTemplate::Operand {
+                    src: RegRef::indexed("M", Field::Mr),
+                    bus: "BusA".into(),
+                    module: "MULT".into(),
+                    port: OperandPort::In1,
+                },
+                MicroOpTemplate::Operand {
+                    src: RegRef::indexed("M", Field::R1),
+                    bus: "BusB".into(),
+                    module: "MULT".into(),
+                    port: OperandPort::In2,
+                },
+            ],
+        );
+        maps.opc1.insert(
+            2,
+            vec![MicroOpTemplate::Result {
+                module: "MULT".into(),
+                bus: "W".into(),
+                dst: RegRef::named("X"),
+            }],
+        );
+        maps.opc2.insert(0, vec![]);
+        maps.opc2.insert(
+            1,
+            vec![MicroOpTemplate::Operation {
+                module: "MULT".into(),
+                op: Op::MulFx(16),
+            }],
+        );
+        maps
+    }
+
+    fn instr(addr: u32, step: Step, opc1: u8, opc2: u8, mr: u8, r1: u8) -> MicroInstruction {
+        MicroInstruction {
+            addr,
+            step,
+            opc1,
+            opc2,
+            j: 0,
+            r1,
+            mr,
+        }
+    }
+
+    #[test]
+    fn initiation_and_result_merge_into_one_tuple() {
+        let model = chip_model(5, &[]);
+        let program = [
+            instr(0, 1, 1, 1, 0, 1), // MULT <- M0 * M1
+            instr(1, 3, 2, 0, 0, 0), // X <- MULT (latency 2)
+        ];
+        let tuples = translate(&program, &simple_maps(), &model).unwrap();
+        assert_eq!(tuples.len(), 1);
+        let t = &tuples[0];
+        assert_eq!(t.to_string(), "(M0,BusA,M1,BusB,1,MULT,3,W,X)");
+        // Single-op module: the selector is folded away.
+        assert!(t.op.is_none());
+    }
+
+    #[test]
+    fn orphan_result_detected() {
+        let model = chip_model(5, &[]);
+        let program = [instr(0, 3, 2, 0, 0, 0)];
+        assert_eq!(
+            translate(&program, &simple_maps(), &model),
+            Err(TranslateMicrocodeError::OrphanResult {
+                module: "MULT".into(),
+                step: 3
+            })
+        );
+    }
+
+    #[test]
+    fn mismatched_result_cycle_is_orphan() {
+        let model = chip_model(5, &[]);
+        // Result routed one cycle early (latency is 2).
+        let program = [instr(0, 1, 1, 1, 0, 1), instr(1, 2, 2, 0, 0, 0)];
+        assert!(matches!(
+            translate(&program, &simple_maps(), &model),
+            Err(TranslateMicrocodeError::OrphanResult { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_operand_detected() {
+        let model = chip_model(5, &[]);
+        let mut maps = simple_maps();
+        maps.opc1.insert(
+            3,
+            vec![MicroOpTemplate::Operand {
+                src: RegRef::named("X"),
+                bus: "LZA".into(),
+                module: "MULT".into(),
+                port: OperandPort::In1,
+            }],
+        );
+        // Two instructions in the same cycle both route MULT.In1.
+        let program = [instr(0, 1, 1, 1, 0, 1), instr(1, 1, 3, 0, 0, 0)];
+        assert_eq!(
+            translate(&program, &maps, &model),
+            Err(TranslateMicrocodeError::DuplicateOperand {
+                module: "MULT".into(),
+                step: 1
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_operation_on_single_op_module() {
+        let model = chip_model(5, &[]);
+        let mut maps = simple_maps();
+        maps.opc2.insert(
+            9,
+            vec![MicroOpTemplate::Operation {
+                module: "MULT".into(),
+                op: Op::Add,
+            }],
+        );
+        let program = [instr(0, 1, 1, 9, 0, 1)];
+        assert_eq!(
+            translate(&program, &maps, &model),
+            Err(TranslateMicrocodeError::WrongOperation {
+                module: "MULT".into(),
+                op: Op::Add
+            })
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for kernel elaboration and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::signal::SignalId;
+use crate::time::SimTime;
+
+/// Errors raised while building (elaborating) or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A signal with more than one driver was declared without a
+    /// resolution function, which VHDL semantics forbid.
+    UnresolvedMultipleDrivers {
+        /// The offending signal.
+        signal: SignalId,
+        /// The signal's name, for diagnostics.
+        name: String,
+        /// How many drivers were attached.
+        drivers: usize,
+    },
+    /// A process assigned to a signal it never declared as driven.
+    NotADriver {
+        /// The offending signal.
+        signal: SignalId,
+        /// The name of the process that attempted the assignment.
+        process: String,
+    },
+    /// The per-instant delta-cycle budget was exhausted, which almost
+    /// always indicates a zero-delay oscillation in the model.
+    DeltaOverflow {
+        /// Time point at which the limit was hit.
+        at: SimTime,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A signal id referred to a signal that does not exist.
+    UnknownSignal(SignalId),
+    /// `initialize` was called twice, or `run` before `initialize`.
+    BadPhase(&'static str),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnresolvedMultipleDrivers { name, drivers, .. } => write!(
+                f,
+                "signal `{name}` has {drivers} drivers but no resolution function"
+            ),
+            KernelError::NotADriver { signal, process } => write!(
+                f,
+                "process `{process}` assigned to signal {signal:?} without driving it"
+            ),
+            KernelError::DeltaOverflow { at, limit } => write!(
+                f,
+                "delta-cycle limit {limit} exhausted at {at}; model is oscillating"
+            ),
+            KernelError::UnknownSignal(id) => write!(f, "unknown signal {id:?}"),
+            KernelError::BadPhase(msg) => write!(f, "kernel used out of order: {msg}"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let e = KernelError::DeltaOverflow {
+            at: SimTime::ZERO,
+            limit: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("delta-cycle limit 10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

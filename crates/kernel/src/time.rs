@@ -1,0 +1,124 @@
+//! Simulation time: physical time plus VHDL-style delta cycles.
+//!
+//! The clock-free models of the paper never advance physical time: all
+//! activity happens in *delta cycles* at time zero. Clocked and handshake
+//! models, in contrast, schedule events at physical times. [`SimTime`]
+//! carries both components so a single kernel serves every modeling style.
+
+use std::fmt;
+
+/// Physical simulation time in femtoseconds.
+///
+/// Femtoseconds give ample headroom: `u64` femtoseconds cover about five
+/// hours of simulated time, far beyond any RT-level run.
+pub type Femtos = u64;
+
+/// One nanosecond expressed in femtoseconds.
+pub const NS: Femtos = 1_000_000;
+/// One picosecond expressed in femtoseconds.
+pub const PS: Femtos = 1_000;
+
+/// A point in simulation time: physical femtoseconds plus the delta-cycle
+/// count within that physical instant.
+///
+/// Ordered lexicographically: all delta cycles of a physical time precede
+/// the first delta cycle of any later physical time, mirroring VHDL
+/// simulation semantics where delta cycles "do not increase physical time".
+///
+/// # Examples
+///
+/// ```
+/// use clockless_kernel::time::SimTime;
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0.next_delta();
+/// assert!(t0 < t1);
+/// assert_eq!(t1.fs, 0);
+/// assert_eq!(t1.delta, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    /// Physical time in femtoseconds.
+    pub fs: Femtos,
+    /// Delta cycle index within the physical instant `fs`.
+    pub delta: u64,
+}
+
+impl SimTime {
+    /// The origin of simulation: time zero, delta zero.
+    pub const ZERO: SimTime = SimTime { fs: 0, delta: 0 };
+
+    /// Creates a time at the first delta cycle of the given physical time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clockless_kernel::time::{SimTime, NS};
+    /// let t = SimTime::at(5 * NS);
+    /// assert_eq!(t.fs, 5_000_000);
+    /// assert_eq!(t.delta, 0);
+    /// ```
+    pub const fn at(fs: Femtos) -> SimTime {
+        SimTime { fs, delta: 0 }
+    }
+
+    /// The next delta cycle at the same physical time.
+    pub const fn next_delta(self) -> SimTime {
+        SimTime {
+            fs: self.fs,
+            delta: self.delta + 1,
+        }
+    }
+
+    /// The first delta cycle of a later physical time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `fs` is not strictly later than `self.fs`.
+    pub fn advanced_to(self, fs: Femtos) -> SimTime {
+        debug_assert!(fs > self.fs, "time must advance strictly");
+        SimTime { fs, delta: 0 }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fs.is_multiple_of(NS) {
+            write!(f, "{}ns+{}d", self.fs / NS, self.delta)
+        } else {
+            write!(f, "{}fs+{}d", self.fs, self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = SimTime { fs: 0, delta: 5 };
+        let b = SimTime { fs: 1, delta: 0 };
+        assert!(a < b);
+        assert!(SimTime::ZERO < a);
+    }
+
+    #[test]
+    fn next_delta_keeps_physical_time() {
+        let t = SimTime::at(3 * NS).next_delta().next_delta();
+        assert_eq!(t.fs, 3 * NS);
+        assert_eq!(t.delta, 2);
+    }
+
+    #[test]
+    fn display_prefers_nanoseconds() {
+        assert_eq!(SimTime::at(2 * NS).to_string(), "2ns+0d");
+        assert_eq!(SimTime { fs: 1500, delta: 3 }.to_string(), "1500fs+3d");
+    }
+
+    #[test]
+    fn advanced_to_resets_delta() {
+        let t = SimTime { fs: 10, delta: 7 }.advanced_to(20);
+        assert_eq!(t, SimTime { fs: 20, delta: 0 });
+    }
+}

@@ -1,0 +1,213 @@
+//! Integration tests exercising kernel behaviours across modules:
+//! tracing, mixed delta/physical timing, run control and stress shapes.
+
+use std::sync::Arc;
+
+use clockless_kernel::prelude::*;
+
+#[test]
+fn trace_records_initial_values_and_events() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    sim.enable_trace();
+    let a = sim.signal("a", 5);
+    let b = sim.signal("b", 0);
+    sim.process("copy", &[b], move |ctx: &mut ProcessCtx<'_, i64>| {
+        let v = *ctx.value(a);
+        ctx.assign(b, v * 2);
+        Wait::Done
+    });
+    sim.initialize().unwrap();
+    sim.run().unwrap();
+    let trace = sim.trace().expect("tracing enabled");
+    // Initial values for both signals plus b's change.
+    assert_eq!(trace.events().len(), 3);
+    assert_eq!(trace.last_value(a), Some(&5));
+    assert_eq!(trace.last_value(b), Some(&10));
+    // a never changed after initialization.
+    assert_eq!(trace.events_for(a).count(), 1);
+}
+
+#[test]
+fn run_until_stops_at_the_deadline() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    let tick = sim.signal("tick", 0);
+    let mut n = 0i64;
+    sim.process("clock", &[tick], move |ctx: &mut ProcessCtx<'_, i64>| {
+        n += 1;
+        ctx.assign(tick, n);
+        Wait::For(10 * NS)
+    });
+    sim.initialize().unwrap();
+    sim.run_until(35 * NS).unwrap();
+    // Ticks at 0, 10, 20, 30 ns have fired; the 40 ns one has not.
+    assert_eq!(*sim.value(tick), 4);
+    assert!(!sim.is_quiescent());
+    sim.run_until(40 * NS).unwrap();
+    assert_eq!(*sim.value(tick), 5);
+}
+
+#[test]
+fn timed_updates_at_the_same_instant_apply_in_issue_order() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    let s = sim.signal("s", 0);
+    sim.process("d", &[s], move |ctx: &mut ProcessCtx<'_, i64>| {
+        // Both land at t = 5ns; the later-issued write wins (it is the
+        // driver's final scheduled value for that instant).
+        ctx.assign_after(s, 1, 5 * NS);
+        ctx.assign_after(s, 2, 5 * NS);
+        Wait::Done
+    });
+    sim.initialize().unwrap();
+    sim.run().unwrap();
+    assert_eq!(*sim.value(s), 2);
+}
+
+#[test]
+fn wait_for_zero_resumes_next_delta() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    let s = sim.signal("s", 0);
+    let mut fired = 0i64;
+    sim.process("z", &[s], move |ctx: &mut ProcessCtx<'_, i64>| {
+        fired += 1;
+        ctx.assign(s, fired);
+        if fired < 3 {
+            Wait::For(0)
+        } else {
+            Wait::Done
+        }
+    });
+    sim.initialize().unwrap();
+    let stats = sim.run().unwrap();
+    assert_eq!(*sim.value(s), 3);
+    // Everything happened at physical time zero.
+    assert_eq!(stats.time_advances, 0);
+    assert_eq!(sim.now().fs, 0);
+}
+
+#[test]
+fn resolved_bus_with_many_drivers_stress() {
+    // 64 drivers on one bus, each active in its own delta window.
+    let mut sim: Simulator<i64> = Simulator::new();
+    let resolver: Resolver<i64> = Arc::new(|d: &[i64]| d.iter().copied().filter(|&v| v != 0).sum());
+    let bus = sim.resolved_signal("bus", 0, resolver);
+    for i in 0..64i64 {
+        sim.process(
+            format!("d{i}"),
+            &[bus],
+            move |ctx: &mut ProcessCtx<'_, i64>| {
+                ctx.assign(bus, i + 1);
+                Wait::Done
+            },
+        );
+    }
+    sim.initialize().unwrap();
+    sim.run().unwrap();
+    // Sum of 1..=64.
+    assert_eq!(*sim.value(bus), 65 * 32);
+}
+
+#[test]
+fn long_delta_chain_is_linear_and_exact() {
+    // A 10_000-stage delta ripple: process i fires when s reaches i.
+    let mut sim: Simulator<i64> = Simulator::new();
+    let s = sim.signal("s", 0);
+    let mut n = 0i64;
+    sim.process("ripple", &[s], move |ctx: &mut ProcessCtx<'_, i64>| {
+        n += 1;
+        if n <= 10_000 {
+            ctx.assign(s, n);
+            Wait::on(s)
+        } else {
+            Wait::Done
+        }
+    });
+    sim.initialize().unwrap();
+    let stats = sim.run().unwrap();
+    assert_eq!(*sim.value(s), 10_000);
+    assert!(stats.delta_cycles >= 10_000);
+    assert_eq!(stats.time_advances, 0);
+}
+
+#[test]
+fn signal_and_process_names_are_queryable() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    let a = sim.signal("alpha", 0);
+    let pid = sim.process("worker", &[a], |_: &mut ProcessCtx<'_, i64>| Wait::Done);
+    assert_eq!(sim.signal_name(a), "alpha");
+    assert_eq!(sim.process_name(pid), "worker");
+    assert_eq!(sim.signal_names().collect::<Vec<_>>(), vec!["alpha"]);
+}
+
+#[test]
+fn mixed_delta_and_physical_activity() {
+    // A physical-time producer and a delta-time follower interleave.
+    let mut sim: Simulator<i64> = Simulator::new();
+    let src = sim.signal("src", 0);
+    let dst = sim.signal("dst", 0);
+    let mut n = 0i64;
+    sim.process("producer", &[src], move |ctx: &mut ProcessCtx<'_, i64>| {
+        n += 1;
+        ctx.assign(src, n);
+        if n < 5 {
+            Wait::For(7 * NS)
+        } else {
+            Wait::Done
+        }
+    });
+    sim.process("follower", &[dst], move |ctx: &mut ProcessCtx<'_, i64>| {
+        let v = *ctx.value(src);
+        ctx.assign(dst, v * 10);
+        Wait::on(src)
+    });
+    sim.initialize().unwrap();
+    let stats = sim.run().unwrap();
+    assert_eq!(*sim.value(dst), 50);
+    assert_eq!(sim.now().fs, 4 * 7 * NS);
+    assert_eq!(stats.time_advances, 4);
+}
+
+#[test]
+fn force_after_quiescence_revives_the_simulation() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    let input = sim.signal("in", 0);
+    let acc = sim.signal("acc", 0);
+    sim.process("sum", &[acc], move |ctx: &mut ProcessCtx<'_, i64>| {
+        let v = *ctx.value(input) + *ctx.value(acc);
+        if *ctx.value(input) != 0 {
+            ctx.assign(acc, v);
+        }
+        Wait::on(input)
+    });
+    sim.initialize().unwrap();
+    sim.run().unwrap();
+    for v in [3, 4, 5] {
+        sim.force(input, v).unwrap();
+        sim.run().unwrap();
+    }
+    assert_eq!(*sim.value(acc), 12);
+}
+
+#[test]
+fn vcd_export_of_a_real_run() {
+    let mut sim: Simulator<i64> = Simulator::new();
+    sim.enable_trace();
+    let s = sim.signal("sig", 0);
+    let mut n = 0i64;
+    sim.process("count", &[s], move |ctx: &mut ProcessCtx<'_, i64>| {
+        n += 1;
+        ctx.assign(s, n);
+        if n < 4 {
+            Wait::on(s)
+        } else {
+            Wait::Done
+        }
+    });
+    sim.initialize().unwrap();
+    sim.run().unwrap();
+    let names: Vec<String> = sim.signal_names().map(str::to_string).collect();
+    let vcd = sim.trace().unwrap().to_vcd(&names);
+    assert!(vcd.contains("$var wire 64 ! sig $end"));
+    // Four value changes + initial: five timesteps at most.
+    assert!(vcd.matches("\n#").count() <= 5);
+    assert!(vcd.contains("s4 !"));
+}

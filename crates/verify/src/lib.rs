@@ -1,0 +1,58 @@
+//! # clockless-verify — formal semantics, conflict checking, equivalence
+//!
+//! §2.7 of the DATE 1998 paper argues that the clock-free subset's "easy
+//! mappings lead to simple formal semantics, which form the basis for
+//! automatic verification tools". This crate is that verification layer:
+//!
+//! * [`semantics`] — the bidirectional tuple ↔ transfer-process mapping
+//!   of §2.7: expansion is in `clockless-core`; reconstruction (via the
+//!   paper's *partial tuples*) and the round-trip consistency check live
+//!   here.
+//! * [`conflicts`] — a static resource-conflict analysis over the tuples,
+//!   cross-checked against the dynamic `ILLEGAL` detector of the
+//!   simulation (both must agree, and the dynamic one additionally sees
+//!   data-dependent illegality).
+//! * [`symbolic`] — symbolic simulation: registers as expression trees,
+//!   executed with exact control-step semantics.
+//! * [`mod@normalize`] — polynomial normal forms over wrapping `i64` (the
+//!   "computer algebra simplification" of the verification flow).
+//! * [`equiv`] — the automatic proving procedure for high-level-synthesis
+//!   results: RT model vs dataflow graph, proven by normalization with
+//!   randomized concrete testing as fallback.
+//! * [`vhdl_import`] — VHDL source in the paper's subset reassembled
+//!   into runnable models (parser + tuple reconstruction).
+//! * [`lint`] — schedule lints: dead writes, undefined reads, unused
+//!   resources.
+//!
+//! ## Example
+//!
+//! ```
+//! use clockless_verify::semantics::roundtrip_check;
+//! use clockless_core::model::fig1_model;
+//!
+//! // Tuples -> processes -> tuples is the identity (§2.7).
+//! roundtrip_check(&fig1_model(3, 4))?;
+//! # Ok::<(), clockless_verify::semantics::SemanticsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conflicts;
+pub mod equiv;
+pub mod lint;
+pub mod normalize;
+pub mod semantics;
+pub mod symbolic;
+pub mod vhdl_import;
+
+pub use conflicts::{cross_check, static_conflicts, CrossCheck, PredictedConflict};
+pub use lint::{lint_model, Lint};
+pub use equiv::{
+    concrete_check, dfg_expressions, verify_synthesis, OutputVerdict, SynthesisVerification,
+    VerifyError,
+};
+pub use normalize::{equivalent, normalize, Atom, Poly};
+pub use semantics::{merge_partials, reconstruct_partials, roundtrip_check, SemanticsError};
+pub use symbolic::{symbolic_run, Expr, SymbolicError};
+pub use vhdl_import::{model_from_design, model_from_vhdl, ImportVhdlError};

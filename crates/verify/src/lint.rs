@@ -1,0 +1,265 @@
+//! Schedule lints: dead transfers, unused resources, latent hazards.
+//!
+//! Beyond hard conflicts (ILLEGAL values), a schedule can be *wasteful*
+//! or *suspicious* in ways the paper's methodology makes mechanically
+//! checkable from the tuples alone: results that nothing ever reads,
+//! registers that are written but never consumed, declared resources no
+//! transfer touches, and reads of registers that provably hold nothing.
+//! These are warnings, not errors — the model still simulates.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use clockless_core::{RtModel, Step, Value};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Lint {
+    /// A register is written but its value is never read afterwards.
+    DeadWrite {
+        /// The register.
+        register: String,
+        /// The step whose `cr` phase stores the value.
+        step: Step,
+    },
+    /// A register is read at a step where it provably holds no value
+    /// (never preloaded, no earlier commit) — the module will see `DISC`
+    /// or poison the datapath.
+    ReadOfUndefined {
+        /// The register.
+        register: String,
+        /// The reading step.
+        step: Step,
+    },
+    /// A declared register no transfer reads or writes.
+    UnusedRegister(String),
+    /// A declared bus no transfer rides.
+    UnusedBus(String),
+    /// A declared module no transfer initiates.
+    UnusedModule(String),
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::DeadWrite { register, step } => {
+                write!(f, "write into `{register}` at step {step} is never read")
+            }
+            Lint::ReadOfUndefined { register, step } => write!(
+                f,
+                "`{register}` is read at step {step} but holds no value by then"
+            ),
+            Lint::UnusedRegister(r) => write!(f, "register `{r}` is never used"),
+            Lint::UnusedBus(b) => write!(f, "bus `{b}` is never used"),
+            Lint::UnusedModule(m) => write!(f, "module `{m}` is never used"),
+        }
+    }
+}
+
+/// Lints a model's schedule. Findings are ordered: dead writes, undefined
+/// reads, then unused resources.
+pub fn lint_model(model: &RtModel) -> Vec<Lint> {
+    let mut findings = Vec::new();
+
+    // Reads and writes per register.
+    let mut reads: Vec<(String, Step)> = Vec::new();
+    let mut writes: Vec<(String, Step)> = Vec::new();
+    let mut used_buses: HashSet<&str> = HashSet::new();
+    let mut used_modules: HashSet<&str> = HashSet::new();
+    for t in model.tuples() {
+        used_modules.insert(&t.module);
+        for r in [&t.src_a, &t.src_b].into_iter().flatten() {
+            reads.push((r.register.clone(), t.read_step));
+            used_buses.insert(&r.bus);
+        }
+        if let Some(w) = &t.write {
+            writes.push((w.register.clone(), w.step));
+            used_buses.insert(&w.bus);
+        }
+    }
+
+    // Dead writes: a commit at step s is live if some read of the same
+    // register happens at a step > s before the next overwrite, or the
+    // value survives to the end (observable output — only counted as
+    // live if the register is *ever* read; final observability is the
+    // caller's judgement, so we only flag overwritten-unread commits).
+    for (reg, step) in &writes {
+        let next_overwrite = writes
+            .iter()
+            .filter(|(r, s)| r == reg && s > step)
+            .map(|(_, s)| *s)
+            .min();
+        let Some(end) = next_overwrite else {
+            continue; // final value: observable after the run
+        };
+        let read_between = reads
+            .iter()
+            .any(|(r, s)| r == reg && *s > *step && *s <= end);
+        if !read_between {
+            findings.push(Lint::DeadWrite {
+                register: reg.clone(),
+                step: *step,
+            });
+        }
+    }
+
+    // Reads of provably-undefined registers.
+    for (reg, step) in &reads {
+        let rid = model.register_by_name(reg).expect("validated tuple");
+        let preloaded = model.registers()[rid.0 as usize].init != Value::Disc;
+        if preloaded {
+            continue;
+        }
+        let written_before = writes.iter().any(|(r, s)| r == reg && s < step);
+        if !written_before {
+            findings.push(Lint::ReadOfUndefined {
+                register: reg.clone(),
+                step: *step,
+            });
+        }
+    }
+
+    // Unused resources.
+    for r in model.registers() {
+        let touched = reads.iter().any(|(n, _)| n == &r.name)
+            || writes.iter().any(|(n, _)| n == &r.name);
+        if !touched {
+            findings.push(Lint::UnusedRegister(r.name.clone()));
+        }
+    }
+    for b in model.buses() {
+        if !used_buses.contains(b.name.as_str()) {
+            findings.push(Lint::UnusedBus(b.name.clone()));
+        }
+    }
+    for m in model.modules() {
+        if !used_modules.contains(m.name.as_str()) {
+            findings.push(Lint::UnusedModule(m.name.clone()));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+    use clockless_core::prelude::*;
+
+    #[test]
+    fn fig1_is_clean() {
+        assert_eq!(lint_model(&fig1_model(1, 2)), Vec::new());
+    }
+
+    fn playground() -> RtModel {
+        let mut m = RtModel::new("lintme", 10);
+        m.add_register_init("A", Value::Num(1)).unwrap();
+        m.add_register("T").unwrap();
+        m.add_register("U").unwrap();
+        m.add_bus("X").unwrap();
+        m.add_bus("Y").unwrap();
+        m.add_module(ModuleDecl::single(
+            "CP",
+            Op::PassA,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn dead_write_detected() {
+        let mut m = playground();
+        // T := A at step 2, overwritten at step 4 without a read between.
+        m.add_transfer(TransferTuple::new(2, "CP").src_a("A", "X").write(2, "Y", "T"))
+            .unwrap();
+        m.add_transfer(TransferTuple::new(4, "CP").src_a("A", "X").write(4, "Y", "T"))
+            .unwrap();
+        let lints = lint_model(&m);
+        assert!(lints.contains(&Lint::DeadWrite {
+            register: "T".into(),
+            step: 2
+        }));
+        // The step-4 write is the final value: not flagged.
+        assert!(!lints.contains(&Lint::DeadWrite {
+            register: "T".into(),
+            step: 4
+        }));
+    }
+
+    #[test]
+    fn read_between_writes_is_live() {
+        let mut m = playground();
+        m.add_transfer(TransferTuple::new(2, "CP").src_a("A", "X").write(2, "Y", "T"))
+            .unwrap();
+        // Read T at step 3…
+        m.add_transfer(TransferTuple::new(3, "CP").src_a("T", "X").write(3, "Y", "U"))
+            .unwrap();
+        // …then overwrite at step 4.
+        m.add_transfer(TransferTuple::new(4, "CP").src_a("A", "X").write(4, "Y", "T"))
+            .unwrap();
+        let lints = lint_model(&m);
+        assert!(!lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeadWrite { register, .. } if register == "T")));
+    }
+
+    #[test]
+    fn read_of_undefined_detected() {
+        let mut m = playground();
+        // U is never written nor preloaded, yet read at step 2.
+        m.add_transfer(TransferTuple::new(2, "CP").src_a("U", "X").write(2, "Y", "T"))
+            .unwrap();
+        let lints = lint_model(&m);
+        assert!(lints.contains(&Lint::ReadOfUndefined {
+            register: "U".into(),
+            step: 2
+        }));
+    }
+
+    #[test]
+    fn unused_resources_detected() {
+        let mut m = playground();
+        m.add_bus("Z").unwrap();
+        m.add_module(ModuleDecl::single(
+            "NEG",
+            Op::Neg,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m.add_transfer(TransferTuple::new(2, "CP").src_a("A", "X").write(2, "Y", "T"))
+            .unwrap();
+        let lints = lint_model(&m);
+        assert!(lints.contains(&Lint::UnusedRegister("U".into())));
+        assert!(lints.contains(&Lint::UnusedBus("Z".into())));
+        assert!(lints.contains(&Lint::UnusedModule("NEG".into())));
+    }
+
+    #[test]
+    fn hls_outputs_are_lint_clean() {
+        use clockless_hls::prelude::*;
+        let g = diffeq();
+        let inputs = [("x", 1), ("y", 2), ("u", 3), ("dx", 1)]
+            .into_iter()
+            .collect();
+        let resources = clockless_hls::ResourceSet::unconstrained(&g);
+        let syn = synthesize(&g, &resources, &inputs).unwrap();
+        assert_eq!(lint_model(&syn.model), Vec::new());
+    }
+
+    #[test]
+    fn iks_chip_is_lint_clean_for_its_inputs() {
+        use clockless_iks::prelude::*;
+        let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).unwrap();
+        let lints = lint_model(&chip.model);
+        // The chip declares the full Fig. 3 inventory; the IK program
+        // uses a subset — unused-resource lints are expected (the spare
+        // adders, R2/R3, M7 and the unused J slot), but no dataflow
+        // lints.
+        assert!(!lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeadWrite { .. } | Lint::ReadOfUndefined { .. })));
+    }
+}

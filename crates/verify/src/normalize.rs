@@ -1,0 +1,325 @@
+//! Normalization of symbolic expressions to a polynomial normal form.
+//!
+//! The paper's verification flow compares RT-level descriptions with more
+//! abstract ones through "a computer algebra simplification tool" (the
+//! cited Arditi & Collavizza approach) — i.e. by normalizing both sides.
+//! We normalize the ring fragment (`add`, `sub`, `neg`, `mul`, `shl` by
+//! constants, pass-throughs) into multivariate polynomials over **atoms**;
+//! everything else (shifts by variables, min/max, CORDIC operations, …)
+//! becomes an opaque atom whose arguments are normalized recursively.
+//! Arithmetic is carried out in wrapping `i64`, the same ring the
+//! simulated datapath computes in, so the normalization is sound for
+//! equivalence checking.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use clockless_core::Op;
+
+use crate::symbolic::Expr;
+
+/// A monomial: atoms with their powers (empty = the constant monomial).
+type Monomial = BTreeMap<Atom, u32>;
+
+/// An atom: a variable or an opaque operation over normalized arguments.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Atom {
+    /// A symbolic variable.
+    Var(String),
+    /// An opaque operation (not in the polynomial fragment) applied to
+    /// normalized arguments.
+    Opaque(Op, Vec<Poly>),
+}
+
+/// A multivariate polynomial in normal form: a map from monomials to
+/// (wrapping `i64`) coefficients; zero coefficients are never stored.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, i64>,
+}
+
+/// Term-count bound beyond which products stop being expanded and become
+/// opaque atoms instead (keeps pathological expressions tractable).
+const TERM_LIMIT: usize = 4096;
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Poly {
+        let mut p = Poly::zero();
+        if c != 0 {
+            p.terms.insert(Monomial::new(), c);
+        }
+        p
+    }
+
+    /// A single-atom polynomial.
+    pub fn atom(a: Atom) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(a, 1);
+        let mut p = Poly::zero();
+        p.terms.insert(m, 1);
+        p
+    }
+
+    /// `true` if this is a constant (possibly zero).
+    pub fn as_constant(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Monomial::new()).copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn add_term(&mut self, m: Monomial, c: i64) {
+        let e = self.terms.entry(m).or_insert(0);
+        *e = e.wrapping_add(c);
+        if *e == 0 {
+            // Remove the zero entry to keep the form canonical.
+            let key: Vec<Monomial> = self
+                .terms
+                .iter()
+                .filter(|(_, &v)| v == 0)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Sum of two polynomials (wrapping coefficients).
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &other.terms {
+            out.add_term(m.clone(), *c);
+        }
+        out
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            out.add_term(m.clone(), c.wrapping_neg());
+        }
+        out
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.neg())
+    }
+
+    /// Product; `None` when the result would exceed the term limit.
+    pub fn mul(&self, other: &Poly) -> Option<Poly> {
+        if self.terms.len().saturating_mul(other.terms.len()) > TERM_LIMIT {
+            return None;
+        }
+        let mut out = Poly::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                let mut m = m1.clone();
+                for (a, p) in m2 {
+                    *m.entry(a.clone()).or_insert(0) += p;
+                }
+                out.add_term(m, c1.wrapping_mul(*c2));
+            }
+        }
+        if out.terms.len() > TERM_LIMIT {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+            for (a, p) in m {
+                match a {
+                    Atom::Var(v) => write!(f, "·{v}")?,
+                    Atom::Opaque(op, args) => {
+                        write!(f, "·{op}(")?;
+                        for (i, arg) in args.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{arg}")?;
+                        }
+                        write!(f, ")")?;
+                    }
+                }
+                if *p > 1 {
+                    write!(f, "^{p}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes an expression into polynomial normal form.
+pub fn normalize(e: &Expr) -> Poly {
+    match e {
+        Expr::Const(c) => Poly::constant(*c),
+        Expr::Var(v) => Poly::atom(Atom::Var(v.clone())),
+        Expr::Apply(op, args) => {
+            let norm: Vec<Poly> = args.iter().map(|a| normalize(a)).collect();
+            match (op, norm.as_slice()) {
+                (Op::Add, [a, b]) => a.add(b),
+                (Op::Sub, [a, b]) => a.sub(b),
+                (Op::Neg, [a]) => a.neg(),
+                (Op::PassA, [a]) | (Op::PassB, [a]) => a.clone(),
+                (Op::Mul, [a, b]) => match a.mul(b) {
+                    Some(p) => p,
+                    None => Poly::atom(Atom::Opaque(*op, norm.clone())),
+                },
+                (Op::Shl, [a, b]) => {
+                    // Left shift by a constant is multiplication by 2^k.
+                    if let Some(k) = b.as_constant() {
+                        if (0..63).contains(&k) {
+                            if let Some(p) = a.mul(&Poly::constant(1i64 << k)) {
+                                return p;
+                            }
+                        }
+                    }
+                    Poly::atom(Atom::Opaque(*op, norm.clone()))
+                }
+                _ => Poly::atom(Atom::Opaque(*op, norm.clone())),
+            }
+        }
+    }
+}
+
+/// `true` when the two expressions normalize to the same polynomial.
+///
+/// A `true` answer is a proof of equivalence over wrapping `i64`
+/// arithmetic; a `false` answer may be a false negative when opaque
+/// operations are involved (use random concrete testing as a fallback).
+pub fn equivalent(a: &Rc<Expr>, b: &Rc<Expr>) -> bool {
+    normalize(a) == normalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Rc<Expr> {
+        Expr::var(n)
+    }
+    fn apply(op: Op, args: Vec<Rc<Expr>>) -> Rc<Expr> {
+        Expr::apply(op, args).expect("no illegal constants in tests")
+    }
+
+    #[test]
+    fn commutativity_of_addition() {
+        let ab = apply(Op::Add, vec![v("a"), v("b")]);
+        let ba = apply(Op::Add, vec![v("b"), v("a")]);
+        assert!(equivalent(&ab, &ba));
+    }
+
+    #[test]
+    fn distributivity() {
+        // (a+b)*c == a*c + b*c
+        let lhs = apply(Op::Mul, vec![apply(Op::Add, vec![v("a"), v("b")]), v("c")]);
+        let rhs = apply(
+            Op::Add,
+            vec![
+                apply(Op::Mul, vec![v("a"), v("c")]),
+                apply(Op::Mul, vec![v("b"), v("c")]),
+            ],
+        );
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        // (a + b) - b == a
+        let lhs = apply(Op::Sub, vec![apply(Op::Add, vec![v("a"), v("b")]), v("b")]);
+        assert!(equivalent(&lhs, &v("a")));
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero() {
+        let lhs = apply(Op::Neg, vec![v("x")]);
+        let rhs = apply(Op::Sub, vec![Expr::constant(0), v("x")]);
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn shl_by_constant_is_scaling() {
+        let lhs = apply(Op::Shl, vec![v("x"), Expr::constant(3)]);
+        let rhs = apply(Op::Mul, vec![v("x"), Expr::constant(8)]);
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn different_polynomials_differ() {
+        let a = apply(Op::Mul, vec![v("a"), v("a")]);
+        let b = apply(Op::Mul, vec![v("a"), v("b")]);
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn opaque_operations_compare_structurally() {
+        let a = apply(Op::Min, vec![v("x"), v("y")]);
+        let b = apply(Op::Min, vec![v("x"), v("y")]);
+        let c = apply(Op::Min, vec![v("y"), v("x")]);
+        assert!(equivalent(&a, &b));
+        // Min is commutative but opaque: structural comparison misses it
+        // (documented false negative).
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn opaque_arguments_are_normalized() {
+        // min(a+b, c) == min(b+a, c): the arguments normalize.
+        let a = apply(Op::Min, vec![apply(Op::Add, vec![v("a"), v("b")]), v("c")]);
+        let b = apply(Op::Min, vec![apply(Op::Add, vec![v("b"), v("a")]), v("c")]);
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn wrapping_soundness() {
+        // (i64::MAX + 1) ≡ i64::MIN in the wrapping ring.
+        let lhs = apply(Op::Add, vec![Expr::constant(i64::MAX), Expr::constant(1)]);
+        assert_eq!(normalize(&lhs).as_constant(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn pass_through_is_identity() {
+        let lhs = apply(Op::PassA, vec![v("q")]);
+        assert!(equivalent(&lhs, &v("q")));
+    }
+
+    #[test]
+    fn zero_constant_is_canonical() {
+        let z1 = Poly::constant(0);
+        let z2 = Poly::zero();
+        assert_eq!(z1, z2);
+        let diff = normalize(&apply(Op::Sub, vec![v("a"), v("a")]));
+        assert_eq!(diff, Poly::zero());
+        assert_eq!(diff.as_constant(), Some(0));
+    }
+}

@@ -1,0 +1,293 @@
+//! The formal tuple ↔ process semantics of §2.7.
+//!
+//! The paper derives transfer-process instances from a 9-tuple "in a
+//! straightforward manner" and, *vice versa*, reconstructs tuples from the
+//! process instances — first as **partial tuples** (one per operand route
+//! or write-back, with `-` for the unknown parts, exactly the lists shown
+//! in §2.7) and then merged into full tuples using the modules' timing.
+//! "These easy mappings lead to simple formal semantics, which form the
+//! basis for automatic verification tools."
+//!
+//! The forward direction is [`TransferTuple::expand`]; this module
+//! implements the reverse direction and the round-trip check.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use clockless_core::{Endpoint, Phase, RtModel, Step, TransferSpec, TransferTuple};
+
+/// Errors from reconstructing tuples out of transfer processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SemanticsError {
+    /// A bus→port process had no matching register→bus process (or vice
+    /// versa) in the same step.
+    UnmatchedRoute {
+        /// Human-readable description of the dangling process.
+        process: String,
+    },
+    /// Two different sources fed the same module port in one step.
+    AmbiguousRoute {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A write-back had no initiation `latency` steps earlier.
+    OrphanWrite {
+        /// The module.
+        module: String,
+        /// The write step.
+        step: Step,
+    },
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::UnmatchedRoute { process } => {
+                write!(
+                    f,
+                    "transfer process `{process}` has no matching counterpart"
+                )
+            }
+            SemanticsError::AmbiguousRoute { detail } => write!(f, "ambiguous route: {detail}"),
+            SemanticsError::OrphanWrite { module, step } => {
+                write!(
+                    f,
+                    "write-back of `{module}` at step {step} has no initiation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+/// Reconstructs **partial tuples** from transfer-process instances — the
+/// paper's reverse mapping:
+///
+/// ```text
+/// R1_out_B1_5, B1_ADD_in1_5  →  (R1, B1, -, -, 5, ADD, -, -, -)
+/// ADD_out_B1_6, B1_R1_in_6   →  (-, -, -, -, -, ADD, 6, B1, R1)
+/// ```
+///
+/// Operand-route pairs (register→bus at `ra`, bus→port at `rb`) become
+/// read-side partials; write pairs (module→bus at `wa`, bus→register at
+/// `wb`) become write-side partials with `read_step` left at 0 (unknown).
+/// Operation-select processes attach to the read-side partial of their
+/// module and step.
+///
+/// # Errors
+///
+/// [`SemanticsError`] if processes cannot be paired unambiguously.
+pub fn reconstruct_partials(specs: &[TransferSpec]) -> Result<Vec<TransferTuple>, SemanticsError> {
+    // Index the ra/wa sources of each (bus, step).
+    let mut bus_source: BTreeMap<(String, Step, Phase), Endpoint> = BTreeMap::new();
+    for s in specs {
+        if let Endpoint::Bus(bus) = &s.dst {
+            let prev = bus_source.insert((bus.clone(), s.step, s.phase), s.src.clone());
+            if prev.is_some() {
+                return Err(SemanticsError::AmbiguousRoute {
+                    detail: format!("bus `{bus}` driven twice at step {} {}", s.step, s.phase),
+                });
+            }
+        }
+    }
+
+    let mut reads: BTreeMap<(String, Step), TransferTuple> = BTreeMap::new();
+    let mut writes: Vec<TransferTuple> = Vec::new();
+
+    for s in specs {
+        match (&s.src, &s.dst) {
+            // Bus → module port: find the register that fed the bus at ra.
+            (Endpoint::Bus(bus), Endpoint::ModIn1(m))
+            | (Endpoint::Bus(bus), Endpoint::ModIn2(m)) => {
+                let feeder = bus_source
+                    .get(&(bus.clone(), s.step, Phase::Ra))
+                    .ok_or_else(|| SemanticsError::UnmatchedRoute {
+                        process: s.instance_name(),
+                    })?;
+                let Endpoint::RegOut(reg) = feeder else {
+                    return Err(SemanticsError::AmbiguousRoute {
+                        detail: format!(
+                            "bus `{bus}` fed by non-register source {feeder} at step {}",
+                            s.step
+                        ),
+                    });
+                };
+                let t = reads
+                    .entry((m.clone(), s.step))
+                    .or_insert_with(|| TransferTuple::new(s.step, m.clone()));
+                if matches!(s.dst, Endpoint::ModIn1(_)) {
+                    t.src_a = Some(clockless_core::OperandRoute::new(reg.clone(), bus.clone()));
+                } else {
+                    t.src_b = Some(clockless_core::OperandRoute::new(reg.clone(), bus.clone()));
+                }
+            }
+            // Operation select.
+            (Endpoint::ConstOp(op), Endpoint::ModOp(m)) => {
+                let t = reads
+                    .entry((m.clone(), s.step))
+                    .or_insert_with(|| TransferTuple::new(s.step, m.clone()));
+                t.op = Some(*op);
+            }
+            // Bus → register input: find the module that fed the bus at wa.
+            (Endpoint::Bus(bus), Endpoint::RegIn(reg)) => {
+                let feeder = bus_source
+                    .get(&(bus.clone(), s.step, Phase::Wa))
+                    .ok_or_else(|| SemanticsError::UnmatchedRoute {
+                        process: s.instance_name(),
+                    })?;
+                let Endpoint::ModOut(module) = feeder else {
+                    return Err(SemanticsError::AmbiguousRoute {
+                        detail: format!(
+                            "bus `{bus}` fed by non-module source {feeder} at step {}",
+                            s.step
+                        ),
+                    });
+                };
+                // A write-side partial: read side unknown (step 0 stands
+                // in for the paper's `-`).
+                let mut t = TransferTuple::new(0, module.clone());
+                t.write = Some(clockless_core::WriteRoute::new(
+                    s.step,
+                    bus.clone(),
+                    reg.clone(),
+                ));
+                writes.push(t);
+            }
+            // The pair-initiating processes; consumed via `bus_source`.
+            (_, Endpoint::Bus(_)) => {}
+            other => {
+                return Err(SemanticsError::AmbiguousRoute {
+                    detail: format!("unexpected process shape {other:?}"),
+                })
+            }
+        }
+    }
+
+    let mut out: Vec<TransferTuple> = reads.into_values().collect();
+    out.extend(writes);
+    Ok(out)
+}
+
+/// Merges partial tuples into full tuples using the model's module
+/// latencies (write step = read step + latency).
+///
+/// # Errors
+///
+/// [`SemanticsError::OrphanWrite`] when a write-side partial has no
+/// read-side counterpart.
+pub fn merge_partials(
+    partials: Vec<TransferTuple>,
+    model: &RtModel,
+) -> Result<Vec<TransferTuple>, SemanticsError> {
+    let (mut reads, writes): (Vec<_>, Vec<_>) =
+        partials.into_iter().partition(|t| t.read_step != 0);
+    for w in writes {
+        let write = w.write.clone().expect("write partials carry a write route");
+        let mid = model
+            .module_by_name(&w.module)
+            .ok_or_else(|| SemanticsError::OrphanWrite {
+                module: w.module.clone(),
+                step: write.step,
+            })?;
+        let latency = model.modules()[mid.0 as usize].timing.latency();
+        let read_step = write.step.checked_sub(latency).filter(|s| *s >= 1).ok_or(
+            SemanticsError::OrphanWrite {
+                module: w.module.clone(),
+                step: write.step,
+            },
+        )?;
+        let host = reads
+            .iter_mut()
+            .find(|t| t.module == w.module && t.read_step == read_step)
+            .ok_or(SemanticsError::OrphanWrite {
+                module: w.module.clone(),
+                step: write.step,
+            })?;
+        host.write = Some(write);
+    }
+    Ok(reads)
+}
+
+/// The round-trip check: expands every tuple of the model into its
+/// processes, reconstructs tuples from the processes, and verifies the
+/// result equals the original set — §2.7's consistency of the forward and
+/// backward mappings.
+///
+/// # Errors
+///
+/// Any [`SemanticsError`] if the reconstruction fails or the sets differ.
+pub fn roundtrip_check(model: &RtModel) -> Result<(), SemanticsError> {
+    let mut specs = Vec::new();
+    for t in model.tuples() {
+        specs.extend(t.expand());
+    }
+    let partials = reconstruct_partials(&specs)?;
+    let mut reconstructed = merge_partials(partials, model)?;
+    let mut original = model.tuples().to_vec();
+    let key = |t: &TransferTuple| (t.module.clone(), t.read_step);
+    reconstructed.sort_by_key(key);
+    original.sort_by_key(key);
+    if reconstructed != original {
+        return Err(SemanticsError::AmbiguousRoute {
+            detail: format!(
+                "round trip diverged: {} vs {} tuples",
+                reconstructed.len(),
+                original.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+
+    #[test]
+    fn fig1_partials_match_paper_lists() {
+        let model = fig1_model(1, 2);
+        let specs: Vec<TransferSpec> = model.tuples().iter().flat_map(|t| t.expand()).collect();
+        let partials = reconstruct_partials(&specs).unwrap();
+        // One read-side partial (both operands merged) + one write-side.
+        assert_eq!(partials.len(), 2);
+        let read = partials.iter().find(|t| t.read_step == 5).unwrap();
+        assert_eq!(read.to_string(), "(R1,B1,R2,B2,5,ADD,-,-,-)");
+        let write = partials.iter().find(|t| t.read_step == 0).unwrap();
+        assert_eq!(&write.module, "ADD");
+        assert_eq!(write.write.as_ref().unwrap().step, 6);
+    }
+
+    #[test]
+    fn fig1_roundtrip_succeeds() {
+        roundtrip_check(&fig1_model(3, 4)).unwrap();
+    }
+
+    #[test]
+    fn unmatched_bus_to_port_is_error() {
+        // A bus→port process without the register→bus counterpart.
+        let spec = TransferSpec {
+            step: 2,
+            phase: Phase::Rb,
+            src: Endpoint::Bus("B1".into()),
+            dst: Endpoint::ModIn1("ADD".into()),
+        };
+        assert!(matches!(
+            reconstruct_partials(&[spec]),
+            Err(SemanticsError::UnmatchedRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_write_is_error() {
+        let model = fig1_model(1, 2);
+        let mut t = TransferTuple::new(0, "ADD");
+        t.write = Some(clockless_core::WriteRoute::new(6, "B1", "R1"));
+        assert!(matches!(
+            merge_partials(vec![t], &model),
+            Err(SemanticsError::OrphanWrite { .. })
+        ));
+    }
+}

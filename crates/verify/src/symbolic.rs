@@ -1,0 +1,366 @@
+//! Symbolic simulation of clock-free RT models.
+//!
+//! §2.7: the tuple semantics "form the basis for automatic verification
+//! tools, which compare register transfer level descriptions with either
+//! more abstract descriptions or more concrete descriptions". The
+//! comparison against *more abstract* descriptions works by running the
+//! RT model symbolically: register contents become expression trees over
+//! symbolic inputs, evaluated step by step with the exact control-step
+//! semantics (reads of a step precede its commits; a module's result
+//! commits `latency` steps after its operands were read).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use clockless_core::{Op, RtModel, Step, Value};
+
+/// A symbolic expression over register/input variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A known constant.
+    Const(i64),
+    /// A symbolic variable (an input or an unknown initial register
+    /// value).
+    Var(String),
+    /// An operation applied to one or two subexpressions.
+    Apply(Op, Vec<Rc<Expr>>),
+}
+
+impl Expr {
+    /// A variable expression.
+    pub fn var(name: impl Into<String>) -> Rc<Expr> {
+        Rc::new(Expr::Var(name.into()))
+    }
+
+    /// A constant expression.
+    pub fn constant(v: i64) -> Rc<Expr> {
+        Rc::new(Expr::Const(v))
+    }
+
+    /// Applies `op`, folding constants eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SymbolicError::IllegalOperation`] when constant folding
+    /// hits an illegal combination (e.g. an out-of-range shift).
+    pub fn apply(op: Op, args: Vec<Rc<Expr>>) -> Result<Rc<Expr>, SymbolicError> {
+        let consts: Option<Vec<i64>> = args
+            .iter()
+            .map(|a| match **a {
+                Expr::Const(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        if let Some(cs) = consts {
+            let a = Value::Num(cs[0]);
+            let b = cs.get(1).map(|&c| Value::Num(c)).unwrap_or(Value::Disc);
+            return match op.apply(a, b) {
+                Value::Num(v) => Ok(Expr::constant(v)),
+                _ => Err(SymbolicError::IllegalOperation { op }),
+            };
+        }
+        Ok(Rc::new(Expr::Apply(op, args)))
+    }
+
+    /// Evaluates the expression with concrete variable values.
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicError::UnboundVariable`] for missing variables and
+    /// [`SymbolicError::IllegalOperation`] for illegal arithmetic.
+    pub fn eval(&self, env: &HashMap<String, i64>) -> Result<i64, SymbolicError> {
+        match self {
+            Expr::Const(c) => Ok(*c),
+            Expr::Var(v) => env
+                .get(v)
+                .copied()
+                .ok_or_else(|| SymbolicError::UnboundVariable(v.clone())),
+            Expr::Apply(op, args) => {
+                let a = Value::Num(args[0].eval(env)?);
+                let b = match args.get(1) {
+                    Some(e) => Value::Num(e.eval(env)?),
+                    None => Value::Disc,
+                };
+                match op.apply(a, b) {
+                    Value::Num(v) => Ok(v),
+                    _ => Err(SymbolicError::IllegalOperation { op: *op }),
+                }
+            }
+        }
+    }
+
+    /// All variable names appearing in the expression.
+    pub fn variables(&self) -> Vec<String> {
+        fn walk(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Const(_) => {}
+                Expr::Var(v) => {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+                Expr::Apply(_, args) => {
+                    for a in args {
+                        walk(a, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Apply(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Errors from symbolic simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SymbolicError {
+    /// A transfer read a register that holds no defined value at that
+    /// step.
+    UndefinedRead {
+        /// The register.
+        register: String,
+        /// The step of the read.
+        step: Step,
+    },
+    /// Constant folding or evaluation hit an illegal operand combination.
+    IllegalOperation {
+        /// The operation.
+        op: Op,
+    },
+    /// Evaluation referenced an unbound variable.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::UndefinedRead { register, step } => {
+                write!(
+                    f,
+                    "register `{register}` read at step {step} while undefined"
+                )
+            }
+            SymbolicError::IllegalOperation { op } => {
+                write!(f, "operation `{op}` applied to illegal operands")
+            }
+            SymbolicError::UnboundVariable(v) => write!(f, "variable `{v}` is unbound"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// Symbolically executes the model.
+///
+/// `bindings` overrides register initial values with symbolic
+/// expressions (typically `Var`s for the design's inputs); registers
+/// preloaded with numbers become constants, everything else starts
+/// undefined.
+///
+/// Returns the final symbolic value of every register that ends up
+/// defined.
+///
+/// # Errors
+///
+/// [`SymbolicError::UndefinedRead`] when a transfer reads an undefined
+/// register, or [`SymbolicError::IllegalOperation`] when folding hits
+/// illegal arithmetic.
+pub fn symbolic_run(
+    model: &RtModel,
+    bindings: &HashMap<String, Rc<Expr>>,
+) -> Result<HashMap<String, Rc<Expr>>, SymbolicError> {
+    let mut state: HashMap<String, Rc<Expr>> = HashMap::new();
+    for r in model.registers() {
+        if let Some(e) = bindings.get(&r.name) {
+            state.insert(r.name.clone(), e.clone());
+        } else if let Value::Num(v) = r.init {
+            state.insert(r.name.clone(), Expr::constant(v));
+        }
+    }
+
+    // Pending commits: (write step, destination, expression).
+    let mut pending: Vec<(Step, String, Rc<Expr>)> = Vec::new();
+
+    for step in 1..=model.cs_max() {
+        // Reads of this step (ra/rb phases; module computes from these).
+        for tuple in model.tuples().iter().filter(|t| t.read_step == step) {
+            let mut args = Vec::new();
+            for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
+                let e = state.get(&route.register).cloned().ok_or_else(|| {
+                    SymbolicError::UndefinedRead {
+                        register: route.register.clone(),
+                        step,
+                    }
+                })?;
+                args.push(e);
+            }
+            let op = model.effective_op(tuple);
+            let result = Expr::apply(op, args)?;
+            if let Some(w) = &tuple.write {
+                pending.push((w.step, w.register.clone(), result));
+            }
+        }
+        // Commits of this step (cr phase — strictly after the reads).
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 == step {
+                let (_, reg, e) = pending.swap_remove(i);
+                state.insert(reg, e);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+    use clockless_core::prelude::*;
+
+    #[test]
+    fn fig1_concrete_initials_fold_to_constant() {
+        let model = fig1_model(3, 4);
+        let out = symbolic_run(&model, &HashMap::new()).unwrap();
+        assert_eq!(*out["R1"], Expr::Const(7));
+        assert_eq!(*out["R2"], Expr::Const(4));
+    }
+
+    #[test]
+    fn fig1_symbolic_inputs_build_expression() {
+        let model = fig1_model(0, 0);
+        let bindings = [
+            ("R1".to_string(), Expr::var("a")),
+            ("R2".to_string(), Expr::var("b")),
+        ]
+        .into_iter()
+        .collect();
+        let out = symbolic_run(&model, &bindings).unwrap();
+        assert_eq!(out["R1"].to_string(), "add(a, b)");
+        // Evaluation agrees with real simulation.
+        let env = [("a".to_string(), 11i64), ("b".to_string(), 31i64)]
+            .into_iter()
+            .collect();
+        assert_eq!(out["R1"].eval(&env).unwrap(), 42);
+    }
+
+    #[test]
+    fn same_step_read_then_commit_sees_old_value() {
+        // R2 := R1 (comb copy at step 2); R3 := R1 read at step 2 too —
+        // both read the original R1; R1 := R2 at step 3 then sees the old
+        // R1 propagated through R2.
+        let mut m = RtModel::new("order", 4);
+        m.add_register_init("R1", Value::Num(5)).unwrap();
+        m.add_register("R2").unwrap();
+        m.add_bus("X").unwrap();
+        m.add_bus("Y").unwrap();
+        m.add_module(ModuleDecl::single(
+            "CP",
+            Op::PassA,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m.add_module(ModuleDecl::single(
+            "NEG",
+            Op::Neg,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        // Step 2: R2 := R1; step 2: R1 := -R1. Reads precede commits, so
+        // R2 gets 5 and R1 becomes -5.
+        m.add_transfer(
+            TransferTuple::new(2, "CP")
+                .src_a("R1", "X")
+                .write(2, "X", "R2"),
+        )
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "NEG")
+                .src_a("R1", "Y")
+                .write(2, "Y", "R1"),
+        )
+        .unwrap();
+        let out = symbolic_run(&m, &HashMap::new()).unwrap();
+        assert_eq!(*out["R2"], Expr::Const(5));
+        assert_eq!(*out["R1"], Expr::Const(-5));
+
+        // Cross-check against the real simulator.
+        let mut sim = RtSimulation::new(&m).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        assert_eq!(summary.register("R2"), Some(Value::Num(5)));
+        assert_eq!(summary.register("R1"), Some(Value::Num(-5)));
+    }
+
+    #[test]
+    fn undefined_read_reported() {
+        // Like Fig. 1 but with R2 never preloaded nor written.
+        let mut m = RtModel::new("undef", 7);
+        m.add_register_init("R1", Value::Num(1)).unwrap();
+        m.add_register("R2").unwrap();
+        m.add_bus("B1").unwrap();
+        m.add_bus("B2").unwrap();
+        m.add_module(ModuleDecl::single(
+            "ADD",
+            Op::Add,
+            ModuleTiming::Pipelined { latency: 1 },
+        ))
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(5, "ADD")
+                .src_a("R1", "B1")
+                .src_b("R2", "B2")
+                .write(6, "B1", "R1"),
+        )
+        .unwrap();
+        assert_eq!(
+            symbolic_run(&m, &HashMap::new()),
+            Err(SymbolicError::UndefinedRead {
+                register: "R2".into(),
+                step: 5
+            })
+        );
+    }
+
+    #[test]
+    fn variables_collected() {
+        let e = Expr::apply(
+            Op::Add,
+            vec![
+                Expr::var("x"),
+                Expr::apply(Op::Mul, vec![Expr::var("y"), Expr::var("x")]).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn constant_folding_detects_illegal() {
+        let e = Expr::apply(Op::Shr, vec![Expr::constant(4), Expr::constant(-1)]);
+        assert_eq!(e, Err(SymbolicError::IllegalOperation { op: Op::Shr }));
+    }
+}

@@ -1,0 +1,230 @@
+//! VHDL import: from §2.7 source text to a runnable [`RtModel`].
+//!
+//! Combines the subset parser of `clockless_core::vhdl_parse` with the
+//! tuple reconstruction of [`crate::semantics`]: the `TRANS`
+//! instantiations become transfer specs, the specs become partial tuples,
+//! the partials merge into full tuples against the parsed module
+//! timings — the paper's reverse mapping applied to actual VHDL source.
+
+use std::fmt;
+
+use clockless_core::vhdl_parse::{parse_vhdl, ParseVhdlError, ParsedDesign};
+use clockless_core::{ModelError, RtModel};
+
+use crate::semantics::{merge_partials, reconstruct_partials, SemanticsError};
+
+/// Errors from importing a VHDL design.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImportVhdlError {
+    /// The source text could not be parsed.
+    Parse(ParseVhdlError),
+    /// The transfer processes could not be reassembled into tuples.
+    Semantics(SemanticsError),
+    /// The reconstructed model failed validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for ImportVhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportVhdlError::Parse(e) => write!(f, "parse error: {e}"),
+            ImportVhdlError::Semantics(e) => write!(f, "reconstruction failed: {e}"),
+            ImportVhdlError::Model(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportVhdlError {}
+
+impl From<ParseVhdlError> for ImportVhdlError {
+    fn from(e: ParseVhdlError) -> Self {
+        ImportVhdlError::Parse(e)
+    }
+}
+impl From<SemanticsError> for ImportVhdlError {
+    fn from(e: SemanticsError) -> Self {
+        ImportVhdlError::Semantics(e)
+    }
+}
+impl From<ModelError> for ImportVhdlError {
+    fn from(e: ModelError) -> Self {
+        ImportVhdlError::Model(e)
+    }
+}
+
+/// Builds a validated model from a parsed design.
+///
+/// # Errors
+///
+/// [`ImportVhdlError`] when reconstruction or validation fails.
+pub fn model_from_design(design: &ParsedDesign) -> Result<RtModel, ImportVhdlError> {
+    let mut model = RtModel::new(design.name.clone(), design.cs_max);
+    for (name, init) in &design.registers {
+        model.add_register_init(name.clone(), *init)?;
+    }
+    for b in &design.buses {
+        model.add_bus(b.clone())?;
+    }
+    for m in &design.modules {
+        model.add_module(m.clone())?;
+    }
+    let partials = reconstruct_partials(&design.specs)?;
+    let tuples = merge_partials(partials, &model)?;
+    for t in tuples {
+        model.add_transfer(t)?;
+    }
+    Ok(model)
+}
+
+/// Parses VHDL source in the paper's subset and reassembles the model.
+///
+/// # Errors
+///
+/// [`ImportVhdlError`] describing the first failure.
+///
+/// # Examples
+///
+/// A full round trip — the model prints as the paper's VHDL and the VHDL
+/// reads back as the model:
+///
+/// ```
+/// use clockless_core::model::fig1_model;
+/// use clockless_core::vhdl::emit_vhdl;
+/// use clockless_verify::model_from_vhdl;
+///
+/// let model = fig1_model(3, 4);
+/// let vhdl = emit_vhdl(&model)?;
+/// let back = model_from_vhdl(&vhdl)?;
+/// assert_eq!(back.tuples(), model.tuples());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn model_from_vhdl(text: &str) -> Result<RtModel, ImportVhdlError> {
+    let design = parse_vhdl(text)?;
+    model_from_design(&design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+    use clockless_core::prelude::*;
+    use clockless_core::vhdl::emit_vhdl;
+
+    fn assert_roundtrip(model: &RtModel) {
+        let vhdl = emit_vhdl(model).expect("emits");
+        let back = model_from_vhdl(&vhdl).expect("imports");
+        assert_eq!(back.cs_max(), model.cs_max());
+        assert_eq!(back.registers(), model.registers());
+        assert_eq!(back.buses(), model.buses());
+        assert_eq!(back.modules(), model.modules());
+        let mut a = back.tuples().to_vec();
+        let mut b = model.tuples().to_vec();
+        let key = |t: &TransferTuple| (t.module.clone(), t.read_step);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fig1_roundtrips() {
+        assert_roundtrip(&fig1_model(3, 4));
+    }
+
+    #[test]
+    fn multi_op_model_roundtrips() {
+        let mut m = RtModel::new("alu_demo", 6);
+        m.add_register_init("A", Value::Num(12)).unwrap();
+        m.add_register_init("B", Value::Num(5)).unwrap();
+        m.add_register("T").unwrap();
+        m.add_bus("X").unwrap();
+        m.add_bus("Y").unwrap();
+        m.add_bus("W").unwrap();
+        m.add_module(ModuleDecl::multi(
+            "ALU",
+            [Op::Add, Op::Sub, Op::Min],
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "ALU")
+                .src_a("A", "X")
+                .src_b("B", "Y")
+                .op(Op::Sub)
+                .write(2, "W", "T"),
+        )
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(4, "ALU")
+                .src_a("T", "X")
+                .src_b("B", "Y")
+                .op(Op::Min)
+                .write(4, "W", "T"),
+        )
+        .unwrap();
+        assert_roundtrip(&m);
+    }
+
+    #[test]
+    fn sequential_module_roundtrips() {
+        let mut m = RtModel::new("seq", 8);
+        m.add_register_init("A", Value::Num(3)).unwrap();
+        m.add_register_init("B", Value::Num(4)).unwrap();
+        m.add_register("T").unwrap();
+        m.add_bus("X").unwrap();
+        m.add_bus("Y").unwrap();
+        m.add_bus("W").unwrap();
+        m.add_module(ModuleDecl::single(
+            "MUL",
+            Op::Mul,
+            ModuleTiming::Sequential { latency: 3 },
+        ))
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "MUL")
+                .src_a("A", "X")
+                .src_b("B", "Y")
+                .write(5, "W", "T"),
+        )
+        .unwrap();
+        assert_roundtrip(&m);
+    }
+
+    #[test]
+    fn imported_model_simulates_identically() {
+        let model = fig1_model(21, 21);
+        let vhdl = emit_vhdl(&model).unwrap();
+        let imported = model_from_vhdl(&vhdl).unwrap();
+        let mut a = RtSimulation::new(&model).unwrap();
+        let mut b = RtSimulation::new(&imported).unwrap();
+        let ra = a.run_to_completion().unwrap();
+        let rb = b.run_to_completion().unwrap();
+        assert_eq!(a.registers(), b.registers());
+        assert_eq!(ra.stats, rb.stats);
+    }
+
+    #[test]
+    fn hls_output_roundtrips_through_vhdl() {
+        use clockless_hls::prelude::*;
+        let g = diffeq();
+        let inputs = [("x", 1), ("y", 2), ("u", 3), ("dx", 1)]
+            .into_iter()
+            .collect();
+        let resources = clockless_hls::ResourceSet::new([
+            clockless_hls::ResourceClass::new(
+                "MUL",
+                [Op::Mul],
+                ModuleTiming::Pipelined { latency: 2 },
+                2,
+            ),
+            clockless_hls::ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub],
+                ModuleTiming::Pipelined { latency: 1 },
+                2,
+            ),
+        ]);
+        let syn = synthesize(&g, &resources, &inputs).unwrap();
+        assert_roundtrip(&syn.model);
+    }
+}

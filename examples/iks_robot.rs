@@ -1,0 +1,114 @@
+//! The IKS chip (§3): inverse kinematics from microcode.
+//!
+//! Reconstructs the paper's application: a microprogram in the
+//! `addr cycle opc1 opc2 j r1 m/r` format is translated into transfer
+//! tuples (the paper's "C program"), the resulting clock-free RT model is
+//! simulated for a series of target poses, and every answer is compared
+//! bit-exactly against the algorithmic-level golden model — the paper's
+//! bottom-up verification.
+//!
+//! Run with: `cargo run --example iks_robot`
+
+use clockless::core::RtSimulation;
+use clockless::iks::prelude::*;
+use clockless::iks::{ik_microprogram, ik_opcode_maps};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = ArmGeometry::new(1.0, 1.0);
+    let constants = IkConstants::new(geometry);
+
+    // Show a few microprogram rows in the paper's table format.
+    println!("microprogram excerpt (paper §3 format):");
+    println!("  addr cycle opc1 opc2  j r1 mr");
+    for row in ik_microprogram().iter().take(6) {
+        println!(
+            "  {:>4} {:>5} {:>4} {:>4} {:>2} {:>2} {:>2}",
+            row.addr, row.step, row.opc1, row.opc2, row.j, row.r1, row.mr
+        );
+    }
+    let maps = ik_opcode_maps();
+    println!(
+        "  … {} rows total, {} opc1 codes, {} opc2 codes",
+        ik_microprogram().len(),
+        maps.opc1.len(),
+        maps.opc2.len()
+    );
+
+    println!("\npose sweep (chip simulation vs algorithmic golden model):");
+    println!("  target (x, y)      θ1 chip    θ2 chip    fk error   bit-exact");
+    for (px, py) in [
+        (1.0f64, 1.0f64),
+        (1.5, 0.2),
+        (-0.8, 1.1),
+        (0.3, -1.2),
+        (0.9, 1.4),
+        (-1.2, -0.9),
+    ] {
+        // Build the chip model: resources of Fig. 3 + translated microcode.
+        let chip = build_ik_chip(to_fx(px), to_fx(py), constants)?;
+        let mut sim = RtSimulation::new(&chip.model)?;
+        let summary = sim.run_to_completion()?;
+        let t1 = summary
+            .register(THETA1_REG)
+            .and_then(|v| v.num())
+            .expect("J0 holds θ1");
+        let t2 = summary
+            .register(THETA2_REG)
+            .and_then(|v| v.num())
+            .expect("J1 holds θ2");
+
+        // The bottom-up verification: chip result vs algorithmic level.
+        let golden = solve_ik(to_fx(px), to_fx(py), &constants)?;
+        let exact = t1 == golden.theta1 && t2 == golden.theta2;
+
+        // Independent cross-check: forward kinematics must land on target.
+        let sol = IkSolution {
+            theta1: t1,
+            theta2: t2,
+        };
+        let (fx, fy) = clockless::iks::forward_kinematics(&sol, &geometry);
+        let err = ((fx - px).powi(2) + (fy - py).powi(2)).sqrt();
+
+        println!(
+            "  ({px:>5.2}, {py:>5.2})   {:>8.4}   {:>8.4}   {err:>8.2e}   {exact}",
+            from_fx(t1),
+            from_fx(t2),
+        );
+        assert!(exact, "chip must match the golden model bit for bit");
+        assert!(err < 1e-2, "forward kinematics must close the loop");
+    }
+
+    // Model inventory, the way §3 describes the chip.
+    let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants)?;
+    println!(
+        "\nchip model: {} registers, {} buses, {} modules, {} transfers over {} control steps",
+        chip.model.registers().len(),
+        chip.model.buses().len(),
+        chip.model.modules().len(),
+        chip.model.tuples().len(),
+        chip.model.cs_max()
+    );
+
+    // Close the loop entirely on simulated hardware: the IK chip's joint
+    // angles feed the FK microprogram (CORDIC core in rotation mode) and
+    // must land back on the target pose.
+    use clockless::iks::{build_fk_chip, FK_X_REG, FK_Y_REG};
+    println!("\nIK ∘ FK on chip (forward-kinematics microprogram):");
+    for (px, py) in [(1.0f64, 1.0f64), (0.4, -1.3), (-1.5, 0.3)] {
+        let ik = build_ik_chip(to_fx(px), to_fx(py), constants)?;
+        let mut sim = RtSimulation::new(&ik.model)?;
+        let summary = sim.run_to_completion()?;
+        let t1 = summary.register(THETA1_REG).unwrap().num().unwrap();
+        let t2 = summary.register(THETA2_REG).unwrap().num().unwrap();
+
+        let fk = build_fk_chip(t1, t2, constants)?;
+        let mut sim = RtSimulation::new(&fk.model)?;
+        let summary = sim.run_to_completion()?;
+        let x = from_fx(summary.register(FK_X_REG).unwrap().num().unwrap());
+        let y = from_fx(summary.register(FK_Y_REG).unwrap().num().unwrap());
+        println!("  target ({px:>5.2}, {py:>5.2}) -> FK(IK) = ({x:>6.3}, {y:>6.3})");
+        assert!((x - px).abs() < 2e-2 && (y - py).abs() < 2e-2);
+    }
+    println!("OK: microcode → transfers → simulation ≡ algorithmic model, and IK∘FK closes.");
+    Ok(())
+}

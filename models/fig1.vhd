@@ -1,0 +1,173 @@
+-- Support package for register transfer models without clocks
+-- (after M. Mutz, "Register Transfer Level VHDL Models without Clocks",
+--  DATE 1998, sections 2.2 and 2.3).
+package rt_pkg is
+  -- Control step phases (Fig. 2): ra rb cm wa wb cr.
+  type Phase is (ra, rb, cm, wa, wb, cr);
+
+  -- Regular values are naturals; two sentinels share the Integer type.
+  constant DISC    : Integer := -1;
+  constant ILLEGAL : Integer := -2;
+
+  type Integer_Vector is array (natural range <>) of Integer;
+
+  -- The resolution function of section 2.3: DISC if all drivers are
+  -- DISC; ILLEGAL on any ILLEGAL or on two or more non-DISC drivers;
+  -- otherwise the unique driven value.
+  function resolve (drivers : Integer_Vector) return Integer;
+  subtype RInteger is resolve Integer;
+end package rt_pkg;
+
+package body rt_pkg is
+  function resolve (drivers : Integer_Vector) return Integer is
+    variable seen : Integer := DISC;
+  begin
+    for i in drivers'range loop
+      if drivers(i) = ILLEGAL then
+        return ILLEGAL;
+      elsif drivers(i) /= DISC then
+        if seen /= DISC then
+          return ILLEGAL;
+        end if;
+        seen := drivers(i);
+      end if;
+    end loop;
+    return seen;
+  end function resolve;
+end package body rt_pkg;
+
+use work.rt_pkg.all;
+
+-- Section 2.2: the controller drives the cyclic phase scheme with delta
+-- delay only; simulation quiesces after CS_MAX control steps.
+entity CONTROLLER is
+  generic (CS_MAX : Natural);
+  port (CS : inout Natural := 0;
+        PH : inout Phase := Phase'High);  -- Phase'High = cr
+end CONTROLLER;
+
+architecture transfer of CONTROLLER is
+begin
+  process (PH)
+  begin
+    if PH = Phase'High then
+      if CS < CS_MAX then
+        CS <= CS + 1;
+        PH <= Phase'Low;                  -- Phase'Low = ra
+      end if;
+    else
+      PH <= Phase'Succ(PH);
+    end if;
+  end process;
+end transfer;
+
+use work.rt_pkg.all;
+
+-- Section 2.4: a transfer process assigns its source to its sink at
+-- phase P of control step S and releases (DISC) at the next phase.
+entity TRANS is
+  generic (S : Natural; P : Phase);
+  port (CS   : in  Natural;
+        PH   : in  Phase;
+        InS  : in  Integer;
+        OutS : out Integer := DISC);
+end TRANS;
+
+architecture transfer of TRANS is
+begin
+  process
+  begin
+    wait until CS = S and PH = P;
+    OutS <= InS;
+    wait until CS = S and PH = Phase'Succ(P);
+    OutS <= DISC;
+  end process;
+end transfer;
+
+use work.rt_pkg.all;
+
+-- Section 2.5: registers fetch at cr whenever a transfer assigned their
+-- input port; otherwise the old value is kept.
+entity REG is
+  port (PH    : in  Phase;
+        R_in  : in  Integer;
+        R_out : out Integer := DISC);
+end REG;
+
+architecture transfer of REG is
+begin
+  process
+  begin
+    wait until PH = cr;
+    if R_in /= DISC then
+      R_out <= R_in;
+    end if;
+  end process;
+end transfer;
+
+use work.rt_pkg.all;
+
+-- Section 2.6 style module: ADD (pipelined, latency 1).
+entity ADD is
+  port (PH : in Phase; M_in1, M_in2 : in Integer; M_out : out Integer := DISC);
+end ADD;
+
+architecture transfer of ADD is
+begin
+  process
+    variable m1 : Integer := DISC;
+    variable r : Integer;
+    variable a, b : Integer;
+  begin
+    wait until PH = cm;
+    M_out <= m1;
+    a := M_in1;  b := M_in2;
+    if a = ILLEGAL or b = ILLEGAL then
+      r := ILLEGAL;
+    elsif a = DISC and b = DISC then
+      r := DISC;
+    elsif a /= DISC and b /= DISC then
+      r := a + b;
+    else
+      r := ILLEGAL;
+    end if;
+    m1 := r;
+  end process;
+end transfer;
+
+use work.rt_pkg.all;
+
+entity fig1 is
+end fig1;
+
+architecture transfer of fig1 is
+  -- timing signals
+  signal CS : Natural;
+  signal PH : Phase;
+  -- module ports
+  signal ADD_in1, ADD_in2 : RInteger;
+  signal ADD_out : Integer;
+  -- register ports
+  signal R1_in : RInteger;
+  signal R1_out : Integer := 3;
+  signal R2_in : RInteger;
+  signal R2_out : Integer := 4;
+  -- buses
+  signal B1 : RInteger;
+  signal B2 : RInteger;
+begin
+  -- modules
+  ADD_proc : entity work.ADD port map (PH, ADD_in1, ADD_in2, ADD_out);
+  -- registers
+  R1_proc : entity work.REG port map (PH, R1_in, R1_out);
+  R2_proc : entity work.REG port map (PH, R2_in, R2_out);
+  -- transfers
+  R1_out_B1_5 : entity work.TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  B1_ADD_in1_5 : entity work.TRANS generic map (5, rb) port map (CS, PH, B1, ADD_in1);
+  R2_out_B2_5 : entity work.TRANS generic map (5, ra) port map (CS, PH, R2_out, B2);
+  B2_ADD_in2_5 : entity work.TRANS generic map (5, rb) port map (CS, PH, B2, ADD_in2);
+  ADD_out_B1_6 : entity work.TRANS generic map (6, wa) port map (CS, PH, ADD_out, B1);
+  B1_R1_in_6 : entity work.TRANS generic map (6, wb) port map (CS, PH, B1, R1_in);
+  -- controller
+  CONTROL : entity work.CONTROLLER generic map (7) port map (CS, PH);
+end transfer;

@@ -1,0 +1,259 @@
+//! `clockless` — command-line driver for clock-free RT models.
+//!
+//! ```text
+//! clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
+//! clockless check <model.rtl>
+//! clockless stats <model.rtl>
+//! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
+//! clockless vhdl <model.rtl> [--clocked]
+//! clockless explain "<tuple>"
+//! ```
+//!
+//! Models use the declarative text format of `clockless_core::text`
+//! (see `models/` for examples); files ending in `.vhd`/`.vhdl` are read
+//! as VHDL source in the paper's subset instead.
+
+use std::process::ExitCode;
+
+use clockless::clocked::{check_clocked_equivalence, ClockScheme, ClockedDesign};
+use clockless::core::text::parse_model;
+use clockless::core::transcript::transcript;
+use clockless::core::{RtModel, RtSimulation, TransferTuple};
+use clockless::kernel::NS;
+use clockless::verify::{cross_check, roundtrip_check};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n  \
+         clockless check <model.rtl>\n  \
+         clockless stats <model.rtl>\n  \
+         clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
+         clockless vhdl <model.rtl> [--clocked]\n  \
+         clockless explain \"<tuple>\""
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<RtModel, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".vhd") || path.ends_with(".vhdl") {
+        // VHDL source in the paper's subset: parse + reconstruct.
+        clockless::verify::model_from_vhdl(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        parse_model(&text).map_err(|e| format!("{path}:{e}"))
+    }
+}
+
+fn cmd_run(
+    path: &str,
+    trace: bool,
+    vcd: Option<&str>,
+    transcript_cols: Option<&str>,
+) -> Result<(), String> {
+    let model = load(path)?;
+    let mut sim = if trace || vcd.is_some() {
+        RtSimulation::traced(&model)
+    } else {
+        RtSimulation::new(&model)
+    }
+    .map_err(|e| e.to_string())?;
+    let summary = sim.run_to_completion().map_err(|e| e.to_string())?;
+
+    println!(
+        "model `{}`: {} steps, {} transfers — {}",
+        model.name(),
+        model.cs_max(),
+        model.tuples().len(),
+        summary.stats
+    );
+    println!("final register values:");
+    for (name, value) in &summary.registers {
+        println!("  {name:<16} {value}");
+    }
+    if let Some(conflicts) = &summary.conflicts {
+        print!("{conflicts}");
+    }
+    if let Some(out) = vcd {
+        let doc = sim.to_vcd().expect("traced run exports VCD");
+        std::fs::write(out, doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("waveform written to {out}");
+    }
+    if let Some(cols) = transcript_cols {
+        let names: Vec<&str> = cols.split(',').map(str::trim).collect();
+        let table = transcript(&model, &names).map_err(|e| e.to_string())?;
+        println!("\nphase transcript:\n{table}");
+    }
+    Ok(())
+}
+
+fn cmd_check(path: &str) -> Result<(), String> {
+    let model = load(path)?;
+    let cc = cross_check(&model).map_err(|e| e.to_string())?;
+    if cc.predicted.is_empty() && cc.dynamic_only.is_empty() {
+        println!("conflict analysis: clean (static and dynamic agree)");
+        // The round trip is only meaningful on conflict-free schedules
+        // (colliding routes make the reconstruction ambiguous).
+        roundtrip_check(&model).map_err(|e| format!("semantics round trip failed: {e}"))?;
+        println!(
+            "tuple/process round trip: ok ({} tuples)",
+            model.tuples().len()
+        );
+        let lints = clockless::verify::lint_model(&model);
+        if lints.is_empty() {
+            println!("lints: clean");
+        } else {
+            println!("lints ({}):", lints.len());
+            for l in &lints {
+                println!("  warning: {l}");
+            }
+        }
+        return Ok(());
+    }
+    println!("static predictions ({}):", cc.predicted.len());
+    for p in &cc.predicted {
+        println!("  {p}  -> visible at {}", p.visible_at());
+    }
+    if !cc.unconfirmed.is_empty() {
+        return Err(format!(
+            "{} static prediction(s) were not confirmed dynamically",
+            cc.unconfirmed.len()
+        ));
+    }
+    println!(
+        "all predictions confirmed dynamically; {} additional dynamic site(s) are propagation",
+        cc.dynamic_only.len()
+    );
+    Err("model has resource conflicts".into())
+}
+
+fn cmd_translate(path: &str, scheme: &str, period_ns: u64) -> Result<(), String> {
+    let model = load(path)?;
+    let scheme = match scheme {
+        "one" => ClockScheme::OneCyclePerStep {
+            period_fs: period_ns * NS,
+        },
+        "two" => ClockScheme::TwoCyclesPerStep {
+            period_fs: period_ns * NS,
+        },
+        other => return Err(format!("unknown scheme `{other}` (expected one|two)")),
+    };
+    let design = ClockedDesign::translate(&model, scheme).map_err(|e| e.to_string())?;
+    println!(
+        "translated `{}`: {} cycles @ {period_ns} ns, {} control signals",
+        model.name(),
+        design.total_cycles(),
+        design.tables().control_signal_count()
+    );
+    let report = check_clocked_equivalence(&model, scheme).map_err(|e| e.to_string())?;
+    if report.equivalent() {
+        println!("commit-trace equivalence vs. the clock-free model: ok");
+        Ok(())
+    } else {
+        Err(format!("translation NOT equivalent:\n{report}"))
+    }
+}
+
+fn cmd_stats(path: &str) -> Result<(), String> {
+    let model = load(path)?;
+    print!("{}", clockless::core::model_stats(&model));
+    Ok(())
+}
+
+fn cmd_vhdl(path: &str, clocked: bool) -> Result<(), String> {
+    let model = load(path)?;
+    let text = if clocked {
+        let design =
+            ClockedDesign::translate(&model, ClockScheme::default()).map_err(|e| e.to_string())?;
+        clockless::clocked::emit_clocked_vhdl(&design).map_err(|e| e.to_string())?
+    } else {
+        clockless::core::emit_vhdl(&model).map_err(|e| e.to_string())?
+    };
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_explain(tuple: &str) -> Result<(), String> {
+    let t: TransferTuple = tuple.parse().map_err(|e| format!("{e}"))?;
+    println!("tuple {t} expands into the transfer processes:");
+    for spec in t.expand() {
+        println!("  {:<24} {spec}", spec.instance_name());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "run" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let trace = args.iter().any(|a| a == "--trace");
+            let vcd = args
+                .iter()
+                .position(|a| a == "--vcd")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            let cols = args
+                .iter()
+                .position(|a| a == "--transcript")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            cmd_run(path, trace, vcd, cols)
+        }
+        "check" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            cmd_check(path)
+        }
+        "stats" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            cmd_stats(path)
+        }
+        "translate" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let scheme = args
+                .iter()
+                .position(|a| a == "--scheme")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("one");
+            let period_ns: u64 = args
+                .iter()
+                .position(|a| a == "--period-ns")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            cmd_translate(path, scheme, period_ns)
+        }
+        "vhdl" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let clocked = args.iter().any(|a| a == "--clocked");
+            cmd_vhdl(path, clocked)
+        }
+        "explain" => {
+            let Some(tuple) = args.get(1) else {
+                return usage();
+            };
+            cmd_explain(tuple)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

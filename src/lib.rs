@@ -1,0 +1,48 @@
+//! # clockless — register transfer level models without clocks
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *"Register Transfer Level VHDL Models without Clocks"* (Matthias Mutz,
+//! DATE 1998) as a Rust library family.
+//!
+//! ## A guided tour
+//!
+//! 1. Describe a model — via the builder ([`core::RtModel`]), the `.rtl`
+//!    text format ([`core::text`]) or VHDL in the paper's subset
+//!    ([`verify::model_from_vhdl`]).
+//! 2. Simulate it clock-free ([`core::RtSimulation`]): six delta cycles
+//!    per control step, conflicts localized to step + phase.
+//! 3. Produce models from dataflow graphs ([`hls::synthesize`],
+//!    [`hls::force_directed_schedule`]) and prove them against the
+//!    algorithmic description ([`verify::verify_synthesis`]).
+//! 4. Hand off to clocked RTL ([`clocked::ClockedDesign`]), check
+//!    commit-trace equivalence ([`clocked::check_clocked_equivalence`]),
+//!    emit synthesizable VHDL ([`clocked::emit_clocked_vhdl`]).
+//! 5. Or run the paper's own application: the IKS chip from microcode
+//!    ([`iks::build_ik_chip`]).
+//!
+//! ```
+//! use clockless::core::model::fig1_model;
+//! use clockless::core::{RtSimulation, Value};
+//!
+//! let mut sim = RtSimulation::new(&fig1_model(3, 4))?;
+//! let summary = sim.run_to_completion()?;
+//! assert_eq!(summary.register("R1"), Some(Value::Num(7)));
+//! # Ok::<(), clockless::kernel::KernelError>(())
+//! ```
+//!
+//! The individual crates are re-exported here under short names:
+//!
+//! * [`kernel`] — delta-cycle discrete-event simulation kernel.
+//! * [`core`] — the paper's contribution: clock-free RT models on control
+//!   steps and six phases.
+//! * [`hls`] — high-level-synthesis front end emitting RT models.
+//! * [`clocked`] — translation to clocked RTL plus the handshake baseline.
+//! * [`iks`] — the inverse-kinematics-solution chip application.
+//! * [`verify`] — formal semantics, conflict checking and equivalence.
+
+pub use clockless_clocked as clocked;
+pub use clockless_core as core;
+pub use clockless_hls as hls;
+pub use clockless_iks as iks;
+pub use clockless_kernel as kernel;
+pub use clockless_verify as verify;

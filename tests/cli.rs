@@ -1,0 +1,340 @@
+//! End-to-end tests of the `clockless` CLI binary against the model
+//! corpus in `models/`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clockless"))
+}
+
+fn repo_path(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn run_fig1_reports_result_and_stats() {
+    let out = cli()
+        .args(["run", &repo_path("models/fig1.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R1"), "{stdout}");
+    assert!(stdout.contains("7"), "{stdout}");
+    assert!(stdout.contains("43 deltas"), "{stdout}");
+}
+
+#[test]
+fn run_with_vcd_writes_waveform() {
+    let vcd_path = std::env::temp_dir().join("clockless_cli_test.vcd");
+    let out = cli()
+        .args([
+            "run",
+            &repo_path("models/accumulate.rtl"),
+            "--vcd",
+            &vcd_path.to_string_lossy(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let vcd = std::fs::read_to_string(&vcd_path).expect("vcd written");
+    assert!(vcd.contains("$enddefinitions"));
+    let _ = std::fs::remove_file(&vcd_path);
+}
+
+#[test]
+fn run_with_transcript_prints_phase_table() {
+    let out = cli()
+        .args([
+            "run",
+            &repo_path("models/fig1.rtl"),
+            "--transcript",
+            "B1,ADD,R1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phase transcript"), "{stdout}");
+    assert!(stdout.contains("5.rb"), "{stdout}");
+    assert!(stdout.contains("6.wa"), "{stdout}");
+}
+
+#[test]
+fn transcript_with_unknown_signal_fails() {
+    let out = cli()
+        .args(["run", &repo_path("models/fig1.rtl"), "--transcript", "nope"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("names no register"), "{stderr}");
+}
+
+#[test]
+fn check_clean_model_succeeds() {
+    let out = cli()
+        .args(["check", &repo_path("models/multiop.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
+    assert!(stdout.contains("round trip: ok"), "{stdout}");
+}
+
+#[test]
+fn check_conflicted_model_fails_with_localization() {
+    let out = cli()
+        .args(["check", &repo_path("models/conflict.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "conflicted model must fail the check"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bus `X`"), "{stdout}");
+    assert!(stdout.contains("step 2 phase rb"), "{stdout}");
+}
+
+#[test]
+fn translate_reports_equivalence() {
+    for scheme in ["one", "two"] {
+        let out = cli()
+            .args([
+                "translate",
+                &repo_path("models/accumulate.rtl"),
+                "--scheme",
+                scheme,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("equivalence vs. the clock-free model: ok"),
+            "{stdout}"
+        );
+    }
+}
+
+#[test]
+fn translate_rejects_conflicted_model() {
+    let out = cli()
+        .args(["translate", &repo_path("models/conflict.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("two sources"), "{stderr}");
+}
+
+#[test]
+fn explain_prints_the_paper_mapping() {
+    let out = cli()
+        .args(["explain", "(R1,B1,R2,B2,5,ADD,6,B1,R1)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "R1_out_B1_5",
+        "B1_ADD_in1_5",
+        "R2_out_B2_5",
+        "B2_ADD_in2_5",
+        "ADD_out_B1_6",
+        "B1_R1_in_6",
+    ] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = cli().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli().args(["frobnicate"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = cli()
+        .args(["run", "/nonexistent/nope.rtl"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn every_corpus_model_parses() {
+    let dir = repo_path("models");
+    let mut count = 0;
+    for entry in std::fs::read_dir(dir).expect("models dir exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "rtl") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            clockless::core::text::parse_model(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            count += 1;
+        }
+    }
+    assert!(count >= 4, "expected the corpus, found {count} models");
+}
+
+#[test]
+fn vhdl_emits_the_paper_subset() {
+    let out = cli()
+        .args(["vhdl", &repo_path("models/fig1.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("entity CONTROLLER is"), "{stdout}");
+    assert!(stdout.contains("entity TRANS is"), "{stdout}");
+    assert!(
+        stdout.contains("R1_out_B1_5 : entity work.TRANS"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn vhdl_clocked_emits_synthesizable_rtl() {
+    let out = cli()
+        .args(["vhdl", &repo_path("models/accumulate.rtl"), "--clocked"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rising_edge(clk)"), "{stdout}");
+    assert!(stdout.contains("entity accumulate_clocked is"), "{stdout}");
+}
+
+#[test]
+fn vhdl_files_are_imported_and_run() {
+    let out = cli()
+        .args(["run", &repo_path("models/fig1.vhd")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R1               7"), "{stdout}");
+}
+
+#[test]
+fn vhdl_roundtrip_through_the_cli() {
+    // rtl -> vhdl -> run must equal rtl -> run.
+    let vhdl = cli()
+        .args(["vhdl", &repo_path("models/multiop.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(vhdl.status.success());
+    let tmp = std::env::temp_dir().join("clockless_multiop_roundtrip.vhd");
+    std::fs::write(&tmp, &vhdl.stdout).expect("written");
+    let via_vhdl = cli()
+        .args(["run", &tmp.to_string_lossy()])
+        .output()
+        .expect("binary runs");
+    assert!(via_vhdl.status.success(), "{via_vhdl:?}");
+    let direct = cli()
+        .args(["run", &repo_path("models/multiop.rtl")])
+        .output()
+        .expect("binary runs");
+    let pick = |out: &std::process::Output| -> String {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .skip_while(|l| !l.contains("final register values"))
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(pick(&via_vhdl), pick(&direct));
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn stats_reports_utilization() {
+    let out = cli()
+        .args(["stats", &repo_path("models/accumulate.rtl")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("occupancy"), "{stdout}");
+    assert!(stdout.contains("module initiations"), "{stdout}");
+}
+
+#[test]
+fn check_reports_lints() {
+    // A model with an unused bus gets a lint warning but still passes.
+    let tmp = std::env::temp_dir().join("clockless_lint_test.rtl");
+    std::fs::write(
+        &tmp,
+        "model linty steps 4\nregister A init 1\nregister T\nbus X\nbus Y\nbus UNUSED\n\
+         module CP ops passa comb\ntransfer (A,X,-,-,2,CP,2,Y,T)\n",
+    )
+    .expect("written");
+    let out = cli()
+        .args(["check", &tmp.to_string_lossy()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bus `UNUSED` is never used"), "{stdout}");
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn iks_corpus_models_stay_in_sync_with_the_builders() {
+    use clockless::iks::prelude::*;
+    // models/iks_ik.rtl was generated from build_ik_chip for pose (1,1);
+    // its body must match a fresh generation (headers aside).
+    let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+    let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds");
+    let fresh = clockless::core::text::to_text(&chip.model);
+    let committed = std::fs::read_to_string(repo_path("models/iks_ik.rtl")).expect("readable");
+    let body: String = committed
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(body, fresh, "regenerate models/iks_ik.rtl");
+
+    let samples = [to_fx(0.5), to_fx(1.5), to_fx(-1.0), to_fx(2.0)];
+    let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
+    let model = clockless::iks::build_fir_chip(samples, coeffs).expect("builds");
+    let fresh = clockless::core::text::to_text(&model);
+    let committed = std::fs::read_to_string(repo_path("models/iks_fir.rtl")).expect("readable");
+    let body: String = committed
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(body, fresh, "regenerate models/iks_fir.rtl");
+}
+
+#[test]
+fn iks_corpus_model_solves_the_pose_via_the_cli_path() {
+    use clockless::iks::prelude::*;
+    // Loading the text-format chip and running it gives the golden angles.
+    let text = std::fs::read_to_string(repo_path("models/iks_ik.rtl")).expect("readable");
+    let model = clockless::core::text::parse_model(&text).expect("parses");
+    let mut sim = clockless::core::RtSimulation::new(&model).expect("elaborates");
+    let summary = sim.run_to_completion().expect("runs");
+    let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+    let golden = solve_ik(to_fx(1.0), to_fx(1.0), &constants).expect("reachable");
+    assert_eq!(
+        summary.register("J0").unwrap().num(),
+        Some(golden.theta1)
+    );
+    assert_eq!(
+        summary.register("J1").unwrap().num(),
+        Some(golden.theta2)
+    );
+}

@@ -1,0 +1,171 @@
+//! Experiment E8: the high-level-synthesis use case of §4 — scheduling
+//! and allocation results become clock-free RT models, simulate at the
+//! abstract level, verify against the algorithmic description, and
+//! translate to clocked RTL.
+
+use std::collections::HashMap;
+
+use clockless::clocked::{check_clocked_equivalence, ClockScheme};
+use clockless::core::prelude::*;
+use clockless::hls::prelude::*;
+use clockless::hls::{ResourceClass, ResourceSet};
+use clockless::verify::{concrete_check, cross_check, roundtrip_check, verify_synthesis};
+
+fn standard_resources(muls: usize, alus: usize) -> ResourceSet {
+    ResourceSet::new([
+        ResourceClass::new(
+            "MUL",
+            [Op::Mul],
+            ModuleTiming::Pipelined { latency: 2 },
+            muls,
+        ),
+        ResourceClass::new(
+            "ALU",
+            [Op::Add, Op::Sub],
+            ModuleTiming::Pipelined { latency: 1 },
+            alus,
+        ),
+    ])
+}
+
+fn fir_inputs(n: usize) -> (Vec<String>, HashMap<&'static str, i64>) {
+    let names: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+    let leaked: Vec<&'static str> = names
+        .iter()
+        .map(|n| Box::leak(n.clone().into_boxed_str()) as &str)
+        .collect();
+    let map = leaked
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, (i as i64 + 1) * 3 - 7))
+        .collect();
+    (names, map)
+}
+
+/// Full-flow check: synthesize, simulate, compare with the evaluator,
+/// prove symbolically, check conflict-freedom, check the clocked
+/// translation.
+fn full_flow(g: &clockless::hls::Dfg, resources: &ResourceSet, inputs: &HashMap<&str, i64>) {
+    let syn = synthesize(g, resources, inputs).expect("synthesis");
+    // Concrete simulation matches the evaluator.
+    assert!(concrete_check(g, &syn, inputs).expect("simulates"));
+    // Symbolic proof.
+    let report = verify_synthesis(g, &syn, 16).expect("verification");
+    assert!(report.passed(), "{report}");
+    // Emitted schedules are conflict-free, statically and dynamically.
+    let cc = cross_check(&syn.model).expect("cross-check runs");
+    assert!(cc.predicted.is_empty() && cc.dynamic_only.is_empty());
+    // The §2.7 semantics invert on the emitted model.
+    roundtrip_check(&syn.model).expect("roundtrip");
+    // And the clocked translation is equivalent.
+    let eq = check_clocked_equivalence(
+        &syn.model,
+        ClockScheme::OneCyclePerStep {
+            period_fs: clockless::kernel::NS,
+        },
+    )
+    .expect("translates");
+    assert!(eq.equivalent(), "{eq}");
+}
+
+#[test]
+fn fir_filter_across_resource_budgets() {
+    let g = fir(&[1, -2, 3, -4, 5]);
+    let (_names, inputs) = fir_inputs(5);
+    for (muls, alus) in [(1, 1), (2, 1), (2, 2), (5, 4)] {
+        full_flow(&g, &standard_resources(muls, alus), &inputs);
+    }
+}
+
+#[test]
+fn horner_polynomial_flow() {
+    let g = horner(&[7, -3, 2, 1]);
+    let inputs: HashMap<&str, i64> = [("x", 5)].into_iter().collect();
+    // Horner needs PassA for the seed coefficient.
+    let resources = ResourceSet::new([
+        ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 1),
+        ResourceClass::new(
+            "ALU",
+            [Op::Add, Op::Sub, Op::PassA],
+            ModuleTiming::Pipelined { latency: 1 },
+            1,
+        ),
+    ]);
+    full_flow(&g, &resources, &inputs);
+}
+
+#[test]
+fn diffeq_benchmark_flow() {
+    let g = diffeq();
+    let inputs: HashMap<&str, i64> = [("x", 4), ("y", -3), ("u", 7), ("dx", 2)]
+        .into_iter()
+        .collect();
+    for (muls, alus) in [(1, 1), (2, 2), (3, 2)] {
+        full_flow(&g, &standard_resources(muls, alus), &inputs);
+    }
+}
+
+#[test]
+fn resource_constraints_trade_time_for_area() {
+    // More resources => shorter schedules (monotone, down to the
+    // critical path).
+    let g = fir(&[2, 4, 6, 8, 10, 12]);
+    let (_names, inputs) = fir_inputs(6);
+    let mut lengths = Vec::new();
+    for muls in [1usize, 2, 3, 6] {
+        let syn = synthesize(&g, &standard_resources(muls, 2), &inputs).unwrap();
+        lengths.push(syn.model.cs_max());
+    }
+    for w in lengths.windows(2) {
+        assert!(w[1] <= w[0], "lengths not monotone: {lengths:?}");
+    }
+    // The most generous budget reaches the critical path exactly.
+    let cp = clockless::hls::critical_path(&g, &standard_resources(6, 2)).unwrap();
+    assert_eq!(*lengths.last().unwrap(), cp, "lengths: {lengths:?}");
+    // And the scarcest budget is strictly slower.
+    assert!(lengths[0] > cp);
+}
+
+#[test]
+fn sequential_units_flow() {
+    // A sequential (non-pipelined) multiplier serializes initiations but
+    // the flow still verifies.
+    let g = fir(&[3, 1, 4]);
+    let (_names, inputs) = fir_inputs(3);
+    let resources = ResourceSet::new([
+        ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Sequential { latency: 3 }, 1),
+        ResourceClass::new("ADD", [Op::Add], ModuleTiming::Pipelined { latency: 1 }, 1),
+    ]);
+    full_flow(&g, &resources, &inputs);
+}
+
+#[test]
+fn random_dags_flow() {
+    for seed in [1u64, 7, 42, 1234] {
+        let g = random_dag(seed, 24, 4);
+        let names: Vec<String> = (0..4).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 * 11 - 13))
+            .collect();
+        // Random DAGs include Min/Max/Xor: give the ALU all of them.
+        let resources = ResourceSet::new([
+            ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 2),
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub, Op::Min, Op::Max, Op::Xor],
+                ModuleTiming::Pipelined { latency: 1 },
+                2,
+            ),
+        ]);
+        let syn = synthesize(&g, &resources, &inputs).expect("synthesis");
+        assert!(
+            concrete_check(&g, &syn, &inputs).expect("simulates"),
+            "seed {seed}"
+        );
+        let report = verify_synthesis(&g, &syn, 24).expect("verifies");
+        assert!(report.passed(), "seed {seed}: {report}");
+        roundtrip_check(&syn.model).expect("roundtrip");
+    }
+}

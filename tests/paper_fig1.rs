@@ -1,0 +1,133 @@
+//! Experiment E1: the paper's Fig. 1 / §2.7 example, reproduced exactly
+//! and checked across every implementation style.
+
+use clockless::clocked::{
+    check_clocked_equivalence, check_handshake_equivalence, ClockScheme, ClockedDesign,
+    ClockedSimulation, HandshakeSim,
+};
+use clockless::core::prelude::*;
+use clockless::core::text::{parse_model, to_text};
+use clockless::verify::roundtrip_check;
+
+/// The paper's model, written in the declarative text format exactly as
+/// §2.7's VHDL architecture declares it.
+const FIG1_TEXT: &str = "
+# concrete register transfer model of paper Fig. 1 / §2.7
+model example steps 7
+register R1 init 3
+register R2 init 4
+bus B1
+bus B2
+module ADD ops add pipelined 1
+transfer (R1,B1,R2,B2,5,ADD,6,B1,R1)
+";
+
+#[test]
+fn fig1_text_description_runs_and_computes() {
+    let model = parse_model(FIG1_TEXT).expect("fig1 text parses");
+    let mut sim = RtSimulation::new(&model).expect("elaborates");
+    let summary = sim.run_to_completion().expect("runs");
+    assert_eq!(summary.register("R1"), Some(Value::Num(7)));
+    assert_eq!(summary.register("R2"), Some(Value::Num(4)));
+}
+
+#[test]
+fn fig1_text_roundtrips() {
+    let model = parse_model(FIG1_TEXT).unwrap();
+    let text = to_text(&model);
+    let model2 = parse_model(&text).unwrap();
+    assert_eq!(model.tuples(), model2.tuples());
+    assert_eq!(model.registers(), model2.registers());
+}
+
+#[test]
+fn fig1_matches_helper_constructor() {
+    let a = parse_model(FIG1_TEXT).unwrap();
+    let b = fig1_model(3, 4);
+    assert_eq!(a.cs_max(), b.cs_max());
+    assert_eq!(a.tuples(), b.tuples());
+}
+
+#[test]
+fn fig1_expands_to_the_paper_six_processes() {
+    let model = fig1_model(3, 4);
+    let names: Vec<String> = model.tuples()[0]
+        .expand()
+        .iter()
+        .map(|s| s.instance_name())
+        .collect();
+    // §2.7 lists exactly these six instance derivations.
+    assert_eq!(
+        names,
+        [
+            "R1_out_B1_5",
+            "B1_ADD_in1_5",
+            "R2_out_B2_5",
+            "B2_ADD_in2_5",
+            "ADD_out_B1_6",
+            "B1_R1_in_6",
+        ]
+    );
+}
+
+#[test]
+fn fig1_tuple_process_roundtrip() {
+    roundtrip_check(&fig1_model(3, 4)).expect("the §2.7 mappings invert");
+}
+
+#[test]
+fn fig1_all_styles_agree() {
+    let model = fig1_model(17, 25);
+
+    // Clock-free.
+    let mut cf = RtSimulation::new(&model).unwrap();
+    let cf_summary = cf.run_to_completion().unwrap();
+    assert_eq!(cf_summary.register("R1"), Some(Value::Num(42)));
+
+    // Clocked (both architectures).
+    for scheme in [
+        ClockScheme::OneCyclePerStep {
+            period_fs: clockless::kernel::NS,
+        },
+        ClockScheme::TwoCyclesPerStep {
+            period_fs: clockless::kernel::NS,
+        },
+    ] {
+        let design = ClockedDesign::translate(&model, scheme).unwrap();
+        let mut clocked = ClockedSimulation::new(&design, false).unwrap();
+        clocked.run_to_completion().unwrap();
+        assert_eq!(clocked.register_value("R1"), Some(Value::Num(42)));
+        assert!(check_clocked_equivalence(&model, scheme)
+            .unwrap()
+            .equivalent());
+    }
+
+    // Handshake.
+    let mut hs = HandshakeSim::new(&model).unwrap();
+    hs.run_to_completion().unwrap();
+    assert_eq!(hs.register_value("R1"), Some(Value::Num(42)));
+    assert!(check_handshake_equivalence(&model).unwrap().equivalent());
+}
+
+#[test]
+fn fig1_bus_b1_reused_across_steps() {
+    // Fig. 1's B1 carries the operand in step 5 and the result in step 6
+    // — the defining bus-sharing pattern of the model.
+    let model = fig1_model(1, 1);
+    let mut sim = RtSimulation::traced(&model).unwrap();
+    sim.run_to_completion().unwrap();
+    // The trace shows B1 carrying a value during both steps.
+    let layout = sim.layout();
+    let b1 = layout.bus[0];
+    let trace = sim.kernel().trace().unwrap();
+    let carried: Vec<(u64, Value)> = trace
+        .events_for(b1)
+        .map(|e| (e.at.delta, e.value))
+        .filter(|(_, v)| v.is_num())
+        .collect();
+    assert_eq!(carried.len(), 2, "B1 carries a value twice: {carried:?}");
+    let step5_rb = PhaseTime::new(5, Phase::Rb).active_delta();
+    let step6_wb = PhaseTime::new(6, Phase::Wb).active_delta();
+    assert_eq!(carried[0].0, step5_rb);
+    assert_eq!(carried[1].0, step6_wb);
+}

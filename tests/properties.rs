@@ -1,0 +1,447 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::HashMap;
+
+use clockless::core::prelude::*;
+use clockless::core::{resolve, Endpoint, TransferTuple};
+use clockless::hls::{random_dag, synthesize, ResourceClass, ResourceSet};
+use clockless::verify::{concrete_check, roundtrip_check, verify_synthesis};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Disc),
+        Just(Value::Illegal),
+        any::<i64>().prop_map(Value::Num),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Min),
+        Just(Op::Max),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Shr),
+        Just(Op::Shl),
+        Just(Op::PassA),
+        Just(Op::PassB),
+        Just(Op::Neg),
+        Just(Op::Abs),
+        (0u8..32).prop_map(Op::MulFx),
+    ]
+}
+
+proptest! {
+    /// The resolution function is order-independent (any permutation of
+    /// drivers resolves identically) — essential, since VHDL leaves the
+    /// driver order unspecified.
+    #[test]
+    fn resolution_is_permutation_invariant(mut drivers in prop::collection::vec(arb_value(), 0..6), seed in any::<u64>()) {
+        let original = resolve(&drivers);
+        // Deterministic shuffle from the seed.
+        let mut s = seed | 1;
+        for i in (1..drivers.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            drivers.swap(i, (s as usize) % (i + 1));
+        }
+        prop_assert_eq!(resolve(&drivers), original);
+    }
+
+    /// Resolution yields a number only when exactly one driver is a
+    /// number and none is ILLEGAL.
+    #[test]
+    fn resolution_numeric_iff_unique_driver(drivers in prop::collection::vec(arb_value(), 0..6)) {
+        let nums = drivers.iter().filter(|v| v.is_num()).count();
+        let illegal = drivers.iter().any(|v| v.is_illegal());
+        let r = resolve(&drivers);
+        match (illegal, nums) {
+            (true, _) => prop_assert_eq!(r, Value::Illegal),
+            (false, 0) => prop_assert_eq!(r, Value::Disc),
+            (false, 1) => prop_assert!(r.is_num()),
+            (false, _) => prop_assert_eq!(r, Value::Illegal),
+        }
+    }
+
+    /// Resolution is associative under nesting: resolving a sublist first
+    /// and splicing the result in gives the same outcome. (This is what
+    /// lets buses and ports be resolved independently.)
+    #[test]
+    fn resolution_nests(a in prop::collection::vec(arb_value(), 0..4), b in prop::collection::vec(arb_value(), 0..4)) {
+        let flat: Vec<Value> = a.iter().chain(b.iter()).copied().collect();
+        let nested = {
+            let ra = resolve(&a);
+            let mut v = vec![ra];
+            v.extend(b.iter().copied());
+            resolve(&v)
+        };
+        prop_assert_eq!(resolve(&flat), nested);
+    }
+
+    /// ILLEGAL is absorbing for every operation.
+    #[test]
+    fn illegal_absorbs(op in arb_op(), v in arb_value()) {
+        prop_assert_eq!(op.apply(Value::Illegal, v), Value::Illegal);
+        prop_assert_eq!(op.apply(v, Value::Illegal), Value::Illegal);
+    }
+
+    /// All-DISC operands always yield DISC ("no operation this step").
+    #[test]
+    fn disc_in_disc_out(op in arb_op()) {
+        prop_assert_eq!(op.apply(Value::Disc, Value::Disc), Value::Disc);
+    }
+
+    /// Op mnemonics round-trip through parsing.
+    #[test]
+    fn op_mnemonic_roundtrip(op in arb_op()) {
+        prop_assert_eq!(op.mnemonic().parse::<Op>().unwrap(), op);
+    }
+
+    /// Value encoding round-trips for non-negative payloads.
+    #[test]
+    fn value_encoding_roundtrip(n in 0i64..i64::MAX) {
+        let v = Value::Num(n);
+        prop_assert_eq!(Value::from_encoded(v.to_encoded().unwrap()), v);
+    }
+
+    /// Transfer tuples round-trip through the paper's textual notation.
+    #[test]
+    fn tuple_text_roundtrip(
+        read_step in 1u32..50,
+        latency in 0u32..3,
+        has_b in any::<bool>(),
+        has_write in any::<bool>(),
+    ) {
+        let mut t = TransferTuple::new(read_step, "M").src_a("Ra", "Ba");
+        if has_b {
+            t = t.src_b("Rb", "Bb");
+        }
+        if has_write {
+            t = t.write(read_step + latency, "Bw", "Rw");
+        }
+        let text = t.to_string();
+        prop_assert_eq!(text.parse::<TransferTuple>().unwrap(), t);
+    }
+
+    /// Expansion emits specs in strictly increasing phase order per step,
+    /// and each sink is driven exactly once by the tuple.
+    #[test]
+    fn expansion_shape(read_step in 1u32..20, latency in 0u32..3) {
+        let t = TransferTuple::new(read_step, "M")
+            .src_a("Ra", "Ba")
+            .src_b("Rb", "Bb")
+            .write(read_step + latency, "Bw", "Rw");
+        let specs = t.expand();
+        prop_assert_eq!(specs.len(), 6);
+        // Sinks are unique per (endpoint, step, phase).
+        let mut sinks: Vec<(String, u32)> = specs
+            .iter()
+            .map(|s| (format!("{}", s.dst), s.step))
+            .collect();
+        sinks.sort();
+        let before = sinks.len();
+        sinks.dedup();
+        // Bw and Ba may coincide as strings only if names equal — they
+        // don't here.
+        prop_assert_eq!(sinks.len(), before);
+        // Reads at the read step, writes at the write step.
+        for s in &specs {
+            match &s.dst {
+                Endpoint::Bus(b) if b == "Bw" => prop_assert_eq!(s.step, read_step + latency),
+                Endpoint::Bus(_) => prop_assert_eq!(s.step, read_step),
+                Endpoint::RegIn(_) => prop_assert_eq!(s.step, read_step + latency),
+                _ => prop_assert_eq!(s.step, read_step),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The flagship end-to-end property: any random DAG synthesized under
+    /// random resource budgets simulates to the dataflow evaluator's
+    /// values, passes the automatic prover, and its tuples round-trip
+    /// through the §2.7 process semantics.
+    #[test]
+    fn synthesized_random_dags_are_correct(
+        seed in any::<u64>(),
+        nodes in 4usize..28,
+        n_inputs in 1usize..5,
+        muls in 1usize..3,
+        alus in 1usize..3,
+        input_vals in prop::collection::vec(-1000i64..1000, 5),
+    ) {
+        let g = random_dag(seed, nodes, n_inputs);
+        let names: Vec<String> = (0..n_inputs).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), input_vals[i]))
+            .collect();
+        let resources = ResourceSet::new([
+            ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, muls),
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub, Op::Min, Op::Max, Op::Xor],
+                ModuleTiming::Pipelined { latency: 1 },
+                alus,
+            ),
+        ]);
+        let syn = synthesize(&g, &resources, &inputs).expect("synthesis succeeds");
+        prop_assert!(concrete_check(&g, &syn, &inputs).expect("simulates"));
+        let report = verify_synthesis(&g, &syn, 8).expect("verifier runs");
+        prop_assert!(report.passed(), "{}", report);
+        roundtrip_check(&syn.model).expect("roundtrip");
+    }
+
+    /// Symbolic simulation agrees with concrete simulation on random
+    /// models (soundness of the abstract interpreter).
+    #[test]
+    fn symbolic_matches_concrete(r1 in -1000i64..1000, r2 in -1000i64..1000) {
+        let model = fig1_model(r1, r2);
+        let out = clockless::verify::symbolic_run(&model, &HashMap::new()).unwrap();
+        let mut sim = RtSimulation::new(&model).unwrap();
+        let summary = sim.run_to_completion().unwrap();
+        let expected = summary.register("R1").unwrap().num().unwrap();
+        prop_assert_eq!(&*out["R1"], &clockless::verify::Expr::Const(expected));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Source-level round trip: any synthesized model emits as the
+    /// paper's VHDL subset and reads back identically.
+    #[test]
+    fn vhdl_roundtrip_on_random_models(
+        seed in any::<u64>(),
+        nodes in 3usize..16,
+    ) {
+        let g = random_dag(seed, nodes, 3);
+        let names: Vec<String> = (0..3).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 + 1))
+            .collect();
+        let resources = ResourceSet::new([
+            ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 2),
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub, Op::Min, Op::Max],
+                ModuleTiming::Pipelined { latency: 1 },
+                2,
+            ),
+        ]);
+        // Random DAGs may contain Xor (no VHDL expression in the subset):
+        // skip those seeds.
+        if g.nodes().iter().any(|n| n.op == Op::Xor) {
+            return Ok(());
+        }
+        let syn = synthesize(&g, &resources, &inputs).expect("synthesis");
+        let text = clockless::core::emit_vhdl(&syn.model).expect("emits");
+        let back = clockless::verify::model_from_vhdl(&text).expect("imports");
+        prop_assert_eq!(back.registers(), syn.model.registers());
+        prop_assert_eq!(back.modules(), syn.model.modules());
+        let mut a = back.tuples().to_vec();
+        let mut b = syn.model.tuples().to_vec();
+        let key = |t: &clockless::core::TransferTuple| (t.module.clone(), t.read_step);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The kernel is deterministic: identical models produce identical
+    /// statistics and results on every run.
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), nodes in 3usize..20) {
+        let g = random_dag(seed, nodes, 3);
+        let names: Vec<String> = (0..3).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 * 3 - 1))
+            .collect();
+        let resources = ResourceSet::new([
+            ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 1),
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub, Op::Min, Op::Max, Op::Xor],
+                ModuleTiming::Pipelined { latency: 1 },
+                1,
+            ),
+        ]);
+        let syn = synthesize(&g, &resources, &inputs).expect("synthesis");
+        let mut s1 = RtSimulation::new(&syn.model).expect("elaborates");
+        let mut s2 = RtSimulation::new(&syn.model).expect("elaborates");
+        let r1 = s1.run_to_completion().expect("runs");
+        let r2 = s2.run_to_completion().expect("runs");
+        prop_assert_eq!(r1.stats, r2.stats);
+        prop_assert_eq!(r1.registers, r2.registers);
+    }
+}
+
+// ---- Normalization soundness -------------------------------------------
+
+/// A small random expression generator over three variables.
+fn arb_expr() -> impl Strategy<Value = std::rc::Rc<clockless::verify::Expr>> {
+    use clockless::verify::Expr;
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::constant),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        (
+            prop_oneof![
+                Just(Op::Add),
+                Just(Op::Sub),
+                Just(Op::Mul),
+                Just(Op::Min),
+                Just(Op::Max),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| {
+                clockless::verify::Expr::apply(op, vec![a, b]).expect("no illegal constants")
+            })
+    })
+}
+
+/// Recursively commutes every Add/Mul — an equivalence-preserving rewrite.
+fn commuted(e: &std::rc::Rc<clockless::verify::Expr>) -> std::rc::Rc<clockless::verify::Expr> {
+    use clockless::verify::Expr;
+    match &**e {
+        Expr::Apply(op, args) if args.len() == 2 => {
+            let a = commuted(&args[0]);
+            let b = commuted(&args[1]);
+            let swapped = matches!(op, Op::Add | Op::Mul);
+            let args = if swapped { vec![b, a] } else { vec![a, b] };
+            Expr::apply(*op, args).expect("no illegal constants")
+        }
+        Expr::Apply(op, args) => {
+            let args = args.iter().map(commuted).collect();
+            Expr::apply(*op, args).expect("no illegal constants")
+        }
+        _ => e.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Commuting Add/Mul everywhere preserves the normal form — except
+    /// inside opaque operations (Min/Max), where commuted *children*
+    /// still normalize but a commuted opaque node itself may not compare
+    /// equal; so the property is checked semantically as well.
+    #[test]
+    fn normalization_is_sound(e in arb_expr(), xs in prop::collection::vec(-100i64..100, 3)) {
+        use clockless::verify::equivalent;
+        let c = commuted(&e);
+        let env: HashMap<String, i64> = ["x", "y", "z"]
+            .iter()
+            .zip(&xs)
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect();
+        // Semantic agreement always holds for the rewrite.
+        let ev_e = e.eval(&env);
+        let ev_c = c.eval(&env);
+        prop_assert_eq!(ev_e.clone(), ev_c);
+        // And if the prover says "equivalent", evaluation must agree —
+        // soundness of the normal form.
+        if equivalent(&e, &c) {
+            prop_assert_eq!(ev_e, c.eval(&env));
+        }
+    }
+
+    /// The ring fragment (no opaque ops) normalizes commutations away
+    /// completely.
+    #[test]
+    fn ring_fragment_proves_commutativity(
+        a in -20i64..20,
+        b in -20i64..20,
+        c in -20i64..20,
+    ) {
+        use clockless::verify::{equivalent, Expr};
+        let x = Expr::var("x");
+        let y = Expr::var("y");
+        // (a·x + b·y)·(x + c) vs its fully commuted form.
+        let e1 = Expr::apply(
+            Op::Mul,
+            vec![
+                Expr::apply(
+                    Op::Add,
+                    vec![
+                        Expr::apply(Op::Mul, vec![Expr::constant(a), x.clone()]).unwrap(),
+                        Expr::apply(Op::Mul, vec![Expr::constant(b), y.clone()]).unwrap(),
+                    ],
+                )
+                .unwrap(),
+                Expr::apply(Op::Add, vec![x.clone(), Expr::constant(c)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let e2 = Expr::apply(
+            Op::Mul,
+            vec![
+                Expr::apply(Op::Add, vec![Expr::constant(c), x.clone()]).unwrap(),
+                Expr::apply(
+                    Op::Add,
+                    vec![
+                        Expr::apply(Op::Mul, vec![y, Expr::constant(b)]).unwrap(),
+                        Expr::apply(Op::Mul, vec![x, Expr::constant(a)]).unwrap(),
+                    ],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        prop_assert!(equivalent(&e1, &e2));
+    }
+
+    /// Transcript rendering and model statistics never fail on random
+    /// synthesized models, and the statistics satisfy their invariants.
+    #[test]
+    fn transcript_and_stats_total_on_random_models(seed in any::<u64>(), nodes in 3usize..16) {
+        let g = random_dag(seed, nodes, 3);
+        let names: Vec<String> = (0..3).map(|i| format!("in{i}")).collect();
+        let inputs: HashMap<&str, i64> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i as i64 + 1))
+            .collect();
+        let resources = ResourceSet::new([
+            ResourceClass::new("MUL", [Op::Mul], ModuleTiming::Pipelined { latency: 2 }, 2),
+            ResourceClass::new(
+                "ALU",
+                [Op::Add, Op::Sub, Op::Min, Op::Max, Op::Xor],
+                ModuleTiming::Pipelined { latency: 1 },
+                2,
+            ),
+        ]);
+        let syn = synthesize(&g, &resources, &inputs).expect("synthesis");
+        let s = clockless::core::model_stats(&syn.model);
+        prop_assert_eq!(s.tuples, syn.model.tuples().len());
+        prop_assert!(s.occupancy() >= 0.0 && s.occupancy() <= 1.0);
+        prop_assert!(s.peak.1 as u64 >= 1);
+        let first_reg = syn.model.registers()[0].name.clone();
+        let text = clockless::core::transcript(&syn.model, &[&first_reg]).expect("renders");
+        prop_assert!(text.contains("step.ph"));
+        // Lints: emitted schedules have no dataflow lints.
+        let lints = clockless::verify::lint_model(&syn.model);
+        prop_assert!(
+            !lints.iter().any(|l| matches!(
+                l,
+                clockless::verify::Lint::DeadWrite { .. }
+                    | clockless::verify::Lint::ReadOfUndefined { .. }
+            )),
+            "{:?}",
+            lints
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment E5 (assertion-level): the modeling-style cost comparison
+//! behind §2.7's speed claim. The bench harness measures wall time; these
+//! tests pin the *shape* in deterministic kernel counters.
+
+use clockless::clocked::{ClockScheme, ClockedDesign, ClockedSimulation, HandshakeSim};
+use clockless::core::prelude::*;
+use clockless::core::ElaborateOptions;
+use clockless::kernel::NS;
+
+/// `width` independent adder transfers in each of `depth` step pairs.
+fn dense_model(width: usize, depth: u32) -> RtModel {
+    let mut m = RtModel::new("dense", depth * 2);
+    for i in 0..width {
+        m.add_register_init(format!("A{i}"), Value::Num(i as i64 + 1))
+            .unwrap();
+        m.add_register_init(format!("B{i}"), Value::Num(2 * i as i64 + 1))
+            .unwrap();
+        m.add_bus(format!("X{i}")).unwrap();
+        m.add_bus(format!("Y{i}")).unwrap();
+        m.add_module(ModuleDecl::single(
+            format!("ADD{i}"),
+            Op::Add,
+            ModuleTiming::Pipelined { latency: 1 },
+        ))
+        .unwrap();
+    }
+    for d in 0..depth {
+        let read = 2 * d + 1;
+        for i in 0..width {
+            // A_i := A_i + B_i, repeatedly.
+            m.add_transfer(
+                TransferTuple::new(read, format!("ADD{i}"))
+                    .src_a(format!("A{i}"), format!("X{i}"))
+                    .src_b(format!("B{i}"), format!("Y{i}"))
+                    .write(read + 1, format!("X{i}"), format!("A{i}")),
+            )
+            .unwrap();
+        }
+    }
+    m
+}
+
+#[test]
+fn all_styles_compute_the_same_result() {
+    let model = dense_model(6, 4);
+    let mut cf = RtSimulation::new(&model).unwrap();
+    let cf_sum = cf.run_to_completion().unwrap();
+
+    let design = ClockedDesign::translate(&model, ClockScheme::default()).unwrap();
+    let mut ck = ClockedSimulation::new(&design, false).unwrap();
+    ck.run_to_completion().unwrap();
+
+    let mut hs = HandshakeSim::new(&model).unwrap();
+    hs.run_to_completion().unwrap();
+
+    for i in 0..6i64 {
+        // A_i = (i+1) + 4 * (2i+1)
+        let expected = Value::Num((i + 1) + 4 * (2 * i + 1));
+        let name = format!("A{i}");
+        assert_eq!(cf_sum.register(&name), Some(expected));
+        assert_eq!(ck.register_value(&name), Some(expected));
+        assert_eq!(hs.register_value(&name), Some(expected));
+    }
+}
+
+#[test]
+fn clock_free_deltas_scale_with_steps_not_transfers() {
+    // Same step count, increasing width: the clock-free delta count is
+    // constant.
+    let mut deltas = Vec::new();
+    for width in [1usize, 4, 16] {
+        let model = dense_model(width, 3);
+        let mut sim = RtSimulation::new(&model).unwrap();
+        deltas.push(sim.run_to_completion().unwrap().stats.delta_cycles);
+    }
+    assert_eq!(deltas[0], deltas[1]);
+    assert_eq!(deltas[1], deltas[2]);
+}
+
+#[test]
+fn handshake_deltas_scale_with_transfers() {
+    let mut deltas = Vec::new();
+    for width in [1usize, 4, 8] {
+        let model = dense_model(width, 2);
+        let mut hs = HandshakeSim::new(&model).unwrap();
+        deltas.push(hs.run_to_completion().unwrap().delta_cycles);
+    }
+    // Serialized handshakes: width 8 costs much more than width 1.
+    assert!(deltas[2] > 4 * deltas[0], "deltas: {deltas:?}");
+    // And far more than the clock-free rendering of the same model.
+    let model = dense_model(8, 2);
+    let mut cf = RtSimulation::new(&model).unwrap();
+    let cf_deltas = cf.run_to_completion().unwrap().stats.delta_cycles;
+    assert!(
+        deltas[2] > 3 * cf_deltas,
+        "handshake {} vs clock-free {cf_deltas}",
+        deltas[2]
+    );
+}
+
+#[test]
+fn clocked_needs_physical_time_clock_free_does_not() {
+    let model = dense_model(4, 4);
+    let mut cf = RtSimulation::new(&model).unwrap();
+    let cf_sum = cf.run_to_completion().unwrap();
+    assert_eq!(cf_sum.stats.time_advances, 0);
+
+    let design =
+        ClockedDesign::translate(&model, ClockScheme::OneCyclePerStep { period_fs: 10 * NS })
+            .unwrap();
+    let mut ck = ClockedSimulation::new(&design, false).unwrap();
+    let ck_stats = ck.run_to_completion().unwrap();
+    assert!(ck_stats.time_advances > 0);
+    assert!(ck.elapsed_fs() >= 8 * 10 * NS);
+    // The clock itself generates events the abstract model has no
+    // counterpart for: two transitions per cycle plus the step counter.
+    let clock_events = 2 * (design.total_cycles() - 1);
+    assert!(
+        ck_stats.events >= clock_events,
+        "clocked events {} < clock transitions {clock_events}",
+        ck_stats.events
+    );
+}
+
+/// Ablation (DESIGN.md §6): literal VHDL `wait until` semantics keep every
+/// completed transfer process waking on each CS/PH event. The retire
+/// optimization removes exactly that overhead without changing results.
+#[test]
+fn faithful_wakeups_cost_more_activations_same_result() {
+    let model = dense_model(6, 6);
+
+    let mut fast = RtSimulation::new(&model).unwrap();
+    let fast_sum = fast.run_to_completion().unwrap();
+
+    let mut faithful = RtSimulation::with_options(
+        &model,
+        ElaborateOptions {
+            trace: false,
+            faithful_trans_wakeups: true,
+        },
+    )
+    .unwrap();
+    let faithful_sum = faithful.run_to_completion().unwrap();
+
+    assert_eq!(fast.registers(), faithful.registers());
+    assert_eq!(fast_sum.stats.delta_cycles, faithful_sum.stats.delta_cycles);
+    assert!(
+        faithful_sum.stats.process_activations > fast_sum.stats.process_activations,
+        "faithful {} vs retired {}",
+        faithful_sum.stats.process_activations,
+        fast_sum.stats.process_activations
+    );
+}
