@@ -3,11 +3,11 @@
 //! the cost of translation and of the equivalence check itself.
 
 use clockless_bench::dense_model;
+use clockless_bench::harness::Harness;
 use clockless_clocked::{check_clocked_equivalence, ClockScheme, ClockedDesign, ClockedSimulation};
 use clockless_core::model::fig1_model;
 use clockless_iks::prelude::*;
 use clockless_kernel::NS;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn schemes() -> [(&'static str, ClockScheme); 2] {
     [
@@ -53,31 +53,26 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("clocked_translation");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("clocked_translation");
 
-    let model = dense_model(8, 8);
-    for (sname, scheme) in schemes() {
-        g.bench_with_input(BenchmarkId::new("translate", sname), &scheme, |b, &s| {
-            b.iter(|| ClockedDesign::translate(&model, s).expect("translates"))
-        });
-        let design = ClockedDesign::translate(&model, scheme).expect("translates");
-        g.bench_with_input(BenchmarkId::new("simulate", sname), &design, |b, d| {
-            b.iter(|| {
-                let mut sim = ClockedSimulation::new(d, false).expect("elaborates");
+        let model = dense_model(8, 8);
+        for (sname, scheme) in schemes() {
+            g.bench(format!("translate/{sname}"), || {
+                ClockedDesign::translate(&model, scheme).expect("translates")
+            });
+            let design = ClockedDesign::translate(&model, scheme).expect("translates");
+            g.bench(format!("simulate/{sname}"), || {
+                let mut sim = ClockedSimulation::new(&design, false).expect("elaborates");
                 sim.run_to_completion().expect("runs")
-            })
-        });
-        g.bench_with_input(
-            BenchmarkId::new("equivalence_check", sname),
-            &scheme,
-            |b, &s| b.iter(|| check_clocked_equivalence(&model, s).expect("checks")),
-        );
+            });
+            g.bench(format!("equivalence_check/{sname}"), || {
+                check_clocked_equivalence(&model, scheme).expect("checks")
+            });
+        }
     }
-
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,9 +4,9 @@
 //! analysis, across conflict densities.
 
 use clockless_bench::conflicted_model;
+use clockless_bench::harness::Harness;
 use clockless_core::{Phase, PhaseTime, RtSimulation};
 use clockless_verify::{cross_check, static_conflicts};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn report() {
     eprintln!("--- E3: conflict detection and localization ---");
@@ -38,32 +38,23 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("conflict_detection");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("conflict_detection");
 
-    for pairs in [1usize, 4, 16] {
-        let model = conflicted_model(pairs);
-        g.bench_with_input(
-            BenchmarkId::new("dynamic_traced_run", pairs),
-            &model,
-            |b, m| {
-                b.iter(|| {
-                    let mut sim = RtSimulation::traced(m).expect("elaborates");
-                    sim.run_to_completion().expect("runs");
-                    sim.conflicts().expect("traced")
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("static_analysis", pairs),
-            &model,
-            |b, m| b.iter(|| static_conflicts(m)),
-        );
+        for pairs in [1usize, 4, 16] {
+            let model = conflicted_model(pairs);
+            g.bench(format!("dynamic_traced_run/{pairs}"), || {
+                let mut sim = RtSimulation::traced(&model).expect("elaborates");
+                sim.run_to_completion().expect("runs");
+                sim.conflicts().expect("traced")
+            });
+            g.bench(format!("static_analysis/{pairs}"), || {
+                static_conflicts(&model)
+            });
+        }
     }
-
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

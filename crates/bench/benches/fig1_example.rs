@@ -1,10 +1,9 @@
 //! Experiment E1 (paper Fig. 1 / §2.7): cost of building, elaborating and
 //! simulating the canonical example, and of each pipeline stage.
 
+use clockless_bench::harness::Harness;
 use clockless_core::model::fig1_model;
 use clockless_core::{RtSimulation, Value};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn report() {
     let model = fig1_model(3, 4);
@@ -20,35 +19,28 @@ fn report() {
     assert_eq!(summary.register("R1"), Some(Value::Num(7)));
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("fig1");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("fig1");
 
-    g.bench_function("build_model", |b| {
-        b.iter(|| black_box(fig1_model(black_box(3), black_box(4))))
-    });
+        g.bench("build_model", || fig1_model(3, 4));
 
-    let model = fig1_model(3, 4);
-    g.bench_function("elaborate", |b| {
-        b.iter(|| RtSimulation::new(black_box(&model)).expect("elaborates"))
-    });
+        let model = fig1_model(3, 4);
+        g.bench("elaborate", || {
+            RtSimulation::new(&model).expect("elaborates")
+        });
 
-    g.bench_function("simulate", |b| {
-        b.iter(|| {
+        g.bench("simulate", || {
             let mut sim = RtSimulation::new(&model).expect("elaborates");
             sim.run_to_completion().expect("runs")
-        })
-    });
+        });
 
-    g.bench_function("simulate_traced", |b| {
-        b.iter(|| {
+        g.bench("simulate_traced", || {
             let mut sim = RtSimulation::traced(&model).expect("elaborates");
             sim.run_to_completion().expect("runs")
-        })
-    });
-
-    g.finish();
+        });
+    }
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

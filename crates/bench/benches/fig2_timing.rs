@@ -1,11 +1,12 @@
 //! Experiment E2 (paper Fig. 2 / §2.2): the delta-cycle cost of the
 //! control-step scheme — "the complete simulation takes CS_MAX × 6 delta
 //! simulation cycles" — swept over CS_MAX, plus the wall-clock cost per
-//! control step.
+//! control step. `kernel_snapshot` records the same workloads' kernel
+//! counters into `BENCH_kernel.json`.
 
 use clockless_bench::dense_model;
+use clockless_bench::harness::Harness;
 use clockless_core::{RtModel, RtSimulation, PHASES_PER_STEP};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn report() {
     eprintln!("--- E2: Fig. 2 timing (deltas per control step) ---");
@@ -26,40 +27,29 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("fig2_timing");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("fig2_timing");
 
-    // Empty controller sweep: the pure cost of the six-phase scheme.
-    for cs_max in [10u32, 100, 1_000, 10_000] {
-        g.throughput(Throughput::Elements(cs_max as u64));
-        g.bench_with_input(
-            BenchmarkId::new("controller_only", cs_max),
-            &cs_max,
-            |b, &cs_max| {
-                b.iter(|| {
-                    let model = RtModel::new("empty", cs_max);
-                    let mut sim = RtSimulation::new(&model).expect("elaborates");
-                    sim.run_to_completion().expect("runs")
-                })
-            },
-        );
-    }
-
-    // Busy schedule sweep: same steps, increasing datapath activity.
-    for width in [1usize, 4, 16] {
-        let model = dense_model(width, 50);
-        g.throughput(Throughput::Elements(100));
-        g.bench_with_input(BenchmarkId::new("dense_width", width), &model, |b, m| {
-            b.iter(|| {
-                let mut sim = RtSimulation::new(m).expect("elaborates");
+        // Empty controller sweep: the pure cost of the six-phase scheme.
+        for cs_max in [10u32, 100, 1_000, 10_000] {
+            g.bench(format!("controller_only/{cs_max}"), || {
+                let model = RtModel::new("empty", cs_max);
+                let mut sim = RtSimulation::new(&model).expect("elaborates");
                 sim.run_to_completion().expect("runs")
-            })
-        });
+            });
+        }
+
+        // Busy schedule sweep: same steps, increasing datapath activity.
+        for width in [1usize, 4, 16] {
+            let model = dense_model(width, 50);
+            g.bench(format!("dense_width/{width}"), || {
+                let mut sim = RtSimulation::new(&model).expect("elaborates");
+                sim.run_to_completion().expect("runs")
+            });
+        }
     }
-
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

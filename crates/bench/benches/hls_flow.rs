@@ -4,13 +4,13 @@
 
 use std::collections::HashMap;
 
+use clockless_bench::harness::Harness;
 use clockless_core::{ModuleTiming, Op, RtSimulation};
 use clockless_hls::{
     critical_path, diffeq, fir, force_directed_schedule, random_dag, synthesize, ResourceClass,
     ResourceSet,
 };
 use clockless_verify::verify_synthesis;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn resources(muls: usize, alus: usize) -> ResourceSet {
     ResourceSet::new([
@@ -95,49 +95,40 @@ fn report_fds() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     report_fds();
-    let mut g = c.benchmark_group("hls_flow");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("hls_flow");
 
-    // Scheduling + allocation + emission cost over graph size.
-    for nodes in [10usize, 40, 160] {
-        let graph = random_dag(99, nodes, 4);
-        let names: Vec<String> = (0..4).map(|i| format!("in{i}")).collect();
-        let inputs: HashMap<&str, i64> = names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.as_str(), i as i64 + 1))
-            .collect();
-        let res = resources(2, 2);
-        g.bench_with_input(BenchmarkId::new("synthesize", nodes), &graph, |b, gr| {
-            b.iter(|| synthesize(gr, &res, &inputs).expect("synthesis"))
-        });
-        let syn = synthesize(&graph, &res, &inputs).expect("synthesis");
-        g.bench_with_input(
-            BenchmarkId::new("simulate_result", nodes),
-            &syn.model,
-            |b, m| {
-                b.iter(|| {
-                    let mut sim = RtSimulation::new(m).expect("elaborates");
-                    sim.run_to_completion().expect("runs")
-                })
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("verify", nodes), &syn, |b, s| {
-            b.iter(|| verify_synthesis(&graph, s, 4).expect("verifies"))
-        });
+        // Scheduling + allocation + emission cost over graph size.
+        for nodes in [10usize, 40, 160] {
+            let graph = random_dag(99, nodes, 4);
+            let names: Vec<String> = (0..4).map(|i| format!("in{i}")).collect();
+            let inputs: HashMap<&str, i64> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i as i64 + 1))
+                .collect();
+            let res = resources(2, 2);
+            g.bench(format!("synthesize/{nodes}"), || {
+                synthesize(&graph, &res, &inputs).expect("synthesis")
+            });
+            let syn = synthesize(&graph, &res, &inputs).expect("synthesis");
+            g.bench(format!("simulate_result/{nodes}"), || {
+                let mut sim = RtSimulation::new(&syn.model).expect("elaborates");
+                sim.run_to_completion().expect("runs")
+            });
+            g.bench(format!("verify/{nodes}"), || {
+                verify_synthesis(&graph, &syn, 4).expect("verifies")
+            });
 
-        let cp = critical_path(&graph, &res).expect("critical path");
-        g.bench_with_input(
-            BenchmarkId::new("force_directed", nodes),
-            &graph,
-            |b, gr| b.iter(|| force_directed_schedule(gr, &res, cp + 4).expect("schedules")),
-        );
+            let cp = critical_path(&graph, &res).expect("critical path");
+            g.bench(format!("force_directed/{nodes}"), || {
+                force_directed_schedule(&graph, &res, cp + 4).expect("schedules")
+            });
+        }
     }
-
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,13 +2,13 @@
 //! full-chip simulation, with the paper's bottom-up verification against
 //! the algorithmic level.
 
+use clockless_bench::harness::Harness;
 use clockless_core::RtSimulation;
 use clockless_iks::prelude::*;
 use clockless_iks::{
     build_fir_chip, build_fk_chip, chip_model, ik_microprogram, ik_opcode_maps, translate,
     FIR_OUT_REG, FK_X_REG, FK_Y_REG, IK_STEPS, THETA1_REG, THETA2_REG,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn report() {
@@ -63,7 +63,11 @@ fn report() {
     let mut sim = RtSimulation::new(&fir).expect("elaborates");
     let s = sim.run_to_completion().expect("runs");
     use clockless_iks::fixed::mul_fx;
-    let golden: i64 = samples.iter().zip(&coeffs).map(|(&a, &c)| mul_fx(a, c)).sum();
+    let golden: i64 = samples
+        .iter()
+        .zip(&coeffs)
+        .map(|(&a, &c)| mul_fx(a, c))
+        .sum();
     eprintln!(
         "MACC FIR(4 taps) = {} (golden {golden}, {} steps)",
         s.register(FIR_OUT_REG).unwrap(),
@@ -72,56 +76,49 @@ fn report() {
     assert_eq!(s.register(FIR_OUT_REG).unwrap().num(), Some(golden));
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
     let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
-    let mut g = c.benchmark_group("iks_chip");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("iks_chip");
 
-    // The translator alone (the paper's "C program").
-    let maps = ik_opcode_maps();
-    let program = ik_microprogram();
-    let skeleton = chip_model(IK_STEPS, &[]);
-    g.bench_function("microcode_translation", |b| {
-        b.iter(|| translate(black_box(&program), black_box(&maps), black_box(&skeleton)).unwrap())
-    });
+        // The translator alone (the paper's "C program").
+        let maps = ik_opcode_maps();
+        let program = ik_microprogram();
+        let skeleton = chip_model(IK_STEPS, &[]);
+        g.bench("microcode_translation", || {
+            translate(black_box(&program), black_box(&maps), black_box(&skeleton)).unwrap()
+        });
 
-    // Chip build (skeleton + preload + translation + insertion).
-    g.bench_function("build_chip", |b| {
-        b.iter(|| build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds"))
-    });
+        // Chip build (skeleton + preload + translation + insertion).
+        g.bench("build_chip", || {
+            build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds")
+        });
 
-    // Full pose solve on the simulated chip.
-    let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds");
-    g.bench_function("simulate_pose", |b| {
-        b.iter(|| {
+        // Full pose solve on the simulated chip.
+        let chip = build_ik_chip(to_fx(1.0), to_fx(1.0), constants).expect("builds");
+        g.bench("simulate_pose", || {
             let mut sim = RtSimulation::new(&chip.model).expect("elaborates");
             sim.run_to_completion().expect("runs")
-        })
-    });
+        });
 
-    // The algorithmic golden model for scale.
-    g.bench_function("golden_algorithm", |b| {
-        b.iter(|| solve_ik(black_box(to_fx(1.0)), black_box(to_fx(1.0)), &constants).unwrap())
-    });
+        // The algorithmic golden model for scale.
+        g.bench("golden_algorithm", || {
+            solve_ik(black_box(to_fx(1.0)), black_box(to_fx(1.0)), &constants).unwrap()
+        });
 
-    // The companion microprograms on the same resources.
-    let fk = build_fk_chip(to_fx(0.3), to_fx(0.9), constants).expect("builds");
-    g.bench_function("simulate_fk", |b| {
-        b.iter(|| {
+        // The companion microprograms on the same resources.
+        let fk = build_fk_chip(to_fx(0.3), to_fx(0.9), constants).expect("builds");
+        g.bench("simulate_fk", || {
             let mut sim = RtSimulation::new(&fk.model).expect("elaborates");
             sim.run_to_completion().expect("runs")
-        })
-    });
-    let fir = build_fir_chip([to_fx(0.5); 4], [to_fx(0.25); 4]).expect("builds");
-    g.bench_function("simulate_fir_macc", |b| {
-        b.iter(|| {
+        });
+        let fir = build_fir_chip([to_fx(0.5); 4], [to_fx(0.25); 4]).expect("builds");
+        g.bench("simulate_fir_macc", || {
             let mut sim = RtSimulation::new(&fir).expect("elaborates");
             sim.run_to_completion().expect("runs")
-        })
-    });
-
-    g.finish();
+        });
+    }
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Writes `BENCH_kernel.json` at the repository root: kernel counters
+//! plus wall-clock time for the E2 (Fig. 2 timing) and E5 (modeling-style
+//! comparison) workloads. Run after scheduler changes and commit the
+//! result — the counters are deterministic, so a diff in anything but
+//! `wall_ns` means observable kernel behavior changed.
+
+use clockless_bench::dense_model;
+use clockless_bench::snapshot::{measure, write_default, KernelRecord};
+use clockless_clocked::{ClockScheme, ClockedDesign, ClockedSimulation, HandshakeSim};
+use clockless_core::{ElaborateOptions, RtModel, RtSimulation, PHASES_PER_STEP};
+
+fn main() {
+    let mut records: Vec<KernelRecord> = Vec::new();
+
+    // E2: pure controller sweep — the paper's CS_MAX × 6 claim.
+    for cs_max in [10u32, 100, 1_000, 10_000] {
+        let r = measure("E2", format!("controller_only/{cs_max}"), || {
+            let model = RtModel::new("empty", cs_max);
+            let mut sim = RtSimulation::new(&model).expect("elaborates");
+            sim.run_to_completion().expect("runs").stats
+        });
+        assert_eq!(r.stats.delta_cycles, 1 + PHASES_PER_STEP * cs_max as u64);
+        records.push(r);
+    }
+
+    // E2: same steps, increasing datapath activity.
+    for width in [1usize, 4, 16] {
+        let model = dense_model(width, 50);
+        records.push(measure("E2", format!("dense_width/{width}"), || {
+            let mut sim = RtSimulation::new(&model).expect("elaborates");
+            sim.run_to_completion().expect("runs").stats
+        }));
+    }
+
+    // E5: the dense schedule (depth 8) in each modeling style.
+    for width in [1usize, 4, 16] {
+        let model = dense_model(width, 8);
+        records.push(measure("E5", format!("clock_free/{width}"), || {
+            let mut sim = RtSimulation::new(&model).expect("elaborates");
+            sim.run_to_completion().expect("runs").stats
+        }));
+        records.push(measure(
+            "E5",
+            format!("clock_free_faithful_wakeups/{width}"),
+            || {
+                let mut sim = RtSimulation::with_options(
+                    &model,
+                    ElaborateOptions {
+                        trace: false,
+                        faithful_trans_wakeups: true,
+                    },
+                )
+                .expect("elaborates");
+                sim.run_to_completion().expect("runs").stats
+            },
+        ));
+        records.push(measure("E5", format!("handshake/{width}"), || {
+            let mut sim = HandshakeSim::new(&model).expect("builds");
+            sim.run_to_completion().expect("runs")
+        }));
+        let design = ClockedDesign::translate(&model, ClockScheme::default()).expect("translates");
+        records.push(measure("E5", format!("clocked/{width}"), || {
+            let mut sim = ClockedSimulation::new(&design, false).expect("elaborates");
+            sim.run_to_completion().expect("runs")
+        }));
+    }
+
+    let path = write_default(&records).expect("writes snapshot");
+    eprintln!(
+        "kernel snapshot: {} records written to {}",
+        records.len(),
+        path.display()
+    );
+}

@@ -1,15 +1,17 @@
 //! Experiment E5 (§2.7 speed claim): "Execution is very fast, because we
 //! need not deal with asynchronous handshake." The same schedules are
 //! executed as (a) the clock-free control-step model, (b) the 4-phase
-//! handshake network, (c) the clocked translation — wall time via
-//! criterion, kernel counters in the report. The expected shape: the
-//! clock-free style's cost scales with steps, the handshake style's with
-//! (serialized) transfers; dense schedules make the gap grow with width.
+//! handshake network, (c) the clocked translation — wall time via the
+//! in-tree harness, kernel counters in the report. The expected shape:
+//! the clock-free style's cost scales with steps, the handshake style's
+//! with (serialized) transfers; dense schedules make the gap grow with
+//! width. `kernel_snapshot` records the same workloads' counters into
+//! `BENCH_kernel.json`.
 
 use clockless_bench::dense_model;
+use clockless_bench::harness::Harness;
 use clockless_clocked::{ClockScheme, ClockedDesign, ClockedSimulation, HandshakeSim};
 use clockless_core::{ElaborateOptions, RtSimulation};
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn report() {
     eprintln!("--- E5: modeling-style cost comparison (depth 8) ---");
@@ -51,76 +53,55 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("style_comparison");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("style_comparison");
 
-    // Simulation-only timings (elaboration excluded via iter_batched,
-    // so the comparison isolates the event-loop cost of each style).
-    for width in [1usize, 4, 16] {
-        let model = dense_model(width, 8);
+        // Timings include elaboration (the harness has no excluded-setup
+        // mode); the `*_elaborate` rows below are reported separately so
+        // the event-loop cost of each style can be read by subtraction.
+        for width in [1usize, 4, 16] {
+            let model = dense_model(width, 8);
 
-        g.bench_with_input(BenchmarkId::new("clock_free", width), &model, |b, m| {
-            b.iter_batched(
-                || RtSimulation::new(m).expect("elaborates"),
-                |mut sim| sim.run_to_completion().expect("runs"),
-                BatchSize::SmallInput,
-            )
-        });
+            g.bench(format!("clock_free/{width}"), || {
+                let mut sim = RtSimulation::new(&model).expect("elaborates");
+                sim.run_to_completion().expect("runs")
+            });
 
-        g.bench_with_input(
-            BenchmarkId::new("clock_free_faithful_wakeups", width),
-            &model,
-            |b, m| {
-                b.iter_batched(
-                    || {
-                        RtSimulation::with_options(
-                            m,
-                            ElaborateOptions {
-                                trace: false,
-                                faithful_trans_wakeups: true,
-                            },
-                        )
-                        .expect("elaborates")
+            g.bench(format!("clock_free_faithful_wakeups/{width}"), || {
+                let mut sim = RtSimulation::with_options(
+                    &model,
+                    ElaborateOptions {
+                        trace: false,
+                        faithful_trans_wakeups: true,
                     },
-                    |mut sim| sim.run_to_completion().expect("runs"),
-                    BatchSize::SmallInput,
                 )
-            },
-        );
+                .expect("elaborates");
+                sim.run_to_completion().expect("runs")
+            });
 
-        g.bench_with_input(BenchmarkId::new("handshake", width), &model, |b, m| {
-            b.iter_batched(
-                || HandshakeSim::new(m).expect("builds"),
-                |mut sim| sim.run_to_completion().expect("runs"),
-                BatchSize::SmallInput,
-            )
-        });
+            g.bench(format!("handshake/{width}"), || {
+                let mut sim = HandshakeSim::new(&model).expect("builds");
+                sim.run_to_completion().expect("runs")
+            });
 
-        let design = ClockedDesign::translate(&model, ClockScheme::default()).expect("translates");
-        g.bench_with_input(BenchmarkId::new("clocked", width), &design, |b, d| {
-            b.iter_batched(
-                || ClockedSimulation::new(d, false).expect("elaborates"),
-                |mut sim| sim.run_to_completion().expect("runs"),
-                BatchSize::SmallInput,
-            )
-        });
+            let design =
+                ClockedDesign::translate(&model, ClockScheme::default()).expect("translates");
+            g.bench(format!("clocked/{width}"), || {
+                let mut sim = ClockedSimulation::new(&design, false).expect("elaborates");
+                sim.run_to_completion().expect("runs")
+            });
 
-        // Elaboration cost, reported separately.
-        g.bench_with_input(
-            BenchmarkId::new("clock_free_elaborate", width),
-            &model,
-            |b, m| b.iter(|| RtSimulation::new(m).expect("elaborates")),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("handshake_elaborate", width),
-            &model,
-            |b, m| b.iter(|| HandshakeSim::new(m).expect("builds")),
-        );
+            // Elaboration cost, reported separately.
+            g.bench(format!("clock_free_elaborate/{width}"), || {
+                RtSimulation::new(&model).expect("elaborates")
+            });
+            g.bench(format!("handshake_elaborate/{width}"), || {
+                HandshakeSim::new(&model).expect("builds")
+            });
+        }
     }
-
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! full round trip over growing models; the report confirms identity.
 
 use clockless_bench::dense_model;
+use clockless_bench::harness::Harness;
 use clockless_core::TransferSpec;
 use clockless_verify::{merge_partials, reconstruct_partials, roundtrip_check};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn report() {
     eprintln!("--- E7: tuple <-> process round trip ---");
@@ -31,42 +31,38 @@ fn report() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     report();
-    let mut g = c.benchmark_group("tuple_roundtrip");
+    let mut h = Harness::new();
+    {
+        let mut g = h.group("tuple_roundtrip");
 
-    for width in [2usize, 8, 32] {
-        let model = dense_model(width, 8);
-        let specs: Vec<TransferSpec> = model.tuples().iter().flat_map(|t| t.expand()).collect();
+        for width in [2usize, 8, 32] {
+            let model = dense_model(width, 8);
+            let specs: Vec<TransferSpec> = model.tuples().iter().flat_map(|t| t.expand()).collect();
 
-        g.bench_with_input(BenchmarkId::new("expand", width), &model, |b, m| {
-            b.iter(|| {
-                m.tuples()
+            g.bench(format!("expand/{width}"), || {
+                model
+                    .tuples()
                     .iter()
                     .flat_map(|t| t.expand())
                     .collect::<Vec<_>>()
-            })
-        });
+            });
 
-        g.bench_with_input(BenchmarkId::new("reconstruct", width), &specs, |b, s| {
-            b.iter(|| reconstruct_partials(s).expect("reconstructs"))
-        });
+            g.bench(format!("reconstruct/{width}"), || {
+                reconstruct_partials(&specs).expect("reconstructs")
+            });
 
-        g.bench_with_input(BenchmarkId::new("full_roundtrip", width), &model, |b, m| {
-            b.iter(|| roundtrip_check(m).expect("identity"))
-        });
+            g.bench(format!("full_roundtrip/{width}"), || {
+                roundtrip_check(&model).expect("identity")
+            });
 
-        // The full source-level loop: model -> VHDL text -> model.
-        g.bench_with_input(BenchmarkId::new("vhdl_roundtrip", width), &model, |b, m| {
-            b.iter(|| {
-                let text = clockless_core::vhdl::emit_vhdl(m).expect("emits");
+            // The full source-level loop: model -> VHDL text -> model.
+            g.bench(format!("vhdl_roundtrip/{width}"), || {
+                let text = clockless_core::vhdl::emit_vhdl(&model).expect("emits");
                 clockless_verify::model_from_vhdl(&text).expect("imports")
-            })
-        });
+            });
+        }
     }
-
-    g.finish();
+    h.print_table();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The workspace ships no external benchmarking crates (tier-1 must
+//! resolve offline), so the experiment benches measure time themselves:
+//! each benchmark is calibrated to a batch long enough for the OS timer
+//! to be meaningful, then sampled several times; the table reports the
+//! mean of the best sample (criterion's "best estimate" spirit without
+//! the statistics machinery).
+//!
+//! Numbers from this harness are for tracking trends between commits on
+//! one machine, not for cross-machine comparison.
+
+use std::time::Instant;
+
+/// How long one calibrated batch should at least run.
+const TARGET_BATCH_NS: u128 = 20_000_000; // 20 ms
+/// Samples taken per benchmark after calibration.
+const SAMPLES: usize = 3;
+/// Upper bound on iterations per batch (very fast bodies).
+const MAX_ITERS: u64 = 1 << 22;
+
+/// One benchmark's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group this measurement belongs to.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Iterations per sampled batch.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration of the best (fastest) sample.
+    pub best_ns: f64,
+    /// Mean nanoseconds per iteration across all samples.
+    pub mean_ns: f64,
+}
+
+impl Measurement {
+    fn human(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    }
+}
+
+/// Collects measurements across groups and prints the result table.
+#[derive(Debug, Default)]
+pub struct Harness {
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            name: name.into(),
+            harness: self,
+        }
+    }
+
+    /// All measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the result table to stderr (stdout stays machine-usable).
+    pub fn print_table(&self) {
+        eprintln!();
+        eprintln!(
+            "{:<24} {:<32} {:>12} {:>12} {:>10}",
+            "group", "benchmark", "best/iter", "mean/iter", "iters"
+        );
+        for m in &self.results {
+            eprintln!(
+                "{:<24} {:<32} {:>12} {:>12} {:>10}",
+                m.group,
+                m.id,
+                Measurement::human(m.best_ns),
+                Measurement::human(m.mean_ns),
+                m.iters
+            );
+        }
+    }
+}
+
+/// A named group of benchmarks; measurements land in the owning
+/// [`Harness`].
+pub struct Group<'h> {
+    name: String,
+    harness: &'h mut Harness,
+}
+
+impl Group<'_> {
+    /// Measures `f`, storing the result under `id`.
+    pub fn bench<T>(&mut self, id: impl Into<String>, mut f: impl FnMut() -> T) -> &Measurement {
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed >= TARGET_BATCH_NS || iters >= MAX_ITERS {
+                break;
+            }
+            // Aim straight for the target with a growth cap.
+            let scale = (TARGET_BATCH_NS / elapsed.max(1)).clamp(2, 16) as u64;
+            iters = (iters * scale).min(MAX_ITERS);
+        }
+        // Sample.
+        let mut per_iter = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let best_ns = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.harness.results.push(Measurement {
+            group: self.name.clone(),
+            id: id.into(),
+            iters,
+            best_ns,
+            mean_ns,
+        });
+        self.harness.results.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut h = Harness::new();
+        let mut g = h.group("t");
+        let m = g.bench("spin", || {
+            let mut x = 0u64;
+            for i in 0..100 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(m.best_ns > 0.0);
+        assert!(m.mean_ns >= m.best_ns);
+        assert_eq!(h.measurements().len(), 1);
+        assert_eq!(h.measurements()[0].id, "spin");
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(Measurement::human(12.0), "12.0 ns");
+        assert_eq!(Measurement::human(1_500.0), "1.500 µs");
+        assert_eq!(Measurement::human(2_000_000.0), "2.000 ms");
+        assert_eq!(Measurement::human(3.1e9), "3.100 s");
+    }
+}

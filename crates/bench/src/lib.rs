@@ -6,6 +6,9 @@
 
 use clockless_core::prelude::*;
 
+pub mod harness;
+pub mod snapshot;
+
 /// A dense synthetic schedule: `width` independent accumulate transfers
 /// (`A_i := A_i + B_i`) in each of `depth` read/write step pairs —
 /// the workload used by the style-comparison and timing experiments.

@@ -1,0 +1,147 @@
+//! Kernel-counter snapshots for the paper's experiments.
+//!
+//! `benches/kernel_snapshot.rs` re-runs the E2 (Fig. 2 timing) and E5
+//! (modeling-style comparison) workloads, captures each run's kernel
+//! counters together with its wall-clock time, and writes the result to
+//! `BENCH_kernel.json` at the repository root — so scheduler changes
+//! leave an auditable counter/perf trail in version control. Counters
+//! are deterministic across machines; `wall_ns` is machine-local.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use clockless_kernel::SimStats;
+
+/// One workload's kernel counters and timing.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Experiment id from DESIGN.md's index (e.g. `"E2"`).
+    pub experiment: &'static str,
+    /// Workload id, `name/parameter` style.
+    pub workload: String,
+    /// Kernel counters of one complete run.
+    pub stats: SimStats,
+    /// Best-sample wall-clock nanoseconds per complete run.
+    pub wall_ns: u64,
+}
+
+/// Runs `f` once for its counters, then times it — batches calibrated to
+/// at least 10 ms, best of three samples — for nanoseconds per run.
+pub fn measure(
+    experiment: &'static str,
+    workload: impl Into<String>,
+    mut f: impl FnMut() -> SimStats,
+) -> KernelRecord {
+    let stats = f();
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if t.elapsed().as_nanos() >= 10_000_000 || iters >= 1 << 16 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    KernelRecord {
+        experiment,
+        workload: workload.into(),
+        stats,
+        wall_ns: best as u64,
+    }
+}
+
+/// Renders records as the `BENCH_kernel.json` document (hand-rolled —
+/// the bench crate, like the workspace, carries no serialization deps).
+pub fn render(records: &[KernelRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo bench --manifest-path crates/bench/Cargo.toml \
+         --bench kernel_snapshot\",\n",
+    );
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let s = &r.stats;
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"experiment\": \"{}\", \"workload\": \"{}\", \"wall_ns\": {}, \
+             \"delta_cycles\": {}, \"process_activations\": {}, \"events\": {}, \
+             \"driver_updates\": {}, \"time_advances\": {}, \"wake_filter_hits\": {}, \
+             \"wake_filter_misses\": {}, \"peak_runnable\": {}, \
+             \"peak_pending_updates\": {}}}{}",
+            r.experiment,
+            r.workload,
+            r.wall_ns,
+            s.delta_cycles,
+            s.process_activations,
+            s.events,
+            s.driver_updates,
+            s.time_advances,
+            s.wake_filter_hits,
+            s.wake_filter_misses,
+            s.peak_runnable,
+            s.peak_pending_updates,
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the snapshot to `BENCH_kernel.json` at the repository root and
+/// returns the path written.
+///
+/// # Errors
+///
+/// Propagates the filesystem error if the root is not writable.
+pub fn write_default(records: &[KernelRecord]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
+    std::fs::write(&path, render(records))?;
+    Ok(path.canonicalize().unwrap_or(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::{RtModel, RtSimulation};
+
+    #[test]
+    fn measure_captures_counters_and_time() {
+        let model = RtModel::new("empty", 5);
+        let r = measure("E2", "controller_only/5", || {
+            let mut sim = RtSimulation::new(&model).expect("elaborates");
+            sim.run_to_completion().expect("runs").stats
+        });
+        assert_eq!(r.stats.delta_cycles, 31);
+        assert!(r.wall_ns > 0);
+    }
+
+    #[test]
+    fn render_is_valid_shaped_json() {
+        let model = RtModel::new("empty", 2);
+        let mut sim = RtSimulation::new(&model).expect("elaborates");
+        let stats = sim.run_to_completion().expect("runs").stats;
+        let json = render(&[KernelRecord {
+            experiment: "E2",
+            workload: "controller_only/2".into(),
+            stats,
+            wall_ns: 123,
+        }]);
+        assert!(json.contains("\"experiment\": \"E2\""));
+        assert!(json.contains("\"wall_ns\": 123"));
+        assert!(json.contains("\"delta_cycles\": 13"));
+        assert!(json.contains("\"peak_pending_updates\""));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+}

@@ -9,12 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::phase::PhaseTime;
 
 /// What kind of object carried an `ILLEGAL` value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConflictSite {
     /// A bus: two or more transfers drove it in the same phase.
     Bus,
@@ -49,7 +47,7 @@ impl fmt::Display for ConflictSite {
 
 /// One observed resource conflict: an `ILLEGAL` value on a signal, located
 /// to the control step and phase in which it became visible.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Conflict {
     /// The poisoned object's kind.
     pub site: ConflictSite,
@@ -75,7 +73,7 @@ impl fmt::Display for Conflict {
 
 /// A chronologically ordered collection of conflicts with convenience
 /// queries.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConflictReport {
     /// All conflicts, in order of appearance.
     pub conflicts: Vec<Conflict>,

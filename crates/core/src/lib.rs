@@ -93,7 +93,7 @@ pub use op::{Arity, Op};
 pub use phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
 pub use resource::{BusDecl, BusId, ModuleDecl, ModuleId, ModuleTiming, RegisterDecl, RegisterId};
 pub use run::{RegisterCommit, RtSimulation, RunSummary};
-pub use stats::{model_stats, ModelStats};
+pub use stats::{model_stats, ModelStats, RunStatsReport};
 pub use transcript::{transcript, TranscriptError};
 pub use tuples::{Endpoint, OperandRoute, TransferSpec, TransferTuple, WriteRoute};
 pub use value::{resolve, Value};

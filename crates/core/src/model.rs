@@ -14,8 +14,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::{Arity, Op};
 use crate::phase::Step;
 use crate::resource::{BusDecl, BusId, ModuleDecl, ModuleId, RegisterDecl, RegisterId};
@@ -123,7 +121,7 @@ impl std::error::Error for ModelError {}
 /// assert_eq!(m.tuples().len(), 1);
 /// # Ok::<(), clockless_core::model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RtModel {
     name: String,
     cs_max: Step,
@@ -131,11 +129,8 @@ pub struct RtModel {
     buses: Vec<BusDecl>,
     modules: Vec<ModuleDecl>,
     tuples: Vec<TransferTuple>,
-    #[serde(skip)]
     reg_index: HashMap<String, RegisterId>,
-    #[serde(skip)]
     bus_index: HashMap<String, BusId>,
-    #[serde(skip)]
     mod_index: HashMap<String, ModuleId>,
 }
 

@@ -22,8 +22,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of phases per control step.
 pub const PHASES_PER_STEP: u64 = 6;
 
@@ -32,7 +30,7 @@ pub const PHASES_PER_STEP: u64 = 6;
 pub type Step = u32;
 
 /// One of the six phases of a control step (paper Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // variants documented in the module table
 pub enum Phase {
     Ra,
@@ -145,7 +143,7 @@ impl FromStr for Phase {
 /// A fully qualified instant in control-step time: step plus phase.
 ///
 /// Ordered chronologically (step-major).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhaseTime {
     /// The control step (numbered from 1).
     pub step: Step,

@@ -9,21 +9,19 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::Op;
 use crate::value::Value;
 
 /// Identifies a register within one model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegisterId(pub u32);
 
 /// Identifies a bus within one model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BusId(pub u32);
 
 /// Identifies a module within one model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModuleId(pub u32);
 
 impl fmt::Display for RegisterId {
@@ -46,7 +44,7 @@ impl fmt::Display for ModuleId {
 ///
 /// Registers fetch a new value at phase `cr` whenever a transfer assigned
 /// their input port this step, and keep the old value otherwise (§2.5).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterDecl {
     /// The register's name, unique among registers.
     pub name: String,
@@ -62,14 +60,14 @@ pub struct RegisterDecl {
 /// Buses are resolved signals; simultaneous drivers resolve to `ILLEGAL`.
 /// The paper models even direct register-to-module links as (dedicated)
 /// buses, preferring "more resources" over subset extensions (§3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BusDecl {
     /// The bus's name, unique among buses.
     pub name: String,
 }
 
 /// Timing behaviour of a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModuleTiming {
     /// Result is available in the *same* control step the operands are
     /// read (combinational module, e.g. the IKS adders).
@@ -111,7 +109,7 @@ impl ModuleTiming {
 }
 
 /// A functional-module declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleDecl {
     /// The module's name, unique among modules.
     pub name: String,

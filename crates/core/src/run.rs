@@ -217,6 +217,30 @@ impl RtSimulation {
         self.sim.stats()
     }
 
+    /// A combined schedule-plus-kernel statistics report (the payload of
+    /// `clockless stats --json`). Most useful after the run has finished;
+    /// call it mid-run for a snapshot of the counters so far.
+    pub fn stats_report(&self) -> crate::stats::RunStatsReport {
+        crate::stats::RunStatsReport {
+            model: self.model.name().to_string(),
+            schedule: crate::stats::model_stats(&self.model),
+            kernel: self.sim.stats(),
+            activations: self.activation_counts(),
+        }
+    }
+
+    /// Per-process activation tallies `(process name, resumptions)`, in
+    /// elaboration order. The heaviest entries show where simulation time
+    /// goes — for the paper's models that is the `TRANS` processes of the
+    /// busiest control steps.
+    pub fn activation_counts(&self) -> Vec<(String, u64)> {
+        self.sim
+            .process_names()
+            .map(str::to_string)
+            .zip(self.sim.activation_counts().iter().copied())
+            .collect()
+    }
+
     /// The conflict report: every `ILLEGAL` occurrence, located to the
     /// step and phase at which it became visible (§2.7). `None` when the
     /// simulation was not traced.

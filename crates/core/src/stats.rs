@@ -8,6 +8,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
+
+use clockless_kernel::SimStats;
 
 use crate::model::RtModel;
 use crate::phase::Step;
@@ -110,7 +113,12 @@ pub fn model_stats(model: &RtModel) -> ModelStats {
     let mut module_initiations: Vec<(String, usize)> = model
         .modules()
         .iter()
-        .map(|m| (m.name.clone(), initiations.get(&m.name).copied().unwrap_or(0)))
+        .map(|m| {
+            (
+                m.name.clone(),
+                initiations.get(&m.name).copied().unwrap_or(0),
+            )
+        })
         .collect();
     module_initiations.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -122,6 +130,98 @@ pub fn model_stats(model: &RtModel) -> ModelStats {
         peak,
         bus_busy_steps,
         module_initiations,
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A machine-readable report combining schedule utilization with the
+/// kernel counters of a completed run — the payload behind
+/// `clockless stats --json`.
+///
+/// Rendered by hand (the workspace carries no serialization crates so
+/// tier-1 builds offline); the format is stable, flat JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStatsReport {
+    /// The model's name.
+    pub model: String,
+    /// Static schedule utilization.
+    pub schedule: ModelStats,
+    /// Kernel counters after running to quiescence.
+    pub kernel: SimStats,
+    /// Per-process `(name, resumptions)` tallies, elaboration order.
+    pub activations: Vec<(String, u64)>,
+}
+
+impl RunStatsReport {
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"model\": \"{}\",", json_escape(&self.model));
+        let s = &self.schedule;
+        let _ = writeln!(
+            out,
+            "  \"schedule\": {{\"steps\": {}, \"tuples\": {}, \"transfer_processes\": {}, \
+             \"idle_steps\": {}, \"occupancy\": {:.4}, \"peak_step\": {}, \"peak_processes\": {}}},",
+            s.steps,
+            s.tuples,
+            s.processes,
+            s.idle_steps,
+            s.occupancy(),
+            s.peak.0,
+            s.peak.1
+        );
+        let k = &self.kernel;
+        let _ = writeln!(
+            out,
+            "  \"kernel\": {{\"delta_cycles\": {}, \"process_activations\": {}, \"events\": {}, \
+             \"driver_updates\": {}, \"time_advances\": {}, \"wake_filter_hits\": {}, \
+             \"wake_filter_misses\": {}, \"peak_runnable\": {}, \"peak_pending_updates\": {}}},",
+            k.delta_cycles,
+            k.process_activations,
+            k.events,
+            k.driver_updates,
+            k.time_advances,
+            k.wake_filter_hits,
+            k.wake_filter_misses,
+            k.peak_runnable,
+            k.peak_pending_updates
+        );
+        out.push_str("  \"process_activations\": [\n");
+        for (i, (name, n)) in self.activations.iter().enumerate() {
+            let comma = if i + 1 == self.activations.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"process\": \"{}\", \"activations\": {}}}{}",
+                json_escape(name),
+                n,
+                comma
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 
@@ -163,5 +263,28 @@ mod tests {
         assert!(text.contains("occupancy 29%"));
         assert!(text.contains("B1"));
         assert!(text.contains("ADD"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn run_report_renders_json() {
+        let mut sim = crate::run::RtSimulation::new(&fig1_model(3, 4)).unwrap();
+        sim.run_to_completion().unwrap();
+        let json = sim.stats_report().to_json();
+        assert!(json.contains("\"model\": \"fig1_example\""));
+        assert!(json.contains("\"delta_cycles\": 43"));
+        assert!(json.contains("\"wake_filter_hits\""));
+        assert!(json.contains("\"peak_runnable\""));
+        assert!(json.contains("\"process\": \"CONTROL\""));
+        // Every activation is attributed to exactly one process.
+        let total: u64 = sim.activation_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, sim.stats().process_activations);
     }
 }

@@ -21,13 +21,11 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::Op;
 use crate::phase::{Phase, Step};
 
 /// One operand route: a register read onto a bus.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OperandRoute {
     /// Source register name.
     pub register: String,
@@ -46,7 +44,7 @@ impl OperandRoute {
 }
 
 /// The result route: module output over a bus into a register.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WriteRoute {
     /// Control step of the write-back (`wa`/`wb` phases).
     pub step: Step,
@@ -83,7 +81,7 @@ impl WriteRoute {
 /// assert_eq!(t.to_string(), "(R1,B1,R2,B2,5,ADD,6,B1,R1)");
 /// # Ok::<(), clockless_core::tuples::ParseTupleError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransferTuple {
     /// Route for the module's first (left) operand, if used.
     pub src_a: Option<OperandRoute>,
@@ -204,7 +202,7 @@ impl TransferTuple {
 }
 
 /// A connection endpoint of one transfer process.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// A register's output port (transfer source).
     RegOut(String),
@@ -241,7 +239,7 @@ impl fmt::Display for Endpoint {
 
 /// One transfer-process instance: the paper's `TRANS` generic-mapped to a
 /// step and phase, port-mapped to a source and a sink.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TransferSpec {
     /// The control step at which the process is active.
     pub step: Step,

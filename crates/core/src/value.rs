@@ -14,8 +14,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Encoding of [`Value::Disc`] in the paper's integer representation.
 pub const DISC_ENCODING: i64 = -1;
 /// Encoding of [`Value::Illegal`] in the paper's integer representation.
@@ -38,7 +36,7 @@ pub const ILLEGAL_ENCODING: i64 = -2;
 /// assert_eq!(v.num(), Some(5));
 /// assert!(Value::Disc.is_disc());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// No value is being driven ("disconnected", the paper's `DISC`).
     Disc,

@@ -145,9 +145,12 @@ end transfer;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum EmitVhdlError {
-    /// The operation has no expression in the synthesizable subset
-    /// (CORDIC-class operations would be component instantiations of IP
-    /// blocks, which this generator does not fabricate).
+    /// An *initiated* operation has no expression in the synthesizable
+    /// subset (CORDIC-class operations would be component instantiations
+    /// of IP blocks, which this generator does not fabricate). Declared
+    /// but never-initiated DSP operations are emitted as opaque IP-core
+    /// calls instead: the module's inventory round-trips while its
+    /// behavior is never exercised.
     UnsupportedOp(Op),
 }
 
@@ -189,6 +192,31 @@ fn op_expr(op: Op) -> Option<String> {
     })
 }
 
+/// The opaque IP-core call for an operation outside the subset, e.g.
+/// `sqrtfx16(a)`. Used only for declared-but-never-initiated operations;
+/// the importer maps the mnemonic back to the [`Op`].
+fn ip_call(op: Op) -> String {
+    match op.arity() {
+        Arity::Binary => format!("{}(a, b)", op.mnemonic()),
+        Arity::UnaryA => format!("{}(a)", op.mnemonic()),
+        Arity::UnaryB => format!("{}(b)", op.mnemonic()),
+    }
+}
+
+/// The operations actually initiated on a module by the model's transfer
+/// tuples (the tuple's explicit op, or the module's only op when the
+/// module has no operation-select port).
+fn initiated_ops(model: &RtModel, name: &str) -> Vec<Op> {
+    let mid = model.module_by_name(name).expect("known module");
+    let decl = &model.modules()[mid.0 as usize];
+    model
+        .tuples()
+        .iter()
+        .filter(|t| t.module == name)
+        .map(|t| t.op.unwrap_or(decl.ops[0]))
+        .collect()
+}
+
 /// Renders a module entity in the §2.6 style: operands are combined at
 /// `cm`, the result travels an internal pipeline variable per latency
 /// step (the paper's `M_out <= M; M := …` idiom), multi-operation
@@ -196,14 +224,17 @@ fn op_expr(op: Op) -> Option<String> {
 ///
 /// # Errors
 ///
-/// [`EmitVhdlError::UnsupportedOp`] for DSP operations.
+/// [`EmitVhdlError::UnsupportedOp`] for DSP operations that some transfer
+/// tuple actually initiates. Declared-but-idle DSP operations emit an
+/// opaque IP-core call (see [`EmitVhdlError::UnsupportedOp`]).
 pub fn emit_module(model: &RtModel, name: &str) -> Result<String, EmitVhdlError> {
     let mid = model
         .module_by_name(name)
         .unwrap_or_else(|| panic!("unknown module `{name}`"));
     let decl = &model.modules()[mid.0 as usize];
+    let initiated = initiated_ops(model, name);
     for &op in &decl.ops {
-        if op_expr(op).is_none() {
+        if op_expr(op).is_none() && initiated.contains(&op) {
             return Err(EmitVhdlError::UnsupportedOp(op));
         }
     }
@@ -257,7 +288,7 @@ pub fn emit_module(model: &RtModel, name: &str) -> Result<String, EmitVhdlError>
         let _ = writeln!(out, "    else");
         let _ = writeln!(out, "      case M_op is");
         for (idx, &op) in decl.ops.iter().enumerate() {
-            let expr = op_expr(op).expect("checked above");
+            let expr = op_expr(op).unwrap_or_else(|| ip_call(op));
             let guard = match op.arity() {
                 Arity::Binary => "a /= DISC and b /= DISC",
                 Arity::UnaryA => "a /= DISC and b = DISC",
@@ -272,7 +303,7 @@ pub fn emit_module(model: &RtModel, name: &str) -> Result<String, EmitVhdlError>
         let _ = writeln!(out, "    end if;");
     } else {
         let op = decl.ops[0];
-        let expr = op_expr(op).expect("checked above");
+        let expr = op_expr(op).unwrap_or_else(|| ip_call(op));
         let guard = match op.arity() {
             Arity::Binary => "a /= DISC and b /= DISC",
             Arity::UnaryA => "a /= DISC and b = DISC",
@@ -300,7 +331,7 @@ pub fn emit_module(model: &RtModel, name: &str) -> Result<String, EmitVhdlError>
 ///
 /// # Errors
 ///
-/// [`EmitVhdlError::UnsupportedOp`] for DSP operations.
+/// [`EmitVhdlError::UnsupportedOp`] for initiated DSP operations.
 pub fn emit_vhdl(model: &RtModel) -> Result<String, EmitVhdlError> {
     let mut out = String::new();
     out.push_str(&emit_package());
@@ -529,6 +560,41 @@ mod tests {
             emit_vhdl(&m),
             Err(EmitVhdlError::UnsupportedOp(Op::SqrtFx(16)))
         );
+    }
+
+    #[test]
+    fn idle_dsp_operations_emit_ip_calls() {
+        // Same CORDIC inventory as `dsp_operations_are_rejected`, but no
+        // transfer ever initiates it: emission succeeds with an opaque
+        // IP-core call in place of a subset expression.
+        let mut m = RtModel::new("dsp_idle", 12);
+        m.add_register_init("A", Value::Num(1)).unwrap();
+        m.add_register_init("B", Value::Num(2)).unwrap();
+        m.add_register("T").unwrap();
+        m.add_bus("X").unwrap();
+        m.add_bus("Y").unwrap();
+        m.add_bus("W").unwrap();
+        m.add_module(ModuleDecl::single(
+            "CORDIC",
+            Op::SqrtFx(16),
+            ModuleTiming::Sequential { latency: 8 },
+        ))
+        .unwrap();
+        m.add_module(ModuleDecl::single(
+            "ADD",
+            Op::Add,
+            ModuleTiming::Combinational,
+        ))
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(1, "ADD")
+                .src_a("A", "X")
+                .src_b("B", "Y")
+                .write(1, "W", "T"),
+        )
+        .unwrap();
+        let vhdl = emit_vhdl(&m).unwrap();
+        assert!(vhdl.contains("r := sqrtfx16(a);"));
     }
 
     #[test]

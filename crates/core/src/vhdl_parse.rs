@@ -102,13 +102,20 @@ fn expr_op(expr: &str) -> Option<Op> {
         "to_integer(shift_right(to_signed(a, 64), b))" => Op::Shr,
         "to_integer(shift_left(to_signed(a, 64), b))" => Op::Shl,
         _ => {
-            let scaled = e.strip_prefix("(a * b) / ")?;
-            let div: i64 = scaled.parse().ok()?;
-            if div.count_ones() == 1 {
-                Op::MulFx(div.trailing_zeros() as u8)
-            } else {
+            if let Some(scaled) = e.strip_prefix("(a * b) / ") {
+                let div: i64 = scaled.parse().ok()?;
+                if div.count_ones() == 1 {
+                    return Some(Op::MulFx(div.trailing_zeros() as u8));
+                }
                 return None;
             }
+            // Opaque IP-core call emitted for declared-but-never-initiated
+            // DSP operations: `<mnemonic>(a, b)` / `(a)` / `(b)`.
+            let mnemonic = e
+                .strip_suffix("(a, b)")
+                .or_else(|| e.strip_suffix("(a)"))
+                .or_else(|| e.strip_suffix("(b)"))?;
+            return mnemonic.parse::<Op>().ok();
         }
     })
 }

@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn roundtrip_is_close() {
-        for v in [0.0, 1.0, -2.5, 3.14159, 100.25, -0.0001] {
+        for v in [0.0, 1.0, -2.5, std::f64::consts::PI, 100.25, -0.0001] {
             assert!((from_fx(to_fx(v)) - v).abs() < 1e-4);
         }
     }

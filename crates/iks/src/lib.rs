@@ -63,8 +63,8 @@ pub use microcode::{
 };
 pub use program::{
     build_fir_chip, build_fk_chip, build_ik_chip, fir_microprogram, fk_microprogram,
-    ik_microprogram, ik_opcode_maps, IksChip, FIR_OUT_REG, FIR_STEPS, FK_STEPS, FK_X_REG,
-    FK_Y_REG, IK_STEPS, THETA1_REG, THETA2_REG,
+    ik_microprogram, ik_opcode_maps, IksChip, FIR_OUT_REG, FIR_STEPS, FK_STEPS, FK_X_REG, FK_Y_REG,
+    IK_STEPS, THETA1_REG, THETA2_REG,
 };
 pub use resources::{chip_model, CORDIC_LATENCY, J_FILE, MULT_LATENCY, M_FILE, R_FILE};
 pub use translate::{translate, TranslateMicrocodeError};

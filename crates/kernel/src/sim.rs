@@ -47,6 +47,17 @@ pub struct SimStats {
     pub driver_updates: u64,
     /// Physical-time advances.
     pub time_advances: u64,
+    /// `Wait::UntilEq` filter evaluations that woke the process (the
+    /// watched signal changed to the target value).
+    pub wake_filter_hits: u64,
+    /// `Wait::UntilEq` filter evaluations that suppressed a wake-up —
+    /// each one is a resumption the in-kernel filter saved.
+    pub wake_filter_misses: u64,
+    /// Highest number of processes made runnable in any single delta.
+    pub peak_runnable: u64,
+    /// Highest number of driver updates pending at the start of any
+    /// single delta.
+    pub peak_pending_updates: u64,
 }
 
 impl fmt::Display for SimStats {
@@ -164,15 +175,26 @@ pub struct Simulator<V: SimValue> {
     runnable: Vec<u32>,
     now: SimTime,
     seq: u64,
-    /// Monotonic per-delta tick used for `'event` queries.
+    /// Monotonic per-delta tick used for `'event` queries and the
+    /// changed-set dedup (a signal is in the changed set iff its
+    /// `last_event_tick` equals the current tick).
     tick: u64,
     stats: SimStats,
+    /// Per-process resumption counts, indexed by `ProcessId`.
+    activations: Vec<u64>,
     trace: Option<Trace<V>>,
     delta_limit: u64,
     life: LifeCycle,
-    /// Scratch buffers reused across delta cycles.
+    /// Scratch buffers reused across delta cycles. The `_back` buffers
+    /// double-buffer their live counterparts: each delta swaps the full
+    /// queue out and hands its (empty, capacity-preserving) twin back in,
+    /// so the hot loop never reallocates once the model reaches steady
+    /// state.
     scratch_out: Vec<(SignalId, u32, V, Femtos)>,
     scratch_changed: Vec<u32>,
+    next_delta_back: Vec<(SignalId, u32, V)>,
+    zero_wakes_back: Vec<u32>,
+    runnable_back: Vec<u32>,
 }
 
 impl<V: SimValue> Default for Simulator<V> {
@@ -208,11 +230,15 @@ impl<V: SimValue> Simulator<V> {
             seq: 0,
             tick: 0,
             stats: SimStats::default(),
+            activations: Vec::new(),
             trace: None,
             delta_limit: 100_000_000,
             life: LifeCycle::Building,
             scratch_out: Vec::new(),
             scratch_changed: Vec::new(),
+            next_delta_back: Vec::new(),
+            zero_wakes_back: Vec::new(),
+            runnable_back: Vec::new(),
         }
     }
 
@@ -280,6 +306,7 @@ impl<V: SimValue> Simulator<V> {
             runnable: false,
             done: false,
         });
+        self.activations.push(0);
         pid
     }
 
@@ -375,13 +402,20 @@ impl<V: SimValue> Simulator<V> {
 
         self.tick += 1;
 
-        // Phase 1: apply driver transactions due at this instant.
+        // Phase 1: apply driver transactions due at this instant. The
+        // pending queue is swapped against its (empty) double buffer so
+        // the drained allocation is reused next delta instead of freed.
         let mut changed = std::mem::take(&mut self.scratch_changed);
         changed.clear();
-        let updates = std::mem::take(&mut self.next_delta);
-        for (sid, driver, value) in updates {
+        let mut updates = std::mem::replace(
+            &mut self.next_delta,
+            std::mem::take(&mut self.next_delta_back),
+        );
+        self.stats.peak_pending_updates = self.stats.peak_pending_updates.max(updates.len() as u64);
+        for (sid, driver, value) in updates.drain(..) {
             self.apply_update(sid, driver, value, &mut changed);
         }
+        self.next_delta_back = updates;
         if self.now.delta == 0 {
             while let Some(Reverse(u)) = self.timed_updates.peek() {
                 if u.fs != self.now.fs {
@@ -404,16 +438,24 @@ impl<V: SimValue> Simulator<V> {
             self.wake_waiters(sid);
         }
         self.scratch_changed = changed;
-        let zero = std::mem::take(&mut self.zero_wakes);
-        for pid in zero {
+        let mut zero = std::mem::replace(
+            &mut self.zero_wakes,
+            std::mem::take(&mut self.zero_wakes_back),
+        );
+        for pid in zero.drain(..) {
             self.make_runnable(pid);
         }
+        self.zero_wakes_back = zero;
 
         // Phase 3: run all runnable processes.
-        let run_list = std::mem::take(&mut self.runnable);
-        for pid in &run_list {
-            self.run_process(*pid);
+        self.stats.peak_runnable = self.stats.peak_runnable.max(self.runnable.len() as u64);
+        let mut run_list =
+            std::mem::replace(&mut self.runnable, std::mem::take(&mut self.runnable_back));
+        for &pid in &run_list {
+            self.run_process(pid);
         }
+        run_list.clear();
+        self.runnable_back = run_list;
 
         self.stats.delta_cycles += 1;
         self.now = self.now.next_delta();
@@ -464,6 +506,12 @@ impl<V: SimValue> Simulator<V> {
 
     /// Externally overrides the value of a driverless signal, taking effect
     /// in the next delta cycle (testbench stimulus).
+    ///
+    /// On a *resolved* signal the forced value passes through the
+    /// resolution function (as a single-element driver set) before
+    /// becoming effective, so sentinel normalization a resolver performs
+    /// applies to external stimulus too. Unresolved signals take the raw
+    /// value.
     ///
     /// # Errors
     ///
@@ -531,6 +579,11 @@ impl<V: SimValue> Simulator<V> {
         self.procs.len()
     }
 
+    /// The names of all processes, in declaration (id) order.
+    pub fn process_names(&self) -> impl Iterator<Item = &str> {
+        self.procs.iter().map(|p| p.name.as_str())
+    }
+
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -539,6 +592,15 @@ impl<V: SimValue> Simulator<V> {
     /// Cumulative statistics.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Per-process resumption counts, indexed by [`ProcessId`].
+    ///
+    /// `activation_counts()[pid.index()]` is how often that process has
+    /// run, including the initialization resumption. The sum over all
+    /// processes equals [`SimStats::process_activations`].
+    pub fn activation_counts(&self) -> &[u64] {
+        &self.activations
     }
 
     /// `true` once the simulation has quiesced.
@@ -571,18 +633,28 @@ impl<V: SimValue> Simulator<V> {
         self.stats.driver_updates += 1;
         let slot = &mut self.signals[sid.index()];
         let effective = if driver == EXTERNAL {
-            value
+            // External stimulus goes through the resolution function like
+            // any driver would (a forced signal has no process drivers, so
+            // the resolver sees exactly one value). Unresolved signals
+            // take the raw value.
+            match &slot.resolver {
+                Some(resolve) => resolve(std::slice::from_ref(&value)),
+                None => value,
+            }
         } else {
             slot.drivers[driver as usize] = value;
             slot.effective()
         };
         if effective != slot.value {
             slot.value = effective.clone();
-            slot.last_event_tick = self.tick;
-            self.stats.events += 1;
-            if !changed.contains(&sid.0) {
+            // Dedup without scanning: the signal is already in `changed`
+            // iff an earlier update this delta stamped it with the
+            // current tick.
+            if slot.last_event_tick != self.tick {
                 changed.push(sid.0);
             }
+            slot.last_event_tick = self.tick;
+            self.stats.events += 1;
             if let Some(trace) = &mut self.trace {
                 trace.record(self.now, sid, effective);
             }
@@ -590,27 +662,47 @@ impl<V: SimValue> Simulator<V> {
     }
 
     fn wake_waiters(&mut self, sid: u32) {
-        let mut waiters = std::mem::take(&mut self.signals[sid as usize].waiters);
-        waiters.retain(|&(pid, tok)| {
-            let p = &self.procs[pid as usize];
+        // One in-place pass: stale registrations (token mismatch — the
+        // process re-armed or terminated since registering) are compacted
+        // away, live ones are order-preserved and woken. No allocation,
+        // no second sweep.
+        let Simulator {
+            signals,
+            procs,
+            runnable,
+            stats,
+            ..
+        } = self;
+        let slot = &mut signals[sid as usize];
+        let mut kept = 0;
+        for i in 0..slot.waiters.len() {
+            let (pid, tok) = slot.waiters[i];
+            let p = &mut procs[pid as usize];
             if p.done || p.token != tok {
-                return false; // stale registration
+                continue; // stale registration: dropped by compaction
             }
-            true
-        });
-        // A wake filter (Wait::UntilEq) is evaluated here, in-kernel,
-        // against the signal's freshly updated value; filtered-out
-        // processes keep their registration and cost one comparison.
-        for &(pid, _) in &waiters {
-            let wake = match &self.procs[pid as usize].pred {
+            slot.waiters[kept] = (pid, tok);
+            kept += 1;
+            // A wake filter (Wait::UntilEq) is evaluated here, in-kernel,
+            // against the signal's freshly updated value; filtered-out
+            // processes keep their registration and cost one comparison.
+            let wake = match &p.pred {
                 None => true,
-                Some(v) => self.signals[sid as usize].value == *v,
+                Some(v) if slot.value == *v => {
+                    stats.wake_filter_hits += 1;
+                    true
+                }
+                Some(_) => {
+                    stats.wake_filter_misses += 1;
+                    false
+                }
             };
-            if wake {
-                self.make_runnable(pid);
+            if wake && !p.runnable {
+                p.runnable = true;
+                runnable.push(pid);
             }
         }
-        self.signals[sid as usize].waiters = waiters;
+        slot.waiters.truncate(kept);
     }
 
     fn make_runnable(&mut self, pid: u32) {
@@ -628,6 +720,7 @@ impl<V: SimValue> Simulator<V> {
         };
         self.procs[pid as usize].runnable = false;
         self.stats.process_activations += 1;
+        self.activations[pid as usize] += 1;
 
         let mut out = std::mem::take(&mut self.scratch_out);
         out.clear();
@@ -673,13 +766,15 @@ impl<V: SimValue> Simulator<V> {
                     let token = {
                         let p = &mut self.procs[pid as usize];
                         p.token += 1;
-                        p.sens = sigs.clone();
                         p.pred = None;
                         p.token
                     };
                     for sid in &sigs {
                         self.signals[sid.index()].waiters.push((pid, token));
                     }
+                    // The list is moved into the slot, not cloned; the
+                    // registrations above only needed to borrow it.
+                    self.procs[pid as usize].sens = sigs;
                 }
                 self.procs[pid as usize].body = Some(body);
             }
@@ -1031,6 +1126,118 @@ mod tests {
         sim.force(a, 11).unwrap();
         sim.run().unwrap();
         assert_eq!(*sim.value(out), 11);
+    }
+
+    #[test]
+    fn until_eq_rearms_after_same_wait() {
+        // `Wait::Same` keeps an armed `UntilEq` filter (same token, same
+        // predicate); a later `UntilEq` with a new target must bump the
+        // token and re-register, leaving the old entry stale.
+        let mut sim: Simulator<i64> = Simulator::new();
+        let counter = sim.signal("counter", 0);
+        let log = sim.signal("log", 0);
+        let seq = [1i64, 3, 5, 3, 8, 9];
+        let mut i = 0;
+        sim.process("drive", &[counter], move |ctx: &mut ProcessCtx<'_, i64>| {
+            if i < seq.len() {
+                ctx.assign(counter, seq[i]);
+                i += 1;
+                Wait::on(counter)
+            } else {
+                Wait::Done
+            }
+        });
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut state = 0;
+        sim.process("watch", &[log], move |ctx: &mut ProcessCtx<'_, i64>| {
+            if state > 0 {
+                seen2.lock().unwrap().push(*ctx.value(counter));
+            }
+            state += 1;
+            match state {
+                1 => Wait::UntilEq(counter, 3),
+                2 => Wait::Same, // keep waiting for counter == 3
+                3 => Wait::UntilEq(counter, 8),
+                _ => Wait::Done,
+            }
+        });
+        sim.initialize().unwrap();
+        sim.run().unwrap();
+        // Woken at both 3s and at 8; the 1, 5 and 9 events are filtered,
+        // and the stale ==3 registration never fires after the re-arm.
+        assert_eq!(seen.lock().unwrap().as_slice(), &[3, 3, 8]);
+    }
+
+    #[test]
+    fn stale_token_never_wakes_rearmed_process() {
+        // Re-arming onto a different signal leaves the old waiter entry
+        // behind; its stale token must keep it from waking the process.
+        let mut sim: Simulator<i64> = Simulator::new();
+        let a = sim.signal("a", 0);
+        let b = sim.signal("b", 0);
+        let out = sim.signal("out", 0);
+        let mut step = 0;
+        sim.process("drive", &[a, b], move |ctx: &mut ProcessCtx<'_, i64>| {
+            step += 1;
+            match step {
+                1 => ctx.assign(a, 1),
+                2 => ctx.assign(a, 2), // event on `a` after flip re-armed to `b`
+                3 => ctx.assign(b, 1),
+                _ => return Wait::Done,
+            }
+            Wait::For(0)
+        });
+        let wakes = Arc::new(std::sync::Mutex::new(0i64));
+        let wakes2 = wakes.clone();
+        let mut armed_b = false;
+        sim.process("flip", &[out], move |ctx: &mut ProcessCtx<'_, i64>| {
+            *wakes2.lock().unwrap() += 1;
+            if !armed_b {
+                if *ctx.value(a) == 0 {
+                    return Wait::Event(vec![a]); // initialization
+                }
+                armed_b = true;
+                return Wait::Event(vec![b]);
+            }
+            // Woken by `b`; the second `a` event happened while re-armed.
+            assert_eq!(*ctx.value(a), 2);
+            ctx.assign(out, 1);
+            Wait::Done
+        });
+        sim.initialize().unwrap();
+        sim.run().unwrap();
+        assert_eq!(*sim.value(out), 1);
+        // init + a-event + b-event; the a=2 event must not wake `flip`.
+        assert_eq!(*wakes.lock().unwrap(), 3);
+    }
+
+    #[test]
+    fn force_on_resolved_signal_routes_through_resolver() {
+        // A resolved signal with no process drivers is still forceable,
+        // and the forced value passes through the resolution function
+        // rather than bypassing it.
+        let mut sim: Simulator<i64> = Simulator::new();
+        let bus = sim.resolved_signal(
+            "bus",
+            0,
+            Arc::new(|vs: &[i64]| vs.iter().sum::<i64>() + 100),
+        );
+        let out = sim.signal("out", 0);
+        sim.process("follow", &[out], move |ctx: &mut ProcessCtx<'_, i64>| {
+            let v = *ctx.value(bus);
+            ctx.assign(out, v);
+            Wait::on(bus)
+        });
+        sim.initialize().unwrap();
+        sim.run().unwrap();
+        sim.force(bus, 5).unwrap();
+        sim.run().unwrap();
+        assert_eq!(*sim.value(bus), 105);
+        assert_eq!(*sim.value(out), 105);
+        sim.force(bus, 7).unwrap();
+        sim.run().unwrap();
+        assert_eq!(*sim.value(bus), 107);
     }
 
     #[test]

@@ -47,11 +47,11 @@ pub mod symbolic;
 pub mod vhdl_import;
 
 pub use conflicts::{cross_check, static_conflicts, CrossCheck, PredictedConflict};
-pub use lint::{lint_model, Lint};
 pub use equiv::{
     concrete_check, dfg_expressions, verify_synthesis, OutputVerdict, SynthesisVerification,
     VerifyError,
 };
+pub use lint::{lint_model, Lint};
 pub use normalize::{equivalent, normalize, Atom, Poly};
 pub use semantics::{merge_partials, reconstruct_partials, roundtrip_check, SemanticsError};
 pub use symbolic::{symbolic_run, Expr, SymbolicError};

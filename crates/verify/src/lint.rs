@@ -122,8 +122,8 @@ pub fn lint_model(model: &RtModel) -> Vec<Lint> {
 
     // Unused resources.
     for r in model.registers() {
-        let touched = reads.iter().any(|(n, _)| n == &r.name)
-            || writes.iter().any(|(n, _)| n == &r.name);
+        let touched =
+            reads.iter().any(|(n, _)| n == &r.name) || writes.iter().any(|(n, _)| n == &r.name);
         if !touched {
             findings.push(Lint::UnusedRegister(r.name.clone()));
         }
@@ -172,10 +172,18 @@ mod tests {
     fn dead_write_detected() {
         let mut m = playground();
         // T := A at step 2, overwritten at step 4 without a read between.
-        m.add_transfer(TransferTuple::new(2, "CP").src_a("A", "X").write(2, "Y", "T"))
-            .unwrap();
-        m.add_transfer(TransferTuple::new(4, "CP").src_a("A", "X").write(4, "Y", "T"))
-            .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP")
+                .src_a("A", "X")
+                .write(2, "Y", "T"),
+        )
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(4, "CP")
+                .src_a("A", "X")
+                .write(4, "Y", "T"),
+        )
+        .unwrap();
         let lints = lint_model(&m);
         assert!(lints.contains(&Lint::DeadWrite {
             register: "T".into(),
@@ -191,14 +199,26 @@ mod tests {
     #[test]
     fn read_between_writes_is_live() {
         let mut m = playground();
-        m.add_transfer(TransferTuple::new(2, "CP").src_a("A", "X").write(2, "Y", "T"))
-            .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP")
+                .src_a("A", "X")
+                .write(2, "Y", "T"),
+        )
+        .unwrap();
         // Read T at step 3…
-        m.add_transfer(TransferTuple::new(3, "CP").src_a("T", "X").write(3, "Y", "U"))
-            .unwrap();
+        m.add_transfer(
+            TransferTuple::new(3, "CP")
+                .src_a("T", "X")
+                .write(3, "Y", "U"),
+        )
+        .unwrap();
         // …then overwrite at step 4.
-        m.add_transfer(TransferTuple::new(4, "CP").src_a("A", "X").write(4, "Y", "T"))
-            .unwrap();
+        m.add_transfer(
+            TransferTuple::new(4, "CP")
+                .src_a("A", "X")
+                .write(4, "Y", "T"),
+        )
+        .unwrap();
         let lints = lint_model(&m);
         assert!(!lints
             .iter()
@@ -209,8 +229,12 @@ mod tests {
     fn read_of_undefined_detected() {
         let mut m = playground();
         // U is never written nor preloaded, yet read at step 2.
-        m.add_transfer(TransferTuple::new(2, "CP").src_a("U", "X").write(2, "Y", "T"))
-            .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP")
+                .src_a("U", "X")
+                .write(2, "Y", "T"),
+        )
+        .unwrap();
         let lints = lint_model(&m);
         assert!(lints.contains(&Lint::ReadOfUndefined {
             register: "U".into(),
@@ -228,8 +252,12 @@ mod tests {
             ModuleTiming::Combinational,
         ))
         .unwrap();
-        m.add_transfer(TransferTuple::new(2, "CP").src_a("A", "X").write(2, "Y", "T"))
-            .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP")
+                .src_a("A", "X")
+                .write(2, "Y", "T"),
+        )
+        .unwrap();
         let lints = lint_model(&m);
         assert!(lints.contains(&Lint::UnusedRegister("U".into())));
         assert!(lints.contains(&Lint::UnusedBus("Z".into())));

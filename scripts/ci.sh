@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate, offline-safe: everything here resolves without registry
+# access. Run from the repo root (or anywhere inside it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== workspace tests"
+cargo test -q --workspace --offline
+
+echo "== bench crate (build + unit tests; benches run via 'cargo bench')"
+cargo test -q --manifest-path crates/bench/Cargo.toml --offline
+cargo build --benches --manifest-path crates/bench/Cargo.toml --offline
+
+echo "CI OK"

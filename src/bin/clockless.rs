@@ -3,7 +3,7 @@
 //! ```text
 //! clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
 //! clockless check <model.rtl>
-//! clockless stats <model.rtl>
+//! clockless stats <model.rtl> [--json]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
 //! clockless vhdl <model.rtl> [--clocked]
 //! clockless explain "<tuple>"
@@ -26,7 +26,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n  \
          clockless check <model.rtl>\n  \
-         clockless stats <model.rtl>\n  \
+         clockless stats <model.rtl> [--json]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
          clockless vhdl <model.rtl> [--clocked]\n  \
          clockless explain \"<tuple>\""
@@ -153,9 +153,16 @@ fn cmd_translate(path: &str, scheme: &str, period_ns: u64) -> Result<(), String>
     }
 }
 
-fn cmd_stats(path: &str) -> Result<(), String> {
+fn cmd_stats(path: &str, json: bool) -> Result<(), String> {
     let model = load(path)?;
-    print!("{}", clockless::core::model_stats(&model));
+    if json {
+        // The JSON report includes kernel counters, so it runs the model.
+        let mut sim = RtSimulation::new(&model).map_err(|e| e.to_string())?;
+        sim.run_to_completion().map_err(|e| e.to_string())?;
+        print!("{}", sim.stats_report().to_json());
+    } else {
+        print!("{}", clockless::core::model_stats(&model));
+    }
     Ok(())
 }
 
@@ -214,7 +221,8 @@ fn main() -> ExitCode {
             let Some(path) = args.get(1) else {
                 return usage();
             };
-            cmd_stats(path)
+            let json = args.iter().any(|a| a == "--json");
+            cmd_stats(path, json)
         }
         "translate" => {
             let Some(path) = args.get(1) else {

@@ -271,6 +271,20 @@ fn stats_reports_utilization() {
 }
 
 #[test]
+fn stats_json_reports_kernel_counters() {
+    let out = cli()
+        .args(["stats", &repo_path("models/fig1.rtl"), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"model\": \"fig1\""), "{stdout}");
+    assert!(stdout.contains("\"delta_cycles\": 43"), "{stdout}");
+    assert!(stdout.contains("\"wake_filter_misses\""), "{stdout}");
+    assert!(stdout.contains("\"process\": \"CONTROL\""), "{stdout}");
+}
+
+#[test]
 fn check_reports_lints() {
     // A model with an unused bus gets a lint warning but still passes.
     let tmp = std::env::temp_dir().join("clockless_lint_test.rtl");
@@ -329,12 +343,6 @@ fn iks_corpus_model_solves_the_pose_via_the_cli_path() {
     let summary = sim.run_to_completion().expect("runs");
     let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
     let golden = solve_ik(to_fx(1.0), to_fx(1.0), &constants).expect("reachable");
-    assert_eq!(
-        summary.register("J0").unwrap().num(),
-        Some(golden.theta1)
-    );
-    assert_eq!(
-        summary.register("J1").unwrap().num(),
-        Some(golden.theta2)
-    );
+    assert_eq!(summary.register("J0").unwrap().num(), Some(golden.theta1));
+    assert_eq!(summary.register("J1").unwrap().num(), Some(golden.theta2));
 }

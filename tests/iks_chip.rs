@@ -228,7 +228,11 @@ fn fir_macc_chip_full_flow() {
     // Clock-free result equals the fixed-point dot product.
     let mut sim = RtSimulation::new(&model).unwrap();
     let summary = sim.run_to_completion().unwrap();
-    let golden: i64 = samples.iter().zip(&coeffs).map(|(&x, &c)| mul_fx(x, c)).sum();
+    let golden: i64 = samples
+        .iter()
+        .zip(&coeffs)
+        .map(|(&x, &c)| mul_fx(x, c))
+        .sum();
     assert_eq!(summary.register(FIR_OUT_REG).unwrap().num(), Some(golden));
 
     // Static + dynamic conflict detectors agree it is clean, the §2.7

@@ -64,7 +64,11 @@ fn fir_macc_chip_roundtrips_through_vhdl() {
     use clockless::iks::fixed::{mul_fx, to_fx};
     let samples = [to_fx(0.5), to_fx(1.5), to_fx(-1.0), to_fx(2.0)];
     let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
-    let golden: i64 = samples.iter().zip(&coeffs).map(|(&x, &c)| mul_fx(x, c)).sum();
+    let golden: i64 = samples
+        .iter()
+        .zip(&coeffs)
+        .map(|(&x, &c)| mul_fx(x, c))
+        .sum();
     assert_eq!(summary.register("Z"), Some(Value::Num(golden)));
 }
 
