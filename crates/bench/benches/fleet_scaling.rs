@@ -1,0 +1,151 @@
+//! Writes `BENCH_fleet.json` at the repository root: wall-clock scaling
+//! of the `clockless-fleet` batch engine at 1/2/4/8 workers over two
+//! batches — the `models/` corpus and a synthetic HLS schedule sweep.
+//!
+//! Per the workspace convention, counters (`total_delta_cycles`,
+//! `jobs`, `deterministic`) are machine-independent; `wall_ns` and the
+//! derived `speedup_vs_1` are machine-local. Speedup tops out at the
+//! host's core count — a single-core container reports ~1.0× at every
+//! worker count while still proving determinism (the `deterministic`
+//! field asserts byte-identical JSON against the 1-worker run).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use clockless_fleet::{run_batch, BatchSpec, HlsWorkload, JobSource, JobSpec};
+
+/// One (batch, worker-count) measurement.
+struct Row {
+    batch: &'static str,
+    workers: usize,
+    jobs: usize,
+    wall_ns: u64,
+    speedup_vs_1: f64,
+    total_delta_cycles: u64,
+    deterministic: bool,
+}
+
+/// The `models/` corpus as a batch, one job per `.rtl` file.
+fn corpus_batch() -> BatchSpec {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("models dir exists")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rtl"))
+        .collect();
+    paths.sort();
+    BatchSpec::from_rtl_paths(paths)
+}
+
+/// A synthetic HLS schedule sweep: the shape the engine exists for —
+/// many independent candidates from the same front end.
+fn hls_batch() -> BatchSpec {
+    let mut jobs = Vec::new();
+    for seed in 0..8u64 {
+        jobs.push(JobSpec::new(
+            format!("dag{seed}"),
+            JobSource::Hls(HlsWorkload::Random {
+                seed,
+                nodes: 48,
+                inputs: 6,
+            }),
+        ));
+    }
+    for taps in [16usize, 24, 32] {
+        jobs.push(JobSpec::new(
+            format!("fir{taps}"),
+            JobSource::Hls(HlsWorkload::Fir { taps }),
+        ));
+    }
+    for degree in [12usize, 20] {
+        jobs.push(JobSpec::new(
+            format!("horner{degree}"),
+            JobSource::Hls(HlsWorkload::Horner { degree }),
+        ));
+    }
+    jobs.push(JobSpec::new("diffeq", JobSource::Hls(HlsWorkload::Diffeq)));
+    BatchSpec { jobs }
+}
+
+/// Best-of-3 wall time for one worker count.
+fn time_batch(spec: &BatchSpec, workers: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let report = run_batch(spec, workers).expect("batch runs");
+        let ns = t.elapsed().as_nanos() as u64;
+        std::hint::black_box(report);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, spec) in [("corpus", corpus_batch()), ("hls", hls_batch())] {
+        let reference = run_batch(&spec, 1).expect("batch runs");
+        let reference_json = reference.to_json(false);
+        let base_ns = time_batch(&spec, 1);
+        for workers in [1usize, 2, 4, 8] {
+            let report = run_batch(&spec, workers).expect("batch runs");
+            let deterministic = report.to_json(false) == reference_json;
+            assert!(deterministic, "{name}@{workers} diverged from 1-worker run");
+            let wall_ns = if workers == 1 {
+                base_ns
+            } else {
+                time_batch(&spec, workers)
+            };
+            rows.push(Row {
+                batch: name,
+                workers,
+                jobs: report.jobs.len(),
+                wall_ns,
+                speedup_vs_1: base_ns as f64 / wall_ns as f64,
+                total_delta_cycles: report.totals.delta_cycles,
+                deterministic,
+            });
+            eprintln!(
+                "{name:<8} workers={workers} jobs={} wall={:.3} ms speedup={:.2}x",
+                report.jobs.len(),
+                wall_ns as f64 / 1e6,
+                base_ns as f64 / wall_ns as f64
+            );
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo bench --manifest-path crates/bench/Cargo.toml \
+         --bench fleet_scaling\",\n",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"batch\": \"{}\", \"workers\": {}, \"jobs\": {}, \"wall_ns\": {}, \
+             \"speedup_vs_1\": {:.2}, \"total_delta_cycles\": {}, \"deterministic\": {}}}{}",
+            r.batch,
+            r.workers,
+            r.jobs,
+            r.wall_ns,
+            r.speedup_vs_1,
+            r.total_delta_cycles,
+            r.deterministic,
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");
+    std::fs::write(&path, out).expect("writes BENCH_fleet.json");
+    eprintln!(
+        "fleet scaling: {} rows written to {}",
+        rows.len(),
+        path.canonicalize().unwrap_or(path).display()
+    );
+}

@@ -1,0 +1,239 @@
+//! The parallel batch engine: a `std::thread` worker pool over a shared
+//! job queue.
+//!
+//! The design follows the shape Strauch's *Deriving AOC C-Models … for
+//! Single- or Multi-Threaded Execution* derives for RT-level simulation:
+//! jobs are fully independent simulation units, so the engine needs no
+//! synchronization beyond the queue handing out job indices and one slot
+//! per job to deposit the result. Each worker elaborates and runs its
+//! jobs on private kernel instances — the kernel has no shared mutable
+//! state (enforced by `#![forbid(unsafe_code)]` plus the cross-thread
+//! isolation test in `clockless-kernel`) — so the engine is
+//! **deterministic by construction**: results land in spec order and are
+//! bit-identical for any worker count.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use clockless_core::{RtModel, RtSimulation};
+
+use crate::report::{FleetReport, JobResult};
+use crate::spec::{BatchSpec, FleetError};
+
+/// Runs every job of `spec` on a pool of `workers` threads and
+/// aggregates the results.
+///
+/// Jobs are resolved to models up front (sequentially — parse errors
+/// carry clean line/job attribution), then executed in parallel. Passing
+/// `workers == 0` or `1` runs the batch on a single worker; the report
+/// is identical either way apart from the machine-local wall-clock
+/// fields.
+///
+/// # Errors
+///
+/// * [`FleetError::EmptyBatch`] for a spec with no jobs.
+/// * [`FleetError::Io`] / [`FleetError::Build`] when a job's model
+///   cannot be materialized.
+/// * [`FleetError::Run`] when a simulation fails (e.g. delta overflow);
+///   the error reported is the failing job with the lowest index, so
+///   even failures are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_fleet::{run_batch, BatchSpec, HlsWorkload, JobSource, JobSpec};
+///
+/// let spec = BatchSpec {
+///     jobs: vec![
+///         JobSpec::new("fir", JobSource::Hls(HlsWorkload::Fir { taps: 4 })),
+///         JobSpec::new("poly", JobSource::Hls(HlsWorkload::Horner { degree: 3 })),
+///     ],
+/// };
+/// let one = run_batch(&spec, 1)?;
+/// let four = run_batch(&spec, 4)?;
+/// // Bit-identical and identically ordered regardless of worker count.
+/// assert_eq!(one.to_json(false), four.to_json(false));
+/// # Ok::<(), clockless_fleet::FleetError>(())
+/// ```
+pub fn run_batch(spec: &BatchSpec, workers: usize) -> Result<FleetReport, FleetError> {
+    if spec.jobs.is_empty() {
+        return Err(FleetError::EmptyBatch);
+    }
+    let resolved: Vec<(String, RtModel)> = spec
+        .jobs
+        .iter()
+        .map(|j| j.resolve().map(|m| (j.name.clone(), m)))
+        .collect::<Result<_, _>>()?;
+
+    let worker_count = workers.max(1).min(resolved.len());
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..resolved.len()).collect());
+    let slots: Vec<Mutex<Option<Result<JobResult, FleetError>>>> =
+        resolved.iter().map(|_| Mutex::new(None)).collect();
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some(i) = next else { break };
+                let (name, model) = &resolved[i];
+                let outcome = run_job(name, model);
+                *slots[i].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut jobs = Vec::with_capacity(resolved.len());
+    for slot in slots {
+        let outcome = slot
+            .into_inner()
+            .expect("slot lock")
+            .expect("every queued job ran");
+        jobs.push(outcome?);
+    }
+    let mut totals = clockless_kernel::SimStats::default();
+    for j in &jobs {
+        totals.merge(&j.stats);
+    }
+    Ok(FleetReport {
+        jobs,
+        totals,
+        workers: worker_count,
+        elapsed_ns,
+    })
+}
+
+/// Runs one job on a fresh, private kernel instance (always traced, so
+/// conflict diagnoses are available in the report).
+fn run_job(name: &str, model: &RtModel) -> Result<JobResult, FleetError> {
+    let run_err = |msg: String| FleetError::Run {
+        job: name.to_string(),
+        msg,
+    };
+    let t0 = Instant::now();
+    let mut sim = RtSimulation::traced(model).map_err(|e| run_err(e.to_string()))?;
+    let summary = sim
+        .run_to_completion()
+        .map_err(|e| run_err(e.to_string()))?;
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    Ok(JobResult {
+        name: name.to_string(),
+        model: model.name().to_string(),
+        cs_max: model.cs_max(),
+        tuples: model.tuples().len(),
+        stats: summary.stats,
+        registers: summary.registers,
+        conflicts: summary.conflicts.expect("traced run records conflicts"),
+        wall_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{HlsWorkload, JobSource, JobSpec};
+    use clockless_core::model::fig1_model;
+    use clockless_core::Value;
+
+    fn mixed_spec() -> BatchSpec {
+        let mut jobs = vec![
+            JobSpec::new("fig1", JobSource::Model(Box::new(fig1_model(3, 4)))),
+            JobSpec::new("fir", JobSource::Hls(HlsWorkload::Fir { taps: 6 })),
+            JobSpec::new(
+                "dag",
+                JobSource::Hls(HlsWorkload::Random {
+                    seed: 7,
+                    nodes: 18,
+                    inputs: 4,
+                }),
+            ),
+        ];
+        let mut stim = JobSpec::new("fig1_stim", JobSource::Model(Box::new(fig1_model(3, 4))));
+        stim.overrides = vec![("R2".into(), 39)];
+        jobs.push(stim);
+        BatchSpec { jobs }
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        assert_eq!(
+            run_batch(&BatchSpec::default(), 2),
+            Err(FleetError::EmptyBatch)
+        );
+    }
+
+    #[test]
+    fn results_keep_spec_order_and_values() {
+        let report = run_batch(&mixed_spec(), 3).expect("runs");
+        let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, ["fig1", "fir", "dag", "fig1_stim"]);
+        assert_eq!(report.jobs[0].register("R1"), Some(Value::Num(7)));
+        assert_eq!(report.jobs[3].register("R1"), Some(Value::Num(42)));
+        assert_eq!(report.conflicted_jobs(), 0);
+        // Totals are the sum of per-job counters.
+        let deltas: u64 = report.jobs.iter().map(|j| j.stats.delta_cycles).sum();
+        assert_eq!(report.totals.delta_cycles, deltas);
+    }
+
+    #[test]
+    fn one_worker_and_many_workers_agree_bit_for_bit() {
+        let spec = mixed_spec();
+        let one = run_batch(&spec, 1).expect("runs");
+        for workers in [2, 4, 8, 64] {
+            let many = run_batch(&spec, workers).expect("runs");
+            assert_eq!(one.to_json(false), many.to_json(false), "{workers} workers");
+            // Beyond JSON: the structured rows agree except wall time.
+            for (a, b) in one.jobs.iter().zip(&many.jobs) {
+                let mut b = b.clone();
+                b.wall_ns = a.wall_ns;
+                assert_eq!(*a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_caps_at_job_count() {
+        let spec = BatchSpec {
+            jobs: vec![JobSpec::new(
+                "only",
+                JobSource::Model(Box::new(fig1_model(1, 1))),
+            )],
+        };
+        let report = run_batch(&spec, 16).expect("runs");
+        assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn conflicted_jobs_are_reported_not_fatal() {
+        let text = "model clash steps 4\nregister A init 1\nregister B init 2\nregister T\n\
+                    bus X\nbus Y\nbus Z\nmodule CPA ops passa comb\nmodule CPB ops passa comb\n\
+                    transfer (A,X,-,-,2,CPA,2,Y,T)\ntransfer (B,X,-,-,2,CPB,2,Z,T)\n";
+        let spec = BatchSpec {
+            jobs: vec![
+                JobSpec::new("clean", JobSource::Model(Box::new(fig1_model(1, 1)))),
+                JobSpec::new("clash", JobSource::RtlText(text.into())),
+            ],
+        };
+        let report = run_batch(&spec, 2).expect("runs");
+        assert_eq!(report.conflicted_jobs(), 1);
+        assert!(report.jobs[0].conflicts.is_clean());
+        let first = report.jobs[1].conflicts.first().expect("conflict found");
+        assert_eq!(first.name, "X");
+        let json = report.to_json(false);
+        assert!(json.contains("ILLEGAL on bus `X`"), "{json}");
+    }
+
+    #[test]
+    fn build_failures_name_the_job() {
+        let spec = BatchSpec {
+            jobs: vec![JobSpec::new(
+                "broken",
+                JobSource::RtlText("not a model".into()),
+            )],
+        };
+        let err = run_batch(&spec, 2).expect_err("fails");
+        assert!(matches!(err, FleetError::Build { ref job, .. } if job == "broken"));
+    }
+}

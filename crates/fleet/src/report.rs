@@ -1,0 +1,263 @@
+//! Fleet run results: per-job rows plus merged totals.
+//!
+//! The JSON rendering is hand-rolled like every other machine-readable
+//! surface in the workspace (no serialization crates; tier-1 resolves
+//! offline). Two renderings exist: the default one is fully deterministic
+//! — byte-identical for the same batch regardless of worker count or
+//! machine — and the `timing` variant adds wall-clock fields for humans
+//! and benches.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use clockless_core::{ConflictReport, Step, Value};
+use clockless_kernel::SimStats;
+
+/// The outcome of one batch job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// The job's name from the spec.
+    pub name: String,
+    /// The resolved model's name.
+    pub model: String,
+    /// The model's `CS_MAX`.
+    pub cs_max: Step,
+    /// Transfer-tuple count.
+    pub tuples: usize,
+    /// Kernel counters of the completed run.
+    pub stats: SimStats,
+    /// Final register values, in declaration order.
+    pub registers: Vec<(String, Value)>,
+    /// Conflict diagnoses (every job runs traced, so localization to
+    /// step + phase is always available).
+    pub conflicts: ConflictReport,
+    /// Wall-clock nanoseconds this job took on its worker
+    /// (machine-local; excluded from the deterministic JSON rendering).
+    pub wall_ns: u64,
+}
+
+impl JobResult {
+    /// Final value of a register by name.
+    pub fn register(&self, name: &str) -> Option<Value> {
+        self.registers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Aggregated results of a batch run.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::model::fig1_model;
+/// use clockless_fleet::{run_batch, BatchSpec, JobSource, JobSpec};
+///
+/// let spec = BatchSpec {
+///     jobs: vec![JobSpec::new("only", JobSource::Model(Box::new(fig1_model(1, 2))))],
+/// };
+/// let report = run_batch(&spec, 4)?;
+/// assert_eq!(report.conflicted_jobs(), 0);
+/// // The deterministic rendering carries no wall-clock noise…
+/// assert!(!report.to_json(false).contains("wall_ns"));
+/// // …the timing rendering does.
+/// assert!(report.to_json(true).contains("wall_ns"));
+/// # Ok::<(), clockless_fleet::FleetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Per-job results, in spec order (independent of worker count).
+    pub jobs: Vec<JobResult>,
+    /// Every job's kernel counters merged with
+    /// [`SimStats::merge`](clockless_kernel::SimStats::merge): counters
+    /// sum, peaks take the maximum.
+    pub totals: SimStats,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole batch (machine-local).
+    pub elapsed_ns: u64,
+}
+
+impl FleetReport {
+    /// How many jobs reported at least one resource conflict.
+    pub fn conflicted_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.conflicts.is_clean()).count()
+    }
+
+    /// Renders the report as JSON.
+    ///
+    /// With `timing == false` the output is deterministic: identical
+    /// batches produce byte-identical documents regardless of worker
+    /// count (the CLI test asserts `--jobs 1` vs `--jobs 4`). With
+    /// `timing == true`, machine-local wall-clock fields (`wall_ns`,
+    /// `elapsed_ns`, `workers`) are included.
+    pub fn to_json(&self, timing: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(
+            out,
+            "  \"fleet\": {{\"jobs\": {}, \"conflicted_jobs\": {}",
+            self.jobs.len(),
+            self.conflicted_jobs()
+        );
+        if timing {
+            let _ = write!(
+                out,
+                ", \"workers\": {}, \"elapsed_ns\": {}",
+                self.workers, self.elapsed_ns
+            );
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"totals\": {},", stats_json(&self.totals));
+        out.push_str("  \"jobs\": [\n");
+        for (i, j) in self.jobs.iter().enumerate() {
+            let comma = if i + 1 == self.jobs.len() { "" } else { "," };
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"model\": \"{}\", \"cs_max\": {}, \"tuples\": {},\n     \
+                 \"kernel\": {},\n     \"registers\": [",
+                json_escape(&j.name),
+                json_escape(&j.model),
+                j.cs_max,
+                j.tuples,
+                stats_json(&j.stats)
+            );
+            for (k, (name, value)) in j.registers.iter().enumerate() {
+                let comma = if k + 1 == j.registers.len() { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", \"value\": \"{}\"}}{}",
+                    json_escape(name),
+                    value,
+                    comma
+                );
+            }
+            out.push_str("],\n     \"conflicts\": [");
+            for (k, c) in j.conflicts.conflicts.iter().enumerate() {
+                let comma = if k + 1 == j.conflicts.conflicts.len() {
+                    ""
+                } else {
+                    ", "
+                };
+                let _ = write!(out, "\"{}\"{}", json_escape(&c.to_string()), comma);
+            }
+            out.push(']');
+            if timing {
+                let _ = write!(out, ",\n     \"wall_ns\": {}", j.wall_ns);
+            }
+            let _ = writeln!(out, "}}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} jobs on {} workers in {:.3} ms — totals: {}",
+            self.jobs.len(),
+            self.workers,
+            self.elapsed_ns as f64 / 1e6,
+            self.totals
+        )?;
+        for j in &self.jobs {
+            writeln!(
+                f,
+                "  {:<20} {:<20} {:>6} steps {:>5} tuples {:>9} deltas  {}",
+                j.name,
+                j.model,
+                j.cs_max,
+                j.tuples,
+                j.stats.delta_cycles,
+                if j.conflicts.is_clean() {
+                    "clean".to_string()
+                } else {
+                    format!("{} conflict site(s)", j.conflicts.conflicts.len())
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders [`SimStats`] as a flat JSON object (shared by totals and
+/// per-job rows).
+fn stats_json(s: &SimStats) -> String {
+    format!(
+        "{{\"delta_cycles\": {}, \"process_activations\": {}, \"events\": {}, \
+         \"driver_updates\": {}, \"time_advances\": {}, \"wake_filter_hits\": {}, \
+         \"wake_filter_misses\": {}, \"peak_runnable\": {}, \"peak_pending_updates\": {}}}",
+        s.delta_cycles,
+        s.process_activations,
+        s.events,
+        s.driver_updates,
+        s.time_advances,
+        s.wake_filter_hits,
+        s.wake_filter_misses,
+        s.peak_runnable,
+        s.peak_pending_updates
+    )
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\u{1}"), "x\\ny\\u0001");
+    }
+
+    #[test]
+    fn stats_json_is_flat_and_complete() {
+        let s = SimStats {
+            delta_cycles: 1,
+            process_activations: 2,
+            events: 3,
+            driver_updates: 4,
+            time_advances: 5,
+            wake_filter_hits: 6,
+            wake_filter_misses: 7,
+            peak_runnable: 8,
+            peak_pending_updates: 9,
+        };
+        let j = stats_json(&s);
+        for needle in [
+            "\"delta_cycles\": 1",
+            "\"process_activations\": 2",
+            "\"events\": 3",
+            "\"driver_updates\": 4",
+            "\"time_advances\": 5",
+            "\"wake_filter_hits\": 6",
+            "\"wake_filter_misses\": 7",
+            "\"peak_runnable\": 8",
+            "\"peak_pending_updates\": 9",
+        ] {
+            assert!(j.contains(needle), "{j} missing {needle}");
+        }
+    }
+}

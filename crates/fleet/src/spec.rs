@@ -1,0 +1,597 @@
+//! Batch specifications: what a fleet run simulates.
+//!
+//! A [`BatchSpec`] is a flat list of [`JobSpec`]s. Each job names a model
+//! source ([`JobSource`]) plus optional re-parameterization: a `CS_MAX`
+//! override (`steps`) and register-init overrides (`init`) acting as the
+//! job's stimulus. Specs come from three places:
+//!
+//! * programmatically (the `verify` conflict sweeps build them from
+//!   in-memory models),
+//! * directly from `.rtl` paths ([`BatchSpec::from_rtl_paths`] — the CLI
+//!   glob form), or
+//! * from a `.fleet` text file ([`BatchSpec::parse`]), one job per line:
+//!
+//! ```text
+//! # comment                        (blank lines are fine too)
+//! fleet nightly                    # optional header naming the batch
+//! job base    rtl fig1.rtl
+//! job stim    rtl fig1.rtl steps 9 init R1=40 init R2=2
+//! job sched   hls fir 8
+//! job probe   hls random 42 24 4
+//! job chip    iks ik 1.0 1.0
+//! ```
+//!
+//! Relative `.rtl` paths resolve against the spec file's directory.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use clockless_core::text::parse_model;
+use clockless_core::{RtModel, Step, Value};
+
+/// Errors from building, parsing or running a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A file could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error message.
+        msg: String,
+    },
+    /// A spec line could not be parsed.
+    Spec {
+        /// 1-based line number in the spec text.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A job's model could not be built (parse error, synthesis error,
+    /// invalid override…).
+    Build {
+        /// The job's name.
+        job: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A job's simulation failed (kernel error, e.g. delta overflow).
+    Run {
+        /// The job's name.
+        job: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The batch contains no jobs.
+    EmptyBatch,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Io { path, msg } => write!(f, "cannot read {path}: {msg}"),
+            FleetError::Spec { line, msg } => write!(f, "spec line {line}: {msg}"),
+            FleetError::Build { job, msg } => write!(f, "job `{job}`: {msg}"),
+            FleetError::Run { job, msg } => write!(f, "job `{job}` failed: {msg}"),
+            FleetError::EmptyBatch => write!(f, "batch contains no jobs"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// A synthetic high-level-synthesis workload, scheduled and emitted on
+/// the fly (no input files needed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsWorkload {
+    /// An n-tap FIR filter (`clockless_hls::fir`).
+    Fir {
+        /// Number of taps (≥ 1).
+        taps: usize,
+    },
+    /// Horner evaluation of a degree-n polynomial (`clockless_hls::horner`).
+    Horner {
+        /// Polynomial degree (coefficient count − 1).
+        degree: usize,
+    },
+    /// The HAL differential-equation benchmark (`clockless_hls::diffeq`).
+    Diffeq,
+    /// A reproducible random DAG (`clockless_hls::random_dag`).
+    Random {
+        /// PRNG seed.
+        seed: u64,
+        /// Node count.
+        nodes: usize,
+        /// Input count.
+        inputs: usize,
+    },
+}
+
+/// Where a job's model comes from.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// A `.rtl` file in the declarative text format.
+    RtlFile(PathBuf),
+    /// Inline `.rtl` text (used by tests and embedded specs).
+    RtlText(String),
+    /// An already-built model (boxed: an [`RtModel`] is much larger than
+    /// the other variants).
+    Model(Box<RtModel>),
+    /// A synthetic HLS workload, synthesized with unconstrained resources
+    /// and deterministic inputs.
+    Hls(HlsWorkload),
+    /// The IKS inverse-kinematics chip solving for target `(x, y)`
+    /// (Q16.16 fixed point, arm geometry 1.0/1.0).
+    IksIk {
+        /// Target x coordinate.
+        x: f64,
+        /// Target y coordinate.
+        y: f64,
+    },
+    /// The IKS MACC FIR filter chip with its reference sample/coefficient
+    /// set.
+    IksFir,
+}
+
+/// One batch job: a model source plus stimulus.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The job's name (unique within the batch; reports key on it).
+    pub name: String,
+    /// Where the model comes from.
+    pub source: JobSource,
+    /// Optional `CS_MAX` override (the model is rebuilt on the new step
+    /// count; transfers must still fit).
+    pub steps: Option<Step>,
+    /// Register-init overrides `(register, value)` — the job's stimulus.
+    pub overrides: Vec<(String, i64)>,
+}
+
+impl JobSpec {
+    /// Creates a job with no overrides.
+    pub fn new(name: impl Into<String>, source: JobSource) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            source,
+            steps: None,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Resolves the job to a runnable model (reading files, running HLS,
+    /// applying overrides).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] or [`FleetError::Build`] when the source cannot
+    /// be materialized.
+    pub fn resolve(&self) -> Result<RtModel, FleetError> {
+        let build_err = |msg: String| FleetError::Build {
+            job: self.name.clone(),
+            msg,
+        };
+        let mut model = match &self.source {
+            JobSource::RtlFile(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| FleetError::Io {
+                    path: path.display().to_string(),
+                    msg: e.to_string(),
+                })?;
+                parse_model(&text).map_err(|e| build_err(format!("{}:{e}", path.display())))?
+            }
+            JobSource::RtlText(text) => parse_model(text).map_err(|e| build_err(e.to_string()))?,
+            JobSource::Model(m) => (**m).clone(),
+            JobSource::Hls(workload) => synthesize_workload(workload)
+                .map_err(|e| build_err(format!("HLS synthesis: {e}")))?,
+            JobSource::IksIk { x, y } => {
+                use clockless_iks::prelude::*;
+                let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+                build_ik_chip(to_fx(*x), to_fx(*y), constants)
+                    .map(|chip| chip.model)
+                    .map_err(|e| build_err(format!("IKS chip: {e}")))?
+            }
+            JobSource::IksFir => {
+                use clockless_iks::prelude::*;
+                let samples = [to_fx(0.5), to_fx(1.5), to_fx(-1.0), to_fx(2.0)];
+                let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
+                clockless_iks::build_fir_chip(samples, coeffs)
+                    .map_err(|e| build_err(format!("IKS FIR chip: {e}")))?
+            }
+        };
+        if self.steps.is_some() || !self.overrides.is_empty() {
+            model =
+                rebuild_with_overrides(&model, self.steps, &self.overrides).map_err(build_err)?;
+        }
+        Ok(model)
+    }
+}
+
+/// Synthesizes an [`HlsWorkload`] with unconstrained resources and
+/// deterministic inputs (input `i`, in the graph's input order, is fed
+/// `i + 1`).
+fn synthesize_workload(workload: &HlsWorkload) -> Result<RtModel, String> {
+    use clockless_hls::{diffeq, fir, horner, random_dag, synthesize, ResourceSet};
+
+    let dfg = match workload {
+        HlsWorkload::Fir { taps } => {
+            if *taps == 0 {
+                return Err("FIR needs at least one tap".into());
+            }
+            let coeffs: Vec<i64> = (0..*taps as i64).map(|i| 2 * i + 1).collect();
+            fir(&coeffs)
+        }
+        HlsWorkload::Horner { degree } => {
+            let coeffs: Vec<i64> = (0..=*degree as i64).map(|i| i - 2).collect();
+            horner(&coeffs)
+        }
+        HlsWorkload::Diffeq => diffeq(),
+        HlsWorkload::Random {
+            seed,
+            nodes,
+            inputs,
+        } => random_dag(*seed, *nodes, *inputs),
+    };
+    let resources = ResourceSet::unconstrained(&dfg);
+    let names = dfg.inputs();
+    let inputs: HashMap<&str, i64> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as i64 + 1))
+        .collect();
+    synthesize(&dfg, &resources, &inputs)
+        .map(|syn| syn.model)
+        .map_err(|e| e.to_string())
+}
+
+/// Rebuilds `model` with a new `CS_MAX` and/or register-init overrides,
+/// revalidating every transfer against the new parameters.
+fn rebuild_with_overrides(
+    model: &RtModel,
+    steps: Option<Step>,
+    overrides: &[(String, i64)],
+) -> Result<RtModel, String> {
+    for (reg, _) in overrides {
+        if model.register_by_name(reg).is_none() {
+            return Err(format!("init override names unknown register `{reg}`"));
+        }
+    }
+    let mut m = RtModel::new(model.name(), steps.unwrap_or(model.cs_max()));
+    for r in model.registers() {
+        let init = overrides
+            .iter()
+            .rev() // later overrides win
+            .find(|(name, _)| *name == r.name)
+            .map(|(_, v)| Value::Num(*v))
+            .unwrap_or(r.init);
+        m.add_register_init(&r.name, init)
+            .map_err(|e| e.to_string())?;
+    }
+    for b in model.buses() {
+        m.add_bus(&b.name).map_err(|e| e.to_string())?;
+    }
+    for decl in model.modules() {
+        m.add_module(decl.clone()).map_err(|e| e.to_string())?;
+    }
+    for t in model.tuples() {
+        m.add_transfer(t.clone()).map_err(|e| e.to_string())?;
+    }
+    Ok(m)
+}
+
+/// A batch of independent simulation jobs.
+///
+/// # Examples
+///
+/// Parsing the text form:
+///
+/// ```
+/// use clockless_fleet::BatchSpec;
+///
+/// let spec = BatchSpec::parse(
+///     "fleet demo\n\
+///      job sched hls fir 4\n\
+///      job probe hls random 7 12 3\n",
+///     ".",
+/// )?;
+/// assert_eq!(spec.jobs.len(), 2);
+/// assert_eq!(spec.jobs[0].name, "sched");
+/// # Ok::<(), clockless_fleet::FleetError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchSpec {
+    /// The jobs, in spec order ([`FleetReport`](crate::FleetReport) rows
+    /// keep this order).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl BatchSpec {
+    /// Builds a batch that runs each `.rtl` file as one job (the CLI's
+    /// glob form). Job names are the file stems.
+    pub fn from_rtl_paths<P: AsRef<Path>>(paths: impl IntoIterator<Item = P>) -> BatchSpec {
+        let jobs = paths
+            .into_iter()
+            .map(|p| {
+                let p = p.as_ref();
+                let name = p
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.display().to_string());
+                JobSpec::new(name, JobSource::RtlFile(p.to_path_buf()))
+            })
+            .collect();
+        BatchSpec { jobs }
+    }
+
+    /// Parses the `.fleet` text format (see the module docs for the
+    /// grammar). Relative `.rtl` paths resolve against `base_dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spec`] with the offending 1-based line number.
+    pub fn parse(text: &str, base_dir: impl AsRef<Path>) -> Result<BatchSpec, FleetError> {
+        let base_dir = base_dir.as_ref();
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let err = |msg: String| FleetError::Spec { line, msg };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let words: Vec<&str> = content.split_whitespace().collect();
+            match words[0] {
+                "fleet" => {
+                    if words.len() != 2 {
+                        return Err(err("expected `fleet <name>`".into()));
+                    }
+                }
+                "job" => {
+                    let job = parse_job_line(&words, base_dir).map_err(err)?;
+                    if jobs.iter().any(|j| j.name == job.name) {
+                        return Err(err(format!("duplicate job name `{}`", job.name)));
+                    }
+                    jobs.push(job);
+                }
+                other => {
+                    return Err(err(format!(
+                        "unknown directive `{other}` (expected `fleet` or `job`)"
+                    )))
+                }
+            }
+        }
+        Ok(BatchSpec { jobs })
+    }
+
+    /// Reads and parses a `.fleet` spec file; relative `.rtl` paths
+    /// resolve against the spec's directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] or [`FleetError::Spec`].
+    pub fn load(path: impl AsRef<Path>) -> Result<BatchSpec, FleetError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| FleetError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        BatchSpec::parse(&text, base)
+    }
+}
+
+/// Parses one `job …` line (already split into words).
+fn parse_job_line(words: &[&str], base_dir: &Path) -> Result<JobSpec, String> {
+    if words.len() < 3 {
+        return Err("expected `job <name> <source> …`".into());
+    }
+    let name = words[1].to_string();
+    let mut rest = &words[3..];
+    let source = match words[2] {
+        "rtl" => {
+            let Some((path, r)) = rest.split_first() else {
+                return Err("`rtl` needs a file path".into());
+            };
+            rest = r;
+            let p = Path::new(path);
+            let p = if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                base_dir.join(p)
+            };
+            JobSource::RtlFile(p)
+        }
+        "hls" => {
+            let Some((kind, r)) = rest.split_first() else {
+                return Err("`hls` needs a workload (fir|horner|diffeq|random)".into());
+            };
+            let (workload, r) = match *kind {
+                "fir" => {
+                    let (n, r) = take_num::<usize>(r, "fir tap count")?;
+                    (HlsWorkload::Fir { taps: n }, r)
+                }
+                "horner" => {
+                    let (n, r) = take_num::<usize>(r, "horner degree")?;
+                    (HlsWorkload::Horner { degree: n }, r)
+                }
+                "diffeq" => (HlsWorkload::Diffeq, r),
+                "random" => {
+                    let (seed, r) = take_num::<u64>(r, "random seed")?;
+                    let (nodes, r) = take_num::<usize>(r, "random node count")?;
+                    let (inputs, r) = take_num::<usize>(r, "random input count")?;
+                    (
+                        HlsWorkload::Random {
+                            seed,
+                            nodes,
+                            inputs,
+                        },
+                        r,
+                    )
+                }
+                other => return Err(format!("unknown hls workload `{other}`")),
+            };
+            rest = r;
+            JobSource::Hls(workload)
+        }
+        "iks" => {
+            let Some((kind, r)) = rest.split_first() else {
+                return Err("`iks` needs a chip (ik|fir)".into());
+            };
+            match *kind {
+                "ik" => {
+                    let (x, r) = take_num::<f64>(r, "ik target x")?;
+                    let (y, r) = take_num::<f64>(r, "ik target y")?;
+                    rest = r;
+                    JobSource::IksIk { x, y }
+                }
+                "fir" => {
+                    rest = r;
+                    JobSource::IksFir
+                }
+                other => return Err(format!("unknown iks chip `{other}`")),
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown job source `{other}` (expected rtl|hls|iks)"
+            ))
+        }
+    };
+
+    let mut job = JobSpec::new(name, source);
+    while let Some((word, r)) = rest.split_first() {
+        match *word {
+            "steps" => {
+                let (n, r) = take_num::<Step>(r, "steps")?;
+                job.steps = Some(n);
+                rest = r;
+            }
+            "init" => {
+                let Some((assign, r)) = r.split_first() else {
+                    return Err("`init` needs `<register>=<value>`".into());
+                };
+                let Some((reg, val)) = assign.split_once('=') else {
+                    return Err(format!("malformed init `{assign}` (expected REG=VALUE)"));
+                };
+                let val: i64 = val
+                    .parse()
+                    .map_err(|_| format!("init value `{val}` is not an integer"))?;
+                job.overrides.push((reg.to_string(), val));
+                rest = r;
+            }
+            other => return Err(format!("unknown job option `{other}`")),
+        }
+    }
+    Ok(job)
+}
+
+/// Pops one parsed number off `words`, with a descriptive error.
+fn take_num<'a, T: std::str::FromStr>(
+    words: &'a [&'a str],
+    what: &str,
+) -> Result<(T, &'a [&'a str]), String> {
+    let Some((w, rest)) = words.split_first() else {
+        return Err(format!("missing {what}"));
+    };
+    w.parse::<T>()
+        .map(|n| (n, rest))
+        .map_err(|_| format!("{what} `{w}` is not a valid number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_sources_and_options() {
+        let spec = BatchSpec::parse(
+            "# a comment\n\
+             fleet nightly\n\
+             \n\
+             job a rtl sub/x.rtl steps 9 init R1=40 init R2=-2\n\
+             job b hls fir 8\n\
+             job c hls horner 3\n\
+             job d hls diffeq\n\
+             job e hls random 42 24 4\n\
+             job f iks ik 1.0 -0.5\n\
+             job g iks fir\n",
+            "/base",
+        )
+        .expect("parses");
+        assert_eq!(spec.jobs.len(), 7);
+        let a = &spec.jobs[0];
+        assert_eq!(a.steps, Some(9));
+        assert_eq!(a.overrides, vec![("R1".into(), 40), ("R2".into(), -2)]);
+        match &a.source {
+            JobSource::RtlFile(p) => assert_eq!(p, Path::new("/base/sub/x.rtl")),
+            other => panic!("wrong source {other:?}"),
+        }
+        assert!(matches!(
+            spec.jobs[4].source,
+            JobSource::Hls(HlsWorkload::Random {
+                seed: 42,
+                nodes: 24,
+                inputs: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (text, needle) in [
+            ("job", "expected `job <name> <source>"),
+            ("job x nope", "unknown job source"),
+            ("job x hls", "`hls` needs a workload"),
+            ("job x hls fir", "missing fir tap count"),
+            ("job x hls fir many", "not a valid number"),
+            ("job x rtl a.rtl frob", "unknown job option"),
+            ("job x rtl a.rtl init", "needs `<register>=<value>`"),
+            ("job x rtl a.rtl init R1:4", "malformed init"),
+            ("job x iks ik 1.0", "missing ik target y"),
+            ("frobnicate everything", "unknown directive"),
+            ("job x rtl a.rtl\njob x rtl b.rtl", "duplicate job name"),
+        ] {
+            let err = BatchSpec::parse(text, ".").expect_err(text);
+            assert!(
+                err.to_string().contains(needle),
+                "{text}: {err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn overrides_apply_to_rebuilt_model() {
+        use clockless_core::model::fig1_model;
+        let mut job = JobSpec::new("j", JobSource::Model(Box::new(fig1_model(3, 4))));
+        job.steps = Some(6);
+        job.overrides = vec![("R2".into(), 100)];
+        let m = job.resolve().expect("rebuilds");
+        assert_eq!(m.cs_max(), 6);
+        assert_eq!(m.registers()[1].init, Value::Num(100));
+        // A steps override that no longer fits the schedule is rejected.
+        job.steps = Some(5);
+        assert!(matches!(job.resolve(), Err(FleetError::Build { .. })));
+        // Unknown registers in overrides are rejected.
+        job.steps = None;
+        job.overrides = vec![("NOPE".into(), 1)];
+        let err = job.resolve().expect_err("unknown register");
+        assert!(err.to_string().contains("unknown register"));
+    }
+
+    #[test]
+    fn hls_sources_synthesize_deterministically() {
+        let job = JobSpec::new("f", JobSource::Hls(HlsWorkload::Fir { taps: 4 }));
+        let a = job.resolve().expect("synthesizes");
+        let b = job.resolve().expect("synthesizes");
+        assert_eq!(
+            clockless_core::text::to_text(&a),
+            clockless_core::text::to_text(&b)
+        );
+        assert!(!a.tuples().is_empty());
+    }
+
+    #[test]
+    fn missing_rtl_file_is_an_io_error() {
+        let job = JobSpec::new("j", JobSource::RtlFile("/nonexistent/nope.rtl".into()));
+        assert!(matches!(job.resolve(), Err(FleetError::Io { .. })));
+    }
+}

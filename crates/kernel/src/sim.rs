@@ -60,6 +60,38 @@ pub struct SimStats {
     pub peak_pending_updates: u64,
 }
 
+impl SimStats {
+    /// Folds another run's counters into this one: cumulative counters
+    /// add, high-water marks (`peak_*`) take the maximum.
+    ///
+    /// This is the aggregation used by batch engines combining many
+    /// independent kernel instances into one total (each instance is a
+    /// separate simulation, so peaks across instances do not stack).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clockless_kernel::SimStats;
+    ///
+    /// let mut total = SimStats { delta_cycles: 10, peak_runnable: 4, ..Default::default() };
+    /// let other = SimStats { delta_cycles: 5, peak_runnable: 9, ..Default::default() };
+    /// total.merge(&other);
+    /// assert_eq!(total.delta_cycles, 15);
+    /// assert_eq!(total.peak_runnable, 9);
+    /// ```
+    pub fn merge(&mut self, other: &SimStats) {
+        self.delta_cycles += other.delta_cycles;
+        self.process_activations += other.process_activations;
+        self.events += other.events;
+        self.driver_updates += other.driver_updates;
+        self.time_advances += other.time_advances;
+        self.wake_filter_hits += other.wake_filter_hits;
+        self.wake_filter_misses += other.wake_filter_misses;
+        self.peak_runnable = self.peak_runnable.max(other.peak_runnable);
+        self.peak_pending_updates = self.peak_pending_updates.max(other.peak_pending_updates);
+    }
+}
+
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -211,3 +211,42 @@ fn vcd_export_of_a_real_run() {
     assert!(vcd.matches("\n#").count() <= 5);
     assert!(vcd.contains("s4 !"));
 }
+
+/// Per-instance isolation audit: the kernel keeps no hidden shared
+/// state, so independent simulators running concurrently on separate
+/// threads produce exactly the counters and values a serial run does.
+/// This is the property the `clockless-fleet` batch engine builds its
+/// determinism guarantee on.
+#[test]
+fn concurrent_instances_are_fully_isolated() {
+    fn build_and_run(n_drivers: i64) -> (SimStats, i64) {
+        let mut sim: Simulator<i64> = Simulator::new();
+        let bus = sim.resolved_signal(
+            "bus",
+            0,
+            Arc::new(|d: &[i64]| d.iter().copied().max().unwrap_or(0)),
+        );
+        for i in 1..=n_drivers {
+            sim.process(
+                format!("d{i}"),
+                &[bus],
+                move |ctx: &mut ProcessCtx<'_, i64>| {
+                    ctx.assign(bus, i);
+                    Wait::Done
+                },
+            );
+        }
+        sim.initialize().unwrap();
+        let stats = sim.run().unwrap();
+        (stats, *sim.value(bus))
+    }
+
+    // Serial reference runs…
+    let reference: Vec<(SimStats, i64)> = (1..=8).map(build_and_run).collect();
+    // …must match the same workloads executed concurrently.
+    let concurrent: Vec<(SimStats, i64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..=8).map(|n| s.spawn(move || build_and_run(n))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(reference, concurrent);
+}

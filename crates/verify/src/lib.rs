@@ -23,6 +23,8 @@
 //!   into runnable models (parser + tuple reconstruction).
 //! * [`lint`] — schedule lints: dead writes, undefined reads, unused
 //!   resources.
+//! * [`sweep`] — the static/dynamic cross-check at batch scale, farming
+//!   traced runs over the `clockless-fleet` worker pool.
 //!
 //! ## Example
 //!
@@ -43,6 +45,7 @@ pub mod equiv;
 pub mod lint;
 pub mod normalize;
 pub mod semantics;
+pub mod sweep;
 pub mod symbolic;
 pub mod vhdl_import;
 
@@ -54,5 +57,6 @@ pub use equiv::{
 pub use lint::{lint_model, Lint};
 pub use normalize::{equivalent, normalize, Atom, Poly};
 pub use semantics::{merge_partials, reconstruct_partials, roundtrip_check, SemanticsError};
+pub use sweep::{conflict_sweep, ConflictSweep, SweepRow};
 pub use symbolic::{symbolic_run, Expr, SymbolicError};
 pub use vhdl_import::{model_from_design, model_from_vhdl, ImportVhdlError};

@@ -17,6 +17,12 @@ cargo test -q --offline
 echo "== workspace tests"
 cargo test -q --workspace --offline
 
+echo "== examples build"
+cargo build --examples --offline
+
+echo "== rustdoc (workspace, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 echo "== bench crate (build + unit tests; benches run via 'cargo bench')"
 cargo test -q --manifest-path crates/bench/Cargo.toml --offline
 cargo build --benches --manifest-path crates/bench/Cargo.toml --offline

@@ -4,6 +4,7 @@
 //! clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
 //! clockless check <model.rtl>
 //! clockless stats <model.rtl> [--json]
+//! clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
 //! clockless vhdl <model.rtl> [--clocked]
 //! clockless explain "<tuple>"
@@ -19,6 +20,7 @@ use clockless::clocked::{check_clocked_equivalence, ClockScheme, ClockedDesign};
 use clockless::core::text::parse_model;
 use clockless::core::transcript::transcript;
 use clockless::core::{RtModel, RtSimulation, TransferTuple};
+use clockless::fleet::BatchSpec;
 use clockless::kernel::NS;
 use clockless::verify::{cross_check, roundtrip_check};
 
@@ -27,6 +29,7 @@ fn usage() -> ExitCode {
         "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n  \
          clockless check <model.rtl>\n  \
          clockless stats <model.rtl> [--json]\n  \
+         clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
          clockless vhdl <model.rtl> [--clocked]\n  \
          clockless explain \"<tuple>\""
@@ -166,6 +169,32 @@ fn cmd_stats(path: &str, json: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(inputs: &[&str], jobs: usize, json: bool, timing: bool) -> Result<(), String> {
+    let spec = match inputs {
+        [] => return Err("fleet needs a .fleet spec or .rtl model files".into()),
+        [single] if single.ends_with(".fleet") => {
+            BatchSpec::load(single).map_err(|e| e.to_string())?
+        }
+        paths => {
+            if let Some(bad) = paths.iter().find(|p| p.ends_with(".fleet")) {
+                return Err(format!("spec file {bad} cannot be mixed with model paths"));
+            }
+            BatchSpec::from_rtl_paths(paths.iter().copied())
+        }
+    };
+    let report = clockless::fleet::run_batch(&spec, jobs).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", report.to_json(timing));
+    } else {
+        print!("{report}");
+        let conflicted = report.conflicted_jobs();
+        if conflicted > 0 {
+            println!("{conflicted} job(s) reported resource conflicts (see --json for sites)");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_vhdl(path: &str, clocked: bool) -> Result<(), String> {
     let model = load(path)?;
     let text = if clocked {
@@ -223,6 +252,31 @@ fn main() -> ExitCode {
             };
             let json = args.iter().any(|a| a == "--json");
             cmd_stats(path, json)
+        }
+        "fleet" => {
+            let json = args.iter().any(|a| a == "--json");
+            let timing = args.iter().any(|a| a == "--timing");
+            let jobs_pos = args.iter().position(|a| a == "--jobs");
+            let jobs = match jobs_pos {
+                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => return usage(),
+                },
+                None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            };
+            // Positional inputs: everything that is neither a flag nor
+            // the value following `--jobs`.
+            let mut positional: Vec<&str> = Vec::new();
+            for (i, a) in args.iter().enumerate().skip(1) {
+                if a.starts_with("--") || jobs_pos.is_some_and(|p| i == p + 1) {
+                    continue;
+                }
+                positional.push(a.as_str());
+            }
+            if positional.is_empty() {
+                return usage();
+            }
+            cmd_fleet(&positional, jobs, json, timing)
         }
         "translate" => {
             let Some(path) = args.get(1) else {

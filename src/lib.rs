@@ -19,6 +19,8 @@
 //!    emit synthesizable VHDL ([`clocked::emit_clocked_vhdl`]).
 //! 5. Or run the paper's own application: the IKS chip from microcode
 //!    ([`iks::build_ik_chip`]).
+//! 6. Sweep many models/stimuli at once with the parallel batch engine
+//!    ([`fleet::run_batch`]) — deterministic results on any worker count.
 //!
 //! ```
 //! use clockless::core::model::fig1_model;
@@ -39,9 +41,11 @@
 //! * [`clocked`] — translation to clocked RTL plus the handshake baseline.
 //! * [`iks`] — the inverse-kinematics-solution chip application.
 //! * [`verify`] — formal semantics, conflict checking and equivalence.
+//! * [`fleet`] — deterministic parallel batch runs over job queues.
 
 pub use clockless_clocked as clocked;
 pub use clockless_core as core;
+pub use clockless_fleet as fleet;
 pub use clockless_hls as hls;
 pub use clockless_iks as iks;
 pub use clockless_kernel as kernel;

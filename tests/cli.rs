@@ -346,3 +346,103 @@ fn iks_corpus_model_solves_the_pose_via_the_cli_path() {
     assert_eq!(summary.register("J0").unwrap().num(), Some(golden.theta1));
     assert_eq!(summary.register("J1").unwrap().num(), Some(golden.theta2));
 }
+
+#[test]
+fn fleet_json_is_byte_identical_across_worker_counts() {
+    let models = [
+        repo_path("models/fig1.rtl"),
+        repo_path("models/accumulate.rtl"),
+        repo_path("models/multiop.rtl"),
+        repo_path("models/conflict.rtl"),
+    ];
+    let run = |jobs: &str| {
+        let mut cmd = cli();
+        cmd.arg("fleet")
+            .args(&models)
+            .args(["--jobs", jobs, "--json"]);
+        let out = cmd.output().expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(one, four, "fleet --json must not depend on worker count");
+    let text = String::from_utf8_lossy(&one);
+    assert!(text.contains("\"jobs\": 4"), "{text}");
+    assert!(text.contains("\"conflicted_jobs\": 1"), "{text}");
+    assert!(text.contains("ILLEGAL on bus `X`"), "{text}");
+    // The deterministic rendering carries no machine-local wall times.
+    assert!(!text.contains("wall_ns"), "{text}");
+}
+
+#[test]
+fn fleet_runs_a_spec_file_with_stimulus_overrides() {
+    let tmp = std::env::temp_dir().join("clockless_cli_fleet_spec");
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+    std::fs::copy(repo_path("models/fig1.rtl"), tmp.join("fig1.rtl")).expect("copied");
+    std::fs::write(
+        tmp.join("sweep.fleet"),
+        "fleet cli_test\n\
+         job base rtl fig1.rtl\n\
+         job stim rtl fig1.rtl init R1=40 init R2=2\n\
+         job sched hls fir 4\n",
+    )
+    .expect("written");
+    let out = cli()
+        .args([
+            "fleet",
+            &tmp.join("sweep.fleet").to_string_lossy(),
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 jobs"), "{stdout}");
+    for job in ["base", "stim", "sched"] {
+        assert!(stdout.contains(job), "{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn fleet_runs_the_committed_demo_spec() {
+    // models/demo.fleet is the spec the README points at — keep it green.
+    let out = cli()
+        .args(["fleet", &repo_path("models/demo.fleet"), "--jobs", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 jobs"), "{stdout}");
+    for job in ["fig1_stim", "fir_sched", "ik_pose"] {
+        assert!(stdout.contains(job), "{stdout}");
+    }
+}
+
+#[test]
+fn fleet_malformed_spec_fails_with_line_number() {
+    let tmp = std::env::temp_dir().join("clockless_cli_bad.fleet");
+    std::fs::write(&tmp, "fleet bad\njob x hls fir not_a_number\n").expect("written");
+    let out = cli()
+        .args(["fleet", &tmp.to_string_lossy()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("spec line 2"), "{stderr}");
+    assert!(stderr.contains("not a valid number"), "{stderr}");
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn fleet_without_inputs_is_a_usage_error() {
+    let out = cli().args(["fleet"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cli()
+        .args(["fleet", "--jobs", "zero", &repo_path("models/fig1.rtl")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
