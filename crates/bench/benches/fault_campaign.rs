@@ -1,0 +1,151 @@
+//! Writes `BENCH_faults.json` at the repository root: throughput of
+//! seeded fault-injection campaigns (`clockless_verify::faults`) over
+//! the Fig. 1 model and two synthetic HLS schedules, at 1/2/4 workers.
+//!
+//! Per the workspace convention, counters (`faults`, `detected`,
+//! `silent`, `coverage`, `deterministic`) are machine-independent;
+//! `wall_ns` and the derived `faults_per_sec` are machine-local. The
+//! `deterministic` field asserts that the multi-worker campaign report
+//! is byte-identical to the 1-worker run — the whole point of seeding.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use clockless_core::model::fig1_model;
+use clockless_core::RtModel;
+use clockless_hls::{fir, random_dag, synthesize, ResourceSet};
+use clockless_verify::{run_campaign, CampaignConfig};
+
+/// One (model, worker-count) measurement.
+struct Row {
+    model: &'static str,
+    workers: usize,
+    faults: usize,
+    detected: usize,
+    silent: usize,
+    coverage: f64,
+    wall_ns: u64,
+    faults_per_sec: f64,
+    deterministic: bool,
+}
+
+/// Synthesizes an HLS workload with unconstrained resources and
+/// deterministic inputs (mirrors the fleet spec resolver).
+fn hls_model(dfg: clockless_hls::Dfg) -> RtModel {
+    let resources = ResourceSet::unconstrained(&dfg);
+    let names = dfg.inputs();
+    let inputs: HashMap<&str, i64> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as i64 + 1))
+        .collect();
+    synthesize(&dfg, &resources, &inputs)
+        .expect("synthesizes")
+        .model
+}
+
+/// Best-of-3 wall time for one campaign configuration.
+fn time_campaign(model: &RtModel, config: &CampaignConfig) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let report = run_campaign(model, config).expect("campaign runs");
+        let ns = t.elapsed().as_nanos() as u64;
+        std::hint::black_box(report);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let targets: [(&'static str, RtModel); 3] = [
+        ("fig1", fig1_model(3, 4)),
+        (
+            "fir12",
+            hls_model(fir(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])),
+        ),
+        ("dag48", hls_model(random_dag(7, 48, 6))),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, model) in &targets {
+        let reference = run_campaign(
+            model,
+            &CampaignConfig {
+                workers: 1,
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("campaign runs");
+        let reference_json = reference.to_json();
+        for workers in [1usize, 2, 4] {
+            let config = CampaignConfig {
+                workers,
+                ..CampaignConfig::default()
+            };
+            let report = run_campaign(model, &config).expect("campaign runs");
+            let deterministic = report.to_json() == reference_json;
+            assert!(deterministic, "{name}@{workers} diverged from 1-worker run");
+            let wall_ns = time_campaign(model, &config);
+            let faults_per_sec = report.rows.len() as f64 / (wall_ns as f64 / 1e9);
+            rows.push(Row {
+                model: name,
+                workers,
+                faults: report.rows.len(),
+                detected: report.detected(),
+                silent: report.silent(),
+                coverage: report.coverage(),
+                wall_ns,
+                faults_per_sec,
+                deterministic,
+            });
+            eprintln!(
+                "{name:<8} workers={workers} faults={} detected={} wall={:.3} ms ({:.0} faults/s)",
+                report.rows.len(),
+                report.detected(),
+                wall_ns as f64 / 1e6,
+                faults_per_sec
+            );
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo bench --manifest-path crates/bench/Cargo.toml \
+         --bench fault_campaign\",\n",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"model\": \"{}\", \"workers\": {}, \"faults\": {}, \"detected\": {}, \
+             \"silent\": {}, \"coverage\": {:.4}, \"wall_ns\": {}, \"faults_per_sec\": {:.0}, \
+             \"deterministic\": {}}}{}",
+            r.model,
+            r.workers,
+            r.faults,
+            r.detected,
+            r.silent,
+            r.coverage,
+            r.wall_ns,
+            r.faults_per_sec,
+            r.deterministic,
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_faults.json");
+    std::fs::write(&path, out).expect("writes BENCH_faults.json");
+    eprintln!(
+        "fault campaign: {} rows written to {}",
+        rows.len(),
+        path.canonicalize().unwrap_or(path).display()
+    );
+}

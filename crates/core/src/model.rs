@@ -395,6 +395,104 @@ impl RtModel {
         }
     }
 
+    /// Overwrites a register's initial value in place.
+    ///
+    /// This is a **mutation helper** for fault-injection campaigns
+    /// (stuck-at-`DISC` and corrupted-init faults in
+    /// `clockless-verify::faults`); regular model construction should pass
+    /// the init to [`add_register_init`](Self::add_register_init).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownRegister`] if no register of this name exists.
+    pub fn set_register_init(&mut self, name: &str, init: Value) -> Result<(), ModelError> {
+        let id = self
+            .register_by_name(name)
+            .ok_or_else(|| ModelError::UnknownRegister(name.to_string()))?;
+        self.registers[id.0 as usize].init = init;
+        Ok(())
+    }
+
+    /// Removes and returns the transfer at `index`, or `None` when the
+    /// index is out of range.
+    ///
+    /// A mutation helper for dropped-tuple fault campaigns; the remaining
+    /// tuples keep their relative order (and stay valid — removing a
+    /// transfer cannot violate any scheduling invariant).
+    pub fn remove_transfer(&mut self, index: usize) -> Option<TransferTuple> {
+        if index < self.tuples.len() {
+            Some(self.tuples.remove(index))
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the transfer at `index` with `tuple`, checking only that
+    /// the referenced resources exist and every step lies in
+    /// `1..=cs_max` — **not** the timing/arity invariants of
+    /// [`validate_tuple`](Self::validate_tuple).
+    ///
+    /// This is the escape hatch fault-injection campaigns use to build
+    /// step-skewed mutants (write-back at `stepW ± 1`), which the regular
+    /// validation rightly rejects with [`ModelError::WrongWriteStep`].
+    /// Elaboration handles any resource-valid tuple, so such mutants still
+    /// simulate — they just misbehave, which is the point.
+    ///
+    /// Returns the replaced tuple.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] if a referenced resource is unknown, a step is out
+    /// of range, or the tuple is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn replace_transfer_unchecked(
+        &mut self,
+        index: usize,
+        tuple: TransferTuple,
+    ) -> Result<TransferTuple, ModelError> {
+        assert!(
+            index < self.tuples.len(),
+            "transfer index {index} out of range ({} tuples)",
+            self.tuples.len()
+        );
+        self.validate_tuple_resources(&tuple)?;
+        Ok(std::mem::replace(&mut self.tuples[index], tuple))
+    }
+
+    /// The resource-existence subset of
+    /// [`validate_tuple`](Self::validate_tuple): everything the elaborator
+    /// needs to instantiate processes, nothing about timing.
+    fn validate_tuple_resources(&self, tuple: &TransferTuple) -> Result<(), ModelError> {
+        if tuple.src_a.is_none() && tuple.src_b.is_none() && tuple.write.is_none() {
+            return Err(ModelError::EmptyTransfer);
+        }
+        self.check_step(tuple.read_step)?;
+        if self.module_by_name(&tuple.module).is_none() {
+            return Err(ModelError::UnknownModule(tuple.module.clone()));
+        }
+        for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
+            if self.register_by_name(&route.register).is_none() {
+                return Err(ModelError::UnknownRegister(route.register.clone()));
+            }
+            if self.bus_by_name(&route.bus).is_none() {
+                return Err(ModelError::UnknownBus(route.bus.clone()));
+            }
+        }
+        if let Some(w) = &tuple.write {
+            self.check_step(w.step)?;
+            if self.bus_by_name(&w.bus).is_none() {
+                return Err(ModelError::UnknownBus(w.bus.clone()));
+            }
+            if self.register_by_name(&w.register).is_none() {
+                return Err(ModelError::UnknownRegister(w.register.clone()));
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuilds the name indices; required after deserialization (they are
     /// not serialized).
     pub fn rebuild_indices(&mut self) {
@@ -552,6 +650,61 @@ mod tests {
                 cs_max: 10
             })
         );
+    }
+
+    #[test]
+    fn set_register_init_mutates_in_place() {
+        let mut m = fig1_model(3, 4);
+        m.set_register_init("R1", Value::Disc).unwrap();
+        assert_eq!(m.registers()[0].init, Value::Disc);
+        assert_eq!(
+            m.set_register_init("NOPE", Value::Num(1)),
+            Err(ModelError::UnknownRegister("NOPE".into()))
+        );
+    }
+
+    #[test]
+    fn remove_transfer_pops_by_index() {
+        let mut m = fig1_model(3, 4);
+        assert!(m.remove_transfer(7).is_none());
+        let t = m.remove_transfer(0).expect("in range");
+        assert_eq!(t.module, "ADD");
+        assert!(m.tuples().is_empty());
+        assert!(m.remove_transfer(0).is_none());
+    }
+
+    #[test]
+    fn replace_transfer_unchecked_allows_skewed_writes() {
+        let mut m = fig1_model(3, 4);
+        let mut skew = m.tuples()[0].clone();
+        skew.write.as_mut().unwrap().step = 7; // latency requires 6
+                                               // The validated path rejects the skew…
+        assert!(matches!(
+            m.validate_tuple(&skew),
+            Err(ModelError::WrongWriteStep {
+                got: 7,
+                expected: 6
+            })
+        ));
+        // …the fault-injection escape hatch accepts it (resources exist,
+        // steps are in range) and returns the original.
+        let old = m.replace_transfer_unchecked(0, skew.clone()).unwrap();
+        assert_eq!(old.write.as_ref().unwrap().step, 6);
+        assert_eq!(m.tuples()[0], skew);
+        // Resource checks still bite: an unknown bus is refused.
+        let mut bad = skew.clone();
+        bad.write.as_mut().unwrap().bus = "BX".into();
+        assert_eq!(
+            m.replace_transfer_unchecked(0, bad),
+            Err(ModelError::UnknownBus("BX".into()))
+        );
+        // As is a step outside 1..=cs_max.
+        let mut oor = skew;
+        oor.write.as_mut().unwrap().step = 8;
+        assert!(matches!(
+            m.replace_transfer_unchecked(0, oor),
+            Err(ModelError::StepOutOfRange { step: 8, cs_max: 7 })
+        ));
     }
 
     #[test]

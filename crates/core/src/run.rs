@@ -150,6 +150,16 @@ impl RtSimulation {
         Ok(true)
     }
 
+    /// Sets the kernel's per-instant delta-cycle budget (default 10^8).
+    ///
+    /// A well-formed RT model quiesces after exactly
+    /// `1 + 6 × CS_MAX` delta cycles, so batch engines and fault
+    /// campaigns set a tight budget here to turn runaway mutants into
+    /// [`KernelError::DeltaOverflow`] instead of hung workers.
+    pub fn set_delta_limit(&mut self, limit: u64) {
+        self.sim.set_delta_limit(limit);
+    }
+
     /// Runs to quiescence and summarizes.
     ///
     /// # Errors
@@ -157,6 +167,27 @@ impl RtSimulation {
     /// Propagates kernel errors.
     pub fn run_to_completion(&mut self) -> Result<RunSummary, KernelError> {
         let stats = self.sim.run()?;
+        Ok(RunSummary {
+            stats,
+            registers: self.registers(),
+            conflicts: self.conflicts(),
+        })
+    }
+
+    /// Runs to quiescence like
+    /// [`run_to_completion`](Self::run_to_completion), but aborts with
+    /// [`KernelError::WallBudgetExceeded`] once the wall clock passes
+    /// `deadline` — the enforcement point for the fleet engine's
+    /// `--wall-budget-ms` option.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors, including the budget timeout.
+    pub fn run_to_completion_deadlined(
+        &mut self,
+        deadline: std::time::Instant,
+    ) -> Result<RunSummary, KernelError> {
+        let stats = self.sim.run_deadlined(deadline)?;
         Ok(RunSummary {
             stats,
             registers: self.registers(),
@@ -435,6 +466,79 @@ mod tests {
         assert_eq!(first.site, ConflictSite::Bus);
         assert_eq!(first.name, "B1");
         assert_eq!(first.visible_at, PhaseTime::new(3, Phase::Rb));
+    }
+
+    /// Write-back collisions localize to the *write* phases: a bus driven
+    /// twice at `wa` turns ILLEGAL at `wb`, the double-driven register
+    /// input port turns ILLEGAL at `cr`, and the poisoned value is stored
+    /// — covering the paper's claim that diagnosis names the exact step
+    /// and phase for every phase class, not just the read side.
+    #[test]
+    fn write_conflict_is_localized_to_write_phases() {
+        let mut m = RtModel::new("wclash", 4);
+        m.add_register_init("R1", Value::Num(1)).unwrap();
+        m.add_register_init("R2", Value::Num(2)).unwrap();
+        m.add_register("RT").unwrap();
+        m.add_bus("BA").unwrap();
+        m.add_bus("BB").unwrap();
+        m.add_bus("BW").unwrap();
+        for name in ["CP1", "CP2"] {
+            m.add_module(ModuleDecl::single(
+                name,
+                Op::PassA,
+                ModuleTiming::Combinational,
+            ))
+            .unwrap();
+        }
+        // Both transfers write bus BW into RT in step 2 — colliding at wa
+        // (bus) and wb (register port), not at the read phases.
+        m.add_transfer(
+            TransferTuple::new(2, "CP1")
+                .src_a("R1", "BA")
+                .write(2, "BW", "RT"),
+        )
+        .unwrap();
+        m.add_transfer(
+            TransferTuple::new(2, "CP2")
+                .src_a("R2", "BB")
+                .write(2, "BW", "RT"),
+        )
+        .unwrap();
+
+        let mut sim = RtSimulation::traced(&m).unwrap();
+        sim.run_to_completion().unwrap();
+        let report = sim.conflicts().unwrap();
+        // Root cause: the bus collision driven at wa, visible at wb.
+        let first = report.first().unwrap();
+        assert_eq!(first.site, ConflictSite::Bus);
+        assert_eq!(first.name, "BW");
+        assert_eq!(first.visible_at, PhaseTime::new(2, Phase::Wb));
+        // Propagation: the register input port turns ILLEGAL at cr…
+        assert!(report.on("RT").any(|c| c.site == ConflictSite::RegisterPort
+            && c.visible_at == PhaseTime::new(2, Phase::Cr)));
+        // …and the stored conflict poisons the register itself.
+        assert_eq!(sim.register_value("RT"), Some(Value::Illegal));
+        assert_eq!(sim.poisoned_registers(), vec!["RT".to_string()]);
+        // The read side stayed clean: no conflict before wb.
+        assert!(report
+            .conflicts
+            .iter()
+            .all(|c| c.visible_at >= PhaseTime::new(2, Phase::Wb)));
+    }
+
+    #[test]
+    fn delta_limit_plumbs_through_to_the_kernel() {
+        let model = fig1_model(3, 4);
+        // A fig. 1 run needs 1 + 6×7 deltas; a budget of 10 must abort.
+        let mut sim = RtSimulation::new(&model).unwrap();
+        sim.set_delta_limit(10);
+        let err = sim.run_to_completion().expect_err("budget exceeded");
+        assert!(matches!(err, KernelError::DeltaOverflow { limit: 10, .. }));
+        // A budget of exactly 1 + 6×CS_MAX suffices.
+        let mut sim = RtSimulation::new(&model).unwrap();
+        sim.set_delta_limit(1 + PHASES_PER_STEP * model.cs_max() as u64);
+        let summary = sim.run_to_completion().expect("exact budget suffices");
+        assert_eq!(summary.register("R1"), Some(Value::Num(7)));
     }
 
     #[test]

@@ -194,7 +194,8 @@ impl RunStatsReport {
             out,
             "  \"kernel\": {{\"delta_cycles\": {}, \"process_activations\": {}, \"events\": {}, \
              \"driver_updates\": {}, \"time_advances\": {}, \"wake_filter_hits\": {}, \
-             \"wake_filter_misses\": {}, \"peak_runnable\": {}, \"peak_pending_updates\": {}}},",
+             \"wake_filter_misses\": {}, \"peak_runnable\": {}, \"peak_pending_updates\": {}, \
+             \"injected_faults\": {}, \"retries\": {}}},",
             k.delta_cycles,
             k.process_activations,
             k.events,
@@ -203,7 +204,9 @@ impl RunStatsReport {
             k.wake_filter_hits,
             k.wake_filter_misses,
             k.peak_runnable,
-            k.peak_pending_updates
+            k.peak_pending_updates,
+            k.injected_faults,
+            k.retries
         );
         out.push_str("  \"process_activations\": [\n");
         for (i, (name, n)) in self.activations.iter().enumerate() {

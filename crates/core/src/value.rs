@@ -223,6 +223,31 @@ mod tests {
     }
 
     #[test]
+    fn illegal_absorbs_any_codriver_set() {
+        use Value::*;
+        // ILLEGAL wins regardless of its position or what rides along —
+        // once a conflict (or poisoned value) is on the wire, nothing
+        // launders it.
+        for pos in 0..4 {
+            for filler in [Disc, Num(7), Num(-3)] {
+                let mut drivers = vec![filler; 4];
+                drivers[pos] = Illegal;
+                assert_eq!(resolve(&drivers), Illegal, "{drivers:?}");
+            }
+        }
+        assert_eq!(resolve(&[Illegal, Illegal, Illegal]), Illegal);
+    }
+
+    #[test]
+    fn all_disc_driver_sets_resolve_to_disc() {
+        use Value::*;
+        // A quiet bus stays DISC for any number of released drivers.
+        for n in 0..32 {
+            assert_eq!(resolve(&vec![Disc; n]), Disc, "{n} DISC drivers");
+        }
+    }
+
+    #[test]
     fn display_forms() {
         assert_eq!(Value::Disc.to_string(), "DISC");
         assert_eq!(Value::Illegal.to_string(), "ILLEGAL");

@@ -1,5 +1,5 @@
-//! The parallel batch engine: a `std::thread` worker pool over a shared
-//! job queue.
+//! The parallel batch engine: a fault-tolerant `std::thread` worker pool
+//! over a shared job queue.
 //!
 //! The design follows the shape Strauch's *Deriving AOC C-Models … for
 //! Single- or Multi-Threaded Execution* derives for RT-level simulation:
@@ -11,33 +11,61 @@
 //! isolation test in `clockless-kernel`) — so the engine is
 //! **deterministic by construction**: results land in spec order and are
 //! bit-identical for any worker count.
+//!
+//! Fault tolerance is layered on top of that determinism rather than
+//! against it. Every job runs behind a [`std::panic::catch_unwind`]
+//! fence, failures are retried up to a configured bound and then
+//! **quarantined** as [`JobOutcome::Failed`] rows instead of aborting the
+//! batch, and both shared locks recover from poisoning (a panicking peer
+//! cannot take the queue down with it). Budgets — a delta-cycle cap and a
+//! wall-clock deadline — turn runaway jobs into classified failures. The
+//! legacy fail-fast behaviour remains available via
+//! [`FleetConfig::fail_fast`].
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use clockless_core::{RtModel, RtSimulation};
+use clockless_kernel::KernelError;
 
-use crate::report::{FleetReport, JobResult};
-use crate::spec::{BatchSpec, FleetError};
+use crate::report::{FailureKind, FleetReport, JobFailure, JobOutcome, JobResult};
+use crate::spec::{BatchSpec, ChaosProbe, FleetError};
 
-/// Runs every job of `spec` on a pool of `workers` threads and
-/// aggregates the results.
+/// Execution policy for a batch: failure handling and budgets.
 ///
-/// Jobs are resolved to models up front (sequentially — parse errors
-/// carry clean line/job attribution), then executed in parallel. Passing
-/// `workers == 0` or `1` runs the batch on a single worker; the report
-/// is identical either way apart from the machine-local wall-clock
-/// fields.
+/// The default is the fault-tolerant mode: keep going past failures
+/// (quarantining them), no retries, no budgets beyond the kernel's own
+/// runaway delta limit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Abort the batch on the first failure (lowest spec index wins, so
+    /// even the error is deterministic) instead of quarantining it.
+    pub fail_fast: bool,
+    /// How many times a failing job is re-executed before quarantine.
+    /// Build failures are never retried — re-parsing the same text is
+    /// deterministic.
+    pub max_retries: u32,
+    /// Delta-cycle budget per job. When a job also carries its own
+    /// `budget` in the spec, the smaller of the two wins. Exhausting it
+    /// classifies the job as [`FailureKind::DeltaBudget`].
+    pub delta_budget: Option<u64>,
+    /// Wall-clock budget per job attempt. Exhausting it classifies the
+    /// job as [`FailureKind::WallBudget`].
+    pub wall_budget: Option<Duration>,
+}
+
+/// Runs every job of `spec` with the default fault-tolerant
+/// [`FleetConfig`] (keep going, no retries, no budgets).
+///
+/// Failed jobs are quarantined as [`JobOutcome::Failed`] rows; the batch
+/// itself only errors on an empty spec. See [`run_batch_with`] for the
+/// configurable variant (including the legacy fail-fast behaviour).
 ///
 /// # Errors
 ///
 /// * [`FleetError::EmptyBatch`] for a spec with no jobs.
-/// * [`FleetError::Io`] / [`FleetError::Build`] when a job's model
-///   cannot be materialized.
-/// * [`FleetError::Run`] when a simulation fails (e.g. delta overflow);
-///   the error reported is the failing job with the lowest index, so
-///   even failures are deterministic.
 ///
 /// # Examples
 ///
@@ -57,29 +85,84 @@ use crate::spec::{BatchSpec, FleetError};
 /// # Ok::<(), clockless_fleet::FleetError>(())
 /// ```
 pub fn run_batch(spec: &BatchSpec, workers: usize) -> Result<FleetReport, FleetError> {
+    run_batch_with(spec, workers, &FleetConfig::default())
+}
+
+/// One resolved queue entry: what a worker needs to run the job.
+struct ResolvedJob {
+    name: String,
+    model: Result<RtModel, FleetError>,
+    delta_budget: Option<u64>,
+    chaos: Option<ChaosProbe>,
+}
+
+/// Runs every job of `spec` on a pool of `workers` threads under the
+/// given [`FleetConfig`] and aggregates the results.
+///
+/// Jobs are resolved to models up front (sequentially — parse errors
+/// carry clean line/job attribution), then executed in parallel. Passing
+/// `workers == 0` or `1` runs the batch on a single worker; the report
+/// is identical either way apart from the machine-local wall-clock
+/// fields.
+///
+/// In the default keep-going mode a failing job — build error, kernel
+/// error, panic, or exhausted budget — is retried up to
+/// `config.max_retries` times (builds excepted) and then quarantined,
+/// while every other job completes normally. `JobResult::stats.retries`
+/// records the re-executions a flaky-but-eventually-green job consumed.
+///
+/// # Errors
+///
+/// * [`FleetError::EmptyBatch`] for a spec with no jobs.
+/// * With `config.fail_fast`: the failure of the failing job with the
+///   lowest spec index, translated per kind — [`FleetError::Io`] /
+///   [`FleetError::Build`] for materialization failures,
+///   [`FleetError::Run`], [`FleetError::Panicked`], or
+///   [`FleetError::Budget`] for execution failures.
+pub fn run_batch_with(
+    spec: &BatchSpec,
+    workers: usize,
+    config: &FleetConfig,
+) -> Result<FleetReport, FleetError> {
     if spec.jobs.is_empty() {
         return Err(FleetError::EmptyBatch);
     }
-    let resolved: Vec<(String, RtModel)> = spec
-        .jobs
-        .iter()
-        .map(|j| j.resolve().map(|m| (j.name.clone(), m)))
-        .collect::<Result<_, _>>()?;
+    install_quiet_panic_hook();
+    let mut resolved = Vec::with_capacity(spec.jobs.len());
+    for j in &spec.jobs {
+        let model = j.resolve();
+        if config.fail_fast {
+            // Preserve the legacy contract: resolution errors (Io/Build,
+            // with line/job attribution) abort before anything runs.
+            if let Err(e) = model {
+                return Err(e);
+            }
+        }
+        resolved.push(ResolvedJob {
+            name: j.name.clone(),
+            model,
+            delta_budget: min_budget(config.delta_budget, j.delta_budget),
+            chaos: match j.source {
+                crate::spec::JobSource::Chaos(p) => Some(p),
+                _ => None,
+            },
+        });
+    }
 
     let worker_count = workers.max(1).min(resolved.len());
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..resolved.len()).collect());
-    let slots: Vec<Mutex<Option<Result<JobResult, FleetError>>>> =
-        resolved.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<JobOutcome>>> = resolved.iter().map(|_| Mutex::new(None)).collect();
 
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop_front();
+                // Poison-tolerant: a panic on a sibling worker (outside
+                // the catch_unwind fence) must not wedge the queue.
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                 let Some(i) = next else { break };
-                let (name, model) = &resolved[i];
-                let outcome = run_job(name, model);
-                *slots[i].lock().expect("slot lock") = Some(outcome);
+                let outcome = run_job_with_retries(&resolved[i], config);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
             });
         }
     });
@@ -89,13 +172,25 @@ pub fn run_batch(spec: &BatchSpec, workers: usize) -> Result<FleetReport, FleetE
     for slot in slots {
         let outcome = slot
             .into_inner()
-            .expect("slot lock")
+            .unwrap_or_else(|e| e.into_inner())
             .expect("every queued job ran");
-        jobs.push(outcome?);
+        jobs.push(outcome);
     }
+
+    if config.fail_fast {
+        // Deterministic even under parallel execution: the *lowest-index*
+        // failure is reported, whatever order the workers hit them in.
+        if let Some(q) = jobs.iter().find_map(|j| j.failure()) {
+            return Err(failure_to_error(q));
+        }
+    }
+
     let mut totals = clockless_kernel::SimStats::default();
     for j in &jobs {
-        totals.merge(&j.stats);
+        match j {
+            JobOutcome::Ok(r) => totals.merge(&r.stats),
+            JobOutcome::Failed(q) => totals.retries += q.retries,
+        }
     }
     Ok(FleetReport {
         jobs,
@@ -105,18 +200,153 @@ pub fn run_batch(spec: &BatchSpec, workers: usize) -> Result<FleetReport, FleetE
     })
 }
 
-/// Runs one job on a fresh, private kernel instance (always traced, so
-/// conflict diagnoses are available in the report).
-fn run_job(name: &str, model: &RtModel) -> Result<JobResult, FleetError> {
-    let run_err = |msg: String| FleetError::Run {
-        job: name.to_string(),
-        msg,
+std::thread_local! {
+    /// `true` while this thread is inside the worker's `catch_unwind`
+    /// fence — panics there are caught, classified and reported in the
+    /// fleet report, so the default print-a-backtrace hook only adds
+    /// noise.
+    static FENCED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that stays silent for panics
+/// the engine is about to catch and defers to the previous hook for
+/// everything else.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !FENCED.with(|f| f.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The smaller of two optional budgets (absent means unbounded).
+fn min_budget(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Translates a quarantined failure into the legacy fail-fast error.
+fn failure_to_error(q: &JobFailure) -> FleetError {
+    let job = q.name.clone();
+    let msg = q.error.clone();
+    match q.kind {
+        FailureKind::Build => FleetError::Build { job, msg },
+        FailureKind::Run => FleetError::Run { job, msg },
+        FailureKind::Panicked => FleetError::Panicked { job, msg },
+        FailureKind::DeltaBudget | FailureKind::WallBudget => FleetError::Budget { job, msg },
+    }
+}
+
+/// Runs one job behind the panic fence, retrying per `config`, and
+/// classifies the outcome.
+fn run_job_with_retries(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
+    let model = match &job.model {
+        Ok(m) => m,
+        Err(e) => {
+            // Build failures are deterministic; retrying would re-parse
+            // the same bytes.
+            return JobOutcome::Failed(JobFailure {
+                name: job.name.clone(),
+                kind: FailureKind::Build,
+                error: build_error_text(e),
+                retries: 0,
+            });
+        }
     };
+    let mut attempt: u64 = 0;
+    loop {
+        FENCED.with(|f| f.set(true));
+        let fenced = catch_unwind(AssertUnwindSafe(|| {
+            run_job(
+                &job.name,
+                model,
+                job.delta_budget,
+                config.wall_budget,
+                job.chaos,
+            )
+        }));
+        FENCED.with(|f| f.set(false));
+        let failure = match fenced {
+            Ok(Ok(mut result)) => {
+                result.stats.retries = attempt;
+                return JobOutcome::Ok(Box::new(result));
+            }
+            Ok(Err((kind, error))) => (kind, error),
+            Err(payload) => (FailureKind::Panicked, panic_message(payload.as_ref())),
+        };
+        if attempt >= u64::from(config.max_retries) {
+            return JobOutcome::Failed(JobFailure {
+                name: job.name.clone(),
+                kind: failure.0,
+                error: failure.1,
+                retries: attempt,
+            });
+        }
+        attempt += 1;
+    }
+}
+
+/// Extracts the message a job's resolution error carries, without the
+/// job-name prefix the report row already provides.
+fn build_error_text(e: &FleetError) -> String {
+    match e {
+        FleetError::Build { msg, .. } | FleetError::Io { msg, .. } => msg.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Best-effort rendering of a panic payload (`&str` and `String` cover
+/// every panic the workspace raises).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job on a fresh, private kernel instance (always traced, so
+/// conflict diagnoses are available in the report), enforcing the
+/// configured budgets.
+fn run_job(
+    name: &str,
+    model: &RtModel,
+    delta_budget: Option<u64>,
+    wall_budget: Option<Duration>,
+    chaos: Option<ChaosProbe>,
+) -> Result<JobResult, (FailureKind, String)> {
+    if let Some(probe) = chaos {
+        probe.trip();
+    }
     let t0 = Instant::now();
-    let mut sim = RtSimulation::traced(model).map_err(|e| run_err(e.to_string()))?;
-    let summary = sim
-        .run_to_completion()
-        .map_err(|e| run_err(e.to_string()))?;
+    let mut sim = RtSimulation::traced(model).map_err(|e| (FailureKind::Run, e.to_string()))?;
+    if let Some(budget) = delta_budget {
+        sim.set_delta_limit(budget);
+    }
+    let run = match wall_budget {
+        Some(d) => sim.run_to_completion_deadlined(t0 + d),
+        None => sim.run_to_completion(),
+    };
+    let summary = run.map_err(|e| {
+        let kind = match e {
+            // The delta limit only classifies as a budget failure when a
+            // budget was actually configured; at the kernel's default
+            // runaway limit it is an ordinary run failure (oscillation).
+            KernelError::DeltaOverflow { .. } if delta_budget.is_some() => FailureKind::DeltaBudget,
+            KernelError::WallBudgetExceeded { .. } => FailureKind::WallBudget,
+            _ => FailureKind::Run,
+        };
+        (kind, e.to_string())
+    })?;
     let wall_ns = t0.elapsed().as_nanos() as u64;
     Ok(JobResult {
         name: name.to_string(),
@@ -156,6 +386,23 @@ mod tests {
         BatchSpec { jobs }
     }
 
+    /// A batch mixing clean jobs with every failure mode the engine
+    /// quarantines: a panicking chaos probe, a delta-budget blowout, and
+    /// a build failure.
+    fn hostile_spec() -> BatchSpec {
+        let mut tight = JobSpec::new("tight", JobSource::Model(Box::new(fig1_model(3, 4))));
+        tight.delta_budget = Some(10);
+        BatchSpec {
+            jobs: vec![
+                JobSpec::new("clean_a", JobSource::Model(Box::new(fig1_model(3, 4)))),
+                JobSpec::new("boom", JobSource::Chaos(ChaosProbe::Panic)),
+                tight,
+                JobSpec::new("broken", JobSource::RtlText("not a model".into())),
+                JobSpec::new("clean_b", JobSource::Hls(HlsWorkload::Fir { taps: 4 })),
+            ],
+        }
+    }
+
     #[test]
     fn empty_batch_is_rejected() {
         assert_eq!(
@@ -167,13 +414,20 @@ mod tests {
     #[test]
     fn results_keep_spec_order_and_values() {
         let report = run_batch(&mixed_spec(), 3).expect("runs");
-        let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+        let names: Vec<&str> = report.jobs.iter().map(|j| j.name()).collect();
         assert_eq!(names, ["fig1", "fir", "dag", "fig1_stim"]);
-        assert_eq!(report.jobs[0].register("R1"), Some(Value::Num(7)));
-        assert_eq!(report.jobs[3].register("R1"), Some(Value::Num(42)));
+        assert!(report.jobs.iter().all(|j| j.is_ok()));
+        assert_eq!(
+            report.job("fig1").unwrap().register("R1"),
+            Some(Value::Num(7))
+        );
+        assert_eq!(
+            report.job("fig1_stim").unwrap().register("R1"),
+            Some(Value::Num(42))
+        );
         assert_eq!(report.conflicted_jobs(), 0);
         // Totals are the sum of per-job counters.
-        let deltas: u64 = report.jobs.iter().map(|j| j.stats.delta_cycles).sum();
+        let deltas: u64 = report.results().map(|j| j.stats.delta_cycles).sum();
         assert_eq!(report.totals.delta_cycles, deltas);
     }
 
@@ -185,7 +439,7 @@ mod tests {
             let many = run_batch(&spec, workers).expect("runs");
             assert_eq!(one.to_json(false), many.to_json(false), "{workers} workers");
             // Beyond JSON: the structured rows agree except wall time.
-            for (a, b) in one.jobs.iter().zip(&many.jobs) {
+            for (a, b) in one.results().zip(many.results()) {
                 let mut b = b.clone();
                 b.wall_ns = a.wall_ns;
                 assert_eq!(*a, b);
@@ -218,22 +472,195 @@ mod tests {
         };
         let report = run_batch(&spec, 2).expect("runs");
         assert_eq!(report.conflicted_jobs(), 1);
-        assert!(report.jobs[0].conflicts.is_clean());
-        let first = report.jobs[1].conflicts.first().expect("conflict found");
+        assert!(report.job("clean").unwrap().conflicts.is_clean());
+        let first = report
+            .job("clash")
+            .unwrap()
+            .conflicts
+            .first()
+            .expect("conflict found");
         assert_eq!(first.name, "X");
         let json = report.to_json(false);
         assert!(json.contains("ILLEGAL on bus `X`"), "{json}");
     }
 
     #[test]
-    fn build_failures_name_the_job() {
+    fn build_failures_are_quarantined_by_default() {
         let spec = BatchSpec {
             jobs: vec![JobSpec::new(
                 "broken",
                 JobSource::RtlText("not a model".into()),
             )],
         };
-        let err = run_batch(&spec, 2).expect_err("fails");
+        let report = run_batch(&spec, 2).expect("keep-going survives builds");
+        assert_eq!(report.failed_jobs(), 1);
+        let q = report.quarantined().next().expect("quarantine row");
+        assert_eq!(q.name, "broken");
+        assert_eq!(q.kind, FailureKind::Build);
+        assert_eq!(q.retries, 0, "builds are never retried");
+    }
+
+    #[test]
+    fn fail_fast_restores_the_legacy_build_error() {
+        let spec = BatchSpec {
+            jobs: vec![JobSpec::new(
+                "broken",
+                JobSource::RtlText("not a model".into()),
+            )],
+        };
+        let config = FleetConfig {
+            fail_fast: true,
+            ..FleetConfig::default()
+        };
+        let err = run_batch_with(&spec, 2, &config).expect_err("fails");
         assert!(matches!(err, FleetError::Build { ref job, .. } if job == "broken"));
+    }
+
+    #[test]
+    fn hostile_batch_quarantines_failures_and_keeps_clean_results() {
+        let report = run_batch(&hostile_spec(), 4).expect("keep-going survives");
+        assert_eq!(report.jobs.len(), 5);
+        assert_eq!(report.failed_jobs(), 3);
+        // Clean jobs are intact with their real results.
+        assert_eq!(
+            report.job("clean_a").unwrap().register("R1"),
+            Some(Value::Num(7))
+        );
+        assert!(report.job("clean_b").is_some());
+        // Failures are classified, in spec order.
+        let rows: Vec<(&str, FailureKind)> = report
+            .quarantined()
+            .map(|q| (q.name.as_str(), q.kind))
+            .collect();
+        assert_eq!(
+            rows,
+            [
+                ("boom", FailureKind::Panicked),
+                ("tight", FailureKind::DeltaBudget),
+                ("broken", FailureKind::Build),
+            ]
+        );
+        let boom = report.quarantined().next().unwrap();
+        assert!(boom.error.contains("chaos probe"), "{}", boom.error);
+    }
+
+    #[test]
+    fn hostile_batch_json_is_identical_across_worker_counts() {
+        let spec = hostile_spec();
+        let one = run_batch(&spec, 1).expect("runs");
+        for workers in [2, 4, 8] {
+            let many = run_batch(&spec, workers).expect("runs");
+            assert_eq!(one.to_json(false), many.to_json(false), "{workers} workers");
+        }
+        let json = one.to_json(false);
+        assert!(json.contains("\"quarantine\""), "{json}");
+        assert!(json.contains("\"status\": \"panicked\""), "{json}");
+        assert!(
+            json.contains("\"status\": \"delta-budget-exceeded\""),
+            "{json}"
+        );
+        assert!(json.contains("\"status\": \"build-failed\""), "{json}");
+    }
+
+    #[test]
+    fn retries_are_bounded_and_recorded() {
+        let spec = BatchSpec {
+            jobs: vec![JobSpec::new("boom", JobSource::Chaos(ChaosProbe::Panic))],
+        };
+        let config = FleetConfig {
+            max_retries: 2,
+            ..FleetConfig::default()
+        };
+        let report = run_batch_with(&spec, 1, &config).expect("quarantines");
+        let q = report.quarantined().next().expect("quarantine row");
+        assert_eq!(q.kind, FailureKind::Panicked);
+        assert_eq!(q.retries, 2, "all retries consumed before quarantine");
+        // Failed-job retries still show up in the merged totals.
+        assert_eq!(report.totals.retries, 2);
+    }
+
+    #[test]
+    fn successful_jobs_record_zero_retries() {
+        let report = run_batch(&mixed_spec(), 2).expect("runs");
+        for job in report.results() {
+            assert_eq!(job.stats.retries, 0, "{}", job.name);
+        }
+        assert_eq!(report.totals.retries, 0);
+    }
+
+    #[test]
+    fn fail_fast_reports_the_lowest_index_failure() {
+        // Two failing jobs; whichever worker finishes first, the reported
+        // error must be the lowest spec index ("boom", index 1).
+        let spec = BatchSpec {
+            jobs: vec![
+                JobSpec::new("clean", JobSource::Model(Box::new(fig1_model(1, 1)))),
+                JobSpec::new("boom", JobSource::Chaos(ChaosProbe::Panic)),
+                JobSpec::new("boom_too", JobSource::Chaos(ChaosProbe::Panic)),
+            ],
+        };
+        let config = FleetConfig {
+            fail_fast: true,
+            ..FleetConfig::default()
+        };
+        for workers in [1, 3] {
+            let err = run_batch_with(&spec, workers, &config).expect_err("fails");
+            assert!(
+                matches!(err, FleetError::Panicked { ref job, .. } if job == "boom"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_delta_budget_takes_the_minimum_with_job_budgets() {
+        // Batch budget 10 throttles even jobs without their own budget.
+        let spec = BatchSpec {
+            jobs: vec![JobSpec::new(
+                "fig1",
+                JobSource::Model(Box::new(fig1_model(3, 4))),
+            )],
+        };
+        let config = FleetConfig {
+            delta_budget: Some(10),
+            ..FleetConfig::default()
+        };
+        let report = run_batch_with(&spec, 1, &config).expect("quarantines");
+        let q = report.quarantined().next().expect("quarantine row");
+        assert_eq!(q.kind, FailureKind::DeltaBudget);
+        // A generous batch budget lets fig1 (43 deltas) finish.
+        let config = FleetConfig {
+            delta_budget: Some(1 + 6 * 7),
+            ..FleetConfig::default()
+        };
+        let report = run_batch_with(&spec, 1, &config).expect("runs");
+        assert_eq!(report.failed_jobs(), 0);
+    }
+
+    #[test]
+    fn wall_budget_zero_classifies_as_wall_budget_exceeded() {
+        let spec = BatchSpec {
+            jobs: vec![JobSpec::new(
+                "fig1",
+                JobSource::Model(Box::new(fig1_model(3, 4))),
+            )],
+        };
+        let config = FleetConfig {
+            wall_budget: Some(Duration::ZERO),
+            ..FleetConfig::default()
+        };
+        let report = run_batch_with(&spec, 1, &config).expect("quarantines");
+        let q = report.quarantined().next().expect("quarantine row");
+        assert_eq!(q.kind, FailureKind::WallBudget);
+        assert!(q.error.contains("wall-clock budget"), "{}", q.error);
+    }
+
+    #[test]
+    fn min_budget_prefers_the_tighter_cap() {
+        assert_eq!(min_budget(None, None), None);
+        assert_eq!(min_budget(Some(5), None), Some(5));
+        assert_eq!(min_budget(None, Some(9)), Some(9));
+        assert_eq!(min_budget(Some(5), Some(9)), Some(5));
+        assert_eq!(min_budget(Some(9), Some(5)), Some(5));
     }
 }

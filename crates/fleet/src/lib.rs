@@ -17,11 +17,20 @@
 //! ordered no matter how many workers run, which the test suite asserts
 //! by comparing 1-worker and N-worker reports byte for byte.
 //!
-//! Results aggregate into a [`FleetReport`]: per-job rows (kernel
+//! Results aggregate into a [`FleetReport`]: per-job outcomes (kernel
 //! counters, final registers, conflict diagnoses, wall time) plus merged
 //! totals via [`SimStats::merge`](clockless_kernel::SimStats::merge),
 //! JSON-serializable with the same hand-rolled writer style as the rest
 //! of the workspace (no external crates; tier-1 stays offline).
+//!
+//! The engine is **fault-tolerant by default**: a job that fails to
+//! build, errors, panics, or blows a configured delta/wall budget is
+//! retried up to a bound and then *quarantined* as a
+//! [`JobOutcome::Failed`] row while the rest of the batch completes —
+//! the deterministic JSON (including the quarantine section) stays
+//! byte-identical at any worker count. [`run_batch_with`] takes a
+//! [`FleetConfig`] for budgets, retry bounds, and the legacy fail-fast
+//! mode.
 //!
 //! ## Example
 //!
@@ -38,7 +47,8 @@
 //!
 //! // Jobs come back in spec order regardless of worker count.
 //! assert_eq!(report.jobs.len(), 3);
-//! assert_eq!(report.jobs[2].register("R1"), Some(Value::Num(12)));
+//! assert_eq!(report.failed_jobs(), 0);
+//! assert_eq!(report.job("fig1_2").unwrap().register("R1"), Some(Value::Num(12)));
 //! // Totals merge every job's kernel counters.
 //! assert_eq!(report.totals.delta_cycles, 3 * 43);
 //! # Ok::<(), clockless_fleet::FleetError>(())
@@ -51,6 +61,6 @@ pub mod engine;
 pub mod report;
 pub mod spec;
 
-pub use engine::run_batch;
-pub use report::{FleetReport, JobResult};
-pub use spec::{BatchSpec, FleetError, HlsWorkload, JobSource, JobSpec};
+pub use engine::{run_batch, run_batch_with, FleetConfig};
+pub use report::{FailureKind, FleetReport, JobFailure, JobOutcome, JobResult};
+pub use spec::{BatchSpec, ChaosProbe, FleetError, HlsWorkload, JobSource, JobSpec};

@@ -19,6 +19,8 @@
 //! job sched   hls fir 8
 //! job probe   hls random 42 24 4
 //! job chip    iks ik 1.0 1.0
+//! job tight   rtl fig1.rtl budget 10   # per-job delta-cycle budget
+//! job boom    chaos panic              # deliberate failure (fault drills)
 //! ```
 //!
 //! Relative `.rtl` paths resolve against the spec file's directory.
@@ -63,6 +65,22 @@ pub enum FleetError {
         /// What went wrong.
         msg: String,
     },
+    /// A job panicked inside its worker (reported only in `--fail-fast`
+    /// mode; the keep-going default quarantines panics instead).
+    Panicked {
+        /// The job's name.
+        job: String,
+        /// The panic payload, if it was a string.
+        msg: String,
+    },
+    /// A job exhausted its configured delta-cycle or wall-clock budget
+    /// (reported only in `--fail-fast` mode).
+    Budget {
+        /// The job's name.
+        job: String,
+        /// Which budget ran out, and where.
+        msg: String,
+    },
     /// The batch contains no jobs.
     EmptyBatch,
 }
@@ -74,6 +92,10 @@ impl fmt::Display for FleetError {
             FleetError::Spec { line, msg } => write!(f, "spec line {line}: {msg}"),
             FleetError::Build { job, msg } => write!(f, "job `{job}`: {msg}"),
             FleetError::Run { job, msg } => write!(f, "job `{job}` failed: {msg}"),
+            FleetError::Panicked { job, msg } => write!(f, "job `{job}` panicked: {msg}"),
+            FleetError::Budget { job, msg } => {
+                write!(f, "job `{job}` exceeded its budget: {msg}")
+            }
             FleetError::EmptyBatch => write!(f, "batch contains no jobs"),
         }
     }
@@ -108,6 +130,29 @@ pub enum HlsWorkload {
     },
 }
 
+/// A deliberate misbehaviour injected into a worker, for exercising the
+/// engine's fault tolerance (no well-formed model can make the kernel
+/// panic, so chaos probes supply the failure the tests need).
+///
+/// Spec grammar: `job <name> chaos panic`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProbe {
+    /// Panic inside the worker the moment the job starts running. The
+    /// engine's `catch_unwind` quarantines it; with `--fail-fast` it
+    /// surfaces as [`FleetError::Panicked`].
+    Panic,
+}
+
+impl ChaosProbe {
+    /// Fires the probe (called by the engine inside its `catch_unwind`
+    /// fence).
+    pub(crate) fn trip(self) {
+        match self {
+            ChaosProbe::Panic => panic!("chaos probe tripped: deliberate panic"),
+        }
+    }
+}
+
 /// Where a job's model comes from.
 #[derive(Debug, Clone)]
 pub enum JobSource {
@@ -132,6 +177,11 @@ pub enum JobSource {
     /// The IKS MACC FIR filter chip with its reference sample/coefficient
     /// set.
     IksFir,
+    /// A chaos probe: the job resolves to a trivial placeholder model and
+    /// then misbehaves inside the worker. Exists so fault-tolerance tests
+    /// (and deliberately broken CI specs) have a deterministic failure to
+    /// inject.
+    Chaos(ChaosProbe),
 }
 
 /// One batch job: a model source plus stimulus.
@@ -146,16 +196,21 @@ pub struct JobSpec {
     pub steps: Option<Step>,
     /// Register-init overrides `(register, value)` — the job's stimulus.
     pub overrides: Vec<(String, i64)>,
+    /// Optional per-job delta-cycle budget (`budget <N>` in the spec
+    /// text). When the batch config also sets a budget, the smaller one
+    /// wins. Exceeding it quarantines the job as budget-exceeded.
+    pub delta_budget: Option<u64>,
 }
 
 impl JobSpec {
-    /// Creates a job with no overrides.
+    /// Creates a job with no overrides and no budget.
     pub fn new(name: impl Into<String>, source: JobSource) -> JobSpec {
         JobSpec {
             name: name.into(),
             source,
             steps: None,
             overrides: Vec::new(),
+            delta_budget: None,
         }
     }
 
@@ -196,6 +251,14 @@ impl JobSpec {
                 let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
                 clockless_iks::build_fir_chip(samples, coeffs)
                     .map_err(|e| build_err(format!("IKS FIR chip: {e}")))?
+            }
+            JobSource::Chaos(_) => {
+                // The probe fires inside the worker; resolution just needs
+                // something elaborable.
+                let mut m = RtModel::new("chaos_probe", 1);
+                m.add_register_init("PROBE", Value::Num(0))
+                    .map_err(|e| build_err(e.to_string()))?;
+                m
             }
         };
         if self.steps.is_some() || !self.overrides.is_empty() {
@@ -450,9 +513,21 @@ fn parse_job_line(words: &[&str], base_dir: &Path) -> Result<JobSpec, String> {
                 other => return Err(format!("unknown iks chip `{other}`")),
             }
         }
+        "chaos" => {
+            let Some((kind, r)) = rest.split_first() else {
+                return Err("`chaos` needs a probe (panic)".into());
+            };
+            match *kind {
+                "panic" => {
+                    rest = r;
+                    JobSource::Chaos(ChaosProbe::Panic)
+                }
+                other => return Err(format!("unknown chaos probe `{other}`")),
+            }
+        }
         other => {
             return Err(format!(
-                "unknown job source `{other}` (expected rtl|hls|iks)"
+                "unknown job source `{other}` (expected rtl|hls|iks|chaos)"
             ))
         }
     };
@@ -463,6 +538,11 @@ fn parse_job_line(words: &[&str], base_dir: &Path) -> Result<JobSpec, String> {
             "steps" => {
                 let (n, r) = take_num::<Step>(r, "steps")?;
                 job.steps = Some(n);
+                rest = r;
+            }
+            "budget" => {
+                let (n, r) = take_num::<u64>(r, "delta budget")?;
+                job.delta_budget = Some(n);
                 rest = r;
             }
             "init" => {
@@ -593,5 +673,103 @@ mod tests {
     fn missing_rtl_file_is_an_io_error() {
         let job = JobSpec::new("j", JobSource::RtlFile("/nonexistent/nope.rtl".into()));
         assert!(matches!(job.resolve(), Err(FleetError::Io { .. })));
+    }
+
+    #[test]
+    fn parse_accepts_chaos_and_budget() {
+        let spec = BatchSpec::parse(
+            "job boom chaos panic\n\
+             job tight rtl a.rtl budget 10 init R1=4\n",
+            "/base",
+        )
+        .expect("parses");
+        assert!(matches!(
+            spec.jobs[0].source,
+            JobSource::Chaos(ChaosProbe::Panic)
+        ));
+        assert_eq!(spec.jobs[0].delta_budget, None);
+        assert_eq!(spec.jobs[1].delta_budget, Some(10));
+        assert_eq!(spec.jobs[1].overrides, vec![("R1".into(), 4)]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_chaos_and_budget() {
+        for (text, needle) in [
+            ("job x chaos", "`chaos` needs a probe"),
+            ("job x chaos meteor", "unknown chaos probe"),
+            ("job x rtl a.rtl budget", "missing delta budget"),
+            ("job x rtl a.rtl budget lots", "not a valid number"),
+        ] {
+            let err = BatchSpec::parse(text, ".").expect_err(text);
+            assert!(
+                err.to_string().contains(needle),
+                "{text}: {err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_jobs_resolve_to_a_placeholder_model() {
+        let job = JobSpec::new("boom", JobSource::Chaos(ChaosProbe::Panic));
+        let m = job.resolve().expect("resolves without tripping");
+        assert_eq!(m.name(), "chaos_probe");
+        assert_eq!(m.registers().len(), 1);
+    }
+
+    #[test]
+    fn fleet_error_display_covers_every_variant() {
+        // FleetError is #[non_exhaustive]; this round-trip keeps each
+        // variant's rendered form (the CLI's stderr surface) stable.
+        let cases = [
+            (
+                FleetError::Io {
+                    path: "a.fleet".into(),
+                    msg: "denied".into(),
+                },
+                "cannot read a.fleet: denied",
+            ),
+            (
+                FleetError::Spec {
+                    line: 3,
+                    msg: "bad".into(),
+                },
+                "spec line 3: bad",
+            ),
+            (
+                FleetError::Build {
+                    job: "j".into(),
+                    msg: "parse".into(),
+                },
+                "job `j`: parse",
+            ),
+            (
+                FleetError::Run {
+                    job: "j".into(),
+                    msg: "overflow".into(),
+                },
+                "job `j` failed: overflow",
+            ),
+            (
+                FleetError::Panicked {
+                    job: "j".into(),
+                    msg: "boom".into(),
+                },
+                "job `j` panicked: boom",
+            ),
+            (
+                FleetError::Budget {
+                    job: "j".into(),
+                    msg: "10 deltas".into(),
+                },
+                "job `j` exceeded its budget: 10 deltas",
+            ),
+            (FleetError::EmptyBatch, "batch contains no jobs"),
+        ];
+        for (err, text) in cases {
+            assert_eq!(err.to_string(), text);
+            // Errors survive a clone/compare round-trip (the engine moves
+            // them between worker slots and the final report).
+            assert_eq!(err.clone(), err);
+        }
     }
 }

@@ -35,6 +35,11 @@ pub enum KernelError {
         /// The configured limit.
         limit: u64,
     },
+    /// The run's wall-clock budget expired before the model quiesced.
+    WallBudgetExceeded {
+        /// Simulation time point at which the budget ran out.
+        at: SimTime,
+    },
     /// A signal id referred to a signal that does not exist.
     UnknownSignal(SignalId),
     /// `initialize` was called twice, or `run` before `initialize`.
@@ -56,6 +61,9 @@ impl fmt::Display for KernelError {
                 f,
                 "delta-cycle limit {limit} exhausted at {at}; model is oscillating"
             ),
+            KernelError::WallBudgetExceeded { at } => {
+                write!(f, "wall-clock budget exhausted at {at}")
+            }
             KernelError::UnknownSignal(id) => write!(f, "unknown signal {id:?}"),
             KernelError::BadPhase(msg) => write!(f, "kernel used out of order: {msg}"),
         }

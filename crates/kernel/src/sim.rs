@@ -58,6 +58,15 @@ pub struct SimStats {
     /// Highest number of driver updates pending at the start of any
     /// single delta.
     pub peak_pending_updates: u64,
+    /// Faults deliberately injected into the model(s) behind these
+    /// counters. The kernel never sets this itself; fault-injection
+    /// harnesses (`clockless-verify` campaigns) stamp it so merged totals
+    /// carry the campaign size.
+    pub injected_faults: u64,
+    /// Job re-executions performed by a batch engine on top of this run.
+    /// Like `injected_faults`, this is stamped by the harness (the fleet
+    /// retry loop), not by the kernel.
+    pub retries: u64,
 }
 
 impl SimStats {
@@ -89,6 +98,8 @@ impl SimStats {
         self.wake_filter_misses += other.wake_filter_misses;
         self.peak_runnable = self.peak_runnable.max(other.peak_runnable);
         self.peak_pending_updates = self.peak_pending_updates.max(other.peak_pending_updates);
+        self.injected_faults += other.injected_faults;
+        self.retries += other.retries;
     }
 }
 
@@ -506,6 +517,30 @@ impl<V: SimValue> Simulator<V> {
         loop {
             if self.step_delta()? == StepOutcome::Quiescent {
                 return Ok(self.stats);
+            }
+        }
+    }
+
+    /// Runs until quiescent, aborting with
+    /// [`KernelError::WallBudgetExceeded`] once the wall clock passes
+    /// `deadline`.
+    ///
+    /// The deadline is checked after every delta cycle, so the overrun is
+    /// bounded by one delta's work. This is the enforcement point for the
+    /// batch engine's wall budgets; use [`run`](Self::run) when no budget
+    /// applies (it pays no clock reads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`step_delta`](Self::step_delta), plus
+    /// [`KernelError::WallBudgetExceeded`] on timeout.
+    pub fn run_deadlined(&mut self, deadline: std::time::Instant) -> Result<SimStats, KernelError> {
+        loop {
+            if self.step_delta()? == StepOutcome::Quiescent {
+                return Ok(self.stats);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(KernelError::WallBudgetExceeded { at: self.now });
             }
         }
     }

@@ -1,0 +1,912 @@
+//! Deterministic fault-injection campaigns over RT models.
+//!
+//! The paper's central verification claim is that the clock-free subset
+//! makes resource conflicts *observable*: simultaneous drives resolve to
+//! `ILLEGAL` at a precise step and phase instead of silently racing. A
+//! fault campaign probes how far that detector actually reaches. A
+//! seeded, fully deterministic generator derives a set of model mutants
+//! — stuck-at-`DISC` registers, spurious second drivers, dropped
+//! transfer tuples, step-skewed write-backs, corrupted init values —
+//! and every mutant runs on a **private kernel instance** via the
+//! fault-tolerant `clockless-fleet` engine under a tight delta budget.
+//!
+//! Each run is classified against the golden (unmutated) run:
+//!
+//! * [`FaultOutcome::DetectedConflict`] — the mutant produced an
+//!   `ILLEGAL`, localized to a site, step and phase. The detector works.
+//! * [`FaultOutcome::DeltaOverflow`] — the mutant blew the delta budget
+//!   (oscillation); caught by the budget, not the resolver.
+//! * [`FaultOutcome::SilentCorruption`] — the run was clean but the
+//!   final registers differ from the golden run: the fault **escaped**
+//!   the conflict detector. These are the interesting rows — they mark
+//!   the boundary of the paper's observability claim (a dropped transfer
+//!   produces no second driver, so nothing conflicts; the state is just
+//!   wrong).
+//! * [`FaultOutcome::Masked`] — the run was clean *and* state-identical:
+//!   the fault had no observable effect at all.
+//!
+//! The campaign report aggregates per-class detection coverage. On the
+//! paper's Fig. 1 model, the `stuck` and `drivers` classes are detected
+//! 100% (mixed `DISC`/value operands and double drives both resolve to
+//! `ILLEGAL`), while `drops`, `skews` and `inits` legitimately escape —
+//! the report says so instead of pretending otherwise.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use clockless_core::{
+    ModuleDecl, ModuleTiming, Op, Phase, RtModel, RtSimulation, Step, TransferTuple, Value,
+};
+use clockless_fleet::{
+    run_batch_with, BatchSpec, FailureKind, FleetConfig, FleetError, JobSource, JobSpec,
+};
+use clockless_kernel::SimStats;
+
+/// The five fault classes a campaign can inject, used both to group
+/// coverage numbers and to filter generation (`--classes` on the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Registers forced to start at `DISC` ([`FaultKind::StuckAtDisc`]).
+    Stuck,
+    /// Spurious second bus drivers ([`FaultKind::ExtraDriver`]).
+    Drivers,
+    /// Dropped transfer tuples ([`FaultKind::DropTransfer`]).
+    Drops,
+    /// Step-skewed write-backs ([`FaultKind::SkewWrite`]).
+    Skews,
+    /// Corrupted register init values ([`FaultKind::CorruptInit`]).
+    Inits,
+}
+
+/// Every class, in canonical (reporting) order.
+pub const ALL_CLASSES: [FaultClass; 5] = [
+    FaultClass::Stuck,
+    FaultClass::Drivers,
+    FaultClass::Drops,
+    FaultClass::Skews,
+    FaultClass::Inits,
+];
+
+impl FaultClass {
+    /// Stable machine-readable name (JSON and `--classes` grammar).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Stuck => "stuck",
+            FaultClass::Drivers => "drivers",
+            FaultClass::Drops => "drops",
+            FaultClass::Skews => "skews",
+            FaultClass::Inits => "inits",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for FaultClass {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FaultClass, String> {
+        match s {
+            "stuck" => Ok(FaultClass::Stuck),
+            "drivers" => Ok(FaultClass::Drivers),
+            "drops" => Ok(FaultClass::Drops),
+            "skews" => Ok(FaultClass::Skews),
+            "inits" => Ok(FaultClass::Inits),
+            other => Err(format!(
+                "unknown fault class `{other}` (expected stuck|drivers|drops|skews|inits)"
+            )),
+        }
+    }
+}
+
+/// One concrete mutation of a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Force a register's init to `DISC` — the register presents no value
+    /// until (if ever) something writes it.
+    StuckAtDisc {
+        /// The register whose init is cleared.
+        register: String,
+    },
+    /// Add a spurious combinational module plus a transfer that drives
+    /// `register` onto `bus` in `step` — a second driver on a bus the
+    /// schedule already uses then, which the resolution function must
+    /// turn into `ILLEGAL`.
+    ExtraDriver {
+        /// The double-driven bus.
+        bus: String,
+        /// The step in which both drivers assert.
+        step: Step,
+        /// The register the spurious driver reads.
+        register: String,
+    },
+    /// Remove the transfer tuple at `index` entirely.
+    DropTransfer {
+        /// Index into the model's tuple list.
+        index: usize,
+    },
+    /// Shift the write-back of the tuple at `index` by `delta` steps
+    /// (±1), breaking the read-step + latency = write-step invariant.
+    SkewWrite {
+        /// Index into the model's tuple list.
+        index: usize,
+        /// The skew, −1 or +1 steps.
+        delta: i32,
+    },
+    /// Replace a register's init with a different (seeded) value.
+    CorruptInit {
+        /// The register whose init changes.
+        register: String,
+        /// The corrupted value.
+        value: i64,
+    },
+}
+
+impl FaultKind {
+    /// The class this fault belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::StuckAtDisc { .. } => FaultClass::Stuck,
+            FaultKind::ExtraDriver { .. } => FaultClass::Drivers,
+            FaultKind::DropTransfer { .. } => FaultClass::Drops,
+            FaultKind::SkewWrite { .. } => FaultClass::Skews,
+            FaultKind::CorruptInit { .. } => FaultClass::Inits,
+        }
+    }
+
+    /// Applies the fault to a copy of `model`, producing the mutant.
+    ///
+    /// # Errors
+    ///
+    /// A message when the mutation cannot be expressed on this model
+    /// (generation only emits applicable faults, so this is defensive).
+    pub fn apply(&self, model: &RtModel) -> Result<RtModel, String> {
+        let mut m = model.clone();
+        match self {
+            FaultKind::StuckAtDisc { register } => {
+                m.set_register_init(register, Value::Disc)
+                    .map_err(|e| e.to_string())?;
+            }
+            FaultKind::ExtraDriver {
+                bus,
+                step,
+                register,
+            } => {
+                let spur = format!("SPUR_{bus}_{step}");
+                m.add_module(ModuleDecl::single(
+                    &spur,
+                    Op::PassA,
+                    ModuleTiming::Combinational,
+                ))
+                .map_err(|e| e.to_string())?;
+                m.add_transfer(TransferTuple::new(*step, spur).src_a(register, bus))
+                    .map_err(|e| e.to_string())?;
+            }
+            FaultKind::DropTransfer { index } => {
+                m.remove_transfer(*index)
+                    .ok_or_else(|| format!("no transfer at index {index}"))?;
+            }
+            FaultKind::SkewWrite { index, delta } => {
+                let tuple = m
+                    .tuples()
+                    .get(*index)
+                    .ok_or_else(|| format!("no transfer at index {index}"))?
+                    .clone();
+                let mut skewed = tuple;
+                let write = skewed
+                    .write
+                    .as_mut()
+                    .ok_or_else(|| format!("transfer {index} has no write-back"))?;
+                let step = write.step as i64 + i64::from(*delta);
+                if step < 1 || step > m.cs_max() as i64 {
+                    return Err(format!("skewed write step {step} is out of range"));
+                }
+                write.step = step as Step;
+                m.replace_transfer_unchecked(*index, skewed)
+                    .map_err(|e| e.to_string())?;
+            }
+            FaultKind::CorruptInit { register, value } => {
+                m.set_register_init(register, Value::Num(*value))
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAtDisc { register } => {
+                write!(f, "stuck-at-DISC register `{register}`")
+            }
+            FaultKind::ExtraDriver {
+                bus,
+                step,
+                register,
+            } => write!(
+                f,
+                "spurious driver `{register}` on bus `{bus}` in step {step}"
+            ),
+            FaultKind::DropTransfer { index } => write!(f, "dropped transfer #{index}"),
+            FaultKind::SkewWrite { index, delta } => {
+                write!(f, "write of transfer #{index} skewed {delta:+} step(s)")
+            }
+            FaultKind::CorruptInit { register, value } => {
+                write!(f, "corrupted init `{register}` = {value}")
+            }
+        }
+    }
+}
+
+/// How a mutant run was classified against the golden run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The mutant produced at least one `ILLEGAL`; the first conflict's
+    /// localization is recorded.
+    DetectedConflict {
+        /// The conflict site's kind (bus, module port, register…).
+        site: String,
+        /// The conflicting signal's name.
+        name: String,
+        /// The control step the conflict became visible in.
+        step: Step,
+        /// The phase within the step.
+        phase: Phase,
+    },
+    /// The mutant exhausted the campaign's delta-cycle budget.
+    DeltaOverflow,
+    /// The run was clean but the final registers differ from the golden
+    /// run — the fault escaped the conflict detector.
+    SilentCorruption {
+        /// First differing register (declaration order).
+        register: String,
+        /// Golden final value.
+        expected: Value,
+        /// Mutant final value.
+        got: Value,
+    },
+    /// No conflict and no state difference: the fault had no observable
+    /// effect.
+    Masked,
+}
+
+impl FaultOutcome {
+    /// Stable machine-readable status string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultOutcome::DetectedConflict { .. } => "detected-conflict",
+            FaultOutcome::DeltaOverflow => "delta-overflow",
+            FaultOutcome::SilentCorruption { .. } => "silent-corruption",
+            FaultOutcome::Masked => "masked",
+        }
+    }
+
+    /// `true` when the fault was *detected* — the run observably failed
+    /// (conflict or budget blowout) rather than finishing with wrong or
+    /// unchanged state.
+    pub fn is_detected(&self) -> bool {
+        matches!(
+            self,
+            FaultOutcome::DetectedConflict { .. } | FaultOutcome::DeltaOverflow
+        )
+    }
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOutcome::DetectedConflict {
+                site,
+                name,
+                step,
+                phase,
+            } => write!(
+                f,
+                "detected: ILLEGAL on {site} `{name}` in step {step} phase {phase}"
+            ),
+            FaultOutcome::DeltaOverflow => write!(f, "detected: delta budget exhausted"),
+            FaultOutcome::SilentCorruption {
+                register,
+                expected,
+                got,
+            } => write!(
+                f,
+                "SILENT: register `{register}` ended {got}, golden run says {expected}"
+            ),
+            FaultOutcome::Masked => write!(f, "masked: no observable effect"),
+        }
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// PRNG seed; the same seed over the same model yields a
+    /// byte-identical report.
+    pub seed: u64,
+    /// Classes to inject; empty means all of [`ALL_CLASSES`].
+    pub classes: Vec<FaultClass>,
+    /// Cap on the number of faults (deterministic prefix of the
+    /// enumeration); `None` runs everything.
+    pub max_faults: Option<usize>,
+    /// Fleet worker threads for the mutant runs.
+    pub workers: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xC10C_1E55,
+            classes: Vec::new(),
+            max_faults: None,
+            workers: 1,
+        }
+    }
+}
+
+/// Errors from a fault campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultsError {
+    /// The golden (unmutated) run failed; nothing to compare against.
+    Golden {
+        /// What went wrong.
+        msg: String,
+    },
+    /// A mutation could not be applied to the model.
+    Apply {
+        /// The fault's description.
+        fault: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A mutant failed in a way the campaign cannot classify (build or
+    /// unexpected kernel error, not a budget blowout).
+    Mutant {
+        /// The fault's description.
+        fault: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The batch engine failed.
+    Fleet(FleetError),
+    /// Generation produced no faults (empty model, or the class filter
+    /// excluded everything).
+    NoFaults,
+}
+
+impl fmt::Display for FaultsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultsError::Golden { msg } => write!(f, "golden run failed: {msg}"),
+            FaultsError::Apply { fault, msg } => write!(f, "cannot apply {fault}: {msg}"),
+            FaultsError::Mutant { fault, msg } => {
+                write!(f, "unclassifiable mutant failure for {fault}: {msg}")
+            }
+            FaultsError::Fleet(e) => write!(f, "fleet engine: {e}"),
+            FaultsError::NoFaults => write!(f, "no faults to inject"),
+        }
+    }
+}
+
+impl std::error::Error for FaultsError {}
+
+impl From<FleetError> for FaultsError {
+    fn from(e: FleetError) -> Self {
+        FaultsError::Fleet(e)
+    }
+}
+
+/// One campaign row: an injected fault and its classified outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRow {
+    /// The injected fault.
+    pub fault: FaultKind,
+    /// The classified outcome of the mutant run.
+    pub outcome: FaultOutcome,
+}
+
+/// Results of a fault-injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// The target model's name.
+    pub model: String,
+    /// The seed the campaign ran with.
+    pub seed: u64,
+    /// Delta-cycle budget each mutant ran under.
+    pub delta_budget: u64,
+    /// Per-fault rows, in generation order.
+    pub rows: Vec<CampaignRow>,
+    /// Merged kernel counters of every mutant run, with
+    /// `injected_faults` stamped to the campaign size.
+    pub totals: SimStats,
+}
+
+impl CampaignReport {
+    /// Faults whose mutants observably failed (conflict or overflow).
+    pub fn detected(&self) -> usize {
+        self.rows.iter().filter(|r| r.outcome.is_detected()).count()
+    }
+
+    /// Faults that escaped as silent corruption.
+    pub fn silent(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, FaultOutcome::SilentCorruption { .. }))
+            .count()
+    }
+
+    /// Faults with no observable effect.
+    pub fn masked(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, FaultOutcome::Masked))
+            .count()
+    }
+
+    /// Overall detection coverage in `[0, 1]` (detected / injected).
+    pub fn coverage(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.detected() as f64 / self.rows.len() as f64
+    }
+
+    /// Per-class `(class, detected, total)`, canonical class order,
+    /// classes with no injected faults omitted.
+    pub fn class_coverage(&self) -> Vec<(FaultClass, usize, usize)> {
+        ALL_CLASSES
+            .iter()
+            .filter_map(|&class| {
+                let in_class: Vec<_> = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.fault.class() == class)
+                    .collect();
+                if in_class.is_empty() {
+                    return None;
+                }
+                let detected = in_class.iter().filter(|r| r.outcome.is_detected()).count();
+                Some((class, detected, in_class.len()))
+            })
+            .collect()
+    }
+
+    /// Renders the report as a deterministic JSON document — the same
+    /// model, seed and config produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"campaign\": {{\"model\": \"{}\", \"seed\": {}, \"delta_budget\": {}, \
+             \"faults\": {}, \"detected\": {}, \"silent\": {}, \"masked\": {}, \
+             \"coverage\": {:.4}}},",
+            json_escape(&self.model),
+            self.seed,
+            self.delta_budget,
+            self.rows.len(),
+            self.detected(),
+            self.silent(),
+            self.masked(),
+            self.coverage()
+        );
+        out.push_str("  \"classes\": [");
+        let classes = self.class_coverage();
+        for (i, (class, detected, total)) in classes.iter().enumerate() {
+            let comma = if i + 1 == classes.len() { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{{\"class\": \"{class}\", \"detected\": {detected}, \"total\": {total}}}{comma}"
+            );
+        }
+        out.push_str("],\n  \"faults\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {}, \"class\": \"{}\", \"fault\": \"{}\", \"outcome\": \"{}\", \
+                 \"detail\": \"{}\"}}{}",
+                i,
+                row.fault.class(),
+                json_escape(&row.fault.to_string()),
+                row.outcome.as_str(),
+                json_escape(&row.outcome.to_string()),
+                comma
+            );
+        }
+        let t = &self.totals;
+        let _ = writeln!(
+            out,
+            "  ],\n  \"totals\": {{\"delta_cycles\": {}, \"process_activations\": {}, \
+             \"injected_faults\": {}, \"retries\": {}}}",
+            t.delta_cycles, t.process_activations, t.injected_faults, t.retries
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault campaign on `{}` (seed {}): {} faults, {} detected ({:.0}%), \
+             {} silent, {} masked",
+            self.model,
+            self.seed,
+            self.rows.len(),
+            self.detected(),
+            self.coverage() * 100.0,
+            self.silent(),
+            self.masked()
+        )?;
+        for (class, detected, total) in self.class_coverage() {
+            writeln!(f, "  {:<8} {detected}/{total} detected", class.as_str())?;
+        }
+        for row in &self.rows {
+            writeln!(f, "  {:<50} {}", row.fault.to_string(), row.outcome)?;
+        }
+        Ok(())
+    }
+}
+
+/// splitmix64 — the same tiny deterministic PRNG the property tests use.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Enumerates the faults a campaign would inject, deterministically:
+/// fixed class order, model-declaration order within a class, seeded
+/// values only where a fault needs one (corrupted inits).
+pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKind> {
+    let wants = |class: FaultClass| config.classes.is_empty() || config.classes.contains(&class);
+    let mut rng = config.seed;
+    let mut faults = Vec::new();
+
+    if wants(FaultClass::Stuck) {
+        for r in model.registers() {
+            if r.init.is_num() {
+                faults.push(FaultKind::StuckAtDisc {
+                    register: r.name.clone(),
+                });
+            }
+        }
+    }
+    if wants(FaultClass::Drivers) {
+        let mut seen: Vec<(String, Step)> = Vec::new();
+        for tuple in model.tuples() {
+            for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
+                let key = (route.bus.clone(), tuple.read_step);
+                if seen.contains(&key) {
+                    continue; // one spurious driver per (bus, step)
+                }
+                seen.push(key);
+                faults.push(FaultKind::ExtraDriver {
+                    bus: route.bus.clone(),
+                    step: tuple.read_step,
+                    register: route.register.clone(),
+                });
+            }
+        }
+    }
+    if wants(FaultClass::Drops) {
+        for index in 0..model.tuples().len() {
+            faults.push(FaultKind::DropTransfer { index });
+        }
+    }
+    if wants(FaultClass::Skews) {
+        for (index, tuple) in model.tuples().iter().enumerate() {
+            let Some(write) = &tuple.write else { continue };
+            for delta in [-1i32, 1] {
+                let step = write.step as i64 + i64::from(delta);
+                if step >= 1 && step <= model.cs_max() as i64 {
+                    faults.push(FaultKind::SkewWrite { index, delta });
+                }
+            }
+        }
+    }
+    if wants(FaultClass::Inits) {
+        for r in model.registers() {
+            let base = r.init.num().unwrap_or(0);
+            let value = base.wrapping_add(1 + (splitmix64(&mut rng) % 997) as i64);
+            faults.push(FaultKind::CorruptInit {
+                register: r.name.clone(),
+                value,
+            });
+        }
+    }
+
+    if let Some(max) = config.max_faults {
+        faults.truncate(max);
+    }
+    faults
+}
+
+/// Runs a seeded fault campaign on `model`: golden run, deterministic
+/// fault generation, one fleet job per mutant (each on a private kernel
+/// under a tight delta budget), outcome classification, coverage report.
+///
+/// # Errors
+///
+/// [`FaultsError`] when the golden run fails, a mutation cannot be
+/// applied, a mutant fails unclassifiably, or nothing was generated.
+pub fn run_campaign(
+    model: &RtModel,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, FaultsError> {
+    let mut golden_sim =
+        RtSimulation::traced(model).map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
+    let golden = golden_sim
+        .run_to_completion()
+        .map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
+    let golden_registers: HashMap<&str, Value> = golden
+        .registers
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+
+    let faults = generate_faults(model, config);
+    if faults.is_empty() {
+        return Err(FaultsError::NoFaults);
+    }
+
+    // Twice the exact quiescence bound (1 + 6·CS_MAX deltas) plus slack:
+    // roomy for every legitimate mutant, tight enough that an oscillating
+    // one is cut off after a few extra steps, not 10^8 deltas later.
+    let delta_budget = 2 * (1 + 6 * model.cs_max() as u64) + 16;
+
+    let mut jobs = Vec::with_capacity(faults.len());
+    for (i, fault) in faults.iter().enumerate() {
+        let mutant = fault.apply(model).map_err(|msg| FaultsError::Apply {
+            fault: fault.to_string(),
+            msg,
+        })?;
+        jobs.push(JobSpec::new(
+            format!("fault_{i:03}"),
+            JobSource::Model(Box::new(mutant)),
+        ));
+    }
+    let fleet_config = FleetConfig {
+        delta_budget: Some(delta_budget),
+        ..FleetConfig::default()
+    };
+    let report = run_batch_with(&BatchSpec { jobs }, config.workers, &fleet_config)?;
+
+    let mut rows = Vec::with_capacity(faults.len());
+    for (fault, job) in faults.into_iter().zip(&report.jobs) {
+        let outcome = match job {
+            clockless_fleet::JobOutcome::Failed(q) => match q.kind {
+                FailureKind::DeltaBudget | FailureKind::WallBudget => FaultOutcome::DeltaOverflow,
+                _ => {
+                    return Err(FaultsError::Mutant {
+                        fault: fault.to_string(),
+                        msg: q.error.clone(),
+                    })
+                }
+            },
+            clockless_fleet::JobOutcome::Ok(result) => {
+                if let Some(first) = result.conflicts.first() {
+                    FaultOutcome::DetectedConflict {
+                        site: first.site.to_string(),
+                        name: first.name.clone(),
+                        step: first.visible_at.step,
+                        phase: first.visible_at.phase,
+                    }
+                } else {
+                    // Clean run: diff the mutant's final registers against
+                    // the golden run (registers the mutant added — none
+                    // today — would not count).
+                    let diff = result.registers.iter().find(|(name, value)| {
+                        golden_registers
+                            .get(name.as_str())
+                            .is_some_and(|g| g != value)
+                    });
+                    match diff {
+                        Some((register, got)) => FaultOutcome::SilentCorruption {
+                            register: register.clone(),
+                            expected: golden_registers[register.as_str()],
+                            got: *got,
+                        },
+                        None => FaultOutcome::Masked,
+                    }
+                }
+            }
+        };
+        rows.push(CampaignRow { fault, outcome });
+    }
+
+    let mut totals = report.totals;
+    totals.injected_faults = rows.len() as u64;
+    Ok(CampaignReport {
+        model: model.name().to_string(),
+        seed: config.seed,
+        delta_budget,
+        rows,
+        totals,
+    })
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::model::fig1_model;
+
+    fn campaign(classes: &[FaultClass], workers: usize) -> CampaignReport {
+        let config = CampaignConfig {
+            classes: classes.to_vec(),
+            workers,
+            ..CampaignConfig::default()
+        };
+        run_campaign(&fig1_model(3, 4), &config).expect("campaign runs")
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_covers_all_classes() {
+        let model = fig1_model(3, 4);
+        let config = CampaignConfig::default();
+        let a = generate_faults(&model, &config);
+        let b = generate_faults(&model, &config);
+        assert_eq!(a, b, "same seed, same faults");
+        // fig1: 2 stuck (R1, R2), 2 drivers (B1@5, B2@5), 1 drop,
+        // 2 skews (write step 6 → 5 and 7), 2 corrupted inits.
+        assert_eq!(a.len(), 9);
+        for class in ALL_CLASSES {
+            assert!(
+                a.iter().any(|f| f.class() == class),
+                "missing class {class}"
+            );
+        }
+        // A different seed changes only the seeded values (inits).
+        let other = generate_faults(
+            &model,
+            &CampaignConfig {
+                seed: 1,
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(a.len(), other.len());
+        assert_ne!(a, other, "corrupted init values depend on the seed");
+    }
+
+    #[test]
+    fn class_filter_restricts_generation() {
+        let model = fig1_model(3, 4);
+        let config = CampaignConfig {
+            classes: vec![FaultClass::Drivers],
+            ..CampaignConfig::default()
+        };
+        let faults = generate_faults(&model, &config);
+        assert_eq!(faults.len(), 2);
+        assert!(faults.iter().all(|f| f.class() == FaultClass::Drivers));
+        // max_faults takes a deterministic prefix.
+        let capped = generate_faults(
+            &model,
+            &CampaignConfig {
+                max_faults: Some(3),
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn same_seed_produces_byte_identical_reports() {
+        let a = campaign(&[], 1);
+        let b = campaign(&[], 4);
+        assert_eq!(a.to_json(), b.to_json(), "seed + model pin the report");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dual_driver_conflicts_are_fully_detected_on_fig1() {
+        let report = campaign(&[FaultClass::Drivers], 2);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            match &row.outcome {
+                FaultOutcome::DetectedConflict {
+                    name, step, phase, ..
+                } => {
+                    // Both spurious drivers assert in step 5; the conflict
+                    // becomes visible one delta later (rb at the earliest).
+                    assert_eq!(*step, 5, "{name}");
+                    assert!(*phase >= Phase::Rb, "{phase}");
+                }
+                other => panic!("driver fault escaped: {other}"),
+            }
+        }
+        let cov = report.class_coverage();
+        assert_eq!(cov, vec![(FaultClass::Drivers, 2, 2)]);
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stuck_at_disc_is_detected_via_mixed_operands() {
+        // A stuck register feeds the ADD a DISC operand next to a live
+        // one — §2.6's operand rules turn that into ILLEGAL.
+        let report = campaign(&[FaultClass::Stuck], 1);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.detected(), 2);
+        assert_eq!(report.silent(), 0);
+    }
+
+    #[test]
+    fn dropped_transfers_escape_as_silent_corruption() {
+        // No second driver, no ILLEGAL — just a register that never gets
+        // written. This is the documented boundary of the detector.
+        let report = campaign(&[FaultClass::Drops], 1);
+        assert_eq!(report.rows.len(), 1);
+        match &report.rows[0].outcome {
+            FaultOutcome::SilentCorruption {
+                register,
+                expected,
+                got,
+            } => {
+                assert_eq!(register, "R1");
+                assert_eq!(*expected, Value::Num(7), "golden run: R1 := R1 + R2");
+                assert_eq!(*got, Value::Num(3), "mutant: R1 keeps its init");
+            }
+            other => panic!("expected silent corruption, got {other}"),
+        }
+    }
+
+    #[test]
+    fn full_campaign_report_is_honest_about_coverage() {
+        let report = campaign(&[], 2);
+        assert_eq!(report.rows.len(), 9);
+        assert_eq!(report.totals.injected_faults, 9);
+        // stuck + drivers detected; drops/skews/inits escape on fig1.
+        assert_eq!(report.detected(), 4);
+        assert!(report.silent() >= 4, "drops/skews/inits corrupt silently");
+        assert!(report.coverage() < 1.0);
+        let json = report.to_json();
+        assert!(
+            json.contains("\"class\": \"stuck\", \"detected\": 2, \"total\": 2"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"class\": \"drivers\", \"detected\": 2, \"total\": 2"),
+            "{json}"
+        );
+        assert!(json.contains("\"injected_faults\": 9"), "{json}");
+        let text = report.to_string();
+        assert!(text.contains("9 faults"), "{text}");
+        assert!(text.contains("stuck"), "{text}");
+    }
+
+    #[test]
+    fn fault_class_round_trips_through_strings() {
+        for class in ALL_CLASSES {
+            assert_eq!(class.as_str().parse::<FaultClass>(), Ok(class));
+        }
+        assert!("meteor".parse::<FaultClass>().is_err());
+    }
+}

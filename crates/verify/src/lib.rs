@@ -25,6 +25,11 @@
 //!   resources.
 //! * [`sweep`] — the static/dynamic cross-check at batch scale, farming
 //!   traced runs over the `clockless-fleet` worker pool.
+//! * [`faults`] — seeded fault-injection campaigns: deterministic model
+//!   mutants (stuck registers, double drivers, dropped/skewed transfers,
+//!   corrupted inits) run on private kernels and classified against the
+//!   golden run, measuring how much of the fault space the `ILLEGAL`
+//!   detector actually observes.
 //!
 //! ## Example
 //!
@@ -42,6 +47,7 @@
 
 pub mod conflicts;
 pub mod equiv;
+pub mod faults;
 pub mod lint;
 pub mod normalize;
 pub mod semantics;
@@ -53,6 +59,10 @@ pub use conflicts::{cross_check, static_conflicts, CrossCheck, PredictedConflict
 pub use equiv::{
     concrete_check, dfg_expressions, verify_synthesis, OutputVerdict, SynthesisVerification,
     VerifyError,
+};
+pub use faults::{
+    generate_faults, run_campaign, CampaignConfig, CampaignReport, CampaignRow, FaultClass,
+    FaultKind, FaultOutcome, FaultsError, ALL_CLASSES,
 };
 pub use lint::{lint_model, Lint};
 pub use normalize::{equivalent, normalize, Atom, Poly};

@@ -9,7 +9,7 @@
 //! pool and folds each result back against its static prediction.
 
 use clockless_core::RtModel;
-use clockless_fleet::{run_batch, BatchSpec, FleetError, JobSource, JobSpec};
+use clockless_fleet::{run_batch_with, BatchSpec, FleetConfig, FleetError, JobSource, JobSpec};
 use clockless_kernel::SimStats;
 
 use crate::conflicts::static_conflicts;
@@ -82,12 +82,21 @@ pub fn conflict_sweep(models: &[RtModel], workers: usize) -> Result<ConflictSwee
         .enumerate()
         .map(|(i, m)| JobSpec::new(format!("sweep_{i}"), JobSource::Model(Box::new(m.clone()))))
         .collect();
-    let report = run_batch(&BatchSpec { jobs }, workers)?;
+    // A sweep wants errors, not quarantine rows: run fail-fast so a bad
+    // candidate aborts with its attributed FleetError.
+    let config = FleetConfig {
+        fail_fast: true,
+        ..FleetConfig::default()
+    };
+    let report = run_batch_with(&BatchSpec { jobs }, workers, &config)?;
 
     let rows = models
         .iter()
         .zip(&report.jobs)
         .map(|(model, job)| {
+            let job = job
+                .result()
+                .expect("fail-fast batches only return completed jobs");
             let predicted = static_conflicts(model);
             let all_confirmed = predicted.iter().all(|p| {
                 job.conflicts

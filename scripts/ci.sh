@@ -27,4 +27,18 @@ echo "== bench crate (build + unit tests; benches run via 'cargo bench')"
 cargo test -q --manifest-path crates/bench/Cargo.toml --offline
 cargo build --benches --manifest-path crates/bench/Cargo.toml --offline
 
+echo "== fault-campaign smoke (stuck/drivers must detect, never corrupt silently)"
+faults_out="$(./target/release/clockless faults models/fig1.rtl --classes stuck,drivers)"
+grep -q "detected (100%)" <<<"$faults_out"
+grep -q "0 silent" <<<"$faults_out"
+grep -q "detected: ILLEGAL" <<<"$faults_out"
+
+echo "== fleet quarantine smoke (hostile batch completes, failures quarantined)"
+fleet_status=0
+fleet_out="$(./target/release/clockless fleet models/chaos.fleet --jobs 4 2>&1)" || fleet_status=$?
+[ "$fleet_status" -eq 1 ]
+grep -q "2 job(s) quarantined" <<<"$fleet_out"
+grep -q "panicked" <<<"$fleet_out"
+grep -q "delta-budget-exceeded" <<<"$fleet_out"
+
 echo "CI OK"

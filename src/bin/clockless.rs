@@ -5,10 +5,19 @@
 //! clockless check <model.rtl>
 //! clockless stats <model.rtl> [--json]
 //! clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]
+//!                 [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]
+//! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
 //! clockless vhdl <model.rtl> [--clocked]
 //! clockless explain "<tuple>"
 //! ```
+//!
+//! `fleet` is fault-tolerant by default: failing jobs (build errors,
+//! kernel errors, panics, blown budgets) are quarantined in the report
+//! and the command exits 1, while the other jobs' results stay intact;
+//! `--fail-fast` restores the abort-on-first-failure behaviour.
+//! `faults` runs a seeded fault-injection campaign (classes: stuck,
+//! drivers, drops, skews, inits) and reports detection coverage.
 //!
 //! Models use the declarative text format of `clockless_core::text`
 //! (see `models/` for examples); files ending in `.vhd`/`.vhdl` are read
@@ -29,12 +38,60 @@ fn usage() -> ExitCode {
         "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n  \
          clockless check <model.rtl>\n  \
          clockless stats <model.rtl> [--json]\n  \
-         clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]\n  \
+         clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]\n                  \
+         [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]\n  \
+         clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
          clockless vhdl <model.rtl> [--clocked]\n  \
          clockless explain \"<tuple>\""
     );
     ExitCode::from(2)
+}
+
+/// Flags that take a value (so `positional_args` skips the value word).
+const VALUED_FLAGS: [&str; 7] = [
+    "--jobs",
+    "--retries",
+    "--delta-budget",
+    "--wall-budget-ms",
+    "--seed",
+    "--max",
+    "--classes",
+];
+
+/// Result of looking up `--flag <value>` in the argument list.
+enum FlagValue<T> {
+    /// The flag is not present.
+    Absent,
+    /// The flag is present with a parseable value.
+    Parsed(T),
+    /// The flag is present but the value is missing or unparseable.
+    Malformed,
+}
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> FlagValue<T> {
+    match args.iter().position(|a| a == flag) {
+        None => FlagValue::Absent,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(v) => FlagValue::Parsed(v),
+            None => FlagValue::Malformed,
+        },
+    }
+}
+
+/// Positional inputs: everything after the subcommand that is neither a
+/// flag nor the value following a valued flag.
+fn positional_args(args: &[String]) -> Vec<&str> {
+    let value_positions: Vec<usize> = VALUED_FLAGS
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == f).map(|i| i + 1))
+        .collect();
+    args.iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
+        .map(|(_, a)| a.as_str())
+        .collect()
 }
 
 fn load(path: &str) -> Result<RtModel, String> {
@@ -169,7 +226,13 @@ fn cmd_stats(path: &str, json: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet(inputs: &[&str], jobs: usize, json: bool, timing: bool) -> Result<(), String> {
+fn cmd_fleet(
+    inputs: &[&str],
+    jobs: usize,
+    json: bool,
+    timing: bool,
+    config: &clockless::fleet::FleetConfig,
+) -> Result<(), String> {
     let spec = match inputs {
         [] => return Err("fleet needs a .fleet spec or .rtl model files".into()),
         [single] if single.ends_with(".fleet") => {
@@ -182,7 +245,8 @@ fn cmd_fleet(inputs: &[&str], jobs: usize, json: bool, timing: bool) -> Result<(
             BatchSpec::from_rtl_paths(paths.iter().copied())
         }
     };
-    let report = clockless::fleet::run_batch(&spec, jobs).map_err(|e| e.to_string())?;
+    let report =
+        clockless::fleet::run_batch_with(&spec, jobs, config).map_err(|e| e.to_string())?;
     if json {
         print!("{}", report.to_json(timing));
     } else {
@@ -191,6 +255,43 @@ fn cmd_fleet(inputs: &[&str], jobs: usize, json: bool, timing: bool) -> Result<(
         if conflicted > 0 {
             println!("{conflicted} job(s) reported resource conflicts (see --json for sites)");
         }
+    }
+    let failed = report.failed_jobs();
+    if failed > 0 {
+        // The report (stdout) stays byte-identical at any worker count;
+        // the failure signal goes to stderr + the exit code.
+        return Err(format!("{failed} job(s) quarantined"));
+    }
+    Ok(())
+}
+
+fn cmd_faults(
+    path: &str,
+    seed: Option<u64>,
+    classes: Option<&str>,
+    max: Option<usize>,
+    jobs: usize,
+    json: bool,
+) -> Result<(), String> {
+    let model = load(path)?;
+    let mut config = clockless::verify::CampaignConfig {
+        workers: jobs,
+        max_faults: max,
+        ..Default::default()
+    };
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    if let Some(list) = classes {
+        for part in list.split(',') {
+            config.classes.push(part.trim().parse()?);
+        }
+    }
+    let report = clockless::verify::run_campaign(&model, &config).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
     }
     Ok(())
 }
@@ -256,27 +357,65 @@ fn main() -> ExitCode {
         "fleet" => {
             let json = args.iter().any(|a| a == "--json");
             let timing = args.iter().any(|a| a == "--timing");
-            let jobs_pos = args.iter().position(|a| a == "--jobs");
-            let jobs = match jobs_pos {
-                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-                    Some(n) if n >= 1 => n,
-                    _ => return usage(),
-                },
-                None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            let jobs = match flag_value(&args, "--jobs") {
+                FlagValue::Absent => std::thread::available_parallelism().map_or(1, |n| n.get()),
+                FlagValue::Parsed(n) if n >= 1 => n,
+                _ => return usage(),
             };
-            // Positional inputs: everything that is neither a flag nor
-            // the value following `--jobs`.
-            let mut positional: Vec<&str> = Vec::new();
-            for (i, a) in args.iter().enumerate().skip(1) {
-                if a.starts_with("--") || jobs_pos.is_some_and(|p| i == p + 1) {
-                    continue;
-                }
-                positional.push(a.as_str());
+            let mut config = clockless::fleet::FleetConfig {
+                fail_fast: args.iter().any(|a| a == "--fail-fast"),
+                ..clockless::fleet::FleetConfig::default()
+            };
+            match flag_value(&args, "--retries") {
+                FlagValue::Absent => {}
+                FlagValue::Parsed(n) => config.max_retries = n,
+                FlagValue::Malformed => return usage(),
             }
+            match flag_value(&args, "--delta-budget") {
+                FlagValue::Absent => {}
+                FlagValue::Parsed(n) => config.delta_budget = Some(n),
+                FlagValue::Malformed => return usage(),
+            }
+            match flag_value(&args, "--wall-budget-ms") {
+                FlagValue::Absent => {}
+                FlagValue::Parsed(ms) => {
+                    config.wall_budget = Some(std::time::Duration::from_millis(ms))
+                }
+                FlagValue::Malformed => return usage(),
+            }
+            let positional = positional_args(&args);
             if positional.is_empty() {
                 return usage();
             }
-            cmd_fleet(&positional, jobs, json, timing)
+            cmd_fleet(&positional, jobs, json, timing, &config)
+        }
+        "faults" => {
+            let json = args.iter().any(|a| a == "--json");
+            let jobs = match flag_value(&args, "--jobs") {
+                FlagValue::Absent => 1,
+                FlagValue::Parsed(n) if n >= 1 => n,
+                _ => return usage(),
+            };
+            let seed = match flag_value(&args, "--seed") {
+                FlagValue::Absent => None,
+                FlagValue::Parsed(n) => Some(n),
+                FlagValue::Malformed => return usage(),
+            };
+            let max = match flag_value(&args, "--max") {
+                FlagValue::Absent => None,
+                FlagValue::Parsed(n) => Some(n),
+                FlagValue::Malformed => return usage(),
+            };
+            let classes = args
+                .iter()
+                .position(|a| a == "--classes")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            let positional = positional_args(&args);
+            let [path] = positional.as_slice() else {
+                return usage();
+            };
+            cmd_faults(path, seed, classes, max, jobs, json)
         }
         "translate" => {
             let Some(path) = args.get(1) else {

@@ -446,3 +446,118 @@ fn fleet_without_inputs_is_a_usage_error() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn fleet_quarantines_failures_and_stays_deterministic() {
+    // models/chaos.fleet mixes clean jobs with a panicking chaos probe
+    // and a delta-budget blowout. Keep-going mode must finish the batch,
+    // exit 1, and produce byte-identical JSON at any worker count.
+    let run = |jobs: &str| {
+        let out = cli()
+            .args([
+                "fleet",
+                &repo_path("models/chaos.fleet"),
+                "--jobs",
+                jobs,
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(1), "{out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("2 job(s) quarantined"), "{stderr}");
+        out.stdout
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(one, four, "quarantine JSON must not depend on worker count");
+    let text = String::from_utf8_lossy(&one);
+    assert!(text.contains("\"failed_jobs\": 2"), "{text}");
+    assert!(text.contains("\"status\": \"panicked\""), "{text}");
+    assert!(
+        text.contains("\"status\": \"delta-budget-exceeded\""),
+        "{text}"
+    );
+    // Clean jobs keep their results: the stimulated fig1 ends at 42.
+    assert!(text.contains("\"name\": \"stim\""), "{text}");
+    assert!(text.contains("\"value\": \"42\""), "{text}");
+}
+
+#[test]
+fn fleet_fail_fast_aborts_on_the_panicking_job() {
+    let out = cli()
+        .args([
+            "fleet",
+            &repo_path("models/chaos.fleet"),
+            "--jobs",
+            "4",
+            "--fail-fast",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("job `boom` panicked"), "{stderr}");
+}
+
+#[test]
+fn faults_campaign_is_seed_reproducible() {
+    let run = |jobs: &str| {
+        let out = cli()
+            .args([
+                "faults",
+                &repo_path("models/fig1.rtl"),
+                "--seed",
+                "7",
+                "--jobs",
+                jobs,
+                "--json",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    let a = run("1");
+    let b = run("4");
+    assert_eq!(a, b, "same seed must give a byte-identical report");
+    let text = String::from_utf8_lossy(&a);
+    assert!(text.contains("\"seed\": 7"), "{text}");
+    assert!(text.contains("\"injected_faults\": 9"), "{text}");
+}
+
+#[test]
+fn faults_detects_every_injected_dual_driver_conflict() {
+    let out = cli()
+        .args([
+            "faults",
+            &repo_path("models/fig1.rtl"),
+            "--classes",
+            "stuck,drivers",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 detected (100%)"), "{stdout}");
+    assert!(stdout.contains("drivers  2/2 detected"), "{stdout}");
+    assert!(stdout.contains("0 silent"), "{stdout}");
+    // Conflicts are localized to step AND phase.
+    assert!(stdout.contains("in step 5 phase rb"), "{stdout}");
+}
+
+#[test]
+fn faults_rejects_unknown_classes() {
+    let out = cli()
+        .args([
+            "faults",
+            &repo_path("models/fig1.rtl"),
+            "--classes",
+            "meteor",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown fault class `meteor`"), "{stderr}");
+}
