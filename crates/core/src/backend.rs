@@ -1,0 +1,289 @@
+//! Pluggable execution backends: one semantics, two engines.
+//!
+//! An [`ExecBackend`] turns an [`RtModel`] into its observable run output
+//! — final registers, conflict diagnoses, kernel-compatible statistics,
+//! commit log and waveform. Two engines implement the contract:
+//!
+//! * [`InterpretedBackend`] — the delta-cycle event kernel
+//!   ([`RtSimulation`]): processes, sensitivity lists, wake filters. This
+//!   is the faithful rendering of the paper's VHDL construction.
+//! * [`CompiledBackend`] — the phase-schedule engine
+//!   ([`ExecPlan`]): the model is lowered to dense
+//!   per-`(step, phase)` action tables and walked in a fixed number of
+//!   iterations with no event machinery at all, exploiting the paper's
+//!   central observation that six-phase delta timing makes the schedule
+//!   *static*.
+//!
+//! Both backends produce **byte-identical observable output** (registers,
+//! conflicts with exact step and phase, trace/VCD, `SimStats`); the
+//! differential obligation is enforced by `clockless-verify`'s
+//! `backend_equiv` over the whole corpus.
+//!
+//! # Examples
+//!
+//! ```
+//! use clockless_core::backend::{Backend, ExecOptions};
+//! use clockless_core::model::fig1_model;
+//! use clockless_core::value::Value;
+//!
+//! let model = fig1_model(3, 4);
+//! let interp = Backend::Interpreted.execute(&model, &ExecOptions::traced())?;
+//! let compiled = Backend::Compiled.execute(&model, &ExecOptions::traced())?;
+//! assert_eq!(interp.summary.register("R1"), Some(Value::Num(7)));
+//! assert_eq!(interp.summary.registers, compiled.summary.registers);
+//! assert_eq!(interp.summary.stats, compiled.summary.stats);
+//! assert_eq!(interp.vcd, compiled.vcd);
+//! # Ok::<(), clockless_kernel::KernelError>(())
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+use clockless_kernel::KernelError;
+
+use crate::elaborate::ElaborateOptions;
+use crate::model::RtModel;
+use crate::plan::ExecPlan;
+use crate::run::{RegisterCommit, RtSimulation, RunSummary};
+
+/// Options for one backend execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Record the full waveform. Required for conflict localization, the
+    /// commit log and VCD export; costs memory and time.
+    pub trace: bool,
+    /// Per-instant delta-cycle budget; `None` uses the kernel default
+    /// (10^8). Exceeding it fails the run with
+    /// [`KernelError::DeltaOverflow`].
+    pub delta_limit: Option<u64>,
+    /// Wall-clock deadline; passing it fails the run with
+    /// [`KernelError::WallBudgetExceeded`]. Checked after every delta
+    /// cycle by both backends.
+    pub deadline: Option<Instant>,
+}
+
+impl ExecOptions {
+    /// Options with tracing enabled.
+    pub fn traced() -> ExecOptions {
+        ExecOptions {
+            trace: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// The complete observable output of one model execution.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Run summary: kernel statistics, final registers and (when traced)
+    /// the conflict report.
+    pub summary: RunSummary,
+    /// The register-commit log (`None` when not traced).
+    pub commits: Option<Vec<RegisterCommit>>,
+    /// The waveform as a VCD document (`None` when not traced).
+    pub vcd: Option<String>,
+}
+
+/// An execution engine for clock-free RT models.
+///
+/// Implementations must agree byte-for-byte on every field of
+/// [`ExecOutcome`] for every valid model — the equivalence
+/// `clockless-verify` checks differentially.
+pub trait ExecBackend {
+    /// Short lowercase name of the engine (`"interpreted"`,
+    /// `"compiled"`).
+    fn label(&self) -> &'static str;
+
+    /// Runs `model` to quiescence and harvests the observable output.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::DeltaOverflow`] when the delta budget is exceeded,
+    /// [`KernelError::WallBudgetExceeded`] when the wall deadline passes,
+    /// plus any elaboration error.
+    fn execute(&self, model: &RtModel, options: &ExecOptions) -> Result<ExecOutcome, KernelError>;
+}
+
+/// The delta-cycle event-kernel engine (the paper's VHDL semantics,
+/// executed by `clockless-kernel`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterpretedBackend;
+
+impl ExecBackend for InterpretedBackend {
+    fn label(&self) -> &'static str {
+        "interpreted"
+    }
+
+    fn execute(&self, model: &RtModel, options: &ExecOptions) -> Result<ExecOutcome, KernelError> {
+        let elaborate = ElaborateOptions {
+            trace: options.trace,
+            ..Default::default()
+        };
+        let mut sim = RtSimulation::with_options(model, elaborate)?;
+        if let Some(limit) = options.delta_limit {
+            sim.set_delta_limit(limit);
+        }
+        let summary = match options.deadline {
+            Some(deadline) => sim.run_to_completion_deadlined(deadline)?,
+            None => sim.run_to_completion()?,
+        };
+        Ok(ExecOutcome {
+            summary,
+            commits: sim.register_commits(),
+            vcd: sim.to_vcd(),
+        })
+    }
+}
+
+/// The compiled phase-schedule engine: lowers the model to an
+/// [`ExecPlan`] and walks the dense slot tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompiledBackend;
+
+impl ExecBackend for CompiledBackend {
+    fn label(&self) -> &'static str {
+        "compiled"
+    }
+
+    fn execute(&self, model: &RtModel, options: &ExecOptions) -> Result<ExecOutcome, KernelError> {
+        ExecPlan::lower(model).execute(options)
+    }
+}
+
+/// A backend selector — the value CLI flags and `.fleet` specs carry.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::backend::Backend;
+///
+/// let b: Backend = "compiled".parse()?;
+/// assert_eq!(b, Backend::Compiled);
+/// assert_eq!(b.to_string(), "compiled");
+/// assert_eq!(Backend::default(), Backend::Interpreted);
+/// # Ok::<(), clockless_core::backend::ParseBackendError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The delta-cycle event kernel ([`InterpretedBackend`]).
+    #[default]
+    Interpreted,
+    /// The compiled phase-schedule engine ([`CompiledBackend`]).
+    Compiled,
+}
+
+impl Backend {
+    /// The engine implementing this selector.
+    pub fn backend(self) -> &'static dyn ExecBackend {
+        match self {
+            Backend::Interpreted => &InterpretedBackend,
+            Backend::Compiled => &CompiledBackend,
+        }
+    }
+
+    /// Short lowercase name (`"interpreted"` / `"compiled"`).
+    pub fn label(self) -> &'static str {
+        self.backend().label()
+    }
+
+    /// Runs `model` on the selected engine
+    /// (shorthand for `self.backend().execute(model, options)`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecBackend::execute`].
+    pub fn execute(
+        self,
+        model: &RtModel,
+        options: &ExecOptions,
+    ) -> Result<ExecOutcome, KernelError> {
+        self.backend().execute(model, options)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error parsing a [`Backend`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError(pub String);
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend `{}` (expected interpreted|compiled)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for Backend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "interpreted" => Ok(Backend::Interpreted),
+            "compiled" => Ok(Backend::Compiled),
+            other => Err(ParseBackendError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig1_model;
+    use crate::value::Value;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for b in [Backend::Interpreted, Backend::Compiled] {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!("COMPILED".parse::<Backend>().unwrap(), Backend::Compiled);
+        let err = "jit".parse::<Backend>().unwrap_err();
+        assert!(err.to_string().contains("jit"));
+    }
+
+    #[test]
+    fn labels_match_selectors() {
+        assert_eq!(Backend::Interpreted.label(), "interpreted");
+        assert_eq!(Backend::Compiled.label(), "compiled");
+    }
+
+    #[test]
+    fn untraced_outcome_has_no_waveform_artifacts() {
+        let model = fig1_model(1, 2);
+        for b in [Backend::Interpreted, Backend::Compiled] {
+            let out = b.execute(&model, &ExecOptions::default()).unwrap();
+            assert_eq!(out.summary.register("R1"), Some(Value::Num(3)), "{b}");
+            assert!(out.summary.conflicts.is_none(), "{b}");
+            assert!(out.commits.is_none(), "{b}");
+            assert!(out.vcd.is_none(), "{b}");
+        }
+    }
+
+    #[test]
+    fn both_backends_respect_the_wall_deadline() {
+        let model = fig1_model(3, 4);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        for b in [Backend::Interpreted, Backend::Compiled] {
+            let opts = ExecOptions {
+                deadline: Some(past),
+                ..Default::default()
+            };
+            let err = b.execute(&model, &opts).unwrap_err();
+            assert!(
+                matches!(err, KernelError::WallBudgetExceeded { .. }),
+                "{b}: {err}"
+            );
+        }
+    }
+}

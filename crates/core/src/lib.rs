@@ -59,6 +59,11 @@
 //! * [`processes`] — controller/transfer/register/module processes on the
 //!   simulation kernel (§2.2–2.6).
 //! * [`mod@elaborate`], [`mod@run`] — instantiation and execution.
+//! * [`plan`] — lowering to a compiled phase-schedule IR with a static
+//!   conflict pre-pass (the six-phase scheme makes the schedule static).
+//! * [`backend`] — the pluggable execution-engine layer: the interpreted
+//!   delta kernel and the compiled plan walker behind one trait, with a
+//!   byte-identical observable-output contract.
 //! * [`diag`] — conflict localization (§2.7).
 //! * [`text`] — a declarative text format standing in for the VHDL source.
 //! * [`mod@transcript`] — phase-by-phase value tables (terminal waveforms).
@@ -70,11 +75,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod diag;
 pub mod elaborate;
 pub mod model;
 pub mod op;
 pub mod phase;
+pub mod plan;
 pub mod processes;
 pub mod resource;
 pub mod run;
@@ -86,11 +93,16 @@ pub mod value;
 pub mod vhdl;
 pub mod vhdl_parse;
 
+pub use backend::{
+    Backend, CompiledBackend, ExecBackend, ExecOptions, ExecOutcome, InterpretedBackend,
+    ParseBackendError,
+};
 pub use diag::{Conflict, ConflictReport, ConflictSite};
 pub use elaborate::{elaborate, ElaborateOptions, SignalLayout, SignalRole};
 pub use model::{fig1_model, ModelError, RtModel};
 pub use op::{Arity, Op};
 pub use phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
+pub use plan::{Action, ExecPlan, Source, StaticConflict};
 pub use resource::{BusDecl, BusId, ModuleDecl, ModuleId, ModuleTiming, RegisterDecl, RegisterId};
 pub use run::{RegisterCommit, RtSimulation, RunSummary};
 pub use stats::{model_stats, ModelStats, RunStatsReport};
@@ -102,11 +114,13 @@ pub use vhdl_parse::{parse_vhdl, ParseVhdlError, ParsedDesign};
 
 /// Convenient glob import for model builders.
 pub mod prelude {
+    pub use crate::backend::{Backend, ExecBackend, ExecOptions, ExecOutcome};
     pub use crate::diag::{Conflict, ConflictReport, ConflictSite};
     pub use crate::elaborate::ElaborateOptions;
     pub use crate::model::{fig1_model, ModelError, RtModel};
     pub use crate::op::Op;
     pub use crate::phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
+    pub use crate::plan::ExecPlan;
     pub use crate::resource::{ModuleDecl, ModuleTiming};
     pub use crate::run::{RegisterCommit, RtSimulation, RunSummary};
     pub use crate::tuples::TransferTuple;

@@ -1,0 +1,1170 @@
+//! Lowering elaborated models to a compiled phase-schedule plan.
+//!
+//! The paper's six-phase discipline makes clock-free RT models *statically
+//! schedulable*: every transfer process is active at exactly one
+//! `(step, phase)` slot, the controller's trajectory is fixed, and a run
+//! costs exactly `1 + CS_MAX × 6` delta cycles (plus one trailing flush
+//! delta when the last step commits a register). The interpreted kernel
+//! discovers that schedule dynamically through sensitivity lists and wake
+//! filters; [`ExecPlan::lower`] instead precomputes it as dense
+//! per-`(step, phase)` tables of straight-line [`Action`]s, and
+//! [`ExecPlan::execute`] walks the tables in a fixed number of iterations
+//! with no event machinery at all.
+//!
+//! The walk is *observationally identical* to the interpreted kernel:
+//! same final registers, same trace events in the same order (hence the
+//! same VCD, commit log and conflict diagnoses — step and phase included)
+//! and the same [`SimStats`]. Counters the compiled engine has no dynamic
+//! equivalent for (process activations, wake-filter hits and misses, peak
+//! runnable) are derived from the schedule in closed form; the rest
+//! (events, driver updates, pending-update peaks) are counted during the
+//! walk. `clockless-verify`'s `backend_equiv` asserts the byte-level
+//! agreement over the whole corpus.
+//!
+//! Lowering additionally performs a **static conflict pre-pass**: two
+//! [`Action::Assert`]s landing in the same slot of the same resolved
+//! signal are reported as a [`StaticConflict`] *before* anything runs.
+//! This is a conservative *potential*-conflict diagnostic — at run time
+//! one of the colliding transfers may read `DISC` and resolve cleanly —
+//! so the dynamic `ILLEGAL` events remain the ground truth the paper
+//! describes.
+
+use std::collections::VecDeque;
+
+use clockless_kernel::{KernelError, SignalId, SimStats, SimTime, Trace};
+
+use crate::backend::{ExecOptions, ExecOutcome};
+use crate::diag::{Conflict, ConflictReport, ConflictSite};
+use crate::elaborate::SignalRole;
+use crate::model::RtModel;
+use crate::op::Op;
+use crate::phase::{Phase, PhaseTime, Step};
+use crate::resource::ModuleTiming;
+use crate::run::{RegisterCommit, RunSummary};
+use crate::tuples::Endpoint;
+use crate::value::{resolve, Value};
+
+/// Where an [`Action::Assert`] takes its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Read the signal with this dense index at execution time.
+    Signal(usize),
+    /// Drive a constant (operation-select transfers carry the operation
+    /// code as a literal).
+    Const(Value),
+}
+
+/// One straight-line step of the compiled schedule.
+///
+/// Actions never block and never wait: each one reads current signal
+/// values and schedules driver updates for the *next* delta cycle,
+/// exactly as the corresponding kernel process resumption would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Controller assignment: schedule `value` on the single driver of a
+    /// control signal (`CS` or `PH`).
+    Control {
+        /// Dense index of the control signal.
+        sig: usize,
+        /// The value to schedule.
+        value: Value,
+    },
+    /// Transfer assert: read `src` now and schedule it on driver `slot`
+    /// of `dst`.
+    Assert {
+        /// The value source.
+        src: Source,
+        /// Dense index of the driven signal.
+        dst: usize,
+        /// The transfer's driver slot on `dst`.
+        slot: usize,
+    },
+    /// Transfer release: schedule `DISC` on driver `slot` of `dst`.
+    Release {
+        /// Dense index of the driven signal.
+        dst: usize,
+        /// The transfer's driver slot on `dst`.
+        slot: usize,
+    },
+    /// Module evaluation (the `cm` body): combine the operand ports,
+    /// advance the latency pipeline and schedule the output port.
+    Eval {
+        /// Dense index into the plan's module table.
+        module: usize,
+    },
+    /// Register commit (the `cr` body): schedule the input port's value
+    /// on the output unless it is `DISC`.
+    Commit {
+        /// Dense index into the plan's register table.
+        reg: usize,
+    },
+}
+
+/// A multiply driven slot found by the static conflict pre-pass.
+///
+/// Two or more transfers assert the same resolved signal in the same
+/// `(step, phase)` slot. This is a *potential* conflict: it becomes the
+/// paper's observable `ILLEGAL` only if at least two of the colliding
+/// sources carry non-`DISC` values at run time, in which case the
+/// `ILLEGAL` value is visible from the phase *after* `at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticConflict {
+    /// Name of the multiply driven resource.
+    pub name: String,
+    /// Kind of resource.
+    pub site: ConflictSite,
+    /// The slot whose schedule drives the resource more than once.
+    pub at: PhaseTime,
+    /// How many drives the slot schedules.
+    pub drivers: usize,
+}
+
+impl std::fmt::Display for StaticConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} `{}` driven {} times at {}",
+            self.site, self.name, self.drivers, self.at
+        )
+    }
+}
+
+/// One signal of the plan, mirroring the kernel's elaboration order.
+#[derive(Debug, Clone)]
+struct PlanSignal {
+    name: String,
+    init: Value,
+    /// Number of driver slots (process-attachment order, exactly as the
+    /// kernel would attach them).
+    drivers: usize,
+    /// Whether the signal resolves colliding drivers (buses and ports).
+    resolved: bool,
+    role: SignalRole,
+}
+
+/// One register: dense indices of its port signals.
+#[derive(Debug, Clone)]
+struct PlanReg {
+    name: String,
+    input: usize,
+    output: usize,
+}
+
+/// One functional module: port indices plus operation/timing data.
+#[derive(Debug, Clone)]
+struct PlanModule {
+    in1: usize,
+    in2: usize,
+    /// Operation-select port (multi-operation modules only).
+    op: Option<usize>,
+    out: usize,
+    ops: Vec<Op>,
+    timing: ModuleTiming,
+}
+
+/// A transfer spec resolved to dense indices (lowering intermediate).
+struct LoweredSpec {
+    step: Step,
+    phase: Phase,
+    src: Source,
+    dst: usize,
+    slot: usize,
+}
+
+/// The compiled execution plan of one [`RtModel`].
+///
+/// Built by [`lower`](ExecPlan::lower); executed by
+/// [`execute`](ExecPlan::execute). Slot `(s, p)` holds the straight-line
+/// actions the kernel's runnable set would perform in the delta cycle of
+/// step `s`, phase `p` — in the kernel's exact execution order, so driver
+/// updates (and therefore events, traces and conflict diagnoses) come out
+/// byte-identical.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    cs_max: Step,
+    signals: Vec<PlanSignal>,
+    regs: Vec<PlanReg>,
+    modules: Vec<PlanModule>,
+    /// Actions of the initialization delta (delta 0).
+    init_actions: Vec<Action>,
+    /// `slots[(s-1)*6 + p.index()]` = actions of step `s`, phase `p`
+    /// (executed in delta `(s-1)*6 + p.index() + 1`).
+    slots: Vec<Vec<Action>>,
+    /// Whether a trailing flush delta follows `cr(CS_MAX)`. Statically
+    /// determined: some transfer asserts a register input at
+    /// `wb(CS_MAX)`, so its commit and release are still pending after
+    /// the last scheduled phase.
+    flush: bool,
+    static_conflicts: Vec<StaticConflict>,
+    /// Analytic stats derived from the schedule (see module docs).
+    process_count: u64,
+    activations: u64,
+    wake_hits: u64,
+    wake_misses: u64,
+}
+
+impl ExecPlan {
+    /// Lowers a validated model into its compiled plan.
+    ///
+    /// Panics if the model references undeclared resources — impossible
+    /// for models built through [`RtModel`]'s validating API.
+    pub fn lower(model: &RtModel) -> ExecPlan {
+        let cs_max = model.cs_max();
+        let mut signals: Vec<PlanSignal> = Vec::new();
+
+        // Signal order mirrors `elaborate` exactly: CS, PH, register
+        // ports, buses, module ports.
+        let cs = signals.len();
+        signals.push(PlanSignal {
+            name: "CS".into(),
+            init: Value::Num(0),
+            drivers: 0,
+            resolved: false,
+            role: SignalRole::ControlStep,
+        });
+        let ph = signals.len();
+        signals.push(PlanSignal {
+            name: "PH".into(),
+            init: Value::Num(Phase::LAST.index() as i64),
+            drivers: 0,
+            resolved: false,
+            role: SignalRole::PhaseSignal,
+        });
+
+        let mut regs = Vec::new();
+        for r in model.registers() {
+            let input = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_in", r.name),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: true,
+                role: SignalRole::RegIn(r.name.clone()),
+            });
+            let output = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_out", r.name),
+                init: r.init,
+                drivers: 0,
+                resolved: false,
+                role: SignalRole::RegOut(r.name.clone()),
+            });
+            regs.push(PlanReg {
+                name: r.name.clone(),
+                input,
+                output,
+            });
+        }
+
+        let mut bus_sig = Vec::new();
+        for b in model.buses() {
+            let s = signals.len();
+            signals.push(PlanSignal {
+                name: b.name.clone(),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: true,
+                role: SignalRole::Bus(b.name.clone()),
+            });
+            bus_sig.push(s);
+        }
+
+        let mut modules = Vec::new();
+        for m in model.modules() {
+            let in1 = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_in1", m.name),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: true,
+                role: SignalRole::ModIn1(m.name.clone()),
+            });
+            let in2 = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_in2", m.name),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: true,
+                role: SignalRole::ModIn2(m.name.clone()),
+            });
+            let op = if m.needs_op_port() {
+                let s = signals.len();
+                signals.push(PlanSignal {
+                    name: format!("{}_op", m.name),
+                    init: Value::Disc,
+                    drivers: 0,
+                    resolved: true,
+                    role: SignalRole::ModOp(m.name.clone()),
+                });
+                Some(s)
+            } else {
+                None
+            };
+            let out = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_out", m.name),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: false,
+                role: SignalRole::ModOut(m.name.clone()),
+            });
+            modules.push(PlanModule {
+                in1,
+                in2,
+                op,
+                out,
+                ops: m.ops.clone(),
+                timing: m.timing,
+            });
+        }
+
+        // Driver attachment in process-creation order, mirroring the
+        // kernel: controller, register procs, module procs, transfers.
+        signals[cs].drivers = 1;
+        signals[ph].drivers = 1;
+        for r in &regs {
+            signals[r.output].drivers += 1;
+        }
+        for m in &modules {
+            signals[m.out].drivers += 1;
+        }
+
+        let index_of = |endpoint: &Endpoint| -> Option<usize> {
+            match endpoint {
+                Endpoint::RegOut(r) => model
+                    .register_by_name(r)
+                    .map(|id| regs[id.0 as usize].output),
+                Endpoint::RegIn(r) => model
+                    .register_by_name(r)
+                    .map(|id| regs[id.0 as usize].input),
+                Endpoint::Bus(b) => model.bus_by_name(b).map(|id| bus_sig[id.0 as usize]),
+                Endpoint::ModIn1(m) => model.module_by_name(m).map(|id| modules[id.0 as usize].in1),
+                Endpoint::ModIn2(m) => model.module_by_name(m).map(|id| modules[id.0 as usize].in2),
+                Endpoint::ModOut(m) => model.module_by_name(m).map(|id| modules[id.0 as usize].out),
+                Endpoint::ModOp(m) => model
+                    .module_by_name(m)
+                    .and_then(|id| modules[id.0 as usize].op),
+                Endpoint::ConstOp(_) => None,
+            }
+        };
+
+        let mut specs: Vec<LoweredSpec> = Vec::new();
+        for tuple in model.tuples() {
+            for spec in tuple.expand() {
+                let src = match &spec.src {
+                    Endpoint::ConstOp(op) => {
+                        let mid = model
+                            .module_by_name(&tuple.module)
+                            .expect("validated tuple references known module");
+                        let idx = model.modules()[mid.0 as usize]
+                            .op_index(*op)
+                            .expect("validated tuple selects supported op");
+                        Source::Const(Value::Num(idx as i64))
+                    }
+                    other => Source::Signal(
+                        index_of(other).expect("validated tuple references known resources"),
+                    ),
+                };
+                let dst = index_of(&spec.dst).expect("validated tuple references known resources");
+                let slot = signals[dst].drivers;
+                signals[dst].drivers += 1;
+                specs.push(LoweredSpec {
+                    step: spec.step,
+                    phase: spec.phase,
+                    src,
+                    dst,
+                    slot,
+                });
+            }
+        }
+
+        // Slot tables: for each delta of each step, the actions in the
+        // kernel's runnable-set order (derived from waiter-list and wake
+        // positions; see ARCHITECTURE.md "Two engines, one semantics").
+        let num_slots = cs_max as usize * Phase::ALL.len();
+        let mut slots: Vec<Vec<Action>> = vec![Vec::new(); num_slots];
+        let ph_to = |p: Phase| Action::Control {
+            sig: ph,
+            value: Value::Num(p.index() as i64),
+        };
+        for s in 1..=cs_max {
+            let base = (s as usize - 1) * Phase::ALL.len();
+            let step_specs = || specs.iter().filter(|sp| sp.step == s);
+
+            // ra: step specs wake before the controller (CS is processed
+            // before PH in the wake queue). Only Ra specs assert here.
+            let ra = &mut slots[base + Phase::Ra.index() as usize];
+            for sp in step_specs().filter(|sp| sp.phase == Phase::Ra) {
+                ra.push(Action::Assert {
+                    src: sp.src,
+                    dst: sp.dst,
+                    slot: sp.slot,
+                });
+            }
+            ra.push(ph_to(Phase::Rb));
+
+            // rb: controller first, then Ra releases / Rb asserts
+            // interleaved in declaration order (both re-registered at the
+            // end of PH's waiter list during ra).
+            let rb = &mut slots[base + Phase::Rb.index() as usize];
+            rb.push(ph_to(Phase::Cm));
+            for sp in step_specs() {
+                match sp.phase {
+                    Phase::Ra => rb.push(Action::Release {
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    }),
+                    Phase::Rb => rb.push(Action::Assert {
+                        src: sp.src,
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    }),
+                    _ => {}
+                }
+            }
+
+            // cm: controller, all modules (original waiter positions),
+            // then Rb releases.
+            let cm = &mut slots[base + Phase::Cm.index() as usize];
+            cm.push(ph_to(Phase::Wa));
+            for i in 0..modules.len() {
+                cm.push(Action::Eval { module: i });
+            }
+            for sp in step_specs().filter(|sp| sp.phase == Phase::Rb) {
+                cm.push(Action::Release {
+                    dst: sp.dst,
+                    slot: sp.slot,
+                });
+            }
+
+            // wa: controller, then Wa asserts.
+            let wa = &mut slots[base + Phase::Wa.index() as usize];
+            wa.push(ph_to(Phase::Wb));
+            for sp in step_specs().filter(|sp| sp.phase == Phase::Wa) {
+                wa.push(Action::Assert {
+                    src: sp.src,
+                    dst: sp.dst,
+                    slot: sp.slot,
+                });
+            }
+
+            // wb: controller, Wb asserts (original positions), then Wa
+            // releases (re-registered at the end during wa).
+            let wb = &mut slots[base + Phase::Wb.index() as usize];
+            wb.push(ph_to(Phase::Cr));
+            for sp in step_specs().filter(|sp| sp.phase == Phase::Wb) {
+                wb.push(Action::Assert {
+                    src: sp.src,
+                    dst: sp.dst,
+                    slot: sp.slot,
+                });
+            }
+            for sp in step_specs().filter(|sp| sp.phase == Phase::Wa) {
+                wb.push(Action::Release {
+                    dst: sp.dst,
+                    slot: sp.slot,
+                });
+            }
+
+            // cr: controller advances (CS before PH, matching its push
+            // order; nothing on the last step), registers commit, then
+            // Wb releases.
+            let cr = &mut slots[base + Phase::Cr.index() as usize];
+            if s < cs_max {
+                cr.push(Action::Control {
+                    sig: cs,
+                    value: Value::Num(s as i64 + 1),
+                });
+                cr.push(ph_to(Phase::Ra));
+            }
+            for i in 0..regs.len() {
+                cr.push(Action::Commit { reg: i });
+            }
+            for sp in step_specs().filter(|sp| sp.phase == Phase::Wb) {
+                cr.push(Action::Release {
+                    dst: sp.dst,
+                    slot: sp.slot,
+                });
+            }
+        }
+
+        let init_actions = if cs_max >= 1 {
+            vec![
+                Action::Control {
+                    sig: cs,
+                    value: Value::Num(1),
+                },
+                ph_to(Phase::Ra),
+            ]
+        } else {
+            Vec::new()
+        };
+
+        // A commit at cr(CS_MAX) (and its paired release) leaves pending
+        // updates after the last scheduled phase if and only if some
+        // transfer asserts a register input at wb(CS_MAX).
+        let flush = cs_max >= 1
+            && specs
+                .iter()
+                .any(|sp| sp.phase == Phase::Wb && sp.step == cs_max);
+
+        // Static conflict pre-pass: multiple asserts into one slot of one
+        // signal, reported in slot order then first-drive order.
+        let mut static_conflicts = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let mut counts: Vec<(usize, usize)> = Vec::new();
+            for action in slot {
+                if let Action::Assert { dst, .. } = action {
+                    match counts.iter_mut().find(|(d, _)| d == dst) {
+                        Some((_, n)) => *n += 1,
+                        None => counts.push((*dst, 1)),
+                    }
+                }
+            }
+            for (dst, n) in counts.into_iter().filter(|&(_, n)| n > 1) {
+                let at = PhaseTime::from_active_delta(i as u64 + 1)
+                    .expect("slot deltas are active by construction");
+                let (site, name) = match &signals[dst].role {
+                    SignalRole::Bus(n) => (ConflictSite::Bus, n.clone()),
+                    SignalRole::ModIn1(n) | SignalRole::ModIn2(n) => {
+                        (ConflictSite::ModulePort, n.clone())
+                    }
+                    SignalRole::ModOp(n) => (ConflictSite::ModuleOpPort, n.clone()),
+                    SignalRole::ModOut(n) => (ConflictSite::ModuleOut, n.clone()),
+                    SignalRole::RegIn(n) => (ConflictSite::RegisterPort, n.clone()),
+                    SignalRole::RegOut(n) => (ConflictSite::RegisterValue, n.clone()),
+                    SignalRole::ControlStep | SignalRole::PhaseSignal => continue,
+                };
+                static_conflicts.push(StaticConflict {
+                    name,
+                    site,
+                    at,
+                    drivers: n,
+                });
+            }
+        }
+
+        // Analytic kernel statistics (derived in closed form; the
+        // differential suite pins them against the interpreted run).
+        let steps = cs_max as u64;
+        let fixed_procs = (regs.len() + modules.len()) as u64;
+        let mut activations = 1 + 6 * steps + fixed_procs * (1 + steps);
+        let mut wake_hits = fixed_procs * steps;
+        let mut wake_misses = fixed_procs * 5 * steps;
+        for sp in &specs {
+            if (1..=cs_max).contains(&sp.step) {
+                // CS filter: misses while CS counts up to the step, one
+                // hit when it arrives.
+                wake_hits += 1;
+                wake_misses += sp.step as u64 - 1;
+                if sp.phase == Phase::Ra {
+                    // init + assert + release; PH filter hits once (the
+                    // release phase).
+                    activations += 3;
+                    wake_hits += 1;
+                } else {
+                    // init + arm + assert + release; PH misses phases
+                    // between ra and the assert phase, hits twice.
+                    activations += 4;
+                    wake_hits += 2;
+                    wake_misses += sp.phase.index() as u64 - 1;
+                }
+            } else {
+                // Defensive: a spec outside the schedule only ever runs
+                // its init resume and watches CS miss every step.
+                activations += 1;
+                wake_misses += steps;
+            }
+        }
+        let process_count = 1 + fixed_procs + specs.len() as u64;
+
+        ExecPlan {
+            cs_max,
+            signals,
+            regs,
+            modules,
+            init_actions,
+            slots,
+            flush,
+            static_conflicts,
+            process_count,
+            activations,
+            wake_hits,
+            wake_misses,
+        }
+    }
+
+    /// Maximum control step of the lowered model.
+    pub fn cs_max(&self) -> Step {
+        self.cs_max
+    }
+
+    /// Exact number of delta cycles a run of this plan executes — fixed
+    /// by the schedule, known before anything runs.
+    pub fn total_deltas(&self) -> u64 {
+        1 + self.cs_max as u64 * Phase::ALL.len() as u64 + u64::from(self.flush)
+    }
+
+    /// The statically detected multiply driven slots (see
+    /// [`StaticConflict`]).
+    pub fn static_conflicts(&self) -> &[StaticConflict] {
+        &self.static_conflicts
+    }
+
+    /// The scheduled actions of one `(step, phase)` slot, or `None` when
+    /// `step` is outside `1..=CS_MAX`.
+    pub fn actions(&self, step: Step, phase: Phase) -> Option<&[Action]> {
+        if step < 1 || step > self.cs_max {
+            return None;
+        }
+        let i = (step as usize - 1) * Phase::ALL.len() + phase.index() as usize;
+        Some(self.slots[i].as_slice())
+    }
+
+    /// Walks the plan and harvests the observable output.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::DeltaOverflow`] when [`total_deltas`](Self::total_deltas)
+    /// exceeds the delta budget (diagnosed up front — the schedule length
+    /// is static), [`KernelError::WallBudgetExceeded`] when the deadline
+    /// passes mid-walk.
+    pub fn execute(&self, options: &ExecOptions) -> Result<ExecOutcome, KernelError> {
+        let delta_limit = options.delta_limit.unwrap_or(100_000_000);
+        let needed = self.total_deltas();
+        if needed > delta_limit {
+            return Err(KernelError::DeltaOverflow {
+                at: SimTime {
+                    fs: 0,
+                    delta: delta_limit,
+                },
+                limit: delta_limit,
+            });
+        }
+
+        let mut values: Vec<Value> = self.signals.iter().map(|s| s.init).collect();
+        let mut drivers: Vec<Vec<Value>> = self
+            .signals
+            .iter()
+            .map(|s| vec![s.init; s.drivers])
+            .collect();
+        let mut pipes: Vec<VecDeque<Value>> = self
+            .modules
+            .iter()
+            .map(|m| VecDeque::from(vec![Value::Disc; m.timing.latency() as usize]))
+            .collect();
+        let mut busy: Vec<u32> = vec![0; self.modules.len()];
+
+        let mut trace: Option<Trace<Value>> = options.trace.then(Trace::new);
+        // (delta, signal, value) of every event, for conflict/commit
+        // extraction; only kept while tracing.
+        let mut events: Vec<(u64, usize, Value)> = Vec::new();
+        if let Some(t) = &mut trace {
+            for (i, s) in self.signals.iter().enumerate() {
+                t.push(SimTime::ZERO, SignalId::from_index(i), s.init);
+            }
+        }
+
+        let mut stats = SimStats {
+            process_activations: self.activations,
+            wake_filter_hits: self.wake_hits,
+            wake_filter_misses: self.wake_misses,
+            // The initialization delta runs every process at once — the
+            // high-water mark of the whole run.
+            peak_runnable: self.process_count,
+            ..SimStats::default()
+        };
+
+        let mut pending: Vec<(usize, usize, Value)> = Vec::new();
+        for d in 0..needed {
+            stats.peak_pending_updates = stats.peak_pending_updates.max(pending.len() as u64);
+
+            // Update phase: apply scheduled driver transactions in push
+            // order, recomputing effective values one transaction at a
+            // time (two drives of one signal in one delta each produce
+            // their own event, exactly like the kernel).
+            let updates = std::mem::take(&mut pending);
+            for (sig, slot, value) in updates {
+                stats.driver_updates += 1;
+                drivers[sig][slot] = value;
+                let effective = if self.signals[sig].resolved {
+                    resolve(&drivers[sig])
+                } else {
+                    drivers[sig][0]
+                };
+                if effective != values[sig] {
+                    values[sig] = effective;
+                    stats.events += 1;
+                    if let Some(t) = &mut trace {
+                        t.push(
+                            SimTime { fs: 0, delta: d },
+                            SignalId::from_index(sig),
+                            effective,
+                        );
+                        events.push((d, sig, effective));
+                    }
+                }
+            }
+
+            // Run phase: the slot's straight-line actions.
+            let actions: &[Action] = if d == 0 {
+                &self.init_actions
+            } else {
+                self.slots
+                    .get(d as usize - 1)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]) // trailing flush delta: updates only
+            };
+            for &action in actions {
+                match action {
+                    Action::Control { sig, value } => pending.push((sig, 0, value)),
+                    Action::Assert { src, dst, slot } => {
+                        let v = match src {
+                            Source::Signal(s) => values[s],
+                            Source::Const(v) => v,
+                        };
+                        pending.push((dst, slot, v));
+                    }
+                    Action::Release { dst, slot } => pending.push((dst, slot, Value::Disc)),
+                    Action::Eval { module } => {
+                        let m = &self.modules[module];
+                        let mut result = combine(
+                            values[m.in1],
+                            values[m.in2],
+                            m.op.map(|p| values[p]),
+                            &m.ops,
+                        );
+                        if let ModuleTiming::Sequential { latency } = m.timing {
+                            if busy[module] > 0 {
+                                busy[module] -= 1;
+                                if result != Value::Disc {
+                                    // Initiation-interval violation:
+                                    // poison the whole pipeline.
+                                    result = Value::Illegal;
+                                    for v in pipes[module].iter_mut() {
+                                        *v = Value::Illegal;
+                                    }
+                                }
+                            } else if result != Value::Disc {
+                                busy[module] = latency.saturating_sub(1);
+                            }
+                        }
+                        let pipe = &mut pipes[module];
+                        match pipe.pop_front() {
+                            None => pending.push((m.out, 0, result)),
+                            Some(due) => {
+                                pending.push((m.out, 0, due));
+                                pipe.push_back(result);
+                            }
+                        }
+                    }
+                    Action::Commit { reg } => {
+                        let r = &self.regs[reg];
+                        let v = values[r.input];
+                        if v != Value::Disc {
+                            pending.push((r.output, 0, v));
+                        }
+                    }
+                }
+            }
+
+            if let Some(deadline) = options.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(KernelError::WallBudgetExceeded {
+                        at: SimTime {
+                            fs: 0,
+                            delta: d + 1,
+                        },
+                    });
+                }
+            }
+        }
+        stats.delta_cycles = needed;
+
+        let registers: Vec<(String, Value)> = self
+            .regs
+            .iter()
+            .map(|r| (r.name.clone(), values[r.output]))
+            .collect();
+
+        let conflicts = trace.as_ref().map(|_| self.dynamic_conflicts(&events));
+        let commits = trace.as_ref().map(|_| self.commit_log(&events));
+        let vcd = trace.as_ref().map(|t| {
+            let names: Vec<String> = self.signals.iter().map(|s| s.name.clone()).collect();
+            t.to_vcd(&names)
+        });
+
+        Ok(ExecOutcome {
+            summary: RunSummary {
+                stats,
+                registers,
+                conflicts,
+            },
+            commits,
+            vcd,
+        })
+    }
+
+    /// `ILLEGAL`-valued events localized to step and phase (the same
+    /// extraction `RtSimulation::conflicts` performs on the trace).
+    fn dynamic_conflicts(&self, events: &[(u64, usize, Value)]) -> ConflictReport {
+        let mut conflicts = Vec::new();
+        for &(delta, sig, value) in events {
+            if value != Value::Illegal {
+                continue;
+            }
+            let Some(visible_at) = PhaseTime::from_active_delta(delta) else {
+                continue;
+            };
+            let (site, name) = match &self.signals[sig].role {
+                SignalRole::Bus(n) => (ConflictSite::Bus, n.clone()),
+                SignalRole::ModIn1(n) | SignalRole::ModIn2(n) => {
+                    (ConflictSite::ModulePort, n.clone())
+                }
+                SignalRole::ModOp(n) => (ConflictSite::ModuleOpPort, n.clone()),
+                SignalRole::ModOut(n) => (ConflictSite::ModuleOut, n.clone()),
+                SignalRole::RegIn(n) => (ConflictSite::RegisterPort, n.clone()),
+                SignalRole::RegOut(n) => (ConflictSite::RegisterValue, n.clone()),
+                SignalRole::ControlStep | SignalRole::PhaseSignal => continue,
+            };
+            conflicts.push(Conflict {
+                site,
+                name,
+                visible_at,
+            });
+        }
+        ConflictReport { conflicts }
+    }
+
+    /// Register-output events attributed to the storing step (the same
+    /// extraction `RtSimulation::register_commits` performs).
+    fn commit_log(&self, events: &[(u64, usize, Value)]) -> Vec<RegisterCommit> {
+        let mut commits = Vec::new();
+        for &(delta, sig, value) in events {
+            let SignalRole::RegOut(name) = &self.signals[sig].role else {
+                continue;
+            };
+            let Some(pt) = PhaseTime::from_active_delta(delta) else {
+                continue; // initial value, not a commit
+            };
+            commits.push(RegisterCommit {
+                register: name.clone(),
+                step: pt.step - 1,
+                value,
+            });
+        }
+        commits
+    }
+}
+
+/// Combines module operand ports into a result, mirroring the module
+/// process: the op port (when present) selects the operation by index;
+/// `DISC` selection with live operands and out-of-range selections are
+/// `ILLEGAL`.
+fn combine(a: Value, b: Value, op_sel: Option<Value>, ops: &[Op]) -> Value {
+    let op = match op_sel {
+        None => ops[0],
+        Some(Value::Disc) => {
+            return if a == Value::Disc && b == Value::Disc {
+                Value::Disc
+            } else {
+                Value::Illegal
+            };
+        }
+        Some(Value::Illegal) => return Value::Illegal,
+        Some(Value::Num(i)) => match usize::try_from(i).ok().and_then(|i| ops.get(i)) {
+            Some(&op) => op,
+            None => return Value::Illegal,
+        },
+    };
+    op.apply(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, ExecOptions};
+    use crate::model::{fig1_model, RtModel};
+    use crate::op::Op;
+    use crate::resource::{ModuleDecl, ModuleTiming};
+    use crate::run::RtSimulation;
+    use crate::tuples::TransferTuple;
+
+    fn interpreted_traced(model: &RtModel) -> crate::backend::ExecOutcome {
+        Backend::Interpreted
+            .execute(model, &ExecOptions::traced())
+            .unwrap()
+    }
+
+    fn compiled_traced(model: &RtModel) -> crate::backend::ExecOutcome {
+        Backend::Compiled
+            .execute(model, &ExecOptions::traced())
+            .unwrap()
+    }
+
+    fn assert_equivalent(model: &RtModel) {
+        let i = interpreted_traced(model);
+        let c = compiled_traced(model);
+        assert_eq!(i.summary.registers, c.summary.registers, "registers");
+        assert_eq!(i.summary.stats, c.summary.stats, "stats");
+        assert_eq!(
+            i.summary.conflicts.as_ref().map(|r| &r.conflicts),
+            c.summary.conflicts.as_ref().map(|r| &r.conflicts),
+            "conflicts"
+        );
+        assert_eq!(i.commits, c.commits, "commits");
+        assert_eq!(i.vcd, c.vcd, "vcd");
+    }
+
+    #[test]
+    fn fig1_is_byte_equivalent() {
+        assert_equivalent(&fig1_model(3, 4));
+    }
+
+    #[test]
+    fn fig1_plan_shape() {
+        let model = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&model);
+        assert_eq!(plan.cs_max(), 7);
+        assert_eq!(plan.total_deltas(), 43); // 1 + 7*6, no flush
+        assert!(plan.static_conflicts().is_empty());
+        // Step 5 ra: two register reads plus the controller advance.
+        assert_eq!(plan.actions(5, Phase::Ra).unwrap().len(), 3);
+        // An unscheduled step still carries the controller skeleton.
+        assert_eq!(plan.actions(1, Phase::Ra).unwrap().len(), 1);
+        assert!(plan.actions(8, Phase::Ra).is_none());
+        assert!(plan.actions(0, Phase::Ra).is_none());
+    }
+
+    #[test]
+    fn fig1_analytic_stats_match_interpreted() {
+        let model = fig1_model(3, 4);
+        let out = compiled_traced(&model);
+        let s = out.summary.stats;
+        assert_eq!(s.delta_cycles, 43);
+        assert_eq!(s.process_activations, 89);
+        assert_eq!(s.wake_filter_hits, 37);
+        assert_eq!(s.wake_filter_misses, 136);
+        assert_eq!(s.time_advances, 0);
+    }
+
+    /// A model whose only write lands at `wb(CS_MAX)`, forcing the
+    /// trailing flush delta.
+    fn flush_model() -> RtModel {
+        let mut model = RtModel::new("flush", 2);
+        model.add_register_init("R1", Value::Num(3)).unwrap();
+        model.add_register_init("R2", Value::Num(4)).unwrap();
+        model.add_bus("B1").unwrap();
+        model.add_bus("B2").unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "ADD",
+                Op::Add,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+        model
+            .add_transfer(
+                TransferTuple::new(1, "ADD")
+                    .src_a("R1", "B1")
+                    .src_b("R2", "B2")
+                    .write(2, "B1", "R1"),
+            )
+            .unwrap();
+        model
+    }
+
+    #[test]
+    fn write_at_last_step_takes_the_flush_delta() {
+        let model = flush_model();
+        let plan = ExecPlan::lower(&model);
+        assert!(plan.flush);
+        assert_eq!(plan.total_deltas(), 14); // 1 + 2*6 + flush
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        assert_eq!(out.summary.register("R1"), Some(Value::Num(7)));
+        assert_eq!(out.summary.stats.delta_cycles, 14);
+    }
+
+    #[test]
+    fn model_without_transfers_is_byte_equivalent() {
+        let mut model = RtModel::new("idle", 3);
+        model.add_register_init("R1", Value::Num(9)).unwrap();
+        model.add_bus("B1").unwrap();
+        let plan = ExecPlan::lower(&model);
+        assert!(!plan.flush);
+        assert_eq!(plan.total_deltas(), 19);
+        assert_equivalent(&model);
+    }
+
+    #[test]
+    fn disc_init_registers_are_byte_equivalent() {
+        // fig1 structure but with uninitialized (DISC) registers: the
+        // ADD sees DISC operands and the commit never fires.
+        let model = fig1_model_disc();
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        assert_eq!(out.summary.register("R1"), Some(Value::Disc));
+    }
+
+    fn fig1_model_disc() -> RtModel {
+        let mut model = RtModel::new("fig1_disc", 7);
+        model.add_register("R1").unwrap();
+        model.add_register("R2").unwrap();
+        model.add_bus("B1").unwrap();
+        model.add_bus("B2").unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "ADD",
+                Op::Add,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+        model
+            .add_transfer(
+                TransferTuple::new(5, "ADD")
+                    .src_a("R1", "B1")
+                    .src_b("R2", "B2")
+                    .write(6, "B1", "R1"),
+            )
+            .unwrap();
+        model
+    }
+
+    #[test]
+    fn bus_conflict_is_found_statically_and_dynamically() {
+        // Two transfers read different registers onto the same bus at the
+        // same step: B1 is driven twice at ra(1).
+        let mut model = RtModel::new("clash", 3);
+        model.add_register_init("R1", Value::Num(1)).unwrap();
+        model.add_register_init("R2", Value::Num(2)).unwrap();
+        model.add_register_init("R3", Value::Num(3)).unwrap();
+        model.add_bus("B1").unwrap();
+        model.add_bus("B2").unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "ADD",
+                Op::Add,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "CPY",
+                Op::PassA,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+        model
+            .add_transfer(
+                TransferTuple::new(1, "ADD")
+                    .src_a("R1", "B1")
+                    .src_b("R3", "B2")
+                    .write(2, "B2", "R3"),
+            )
+            .unwrap();
+        model
+            .add_transfer(TransferTuple::new(1, "CPY").src_a("R2", "B1"))
+            .unwrap();
+
+        let plan = ExecPlan::lower(&model);
+        let stat = plan
+            .static_conflicts()
+            .iter()
+            .find(|c| c.name == "B1")
+            .expect("static pre-pass flags the shared bus");
+        assert_eq!(stat.site, ConflictSite::Bus);
+        assert_eq!(stat.at, PhaseTime::new(1, Phase::Ra));
+        assert_eq!(stat.drivers, 2);
+
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        let report = out.summary.conflicts.unwrap();
+        assert!(
+            report.on("B1").any(|c| c.site == ConflictSite::Bus),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn clean_model_has_no_static_conflicts() {
+        assert!(ExecPlan::lower(&fig1_model(3, 4))
+            .static_conflicts()
+            .is_empty());
+    }
+
+    #[test]
+    fn delta_overflow_is_diagnosed_up_front() {
+        let model = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&model);
+        let opts = ExecOptions {
+            delta_limit: Some(10),
+            ..Default::default()
+        };
+        let err = plan.execute(&opts).unwrap_err();
+        assert!(
+            matches!(err, KernelError::DeltaOverflow { limit: 10, .. }),
+            "{err}"
+        );
+        // The interpreted kernel fails the same way with the same budget.
+        let mut sim = RtSimulation::new(&model).unwrap();
+        sim.set_delta_limit(10);
+        let ierr = sim.run_to_completion().unwrap_err();
+        assert_eq!(err, ierr);
+        // And the exact budget passes both.
+        let opts = ExecOptions {
+            delta_limit: Some(43),
+            ..Default::default()
+        };
+        assert!(plan.execute(&opts).is_ok());
+    }
+
+    #[test]
+    fn zero_step_model_runs_one_delta() {
+        let mut model = RtModel::new("empty", 0);
+        model.add_register_init("R1", Value::Num(5)).unwrap();
+        let plan = ExecPlan::lower(&model);
+        assert_eq!(plan.total_deltas(), 1);
+        assert_equivalent(&model);
+    }
+
+    #[test]
+    fn sequential_module_models_are_byte_equivalent() {
+        // A sequential multiplier with latency 2, plus a second transfer
+        // violating its initiation interval (poisoned pipeline).
+        for violate in [false, true] {
+            let mut model = RtModel::new("seq", 6);
+            model.add_register_init("R1", Value::Num(3)).unwrap();
+            model.add_register_init("R2", Value::Num(4)).unwrap();
+            model.add_register_init("R3", Value::Num(5)).unwrap();
+            model.add_bus("B1").unwrap();
+            model.add_bus("B2").unwrap();
+            model
+                .add_module(ModuleDecl::single(
+                    "MUL",
+                    Op::Mul,
+                    ModuleTiming::Sequential { latency: 2 },
+                ))
+                .unwrap();
+            model
+                .add_transfer(
+                    TransferTuple::new(1, "MUL")
+                        .src_a("R1", "B1")
+                        .src_b("R2", "B2")
+                        .write(3, "B1", "R1"),
+                )
+                .unwrap();
+            if violate {
+                model
+                    .add_transfer(
+                        TransferTuple::new(2, "MUL")
+                            .src_a("R3", "B1")
+                            .src_b("R2", "B2")
+                            .write(4, "B2", "R3"),
+                    )
+                    .unwrap();
+            }
+            assert_equivalent(&model);
+        }
+    }
+}

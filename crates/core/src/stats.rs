@@ -277,6 +277,38 @@ mod tests {
     }
 
     #[test]
+    fn zeroed_kernel_counters_serialize_explicitly() {
+        // Every kernel counter must appear with an explicit `0` — a
+        // consumer diffing reports across backends or kernel versions
+        // relies on the key set being independent of the values.
+        let report = RunStatsReport {
+            model: "idle".to_string(),
+            schedule: model_stats(&RtModel::new("idle", 1)),
+            kernel: SimStats::default(),
+            activations: Vec::new(),
+        };
+        let json = report.to_json();
+        for key in [
+            "delta_cycles",
+            "process_activations",
+            "events",
+            "driver_updates",
+            "time_advances",
+            "wake_filter_hits",
+            "wake_filter_misses",
+            "peak_runnable",
+            "peak_pending_updates",
+            "injected_faults",
+            "retries",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\": 0")),
+                "missing zeroed counter {key} in {json}"
+            );
+        }
+    }
+
+    #[test]
     fn run_report_renders_json() {
         let mut sim = crate::run::RtSimulation::new(&fig1_model(3, 4)).unwrap();
         sim.run_to_completion().unwrap();

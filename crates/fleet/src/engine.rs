@@ -27,7 +27,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use clockless_core::{RtModel, RtSimulation};
+use clockless_core::{Backend, ExecOptions, RtModel};
 use clockless_kernel::KernelError;
 
 use crate::report::{FailureKind, FleetReport, JobFailure, JobOutcome, JobResult};
@@ -54,6 +54,12 @@ pub struct FleetConfig {
     /// Wall-clock budget per job attempt. Exhausting it classifies the
     /// job as [`FailureKind::WallBudget`].
     pub wall_budget: Option<Duration>,
+    /// Execution backend for every job (the CLI's `--backend` flag). When
+    /// set it overrides per-job `backend` spec options; `None` lets each
+    /// job pick its own, defaulting to [`Backend::Interpreted`]. Both
+    /// engines produce byte-identical reports — the deterministic JSON of
+    /// a batch does not depend on this choice.
+    pub backend: Option<Backend>,
 }
 
 /// Runs every job of `spec` with the default fault-tolerant
@@ -93,6 +99,7 @@ struct ResolvedJob {
     name: String,
     model: Result<RtModel, FleetError>,
     delta_budget: Option<u64>,
+    backend: Backend,
     chaos: Option<ChaosProbe>,
 }
 
@@ -142,6 +149,7 @@ pub fn run_batch_with(
             name: j.name.clone(),
             model,
             delta_budget: min_budget(config.delta_budget, j.delta_budget),
+            backend: config.backend.or(j.backend).unwrap_or_default(),
             chaos: match j.source {
                 crate::spec::JobSource::Chaos(p) => Some(p),
                 _ => None,
@@ -269,6 +277,7 @@ fn run_job_with_retries(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
                 model,
                 job.delta_budget,
                 config.wall_budget,
+                job.backend,
                 job.chaos,
             )
         }));
@@ -314,39 +323,43 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs one job on a fresh, private kernel instance (always traced, so
-/// conflict diagnoses are available in the report), enforcing the
-/// configured budgets.
+/// Runs one job on a fresh, private engine instance of the selected
+/// backend (always traced, so conflict diagnoses are available in the
+/// report), enforcing the configured budgets.
 fn run_job(
     name: &str,
     model: &RtModel,
     delta_budget: Option<u64>,
     wall_budget: Option<Duration>,
+    backend: Backend,
     chaos: Option<ChaosProbe>,
 ) -> Result<JobResult, (FailureKind, String)> {
     if let Some(probe) = chaos {
         probe.trip();
     }
     let t0 = Instant::now();
-    let mut sim = RtSimulation::traced(model).map_err(|e| (FailureKind::Run, e.to_string()))?;
-    if let Some(budget) = delta_budget {
-        sim.set_delta_limit(budget);
-    }
-    let run = match wall_budget {
-        Some(d) => sim.run_to_completion_deadlined(t0 + d),
-        None => sim.run_to_completion(),
+    let options = ExecOptions {
+        trace: true,
+        delta_limit: delta_budget,
+        deadline: wall_budget.map(|d| t0 + d),
     };
-    let summary = run.map_err(|e| {
-        let kind = match e {
-            // The delta limit only classifies as a budget failure when a
-            // budget was actually configured; at the kernel's default
-            // runaway limit it is an ordinary run failure (oscillation).
-            KernelError::DeltaOverflow { .. } if delta_budget.is_some() => FailureKind::DeltaBudget,
-            KernelError::WallBudgetExceeded { .. } => FailureKind::WallBudget,
-            _ => FailureKind::Run,
-        };
-        (kind, e.to_string())
-    })?;
+    let summary = backend
+        .execute(model, &options)
+        .map(|outcome| outcome.summary)
+        .map_err(|e| {
+            let kind = match e {
+                // The delta limit only classifies as a budget failure when
+                // a budget was actually configured; at the kernel's
+                // default runaway limit it is an ordinary run failure
+                // (oscillation).
+                KernelError::DeltaOverflow { .. } if delta_budget.is_some() => {
+                    FailureKind::DeltaBudget
+                }
+                KernelError::WallBudgetExceeded { .. } => FailureKind::WallBudget,
+                _ => FailureKind::Run,
+            };
+            (kind, e.to_string())
+        })?;
     let wall_ns = t0.elapsed().as_nanos() as u64;
     Ok(JobResult {
         name: name.to_string(),
@@ -653,6 +666,54 @@ mod tests {
         let q = report.quarantined().next().expect("quarantine row");
         assert_eq!(q.kind, FailureKind::WallBudget);
         assert!(q.error.contains("wall-clock budget"), "{}", q.error);
+    }
+
+    #[test]
+    fn compiled_backend_reports_are_byte_identical_to_interpreted() {
+        let spec = mixed_spec();
+        let interp = run_batch(&spec, 2).expect("runs");
+        let config = FleetConfig {
+            backend: Some(Backend::Compiled),
+            ..FleetConfig::default()
+        };
+        let compiled = run_batch_with(&spec, 2, &config).expect("runs");
+        assert_eq!(interp.to_json(false), compiled.to_json(false));
+    }
+
+    #[test]
+    fn quarantine_semantics_survive_the_compiled_backend() {
+        // Panics, budget blowouts and build failures classify and render
+        // identically whichever engine runs the jobs — including the
+        // error text of the delta-budget diagnosis.
+        let spec = hostile_spec();
+        let interp = run_batch(&spec, 1).expect("runs");
+        let config = FleetConfig {
+            backend: Some(Backend::Compiled),
+            ..FleetConfig::default()
+        };
+        let compiled = run_batch_with(&spec, 4, &config).expect("runs");
+        assert_eq!(interp.to_json(false), compiled.to_json(false));
+        assert_eq!(compiled.failed_jobs(), 3);
+    }
+
+    #[test]
+    fn per_job_backend_options_are_honored_and_equivalent() {
+        let mut fast = JobSpec::new("fig1", JobSource::Model(Box::new(fig1_model(3, 4))));
+        fast.backend = Some(Backend::Compiled);
+        let spec = BatchSpec { jobs: vec![fast] };
+        let report = run_batch(&spec, 1).expect("runs");
+        assert_eq!(
+            report.job("fig1").unwrap().register("R1"),
+            Some(Value::Num(7))
+        );
+        // A batch-wide backend overrides the per-job option; the
+        // deterministic JSON is identical either way.
+        let config = FleetConfig {
+            backend: Some(Backend::Interpreted),
+            ..FleetConfig::default()
+        };
+        let forced = run_batch_with(&spec, 1, &config).expect("runs");
+        assert_eq!(report.to_json(false), forced.to_json(false));
     }
 
     #[test]

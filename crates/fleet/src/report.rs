@@ -423,6 +423,32 @@ mod tests {
     }
 
     #[test]
+    fn zeroed_stats_serialize_every_counter_explicitly() {
+        // A quiet job must still emit all eleven counters as literal
+        // zeros — downstream diffing depends on a value-independent
+        // key set.
+        let j = stats_json(&SimStats::default());
+        for key in [
+            "delta_cycles",
+            "process_activations",
+            "events",
+            "driver_updates",
+            "time_advances",
+            "wake_filter_hits",
+            "wake_filter_misses",
+            "peak_runnable",
+            "peak_pending_updates",
+            "injected_faults",
+            "retries",
+        ] {
+            assert!(
+                j.contains(&format!("\"{key}\": 0")),
+                "{j} missing zeroed {key}"
+            );
+        }
+    }
+
+    #[test]
     fn failure_kind_strings_are_stable() {
         let kinds = [
             (FailureKind::Build, "build-failed"),

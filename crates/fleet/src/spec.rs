@@ -20,6 +20,7 @@
 //! job probe   hls random 42 24 4
 //! job chip    iks ik 1.0 1.0
 //! job tight   rtl fig1.rtl budget 10   # per-job delta-cycle budget
+//! job fast    rtl fig1.rtl backend compiled   # run on the compiled engine
 //! job boom    chaos panic              # deliberate failure (fault drills)
 //! ```
 //!
@@ -30,7 +31,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use clockless_core::text::parse_model;
-use clockless_core::{RtModel, Step, Value};
+use clockless_core::{Backend, RtModel, Step, Value};
 
 /// Errors from building, parsing or running a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -200,10 +201,18 @@ pub struct JobSpec {
     /// text). When the batch config also sets a budget, the smaller one
     /// wins. Exceeding it quarantines the job as budget-exceeded.
     pub delta_budget: Option<u64>,
+    /// Optional execution backend (`backend interpreted|compiled` in the
+    /// spec text). A batch-wide backend in the
+    /// [`FleetConfig`](crate::FleetConfig) overrides it; with neither set
+    /// the job runs on the default (interpreted) engine. Both engines are
+    /// observably byte-identical, so this only selects *how* the job
+    /// executes, never *what* it reports.
+    pub backend: Option<Backend>,
 }
 
 impl JobSpec {
-    /// Creates a job with no overrides and no budget.
+    /// Creates a job with no overrides, no budget and the default
+    /// backend.
     pub fn new(name: impl Into<String>, source: JobSource) -> JobSpec {
         JobSpec {
             name: name.into(),
@@ -211,6 +220,7 @@ impl JobSpec {
             steps: None,
             overrides: Vec::new(),
             delta_budget: None,
+            backend: None,
         }
     }
 
@@ -545,6 +555,13 @@ fn parse_job_line(words: &[&str], base_dir: &Path) -> Result<JobSpec, String> {
                 job.delta_budget = Some(n);
                 rest = r;
             }
+            "backend" => {
+                let Some((b, r)) = r.split_first() else {
+                    return Err("`backend` needs an engine (interpreted|compiled)".into());
+                };
+                job.backend = Some(b.parse::<Backend>().map_err(|e| e.to_string())?);
+                rest = r;
+            }
             "init" => {
                 let Some((assign, r)) = r.split_first() else {
                     return Err("`init` needs `<register>=<value>`".into());
@@ -699,6 +716,35 @@ mod tests {
             ("job x chaos meteor", "unknown chaos probe"),
             ("job x rtl a.rtl budget", "missing delta budget"),
             ("job x rtl a.rtl budget lots", "not a valid number"),
+        ] {
+            let err = BatchSpec::parse(text, ".").expect_err(text);
+            assert!(
+                err.to_string().contains(needle),
+                "{text}: {err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_accepts_backend_option() {
+        let spec = BatchSpec::parse(
+            "job slow rtl a.rtl backend interpreted\n\
+             job fast rtl a.rtl backend compiled steps 9\n\
+             job deft rtl a.rtl\n",
+            "/base",
+        )
+        .expect("parses");
+        assert_eq!(spec.jobs[0].backend, Some(Backend::Interpreted));
+        assert_eq!(spec.jobs[1].backend, Some(Backend::Compiled));
+        assert_eq!(spec.jobs[1].steps, Some(9));
+        assert_eq!(spec.jobs[2].backend, None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_backend() {
+        for (text, needle) in [
+            ("job x rtl a.rtl backend", "`backend` needs an engine"),
+            ("job x rtl a.rtl backend jit", "unknown backend `jit`"),
         ] {
             let err = BatchSpec::parse(text, ".").expect_err(text);
             assert!(

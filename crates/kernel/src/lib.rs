@@ -56,7 +56,7 @@ pub mod trace;
 pub use error::KernelError;
 pub use process::{Process, ProcessCtx, ProcessId, Wait};
 pub use signal::{Resolver, SignalId};
-pub use sim::{SimStats, SimValue, Simulator, StepOutcome};
+pub use sim::{RunBudget, SimStats, SimValue, Simulator, StepOutcome};
 pub use time::{Femtos, SimTime, NS, PS};
 pub use trace::{Trace, TraceEvent};
 
@@ -65,6 +65,6 @@ pub mod prelude {
     pub use crate::error::KernelError;
     pub use crate::process::{Process, ProcessCtx, ProcessId, Wait};
     pub use crate::signal::{Resolver, SignalId};
-    pub use crate::sim::{SimStats, SimValue, Simulator, StepOutcome};
+    pub use crate::sim::{RunBudget, SimStats, SimValue, Simulator, StepOutcome};
     pub use crate::time::{Femtos, SimTime, NS, PS};
 }

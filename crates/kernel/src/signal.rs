@@ -22,6 +22,16 @@ impl SignalId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a signal id from a dense index.
+    ///
+    /// Ids built this way are only meaningful against the simulator (or
+    /// trace) whose declaration order produced that index; this is the
+    /// inverse of [`index`](Self::index) for alternative execution
+    /// engines that reconstruct kernel-compatible traces.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index as u32)
+    }
 }
 
 impl fmt::Display for SignalId {

@@ -117,6 +117,27 @@ impl fmt::Display for SimStats {
     }
 }
 
+/// A termination budget for [`Simulator::run_with_budget`].
+///
+/// All of the kernel's run loops are the same delta-stepping driver with
+/// a different stopping rule; this enum names the rule. Execution
+/// backends layered above the kernel wrap exactly one entry point
+/// ([`run_with_budget`](Simulator::run_with_budget)) instead of three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunBudget {
+    /// Run until the model is quiescent, with no budget at all (pays no
+    /// clock reads in the loop).
+    Unbounded,
+    /// Run until quiescent, aborting with
+    /// [`KernelError::WallBudgetExceeded`] once the wall clock passes
+    /// the deadline. Checked after every delta cycle.
+    Wall(std::time::Instant),
+    /// Run until quiescent or until physical time would pass the given
+    /// instant (in femtoseconds); stopping at the budget is not an
+    /// error.
+    SimTime(Femtos),
+}
+
 /// Outcome of [`Simulator::step_delta`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -508,17 +529,55 @@ impl<V: SimValue> Simulator<V> {
         })
     }
 
+    /// Runs delta cycles until quiescence or until the budget stops the
+    /// loop. This is the single run driver; [`run`](Self::run),
+    /// [`run_deadlined`](Self::run_deadlined) and
+    /// [`run_until`](Self::run_until) are thin wrappers selecting a
+    /// [`RunBudget`], and alternative execution backends should wrap this
+    /// entry point rather than the convenience methods.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`step_delta`](Self::step_delta), plus
+    /// [`KernelError::WallBudgetExceeded`] when a
+    /// [`RunBudget::Wall`] deadline passes. A [`RunBudget::SimTime`]
+    /// budget is not an error: the loop returns normally with the
+    /// simulator standing at the first scheduled instant past the
+    /// deadline.
+    pub fn run_with_budget(&mut self, budget: RunBudget) -> Result<SimStats, KernelError> {
+        loop {
+            if let RunBudget::SimTime(deadline_fs) = budget {
+                // Peek ahead before stepping: if the next activity lies
+                // beyond the physical deadline, stop without executing it.
+                if self.instant_exhausted() {
+                    match self.next_instant() {
+                        None => {
+                            self.life = LifeCycle::Finished;
+                            return Ok(self.stats);
+                        }
+                        Some(fs) if fs > deadline_fs => return Ok(self.stats),
+                        Some(_) => {}
+                    }
+                }
+            }
+            if self.step_delta()? == StepOutcome::Quiescent {
+                return Ok(self.stats);
+            }
+            if let RunBudget::Wall(deadline) = budget {
+                if std::time::Instant::now() >= deadline {
+                    return Err(KernelError::WallBudgetExceeded { at: self.now });
+                }
+            }
+        }
+    }
+
     /// Runs until the model is quiescent.
     ///
     /// # Errors
     ///
     /// Propagates any error from [`step_delta`](Self::step_delta).
     pub fn run(&mut self) -> Result<SimStats, KernelError> {
-        loop {
-            if self.step_delta()? == StepOutcome::Quiescent {
-                return Ok(self.stats);
-            }
-        }
+        self.run_with_budget(RunBudget::Unbounded)
     }
 
     /// Runs until quiescent, aborting with
@@ -535,14 +594,7 @@ impl<V: SimValue> Simulator<V> {
     /// Propagates any error from [`step_delta`](Self::step_delta), plus
     /// [`KernelError::WallBudgetExceeded`] on timeout.
     pub fn run_deadlined(&mut self, deadline: std::time::Instant) -> Result<SimStats, KernelError> {
-        loop {
-            if self.step_delta()? == StepOutcome::Quiescent {
-                return Ok(self.stats);
-            }
-            if std::time::Instant::now() >= deadline {
-                return Err(KernelError::WallBudgetExceeded { at: self.now });
-            }
-        }
+        self.run_with_budget(RunBudget::Wall(deadline))
     }
 
     /// Runs until quiescent or until physical time would pass `deadline_fs`.
@@ -554,21 +606,7 @@ impl<V: SimValue> Simulator<V> {
     ///
     /// Propagates any error from [`step_delta`](Self::step_delta).
     pub fn run_until(&mut self, deadline_fs: Femtos) -> Result<SimStats, KernelError> {
-        loop {
-            if self.instant_exhausted() {
-                match self.next_instant() {
-                    None => {
-                        self.life = LifeCycle::Finished;
-                        return Ok(self.stats);
-                    }
-                    Some(fs) if fs > deadline_fs => return Ok(self.stats),
-                    Some(_) => {}
-                }
-            }
-            if self.step_delta()? == StepOutcome::Quiescent {
-                return Ok(self.stats);
-            }
-        }
+        self.run_with_budget(RunBudget::SimTime(deadline_fs))
     }
 
     /// Externally overrides the value of a driverless signal, taking effect

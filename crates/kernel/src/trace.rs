@@ -39,6 +39,16 @@ impl<V> Trace<V> {
         self.events.push(TraceEvent { at, signal, value });
     }
 
+    /// Appends an event. Events must be pushed in chronological order for
+    /// [`to_vcd`](Self::to_vcd) to render correct timesteps.
+    ///
+    /// The kernel records its own events internally; this entry point
+    /// exists for alternative execution engines that reconstruct a
+    /// kernel-compatible waveform without running the event loop.
+    pub fn push(&mut self, at: SimTime, signal: SignalId, value: V) {
+        self.record(at, signal, value);
+    }
+
     /// All recorded events in chronological order.
     pub fn events(&self) -> &[TraceEvent<V>] {
         &self.events

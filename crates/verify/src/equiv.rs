@@ -11,12 +11,18 @@
 //! normalized dataflow-graph expression. Operations outside the
 //! polynomial fragment fall back to structural comparison plus randomized
 //! concrete testing ([`concrete_check`]).
+//!
+//! The module also carries the **backend differential obligation**:
+//! [`backend_equiv`] runs a model on both execution engines — the
+//! interpreted delta kernel and the compiled phase-schedule walker — and
+//! checks every observable (registers, statistics, conflicts, commit
+//! log, VCD, and even error text) for byte identity.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use clockless_core::{RtSimulation, Value};
+use clockless_core::{Backend, ExecOptions, RtModel, RtSimulation, Value};
 use clockless_hls::{Dfg, Operand, Synthesized, ValueId};
 
 use crate::normalize::equivalent;
@@ -261,6 +267,126 @@ pub fn concrete_check(
     Ok(true)
 }
 
+/// A divergence between the two execution backends on one model: the
+/// differential obligation of the backend layer failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendDivergence {
+    /// The model that exposed the divergence.
+    pub model: String,
+    /// Which observable differed (`"registers"`, `"stats"`,
+    /// `"conflicts"`, `"commits"`, `"vcd"`, or `"error"`).
+    pub field: &'static str,
+    /// The interpreted engine's rendering of that observable.
+    pub interpreted: String,
+    /// The compiled engine's rendering of that observable.
+    pub compiled: String,
+}
+
+impl fmt::Display for BackendDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backends diverge on `{}` in {}: interpreted {} vs compiled {}",
+            self.model, self.field, self.interpreted, self.compiled
+        )
+    }
+}
+
+impl std::error::Error for BackendDivergence {}
+
+/// Differentially runs `model` on the interpreted and the compiled
+/// backend — once traced, once untraced — and checks every observable
+/// for byte identity: final registers, kernel statistics, conflict
+/// diagnoses (exact site, step and phase), the register-commit log, the
+/// VCD waveform, and, when a run fails, the rendered error itself.
+///
+/// This is the proof obligation the pluggable-backend layer carries: the
+/// compiled phase-schedule engine may take any shortcut it likes, but it
+/// must be *observationally indistinguishable* from the paper's VHDL
+/// delta semantics. CI runs this over the `.rtl` corpus, the HLS
+/// workloads, the IKS chips and every fault-campaign mutant.
+///
+/// # Errors
+///
+/// The first [`BackendDivergence`] found, naming the differing field and
+/// both renderings.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::model::fig1_model;
+/// use clockless_verify::backend_equiv;
+///
+/// backend_equiv(&fig1_model(3, 4))?;
+/// # Ok::<(), clockless_verify::equiv::BackendDivergence>(())
+/// ```
+pub fn backend_equiv(model: &RtModel) -> Result<(), BackendDivergence> {
+    for options in [ExecOptions::traced(), ExecOptions::default()] {
+        backend_equiv_with(model, &options)?;
+    }
+    Ok(())
+}
+
+/// The single-configuration core of [`backend_equiv`].
+fn backend_equiv_with(model: &RtModel, options: &ExecOptions) -> Result<(), BackendDivergence> {
+    let diverge = |field: &'static str, interpreted: String, compiled: String| BackendDivergence {
+        model: model.name().to_string(),
+        field,
+        interpreted,
+        compiled,
+    };
+    let interp = Backend::Interpreted.execute(model, options);
+    let compiled = Backend::Compiled.execute(model, options);
+    match (interp, compiled) {
+        (Err(a), Err(b)) => {
+            if a.to_string() != b.to_string() {
+                return Err(diverge("error", a.to_string(), b.to_string()));
+            }
+            Ok(())
+        }
+        (Ok(_), Err(b)) => Err(diverge("error", "run completed".into(), b.to_string())),
+        (Err(a), Ok(_)) => Err(diverge("error", a.to_string(), "run completed".into())),
+        (Ok(a), Ok(b)) => {
+            if a.summary.registers != b.summary.registers {
+                return Err(diverge(
+                    "registers",
+                    format!("{:?}", a.summary.registers),
+                    format!("{:?}", b.summary.registers),
+                ));
+            }
+            if a.summary.stats != b.summary.stats {
+                return Err(diverge(
+                    "stats",
+                    format!("{:?}", a.summary.stats),
+                    format!("{:?}", b.summary.stats),
+                ));
+            }
+            if a.summary.conflicts != b.summary.conflicts {
+                return Err(diverge(
+                    "conflicts",
+                    format!("{:?}", a.summary.conflicts),
+                    format!("{:?}", b.summary.conflicts),
+                ));
+            }
+            if a.commits != b.commits {
+                return Err(diverge(
+                    "commits",
+                    format!("{:?}", a.commits),
+                    format!("{:?}", b.commits),
+                ));
+            }
+            if a.vcd != b.vcd {
+                return Err(diverge(
+                    "vcd",
+                    a.vcd.unwrap_or_else(|| "<none>".into()),
+                    b.vcd.unwrap_or_else(|| "<none>".into()),
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +446,88 @@ mod tests {
         let report = verify_synthesis(&wrong, &syn, 8).unwrap();
         assert!(!report.passed(), "{report}");
         assert!(matches!(report.outputs[0].1, OutputVerdict::Refuted { .. }));
+    }
+
+    #[test]
+    fn backends_agree_on_the_rtl_corpus() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../models");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(dir).expect("models directory") {
+            let path = entry.expect("entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rtl") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("readable");
+            let model = clockless_core::text::parse_model(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            backend_equiv(&model).unwrap_or_else(|d| panic!("{}: {d}", path.display()));
+            checked += 1;
+        }
+        assert!(checked >= 5, "corpus shrank to {checked} models");
+    }
+
+    #[test]
+    fn backends_agree_on_hls_workloads() {
+        let graphs = [
+            clockless_hls::fir(&[1, 3, 5, 7]),
+            clockless_hls::horner(&[2, -1, 4]),
+            clockless_hls::diffeq(),
+            clockless_hls::random_dag(42, 24, 4),
+        ];
+        for g in &graphs {
+            let resources = ResourceSet::unconstrained(g);
+            let names = g.inputs();
+            let inputs: HashMap<&str, i64> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i as i64 + 1))
+                .collect();
+            let syn = synthesize(g, &resources, &inputs).expect("synthesis");
+            backend_equiv(&syn.model).unwrap_or_else(|d| panic!("{}: {d}", g.name()));
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_the_iks_chips() {
+        use clockless_iks::prelude::*;
+        let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        let ik = build_ik_chip(to_fx(1.0), to_fx(1.0), constants)
+            .expect("ik chip")
+            .model;
+        backend_equiv(&ik).expect("ik chip equivalence");
+
+        let samples = [to_fx(0.5), to_fx(1.5), to_fx(-1.0), to_fx(2.0)];
+        let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
+        let fir = clockless_iks::build_fir_chip(samples, coeffs).expect("fir chip");
+        backend_equiv(&fir).expect("fir chip equivalence");
+    }
+
+    #[test]
+    fn backends_agree_on_every_fault_mutant() {
+        use crate::faults::{generate_faults, CampaignConfig};
+        use clockless_core::model::fig1_model;
+
+        let model = fig1_model(3, 4);
+        let faults = generate_faults(&model, &CampaignConfig::default());
+        assert!(!faults.is_empty());
+        for fault in faults {
+            let mutant = fault.apply(&model).expect("applies");
+            backend_equiv(&mutant).unwrap_or_else(|d| panic!("{fault}: {d}"));
+        }
+    }
+
+    #[test]
+    fn backend_divergence_display_names_the_field() {
+        let d = BackendDivergence {
+            model: "m".into(),
+            field: "stats",
+            interpreted: "a".into(),
+            compiled: "b".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "backends diverge on `m` in stats: interpreted a vs compiled b"
+        );
     }
 
     #[test]

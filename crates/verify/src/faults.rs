@@ -36,7 +36,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use clockless_core::{
-    ModuleDecl, ModuleTiming, Op, Phase, RtModel, RtSimulation, Step, TransferTuple, Value,
+    Backend, ExecOptions, ModuleDecl, ModuleTiming, Op, Phase, RtModel, Step, TransferTuple, Value,
 };
 use clockless_fleet::{
     run_batch_with, BatchSpec, FailureKind, FleetConfig, FleetError, JobSource, JobSpec,
@@ -336,6 +336,11 @@ pub struct CampaignConfig {
     pub max_faults: Option<usize>,
     /// Fleet worker threads for the mutant runs.
     pub workers: usize,
+    /// Execution backend for the golden run and every mutant. Both
+    /// engines are observably byte-identical, so the campaign report does
+    /// not depend on this — it only selects the machinery (and lets CI
+    /// exercise the compiled engine against the full mutant space).
+    pub backend: Backend,
 }
 
 impl Default for CampaignConfig {
@@ -345,6 +350,7 @@ impl Default for CampaignConfig {
             classes: Vec::new(),
             max_faults: None,
             workers: 1,
+            backend: Backend::default(),
         }
     }
 }
@@ -644,11 +650,11 @@ pub fn run_campaign(
     model: &RtModel,
     config: &CampaignConfig,
 ) -> Result<CampaignReport, FaultsError> {
-    let mut golden_sim =
-        RtSimulation::traced(model).map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
-    let golden = golden_sim
-        .run_to_completion()
-        .map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
+    let golden = config
+        .backend
+        .execute(model, &ExecOptions::traced())
+        .map_err(|e| FaultsError::Golden { msg: e.to_string() })?
+        .summary;
     let golden_registers: HashMap<&str, Value> = golden
         .registers
         .iter()
@@ -678,6 +684,7 @@ pub fn run_campaign(
     }
     let fleet_config = FleetConfig {
         delta_budget: Some(delta_budget),
+        backend: Some(config.backend),
         ..FleetConfig::default()
     };
     let report = run_batch_with(&BatchSpec { jobs }, config.workers, &fleet_config)?;
@@ -900,6 +907,21 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("9 faults"), "{text}");
         assert!(text.contains("stuck"), "{text}");
+    }
+
+    #[test]
+    fn campaign_reports_are_backend_independent() {
+        // The whole campaign — golden run, mutant fleet, classification —
+        // must be byte-identical whichever engine executes it.
+        let interp = campaign(&[], 2);
+        let config = CampaignConfig {
+            workers: 2,
+            backend: Backend::Compiled,
+            ..CampaignConfig::default()
+        };
+        let compiled = run_campaign(&fig1_model(3, 4), &config).expect("campaign runs");
+        assert_eq!(interp.to_json(), compiled.to_json());
+        assert_eq!(interp, compiled);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   "computer algebra simplification" of the verification flow).
 //! * [`equiv`] — the automatic proving procedure for high-level-synthesis
 //!   results: RT model vs dataflow graph, proven by normalization with
-//!   randomized concrete testing as fallback.
+//!   randomized concrete testing as fallback — plus [`backend_equiv`],
+//!   the differential check that the interpreted delta kernel and the
+//!   compiled phase-schedule engine are observationally byte-identical.
 //! * [`vhdl_import`] — VHDL source in the paper's subset reassembled
 //!   into runnable models (parser + tuple reconstruction).
 //! * [`lint`] — schedule lints: dead writes, undefined reads, unused
@@ -57,8 +59,8 @@ pub mod vhdl_import;
 
 pub use conflicts::{cross_check, static_conflicts, CrossCheck, PredictedConflict};
 pub use equiv::{
-    concrete_check, dfg_expressions, verify_synthesis, OutputVerdict, SynthesisVerification,
-    VerifyError,
+    backend_equiv, concrete_check, dfg_expressions, verify_synthesis, BackendDivergence,
+    OutputVerdict, SynthesisVerification, VerifyError,
 };
 pub use faults::{
     generate_faults, run_campaign, CampaignConfig, CampaignReport, CampaignRow, FaultClass,

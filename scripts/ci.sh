@@ -41,4 +41,19 @@ grep -q "2 job(s) quarantined" <<<"$fleet_out"
 grep -q "panicked" <<<"$fleet_out"
 grep -q "delta-budget-exceeded" <<<"$fleet_out"
 
+echo "== backend sweep (compiled engine must be byte-identical to interpreted)"
+for model in models/*.rtl; do
+  interp_status=0 compiled_status=0
+  interp_out="$(./target/release/clockless run "$model" --trace 2>&1)" || interp_status=$?
+  compiled_out="$(./target/release/clockless run "$model" --trace --backend compiled 2>&1)" || compiled_status=$?
+  [ "$interp_status" -eq "$compiled_status" ]
+  [ "$interp_out" = "$compiled_out" ]
+done
+faults_interp="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json)"
+faults_compiled="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json --backend compiled)"
+[ "$faults_interp" = "$faults_compiled" ]
+fleet_interp="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json)"
+fleet_compiled="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled)"
+[ "$fleet_interp" = "$fleet_compiled" ]
+
 echo "CI OK"

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
+//!               [--backend interpreted|compiled]
 //! clockless check <model.rtl>
 //! clockless stats <model.rtl> [--json]
 //! clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]
 //!                 [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]
+//!                 [--backend interpreted|compiled]
 //! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
+//!                  [--backend interpreted|compiled]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
 //! clockless vhdl <model.rtl> [--clocked]
 //! clockless explain "<tuple>"
@@ -19,6 +22,13 @@
 //! `faults` runs a seeded fault-injection campaign (classes: stuck,
 //! drivers, drops, skews, inits) and reports detection coverage.
 //!
+//! `--backend` selects the execution engine — the interpreted delta
+//! kernel (default) or the compiled phase-schedule walker. Both are
+//! observationally byte-identical (`clockless-verify` enforces it), so
+//! every report is the same either way; the compiled engine is simply
+//! faster. On `fleet` the flag overrides any per-job `backend` spec
+//! options.
+//!
 //! Models use the declarative text format of `clockless_core::text`
 //! (see `models/` for examples); files ending in `.vhd`/`.vhdl` are read
 //! as VHDL source in the paper's subset instead.
@@ -28,19 +38,22 @@ use std::process::ExitCode;
 use clockless::clocked::{check_clocked_equivalence, ClockScheme, ClockedDesign};
 use clockless::core::text::parse_model;
 use clockless::core::transcript::transcript;
-use clockless::core::{RtModel, RtSimulation, TransferTuple};
+use clockless::core::{Backend, ExecOptions, RtModel, RtSimulation, TransferTuple};
 use clockless::fleet::BatchSpec;
 use clockless::kernel::NS;
 use clockless::verify::{cross_check, roundtrip_check};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n  \
+        "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n                \
+         [--backend interpreted|compiled]\n  \
          clockless check <model.rtl>\n  \
          clockless stats <model.rtl> [--json]\n  \
          clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]\n                  \
-         [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]\n  \
-         clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n  \
+         [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]\n                  \
+         [--backend interpreted|compiled]\n  \
+         clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n                   \
+         [--backend interpreted|compiled]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
          clockless vhdl <model.rtl> [--clocked]\n  \
          clockless explain \"<tuple>\""
@@ -49,7 +62,7 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take a value (so `positional_args` skips the value word).
-const VALUED_FLAGS: [&str; 7] = [
+const VALUED_FLAGS: [&str; 8] = [
     "--jobs",
     "--retries",
     "--delta-budget",
@@ -57,6 +70,7 @@ const VALUED_FLAGS: [&str; 7] = [
     "--seed",
     "--max",
     "--classes",
+    "--backend",
 ];
 
 /// Result of looking up `--flag <value>` in the argument list.
@@ -109,15 +123,17 @@ fn cmd_run(
     trace: bool,
     vcd: Option<&str>,
     transcript_cols: Option<&str>,
+    backend: Backend,
 ) -> Result<(), String> {
     let model = load(path)?;
-    let mut sim = if trace || vcd.is_some() {
-        RtSimulation::traced(&model)
-    } else {
-        RtSimulation::new(&model)
-    }
-    .map_err(|e| e.to_string())?;
-    let summary = sim.run_to_completion().map_err(|e| e.to_string())?;
+    let options = ExecOptions {
+        trace: trace || vcd.is_some(),
+        ..Default::default()
+    };
+    let outcome = backend
+        .execute(&model, &options)
+        .map_err(|e| e.to_string())?;
+    let summary = &outcome.summary;
 
     println!(
         "model `{}`: {} steps, {} transfers — {}",
@@ -134,7 +150,7 @@ fn cmd_run(
         print!("{conflicts}");
     }
     if let Some(out) = vcd {
-        let doc = sim.to_vcd().expect("traced run exports VCD");
+        let doc = outcome.vcd.as_deref().expect("traced run exports VCD");
         std::fs::write(out, doc).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("waveform written to {out}");
     }
@@ -272,11 +288,13 @@ fn cmd_faults(
     max: Option<usize>,
     jobs: usize,
     json: bool,
+    backend: Backend,
 ) -> Result<(), String> {
     let model = load(path)?;
     let mut config = clockless::verify::CampaignConfig {
         workers: jobs,
         max_faults: max,
+        backend,
         ..Default::default()
     };
     if let Some(seed) = seed {
@@ -339,7 +357,12 @@ fn main() -> ExitCode {
                 .position(|a| a == "--transcript")
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str);
-            cmd_run(path, trace, vcd, cols)
+            let backend = match flag_value(&args, "--backend") {
+                FlagValue::Absent => Backend::default(),
+                FlagValue::Parsed(b) => b,
+                FlagValue::Malformed => return usage(),
+            };
+            cmd_run(path, trace, vcd, cols, backend)
         }
         "check" => {
             let Some(path) = args.get(1) else {
@@ -383,6 +406,11 @@ fn main() -> ExitCode {
                 }
                 FlagValue::Malformed => return usage(),
             }
+            match flag_value(&args, "--backend") {
+                FlagValue::Absent => {}
+                FlagValue::Parsed(b) => config.backend = Some(b),
+                FlagValue::Malformed => return usage(),
+            }
             let positional = positional_args(&args);
             if positional.is_empty() {
                 return usage();
@@ -411,11 +439,16 @@ fn main() -> ExitCode {
                 .position(|a| a == "--classes")
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str);
+            let backend = match flag_value(&args, "--backend") {
+                FlagValue::Absent => Backend::default(),
+                FlagValue::Parsed(b) => b,
+                FlagValue::Malformed => return usage(),
+            };
             let positional = positional_args(&args);
             let [path] = positional.as_slice() else {
                 return usage();
             };
-            cmd_faults(path, seed, classes, max, jobs, json)
+            cmd_faults(path, seed, classes, max, jobs, json, backend)
         }
         "translate" => {
             let Some(path) = args.get(1) else {

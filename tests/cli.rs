@@ -547,6 +547,78 @@ fn faults_detects_every_injected_dual_driver_conflict() {
 }
 
 #[test]
+fn run_backend_compiled_matches_interpreted_byte_for_byte() {
+    let run = |extra: &[&str]| {
+        let mut cmd = cli();
+        cmd.args(["run", &repo_path("models/fig1.rtl"), "--trace"])
+            .args(extra);
+        let out = cmd.output().expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    let interp = run(&["--backend", "interpreted"]);
+    let compiled = run(&["--backend", "compiled"]);
+    assert_eq!(interp, run(&[]), "interpreted is the default");
+    assert_eq!(interp, compiled, "backends must print identical reports");
+    // An unknown backend is a usage error.
+    let out = cli()
+        .args(["run", &repo_path("models/fig1.rtl"), "--backend", "jit"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fleet_backend_compiled_json_matches_interpreted() {
+    let run = |backend: &str| {
+        let out = cli()
+            .args([
+                "fleet",
+                &repo_path("models/demo.fleet"),
+                "--jobs",
+                "2",
+                "--json",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    assert_eq!(
+        run("interpreted"),
+        run("compiled"),
+        "fleet --json must not depend on the backend"
+    );
+}
+
+#[test]
+fn faults_backend_compiled_json_matches_interpreted() {
+    let run = |backend: &str| {
+        let out = cli()
+            .args([
+                "faults",
+                &repo_path("models/fig1.rtl"),
+                "--seed",
+                "7",
+                "--json",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    assert_eq!(
+        run("interpreted"),
+        run("compiled"),
+        "fault campaigns must not depend on the backend"
+    );
+}
+
+#[test]
 fn faults_rejects_unknown_classes() {
     let out = cli()
         .args([
