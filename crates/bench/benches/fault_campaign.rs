@@ -1,12 +1,16 @@
 //! Writes `BENCH_faults.json` at the repository root: throughput of
 //! seeded fault-injection campaigns (`clockless_verify::faults`) over
-//! the Fig. 1 model and two synthetic HLS schedules, at 1/2/4 workers.
+//! the Fig. 1 model and two synthetic HLS schedules, for both campaign
+//! engines — the plan-sharing batched executor (single-threaded by
+//! construction) and the legacy one-fleet-job-per-mutant path at 1/2/4
+//! workers.
 //!
 //! Per the workspace convention, counters (`faults`, `detected`,
 //! `silent`, `coverage`, `deterministic`) are machine-independent;
 //! `wall_ns` and the derived `faults_per_sec` are machine-local. The
-//! `deterministic` field asserts that the multi-worker campaign report
-//! is byte-identical to the 1-worker run — the whole point of seeding.
+//! `deterministic` field asserts that every configuration's campaign
+//! report is byte-identical to the legacy 1-worker run — seeding plus
+//! the engines' differential-equivalence obligation.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -16,11 +20,12 @@ use std::time::Instant;
 use clockless_core::model::fig1_model;
 use clockless_core::RtModel;
 use clockless_hls::{fir, random_dag, synthesize, ResourceSet};
-use clockless_verify::{run_campaign, CampaignConfig};
+use clockless_verify::{run_campaign, CampaignConfig, CampaignEngine};
 
-/// One (model, worker-count) measurement.
+/// One (model, engine, worker-count) measurement.
 struct Row {
     model: &'static str,
+    engine: CampaignEngine,
     workers: usize,
     faults: usize,
     detected: usize,
@@ -69,45 +74,61 @@ fn main() {
         ("dag48", hls_model(random_dag(7, 48, 6))),
     ];
 
+    // Legacy runs at 1/2/4 workers; the batched engine executes the
+    // whole lockstep walk on one core, so one row tells the story.
+    let configs: [(CampaignEngine, &[usize]); 2] = [
+        (CampaignEngine::Legacy, &[1usize, 2, 4]),
+        (CampaignEngine::Batched, &[1usize]),
+    ];
+
     let mut rows: Vec<Row> = Vec::new();
     for (name, model) in &targets {
         let reference = run_campaign(
             model,
             &CampaignConfig {
                 workers: 1,
+                engine: CampaignEngine::Legacy,
                 ..CampaignConfig::default()
             },
         )
         .expect("campaign runs");
         let reference_json = reference.to_json();
-        for workers in [1usize, 2, 4] {
-            let config = CampaignConfig {
-                workers,
-                ..CampaignConfig::default()
-            };
-            let report = run_campaign(model, &config).expect("campaign runs");
-            let deterministic = report.to_json() == reference_json;
-            assert!(deterministic, "{name}@{workers} diverged from 1-worker run");
-            let wall_ns = time_campaign(model, &config);
-            let faults_per_sec = report.rows.len() as f64 / (wall_ns as f64 / 1e9);
-            rows.push(Row {
-                model: name,
-                workers,
-                faults: report.rows.len(),
-                detected: report.detected(),
-                silent: report.silent(),
-                coverage: report.coverage(),
-                wall_ns,
-                faults_per_sec,
-                deterministic,
-            });
-            eprintln!(
-                "{name:<8} workers={workers} faults={} detected={} wall={:.3} ms ({:.0} faults/s)",
-                report.rows.len(),
-                report.detected(),
-                wall_ns as f64 / 1e6,
-                faults_per_sec
-            );
+        for (engine, worker_counts) in configs {
+            for &workers in worker_counts {
+                let config = CampaignConfig {
+                    workers,
+                    engine,
+                    ..CampaignConfig::default()
+                };
+                let report = run_campaign(model, &config).expect("campaign runs");
+                let deterministic = report.to_json() == reference_json;
+                assert!(
+                    deterministic,
+                    "{name} {engine}@{workers} diverged from the legacy 1-worker run"
+                );
+                let wall_ns = time_campaign(model, &config);
+                let faults_per_sec = report.rows.len() as f64 / (wall_ns as f64 / 1e9);
+                rows.push(Row {
+                    model: name,
+                    engine,
+                    workers,
+                    faults: report.rows.len(),
+                    detected: report.detected(),
+                    silent: report.silent(),
+                    coverage: report.coverage(),
+                    wall_ns,
+                    faults_per_sec,
+                    deterministic,
+                });
+                eprintln!(
+                    "{name:<8} engine={engine:<7} workers={workers} faults={} detected={} \
+                     wall={:.3} ms ({:.0} faults/s)",
+                    report.rows.len(),
+                    report.detected(),
+                    wall_ns as f64 / 1e6,
+                    faults_per_sec
+                );
+            }
         }
     }
 
@@ -124,10 +145,11 @@ fn main() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"model\": \"{}\", \"workers\": {}, \"faults\": {}, \"detected\": {}, \
-             \"silent\": {}, \"coverage\": {:.4}, \"wall_ns\": {}, \"faults_per_sec\": {:.0}, \
-             \"deterministic\": {}}}{}",
+            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"workers\": {}, \"faults\": {}, \
+             \"detected\": {}, \"silent\": {}, \"coverage\": {:.4}, \"wall_ns\": {}, \
+             \"faults_per_sec\": {:.0}, \"deterministic\": {}}}{}",
             r.model,
+            r.engine,
             r.workers,
             r.faults,
             r.detected,

@@ -40,12 +40,14 @@ use std::fmt;
 use std::str::FromStr;
 use std::time::Instant;
 
-use clockless_kernel::KernelError;
+use clockless_kernel::{KernelError, SimStats};
 
+use crate::diag::Conflict;
 use crate::elaborate::ElaborateOptions;
 use crate::model::RtModel;
 use crate::plan::ExecPlan;
 use crate::run::{RegisterCommit, RtSimulation, RunSummary};
+use crate::value::Value;
 
 /// Options for one backend execution.
 #[derive(Debug, Clone, Copy, Default)]
@@ -83,6 +85,24 @@ pub struct ExecOutcome {
     pub commits: Option<Vec<RegisterCommit>>,
     /// The waveform as a VCD document (`None` when not traced).
     pub vcd: Option<String>,
+}
+
+/// Per-column result of [`ExecPlan::execute_batch`]: exactly the
+/// observables a fault-campaign classifier needs, without the solo
+/// engines' trace/VCD machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Final register values, in declaration order.
+    pub registers: Vec<(String, Value)>,
+    /// The run's first `ILLEGAL` transition, localized like the traced
+    /// engines' conflict report (`ConflictReport::first`).
+    pub first_conflict: Option<Conflict>,
+    /// The column's kernel counters — identical to the stats a solo run
+    /// of the same mutant reports.
+    pub stats: SimStats,
+    /// The column's schedule exceeded the delta budget: nothing ran, and
+    /// `stats` records only the exhausted budget as `delta_cycles`.
+    pub overflowed: bool,
 }
 
 /// An execution engine for clock-free RT models.

@@ -94,15 +94,15 @@ pub mod vhdl;
 pub mod vhdl_parse;
 
 pub use backend::{
-    Backend, CompiledBackend, ExecBackend, ExecOptions, ExecOutcome, InterpretedBackend,
-    ParseBackendError,
+    Backend, BatchOutcome, CompiledBackend, ExecBackend, ExecOptions, ExecOutcome,
+    InterpretedBackend, ParseBackendError,
 };
 pub use diag::{Conflict, ConflictReport, ConflictSite};
 pub use elaborate::{elaborate, ElaborateOptions, SignalLayout, SignalRole};
 pub use model::{fig1_model, ModelError, RtModel};
 pub use op::{Arity, Op};
 pub use phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
-pub use plan::{Action, ExecPlan, Source, StaticConflict};
+pub use plan::{Action, ExecPlan, PlanDelta, Source, StaticConflict};
 pub use resource::{BusDecl, BusId, ModuleDecl, ModuleId, ModuleTiming, RegisterDecl, RegisterId};
 pub use run::{RegisterCommit, RtSimulation, RunSummary};
 pub use stats::{model_stats, ModelStats, RunStatsReport};

@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 
 use clockless_kernel::{KernelError, SignalId, SimStats, SimTime, Trace};
 
-use crate::backend::{ExecOptions, ExecOutcome};
+use crate::backend::{BatchOutcome, ExecOptions, ExecOutcome};
 use crate::diag::{Conflict, ConflictReport, ConflictSite};
 use crate::elaborate::SignalRole;
 use crate::model::RtModel;
@@ -162,13 +162,54 @@ struct PlanModule {
     timing: ModuleTiming,
 }
 
-/// A transfer spec resolved to dense indices (lowering intermediate).
+/// A transfer spec resolved to dense indices. Retained by the plan so
+/// [`PlanDelta`]s can be expressed as spec-level edits (drop, re-step)
+/// without re-lowering.
+#[derive(Debug, Clone, Copy)]
 struct LoweredSpec {
     step: Step,
     phase: Phase,
     src: Source,
     dst: usize,
     slot: usize,
+}
+
+/// A spurious extra bus driver expressed at plan level: the batched
+/// executor materializes it as a shadow combinational module (the same
+/// `SPUR_<bus>_<step>` PassA module the legacy mutation adds) plus the
+/// two specs its transfer tuple would lower to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlanSpur {
+    /// The shadow module's name (used in conflict diagnoses).
+    name: String,
+    /// The step in which the spurious driver asserts.
+    step: Step,
+    /// Dense index of the register-output signal the spur reads.
+    src: usize,
+    /// Dense index of the double-driven bus.
+    bus: usize,
+}
+
+/// A small edit set turning the golden plan into one mutant: init-vector
+/// overrides, suppressed specs, re-stepped specs, and at most one
+/// spurious driver. Built by the `ExecPlan::delta_*` constructors and
+/// consumed by [`ExecPlan::execute_batch`] — no model clone, no
+/// re-elaboration.
+///
+/// Deltas compose observationally: the batched executor keeps the golden
+/// driver-slot layout and merely masks edited specs per column, which is
+/// sound because extra never-driven slots hold `DISC` and the resolution
+/// function ignores them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanDelta {
+    /// `(signal, value)` init overrides (stuck / corrupted-init faults).
+    init_edits: Vec<(usize, Value)>,
+    /// Spec indices removed from the schedule (dropped transfers).
+    disabled_specs: Vec<usize>,
+    /// `(spec, new_step)` re-schedules (skewed write-backs).
+    moved_specs: Vec<(usize, Step)>,
+    /// Spurious extra bus driver (driver faults).
+    spur: Option<PlanSpur>,
 }
 
 /// The compiled execution plan of one [`RtModel`].
@@ -195,6 +236,13 @@ pub struct ExecPlan {
     /// `wb(CS_MAX)`, so its commit and release are still pending after
     /// the last scheduled phase.
     flush: bool,
+    /// Lowered transfer specs in attachment order (the source of the
+    /// slot tables), kept so plan deltas can edit the schedule.
+    specs: Vec<LoweredSpec>,
+    /// `spec_tuple[i]` maps spec `i` back to its source tuple index.
+    spec_tuple: Vec<usize>,
+    /// Number of transfer tuples in the source model.
+    tuple_count: usize,
     static_conflicts: Vec<StaticConflict>,
     /// Analytic stats derived from the schedule (see module docs).
     process_count: u64,
@@ -349,7 +397,8 @@ impl ExecPlan {
         };
 
         let mut specs: Vec<LoweredSpec> = Vec::new();
-        for tuple in model.tuples() {
+        let mut spec_tuple: Vec<usize> = Vec::new();
+        for (tuple_index, tuple) in model.tuples().iter().enumerate() {
             for spec in tuple.expand() {
                 let src = match &spec.src {
                     Endpoint::ConstOp(op) => {
@@ -375,6 +424,7 @@ impl ExecPlan {
                     dst,
                     slot,
                 });
+                spec_tuple.push(tuple_index);
             }
         }
 
@@ -546,36 +596,12 @@ impl ExecPlan {
 
         // Analytic kernel statistics (derived in closed form; the
         // differential suite pins them against the interpreted run).
-        let steps = cs_max as u64;
         let fixed_procs = (regs.len() + modules.len()) as u64;
-        let mut activations = 1 + 6 * steps + fixed_procs * (1 + steps);
-        let mut wake_hits = fixed_procs * steps;
-        let mut wake_misses = fixed_procs * 5 * steps;
-        for sp in &specs {
-            if (1..=cs_max).contains(&sp.step) {
-                // CS filter: misses while CS counts up to the step, one
-                // hit when it arrives.
-                wake_hits += 1;
-                wake_misses += sp.step as u64 - 1;
-                if sp.phase == Phase::Ra {
-                    // init + assert + release; PH filter hits once (the
-                    // release phase).
-                    activations += 3;
-                    wake_hits += 1;
-                } else {
-                    // init + arm + assert + release; PH misses phases
-                    // between ra and the assert phase, hits twice.
-                    activations += 4;
-                    wake_hits += 2;
-                    wake_misses += sp.phase.index() as u64 - 1;
-                }
-            } else {
-                // Defensive: a spec outside the schedule only ever runs
-                // its init resume and watches CS miss every step.
-                activations += 1;
-                wake_misses += steps;
-            }
-        }
+        let (activations, wake_hits, wake_misses) = analytic_stats(
+            cs_max,
+            fixed_procs,
+            specs.iter().map(|sp| (sp.step, sp.phase)),
+        );
         let process_count = 1 + fixed_procs + specs.len() as u64;
 
         ExecPlan {
@@ -586,6 +612,9 @@ impl ExecPlan {
             init_actions,
             slots,
             flush,
+            specs,
+            spec_tuple,
+            tuple_count: model.tuples().len(),
             static_conflicts,
             process_count,
             activations,
@@ -855,6 +884,852 @@ impl ExecPlan {
         }
         commits
     }
+
+    // ------------------------------------------------------------------
+    // Plan deltas: mutants as schedule edits
+    // ------------------------------------------------------------------
+
+    fn reg_by_name(&self, register: &str) -> Result<&PlanReg, String> {
+        self.regs
+            .iter()
+            .find(|r| r.name == register)
+            .ok_or_else(|| format!("unknown register `{register}`"))
+    }
+
+    /// Delta overriding a register's initial value (`DISC` for stuck-at
+    /// faults, a number for corrupted inits).
+    ///
+    /// # Errors
+    ///
+    /// A message when `register` is not declared.
+    pub fn delta_set_init(&self, register: &str, value: Value) -> Result<PlanDelta, String> {
+        let reg = self.reg_by_name(register)?;
+        Ok(PlanDelta {
+            init_edits: vec![(reg.output, value)],
+            ..PlanDelta::default()
+        })
+    }
+
+    /// Delta removing the transfer tuple at `index` from the schedule.
+    ///
+    /// # Errors
+    ///
+    /// A message when `index` is out of range.
+    pub fn delta_drop_tuple(&self, index: usize) -> Result<PlanDelta, String> {
+        if index >= self.tuple_count {
+            return Err(format!("no transfer at index {index}"));
+        }
+        Ok(PlanDelta {
+            disabled_specs: (0..self.specs.len())
+                .filter(|&i| self.spec_tuple[i] == index)
+                .collect(),
+            ..PlanDelta::default()
+        })
+    }
+
+    /// Delta shifting the write-back (`wa` + `wb` specs) of the tuple at
+    /// `index` by `delta` steps.
+    ///
+    /// # Errors
+    ///
+    /// A message when `index` is out of range, the tuple has no
+    /// write-back, or the target step leaves `1..=CS_MAX`.
+    pub fn delta_skew_write(&self, index: usize, delta: i32) -> Result<PlanDelta, String> {
+        if index >= self.tuple_count {
+            return Err(format!("no transfer at index {index}"));
+        }
+        let writes: Vec<usize> = (0..self.specs.len())
+            .filter(|&i| {
+                self.spec_tuple[i] == index && matches!(self.specs[i].phase, Phase::Wa | Phase::Wb)
+            })
+            .collect();
+        let Some(&first) = writes.first() else {
+            return Err(format!("transfer {index} has no write-back"));
+        };
+        let step = self.specs[first].step as i64 + i64::from(delta);
+        if step < 1 || step > self.cs_max as i64 {
+            return Err(format!("skewed write step {step} is out of range"));
+        }
+        Ok(PlanDelta {
+            moved_specs: writes.into_iter().map(|i| (i, step as Step)).collect(),
+            ..PlanDelta::default()
+        })
+    }
+
+    /// Delta adding a spurious driver: `register` is read onto `bus` in
+    /// `step` through a shadow `SPUR_<bus>_<step>` PassA module, exactly
+    /// like the model-level driver mutation.
+    ///
+    /// # Errors
+    ///
+    /// A message when `bus` or `register` is not declared or `step` is
+    /// outside the schedule.
+    pub fn delta_extra_driver(
+        &self,
+        bus: &str,
+        step: Step,
+        register: &str,
+    ) -> Result<PlanDelta, String> {
+        let bus_sig = self
+            .signals
+            .iter()
+            .position(|s| matches!(&s.role, SignalRole::Bus(n) if n == bus))
+            .ok_or_else(|| format!("unknown bus `{bus}`"))?;
+        let src = self.reg_by_name(register)?.output;
+        if step < 1 || step > self.cs_max {
+            return Err(format!("spurious driver step {step} is out of range"));
+        }
+        Ok(PlanDelta {
+            spur: Some(PlanSpur {
+                name: format!("SPUR_{bus}_{step}"),
+                step,
+                src,
+                bus: bus_sig,
+            }),
+            ..PlanDelta::default()
+        })
+    }
+
+    /// Executes many [`PlanDelta`] mutants of this plan in lockstep.
+    ///
+    /// Mutants run in chunks of up to 64 columns over
+    /// structure-of-arrays state: one merged schedule whose actions carry
+    /// per-column bit masks, one value/driver column per mutant. Each
+    /// column's observables — final registers, first conflict, kernel
+    /// counters — are identical to lowering and executing that mutant's
+    /// model on its own (`clockless-verify` pins this differentially
+    /// against the legacy per-mutant path).
+    ///
+    /// A column whose schedule exceeds `options.delta_limit` is latched
+    /// as [`BatchOutcome::overflowed`] up front (the schedule length is
+    /// static, exactly as in [`execute`](Self::execute)) and drops out
+    /// without disturbing the other columns. Tracing is not supported;
+    /// `options.trace` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::WallBudgetExceeded`] when `options.deadline` passes
+    /// mid-walk.
+    pub fn execute_batch(
+        &self,
+        deltas: &[PlanDelta],
+        options: &ExecOptions,
+    ) -> Result<Vec<BatchOutcome>, KernelError> {
+        let mut out = Vec::with_capacity(deltas.len());
+        for chunk in deltas.chunks(BATCH_WIDTH) {
+            self.execute_chunk(chunk, options, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Runs one chunk of up to [`BATCH_WIDTH`] columns to completion.
+    fn execute_chunk(
+        &self,
+        chunk: &[PlanDelta],
+        options: &ExecOptions,
+        out: &mut Vec<BatchOutcome>,
+    ) -> Result<(), KernelError> {
+        let n = chunk.len();
+        let bit = |c: usize| 1u64 << c;
+        let delta_limit = options.delta_limit.unwrap_or(100_000_000);
+        let base_fixed = (self.regs.len() + self.modules.len()) as u64;
+
+        // Per-column schedule summary: effective specs → flush, exact
+        // delta count, closed-form kernel counters. The budget precheck
+        // mirrors `execute`: an over-budget column never runs at all.
+        let mut needed = vec![0u64; n];
+        let mut col_stats = vec![SimStats::default(); n];
+        let mut overflow = vec![false; n];
+        let mut full: u64 = 0;
+        for (c, d) in chunk.iter().enumerate() {
+            let mut summaries: Vec<(Step, Phase)> = Vec::with_capacity(self.specs.len() + 2);
+            for (i, sp) in self.specs.iter().enumerate() {
+                if d.disabled_specs.contains(&i) {
+                    continue;
+                }
+                let step = d
+                    .moved_specs
+                    .iter()
+                    .find(|&&(m, _)| m == i)
+                    .map_or(sp.step, |&(_, s)| s);
+                summaries.push((step, sp.phase));
+            }
+            if let Some(spur) = &d.spur {
+                summaries.push((spur.step, Phase::Ra));
+                summaries.push((spur.step, Phase::Rb));
+            }
+            let fixed = base_fixed + u64::from(d.spur.is_some());
+            let flush = self.cs_max >= 1
+                && summaries
+                    .iter()
+                    .any(|&(step, phase)| phase == Phase::Wb && step == self.cs_max);
+            needed[c] = 1 + self.cs_max as u64 * Phase::ALL.len() as u64 + u64::from(flush);
+            if needed[c] > delta_limit {
+                overflow[c] = true;
+                col_stats[c] = SimStats {
+                    delta_cycles: delta_limit,
+                    ..SimStats::default()
+                };
+                continue;
+            }
+            let (activations, wake_hits, wake_misses) =
+                analytic_stats(self.cs_max, fixed, summaries.iter().copied());
+            col_stats[c] = SimStats {
+                process_activations: activations,
+                wake_filter_hits: wake_hits,
+                wake_filter_misses: wake_misses,
+                peak_runnable: 1 + fixed + summaries.len() as u64,
+                ..SimStats::default()
+            };
+            full |= bit(c);
+        }
+
+        // Shadow spur signals: three per chunk (in1, in2, out), shared by
+        // every spur column; per-column conflict names live in the delta.
+        let spur_cols: Vec<(usize, &PlanSpur)> = chunk
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| full & bit(c) != 0)
+            .filter_map(|(c, d)| d.spur.as_ref().map(|s| (c, s)))
+            .collect();
+        let any_spur = !spur_cols.is_empty();
+        let spur_mask = spur_cols.iter().fold(0u64, |m, &(c, _)| m | bit(c));
+        let s0 = self.signals.len();
+        let (spur_in1, spur_out) = (s0, s0 + 2);
+        let sig_count = s0 + if any_spur { 3 } else { 0 };
+
+        // Driver-slot layout: golden counts plus one shared extra slot
+        // per spur-driven bus. Columns that never drive a slot leave it
+        // `DISC`, which the resolution function ignores — the reason the
+        // golden layout can serve every mutant.
+        let mut slot_count: Vec<usize> = self.signals.iter().map(|s| s.drivers).collect();
+        let mut spur_bus_slot: Vec<(usize, usize)> = Vec::new();
+        for &(_, spur) in &spur_cols {
+            if !spur_bus_slot.iter().any(|&(b, _)| b == spur.bus) {
+                spur_bus_slot.push((spur.bus, slot_count[spur.bus]));
+                slot_count[spur.bus] += 1;
+            }
+        }
+        let bus_slot = |bus: usize| -> usize {
+            spur_bus_slot
+                .iter()
+                .find(|&&(b, _)| b == bus)
+                .map(|&(_, s)| s)
+                .expect("spur bus has an allocated slot")
+        };
+        if any_spur {
+            slot_count.push(1); // spur in1: driven by the Rb spec
+            slot_count.push(0); // spur in2: never driven (stays DISC)
+            slot_count.push(1); // spur out: driven by the module proc
+        }
+        let mut slot_base: Vec<usize> = Vec::with_capacity(sig_count);
+        let mut total_slots = 0usize;
+        for &k in &slot_count {
+            slot_base.push(total_slots);
+            total_slots += k;
+        }
+
+        // SoA state: `values[sig * n + col]`,
+        // `drivers[(slot_base[sig] + slot) * n + col]`. Driver slots
+        // start at the (per-column) initial signal value, like the
+        // kernel's elaboration.
+        let mut values: Vec<Value> = vec![Value::Disc; sig_count * n];
+        for (c, d) in chunk.iter().enumerate() {
+            for (sig, s) in self.signals.iter().enumerate() {
+                values[sig * n + c] = s.init;
+            }
+            for &(sig, v) in &d.init_edits {
+                values[sig * n + c] = v;
+            }
+        }
+        let mut drivers: Vec<Value> = vec![Value::Disc; total_slots * n];
+        for sig in 0..s0 {
+            for k in 0..self.signals[sig].drivers {
+                let row = (slot_base[sig] + k) * n;
+                for c in 0..n {
+                    drivers[row + c] = values[sig * n + c];
+                }
+            }
+        }
+
+        // Per-column module state (golden modules plus the shadow spur,
+        // a combinational PassA with an empty pipeline).
+        let spur_ops = [Op::PassA];
+        let mod_count = self.modules.len() + usize::from(any_spur);
+        let module_view = |m: usize| -> (usize, usize, Option<usize>, usize, &[Op], ModuleTiming) {
+            if let Some(pm) = self.modules.get(m) {
+                (pm.in1, pm.in2, pm.op, pm.out, pm.ops.as_slice(), pm.timing)
+            } else {
+                (
+                    spur_in1,
+                    spur_in1 + 1,
+                    None,
+                    spur_out,
+                    &spur_ops,
+                    ModuleTiming::Combinational,
+                )
+            }
+        };
+        let mut pipes: Vec<VecDeque<Value>> = Vec::with_capacity(mod_count * n);
+        for m in &self.modules {
+            for _ in 0..n {
+                pipes.push(VecDeque::from(vec![
+                    Value::Disc;
+                    m.timing.latency() as usize
+                ]));
+            }
+        }
+        if any_spur {
+            pipes.resize_with(mod_count * n, VecDeque::new);
+        }
+        let mut busy: Vec<u32> = vec![0; mod_count * n];
+
+        // Merged schedule: per-step spec activity as `(spec index,
+        // column mask)` — golden placement minus per-column drops and
+        // moves, plus moved-in specs — sorted by spec index. Spec order
+        // is preserved by every mutation (drops remove, skews re-step,
+        // spurs append last), so each column's mask-filtered view is
+        // exactly its own mutant's action order.
+        let mut clear: Vec<u64> = vec![0; self.specs.len()];
+        let mut moved_in: Vec<(usize, Step, u64)> = Vec::new();
+        for (c, d) in chunk.iter().enumerate() {
+            if full & bit(c) == 0 {
+                continue;
+            }
+            for &i in &d.disabled_specs {
+                clear[i] |= bit(c);
+            }
+            for &(i, step) in &d.moved_specs {
+                clear[i] |= bit(c);
+                moved_in.push((i, step, bit(c)));
+            }
+        }
+        let mut by_step: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.cs_max as usize + 1];
+        for (i, sp) in self.specs.iter().enumerate() {
+            if !(1..=self.cs_max).contains(&sp.step) {
+                continue;
+            }
+            let m = full & !clear[i];
+            if m != 0 {
+                by_step[sp.step as usize].push((i, m));
+            }
+        }
+        for (i, step, m) in moved_in {
+            by_step[step as usize].push((i, m));
+        }
+        for v in &mut by_step {
+            v.sort_by_key(|&(i, _)| i);
+        }
+
+        let cs_sig = self
+            .signals
+            .iter()
+            .position(|s| matches!(s.role, SignalRole::ControlStep))
+            .expect("plan has a CS signal");
+        let ph_sig = self
+            .signals
+            .iter()
+            .position(|s| matches!(s.role, SignalRole::PhaseSignal))
+            .expect("plan has a PH signal");
+        let ph_to = |p: Phase| Action::Control {
+            sig: ph_sig,
+            value: Value::Num(p.index() as i64),
+        };
+
+        let num_slots = self.cs_max as usize * Phase::ALL.len();
+        let mut sched: Vec<Vec<(Action, u64)>> = vec![Vec::new(); num_slots];
+        for s in 1..=self.cs_max {
+            let base = (s as usize - 1) * Phase::ALL.len();
+            let entries = &by_step[s as usize];
+            let spur_here: Vec<(usize, &PlanSpur)> = spur_cols
+                .iter()
+                .filter(|&&(_, spur)| spur.step == s)
+                .copied()
+                .collect();
+            let spec = |i: usize| self.specs[i];
+
+            let ra = &mut sched[base + Phase::Ra.index() as usize];
+            for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Ra) {
+                let sp = spec(i);
+                ra.push((
+                    Action::Assert {
+                        src: sp.src,
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    },
+                    m,
+                ));
+            }
+            for &(c, spur) in &spur_here {
+                ra.push((
+                    Action::Assert {
+                        src: Source::Signal(spur.src),
+                        dst: spur.bus,
+                        slot: bus_slot(spur.bus),
+                    },
+                    bit(c),
+                ));
+            }
+            ra.push((ph_to(Phase::Rb), full));
+
+            let rb = &mut sched[base + Phase::Rb.index() as usize];
+            rb.push((ph_to(Phase::Cm), full));
+            for &(i, m) in entries {
+                let sp = spec(i);
+                match sp.phase {
+                    Phase::Ra => rb.push((
+                        Action::Release {
+                            dst: sp.dst,
+                            slot: sp.slot,
+                        },
+                        m,
+                    )),
+                    Phase::Rb => rb.push((
+                        Action::Assert {
+                            src: sp.src,
+                            dst: sp.dst,
+                            slot: sp.slot,
+                        },
+                        m,
+                    )),
+                    _ => {}
+                }
+            }
+            for &(c, spur) in &spur_here {
+                rb.push((
+                    Action::Release {
+                        dst: spur.bus,
+                        slot: bus_slot(spur.bus),
+                    },
+                    bit(c),
+                ));
+                rb.push((
+                    Action::Assert {
+                        src: Source::Signal(spur.bus),
+                        dst: spur_in1,
+                        slot: 0,
+                    },
+                    bit(c),
+                ));
+            }
+
+            let cm = &mut sched[base + Phase::Cm.index() as usize];
+            cm.push((ph_to(Phase::Wa), full));
+            for i in 0..self.modules.len() {
+                cm.push((Action::Eval { module: i }, full));
+            }
+            if any_spur {
+                cm.push((
+                    Action::Eval {
+                        module: self.modules.len(),
+                    },
+                    spur_mask,
+                ));
+            }
+            for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Rb) {
+                let sp = spec(i);
+                cm.push((
+                    Action::Release {
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    },
+                    m,
+                ));
+            }
+            for &(c, _) in &spur_here {
+                cm.push((
+                    Action::Release {
+                        dst: spur_in1,
+                        slot: 0,
+                    },
+                    bit(c),
+                ));
+            }
+
+            let wa = &mut sched[base + Phase::Wa.index() as usize];
+            wa.push((ph_to(Phase::Wb), full));
+            for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wa) {
+                let sp = spec(i);
+                wa.push((
+                    Action::Assert {
+                        src: sp.src,
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    },
+                    m,
+                ));
+            }
+
+            let wb = &mut sched[base + Phase::Wb.index() as usize];
+            wb.push((ph_to(Phase::Cr), full));
+            for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wb) {
+                let sp = spec(i);
+                wb.push((
+                    Action::Assert {
+                        src: sp.src,
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    },
+                    m,
+                ));
+            }
+            for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wa) {
+                let sp = spec(i);
+                wb.push((
+                    Action::Release {
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    },
+                    m,
+                ));
+            }
+
+            let cr = &mut sched[base + Phase::Cr.index() as usize];
+            if s < self.cs_max {
+                cr.push((
+                    Action::Control {
+                        sig: cs_sig,
+                        value: Value::Num(s as i64 + 1),
+                    },
+                    full,
+                ));
+                cr.push((ph_to(Phase::Ra), full));
+            }
+            for i in 0..self.regs.len() {
+                cr.push((Action::Commit { reg: i }, full));
+            }
+            for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wb) {
+                let sp = spec(i);
+                cr.push((
+                    Action::Release {
+                        dst: sp.dst,
+                        slot: sp.slot,
+                    },
+                    m,
+                ));
+            }
+        }
+        let init_sched: Vec<(Action, u64)> = self.init_actions.iter().map(|&a| (a, full)).collect();
+
+        /// Appends one pending transaction row (`n` wide, `DISC`-filled).
+        fn push_row(
+            meta: &mut Vec<(usize, usize, u64)>,
+            vals: &mut Vec<Value>,
+            n: usize,
+            sig: usize,
+            slot: usize,
+            mask: u64,
+        ) -> usize {
+            meta.push((sig, slot, mask));
+            let row = vals.len();
+            vals.resize(row + n, Value::Disc);
+            row
+        }
+
+        // The lockstep walk. Per-column dynamic counters and the
+        // first-`ILLEGAL` latch replace the solo engines' trace-based
+        // extraction.
+        let mut ev_count = vec![0u64; n];
+        let mut du_count = vec![0u64; n];
+        let mut peak_pending = vec![0u64; n];
+        let mut pend_cnt = vec![0u64; n];
+        let mut first_ill: Vec<Option<(usize, u64)>> = vec![None; n];
+        let mut meta: Vec<(usize, usize, u64)> = Vec::new();
+        let mut vals: Vec<Value> = Vec::new();
+
+        let max_needed = (0..n)
+            .filter(|&c| full & bit(c) != 0)
+            .map(|c| needed[c])
+            .max()
+            .unwrap_or(0);
+        for d in 0..max_needed {
+            pend_cnt.iter_mut().for_each(|x| *x = 0);
+            for &(_, _, m) in &meta {
+                let mut mm = m;
+                while mm != 0 {
+                    pend_cnt[mm.trailing_zeros() as usize] += 1;
+                    mm &= mm - 1;
+                }
+            }
+            for c in 0..n {
+                peak_pending[c] = peak_pending[c].max(pend_cnt[c]);
+            }
+
+            // Update phase: apply transactions in push order, recomputing
+            // each column's effective value one transaction at a time.
+            for (e, &(sig, slot, m)) in meta.iter().enumerate() {
+                let row = e * n;
+                let dbase = slot_base[sig] + slot;
+                let resolved = if sig < s0 {
+                    self.signals[sig].resolved
+                } else {
+                    sig != spur_out
+                };
+                let eligible = if sig < s0 {
+                    !matches!(
+                        self.signals[sig].role,
+                        SignalRole::ControlStep | SignalRole::PhaseSignal
+                    )
+                } else {
+                    true
+                };
+                let mut mm = m;
+                while mm != 0 {
+                    let c = mm.trailing_zeros() as usize;
+                    mm &= mm - 1;
+                    du_count[c] += 1;
+                    drivers[dbase * n + c] = vals[row + c];
+                    let effective = if resolved {
+                        let mut seen: Option<Value> = None;
+                        let mut acc = Value::Disc;
+                        for k in 0..slot_count[sig] {
+                            match drivers[(slot_base[sig] + k) * n + c] {
+                                Value::Disc => {}
+                                Value::Illegal => {
+                                    acc = Value::Illegal;
+                                    break;
+                                }
+                                v @ Value::Num(_) => {
+                                    if seen.is_some() {
+                                        acc = Value::Illegal;
+                                        break;
+                                    }
+                                    seen = Some(v);
+                                    acc = v;
+                                }
+                            }
+                        }
+                        if acc == Value::Illegal {
+                            acc
+                        } else {
+                            seen.unwrap_or(Value::Disc)
+                        }
+                    } else {
+                        drivers[slot_base[sig] * n + c]
+                    };
+                    let vi = sig * n + c;
+                    if effective != values[vi] {
+                        values[vi] = effective;
+                        ev_count[c] += 1;
+                        if effective == Value::Illegal && eligible && first_ill[c].is_none() {
+                            first_ill[c] = Some((sig, d));
+                        }
+                    }
+                }
+            }
+            meta.clear();
+            vals.clear();
+
+            // Run phase: the merged slot's masked straight-line actions.
+            let actions: &[(Action, u64)] = if d == 0 {
+                &init_sched
+            } else {
+                sched.get(d as usize - 1).map(Vec::as_slice).unwrap_or(&[])
+            };
+            for &(action, mask) in actions {
+                match action {
+                    Action::Control { sig, value } => {
+                        let row = push_row(&mut meta, &mut vals, n, sig, 0, mask);
+                        let mut mm = mask;
+                        while mm != 0 {
+                            let c = mm.trailing_zeros() as usize;
+                            mm &= mm - 1;
+                            vals[row + c] = value;
+                        }
+                    }
+                    Action::Assert { src, dst, slot } => {
+                        let row = push_row(&mut meta, &mut vals, n, dst, slot, mask);
+                        let mut mm = mask;
+                        while mm != 0 {
+                            let c = mm.trailing_zeros() as usize;
+                            mm &= mm - 1;
+                            vals[row + c] = match src {
+                                Source::Signal(sig) => values[sig * n + c],
+                                Source::Const(v) => v,
+                            };
+                        }
+                    }
+                    Action::Release { dst, slot } => {
+                        push_row(&mut meta, &mut vals, n, dst, slot, mask);
+                    }
+                    Action::Eval { module } => {
+                        let (in1, in2, op, out_sig, ops, timing) = module_view(module);
+                        let row = push_row(&mut meta, &mut vals, n, out_sig, 0, mask);
+                        let mut mm = mask;
+                        while mm != 0 {
+                            let c = mm.trailing_zeros() as usize;
+                            mm &= mm - 1;
+                            let mut result = combine(
+                                values[in1 * n + c],
+                                values[in2 * n + c],
+                                op.map(|p| values[p * n + c]),
+                                ops,
+                            );
+                            let mslot = module * n + c;
+                            if let ModuleTiming::Sequential { latency } = timing {
+                                if busy[mslot] > 0 {
+                                    busy[mslot] -= 1;
+                                    if result != Value::Disc {
+                                        result = Value::Illegal;
+                                        for v in pipes[mslot].iter_mut() {
+                                            *v = Value::Illegal;
+                                        }
+                                    }
+                                } else if result != Value::Disc {
+                                    busy[mslot] = latency.saturating_sub(1);
+                                }
+                            }
+                            let pipe = &mut pipes[mslot];
+                            vals[row + c] = match pipe.pop_front() {
+                                None => result,
+                                Some(due) => {
+                                    pipe.push_back(result);
+                                    due
+                                }
+                            };
+                        }
+                    }
+                    Action::Commit { reg } => {
+                        let r = &self.regs[reg];
+                        let mut buf = [Value::Disc; BATCH_WIDTH];
+                        let mut live = 0u64;
+                        let mut mm = mask;
+                        while mm != 0 {
+                            let c = mm.trailing_zeros() as usize;
+                            mm &= mm - 1;
+                            let v = values[r.input * n + c];
+                            if v != Value::Disc {
+                                live |= 1u64 << c;
+                                buf[c] = v;
+                            }
+                        }
+                        if live != 0 {
+                            let row = push_row(&mut meta, &mut vals, n, r.output, 0, live);
+                            let mut mm = live;
+                            while mm != 0 {
+                                let c = mm.trailing_zeros() as usize;
+                                mm &= mm - 1;
+                                vals[row + c] = buf[c];
+                            }
+                        }
+                    }
+                }
+            }
+
+            if let Some(deadline) = options.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(KernelError::WallBudgetExceeded {
+                        at: SimTime {
+                            fs: 0,
+                            delta: d + 1,
+                        },
+                    });
+                }
+            }
+        }
+
+        for (c, d) in chunk.iter().enumerate() {
+            let registers: Vec<(String, Value)> = self
+                .regs
+                .iter()
+                .map(|r| (r.name.clone(), values[r.output * n + c]))
+                .collect();
+            let first_conflict = first_ill[c].and_then(|(sig, delta)| {
+                let visible_at = PhaseTime::from_active_delta(delta)?;
+                let (site, name) = if sig < s0 {
+                    match &self.signals[sig].role {
+                        SignalRole::Bus(nm) => (ConflictSite::Bus, nm.clone()),
+                        SignalRole::ModIn1(nm) | SignalRole::ModIn2(nm) => {
+                            (ConflictSite::ModulePort, nm.clone())
+                        }
+                        SignalRole::ModOp(nm) => (ConflictSite::ModuleOpPort, nm.clone()),
+                        SignalRole::ModOut(nm) => (ConflictSite::ModuleOut, nm.clone()),
+                        SignalRole::RegIn(nm) => (ConflictSite::RegisterPort, nm.clone()),
+                        SignalRole::RegOut(nm) => (ConflictSite::RegisterValue, nm.clone()),
+                        SignalRole::ControlStep | SignalRole::PhaseSignal => return None,
+                    }
+                } else {
+                    let name = d
+                        .spur
+                        .as_ref()
+                        .expect("spur conflict implies a spur delta")
+                        .name
+                        .clone();
+                    if sig == spur_out {
+                        (ConflictSite::ModuleOut, name)
+                    } else {
+                        (ConflictSite::ModulePort, name)
+                    }
+                };
+                Some(Conflict {
+                    site,
+                    name,
+                    visible_at,
+                })
+            });
+            let mut stats = col_stats[c];
+            if !overflow[c] {
+                stats.delta_cycles = needed[c];
+                stats.events = ev_count[c];
+                stats.driver_updates = du_count[c];
+                stats.peak_pending_updates = peak_pending[c];
+            }
+            out.push(BatchOutcome {
+                registers,
+                first_conflict,
+                stats,
+                overflowed: overflow[c],
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Columns per lockstep chunk of [`ExecPlan::execute_batch`] — one bit
+/// of the per-action column masks each.
+const BATCH_WIDTH: usize = 64;
+
+/// Closed-form kernel statistics — `(activations, wake_hits,
+/// wake_misses)` — of a schedule with `fixed_procs` register/module
+/// processes and the given transfer-spec `(step, phase)` summaries over
+/// `cs_max` steps. Shared between [`ExecPlan::lower`] (the golden
+/// schedule) and the batched executor (per-column mutant schedules), so
+/// the two derivations cannot drift.
+fn analytic_stats(
+    cs_max: Step,
+    fixed_procs: u64,
+    specs: impl Iterator<Item = (Step, Phase)>,
+) -> (u64, u64, u64) {
+    let steps = cs_max as u64;
+    let mut activations = 1 + 6 * steps + fixed_procs * (1 + steps);
+    let mut wake_hits = fixed_procs * steps;
+    let mut wake_misses = fixed_procs * 5 * steps;
+    for (step, phase) in specs {
+        if (1..=cs_max).contains(&step) {
+            // CS filter: misses while CS counts up to the step, one hit
+            // when it arrives.
+            wake_hits += 1;
+            wake_misses += step as u64 - 1;
+            if phase == Phase::Ra {
+                // init + assert + release; PH filter hits once (the
+                // release phase).
+                activations += 3;
+                wake_hits += 1;
+            } else {
+                // init + arm + assert + release; PH misses phases
+                // between ra and the assert phase, hits twice.
+                activations += 4;
+                wake_hits += 2;
+                wake_misses += phase.index() as u64 - 1;
+            }
+        } else {
+            // Defensive: a spec outside the schedule only ever runs its
+            // init resume and watches CS miss every step.
+            activations += 1;
+            wake_misses += steps;
+        }
+    }
+    (activations, wake_hits, wake_misses)
 }
 
 /// Combines module operand ports into a result, mirroring the module
@@ -1166,5 +2041,215 @@ mod tests {
             }
             assert_equivalent(&model);
         }
+    }
+
+    /// Batched column `i` must show exactly the observables a solo run of
+    /// `mutants[i]` shows: registers, first conflict, kernel counters.
+    fn assert_batch_matches_solo(golden: &RtModel, deltas: &[PlanDelta], mutants: &[RtModel]) {
+        assert_eq!(deltas.len(), mutants.len());
+        let plan = ExecPlan::lower(golden);
+        let outs = plan.execute_batch(deltas, &ExecOptions::default()).unwrap();
+        for (i, (out, mutant)) in outs.iter().zip(mutants).enumerate() {
+            let solo = compiled_traced(mutant);
+            assert!(!out.overflowed, "column {i}");
+            assert_eq!(
+                out.registers, solo.summary.registers,
+                "column {i} registers"
+            );
+            assert_eq!(
+                out.first_conflict.as_ref(),
+                solo.summary.conflicts.as_ref().unwrap().first(),
+                "column {i} conflict"
+            );
+            assert_eq!(out.stats, solo.summary.stats, "column {i} stats");
+        }
+    }
+
+    #[test]
+    fn batched_deltas_match_solo_mutant_runs() {
+        let golden = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&golden);
+
+        let mut deltas = vec![PlanDelta::default()];
+        let mut mutants = vec![golden.clone()];
+
+        // Stuck-at-DISC and corrupted init.
+        for (reg, value) in [("R1", Value::Disc), ("R2", Value::Num(9))] {
+            deltas.push(plan.delta_set_init(reg, value).unwrap());
+            let mut m = golden.clone();
+            m.set_register_init(reg, value).unwrap();
+            mutants.push(m);
+        }
+
+        // Dropped transfer.
+        deltas.push(plan.delta_drop_tuple(0).unwrap());
+        let mut m = golden.clone();
+        m.remove_transfer(0).unwrap();
+        mutants.push(m);
+
+        // Skewed write-back, both directions; +1 lands the write on
+        // `wb(CS_MAX)` so only that column takes the flush delta.
+        for skew in [1i32, -1] {
+            deltas.push(plan.delta_skew_write(0, skew).unwrap());
+            let mut m = golden.clone();
+            let mut tuple = m.tuples()[0].clone();
+            let write = tuple.write.as_mut().unwrap();
+            write.step = (write.step as i64 + i64::from(skew)) as Step;
+            m.replace_transfer_unchecked(0, tuple).unwrap();
+            mutants.push(m);
+        }
+
+        // Spurious drivers: one colliding with the scheduled read of B2
+        // at step 5, one alone on an idle step, and two columns sharing
+        // the same extra bus slot.
+        for (bus, step, reg) in [("B2", 5, "R1"), ("B1", 2, "R2"), ("B1", 3, "R1")] {
+            deltas.push(plan.delta_extra_driver(bus, step, reg).unwrap());
+            let mut m = golden.clone();
+            let spur = format!("SPUR_{bus}_{step}");
+            m.add_module(ModuleDecl::single(
+                &spur,
+                Op::PassA,
+                ModuleTiming::Combinational,
+            ))
+            .unwrap();
+            m.add_transfer(TransferTuple::new(step, spur).src_a(reg, bus))
+                .unwrap();
+            mutants.push(m);
+        }
+
+        assert_batch_matches_solo(&golden, &deltas, &mutants);
+    }
+
+    #[test]
+    fn batched_flush_model_deltas_match_solo() {
+        // Golden takes the flush delta; dropping the tuple removes it,
+        // and a -1 skew pulls the write off `wb(CS_MAX)`.
+        let golden = flush_model();
+        let plan = ExecPlan::lower(&golden);
+
+        let mut deltas = vec![PlanDelta::default(), plan.delta_drop_tuple(0).unwrap()];
+        let mut mutants = vec![golden.clone()];
+        let mut m = golden.clone();
+        m.remove_transfer(0).unwrap();
+        mutants.push(m);
+
+        deltas.push(plan.delta_skew_write(0, -1).unwrap());
+        let mut m = golden.clone();
+        let mut tuple = m.tuples()[0].clone();
+        tuple.write.as_mut().unwrap().step = 1;
+        m.replace_transfer_unchecked(0, tuple).unwrap();
+        mutants.push(m);
+
+        assert_batch_matches_solo(&golden, &deltas, &mutants);
+    }
+
+    #[test]
+    fn batched_sequential_module_deltas_match_solo() {
+        // Re-use the initiation-interval model: dropping the second
+        // transfer un-poisons the pipeline, per column.
+        let mut golden = RtModel::new("seq", 6);
+        golden.add_register_init("R1", Value::Num(3)).unwrap();
+        golden.add_register_init("R2", Value::Num(4)).unwrap();
+        golden.add_register_init("R3", Value::Num(5)).unwrap();
+        golden.add_bus("B1").unwrap();
+        golden.add_bus("B2").unwrap();
+        golden
+            .add_module(ModuleDecl::single(
+                "MUL",
+                Op::Mul,
+                ModuleTiming::Sequential { latency: 2 },
+            ))
+            .unwrap();
+        golden
+            .add_transfer(
+                TransferTuple::new(1, "MUL")
+                    .src_a("R1", "B1")
+                    .src_b("R2", "B2")
+                    .write(3, "B1", "R1"),
+            )
+            .unwrap();
+        golden
+            .add_transfer(
+                TransferTuple::new(2, "MUL")
+                    .src_a("R3", "B1")
+                    .src_b("R2", "B2")
+                    .write(4, "B2", "R3"),
+            )
+            .unwrap();
+        let plan = ExecPlan::lower(&golden);
+
+        let deltas = vec![PlanDelta::default(), plan.delta_drop_tuple(1).unwrap()];
+        let mut mutants = vec![golden.clone()];
+        let mut m = golden.clone();
+        m.remove_transfer(1).unwrap();
+        mutants.push(m);
+
+        assert_batch_matches_solo(&golden, &deltas, &mutants);
+    }
+
+    #[test]
+    fn batch_spans_multiple_chunks() {
+        let golden = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&golden);
+        let deltas: Vec<PlanDelta> = (0..70)
+            .map(|i| plan.delta_set_init("R2", Value::Num(i)).unwrap())
+            .collect();
+        let outs = plan
+            .execute_batch(&deltas, &ExecOptions::default())
+            .unwrap();
+        assert_eq!(outs.len(), 70);
+        for (i, out) in outs.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(out.registers[0], ("R1".to_string(), Value::Num(3 + i)));
+            assert_eq!(out.registers[1], ("R2".to_string(), Value::Num(i)));
+        }
+    }
+
+    #[test]
+    fn over_budget_columns_overflow_without_disturbing_the_rest() {
+        let golden = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&golden);
+        // 43 deltas golden; the +1 skew needs the flush delta (44).
+        let deltas = vec![PlanDelta::default(), plan.delta_skew_write(0, 1).unwrap()];
+        let opts = ExecOptions {
+            delta_limit: Some(43),
+            ..Default::default()
+        };
+        let outs = plan.execute_batch(&deltas, &opts).unwrap();
+        assert!(!outs[0].overflowed);
+        assert_eq!(outs[0].registers[0].1, Value::Num(7));
+        assert!(outs[1].overflowed);
+        assert_eq!(
+            outs[1].stats,
+            SimStats {
+                delta_cycles: 43,
+                ..SimStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn delta_constructors_reject_bad_targets() {
+        let plan = ExecPlan::lower(&fig1_model(3, 4));
+        assert!(plan
+            .delta_set_init("R9", Value::Disc)
+            .unwrap_err()
+            .contains("unknown register"));
+        assert!(plan
+            .delta_drop_tuple(5)
+            .unwrap_err()
+            .contains("no transfer at index 5"));
+        assert!(plan
+            .delta_skew_write(0, 7)
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(plan
+            .delta_extra_driver("B9", 1, "R1")
+            .unwrap_err()
+            .contains("unknown bus"));
+        assert!(plan
+            .delta_extra_driver("B1", 9, "R1")
+            .unwrap_err()
+            .contains("out of range"));
     }
 }

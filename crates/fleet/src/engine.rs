@@ -197,7 +197,7 @@ pub fn run_batch_with(
     for j in &jobs {
         match j {
             JobOutcome::Ok(r) => totals.merge(&r.stats),
-            JobOutcome::Failed(q) => totals.retries += q.retries,
+            JobOutcome::Failed(q) => totals.merge(&q.stats),
         }
     }
     Ok(FleetReport {
@@ -265,6 +265,7 @@ fn run_job_with_retries(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
                 kind: FailureKind::Build,
                 error: build_error_text(e),
                 retries: 0,
+                stats: clockless_kernel::SimStats::default(),
             });
         }
     };
@@ -291,11 +292,23 @@ fn run_job_with_retries(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
             Err(payload) => (FailureKind::Panicked, panic_message(payload.as_ref())),
         };
         if attempt >= u64::from(config.max_retries) {
+            // The partial work is deterministic only for a delta-budget
+            // exhaustion (the run burned exactly the budget); other
+            // failure kinds carry no reproducible counters.
+            let stats = clockless_kernel::SimStats {
+                delta_cycles: match failure.0 {
+                    FailureKind::DeltaBudget => job.delta_budget.unwrap_or(0),
+                    _ => 0,
+                },
+                retries: attempt,
+                ..Default::default()
+            };
             return JobOutcome::Failed(JobFailure {
                 name: job.name.clone(),
                 kind: failure.0,
                 error: failure.1,
                 retries: attempt,
+                stats,
             });
         }
         attempt += 1;
@@ -573,6 +586,24 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"status\": \"build-failed\""), "{json}");
+    }
+
+    #[test]
+    fn quarantined_budget_blowouts_still_count_in_totals() {
+        let report = run_batch(&hostile_spec(), 1).expect("runs");
+        let tight = report
+            .quarantined()
+            .find(|q| q.name == "tight")
+            .expect("tight overflows");
+        assert_eq!(tight.kind, FailureKind::DeltaBudget);
+        // The failed job burned exactly its configured budget…
+        assert_eq!(tight.stats.delta_cycles, 10);
+        // …and the batch totals include it alongside the clean jobs.
+        let ok: u64 = report.results().map(|j| j.stats.delta_cycles).sum();
+        assert_eq!(report.totals.delta_cycles, ok + 10);
+        // Non-budget failures contribute no phantom counters.
+        let boom = report.quarantined().find(|q| q.name == "boom").unwrap();
+        assert_eq!(boom.stats, clockless_kernel::SimStats::default());
     }
 
     #[test]

@@ -101,6 +101,12 @@ pub struct JobFailure {
     pub error: String,
     /// How many re-executions were attempted beyond the first run.
     pub retries: u64,
+    /// The kernel work the failed job still performed (deterministic:
+    /// the exhausted budget for [`FailureKind::DeltaBudget`], zeros
+    /// otherwise), with `retries` mirrored in — merged into
+    /// [`FleetReport::totals`] so campaigns full of overflowing mutants
+    /// don't report near-zero `delta_cycles`.
+    pub stats: SimStats,
 }
 
 impl fmt::Display for JobFailure {
@@ -180,10 +186,10 @@ impl JobOutcome {
 pub struct FleetReport {
     /// Per-job outcomes, in spec order (independent of worker count).
     pub jobs: Vec<JobOutcome>,
-    /// Every completed job's kernel counters merged with
+    /// Every job's kernel counters merged with
     /// [`SimStats::merge`](clockless_kernel::SimStats::merge): counters
-    /// sum, peaks take the maximum. Quarantined jobs contribute only
-    /// their `retries`.
+    /// sum, peaks take the maximum. Quarantined jobs contribute their
+    /// partial [`JobFailure::stats`] (budget deltas burned, retries).
     pub totals: SimStats,
     /// Worker threads the batch ran on.
     pub workers: usize,
@@ -470,6 +476,7 @@ mod tests {
             kind: FailureKind::Panicked,
             error: "deliberate".into(),
             retries: 0,
+            stats: SimStats::default(),
         };
         assert_eq!(q.to_string(), "boom (panicked): deliberate");
         q.retries = 2;

@@ -7,8 +7,20 @@
 //! seeded, fully deterministic generator derives a set of model mutants
 //! — stuck-at-`DISC` registers, spurious second drivers, dropped
 //! transfer tuples, step-skewed write-backs, corrupted init values —
-//! and every mutant runs on a **private kernel instance** via the
-//! fault-tolerant `clockless-fleet` engine under a tight delta budget.
+//! interleaved round-robin across the classes so a `--max` cap samples
+//! every class instead of a prefix of one.
+//!
+//! Two engines run the mutants, selected by [`CampaignEngine`]:
+//!
+//! * **Batched** (the default) — the golden model is lowered to one
+//!   [`ExecPlan`], each fault becomes a small [`PlanDelta`]
+//!   (init-vector or schedule edit; no model clone, no re-elaboration),
+//!   and all mutants execute in lockstep over a structure-of-arrays
+//!   register file via [`ExecPlan::execute_batch`].
+//! * **Legacy** — every mutant model runs on a **private kernel
+//!   instance** via the fault-tolerant `clockless-fleet` engine. This is
+//!   the differential oracle: both engines produce byte-identical
+//!   campaign reports, and the equivalence is pinned by tests and CI.
 //!
 //! Each run is classified against the golden (unmutated) run:
 //!
@@ -24,6 +36,12 @@
 //!   wrong).
 //! * [`FaultOutcome::Masked`] — the run was clean *and* state-identical:
 //!   the fault had no observable effect at all.
+//! * [`FaultOutcome::Inapplicable`] — the fault does not fit the model
+//!   (unknown register, out-of-range skew…). The row is quarantined,
+//!   like the fleet quarantines failing jobs, instead of aborting the
+//!   whole campaign; generation only emits applicable faults, so this
+//!   appears only for caller-supplied fault lists
+//!   ([`run_campaign_with_faults`]).
 //!
 //! The campaign report aggregates per-class detection coverage. On the
 //! paper's Fig. 1 model, the `stuck` and `drivers` classes are detected
@@ -36,7 +54,8 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use clockless_core::{
-    Backend, ExecOptions, ModuleDecl, ModuleTiming, Op, Phase, RtModel, Step, TransferTuple, Value,
+    Backend, ExecOptions, ExecPlan, ModuleDecl, ModuleTiming, Op, Phase, PlanDelta, RtModel, Step,
+    TransferTuple, Value,
 };
 use clockless_fleet::{
     run_batch_with, BatchSpec, FailureKind, FleetConfig, FleetError, JobSource, JobSpec,
@@ -158,13 +177,71 @@ impl FaultKind {
         }
     }
 
+    /// Checks that the fault can be expressed on `model` — the single
+    /// applicability predicate shared by generation, the legacy
+    /// per-mutant path ([`FaultKind::apply`]) and the batched plan-delta
+    /// path, so the checks cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// The reason the fault does not fit (also the text of the
+    /// [`FaultOutcome::Inapplicable`] row a campaign would produce).
+    pub fn check(&self, model: &RtModel) -> Result<(), String> {
+        let check_register = |register: &str| {
+            model
+                .registers()
+                .iter()
+                .any(|r| r.name == register)
+                .then_some(())
+                .ok_or_else(|| format!("unknown register `{register}`"))
+        };
+        match self {
+            FaultKind::StuckAtDisc { register } | FaultKind::CorruptInit { register, .. } => {
+                check_register(register)
+            }
+            FaultKind::ExtraDriver {
+                bus,
+                step,
+                register,
+            } => {
+                check_register(register)?;
+                if !model.buses().iter().any(|b| b.name == *bus) {
+                    return Err(format!("unknown bus `{bus}`"));
+                }
+                if *step < 1 || *step > model.cs_max() {
+                    return Err(format!("spurious driver step {step} is out of range"));
+                }
+                Ok(())
+            }
+            FaultKind::DropTransfer { index } => {
+                if *index >= model.tuples().len() {
+                    return Err(format!("no transfer at index {index}"));
+                }
+                Ok(())
+            }
+            FaultKind::SkewWrite { index, delta } => {
+                let tuple = model
+                    .tuples()
+                    .get(*index)
+                    .ok_or_else(|| format!("no transfer at index {index}"))?;
+                let write = tuple
+                    .write
+                    .as_ref()
+                    .ok_or_else(|| format!("transfer {index} has no write-back"))?;
+                skew_target_step(write.step, *delta, model.cs_max()).map(|_| ())
+            }
+        }
+    }
+
     /// Applies the fault to a copy of `model`, producing the mutant.
     ///
     /// # Errors
     ///
     /// A message when the mutation cannot be expressed on this model
-    /// (generation only emits applicable faults, so this is defensive).
+    /// ([`FaultKind::check`]; generation only emits applicable faults,
+    /// so hitting this is the caller's doing).
     pub fn apply(&self, model: &RtModel) -> Result<RtModel, String> {
+        self.check(model)?;
         let mut m = model.clone();
         match self {
             FaultKind::StuckAtDisc { register } => {
@@ -201,11 +278,7 @@ impl FaultKind {
                     .write
                     .as_mut()
                     .ok_or_else(|| format!("transfer {index} has no write-back"))?;
-                let step = write.step as i64 + i64::from(*delta);
-                if step < 1 || step > m.cs_max() as i64 {
-                    return Err(format!("skewed write step {step} is out of range"));
-                }
-                write.step = step as Step;
+                write.step = skew_target_step(write.step, *delta, m.cs_max())?;
                 m.replace_transfer_unchecked(*index, skewed)
                     .map_err(|e| e.to_string())?;
             }
@@ -273,6 +346,12 @@ pub enum FaultOutcome {
     /// No conflict and no state difference: the fault had no observable
     /// effect.
     Masked,
+    /// The fault does not fit the model ([`FaultKind::check`] failed);
+    /// the row is quarantined instead of aborting the campaign.
+    Inapplicable {
+        /// Why the fault could not be applied.
+        reason: String,
+    },
 }
 
 impl FaultOutcome {
@@ -283,6 +362,7 @@ impl FaultOutcome {
             FaultOutcome::DeltaOverflow => "delta-overflow",
             FaultOutcome::SilentCorruption { .. } => "silent-corruption",
             FaultOutcome::Masked => "masked",
+            FaultOutcome::Inapplicable { .. } => "inapplicable",
         }
     }
 
@@ -319,6 +399,61 @@ impl fmt::Display for FaultOutcome {
                 "SILENT: register `{register}` ended {got}, golden run says {expected}"
             ),
             FaultOutcome::Masked => write!(f, "masked: no observable effect"),
+            FaultOutcome::Inapplicable { reason } => write!(f, "inapplicable: {reason}"),
+        }
+    }
+}
+
+/// Which machinery runs the mutants — the campaign report is
+/// byte-identical either way (pinned by tests and CI).
+///
+/// # Examples
+///
+/// ```
+/// use clockless_verify::CampaignEngine;
+///
+/// let e: CampaignEngine = "legacy".parse()?;
+/// assert_eq!(e, CampaignEngine::Legacy);
+/// assert_eq!(e.to_string(), "legacy");
+/// assert_eq!(CampaignEngine::default(), CampaignEngine::Batched);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CampaignEngine {
+    /// Lower the golden plan once, run every mutant as a [`PlanDelta`]
+    /// column of one lockstep [`ExecPlan::execute_batch`] walk.
+    #[default]
+    Batched,
+    /// One fleet job per mutant model, each on a private kernel — the
+    /// differential oracle for the batched engine.
+    Legacy,
+}
+
+impl CampaignEngine {
+    /// Stable machine-readable name (JSON and `--engine` grammar).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignEngine::Batched => "batched",
+            CampaignEngine::Legacy => "legacy",
+        }
+    }
+}
+
+impl fmt::Display for CampaignEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for CampaignEngine {
+    type Err = String;
+    fn from_str(s: &str) -> Result<CampaignEngine, String> {
+        match s {
+            "batched" => Ok(CampaignEngine::Batched),
+            "legacy" => Ok(CampaignEngine::Legacy),
+            other => Err(format!(
+                "unknown engine `{other}` (expected batched|legacy)"
+            )),
         }
     }
 }
@@ -341,6 +476,9 @@ pub struct CampaignConfig {
     /// not depend on this — it only selects the machinery (and lets CI
     /// exercise the compiled engine against the full mutant space).
     pub backend: Backend,
+    /// Mutant-execution machinery; see [`CampaignEngine`]. Reports are
+    /// byte-identical across engines.
+    pub engine: CampaignEngine,
 }
 
 impl Default for CampaignConfig {
@@ -351,6 +489,7 @@ impl Default for CampaignConfig {
             max_faults: None,
             workers: 1,
             backend: Backend::default(),
+            engine: CampaignEngine::default(),
         }
     }
 }
@@ -562,6 +701,20 @@ impl fmt::Display for CampaignReport {
     }
 }
 
+/// The step a skewed write-back lands on — the single range check shared
+/// by fault generation and both campaign engines ([`FaultKind::check`]).
+///
+/// # Errors
+///
+/// A message when the target step leaves `1..=cs_max`.
+fn skew_target_step(write_step: Step, delta: i32, cs_max: Step) -> Result<Step, String> {
+    let step = write_step as i64 + i64::from(delta);
+    if step < 1 || step > cs_max as i64 {
+        return Err(format!("skewed write step {step} is out of range"));
+    }
+    Ok(step as Step)
+}
+
 /// splitmix64 — the same tiny deterministic PRNG the property tests use.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -572,17 +725,24 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Enumerates the faults a campaign would inject, deterministically:
-/// fixed class order, model-declaration order within a class, seeded
-/// values only where a fault needs one (corrupted inits).
+/// per-class enumeration in model-declaration order (seeded values only
+/// where a fault needs one — corrupted inits), then a round-robin
+/// interleave across the classes in canonical order. The interleave
+/// makes any `max_faults` truncation sample every class evenly instead
+/// of a prefix of whichever classes enumerate first.
 pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKind> {
     let wants = |class: FaultClass| config.classes.is_empty() || config.classes.contains(&class);
     let mut rng = config.seed;
-    let mut faults = Vec::new();
+    let mut stuck = Vec::new();
+    let mut drivers = Vec::new();
+    let mut drops = Vec::new();
+    let mut skews = Vec::new();
+    let mut inits = Vec::new();
 
     if wants(FaultClass::Stuck) {
         for r in model.registers() {
             if r.init.is_num() {
-                faults.push(FaultKind::StuckAtDisc {
+                stuck.push(FaultKind::StuckAtDisc {
                     register: r.name.clone(),
                 });
             }
@@ -597,7 +757,7 @@ pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKin
                     continue; // one spurious driver per (bus, step)
                 }
                 seen.push(key);
-                faults.push(FaultKind::ExtraDriver {
+                drivers.push(FaultKind::ExtraDriver {
                     bus: route.bus.clone(),
                     step: tuple.read_step,
                     register: route.register.clone(),
@@ -607,16 +767,15 @@ pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKin
     }
     if wants(FaultClass::Drops) {
         for index in 0..model.tuples().len() {
-            faults.push(FaultKind::DropTransfer { index });
+            drops.push(FaultKind::DropTransfer { index });
         }
     }
     if wants(FaultClass::Skews) {
         for (index, tuple) in model.tuples().iter().enumerate() {
             let Some(write) = &tuple.write else { continue };
             for delta in [-1i32, 1] {
-                let step = write.step as i64 + i64::from(delta);
-                if step >= 1 && step <= model.cs_max() as i64 {
-                    faults.push(FaultKind::SkewWrite { index, delta });
+                if skew_target_step(write.step, delta, model.cs_max()).is_ok() {
+                    skews.push(FaultKind::SkewWrite { index, delta });
                 }
             }
         }
@@ -625,10 +784,23 @@ pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKin
         for r in model.registers() {
             let base = r.init.num().unwrap_or(0);
             let value = base.wrapping_add(1 + (splitmix64(&mut rng) % 997) as i64);
-            faults.push(FaultKind::CorruptInit {
+            inits.push(FaultKind::CorruptInit {
                 register: r.name.clone(),
                 value,
             });
+        }
+    }
+
+    // Round-robin across the classes in canonical order: stuck[0],
+    // drivers[0], …, inits[0], stuck[1], … — deterministic, and a
+    // truncated prefix covers every non-empty class.
+    let mut buckets = [stuck, drivers, drops, skews, inits].map(Vec::into_iter);
+    let mut faults = Vec::new();
+    loop {
+        let before = faults.len();
+        faults.extend(buckets.iter_mut().filter_map(Iterator::next));
+        if faults.len() == before {
+            break;
         }
     }
 
@@ -639,17 +811,37 @@ pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKin
 }
 
 /// Runs a seeded fault campaign on `model`: golden run, deterministic
-/// fault generation, one fleet job per mutant (each on a private kernel
-/// under a tight delta budget), outcome classification, coverage report.
+/// fault generation, mutant execution on the configured
+/// [`CampaignEngine`], outcome classification, coverage report.
 ///
 /// # Errors
 ///
-/// [`FaultsError`] when the golden run fails, a mutation cannot be
-/// applied, a mutant fails unclassifiably, or nothing was generated.
+/// [`FaultsError`] when the golden run fails, a mutant fails
+/// unclassifiably, or nothing was generated.
 pub fn run_campaign(
     model: &RtModel,
     config: &CampaignConfig,
 ) -> Result<CampaignReport, FaultsError> {
+    run_campaign_with_faults(model, generate_faults(model, config), config)
+}
+
+/// Runs a campaign over a caller-supplied fault list (the generation
+/// step of [`run_campaign`] factored out). Faults that do not fit the
+/// model are quarantined as [`FaultOutcome::Inapplicable`] rows rather
+/// than aborting the campaign.
+///
+/// # Errors
+///
+/// [`FaultsError`] when the golden run fails, a mutant fails
+/// unclassifiably, or `faults` is empty.
+pub fn run_campaign_with_faults(
+    model: &RtModel,
+    faults: Vec<FaultKind>,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, FaultsError> {
+    if faults.is_empty() {
+        return Err(FaultsError::NoFaults);
+    }
     let golden = config
         .backend
         .execute(model, &ExecOptions::traced())
@@ -661,18 +853,147 @@ pub fn run_campaign(
         .map(|(n, v)| (n.as_str(), *v))
         .collect();
 
-    let faults = generate_faults(model, config);
-    if faults.is_empty() {
-        return Err(FaultsError::NoFaults);
-    }
-
     // Twice the exact quiescence bound (1 + 6·CS_MAX deltas) plus slack:
     // roomy for every legitimate mutant, tight enough that an oscillating
     // one is cut off after a few extra steps, not 10^8 deltas later.
     let delta_budget = 2 * (1 + 6 * model.cs_max() as u64) + 16;
 
-    let mut jobs = Vec::with_capacity(faults.len());
+    // Quarantine un-applicable faults up front — one applicability
+    // predicate for both engines, so their reports cannot differ here.
+    let quarantined: Vec<Option<FaultOutcome>> = faults
+        .iter()
+        .map(|f| {
+            f.check(model)
+                .err()
+                .map(|reason| FaultOutcome::Inapplicable { reason })
+        })
+        .collect();
+
+    let (outcomes, totals) = match config.engine {
+        CampaignEngine::Batched => run_mutants_batched(
+            model,
+            &faults,
+            &quarantined,
+            &golden_registers,
+            delta_budget,
+        )?,
+        CampaignEngine::Legacy => run_mutants_legacy(
+            model,
+            &faults,
+            &quarantined,
+            &golden_registers,
+            delta_budget,
+            config,
+        )?,
+    };
+
+    let rows: Vec<CampaignRow> = faults
+        .into_iter()
+        .zip(quarantined)
+        .zip(outcomes)
+        .map(|((fault, pre), ran)| CampaignRow {
+            fault,
+            outcome: pre.unwrap_or_else(|| ran.expect("applicable fault ran")),
+        })
+        .collect();
+
+    let mut totals = totals;
+    totals.injected_faults = rows.len() as u64;
+    Ok(CampaignReport {
+        model: model.name().to_string(),
+        seed: config.seed,
+        delta_budget,
+        rows,
+        totals,
+    })
+}
+
+/// Classifies a clean mutant run: first register diverging from the
+/// golden run (declaration order) or [`FaultOutcome::Masked`]. Registers
+/// the mutant added — none today — would not count.
+fn classify_clean(registers: &[(String, Value)], golden: &HashMap<&str, Value>) -> FaultOutcome {
+    let diff = registers
+        .iter()
+        .find(|(name, value)| golden.get(name.as_str()).is_some_and(|g| g != value));
+    match diff {
+        Some((register, got)) => FaultOutcome::SilentCorruption {
+            register: register.clone(),
+            expected: golden[register.as_str()],
+            got: *got,
+        },
+        None => FaultOutcome::Masked,
+    }
+}
+
+/// The batched engine: lower the golden plan once, express every
+/// applicable fault as a [`PlanDelta`] and run all mutants in lockstep
+/// via [`ExecPlan::execute_batch`]. Returns per-fault outcomes (`None`
+/// on quarantined slots) and the merged kernel totals.
+fn run_mutants_batched(
+    model: &RtModel,
+    faults: &[FaultKind],
+    quarantined: &[Option<FaultOutcome>],
+    golden: &HashMap<&str, Value>,
+    delta_budget: u64,
+) -> Result<(Vec<Option<FaultOutcome>>, SimStats), FaultsError> {
+    let plan = ExecPlan::lower(model);
+    let mut deltas = Vec::new();
+    let mut slots = Vec::new(); // fault index of each delta column
     for (i, fault) in faults.iter().enumerate() {
+        if quarantined[i].is_some() {
+            continue;
+        }
+        let delta = fault_to_delta(&plan, fault).map_err(|msg| FaultsError::Apply {
+            fault: fault.to_string(),
+            msg,
+        })?;
+        deltas.push(delta);
+        slots.push(i);
+    }
+    let options = ExecOptions {
+        delta_limit: Some(delta_budget),
+        ..Default::default()
+    };
+    let outs = plan
+        .execute_batch(&deltas, &options)
+        .map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
+
+    let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; faults.len()];
+    let mut totals = SimStats::default();
+    for (i, out) in slots.into_iter().zip(outs) {
+        totals.merge(&out.stats);
+        outcomes[i] = Some(if out.overflowed {
+            FaultOutcome::DeltaOverflow
+        } else if let Some(first) = &out.first_conflict {
+            FaultOutcome::DetectedConflict {
+                site: first.site.to_string(),
+                name: first.name.clone(),
+                step: first.visible_at.step,
+                phase: first.visible_at.phase,
+            }
+        } else {
+            classify_clean(&out.registers, golden)
+        });
+    }
+    Ok((outcomes, totals))
+}
+
+/// The legacy engine and differential oracle: every applicable fault
+/// becomes a mutant model run as its own fleet job on a private kernel.
+fn run_mutants_legacy(
+    model: &RtModel,
+    faults: &[FaultKind],
+    quarantined: &[Option<FaultOutcome>],
+    golden: &HashMap<&str, Value>,
+    delta_budget: u64,
+    config: &CampaignConfig,
+) -> Result<(Vec<Option<FaultOutcome>>, SimStats), FaultsError> {
+    let mut jobs = Vec::new();
+    let mut slots = Vec::new(); // fault index of each job
+    for (i, fault) in faults.iter().enumerate() {
+        if quarantined[i].is_some() {
+            continue;
+        }
         let mutant = fault.apply(model).map_err(|msg| FaultsError::Apply {
             fault: fault.to_string(),
             msg,
@@ -681,6 +1002,11 @@ pub fn run_campaign(
             format!("fault_{i:03}"),
             JobSource::Model(Box::new(mutant)),
         ));
+        slots.push(i);
+    }
+    let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; faults.len()];
+    if jobs.is_empty() {
+        return Ok((outcomes, SimStats::default()));
     }
     let fleet_config = FleetConfig {
         delta_budget: Some(delta_budget),
@@ -689,14 +1015,13 @@ pub fn run_campaign(
     };
     let report = run_batch_with(&BatchSpec { jobs }, config.workers, &fleet_config)?;
 
-    let mut rows = Vec::with_capacity(faults.len());
-    for (fault, job) in faults.into_iter().zip(&report.jobs) {
-        let outcome = match job {
+    for (i, job) in slots.into_iter().zip(&report.jobs) {
+        outcomes[i] = Some(match job {
             clockless_fleet::JobOutcome::Failed(q) => match q.kind {
                 FailureKind::DeltaBudget | FailureKind::WallBudget => FaultOutcome::DeltaOverflow,
                 _ => {
                     return Err(FaultsError::Mutant {
-                        fault: fault.to_string(),
+                        fault: faults[i].to_string(),
                         msg: q.error.clone(),
                     })
                 }
@@ -710,37 +1035,30 @@ pub fn run_campaign(
                         phase: first.visible_at.phase,
                     }
                 } else {
-                    // Clean run: diff the mutant's final registers against
-                    // the golden run (registers the mutant added — none
-                    // today — would not count).
-                    let diff = result.registers.iter().find(|(name, value)| {
-                        golden_registers
-                            .get(name.as_str())
-                            .is_some_and(|g| g != value)
-                    });
-                    match diff {
-                        Some((register, got)) => FaultOutcome::SilentCorruption {
-                            register: register.clone(),
-                            expected: golden_registers[register.as_str()],
-                            got: *got,
-                        },
-                        None => FaultOutcome::Masked,
-                    }
+                    classify_clean(&result.registers, golden)
                 }
             }
-        };
-        rows.push(CampaignRow { fault, outcome });
+        });
     }
+    Ok((outcomes, report.totals))
+}
 
-    let mut totals = report.totals;
-    totals.injected_faults = rows.len() as u64;
-    Ok(CampaignReport {
-        model: model.name().to_string(),
-        seed: config.seed,
-        delta_budget,
-        rows,
-        totals,
-    })
+/// Translates a model-level [`FaultKind`] into the equivalent
+/// [`PlanDelta`] on the golden plan.
+fn fault_to_delta(plan: &ExecPlan, fault: &FaultKind) -> Result<PlanDelta, String> {
+    match fault {
+        FaultKind::StuckAtDisc { register } => plan.delta_set_init(register, Value::Disc),
+        FaultKind::CorruptInit { register, value } => {
+            plan.delta_set_init(register, Value::Num(*value))
+        }
+        FaultKind::DropTransfer { index } => plan.delta_drop_tuple(*index),
+        FaultKind::SkewWrite { index, delta } => plan.delta_skew_write(*index, *delta),
+        FaultKind::ExtraDriver {
+            bus,
+            step,
+            register,
+        } => plan.delta_extra_driver(bus, *step, register),
+    }
 }
 
 /// Escapes a string for inclusion in a JSON document.
@@ -930,5 +1248,272 @@ mod tests {
             assert_eq!(class.as_str().parse::<FaultClass>(), Ok(class));
         }
         assert!("meteor".parse::<FaultClass>().is_err());
+    }
+
+    #[test]
+    fn campaign_engine_round_trips_through_strings() {
+        for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+            assert_eq!(engine.as_str().parse::<CampaignEngine>(), Ok(engine));
+        }
+        let err = "turbo".parse::<CampaignEngine>().unwrap_err();
+        assert!(err.contains("turbo"), "{err}");
+    }
+
+    #[test]
+    fn max_faults_takes_a_round_robin_prefix_across_classes() {
+        // The cap must sample every class, not the first classes'
+        // enumeration order. fig1's first round is one fault per class,
+        // in canonical class order.
+        let model = fig1_model(3, 4);
+        let full = generate_faults(&model, &CampaignConfig::default());
+        let capped = generate_faults(
+            &model,
+            &CampaignConfig {
+                max_faults: Some(5),
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(capped.as_slice(), &full[..5], "cap is a prefix");
+        let classes: Vec<FaultClass> = capped.iter().map(|f| f.class()).collect();
+        assert_eq!(classes, ALL_CLASSES, "one fault per class, in order");
+        assert_eq!(
+            capped[0],
+            FaultKind::StuckAtDisc {
+                register: "R1".into()
+            }
+        );
+        assert_eq!(
+            capped[1],
+            FaultKind::ExtraDriver {
+                bus: "B1".into(),
+                step: 5,
+                register: "R1".into()
+            }
+        );
+        assert_eq!(capped[2], FaultKind::DropTransfer { index: 0 });
+        assert_eq!(
+            capped[3],
+            FaultKind::SkewWrite {
+                index: 0,
+                delta: -1
+            }
+        );
+        assert!(matches!(
+            &capped[4],
+            FaultKind::CorruptInit { register, .. } if register == "R1"
+        ));
+    }
+
+    #[test]
+    fn inapplicable_faults_are_quarantined_rows_not_campaign_aborts() {
+        let model = fig1_model(3, 4);
+        let faults = vec![
+            FaultKind::StuckAtDisc {
+                register: "R1".into(),
+            },
+            // Skew lands on step 11 > CS_MAX 7.
+            FaultKind::SkewWrite { index: 0, delta: 5 },
+            FaultKind::DropTransfer { index: 9 },
+            FaultKind::StuckAtDisc {
+                register: "R9".into(),
+            },
+        ];
+        let mut reports = Vec::new();
+        for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+            let config = CampaignConfig {
+                engine,
+                ..CampaignConfig::default()
+            };
+            let report = run_campaign_with_faults(&model, faults.clone(), &config)
+                .expect("inapplicable faults must not abort the campaign");
+            assert_eq!(report.rows.len(), 4, "{engine}");
+            assert!(report.rows[0].outcome.is_detected(), "{engine}");
+            for (row, needle) in report.rows[1..].iter().zip([
+                "skewed write step 11 is out of range",
+                "no transfer at index 9",
+                "unknown register `R9`",
+            ]) {
+                match &row.outcome {
+                    FaultOutcome::Inapplicable { reason } => {
+                        assert_eq!(reason, needle, "{engine}");
+                        assert!(!row.outcome.is_detected());
+                        assert_eq!(row.outcome.as_str(), "inapplicable");
+                    }
+                    other => panic!("{engine}: expected quarantine, got {other}"),
+                }
+            }
+            assert_eq!(report.totals.injected_faults, 4, "{engine}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1], "engines agree on quarantines");
+        assert_eq!(reports[0].to_json(), reports[1].to_json());
+        let json = reports[0].to_json();
+        assert!(json.contains("\"outcome\": \"inapplicable\""), "{json}");
+    }
+
+    #[test]
+    fn skew_checks_cannot_drift_between_generation_and_apply() {
+        // Every skew generation emits must apply; every ±1 skew it
+        // refuses must be refused by `apply` with the same message.
+        let model = fig1_model(3, 4);
+        let generated = generate_faults(
+            &model,
+            &CampaignConfig {
+                classes: vec![FaultClass::Skews],
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(!generated.is_empty());
+        for fault in &generated {
+            fault.apply(&model).expect("generated skews apply");
+        }
+        for index in 0..model.tuples().len() {
+            for delta in [-1i32, 1] {
+                let fault = FaultKind::SkewWrite { index, delta };
+                let generated_it = generated.contains(&fault);
+                match fault.apply(&model) {
+                    Ok(_) => assert!(generated_it, "applied but not generated: {fault}"),
+                    Err(msg) => {
+                        assert!(!generated_it, "generated but refused: {fault}");
+                        assert!(msg.contains("out of range"), "{msg}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_skews_reach_step_one_and_cs_max() {
+        // Writes skewed onto the schedule edges: step 1 (earliest legal)
+        // and CS_MAX (forcing the mutant — and only the mutant — through
+        // the flush delta). Both engines must agree byte-for-byte.
+        let mut model = clockless_core::RtModel::new("edges", 3);
+        model.add_register_init("R1", Value::Num(3)).unwrap();
+        model.add_register_init("R2", Value::Num(4)).unwrap();
+        model.add_bus("B1").unwrap();
+        model.add_bus("B2").unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "ADD",
+                Op::Add,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+        model
+            .add_transfer(
+                TransferTuple::new(1, "ADD")
+                    .src_a("R1", "B1")
+                    .src_b("R2", "B2")
+                    .write(2, "B1", "R1"),
+            )
+            .unwrap();
+        let faults = vec![
+            FaultKind::SkewWrite {
+                index: 0,
+                delta: -1,
+            }, // write step 2 → 1
+            FaultKind::SkewWrite { index: 0, delta: 1 }, // write step 2 → 3 = CS_MAX
+        ];
+        for fault in &faults {
+            fault.check(&model).expect("boundary skews are legal");
+        }
+        let mut reports = Vec::new();
+        for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+            let config = CampaignConfig {
+                engine,
+                ..CampaignConfig::default()
+            };
+            let report =
+                run_campaign_with_faults(&model, faults.clone(), &config).expect("campaign runs");
+            assert_eq!(report.rows.len(), 2, "{engine}");
+            reports.push(report);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0].to_json(), reports[1].to_json());
+    }
+
+    #[test]
+    fn class_filters_with_nothing_to_generate_report_no_faults() {
+        // A model with no transfers: drops/skews/drivers filter down to
+        // nothing, and the campaign says so on both engines.
+        let mut model = clockless_core::RtModel::new("idle", 3);
+        model.add_register_init("R1", Value::Num(9)).unwrap();
+        model.add_bus("B1").unwrap();
+        for classes in [
+            vec![FaultClass::Drops],
+            vec![FaultClass::Skews],
+            vec![FaultClass::Drivers],
+        ] {
+            for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+                let config = CampaignConfig {
+                    classes: classes.clone(),
+                    engine,
+                    ..CampaignConfig::default()
+                };
+                assert_eq!(
+                    run_campaign(&model, &config),
+                    Err(FaultsError::NoFaults),
+                    "{engine} {classes:?}"
+                );
+            }
+        }
+    }
+
+    /// Byte-identity of the batched and legacy engines on one model,
+    /// across both execution backends.
+    fn assert_engines_agree(model: &RtModel, context: &str) {
+        for backend in [Backend::Interpreted, Backend::Compiled] {
+            let mut reports = Vec::new();
+            for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+                let config = CampaignConfig {
+                    backend,
+                    engine,
+                    ..CampaignConfig::default()
+                };
+                reports.push(
+                    run_campaign(model, &config)
+                        .unwrap_or_else(|e| panic!("{context} ({backend}/{engine}): {e}")),
+                );
+            }
+            assert_eq!(reports[0], reports[1], "{context} ({backend})");
+            assert_eq!(
+                reports[0].to_json(),
+                reports[1].to_json(),
+                "{context} ({backend})"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_and_legacy_agree_on_the_rtl_corpus() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../models");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(dir).expect("models directory") {
+            let path = entry.expect("entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rtl") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("readable");
+            let model = clockless_core::text::parse_model(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_engines_agree(&model, &path.display().to_string());
+            checked += 1;
+        }
+        assert!(checked >= 5, "corpus shrank to {checked} models");
+    }
+
+    #[test]
+    fn batched_and_legacy_agree_on_the_iks_chips() {
+        use clockless_iks::prelude::*;
+        let constants = IkConstants::new(ArmGeometry::new(1.0, 1.0));
+        let ik = build_ik_chip(to_fx(1.0), to_fx(1.0), constants)
+            .expect("ik chip")
+            .model;
+        assert_engines_agree(&ik, "ik chip");
+
+        let samples = [to_fx(0.5), to_fx(1.5), to_fx(-1.0), to_fx(2.0)];
+        let coeffs = [to_fx(2.0), to_fx(-0.5), to_fx(0.25), to_fx(1.0)];
+        let fir = clockless_iks::build_fir_chip(samples, coeffs).expect("fir chip");
+        assert_engines_agree(&fir, "fir chip");
     }
 }

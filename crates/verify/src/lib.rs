@@ -63,8 +63,8 @@ pub use equiv::{
     OutputVerdict, SynthesisVerification, VerifyError,
 };
 pub use faults::{
-    generate_faults, run_campaign, CampaignConfig, CampaignReport, CampaignRow, FaultClass,
-    FaultKind, FaultOutcome, FaultsError, ALL_CLASSES,
+    generate_faults, run_campaign, run_campaign_with_faults, CampaignConfig, CampaignEngine,
+    CampaignReport, CampaignRow, FaultClass, FaultKind, FaultOutcome, FaultsError, ALL_CLASSES,
 };
 pub use lint::{lint_model, Lint};
 pub use normalize::{equivalent, normalize, Atom, Poly};

@@ -52,6 +52,16 @@ done
 faults_interp="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json)"
 faults_compiled="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json --backend compiled)"
 [ "$faults_interp" = "$faults_compiled" ]
+
+echo "== campaign engine sweep (batched engine must be byte-identical to legacy)"
+for model in models/*.rtl; do
+  faults_batched="$(./target/release/clockless faults "$model" --json)"
+  faults_legacy="$(./target/release/clockless faults "$model" --json --engine legacy)"
+  [ "$faults_batched" = "$faults_legacy" ]
+done
+faults_batched_compiled="$(./target/release/clockless faults models/iks_fir.rtl --json --backend compiled)"
+faults_legacy_compiled="$(./target/release/clockless faults models/iks_fir.rtl --json --engine legacy --backend compiled)"
+[ "$faults_batched_compiled" = "$faults_legacy_compiled" ]
 fleet_interp="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json)"
 fleet_compiled="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled)"
 [ "$fleet_interp" = "$fleet_compiled" ]

@@ -9,7 +9,7 @@
 //!                 [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]
 //!                 [--backend interpreted|compiled]
 //! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
-//!                  [--backend interpreted|compiled]
+//!                  [--backend interpreted|compiled] [--engine batched|legacy]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
 //! clockless vhdl <model.rtl> [--clocked]
 //! clockless explain "<tuple>"
@@ -20,7 +20,11 @@
 //! and the command exits 1, while the other jobs' results stay intact;
 //! `--fail-fast` restores the abort-on-first-failure behaviour.
 //! `faults` runs a seeded fault-injection campaign (classes: stuck,
-//! drivers, drops, skews, inits) and reports detection coverage.
+//! drivers, drops, skews, inits) and reports detection coverage;
+//! `--engine` picks the mutant machinery — the plan-sharing batched
+//! executor (default, one lowered plan, all mutants in lockstep) or the
+//! legacy one-fleet-job-per-mutant path. Reports are byte-identical
+//! across engines.
 //!
 //! `--backend` selects the execution engine — the interpreted delta
 //! kernel (default) or the compiled phase-schedule walker. Both are
@@ -53,7 +57,7 @@ fn usage() -> ExitCode {
          [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]\n                  \
          [--backend interpreted|compiled]\n  \
          clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n                   \
-         [--backend interpreted|compiled]\n  \
+         [--backend interpreted|compiled] [--engine batched|legacy]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
          clockless vhdl <model.rtl> [--clocked]\n  \
          clockless explain \"<tuple>\""
@@ -62,7 +66,7 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take a value (so `positional_args` skips the value word).
-const VALUED_FLAGS: [&str; 8] = [
+const VALUED_FLAGS: [&str; 9] = [
     "--jobs",
     "--retries",
     "--delta-budget",
@@ -71,6 +75,7 @@ const VALUED_FLAGS: [&str; 8] = [
     "--max",
     "--classes",
     "--backend",
+    "--engine",
 ];
 
 /// Result of looking up `--flag <value>` in the argument list.
@@ -281,6 +286,7 @@ fn cmd_fleet(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_faults(
     path: &str,
     seed: Option<u64>,
@@ -289,12 +295,14 @@ fn cmd_faults(
     jobs: usize,
     json: bool,
     backend: Backend,
+    engine: clockless::verify::CampaignEngine,
 ) -> Result<(), String> {
     let model = load(path)?;
     let mut config = clockless::verify::CampaignConfig {
         workers: jobs,
         max_faults: max,
         backend,
+        engine,
         ..Default::default()
     };
     if let Some(seed) = seed {
@@ -444,11 +452,16 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(b) => b,
                 FlagValue::Malformed => return usage(),
             };
+            let engine = match flag_value(&args, "--engine") {
+                FlagValue::Absent => clockless::verify::CampaignEngine::default(),
+                FlagValue::Parsed(e) => e,
+                FlagValue::Malformed => return usage(),
+            };
             let positional = positional_args(&args);
             let [path] = positional.as_slice() else {
                 return usage();
             };
-            cmd_faults(path, seed, classes, max, jobs, json, backend)
+            cmd_faults(path, seed, classes, max, jobs, json, backend, engine)
         }
         "translate" => {
             let Some(path) = args.get(1) else {
