@@ -1,0 +1,236 @@
+//! Writes `BENCH_serve.json` at the repository root: throughput and
+//! resident-set size of the `clockless serve` daemon vs job count, cold
+//! cache (every job a distinct model → parse + lower every time) against
+//! warm cache (one model resident → every job executes the cached
+//! `ExecPlan`), plus the headline comparison the daemon exists for:
+//! warm-cache `run` jobs against spawning the one-shot CLI per job.
+//!
+//! Per the workspace convention, job counts and the byte-identity field
+//! are machine-independent; `wall_ns`, `jobs_per_sec`, `rss_kb` and the
+//! speedup are machine-local. The `speedup_vs_one_shot` row is asserted
+//! `>= 5.0` — the acceptance bar for keeping the daemon resident.
+//!
+//! Requires the release CLI (`cargo build --release`) for the one-shot
+//! baseline; run from the repo root:
+//!
+//! ```text
+//! cargo bench --manifest-path crates/bench/Cargo.toml --bench serve_throughput
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use clockless_serve::{decode_payload, run_client, Daemon, ServeConfig};
+
+/// A fig1-shaped model, made textually unique per index so every cold
+/// job is a guaranteed cache miss.
+fn model_text(i: usize) -> String {
+    format!(
+        "model bench{i} steps 7\nregister R1 init {}\nregister R2 init 4\n\
+         bus B1\nbus B2\nmodule ADD ops add pipelined 1\n\
+         transfer (R1,B1,R2,B2,5,ADD,6,B1,R1)\n",
+        i % 100
+    )
+}
+
+/// One NDJSON `run` request line with the model text inlined.
+fn run_request(id: usize, text: &str) -> String {
+    let escaped = text
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!("{{\"id\":{id},\"op\":\"run\",\"model\":\"{escaped}\"}}\n")
+}
+
+/// VmRSS of this process (daemon runs in-process) in kB.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct Row {
+    phase: &'static str,
+    jobs: usize,
+    wall_ns: u64,
+    jobs_per_sec: f64,
+    rss_kb: u64,
+}
+
+/// Sends `requests` through one client session and returns (wall ns,
+/// response payload lines).
+fn session(socket: &Path, requests: &str) -> (u64, Vec<String>) {
+    let mut out = Vec::new();
+    let t = Instant::now();
+    run_client(socket, requests.as_bytes(), &mut out, false).expect("client session");
+    let ns = t.elapsed().as_nanos() as u64;
+    let text = String::from_utf8(out).expect("utf-8 responses");
+    (ns, text.lines().map(str::to_string).collect())
+}
+
+/// Wall ns per job of the one-shot CLI (`run <model> --json`), best of
+/// `samples` spawns, plus the document it prints.
+fn one_shot(cli: &Path, model_file: &Path, samples: usize) -> (u64, String) {
+    let mut best = u64::MAX;
+    let mut doc = String::new();
+    for _ in 0..samples {
+        let t = Instant::now();
+        let out = std::process::Command::new(cli)
+            .arg("run")
+            .arg(model_file)
+            .arg("--json")
+            .output()
+            .expect("one-shot CLI runs");
+        let ns = t.elapsed().as_nanos() as u64;
+        assert!(out.status.success(), "{out:?}");
+        doc = String::from_utf8(out.stdout).expect("utf-8");
+        best = best.min(ns);
+    }
+    (best, doc)
+}
+
+fn main() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cli = repo.join("target/release/clockless");
+    assert!(
+        cli.exists(),
+        "one-shot baseline needs the release CLI: run `cargo build --release` first"
+    );
+
+    let tmp: PathBuf =
+        std::env::temp_dir().join(format!("clockless-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+    let socket = tmp.join("daemon.sock");
+
+    // The daemon runs in-process (so rss_kb() sees its cache) on a real
+    // Unix socket (so the measurement includes protocol + transport).
+    let daemon = Box::leak(Box::new(Daemon::new(ServeConfig::default())));
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || daemon.serve_unix(&socket))
+    };
+    while !socket.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut unique = 0usize; // next never-seen model index (cold jobs)
+
+    for jobs in [8usize, 32, 128] {
+        // Cold: every request a model the daemon has never parsed.
+        let mut reqs = String::new();
+        for id in 0..jobs {
+            reqs.push_str(&run_request(id, &model_text(unique)));
+            unique += 1;
+        }
+        let (wall_ns, lines) = session(&socket, &reqs);
+        assert_eq!(lines.len(), jobs, "every cold job answered");
+        rows.push(Row {
+            phase: "cold",
+            jobs,
+            wall_ns,
+            jobs_per_sec: jobs as f64 / (wall_ns as f64 / 1e9),
+            rss_kb: rss_kb(),
+        });
+
+        // Warm: the same model every time — one miss on first contact,
+        // then pure cached-plan execution.
+        let warm_text = model_text(0);
+        let mut reqs = String::new();
+        for id in 0..jobs {
+            reqs.push_str(&run_request(id, &warm_text));
+        }
+        let (wall_ns, lines) = session(&socket, &reqs);
+        assert_eq!(lines.len(), jobs, "every warm job answered");
+        rows.push(Row {
+            phase: "warm",
+            jobs,
+            wall_ns,
+            jobs_per_sec: jobs as f64 / (wall_ns as f64 / 1e9),
+            rss_kb: rss_kb(),
+        });
+        eprintln!(
+            "jobs={jobs:<4} cold={:>10.0} jobs/s  warm={:>10.0} jobs/s  rss={} kB",
+            rows[rows.len() - 2].jobs_per_sec,
+            rows[rows.len() - 1].jobs_per_sec,
+            rows[rows.len() - 1].rss_kb
+        );
+    }
+
+    // Headline: warm-cache daemon runs vs spawning the one-shot CLI.
+    let warm_text = model_text(0);
+    let model_file = tmp.join("bench0.rtl");
+    std::fs::write(&model_file, &warm_text).expect("model file");
+    let (one_shot_ns, cli_doc) = one_shot(&cli, &model_file, 5);
+
+    let warm_jobs = 64usize;
+    let mut reqs = String::new();
+    for id in 0..warm_jobs {
+        reqs.push_str(&run_request(id, &warm_text));
+    }
+    let (warm_wall_ns, lines) = session(&socket, &reqs);
+    let warm_ns_per_job = warm_wall_ns / warm_jobs as u64;
+    let speedup = one_shot_ns as f64 / warm_ns_per_job as f64;
+
+    // The daemon's warm payload must also BE the CLI document, byte for
+    // byte — speed without fidelity would be cheating.
+    let payload = decode_payload(&lines[0]).expect("run payload");
+    let byte_identical = payload == cli_doc;
+    assert!(byte_identical, "daemon payload != one-shot CLI document");
+    assert!(
+        speedup >= 5.0,
+        "warm-cache daemon must beat one-shot CLI by >=5x, got {speedup:.1}x \
+         ({warm_ns_per_job} ns/job vs {one_shot_ns} ns one-shot)"
+    );
+
+    // Stop the daemon and collect its exit.
+    let (_, lines) = session(&socket, "{\"id\":0,\"op\":\"shutdown\"}\n");
+    assert_eq!(lines.len(), 1);
+    server
+        .join()
+        .expect("server thread")
+        .expect("clean daemon exit");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo bench --manifest-path crates/bench/Cargo.toml \
+         --bench serve_throughput\",\n",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"one_shot_vs_warm\": {{\"one_shot_ns_per_job\": {one_shot_ns}, \
+         \"warm_ns_per_job\": {warm_ns_per_job}, \"speedup_vs_one_shot\": {speedup:.1}, \
+         \"required_speedup\": 5.0, \"payload_byte_identical\": {byte_identical}}},"
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"phase\": \"{}\", \"jobs\": {}, \"wall_ns\": {}, \"jobs_per_sec\": {:.0}, \
+             \"rss_kb\": {}}}{}",
+            r.phase, r.jobs, r.wall_ns, r.jobs_per_sec, r.rss_kb, comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = repo.join("BENCH_serve.json");
+    std::fs::write(&path, out).expect("writes BENCH_serve.json");
+    eprintln!(
+        "serve throughput: one-shot {one_shot_ns} ns/job, warm {warm_ns_per_job} ns/job \
+         ({speedup:.1}x); {} rows written to {}",
+        rows.len(),
+        path.canonicalize().unwrap_or(path).display()
+    );
+}

@@ -1,0 +1,182 @@
+//! Shared hand-rolled JSON rendering helpers.
+//!
+//! Every machine-readable surface in the workspace (fleet reports, fault
+//! campaigns, the serve daemon) writes JSON by hand so tier-1 resolves
+//! with zero external crates. This module centralizes the two renderings
+//! that must agree byte-for-byte across those surfaces — string escaping
+//! and the flat [`SimStats`] counter object — plus the deterministic
+//! single-run report the CLI's `run --json` and the daemon's `run` job
+//! both print.
+//!
+//! # Examples
+//!
+//! ```
+//! use clockless_core::json::escape;
+//!
+//! assert_eq!(escape("plain"), "plain");
+//! assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+//! ```
+
+use std::fmt::Write as _;
+
+use clockless_kernel::SimStats;
+
+use crate::model::RtModel;
+use crate::run::RunSummary;
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders [`SimStats`] as a flat JSON object. Every counter is emitted
+/// explicitly — including zeros — so downstream diffing sees a
+/// value-independent key set.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::json::sim_stats;
+/// use clockless_kernel::SimStats;
+///
+/// let j = sim_stats(&SimStats::default());
+/// assert!(j.starts_with("{\"delta_cycles\": 0"));
+/// assert!(j.contains("\"retries\": 0"));
+/// ```
+pub fn sim_stats(s: &SimStats) -> String {
+    format!(
+        "{{\"delta_cycles\": {}, \"process_activations\": {}, \"events\": {}, \
+         \"driver_updates\": {}, \"time_advances\": {}, \"wake_filter_hits\": {}, \
+         \"wake_filter_misses\": {}, \"peak_runnable\": {}, \"peak_pending_updates\": {}, \
+         \"injected_faults\": {}, \"retries\": {}}}",
+        s.delta_cycles,
+        s.process_activations,
+        s.events,
+        s.driver_updates,
+        s.time_advances,
+        s.wake_filter_hits,
+        s.wake_filter_misses,
+        s.peak_runnable,
+        s.peak_pending_updates,
+        s.injected_faults,
+        s.retries
+    )
+}
+
+/// Renders one traced run as the deterministic JSON document printed by
+/// `clockless run --json` — and, byte-identically, returned by the serve
+/// daemon's `run` job. No wall-clock fields; identical runs produce
+/// identical documents on any machine.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::backend::{Backend, ExecOptions};
+/// use clockless_core::json::run_report;
+/// use clockless_core::model::fig1_model;
+///
+/// let model = fig1_model(3, 4);
+/// let outcome = Backend::Interpreted.execute(&model, &ExecOptions::traced())?;
+/// let doc = run_report(&model, &outcome.summary);
+/// assert!(doc.contains("\"model\": \"fig1_example\""));
+/// assert!(doc.contains("{\"name\": \"R1\", \"value\": \"7\"}"));
+/// # Ok::<(), clockless_kernel::KernelError>(())
+/// ```
+pub fn run_report(model: &RtModel, summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"run\": {{\"model\": \"{}\", \"cs_max\": {}, \"tuples\": {}}},",
+        escape(model.name()),
+        model.cs_max(),
+        model.tuples().len()
+    );
+    let _ = writeln!(out, "  \"kernel\": {},", sim_stats(&summary.stats));
+    out.push_str("  \"registers\": [");
+    for (k, (name, value)) in summary.registers.iter().enumerate() {
+        let comma = if k + 1 == summary.registers.len() {
+            ""
+        } else {
+            ", "
+        };
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"value\": \"{}\"}}{}",
+            escape(name),
+            value,
+            comma
+        );
+    }
+    out.push_str("],\n  \"conflicts\": [");
+    let conflicts = summary
+        .conflicts
+        .as_ref()
+        .map(|c| c.conflicts.as_slice())
+        .unwrap_or(&[]);
+    for (k, c) in conflicts.iter().enumerate() {
+        let comma = if k + 1 == conflicts.len() { "" } else { ", " };
+        let _ = write!(out, "\"{}\"{}", escape(&c.to_string()), comma);
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, ExecOptions};
+    use crate::model::fig1_model;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny\u{1}"), "x\\ny\\u0001");
+    }
+
+    #[test]
+    fn run_report_is_deterministic_and_backend_independent() {
+        let model = fig1_model(3, 4);
+        let interp = Backend::Interpreted
+            .execute(&model, &ExecOptions::traced())
+            .expect("runs");
+        let compiled = Backend::Compiled
+            .execute(&model, &ExecOptions::traced())
+            .expect("runs");
+        let a = run_report(&model, &interp.summary);
+        let b = run_report(&model, &compiled.summary);
+        assert_eq!(a, b);
+        assert!(a.contains("\"cs_max\": 7"), "{a}");
+        assert!(a.contains("\"delta_cycles\": 43"), "{a}");
+        assert!(a.ends_with("\"conflicts\": []\n}\n"), "{a}");
+    }
+
+    #[test]
+    fn run_report_lists_conflicts_of_traced_runs() {
+        use crate::text::parse_model;
+        let text = "model clash steps 4\nregister A init 1\nregister B init 2\nregister T\n\
+                    bus X\nbus Y\nbus Z\nmodule CPA ops passa comb\nmodule CPB ops passa comb\n\
+                    transfer (A,X,-,-,2,CPA,2,Y,T)\ntransfer (B,X,-,-,2,CPB,2,Z,T)\n";
+        let model = parse_model(text).expect("parses");
+        let outcome = Backend::Interpreted
+            .execute(&model, &ExecOptions::traced())
+            .expect("runs");
+        let doc = run_report(&model, &outcome.summary);
+        assert!(doc.contains("ILLEGAL on bus `X`"), "{doc}");
+    }
+}

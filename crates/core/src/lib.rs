@@ -65,6 +65,8 @@
 //!   delta kernel and the compiled plan walker behind one trait, with a
 //!   byte-identical observable-output contract.
 //! * [`diag`] — conflict localization (§2.7).
+//! * [`json`] — shared hand-rolled JSON helpers (escaping, `SimStats`
+//!   counters, the deterministic single-run report).
 //! * [`text`] — a declarative text format standing in for the VHDL source.
 //! * [`mod@transcript`] — phase-by-phase value tables (terminal waveforms).
 //! * [`vhdl`] — emission of the model as VHDL source in the paper's own
@@ -78,6 +80,7 @@
 pub mod backend;
 pub mod diag;
 pub mod elaborate;
+pub mod json;
 pub mod model;
 pub mod op;
 pub mod phase;

@@ -1,37 +1,36 @@
-//! The parallel batch engine: a fault-tolerant `std::thread` worker pool
-//! over a shared job queue.
+//! The parallel batch engine: a thin, deterministic caller of the
+//! generic job-queue executor in [`crate::executor`].
 //!
 //! The design follows the shape Strauch's *Deriving AOC C-Models … for
 //! Single- or Multi-Threaded Execution* derives for RT-level simulation:
 //! jobs are fully independent simulation units, so the engine needs no
-//! synchronization beyond the queue handing out job indices and one slot
-//! per job to deposit the result. Each worker elaborates and runs its
+//! synchronization beyond the queue handing out work and the emission
+//! channel carrying results back. Each worker elaborates and runs its
 //! jobs on private kernel instances — the kernel has no shared mutable
 //! state (enforced by `#![forbid(unsafe_code)]` plus the cross-thread
 //! isolation test in `clockless-kernel`) — so the engine is
-//! **deterministic by construction**: results land in spec order and are
-//! bit-identical for any worker count.
+//! **deterministic by construction**: emissions arrive in completion
+//! order, are reordered by ticket into spec order, and are bit-identical
+//! for any worker count.
 //!
 //! Fault tolerance is layered on top of that determinism rather than
-//! against it. Every job runs behind a [`std::panic::catch_unwind`]
-//! fence, failures are retried up to a configured bound and then
-//! **quarantined** as [`JobOutcome::Failed`] rows instead of aborting the
-//! batch, and both shared locks recover from poisoning (a panicking peer
-//! cannot take the queue down with it). Budgets — a delta-cycle cap and a
-//! wall-clock deadline — turn runaway jobs into classified failures. The
-//! legacy fail-fast behaviour remains available via
-//! [`FleetConfig::fail_fast`].
+//! against it. Every job runs behind the executor's
+//! [`std::panic::catch_unwind`] fence, failures are retried up to a
+//! configured bound and then **quarantined** as [`JobOutcome::Failed`]
+//! rows instead of aborting the batch, and the shared queue recovers
+//! from lock poisoning (a panicking peer cannot take it down). Budgets —
+//! a delta-cycle cap and a wall-clock deadline — turn runaway jobs into
+//! classified failures. The legacy fail-fast behaviour remains available
+//! via [`FleetConfig::fail_fast`].
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use clockless_core::{Backend, ExecOptions, RtModel};
-use clockless_kernel::KernelError;
+use clockless_core::Backend;
 
-use crate::report::{FailureKind, FleetReport, JobFailure, JobOutcome, JobResult};
-use crate::spec::{BatchSpec, ChaosProbe, FleetError};
+use crate::executor::{execute_job, Emission, JobExecutor, ResolvedJob, ThreadPool};
+use crate::report::{FailureKind, FleetReport, JobFailure, JobOutcome};
+use crate::spec::{BatchSpec, FleetError};
 
 /// Execution policy for a batch: failure handling and budgets.
 ///
@@ -94,23 +93,16 @@ pub fn run_batch(spec: &BatchSpec, workers: usize) -> Result<FleetReport, FleetE
     run_batch_with(spec, workers, &FleetConfig::default())
 }
 
-/// One resolved queue entry: what a worker needs to run the job.
-struct ResolvedJob {
-    name: String,
-    model: Result<RtModel, FleetError>,
-    delta_budget: Option<u64>,
-    backend: Backend,
-    chaos: Option<ChaosProbe>,
-}
-
 /// Runs every job of `spec` on a pool of `workers` threads under the
 /// given [`FleetConfig`] and aggregates the results.
 ///
 /// Jobs are resolved to models up front (sequentially — parse errors
-/// carry clean line/job attribution), then executed in parallel. Passing
-/// `workers == 0` or `1` runs the batch on a single worker; the report
-/// is identical either way apart from the machine-local wall-clock
-/// fields.
+/// carry clean line/job attribution), then submitted to a
+/// [`ThreadPool`] executor under their spec
+/// index as the ticket. Emissions arrive in completion order and are
+/// reordered by ticket, so the report is identical at any worker count
+/// apart from the machine-local wall-clock fields. Passing
+/// `workers == 0` or `1` runs the batch on a single worker.
 ///
 /// In the default keep-going mode a failing job — build error, kernel
 /// error, panic, or exhausted budget — is retried up to
@@ -134,56 +126,51 @@ pub fn run_batch_with(
     if spec.jobs.is_empty() {
         return Err(FleetError::EmptyBatch);
     }
-    install_quiet_panic_hook();
     let mut resolved = Vec::with_capacity(spec.jobs.len());
     for j in &spec.jobs {
-        let model = j.resolve();
+        let job = ResolvedJob::from_spec(j, config);
         if config.fail_fast {
             // Preserve the legacy contract: resolution errors (Io/Build,
             // with line/job attribution) abort before anything runs.
-            if let Err(e) = model {
-                return Err(e);
+            if let Err(e) = &job.model {
+                return Err(e.clone());
             }
         }
-        resolved.push(ResolvedJob {
-            name: j.name.clone(),
-            model,
-            delta_budget: min_budget(config.delta_budget, j.delta_budget),
-            backend: config.backend.or(j.backend).unwrap_or_default(),
-            chaos: match j.source {
-                crate::spec::JobSource::Chaos(p) => Some(p),
-                _ => None,
-            },
-        });
+        resolved.push(job);
     }
 
-    let worker_count = workers.max(1).min(resolved.len());
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..resolved.len()).collect());
-    let slots: Vec<Mutex<Option<JobOutcome>>> = resolved.iter().map(|_| Mutex::new(None)).collect();
-
+    let job_count = resolved.len();
+    let worker_count = workers.max(1).min(job_count);
     let t0 = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..worker_count {
-            scope.spawn(|| loop {
-                // Poison-tolerant: a panic on a sibling worker (outside
-                // the catch_unwind fence) must not wedge the queue.
-                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
-                let Some(i) = next else { break };
-                let outcome = run_job_with_retries(&resolved[i], config);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
-            });
-        }
+    let (sink, emissions) = mpsc::channel();
+    let pool: ThreadPool<JobOutcome> = ThreadPool::new(worker_count, sink, |_, msg| {
+        // Belt and braces: `execute_job` fences panics itself, so this
+        // only fires if the retry loop's own bookkeeping panics.
+        JobOutcome::Failed(JobFailure {
+            name: String::new(),
+            kind: FailureKind::Panicked,
+            error: msg,
+            retries: 0,
+            stats: clockless_kernel::SimStats::default(),
+        })
     });
-    let elapsed_ns = t0.elapsed().as_nanos() as u64;
-
-    let mut jobs = Vec::with_capacity(resolved.len());
-    for slot in slots {
-        let outcome = slot
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .expect("every queued job ran");
-        jobs.push(outcome);
+    let cfg = *config;
+    for (i, job) in resolved.into_iter().enumerate() {
+        pool.submit(i as u64, Box::new(move || execute_job(&job, &cfg)));
     }
+
+    // Drain incrementally: collect exactly one emission per submitted
+    // job, then reorder by ticket into spec order.
+    let mut slots: Vec<Option<JobOutcome>> = (0..job_count).map(|_| None).collect();
+    for Emission { ticket, payload } in emissions.iter().take(job_count) {
+        slots[ticket as usize] = Some(payload);
+    }
+    pool.shutdown();
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let jobs: Vec<JobOutcome> = slots
+        .into_iter()
+        .map(|s| s.expect("every submitted job emits exactly once"))
+        .collect();
 
     if config.fail_fast {
         // Deterministic even under parallel execution: the *lowest-index*
@@ -208,38 +195,6 @@ pub fn run_batch_with(
     })
 }
 
-std::thread_local! {
-    /// `true` while this thread is inside the worker's `catch_unwind`
-    /// fence — panics there are caught, classified and reported in the
-    /// fleet report, so the default print-a-backtrace hook only adds
-    /// noise.
-    static FENCED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Installs (once per process) a panic hook that stays silent for panics
-/// the engine is about to catch and defers to the previous hook for
-/// everything else.
-fn install_quiet_panic_hook() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !FENCED.with(|f| f.get()) {
-                previous(info);
-            }
-        }));
-    });
-}
-
-/// The smaller of two optional budgets (absent means unbounded).
-fn min_budget(a: Option<u64>, b: Option<u64>) -> Option<u64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
-    }
-}
-
 /// Translates a quarantined failure into the legacy fail-fast error.
 fn failure_to_error(q: &JobFailure) -> FleetError {
     let job = q.name.clone();
@@ -252,144 +207,10 @@ fn failure_to_error(q: &JobFailure) -> FleetError {
     }
 }
 
-/// Runs one job behind the panic fence, retrying per `config`, and
-/// classifies the outcome.
-fn run_job_with_retries(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
-    let model = match &job.model {
-        Ok(m) => m,
-        Err(e) => {
-            // Build failures are deterministic; retrying would re-parse
-            // the same bytes.
-            return JobOutcome::Failed(JobFailure {
-                name: job.name.clone(),
-                kind: FailureKind::Build,
-                error: build_error_text(e),
-                retries: 0,
-                stats: clockless_kernel::SimStats::default(),
-            });
-        }
-    };
-    let mut attempt: u64 = 0;
-    loop {
-        FENCED.with(|f| f.set(true));
-        let fenced = catch_unwind(AssertUnwindSafe(|| {
-            run_job(
-                &job.name,
-                model,
-                job.delta_budget,
-                config.wall_budget,
-                job.backend,
-                job.chaos,
-            )
-        }));
-        FENCED.with(|f| f.set(false));
-        let failure = match fenced {
-            Ok(Ok(mut result)) => {
-                result.stats.retries = attempt;
-                return JobOutcome::Ok(Box::new(result));
-            }
-            Ok(Err((kind, error))) => (kind, error),
-            Err(payload) => (FailureKind::Panicked, panic_message(payload.as_ref())),
-        };
-        if attempt >= u64::from(config.max_retries) {
-            // The partial work is deterministic only for a delta-budget
-            // exhaustion (the run burned exactly the budget); other
-            // failure kinds carry no reproducible counters.
-            let stats = clockless_kernel::SimStats {
-                delta_cycles: match failure.0 {
-                    FailureKind::DeltaBudget => job.delta_budget.unwrap_or(0),
-                    _ => 0,
-                },
-                retries: attempt,
-                ..Default::default()
-            };
-            return JobOutcome::Failed(JobFailure {
-                name: job.name.clone(),
-                kind: failure.0,
-                error: failure.1,
-                retries: attempt,
-                stats,
-            });
-        }
-        attempt += 1;
-    }
-}
-
-/// Extracts the message a job's resolution error carries, without the
-/// job-name prefix the report row already provides.
-fn build_error_text(e: &FleetError) -> String {
-    match e {
-        FleetError::Build { msg, .. } | FleetError::Io { msg, .. } => msg.clone(),
-        other => other.to_string(),
-    }
-}
-
-/// Best-effort rendering of a panic payload (`&str` and `String` cover
-/// every panic the workspace raises).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Runs one job on a fresh, private engine instance of the selected
-/// backend (always traced, so conflict diagnoses are available in the
-/// report), enforcing the configured budgets.
-fn run_job(
-    name: &str,
-    model: &RtModel,
-    delta_budget: Option<u64>,
-    wall_budget: Option<Duration>,
-    backend: Backend,
-    chaos: Option<ChaosProbe>,
-) -> Result<JobResult, (FailureKind, String)> {
-    if let Some(probe) = chaos {
-        probe.trip();
-    }
-    let t0 = Instant::now();
-    let options = ExecOptions {
-        trace: true,
-        delta_limit: delta_budget,
-        deadline: wall_budget.map(|d| t0 + d),
-    };
-    let summary = backend
-        .execute(model, &options)
-        .map(|outcome| outcome.summary)
-        .map_err(|e| {
-            let kind = match e {
-                // The delta limit only classifies as a budget failure when
-                // a budget was actually configured; at the kernel's
-                // default runaway limit it is an ordinary run failure
-                // (oscillation).
-                KernelError::DeltaOverflow { .. } if delta_budget.is_some() => {
-                    FailureKind::DeltaBudget
-                }
-                KernelError::WallBudgetExceeded { .. } => FailureKind::WallBudget,
-                _ => FailureKind::Run,
-            };
-            (kind, e.to_string())
-        })?;
-    let wall_ns = t0.elapsed().as_nanos() as u64;
-    Ok(JobResult {
-        name: name.to_string(),
-        model: model.name().to_string(),
-        cs_max: model.cs_max(),
-        tuples: model.tuples().len(),
-        stats: summary.stats,
-        registers: summary.registers,
-        conflicts: summary.conflicts.expect("traced run records conflicts"),
-        wall_ns,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{HlsWorkload, JobSource, JobSpec};
+    use crate::spec::{ChaosProbe, HlsWorkload, JobSource, JobSpec};
     use clockless_core::model::fig1_model;
     use clockless_core::Value;
 
@@ -745,14 +566,5 @@ mod tests {
         };
         let forced = run_batch_with(&spec, 1, &config).expect("runs");
         assert_eq!(report.to_json(false), forced.to_json(false));
-    }
-
-    #[test]
-    fn min_budget_prefers_the_tighter_cap() {
-        assert_eq!(min_budget(None, None), None);
-        assert_eq!(min_budget(Some(5), None), Some(5));
-        assert_eq!(min_budget(None, Some(9)), Some(9));
-        assert_eq!(min_budget(Some(5), Some(9)), Some(5));
-        assert_eq!(min_budget(Some(9), Some(5)), Some(5));
     }
 }

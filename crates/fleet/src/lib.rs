@@ -9,8 +9,11 @@
 //! A [`BatchSpec`] names N independent jobs (models from `.rtl` files,
 //! high-level-synthesis output, or IKS chip builders, each optionally
 //! re-parameterized with a `CS_MAX` override and register-init stimulus).
-//! [`run_batch`] resolves every job to a model once, then shards the jobs
-//! across a pool of `std::thread` workers pulling from a shared queue.
+//! [`run_batch`] resolves every job to a model once, then submits the
+//! jobs to the generic job-queue executor in [`executor`] — a pool of
+//! `std::thread` workers pulling from a shared queue and emitting each
+//! result on a channel the moment it completes (the same executor the
+//! `clockless-serve` daemon streams NDJSON responses from).
 //! Every job runs on its **own, fully isolated kernel instance** — the
 //! kernel holds no shared mutable state (see the isolation test in
 //! `clockless-kernel`), so results are bit-identical and identically
@@ -58,9 +61,13 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod executor;
 pub mod report;
 pub mod spec;
 
 pub use engine::{run_batch, run_batch_with, FleetConfig};
+pub use executor::{
+    classify_kernel_error, execute_job, Emission, JobExecutor, ResolvedJob, ThreadPool, WorkFn,
+};
 pub use report::{FailureKind, FleetReport, JobFailure, JobOutcome, JobResult};
 pub use spec::{BatchSpec, ChaosProbe, FleetError, HlsWorkload, JobSource, JobSpec};

@@ -344,44 +344,16 @@ impl fmt::Display for FleetReport {
 }
 
 /// Renders [`SimStats`] as a flat JSON object (shared by totals and
-/// per-job rows).
+/// per-job rows) — the workspace-wide rendering from
+/// [`clockless_core::json`].
 fn stats_json(s: &SimStats) -> String {
-    format!(
-        "{{\"delta_cycles\": {}, \"process_activations\": {}, \"events\": {}, \
-         \"driver_updates\": {}, \"time_advances\": {}, \"wake_filter_hits\": {}, \
-         \"wake_filter_misses\": {}, \"peak_runnable\": {}, \"peak_pending_updates\": {}, \
-         \"injected_faults\": {}, \"retries\": {}}}",
-        s.delta_cycles,
-        s.process_activations,
-        s.events,
-        s.driver_updates,
-        s.time_advances,
-        s.wake_filter_hits,
-        s.wake_filter_misses,
-        s.peak_runnable,
-        s.peak_pending_updates,
-        s.injected_faults,
-        s.retries
-    )
+    clockless_core::json::sim_stats(s)
 }
 
-/// Escapes a string for inclusion in a JSON document.
+/// Escapes a string for inclusion in a JSON document (the workspace-wide
+/// escaper from [`clockless_core::json`]).
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    clockless_core::json::escape(s)
 }
 
 #[cfg(test)]

@@ -1,0 +1,255 @@
+//! The `ExecPlan` cache: load and lower each model once, amortize it
+//! across every job the daemon serves.
+//!
+//! Entries are keyed by a 64-bit **content hash** of the model source
+//! text ([`content_hash`], FNV-1a — no external crates), so two clients
+//! submitting the same model text share one parsed [`RtModel`] and one
+//! lowered [`ExecPlan`] regardless of file paths. Eviction is
+//! least-recently-used with a fixed capacity; hit/miss/eviction counters
+//! are surfaced through [`PlanCache::stats`] and the daemon's
+//! `{"op":"stats"}` job, so `BENCH_serve.json` and operators read the
+//! same numbers.
+//!
+//! Build failures are **not** cached: a malformed model answers with an
+//! error and leaves the cache untouched, so a typo cannot evict a warm
+//! plan.
+
+use std::sync::Arc;
+
+use clockless_core::plan::ExecPlan;
+use clockless_core::RtModel;
+
+/// One cached model: the parsed [`RtModel`] plus its lowered
+/// [`ExecPlan`], shared between jobs via [`Arc`].
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The parsed, validated model.
+    pub model: RtModel,
+    /// The model lowered to the compiled phase-schedule IR.
+    pub plan: ExecPlan,
+}
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse + lower.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+struct Entry {
+    key: u64,
+    /// Monotonic last-use stamp; the smallest stamp is evicted first.
+    stamp: u64,
+    plan: Arc<CachedPlan>,
+}
+
+/// A capacity-bounded, least-recently-used cache of lowered execution
+/// plans.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::text::parse_model;
+/// use clockless_serve::cache::{content_hash, PlanCache};
+///
+/// let text = "model tiny steps 1\nregister R init 3\n";
+/// let mut cache = PlanCache::new(8);
+/// let key = content_hash(text.as_bytes());
+/// let first = cache.get_or_insert(key, || parse_model(text).map_err(|e| e.to_string()))?;
+/// let second = cache.get_or_insert(key, || unreachable!("warm key never rebuilds"))?;
+/// assert_eq!(first.model.name(), second.model.name());
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), String>(())
+/// ```
+pub struct PlanCache {
+    entries: Vec<Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// FNV-1a content hash of model source text — the cache key.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (clamped to at
+    /// least one — a cache that can hold nothing would make every lookup
+    /// a miss *and* an eviction).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, building (parse via `build`, then lower) and
+    /// inserting on a miss. The LRU entry is evicted when the cache is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// The `build` error, verbatim. Failures are not cached.
+    pub fn get_or_insert(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> Result<RtModel, String>,
+    ) -> Result<Arc<CachedPlan>, String> {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.stamp = self.tick;
+            self.hits += 1;
+            return Ok(Arc::clone(&e.plan));
+        }
+        self.misses += 1;
+        let model = build()?;
+        let plan = ExecPlan::lower(&model);
+        let cached = Arc::new(CachedPlan { model, plan });
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("full cache has entries");
+            self.entries.swap_remove(lru);
+            self.evictions += 1;
+        }
+        self.entries.push(Entry {
+            key,
+            stamp: self.tick,
+            plan: Arc::clone(&cached),
+        });
+        Ok(cached)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockless_core::text::parse_model;
+
+    fn model_text(i: usize) -> String {
+        format!("model m{i} steps 1\nregister R init {i}\n")
+    }
+
+    fn insert(cache: &mut PlanCache, i: usize) -> Arc<CachedPlan> {
+        let text = model_text(i);
+        cache
+            .get_or_insert(content_hash(text.as_bytes()), || {
+                parse_model(&text).map_err(|e| e.to_string())
+            })
+            .expect("builds")
+    }
+
+    #[test]
+    fn content_hash_distinguishes_texts() {
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = PlanCache::new(4);
+        insert(&mut cache, 0);
+        insert(&mut cache, 0);
+        insert(&mut cache, 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 2, 0, 2));
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used_entry() {
+        let mut cache = PlanCache::new(2);
+        insert(&mut cache, 0);
+        insert(&mut cache, 1);
+        insert(&mut cache, 0); // touch 0 so 1 is now LRU
+        insert(&mut cache, 2); // evicts 1
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        // 0 and 2 are warm (hits), 1 was evicted (miss).
+        let before = cache.stats().hits;
+        insert(&mut cache, 0);
+        insert(&mut cache, 2);
+        assert_eq!(cache.stats().hits, before + 2);
+        let misses_before = cache.stats().misses;
+        insert(&mut cache, 1);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn build_failures_are_not_cached() {
+        let mut cache = PlanCache::new(2);
+        let err = cache
+            .get_or_insert(content_hash(b"not a model"), || Err("nope".to_string()))
+            .expect_err("fails");
+        assert_eq!(err, "nope");
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+        // The same key rebuilds — and can succeed this time.
+        let text = model_text(9);
+        cache
+            .get_or_insert(content_hash(b"not a model"), || {
+                parse_model(&text).map_err(|e| e.to_string())
+            })
+            .expect("second build succeeds");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut cache = PlanCache::new(0);
+        insert(&mut cache, 0);
+        assert_eq!(cache.stats().capacity, 1);
+        assert_eq!(cache.stats().entries, 1);
+        insert(&mut cache, 0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_plan_executes_like_a_fresh_lowering() {
+        use clockless_core::{Backend, ExecOptions};
+        let mut cache = PlanCache::new(2);
+        let cached = insert(&mut cache, 5);
+        let from_cache = cached.plan.execute(&ExecOptions::traced()).expect("runs");
+        let fresh = Backend::Compiled
+            .execute(&cached.model, &ExecOptions::traced())
+            .expect("runs");
+        assert_eq!(from_cache.summary.registers, fresh.summary.registers);
+        assert_eq!(from_cache.summary.stats, fresh.summary.stats);
+    }
+}

@@ -1,0 +1,122 @@
+//! A minimal NDJSON client for the Unix-socket daemon.
+//!
+//! The container the project targets has no `nc`, so `clockless client`
+//! fills that role: it forwards request lines from its input to the
+//! socket, prints each response line as it arrives, and exits when the
+//! daemon closes the stream. With `payload_only` set, success envelopes
+//! are unwrapped to their byte-exact one-shot CLI documents — the mode
+//! `scripts/ci.sh` uses to diff daemon output against the CLI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::decode_payload;
+
+/// Runs one client session against the daemon listening on `socket`.
+///
+/// Request lines are read from `input` (blank lines skipped) and
+/// forwarded concurrently with response reading, so a long stream of
+/// jobs cannot deadlock on a full socket buffer. After `input` ends the
+/// write half of the socket is shut down — the daemon sees EOF, drains
+/// its queue, and closes, which ends the session.
+///
+/// When `payload_only` is `true`, success envelopes are replaced by
+/// their decoded `payload` documents (error envelopes still print
+/// verbatim, so failures stay visible).
+///
+/// # Errors
+///
+/// Connection and I/O errors. A response stream that ends early (daemon
+/// killed) is an `Ok` session end, mirroring `nc`.
+pub fn run_client(
+    socket: &Path,
+    input: impl BufRead + Send,
+    mut output: impl Write,
+    payload_only: bool,
+) -> std::io::Result<()> {
+    let stream = UnixStream::connect(socket)?;
+    std::thread::scope(|s| -> std::io::Result<()> {
+        let sender = s.spawn({
+            let stream = &stream;
+            move || -> std::io::Result<()> {
+                let mut w = stream;
+                for line in input.lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    w.write_all(line.as_bytes())?;
+                    w.write_all(b"\n")?;
+                }
+                w.flush()?;
+                stream.shutdown(std::net::Shutdown::Write)
+            }
+        });
+        for line in BufReader::new(&stream).lines() {
+            let line = line?;
+            match decode_payload(&line) {
+                Some(doc) if payload_only => output.write_all(doc.as_bytes())?,
+                _ => {
+                    output.write_all(line.as_bytes())?;
+                    output.write_all(b"\n")?;
+                }
+            }
+        }
+        output.flush()?;
+        sender.join().unwrap_or(Ok(()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, ServeConfig};
+
+    /// End-to-end over a real Unix socket: daemon thread + client.
+    #[test]
+    fn client_talks_to_a_unix_daemon() {
+        let dir = std::env::temp_dir().join(format!("clockless-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let socket = dir.join("daemon.sock");
+        let server = {
+            let socket = socket.clone();
+            std::thread::spawn(move || Daemon::new(ServeConfig::default()).serve_unix(&socket))
+        };
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        // Session 1: ping, envelopes verbatim.
+        let mut out = Vec::new();
+        run_client(
+            &socket,
+            "{\"id\":1,\"op\":\"ping\"}\n".as_bytes(),
+            &mut out,
+            false,
+        )
+        .expect("session 1");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("\"ok\":true"), "{text}");
+
+        // Session 2: payload-only run, then shutdown.
+        let mut out = Vec::new();
+        let reqs =
+            "{\"id\":1,\"op\":\"run\",\"model\":\"model t steps 1\\nregister R init 3\\n\"}\n\
+                    {\"id\":2,\"op\":\"shutdown\"}\n";
+        run_client(&socket, reqs.as_bytes(), &mut out, true).expect("session 2");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("\"model\": \"t\""), "{text}");
+        assert!(text.ends_with("bye\n"), "{text}");
+
+        server
+            .join()
+            .expect("server thread")
+            .expect("clean daemon exit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

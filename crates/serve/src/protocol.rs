@@ -1,0 +1,544 @@
+//! The NDJSON wire protocol: one JSON object per line, in both
+//! directions.
+//!
+//! `docs/PROTOCOL.md` is the normative reference; this module is its
+//! implementation. Requests are parsed with a small hand-rolled JSON
+//! reader ([`Json::parse`] — no external crates, mirroring every other
+//! machine-readable surface in the workspace), and responses are
+//! rendered as single-line envelopes:
+//!
+//! ```text
+//! {"v":1,"id":7,"op":"run","ok":true,"payload":"<JSON document, string-encoded>"}
+//! {"v":1,"id":8,"op":"run","ok":false,"error":{"code":"build-failed","message":"…"}}
+//! ```
+//!
+//! The `payload` field is the **byte-exact** document the one-shot CLI
+//! would print for the same job (including its trailing newline),
+//! JSON-string-encoded so it fits on one line. Unescaping it recovers
+//! the CLI output verbatim — that is how `scripts/ci.sh` and the
+//! integration tests enforce daemon/CLI byte-identity.
+
+use std::fmt;
+
+/// Protocol version stamped into every response envelope (`"v"`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A parsed JSON value.
+///
+/// Numbers are kept as `f64`; request fields are small integers, which
+/// `f64` represents exactly (see [`Json::as_u64`]).
+///
+/// # Examples
+///
+/// ```
+/// use clockless_serve::protocol::Json;
+///
+/// let v = Json::parse(r#"{"op":"run","id":3,"deep":[1,2,{"k":true}]}"#)?;
+/// assert_eq!(v.get("op").and_then(Json::as_str), Some("run"));
+/// assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document from `text`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer small
+    /// enough for `f64` to hold exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid utf-8".to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX for the low half.
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                let lo = parse_hex4(bytes, *pos + 3)?;
+                                *pos += 6;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err("lone high surrogate".into());
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| "invalid unicode escape".to_string())?,
+                        );
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: re-borrow as str for one char.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let slice = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let text = std::str::from_utf8(slice).map_err(|_| "invalid \\u escape".to_string())?;
+    u32::from_str_radix(text, 16).map_err(|_| "invalid \\u escape".to_string())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        if !fields.iter().any(|(k, _)| *k == key) {
+            fields.push((key, value));
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Stable machine-readable error codes used in error envelopes.
+///
+/// `docs/PROTOCOL.md` documents when each is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line is not valid JSON.
+    BadJson,
+    /// The request is valid JSON but structurally wrong (missing or
+    /// mistyped fields, bad flag values).
+    BadRequest,
+    /// The `op` field names no known job kind.
+    UnknownOp,
+    /// The model failed to parse or elaborate.
+    BuildFailed,
+    /// The simulation/campaign/batch ran and failed.
+    RunFailed,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::BuildFailed => "build-failed",
+            ErrorCode::RunFailed => "run-failed",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A job rejection: the code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Stable machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    /// Convenience constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> JobError {
+        JobError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Renders a success envelope: one line, newline-terminated.
+///
+/// `payload` is embedded as a JSON string — the byte-exact one-shot CLI
+/// document, trailing newline included.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_serve::protocol::render_ok;
+///
+/// let line = render_ok(4, "ping", "pong\n");
+/// assert_eq!(line, "{\"v\":1,\"id\":4,\"op\":\"ping\",\"ok\":true,\"payload\":\"pong\\n\"}\n");
+/// ```
+pub fn render_ok(id: u64, op: &str, payload: &str) -> String {
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"op\":\"{}\",\"ok\":true,\"payload\":\"{}\"}}\n",
+        clockless_core::json::escape(op),
+        clockless_core::json::escape(payload)
+    )
+}
+
+/// Renders an error envelope: one line, newline-terminated. `id` is
+/// `null` when the request line could not be parsed far enough to
+/// recover one.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_serve::protocol::{render_error, ErrorCode};
+///
+/// let line = render_error(None, None, ErrorCode::BadJson, "line 1: not JSON");
+/// assert!(line.starts_with("{\"v\":1,\"id\":null,\"op\":null,\"ok\":false,"));
+/// assert!(line.contains("\"code\":\"bad-json\""));
+/// ```
+pub fn render_error(id: Option<u64>, op: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let id = id.map_or("null".to_string(), |n| n.to_string());
+    let op = op.map_or("null".to_string(), |o| {
+        format!("\"{}\"", clockless_core::json::escape(o))
+    });
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"op\":{op},\"ok\":false,\
+         \"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}\n",
+        clockless_core::json::escape(message)
+    )
+}
+
+/// A parsed request line: correlation id plus the raw request object
+/// (job-specific fields are interpreted by the job implementations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The job kind (`run`, `faults`, `fleet`, `sweep`, `stats`,
+    /// `ping`, `shutdown`).
+    pub op: String,
+    /// The full request object, for job-specific fields.
+    pub body: Json,
+}
+
+impl Request {
+    /// Parses one NDJSON request line.
+    ///
+    /// # Errors
+    ///
+    /// `(recovered id, error)` — the id is `Some` whenever the line was
+    /// valid JSON with a numeric `id`, so the error envelope can still
+    /// be correlated.
+    pub fn parse(line: &str) -> Result<Request, (Option<u64>, JobError)> {
+        let body = Json::parse(line).map_err(|e| (None, JobError::new(ErrorCode::BadJson, e)))?;
+        let id = body.get("id").and_then(Json::as_u64);
+        if !matches!(body, Json::Obj(_)) {
+            return Err((
+                None,
+                JobError::new(ErrorCode::BadRequest, "request must be a JSON object"),
+            ));
+        }
+        let Some(id) = id else {
+            return Err((
+                None,
+                JobError::new(ErrorCode::BadRequest, "missing or non-integer `id` field"),
+            ));
+        };
+        let Some(op) = body.get("op").and_then(Json::as_str) else {
+            return Err((
+                Some(id),
+                JobError::new(ErrorCode::BadRequest, "missing `op` field"),
+            ));
+        };
+        Ok(Request {
+            id,
+            op: op.to_string(),
+            body,
+        })
+    }
+}
+
+/// Decodes the `payload` field out of a response line, recovering the
+/// byte-exact one-shot CLI document. Returns `None` for error envelopes
+/// and non-responses.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_serve::protocol::{decode_payload, render_ok};
+///
+/// let line = render_ok(1, "run", "{\n  \"run\": {}\n}\n");
+/// assert_eq!(decode_payload(&line).as_deref(), Some("{\n  \"run\": {}\n}\n"));
+/// ```
+pub fn decode_payload(line: &str) -> Option<String> {
+    let v = Json::parse(line.trim_end()).ok()?;
+    if v.get("ok").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    v.get("payload").and_then(Json::as_str).map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(Json::parse("null"), Ok(Json::Null));
+        assert_eq!(Json::parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(Json::parse("-2.5e1"), Ok(Json::Num(-25.0)));
+        let v = Json::parse(r#"{"a":[1,{"b":"c"}],"d":null}"#).expect("parses");
+        let a = v.get("a").and_then(Json::as_array).expect("array");
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].get("b").and_then(Json::as_str), Some("c"));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\there \"quoted\" back\\slash\nnewline \u{1} ünïcode 𝄞";
+        let encoded = format!("\"{}\"", clockless_core::json::escape(original));
+        assert_eq!(Json::parse(&encoded), Ok(Json::Str(original.to_string())));
+        // And a surrogate pair spelled explicitly.
+        assert_eq!(
+            Json::parse("\"\\ud834\\udd1e\""),
+            Ok(Json::Str("𝄞".to_string()))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "{}x"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_first() {
+        let v = Json::parse(r#"{"k":1,"k":2}"#).expect("parses");
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn request_parse_recovers_id_when_possible() {
+        let ok = Request::parse(r#"{"id":9,"op":"ping"}"#).expect("parses");
+        assert_eq!((ok.id, ok.op.as_str()), (9, "ping"));
+
+        let (id, err) = Request::parse("not json").expect_err("fails");
+        assert_eq!((id, err.code), (None, ErrorCode::BadJson));
+
+        let (id, err) = Request::parse(r#"{"id":4}"#).expect_err("fails");
+        assert_eq!((id, err.code), (Some(4), ErrorCode::BadRequest));
+
+        let (id, err) = Request::parse(r#"{"op":"run"}"#).expect_err("fails");
+        assert_eq!((id, err.code), (None, ErrorCode::BadRequest));
+    }
+
+    #[test]
+    fn payload_round_trips_byte_exactly() {
+        let doc = "{\n  \"kernel\": {\"delta_cycles\": 43},\n  \"weird\": \"a\\\"b\\nc\"\n}\n";
+        let line = render_ok(12, "run", doc);
+        assert_eq!(line.matches('\n').count(), 1, "single line: {line:?}");
+        assert_eq!(decode_payload(&line).as_deref(), Some(doc));
+    }
+
+    #[test]
+    fn error_envelope_shape() {
+        let line = render_error(
+            Some(3),
+            Some("fleet"),
+            ErrorCode::RunFailed,
+            "2 job(s) lost",
+        );
+        let v = Json::parse(line.trim_end()).expect("envelope is valid JSON");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        let e = v.get("error").expect("error object");
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("run-failed"));
+        assert_eq!(decode_payload(&line), None);
+    }
+}

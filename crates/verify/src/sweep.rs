@@ -54,6 +54,55 @@ impl ConflictSweep {
     pub fn detectors_agree(&self) -> bool {
         self.rows.iter().all(|r| r.all_confirmed)
     }
+
+    /// Renders the sweep as deterministic JSON (the serve daemon's
+    /// `sweep` job payload): per-model rows in input order plus merged
+    /// kernel totals, no wall-clock fields.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clockless_core::model::fig1_model;
+    /// use clockless_verify::sweep::conflict_sweep;
+    ///
+    /// let sweep = conflict_sweep(&[fig1_model(1, 2)], 1)?;
+    /// let json = sweep.to_json();
+    /// assert!(json.contains("\"all_clean\": true"), "{json}");
+    /// assert!(json.contains("\"model\": \"fig1_example\""), "{json}");
+    /// # Ok::<(), clockless_fleet::FleetError>(())
+    /// ```
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\n  \"sweep\": {{\"models\": {}, \"all_clean\": {}, \"detectors_agree\": {}}},",
+            self.rows.len(),
+            self.all_clean(),
+            self.detectors_agree()
+        );
+        let _ = writeln!(
+            out,
+            "  \"totals\": {},",
+            clockless_core::json::sim_stats(&self.totals)
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"model\": \"{}\", \"predicted\": {}, \"observed\": {}, \
+                 \"all_confirmed\": {}}}{}",
+                clockless_core::json::escape(&r.model),
+                r.predicted,
+                r.observed,
+                r.all_confirmed,
+                comma
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 /// Runs the dynamic conflict detector over every model on `workers`

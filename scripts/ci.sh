@@ -66,4 +66,23 @@ fleet_interp="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --js
 fleet_compiled="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled)"
 [ "$fleet_interp" = "$fleet_compiled" ]
 
+echo "== serve smoke (daemon payloads byte-identical to one-shot CLI, clean shutdown)"
+serve_sock="$(mktemp -d)/ci.sock"
+./target/release/clockless serve --socket "$serve_sock" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 200); do [ -S "$serve_sock" ] && break; sleep 0.05; done
+[ -S "$serve_sock" ]
+serve_run="$(echo '{"id":1,"op":"run","path":"models/fig1.rtl"}' \
+  | ./target/release/clockless client "$serve_sock" --payload)"
+cli_run="$(./target/release/clockless run models/fig1.rtl --json)"
+[ "$serve_run" = "$cli_run" ]
+serve_faults="$(echo '{"id":2,"op":"faults","path":"models/fig1.rtl","seed":7}' \
+  | ./target/release/clockless client "$serve_sock" --payload)"
+cli_faults="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json)"
+[ "$serve_faults" = "$cli_faults" ]
+echo '{"id":3,"op":"shutdown"}' | ./target/release/clockless client "$serve_sock" >/dev/null
+wait "$serve_pid"
+[ ! -e "$serve_sock" ]
+rm -rf "$(dirname "$serve_sock")"
+
 echo "CI OK"

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Stress harness for `clockless serve`: one long-lived daemon on a Unix
+# socket, hammered across many client connections with a mix of clean
+# jobs, hostile batches (panicking chaos probes), and malformed garbage.
+# Asserts the daemon survives it all, answers every request, keeps RSS
+# bounded, and shuts down cleanly. Entirely offline.
+#
+# Usage: scripts/stress_serve.sh [rounds]   (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-20}"
+CLI=target/release/clockless
+[ -x "$CLI" ] || cargo build --release -q
+SOCK="$(mktemp -d)/stress.sock"
+
+"$CLI" serve --socket "$SOCK" 2>/dev/null &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -rf "$(dirname "$SOCK")"' EXIT
+for _ in $(seq 1 200); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never opened $SOCK"; exit 1; }
+
+rss_kb() { awk '/VmRSS:/ {print $2}' "/proc/$DAEMON/status"; }
+RSS_START="$(rss_kb)"
+
+for round in $(seq 1 "$ROUNDS"); do
+  # One connection per round: clean runs, a fault campaign, a hostile
+  # fleet batch, malformed junk, an unknown op, and a stats probe.
+  GOT="$({
+    echo '{"id":1,"op":"run","path":"models/fig1.rtl"}'
+    echo '{"id":2,"op":"run","path":"models/fig1.rtl","backend":"compiled"}'
+    echo '{"id":3,"op":"faults","path":"models/fig1.rtl","seed":'"$round"'}'
+    echo '{"id":4,"op":"fleet","path":"models/chaos.fleet","jobs":2}'
+    echo 'this is not json'
+    echo '{"id":6,"op":"frobnicate"}'
+    echo '{"id":7,"op":"stats"}'
+  } | "$CLI" client "$SOCK")"
+  LINES="$(printf '%s\n' "$GOT" | grep -c .)"
+  [ "$LINES" -eq 7 ] || { echo "FAIL: round $round got $LINES/7 responses"; exit 1; }
+  printf '%s\n' "$GOT" | grep -q '"code":"bad-json"' \
+    || { echo "FAIL: round $round missing bad-json envelope"; exit 1; }
+  printf '%s\n' "$GOT" | grep -q '"code":"unknown-op"' \
+    || { echo "FAIL: round $round missing unknown-op envelope"; exit 1; }
+  kill -0 "$DAEMON" 2>/dev/null || { echo "FAIL: daemon died in round $round"; exit 1; }
+done
+
+RSS_END="$(rss_kb)"
+# The plan cache is capped (LRU), so RSS must not grow without bound.
+# Allow generous slack for allocator noise: 64 MiB over the baseline.
+GROWTH=$((RSS_END - RSS_START))
+[ "$GROWTH" -lt 65536 ] || { echo "FAIL: RSS grew ${GROWTH} kB over $ROUNDS rounds"; exit 1; }
+
+STATS="$(echo '{"id":1,"op":"stats"}' | "$CLI" client "$SOCK" --payload)"
+echo '{"id":1,"op":"shutdown"}' | "$CLI" client "$SOCK" >/dev/null
+wait "$DAEMON" || { echo "FAIL: daemon exited non-zero"; exit 1; }
+[ ! -e "$SOCK" ] || { echo "FAIL: socket file not cleaned up"; exit 1; }
+trap 'rm -rf "$(dirname "$SOCK")"' EXIT
+
+echo "stress_serve OK: $ROUNDS rounds, rss ${RSS_START}->${RSS_END} kB"
+echo "final stats: $STATS"

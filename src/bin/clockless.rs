@@ -1,7 +1,7 @@
 //! `clockless` — command-line driver for clock-free RT models.
 //!
 //! ```text
-//! clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
+//! clockless run <model.rtl> [--json] [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
 //!               [--backend interpreted|compiled]
 //! clockless check <model.rtl>
 //! clockless stats <model.rtl> [--json]
@@ -10,6 +10,8 @@
 //!                 [--backend interpreted|compiled]
 //! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
 //!                  [--backend interpreted|compiled] [--engine batched|legacy]
+//! clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]
+//! clockless client <socket> [--payload]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
 //! clockless vhdl <model.rtl> [--clocked]
 //! clockless explain "<tuple>"
@@ -33,6 +35,15 @@
 //! faster. On `fleet` the flag overrides any per-job `backend` spec
 //! options.
 //!
+//! `serve` keeps the process resident as a simulation daemon: jobs
+//! arrive as NDJSON lines (one JSON request per line — see
+//! `docs/PROTOCOL.md`) over a Unix socket (`--socket`) or stdin/stdout,
+//! models are lowered once into a plan cache, and every
+//! `run`/`faults`/`fleet` payload is byte-identical to the matching
+//! one-shot command. `client` is the bundled socket client (the image
+//! has no `nc`): it pipes stdin to the daemon and prints response lines;
+//! `--payload` unwraps success envelopes to their raw CLI documents.
+//!
 //! Models use the declarative text format of `clockless_core::text`
 //! (see `models/` for examples); files ending in `.vhd`/`.vhdl` are read
 //! as VHDL source in the paper's subset instead.
@@ -49,7 +60,7 @@ use clockless::verify::{cross_check, roundtrip_check};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  clockless run <model.rtl> [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n                \
+        "usage:\n  clockless run <model.rtl> [--json] [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n                \
          [--backend interpreted|compiled]\n  \
          clockless check <model.rtl>\n  \
          clockless stats <model.rtl> [--json]\n  \
@@ -58,6 +69,8 @@ fn usage() -> ExitCode {
          [--backend interpreted|compiled]\n  \
          clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n                   \
          [--backend interpreted|compiled] [--engine batched|legacy]\n  \
+         clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]\n  \
+         clockless client <socket> [--payload]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
          clockless vhdl <model.rtl> [--clocked]\n  \
          clockless explain \"<tuple>\""
@@ -66,7 +79,7 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take a value (so `positional_args` skips the value word).
-const VALUED_FLAGS: [&str; 9] = [
+const VALUED_FLAGS: [&str; 13] = [
     "--jobs",
     "--retries",
     "--delta-budget",
@@ -76,6 +89,10 @@ const VALUED_FLAGS: [&str; 9] = [
     "--classes",
     "--backend",
     "--engine",
+    "--socket",
+    "--cache",
+    "--vcd",
+    "--transcript",
 ];
 
 /// Result of looking up `--flag <value>` in the argument list.
@@ -125,6 +142,7 @@ fn load(path: &str) -> Result<RtModel, String> {
 
 fn cmd_run(
     path: &str,
+    json: bool,
     trace: bool,
     vcd: Option<&str>,
     transcript_cols: Option<&str>,
@@ -132,7 +150,10 @@ fn cmd_run(
 ) -> Result<(), String> {
     let model = load(path)?;
     let options = ExecOptions {
-        trace: trace || vcd.is_some(),
+        // JSON reports always trace: the document includes conflict
+        // sites, and the serve daemon's `run` payload (always traced)
+        // must diff clean against this output.
+        trace: trace || json || vcd.is_some(),
         ..Default::default()
     };
     let outcome = backend
@@ -140,6 +161,14 @@ fn cmd_run(
         .map_err(|e| e.to_string())?;
     let summary = &outcome.summary;
 
+    if json {
+        print!("{}", clockless::core::json::run_report(&model, summary));
+        if let Some(out) = vcd {
+            let doc = outcome.vcd.as_deref().expect("traced run exports VCD");
+            std::fs::write(out, doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+        }
+        return Ok(());
+    }
     println!(
         "model `{}`: {} steps, {} transfers — {}",
         model.name(),
@@ -322,6 +351,41 @@ fn cmd_faults(
     Ok(())
 }
 
+fn cmd_serve(socket: Option<&str>, workers: usize, cache: usize) -> Result<(), String> {
+    let daemon = clockless::serve::Daemon::new(clockless::serve::ServeConfig {
+        workers,
+        cache_capacity: cache,
+    });
+    match socket {
+        Some(path) => {
+            eprintln!(
+                "clockless serve: listening on {path} (send {{\"op\":\"shutdown\"}} to stop)"
+            );
+            daemon
+                .serve_unix(std::path::Path::new(path))
+                .map_err(|e| format!("serve: {e}"))
+        }
+        None => {
+            // stdio mode: one session over the process pipes.
+            daemon.serve_stdio();
+            Ok(())
+        }
+    }
+}
+
+fn cmd_client(socket: &str, payload_only: bool) -> Result<(), String> {
+    // StdinLock is not Send (the client forwards input from a second
+    // thread); a BufReader over the raw handle is.
+    let input = std::io::BufReader::new(std::io::stdin());
+    clockless::serve::run_client(
+        std::path::Path::new(socket),
+        input,
+        std::io::stdout(),
+        payload_only,
+    )
+    .map_err(|e| format!("client: {e}"))
+}
+
 fn cmd_vhdl(path: &str, clocked: bool) -> Result<(), String> {
     let model = load(path)?;
     let text = if clocked {
@@ -351,9 +415,11 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => {
-            let Some(path) = args.get(1) else {
+            let positional = positional_args(&args);
+            let [path] = positional.as_slice() else {
                 return usage();
             };
+            let json = args.iter().any(|a| a == "--json");
             let trace = args.iter().any(|a| a == "--trace");
             let vcd = args
                 .iter()
@@ -370,7 +436,7 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(b) => b,
                 FlagValue::Malformed => return usage(),
             };
-            cmd_run(path, trace, vcd, cols, backend)
+            cmd_run(path, json, trace, vcd, cols, backend)
         }
         "check" => {
             let Some(path) = args.get(1) else {
@@ -462,6 +528,32 @@ fn main() -> ExitCode {
                 return usage();
             };
             cmd_faults(path, seed, classes, max, jobs, json, backend, engine)
+        }
+        "serve" => {
+            let workers = match flag_value(&args, "--jobs") {
+                FlagValue::Absent => 1,
+                FlagValue::Parsed(n) if n >= 1 => n,
+                _ => return usage(),
+            };
+            let cache = match flag_value(&args, "--cache") {
+                FlagValue::Absent => 64,
+                FlagValue::Parsed(n) if n >= 1 => n,
+                _ => return usage(),
+            };
+            let socket = args
+                .iter()
+                .position(|a| a == "--socket")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            cmd_serve(socket, workers, cache)
+        }
+        "client" => {
+            let positional = positional_args(&args);
+            let [socket] = positional.as_slice() else {
+                return usage();
+            };
+            let payload = args.iter().any(|a| a == "--payload");
+            cmd_client(socket, payload)
         }
         "translate" => {
             let Some(path) = args.get(1) else {

@@ -21,6 +21,9 @@
 //!    ([`iks::build_ik_chip`]).
 //! 6. Sweep many models/stimuli at once with the parallel batch engine
 //!    ([`fleet::run_batch`]) — deterministic results on any worker count.
+//! 7. Keep a simulation server resident ([`serve::Daemon`]): models are
+//!    lowered once into a plan cache and jobs stream over NDJSON, with
+//!    payloads byte-identical to the one-shot CLI.
 //!
 //! ```
 //! use clockless::core::model::fig1_model;
@@ -42,6 +45,8 @@
 //! * [`iks`] — the inverse-kinematics-solution chip application.
 //! * [`verify`] — formal semantics, conflict checking and equivalence.
 //! * [`fleet`] — deterministic parallel batch runs over job queues.
+//! * [`serve`] — the long-lived simulation daemon and its NDJSON
+//!   protocol (see `docs/PROTOCOL.md`).
 
 pub use clockless_clocked as clocked;
 pub use clockless_core as core;
@@ -49,4 +54,5 @@ pub use clockless_fleet as fleet;
 pub use clockless_hls as hls;
 pub use clockless_iks as iks;
 pub use clockless_kernel as kernel;
+pub use clockless_serve as serve;
 pub use clockless_verify as verify;
