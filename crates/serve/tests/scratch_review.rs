@@ -1,0 +1,7 @@
+use clockless_serve::protocol::Json;
+
+#[test]
+fn bad_low_surrogate_does_not_panic() {
+    let r = Json::parse("\"\\ud834\\u0041\"");
+    assert!(r.is_err(), "{r:?}");
+}
