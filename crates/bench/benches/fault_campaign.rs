@@ -3,14 +3,18 @@
 //! the Fig. 1 model and two synthetic HLS schedules, for both campaign
 //! engines — the plan-sharing batched executor (single-threaded by
 //! construction) and the legacy one-fleet-job-per-mutant path at 1/2/4
-//! workers.
+//! workers — with the value-checking layer off and fully armed.
 //!
 //! Per the workspace convention, counters (`faults`, `detected`,
-//! `silent`, `coverage`, `deterministic`) are machine-independent;
-//! `wall_ns` and the derived `faults_per_sec` are machine-local. The
-//! `deterministic` field asserts that every configuration's campaign
-//! report is byte-identical to the legacy 1-worker run — seeding plus
-//! the engines' differential-equivalence obligation.
+//! `silent`, `coverage`, `coverage_by_class`, `deterministic`) are
+//! machine-independent; `wall_ns` and the derived `faults_per_sec` are
+//! machine-local. The `deterministic` field asserts that every
+//! configuration's campaign report is byte-identical to the legacy
+//! 1-worker run at the same checker mode — seeding plus the engines'
+//! differential-equivalence obligation. The bench additionally asserts
+//! the detection claim itself: wherever the baseline detectors leave
+//! silent corruption in the drops/skews/inits classes, arming the
+//! checkers strictly improves that class's coverage.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -20,17 +24,22 @@ use std::time::Instant;
 use clockless_core::model::fig1_model;
 use clockless_core::RtModel;
 use clockless_hls::{fir, random_dag, synthesize, ResourceSet};
-use clockless_verify::{run_campaign, CampaignConfig, CampaignEngine};
+use clockless_verify::{
+    run_campaign, CampaignConfig, CampaignEngine, CampaignReport, CheckerMode, ClassCoverage,
+    FaultClass,
+};
 
-/// One (model, engine, worker-count) measurement.
+/// One (model, engine, worker-count, checker-mode) measurement.
 struct Row {
     model: &'static str,
     engine: CampaignEngine,
     workers: usize,
+    checkers: CheckerMode,
     faults: usize,
     detected: usize,
     silent: usize,
     coverage: f64,
+    coverage_by_class: Vec<ClassCoverage>,
     wall_ns: u64,
     faults_per_sec: f64,
     deterministic: bool,
@@ -64,6 +73,44 @@ fn time_campaign(model: &RtModel, config: &CampaignConfig) -> u64 {
     best
 }
 
+/// Per-class detected/total for one class, if the campaign had
+/// applicable faults of that class.
+fn class_row(report: &CampaignReport, class: FaultClass) -> Option<ClassCoverage> {
+    report.class_coverage().into_iter().find(|c| c.class == class)
+}
+
+/// The detection claim of the value-checking layer: for the classes the
+/// baseline detectors are blind to, arming the checkers must strictly
+/// improve coverage wherever the off-mode run left silent corruption.
+fn assert_checkers_close_the_gap(model: &str, off: &CampaignReport, all: &CampaignReport) {
+    for class in [FaultClass::Drops, FaultClass::Skews, FaultClass::Inits] {
+        let Some(before) = class_row(off, class) else {
+            continue;
+        };
+        let after = class_row(all, class).expect("same fault list either way");
+        assert_eq!(
+            (before.total, after.total),
+            (before.total, before.total),
+            "{model} {class}: applicable fault count must not depend on checkers"
+        );
+        if before.detected < before.total {
+            assert!(
+                after.detected > before.detected,
+                "{model} {class}: checkers did not improve coverage \
+                 ({}/{} -> {}/{})",
+                before.detected,
+                before.total,
+                after.detected,
+                after.total
+            );
+        }
+    }
+    assert!(
+        all.coverage() >= off.coverage(),
+        "{model}: overall coverage regressed with checkers armed"
+    );
+}
+
 fn main() {
     let targets: [(&'static str, RtModel); 3] = [
         ("fig1", fig1_model(3, 4)),
@@ -80,56 +127,70 @@ fn main() {
         (CampaignEngine::Legacy, &[1usize, 2, 4]),
         (CampaignEngine::Batched, &[1usize]),
     ];
+    let modes = [CheckerMode::Off, CheckerMode::All];
 
     let mut rows: Vec<Row> = Vec::new();
     for (name, model) in &targets {
-        let reference = run_campaign(
-            model,
-            &CampaignConfig {
-                workers: 1,
-                engine: CampaignEngine::Legacy,
-                ..CampaignConfig::default()
-            },
-        )
-        .expect("campaign runs");
-        let reference_json = reference.to_json();
-        for (engine, worker_counts) in configs {
-            for &workers in worker_counts {
-                let config = CampaignConfig {
-                    workers,
-                    engine,
+        let mut per_mode: Vec<CampaignReport> = Vec::new();
+        for checkers in modes {
+            let reference = run_campaign(
+                model,
+                &CampaignConfig {
+                    workers: 1,
+                    engine: CampaignEngine::Legacy,
+                    checkers,
                     ..CampaignConfig::default()
-                };
-                let report = run_campaign(model, &config).expect("campaign runs");
-                let deterministic = report.to_json() == reference_json;
-                assert!(
-                    deterministic,
-                    "{name} {engine}@{workers} diverged from the legacy 1-worker run"
-                );
-                let wall_ns = time_campaign(model, &config);
-                let faults_per_sec = report.rows.len() as f64 / (wall_ns as f64 / 1e9);
-                rows.push(Row {
-                    model: name,
-                    engine,
-                    workers,
-                    faults: report.rows.len(),
-                    detected: report.detected(),
-                    silent: report.silent(),
-                    coverage: report.coverage(),
-                    wall_ns,
-                    faults_per_sec,
-                    deterministic,
-                });
-                eprintln!(
-                    "{name:<8} engine={engine:<7} workers={workers} faults={} detected={} \
-                     wall={:.3} ms ({:.0} faults/s)",
-                    report.rows.len(),
-                    report.detected(),
-                    wall_ns as f64 / 1e6,
-                    faults_per_sec
-                );
+                },
+            )
+            .expect("campaign runs");
+            let reference_json = reference.to_json();
+            for (engine, worker_counts) in configs {
+                for &workers in worker_counts {
+                    let config = CampaignConfig {
+                        workers,
+                        engine,
+                        checkers,
+                        ..CampaignConfig::default()
+                    };
+                    let report = run_campaign(model, &config).expect("campaign runs");
+                    let deterministic = report.to_json() == reference_json;
+                    assert!(
+                        deterministic,
+                        "{name} {engine}@{workers} checkers={checkers} diverged from \
+                         the legacy 1-worker run"
+                    );
+                    let wall_ns = time_campaign(model, &config);
+                    let faults_per_sec = report.rows.len() as f64 / (wall_ns as f64 / 1e9);
+                    eprintln!(
+                        "{name:<8} engine={engine:<7} workers={workers} checkers={checkers:<10} \
+                         faults={} detected={} wall={:.3} ms ({:.0} faults/s)",
+                        report.rows.len(),
+                        report.detected(),
+                        wall_ns as f64 / 1e6,
+                        faults_per_sec
+                    );
+                    rows.push(Row {
+                        model: name,
+                        engine,
+                        workers,
+                        checkers,
+                        faults: report.rows.len(),
+                        detected: report.detected(),
+                        silent: report.silent(),
+                        coverage: report.coverage(),
+                        coverage_by_class: report.class_coverage(),
+                        wall_ns,
+                        faults_per_sec,
+                        deterministic,
+                    });
+                }
             }
+            per_mode.push(reference);
         }
+        let [off, all] = per_mode.as_slice() else {
+            unreachable!("one reference per mode");
+        };
+        assert_checkers_close_the_gap(name, off, all);
     }
 
     let mut out = String::new();
@@ -143,18 +204,32 @@ fn main() {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
+        let classes: Vec<String> = r
+            .coverage_by_class
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"class\": \"{}\", \"detected\": {}, \"baseline\": {}, \"total\": {}}}",
+                    c.class, c.detected, c.baseline, c.total
+                )
+            })
+            .collect();
         let _ = writeln!(
             out,
-            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"workers\": {}, \"faults\": {}, \
-             \"detected\": {}, \"silent\": {}, \"coverage\": {:.4}, \"wall_ns\": {}, \
+            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"workers\": {}, \
+             \"checkers\": \"{}\", \"faults\": {}, \
+             \"detected\": {}, \"silent\": {}, \"coverage\": {:.4}, \
+             \"coverage_by_class\": [{}], \"wall_ns\": {}, \
              \"faults_per_sec\": {:.0}, \"deterministic\": {}}}{}",
             r.model,
             r.engine,
             r.workers,
+            r.checkers,
             r.faults,
             r.detected,
             r.silent,
             r.coverage,
+            classes.join(", "),
             r.wall_ns,
             r.faults_per_sec,
             r.deterministic,

@@ -103,6 +103,10 @@ pub struct BatchOutcome {
     /// The column's schedule exceeded the delta budget: nothing ran, and
     /// `stats` records only the exhausted budget as `delta_cycles`.
     pub overflowed: bool,
+    /// Check verdict when the batch ran with value checkers
+    /// ([`ExecPlan::execute_batch_checked`]); `None` on unchecked runs
+    /// and on overflowed columns (which never execute).
+    pub check: Option<crate::check::CheckReport>,
 }
 
 /// An execution engine for clock-free RT models.

@@ -64,6 +64,8 @@
 //! * [`backend`] — the pluggable execution-engine layer: the interpreted
 //!   delta kernel and the compiled plan walker behind one trait, with a
 //!   byte-identical observable-output contract.
+//! * [`check`] — value-checking programs (golden-run monitors and mined
+//!   functional invariants) evaluated identically by both engines.
 //! * [`diag`] — conflict localization (§2.7).
 //! * [`json`] — shared hand-rolled JSON helpers (escaping, `SimStats`
 //!   counters, the deterministic single-run report).
@@ -78,6 +80,7 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod check;
 pub mod diag;
 pub mod elaborate;
 pub mod json;
@@ -100,12 +103,17 @@ pub use backend::{
     Backend, BatchOutcome, CompiledBackend, ExecBackend, ExecOptions, ExecOutcome,
     InterpretedBackend, ParseBackendError,
 };
+pub use check::{
+    check_signals, execute_checked, record_table, CheckEval, CheckProgram, CheckReport,
+    CheckSignal, CheckedError, Invariant, InvariantViolation, MonitorTable, MonitorViolation,
+    SignalKind,
+};
 pub use diag::{Conflict, ConflictReport, ConflictSite};
 pub use elaborate::{elaborate, ElaborateOptions, SignalLayout, SignalRole};
 pub use model::{fig1_model, ModelError, RtModel};
 pub use op::{Arity, Op};
 pub use phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
-pub use plan::{Action, ExecPlan, PlanDelta, Source, StaticConflict};
+pub use plan::{Action, ExecPlan, PlanChecks, PlanDelta, Source, StaticConflict};
 pub use resource::{BusDecl, BusId, ModuleDecl, ModuleId, ModuleTiming, RegisterDecl, RegisterId};
 pub use run::{RegisterCommit, RtSimulation, RunSummary};
 pub use stats::{model_stats, ModelStats, RunStatsReport};

@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use clockless_kernel::{KernelError, SignalId, SimStats, SimTime, Trace};
 
 use crate::backend::{BatchOutcome, ExecOptions, ExecOutcome};
+use crate::check::{CheckEval, CheckProgram, SignalKind};
 use crate::diag::{Conflict, ConflictReport, ConflictSite};
 use crate::elaborate::SignalRole;
 use crate::model::RtModel;
@@ -98,6 +99,17 @@ pub enum Action {
         /// Dense index into the plan's register table.
         reg: usize,
     },
+}
+
+/// A [`CheckProgram`] resolved against one plan's dense signal table —
+/// the precomputed handle [`ExecPlan::execute_batch_checked`] consumes,
+/// built once per campaign by [`ExecPlan::resolve_checks`].
+#[derive(Debug, Clone)]
+pub struct PlanChecks {
+    /// Dense signal index of each program signal, in program order.
+    sigs: Vec<usize>,
+    /// The program itself (owned so the handle is self-contained).
+    program: CheckProgram,
 }
 
 /// A multiply driven slot found by the static conflict pre-pass.
@@ -1017,7 +1029,58 @@ impl ExecPlan {
     ) -> Result<Vec<BatchOutcome>, KernelError> {
         let mut out = Vec::with_capacity(deltas.len());
         for chunk in deltas.chunks(BATCH_WIDTH) {
-            self.execute_chunk(chunk, options, &mut out)?;
+            self.execute_chunk(chunk, options, None, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Resolves a [`CheckProgram`]'s signal references against this
+    /// plan's dense signal table, producing the handle
+    /// [`execute_batch_checked`](Self::execute_batch_checked) consumes.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first signal the plan does not have.
+    pub fn resolve_checks(&self, program: &CheckProgram) -> Result<PlanChecks, String> {
+        let sigs = program
+            .signals
+            .iter()
+            .map(|s| {
+                self.signals
+                    .iter()
+                    .position(|ps| match (&s.kind, &ps.role) {
+                        (SignalKind::Register, SignalRole::RegOut(n)) => *n == s.name,
+                        (SignalKind::Bus, SignalRole::Bus(n)) => *n == s.name,
+                        _ => false,
+                    })
+                    .ok_or_else(|| format!("unknown {} `{}`", s.kind, s.name))
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        Ok(PlanChecks {
+            sigs,
+            program: program.clone(),
+        })
+    }
+
+    /// [`execute_batch`](Self::execute_batch) with value checkers: after
+    /// every column's update phase the monitored signals are fed to a
+    /// per-column [`CheckEval`], so each [`BatchOutcome`] additionally
+    /// carries the first monitor/invariant violation. Overflowed columns
+    /// never run and report no verdict (`check: None`).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::WallBudgetExceeded`] when `options.deadline` passes
+    /// mid-walk.
+    pub fn execute_batch_checked(
+        &self,
+        deltas: &[PlanDelta],
+        options: &ExecOptions,
+        checks: &PlanChecks,
+    ) -> Result<Vec<BatchOutcome>, KernelError> {
+        let mut out = Vec::with_capacity(deltas.len());
+        for chunk in deltas.chunks(BATCH_WIDTH) {
+            self.execute_chunk(chunk, options, Some(checks), &mut out)?;
         }
         Ok(out)
     }
@@ -1027,6 +1090,7 @@ impl ExecPlan {
         &self,
         chunk: &[PlanDelta],
         options: &ExecOptions,
+        checks: Option<&PlanChecks>,
         out: &mut Vec<BatchOutcome>,
     ) -> Result<(), KernelError> {
         let n = chunk.len();
@@ -1437,6 +1501,11 @@ impl ExecPlan {
         let mut meta: Vec<(usize, usize, u64)> = Vec::new();
         let mut vals: Vec<Value> = Vec::new();
 
+        let mut evals: Vec<CheckEval<'_>> = match checks {
+            Some(ck) => (0..n).map(|_| CheckEval::new(&ck.program)).collect(),
+            None => Vec::new(),
+        };
+
         let max_needed = (0..n)
             .filter(|&c| full & bit(c) != 0)
             .map(|c| needed[c])
@@ -1519,6 +1588,18 @@ impl ExecPlan {
             }
             meta.clear();
             vals.clear();
+
+            // Check phase: the end-of-delta values just computed are fed
+            // to each live column's evaluator — the same observation the
+            // interpreter's commit hook reconstructs, so verdicts agree
+            // byte-for-byte.
+            if let Some(ck) = checks {
+                for c in 0..n {
+                    if full & bit(c) != 0 && d < needed[c] {
+                        evals[c].observe(d, |i| values[ck.sigs[i] * n + c]);
+                    }
+                }
+            }
 
             // Run phase: the merged slot's masked straight-line actions.
             let actions: &[(Action, u64)] = if d == 0 {
@@ -1674,11 +1755,17 @@ impl ExecPlan {
                 stats.driver_updates = du_count[c];
                 stats.peak_pending_updates = peak_pending[c];
             }
+            let check = if checks.is_some() && !overflow[c] {
+                Some(evals[c].finish())
+            } else {
+                None
+            };
             out.push(BatchOutcome {
                 registers,
                 first_conflict,
                 stats,
                 overflowed: overflow[c],
+                check,
             });
         }
         Ok(())

@@ -126,6 +126,12 @@ impl RtSimulation {
         &self.sim
     }
 
+    /// Mutable kernel access for in-crate machinery (the check module's
+    /// commit observation hook).
+    pub(crate) fn kernel_mut(&mut self) -> &mut Simulator<Value> {
+        &mut self.sim
+    }
+
     /// Executes one delta cycle.
     ///
     /// # Errors

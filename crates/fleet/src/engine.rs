@@ -24,9 +24,10 @@
 //! via [`FleetConfig::fail_fast`].
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use clockless_core::Backend;
+use clockless_core::{Backend, CheckProgram};
 
 use crate::executor::{execute_job, Emission, JobExecutor, ResolvedJob, ThreadPool};
 use crate::report::{FailureKind, FleetReport, JobFailure, JobOutcome};
@@ -37,7 +38,7 @@ use crate::spec::{BatchSpec, FleetError};
 /// The default is the fault-tolerant mode: keep going past failures
 /// (quarantining them), no retries, no budgets beyond the kernel's own
 /// runaway delta limit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetConfig {
     /// Abort the batch on the first failure (lowest spec index wins, so
     /// even the error is deterministic) instead of quarantining it.
@@ -59,6 +60,13 @@ pub struct FleetConfig {
     /// engines produce byte-identical reports — the deterministic JSON of
     /// a batch does not depend on this choice.
     pub backend: Option<Backend>,
+    /// Value-checking program evaluated alongside every job (golden
+    /// monitors and/or mined invariants). The verdict lands in
+    /// [`JobResult::check`](crate::report::JobResult::check) for callers
+    /// such as fault campaigns; it is **not** part of the fleet's
+    /// deterministic JSON, which stays byte-identical with or without
+    /// checking. Shared by `Arc` — workers read it concurrently.
+    pub check: Option<Arc<CheckProgram>>,
 }
 
 /// Runs every job of `spec` with the default fault-tolerant
@@ -154,8 +162,8 @@ pub fn run_batch_with(
             stats: clockless_kernel::SimStats::default(),
         })
     });
-    let cfg = *config;
     for (i, job) in resolved.into_iter().enumerate() {
+        let cfg = config.clone();
         pool.submit(i as u64, Box::new(move || execute_job(&job, &cfg)));
     }
 

@@ -53,7 +53,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use clockless_core::{Backend, ExecOptions, RtModel};
+use clockless_core::{execute_checked, Backend, CheckProgram, CheckedError, ExecOptions, RtModel};
 use clockless_kernel::KernelError;
 
 use crate::engine::FleetConfig;
@@ -306,6 +306,8 @@ pub struct ResolvedJob {
     pub delta_budget: Option<u64>,
     /// The engine this job executes on.
     pub backend: Backend,
+    /// Value-checking program evaluated alongside the run, if any.
+    pub check: Option<Arc<CheckProgram>>,
     /// Deliberate misbehaviour to trip inside the worker fence, if any.
     pub chaos: Option<ChaosProbe>,
 }
@@ -321,6 +323,7 @@ impl ResolvedJob {
             model: spec.resolve(),
             delta_budget: min_budget(config.delta_budget, spec.delta_budget),
             backend: config.backend.or(spec.backend).unwrap_or_default(),
+            check: config.check.clone(),
             chaos: match spec.source {
                 JobSource::Chaos(p) => Some(p),
                 _ => None,
@@ -339,6 +342,7 @@ impl ResolvedJob {
             model: Ok(model),
             delta_budget: config.delta_budget,
             backend: config.backend.unwrap_or_default(),
+            check: config.check.clone(),
             chaos: None,
         }
     }
@@ -396,6 +400,7 @@ pub fn execute_job(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
                     job.delta_budget,
                     config.wall_budget,
                     job.backend,
+                    job.check.as_deref(),
                     job.chaos,
                 )
             }))
@@ -443,13 +448,16 @@ fn build_error_text(e: &FleetError) -> String {
 
 /// Runs one job on a fresh, private engine instance of the selected
 /// backend (always traced, so conflict diagnoses are available in the
-/// report), enforcing the configured budgets.
+/// report), enforcing the configured budgets and evaluating the value
+/// checkers when a program is armed.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     name: &str,
     model: &RtModel,
     delta_budget: Option<u64>,
     wall_budget: Option<Duration>,
     backend: Backend,
+    check: Option<&CheckProgram>,
     chaos: Option<ChaosProbe>,
 ) -> Result<JobResult, (FailureKind, String)> {
     if let Some(probe) = chaos {
@@ -461,10 +469,25 @@ fn run_job(
         delta_limit: delta_budget,
         deadline: wall_budget.map(|d| t0 + d),
     };
-    let summary = backend
-        .execute(model, &options)
-        .map(|outcome| outcome.summary)
-        .map_err(|e| (classify_kernel_error(&e, delta_budget), e.to_string()))?;
+    let (summary, check) = match check {
+        Some(program) => {
+            let (outcome, verdict) =
+                execute_checked(model, backend, &options, program).map_err(|e| match e {
+                    CheckedError::Kernel(k) => {
+                        (classify_kernel_error(&k, delta_budget), k.to_string())
+                    }
+                    other => (FailureKind::Run, other.to_string()),
+                })?;
+            (outcome.summary, Some(verdict))
+        }
+        None => {
+            let summary = backend
+                .execute(model, &options)
+                .map(|outcome| outcome.summary)
+                .map_err(|e| (classify_kernel_error(&e, delta_budget), e.to_string()))?;
+            (summary, None)
+        }
+    };
     let wall_ns = t0.elapsed().as_nanos() as u64;
     Ok(JobResult {
         name: name.to_string(),
@@ -475,6 +498,7 @@ fn run_job(
         registers: summary.registers,
         conflicts: summary.conflicts.expect("traced run records conflicts"),
         wall_ns,
+        check,
     })
 }
 

@@ -42,6 +42,12 @@ pub struct JobResult {
     /// Wall-clock nanoseconds this job took on its worker
     /// (machine-local; excluded from the deterministic JSON rendering).
     pub wall_ns: u64,
+    /// Value-checker verdict, when the batch ran with a
+    /// [`FleetConfig::check`](crate::FleetConfig::check) program armed.
+    /// Consumed structurally (fault campaigns classify it); deliberately
+    /// **not** part of the fleet JSON, which is byte-identical with and
+    /// without checking.
+    pub check: Option<clockless_core::CheckReport>,
 }
 
 impl JobResult {

@@ -247,6 +247,11 @@ pub struct Simulator<V: SimValue> {
     /// Per-process resumption counts, indexed by `ProcessId`.
     activations: Vec<u64>,
     trace: Option<Trace<V>>,
+    /// Per-signal commit-observation flags (empty = observation off).
+    observe: Vec<bool>,
+    /// `(delta, signal, effective value)` commits of observed signals, in
+    /// chronological order. Independent of tracing.
+    commit_log: Vec<(u64, SignalId, V)>,
     delta_limit: u64,
     life: LifeCycle,
     /// Scratch buffers reused across delta cycles. The `_back` buffers
@@ -296,6 +301,8 @@ impl<V: SimValue> Simulator<V> {
             stats: SimStats::default(),
             activations: Vec::new(),
             trace: None,
+            observe: Vec::new(),
+            commit_log: Vec::new(),
             delta_limit: 100_000_000,
             life: LifeCycle::Building,
             scratch_out: Vec::new(),
@@ -718,6 +725,32 @@ impl<V: SimValue> Simulator<V> {
         self.trace.as_ref()
     }
 
+    /// Enables commit observation for `signals`: every subsequent change
+    /// of an observed signal's effective value is appended to the
+    /// [commit log](Self::commit_log) as `(delta, signal, value)`.
+    ///
+    /// Observation is independent of tracing and costs one boolean test
+    /// per committed event. Initial values are not logged — they are
+    /// state, not commits; read them with [`value`](Self::value) before
+    /// stepping. Calling this again replaces the observed set but keeps
+    /// the log.
+    pub fn observe_commits(&mut self, signals: &[SignalId]) {
+        self.observe.clear();
+        self.observe.resize(self.signals.len(), false);
+        for sid in signals {
+            if let Some(flag) = self.observe.get_mut(sid.index()) {
+                *flag = true;
+            }
+        }
+    }
+
+    /// The commits of observed signals so far, in chronological order.
+    /// Empty unless [`observe_commits`](Self::observe_commits) enabled
+    /// observation.
+    pub fn commit_log(&self) -> &[(u64, SignalId, V)] {
+        &self.commit_log
+    }
+
     fn instant_exhausted(&self) -> bool {
         self.runnable.is_empty() && self.next_delta.is_empty() && self.zero_wakes.is_empty()
     }
@@ -760,6 +793,10 @@ impl<V: SimValue> Simulator<V> {
             }
             slot.last_event_tick = self.tick;
             self.stats.events += 1;
+            if self.observe.get(sid.index()).copied().unwrap_or(false) {
+                self.commit_log
+                    .push((self.now.delta, sid, effective.clone()));
+            }
             if let Some(trace) = &mut self.trace {
                 trace.record(self.now, sid, effective);
             }
@@ -951,6 +988,42 @@ mod tests {
         let stats = sim.run().unwrap();
         assert_eq!(*sim.value(b), 5);
         assert_eq!(stats.process_activations, 1);
+    }
+
+    #[test]
+    fn commit_log_records_only_observed_signals_in_order() {
+        // Same chain as `delta_chain_counts_deltas`, observing s1 and s3
+        // but not s2: the log must hold exactly the observed commits,
+        // tagged with the delta cycle they landed in.
+        let mut sim: Simulator<i64> = Simulator::new();
+        let s1 = sim.signal("s1", 0);
+        let s2 = sim.signal("s2", 0);
+        let s3 = sim.signal("s3", 0);
+        sim.process("p1", &[s1], move |ctx: &mut ProcessCtx<'_, i64>| {
+            ctx.assign(s1, 1);
+            Wait::Done
+        });
+        sim.process("p2", &[s2], move |ctx: &mut ProcessCtx<'_, i64>| {
+            if *ctx.value(s1) == 1 {
+                ctx.assign(s2, 2);
+            }
+            Wait::on(s1)
+        });
+        sim.process("p3", &[s3], move |ctx: &mut ProcessCtx<'_, i64>| {
+            if *ctx.value(s2) == 2 {
+                ctx.assign(s3, 3);
+            }
+            Wait::on(s2)
+        });
+        sim.observe_commits(&[s1, s3]);
+        sim.initialize().unwrap();
+        assert!(
+            sim.commit_log().is_empty(),
+            "initial values are not commits"
+        );
+        sim.run().unwrap();
+        // s1 commits at delta 1, s3 at delta 3; s2's commit is unobserved.
+        assert_eq!(sim.commit_log(), [(1, s1, 1), (3, s3, 3)]);
     }
 
     #[test]

@@ -436,4 +436,52 @@ mod tests {
         assert_eq!(ops.get("run").and_then(Json::as_u64), Some(2));
         assert_eq!(ops.get("stats").and_then(Json::as_u64), Some(1));
     }
+
+    #[test]
+    fn faults_checkers_field_matches_the_cli_document() {
+        use clockless_verify::{run_campaign, CampaignConfig, CheckerMode};
+
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../models/fig1.rtl");
+        let daemon = Daemon::new(ServeConfig::default());
+        let input = format!(
+            "{{\"id\":1,\"op\":\"faults\",\"path\":\"{path}\",\"checkers\":\"all\"}}\n\
+             {{\"id\":2,\"op\":\"faults\",\"path\":\"{path}\"}}\n\
+             {{\"id\":3,\"op\":\"faults\",\"path\":\"{path}\",\"checkers\":\"bogus\"}}\n"
+        );
+        let (lines, _) = serve(&daemon, &input);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+
+        // `checkers:"all"` payload is byte-identical to the CLI document.
+        let model =
+            clockless_core::text::parse_model(&std::fs::read_to_string(path).expect("fig1 source"))
+                .expect("fig1 parses");
+        let expected = run_campaign(
+            &model,
+            &CampaignConfig {
+                checkers: CheckerMode::All,
+                ..Default::default()
+            },
+        )
+        .expect("campaign runs")
+        .to_json();
+        assert_eq!(
+            decode_payload(&lines[0]).as_deref(),
+            Some(expected.as_str())
+        );
+        assert!(expected.contains("\"checkers\": \"all\""), "{expected}");
+
+        // Omitting the field keeps the baseline-only document.
+        let off = decode_payload(&lines[1]).expect("off payload");
+        assert!(off.contains("\"checkers\": \"off\""), "{off}");
+        assert_ne!(off, expected, "checkers must change the verdicts");
+
+        // A bad mode is a typed request error, not a crash.
+        let err = Json::parse(&lines[2]).expect("error envelope");
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad-request")
+        );
+    }
 }

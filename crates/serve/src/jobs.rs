@@ -188,6 +188,7 @@ fn job_faults(body: &Json, ctx: &JobCtx) -> Result<String, JobError> {
         max_faults: opt_u64(body, "max")?.map(|n| n as usize),
         backend: opt_parse(body, "backend")?.unwrap_or_default(),
         engine: opt_parse(body, "engine")?.unwrap_or_default(),
+        checkers: opt_parse(body, "checkers")?.unwrap_or_default(),
         ..Default::default()
     };
     if let Some(seed) = opt_u64(body, "seed")? {

@@ -2,9 +2,9 @@
 //! directions.
 //!
 //! `docs/PROTOCOL.md` is the normative reference; this module is its
-//! implementation. Requests are parsed with a small hand-rolled JSON
-//! reader ([`Json::parse`] — no external crates, mirroring every other
-//! machine-readable surface in the workspace), and responses are
+//! implementation. Requests are parsed with the workspace's small
+//! hand-rolled JSON reader ([`Json::parse`], re-exported from
+//! [`clockless_core::json`] — no external crates), and responses are
 //! rendered as single-line envelopes:
 //!
 //! ```text
@@ -23,272 +23,7 @@ use std::fmt;
 /// Protocol version stamped into every response envelope (`"v"`).
 pub const PROTOCOL_VERSION: u32 = 1;
 
-/// A parsed JSON value.
-///
-/// Numbers are kept as `f64`; request fields are small integers, which
-/// `f64` represents exactly (see [`Json::as_u64`]).
-///
-/// # Examples
-///
-/// ```
-/// use clockless_serve::protocol::Json;
-///
-/// let v = Json::parse(r#"{"op":"run","id":3,"deep":[1,2,{"k":true}]}"#)?;
-/// assert_eq!(v.get("op").and_then(Json::as_str), Some("run"));
-/// assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
-/// # Ok::<(), String>(())
-/// ```
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number.
-    Num(f64),
-    /// A string, unescaped.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order (duplicate keys keep the first).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parses one complete JSON document from `text`.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable message naming the byte offset of the problem.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Object field lookup; `None` on non-objects and missing keys.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The number as a `u64`, if this is a non-negative integer small
-    /// enough for `f64` to hold exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
-            _ => None,
-        }
-    }
-
-    /// The array elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while let Some(b) = bytes.get(*pos) {
-        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(word.as_bytes()) {
-        *pos += word.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}", pos = *pos))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while let Some(b) = bytes.get(*pos) {
-        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid utf-8".to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hi = parse_hex4(bytes, *pos + 1)?;
-                        *pos += 4;
-                        let code = if (0xD800..0xDC00).contains(&hi) {
-                            // Surrogate pair: expect \uXXXX for the low half.
-                            if bytes.get(*pos + 1) == Some(&b'\\')
-                                && bytes.get(*pos + 2) == Some(&b'u')
-                            {
-                                let lo = parse_hex4(bytes, *pos + 3)?;
-                                *pos += 6;
-                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
-                            } else {
-                                return Err("lone high surrogate".into());
-                            }
-                        } else {
-                            hi
-                        };
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| "invalid unicode escape".to_string())?,
-                        );
-                    }
-                    _ => return Err(format!("invalid escape at byte {pos}", pos = *pos)),
-                }
-                *pos += 1;
-            }
-            Some(&b) if b < 0x80 => {
-                out.push(b as char);
-                *pos += 1;
-            }
-            Some(_) => {
-                // Multi-byte UTF-8: re-borrow as str for one char.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| "invalid utf-8 in string".to_string())?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
-    let slice = bytes
-        .get(at..at + 4)
-        .ok_or_else(|| "truncated \\u escape".to_string())?;
-    let text = std::str::from_utf8(slice).map_err(|_| "invalid \\u escape".to_string())?;
-    u32::from_str_radix(text, 16).map_err(|_| "invalid \\u escape".to_string())
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    *pos += 1; // '['
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    *pos += 1; // '{'
-    let mut fields: Vec<(String, Json)> = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(fields));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(format!("expected object key at byte {pos}", pos = *pos));
-        }
-        let key = parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(format!("expected `:` at byte {pos}", pos = *pos));
-        }
-        *pos += 1;
-        let value = parse_value(bytes, pos)?;
-        if !fields.iter().any(|(k, _)| *k == key) {
-            fields.push((key, value));
-        }
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
-        }
-    }
-}
+pub use clockless_core::json::Json;
 
 /// Stable machine-readable error codes used in error envelopes.
 ///
@@ -466,37 +201,8 @@ pub fn decode_payload(line: &str) -> Option<String> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn parses_scalars_and_nesting() {
-        assert_eq!(Json::parse("null"), Ok(Json::Null));
-        assert_eq!(Json::parse(" true "), Ok(Json::Bool(true)));
-        assert_eq!(Json::parse("-2.5e1"), Ok(Json::Num(-25.0)));
-        let v = Json::parse(r#"{"a":[1,{"b":"c"}],"d":null}"#).expect("parses");
-        let a = v.get("a").and_then(Json::as_array).expect("array");
-        assert_eq!(a[0].as_u64(), Some(1));
-        assert_eq!(a[1].get("b").and_then(Json::as_str), Some("c"));
-        assert_eq!(v.get("d"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn string_escapes_round_trip() {
-        let original = "tab\there \"quoted\" back\\slash\nnewline \u{1} ünïcode 𝄞";
-        let encoded = format!("\"{}\"", clockless_core::json::escape(original));
-        assert_eq!(Json::parse(&encoded), Ok(Json::Str(original.to_string())));
-        // And a surrogate pair spelled explicitly.
-        assert_eq!(
-            Json::parse("\"\\ud834\\udd1e\""),
-            Ok(Json::Str("𝄞".to_string()))
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "{}x"] {
-            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
-        }
-    }
-
+    // The parser itself lives in `clockless_core::json` (with its own
+    // tests); here we keep one smoke check that the re-export behaves.
     #[test]
     fn duplicate_keys_keep_the_first() {
         let v = Json::parse(r#"{"k":1,"k":2}"#).expect("parses");

@@ -48,19 +48,31 @@
 //! 100% (mixed `DISC`/value operands and double drives both resolve to
 //! `ILLEGAL`), while `drops`, `skews` and `inits` legitimately escape —
 //! the report says so instead of pretending otherwise.
+//!
+//! [`CampaignConfig::checkers`] closes that gap: golden-run value
+//! monitors and mined functional invariants (see [`crate::monitor`] and
+//! [`crate::invariants`]) run alongside every mutant, turning the
+//! silent escapes into [`FaultOutcome::DetectedValue`] /
+//! [`FaultOutcome::DetectedInvariant`] rows with the same exact
+//! first-violation `(step, phase, signal)` localization conflicts get.
+//! The report keeps both numbers — `detected` and `baseline` — so the
+//! before/after coverage of the checkers is visible per class.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use clockless_core::{
-    Backend, ExecOptions, ExecPlan, ModuleDecl, ModuleTiming, Op, Phase, PlanDelta, RtModel, Step,
-    TransferTuple, Value,
+    Backend, CheckProgram, CheckReport, ExecOptions, ExecPlan, InvariantViolation, ModuleDecl,
+    ModuleTiming, MonitorViolation, Op, Phase, PlanDelta, RtModel, Step, TransferTuple, Value,
 };
 use clockless_fleet::{
     run_batch_with, BatchSpec, FailureKind, FleetConfig, FleetError, JobSource, JobSpec,
 };
 use clockless_kernel::SimStats;
+
+use crate::monitor::{build_checkers, CheckerMode};
 
 /// The five fault classes a campaign can inject, used both to group
 /// coverage numbers and to filter generation (`--classes` on the CLI).
@@ -333,6 +345,15 @@ pub enum FaultOutcome {
     },
     /// The mutant exhausted the campaign's delta-cycle budget.
     DeltaOverflow,
+    /// No conflict, but a golden-run value monitor caught the first
+    /// divergent `(step, phase, signal)` — the fault corrupted a value
+    /// the resolution function had no reason to flag. Requires
+    /// [`CampaignConfig::checkers`] to arm monitors.
+    DetectedValue(MonitorViolation),
+    /// No conflict and no monitor hit, but a mined functional invariant
+    /// (range, reachable set, or pair relation) was violated. Requires
+    /// [`CampaignConfig::checkers`] to arm invariants.
+    DetectedInvariant(InvariantViolation),
     /// The run was clean but the final registers differ from the golden
     /// run — the fault escaped the conflict detector.
     SilentCorruption {
@@ -360,6 +381,8 @@ impl FaultOutcome {
         match self {
             FaultOutcome::DetectedConflict { .. } => "detected-conflict",
             FaultOutcome::DeltaOverflow => "delta-overflow",
+            FaultOutcome::DetectedValue(_) => "detected-value",
+            FaultOutcome::DetectedInvariant(_) => "detected-invariant",
             FaultOutcome::SilentCorruption { .. } => "silent-corruption",
             FaultOutcome::Masked => "masked",
             FaultOutcome::Inapplicable { .. } => "inapplicable",
@@ -367,9 +390,24 @@ impl FaultOutcome {
     }
 
     /// `true` when the fault was *detected* — the run observably failed
-    /// (conflict or budget blowout) rather than finishing with wrong or
-    /// unchanged state.
+    /// (conflict, budget blowout, or a value-checker hit) rather than
+    /// finishing with wrong or unchanged state.
     pub fn is_detected(&self) -> bool {
+        matches!(
+            self,
+            FaultOutcome::DetectedConflict { .. }
+                | FaultOutcome::DeltaOverflow
+                | FaultOutcome::DetectedValue(_)
+                | FaultOutcome::DetectedInvariant(_)
+        )
+    }
+
+    /// `true` when the fault would have been detected even with the
+    /// value checkers off — by the resolution function or the delta
+    /// budget. This is the paper's baseline detector, so the
+    /// checker-on/checker-off coverage gap is computable from one
+    /// campaign's rows.
+    pub fn is_baseline_detected(&self) -> bool {
         matches!(
             self,
             FaultOutcome::DetectedConflict { .. } | FaultOutcome::DeltaOverflow
@@ -390,6 +428,8 @@ impl fmt::Display for FaultOutcome {
                 "detected: ILLEGAL on {site} `{name}` in step {step} phase {phase}"
             ),
             FaultOutcome::DeltaOverflow => write!(f, "detected: delta budget exhausted"),
+            FaultOutcome::DetectedValue(v) => write!(f, "detected: {v}"),
+            FaultOutcome::DetectedInvariant(v) => write!(f, "detected: {v}"),
             FaultOutcome::SilentCorruption {
                 register,
                 expected,
@@ -479,6 +519,10 @@ pub struct CampaignConfig {
     /// Mutant-execution machinery; see [`CampaignEngine`]. Reports are
     /// byte-identical across engines.
     pub engine: CampaignEngine,
+    /// Which value-checker families to arm (`--checkers` on the CLI).
+    /// [`CheckerMode::Off`] reproduces the paper's baseline: the
+    /// resolution function and the delta budget are the only detectors.
+    pub checkers: CheckerMode,
 }
 
 impl Default for CampaignConfig {
@@ -490,6 +534,7 @@ impl Default for CampaignConfig {
             workers: 1,
             backend: Backend::default(),
             engine: CampaignEngine::default(),
+            checkers: CheckerMode::default(),
         }
     }
 }
@@ -556,6 +601,21 @@ pub struct CampaignRow {
     pub outcome: FaultOutcome,
 }
 
+/// Per-class coverage numbers: how many of the class's *applicable*
+/// faults each detector tier caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassCoverage {
+    /// The fault class.
+    pub class: FaultClass,
+    /// Faults detected by anything (conflicts, budget, value checkers).
+    pub detected: usize,
+    /// Faults the paper's baseline detectors alone caught (conflict or
+    /// overflow) — the before-checkers number.
+    pub baseline: usize,
+    /// Applicable faults in the class (quarantined rows excluded).
+    pub total: usize,
+}
+
 /// Results of a fault-injection campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
@@ -565,6 +625,8 @@ pub struct CampaignReport {
     pub seed: u64,
     /// Delta-cycle budget each mutant ran under.
     pub delta_budget: u64,
+    /// The value-checker families the campaign armed.
+    pub checkers: CheckerMode,
     /// Per-fault rows, in generation order.
     pub rows: Vec<CampaignRow>,
     /// Merged kernel counters of every mutant run, with
@@ -573,9 +635,19 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Faults whose mutants observably failed (conflict or overflow).
+    /// Faults whose mutants observably failed (conflict, overflow, or a
+    /// value-checker hit).
     pub fn detected(&self) -> usize {
         self.rows.iter().filter(|r| r.outcome.is_detected()).count()
+    }
+
+    /// Faults the baseline detectors (resolution function + delta
+    /// budget) caught, regardless of the checker mode.
+    pub fn baseline_detected(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.outcome.is_baseline_detected())
+            .count()
     }
 
     /// Faults that escaped as silent corruption.
@@ -594,30 +666,66 @@ impl CampaignReport {
             .count()
     }
 
-    /// Overall detection coverage in `[0, 1]` (detected / injected).
-    pub fn coverage(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 0.0;
-        }
-        self.detected() as f64 / self.rows.len() as f64
+    /// Quarantined rows: faults that did not fit the model and never
+    /// ran ([`FaultOutcome::Inapplicable`]).
+    pub fn inapplicable(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, FaultOutcome::Inapplicable { .. }))
+            .count()
     }
 
-    /// Per-class `(class, detected, total)`, canonical class order,
-    /// classes with no injected faults omitted.
-    pub fn class_coverage(&self) -> Vec<(FaultClass, usize, usize)> {
+    /// Faults that actually ran: injected minus quarantined. This is the
+    /// denominator of every coverage number — a campaign must not look
+    /// worse because the caller supplied faults that never executed.
+    pub fn applicable(&self) -> usize {
+        self.rows.len() - self.inapplicable()
+    }
+
+    /// Overall detection coverage in `[0, 1]`: detected / applicable.
+    pub fn coverage(&self) -> f64 {
+        if self.applicable() == 0 {
+            return 0.0;
+        }
+        self.detected() as f64 / self.applicable() as f64
+    }
+
+    /// Baseline coverage in `[0, 1]`: what the campaign would have
+    /// detected with checkers off (conflicts + overflows over the same
+    /// applicable denominator).
+    pub fn baseline_coverage(&self) -> f64 {
+        if self.applicable() == 0 {
+            return 0.0;
+        }
+        self.baseline_detected() as f64 / self.applicable() as f64
+    }
+
+    /// Per-class coverage, canonical class order, classes with no
+    /// applicable faults omitted.
+    pub fn class_coverage(&self) -> Vec<ClassCoverage> {
         ALL_CLASSES
             .iter()
             .filter_map(|&class| {
                 let in_class: Vec<_> = self
                     .rows
                     .iter()
-                    .filter(|r| r.fault.class() == class)
+                    .filter(|r| {
+                        r.fault.class() == class
+                            && !matches!(r.outcome, FaultOutcome::Inapplicable { .. })
+                    })
                     .collect();
                 if in_class.is_empty() {
                     return None;
                 }
-                let detected = in_class.iter().filter(|r| r.outcome.is_detected()).count();
-                Some((class, detected, in_class.len()))
+                Some(ClassCoverage {
+                    class,
+                    detected: in_class.iter().filter(|r| r.outcome.is_detected()).count(),
+                    baseline: in_class
+                        .iter()
+                        .filter(|r| r.outcome.is_baseline_detected())
+                        .count(),
+                    total: in_class.len(),
+                })
             })
             .collect()
     }
@@ -630,24 +738,30 @@ impl CampaignReport {
         let _ = writeln!(
             out,
             "  \"campaign\": {{\"model\": \"{}\", \"seed\": {}, \"delta_budget\": {}, \
-             \"faults\": {}, \"detected\": {}, \"silent\": {}, \"masked\": {}, \
-             \"coverage\": {:.4}}},",
+             \"checkers\": \"{}\", \"faults\": {}, \"applicable\": {}, \"detected\": {}, \
+             \"baseline\": {}, \"silent\": {}, \"masked\": {}, \"coverage\": {:.4}, \
+             \"baseline_coverage\": {:.4}}},",
             json_escape(&self.model),
             self.seed,
             self.delta_budget,
+            self.checkers,
             self.rows.len(),
+            self.applicable(),
             self.detected(),
+            self.baseline_detected(),
             self.silent(),
             self.masked(),
-            self.coverage()
+            self.coverage(),
+            self.baseline_coverage()
         );
         out.push_str("  \"classes\": [");
         let classes = self.class_coverage();
-        for (i, (class, detected, total)) in classes.iter().enumerate() {
+        for (i, c) in classes.iter().enumerate() {
             let comma = if i + 1 == classes.len() { "" } else { ", " };
             let _ = write!(
                 out,
-                "{{\"class\": \"{class}\", \"detected\": {detected}, \"total\": {total}}}{comma}"
+                "{{\"class\": \"{}\", \"detected\": {}, \"baseline\": {}, \"total\": {}}}{comma}",
+                c.class, c.detected, c.baseline, c.total
             );
         }
         out.push_str("],\n  \"faults\": [\n");
@@ -681,18 +795,29 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fault campaign on `{}` (seed {}): {} faults, {} detected ({:.0}%), \
+            "fault campaign on `{}` (seed {}, checkers {}): {} faults, {} detected ({:.0}%), \
              {} silent, {} masked",
             self.model,
             self.seed,
+            self.checkers,
             self.rows.len(),
             self.detected(),
             self.coverage() * 100.0,
             self.silent(),
             self.masked()
         )?;
-        for (class, detected, total) in self.class_coverage() {
-            writeln!(f, "  {:<8} {detected}/{total} detected", class.as_str())?;
+        for c in self.class_coverage() {
+            write!(
+                f,
+                "  {:<8} {}/{} detected",
+                c.class.as_str(),
+                c.detected,
+                c.total
+            )?;
+            if self.checkers != CheckerMode::Off {
+                write!(f, " (baseline {})", c.baseline)?;
+            }
+            writeln!(f)?;
         }
         for row in &self.rows {
             writeln!(f, "  {:<50} {}", row.fault.to_string(), row.outcome)?;
@@ -853,6 +978,11 @@ pub fn run_campaign_with_faults(
         .map(|(n, v)| (n.as_str(), *v))
         .collect();
 
+    // One clean-run recording arms both checker families for every
+    // mutant; a model that cannot run cleanly has no golden reference.
+    let check = build_checkers(model, config.checkers)
+        .map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
+
     // Twice the exact quiescence bound (1 + 6·CS_MAX deltas) plus slack:
     // roomy for every legitimate mutant, tight enough that an oscillating
     // one is cut off after a few extra steps, not 10^8 deltas later.
@@ -876,6 +1006,7 @@ pub fn run_campaign_with_faults(
             &quarantined,
             &golden_registers,
             delta_budget,
+            check.as_ref(),
         )?,
         CampaignEngine::Legacy => run_mutants_legacy(
             model,
@@ -883,6 +1014,7 @@ pub fn run_campaign_with_faults(
             &quarantined,
             &golden_registers,
             delta_budget,
+            check.as_ref(),
             config,
         )?,
     };
@@ -903,6 +1035,7 @@ pub fn run_campaign_with_faults(
         model: model.name().to_string(),
         seed: config.seed,
         delta_budget,
+        checkers: config.checkers,
         rows,
         totals,
     })
@@ -925,6 +1058,26 @@ fn classify_clean(registers: &[(String, Value)], golden: &HashMap<&str, Value>) 
     }
 }
 
+/// Classifies a conflict-free mutant run under the detector precedence
+/// the campaign documents: value monitor > mined invariant > silent
+/// corruption > masked. Both engines route through this, so a verdict
+/// cannot depend on the machinery that produced it.
+fn classify_checked(
+    check: Option<&CheckReport>,
+    registers: &[(String, Value)],
+    golden: &HashMap<&str, Value>,
+) -> FaultOutcome {
+    if let Some(report) = check {
+        if let Some(v) = &report.monitor {
+            return FaultOutcome::DetectedValue(v.clone());
+        }
+        if let Some(v) = &report.invariant {
+            return FaultOutcome::DetectedInvariant(v.clone());
+        }
+    }
+    classify_clean(registers, golden)
+}
+
 /// The batched engine: lower the golden plan once, express every
 /// applicable fault as a [`PlanDelta`] and run all mutants in lockstep
 /// via [`ExecPlan::execute_batch`]. Returns per-fault outcomes (`None`
@@ -935,6 +1088,7 @@ fn run_mutants_batched(
     quarantined: &[Option<FaultOutcome>],
     golden: &HashMap<&str, Value>,
     delta_budget: u64,
+    check: Option<&CheckProgram>,
 ) -> Result<(Vec<Option<FaultOutcome>>, SimStats), FaultsError> {
     let plan = ExecPlan::lower(model);
     let mut deltas = Vec::new();
@@ -954,9 +1108,16 @@ fn run_mutants_batched(
         delta_limit: Some(delta_budget),
         ..Default::default()
     };
-    let outs = plan
-        .execute_batch(&deltas, &options)
-        .map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
+    let outs = match check {
+        Some(program) => {
+            let checks = plan
+                .resolve_checks(program)
+                .map_err(|msg| FaultsError::Golden { msg })?;
+            plan.execute_batch_checked(&deltas, &options, &checks)
+        }
+        None => plan.execute_batch(&deltas, &options),
+    }
+    .map_err(|e| FaultsError::Golden { msg: e.to_string() })?;
 
     let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; faults.len()];
     let mut totals = SimStats::default();
@@ -972,7 +1133,7 @@ fn run_mutants_batched(
                 phase: first.visible_at.phase,
             }
         } else {
-            classify_clean(&out.registers, golden)
+            classify_checked(out.check.as_ref(), &out.registers, golden)
         });
     }
     Ok((outcomes, totals))
@@ -980,12 +1141,14 @@ fn run_mutants_batched(
 
 /// The legacy engine and differential oracle: every applicable fault
 /// becomes a mutant model run as its own fleet job on a private kernel.
+#[allow(clippy::too_many_arguments)]
 fn run_mutants_legacy(
     model: &RtModel,
     faults: &[FaultKind],
     quarantined: &[Option<FaultOutcome>],
     golden: &HashMap<&str, Value>,
     delta_budget: u64,
+    check: Option<&CheckProgram>,
     config: &CampaignConfig,
 ) -> Result<(Vec<Option<FaultOutcome>>, SimStats), FaultsError> {
     let mut jobs = Vec::new();
@@ -1011,6 +1174,7 @@ fn run_mutants_legacy(
     let fleet_config = FleetConfig {
         delta_budget: Some(delta_budget),
         backend: Some(config.backend),
+        check: check.map(|p| Arc::new(p.clone())),
         ..FleetConfig::default()
     };
     let report = run_batch_with(&BatchSpec { jobs }, config.workers, &fleet_config)?;
@@ -1035,7 +1199,7 @@ fn run_mutants_legacy(
                         phase: first.visible_at.phase,
                     }
                 } else {
-                    classify_clean(&result.registers, golden)
+                    classify_checked(result.check.as_ref(), &result.registers, golden)
                 }
             }
         });
@@ -1169,7 +1333,15 @@ mod tests {
             }
         }
         let cov = report.class_coverage();
-        assert_eq!(cov, vec![(FaultClass::Drivers, 2, 2)]);
+        assert_eq!(
+            cov,
+            vec![ClassCoverage {
+                class: FaultClass::Drivers,
+                detected: 2,
+                baseline: 2,
+                total: 2
+            }]
+        );
         assert!((report.coverage() - 1.0).abs() < 1e-12);
     }
 
@@ -1214,13 +1386,15 @@ mod tests {
         assert!(report.coverage() < 1.0);
         let json = report.to_json();
         assert!(
-            json.contains("\"class\": \"stuck\", \"detected\": 2, \"total\": 2"),
+            json.contains("\"class\": \"stuck\", \"detected\": 2, \"baseline\": 2, \"total\": 2"),
             "{json}"
         );
         assert!(
-            json.contains("\"class\": \"drivers\", \"detected\": 2, \"total\": 2"),
+            json.contains("\"class\": \"drivers\", \"detected\": 2, \"baseline\": 2, \"total\": 2"),
             "{json}"
         );
+        assert!(json.contains("\"checkers\": \"off\""), "{json}");
+        assert!(json.contains("\"applicable\": 9"), "{json}");
         assert!(json.contains("\"injected_faults\": 9"), "{json}");
         let text = report.to_string();
         assert!(text.contains("9 faults"), "{text}");
@@ -1352,6 +1526,152 @@ mod tests {
     }
 
     #[test]
+    fn checkers_close_the_silent_corruption_gap_on_fig1() {
+        let model = fig1_model(3, 4);
+        let off = run_campaign(&model, &CampaignConfig::default()).expect("baseline runs");
+        assert!(off.coverage() < 0.5, "fig1 baseline is ~44%");
+
+        let all = run_campaign(
+            &model,
+            &CampaignConfig {
+                checkers: CheckerMode::All,
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("checked campaign runs");
+        assert_eq!(all.rows.len(), 9);
+        assert!(
+            all.coverage() >= 0.85,
+            "checkers must close the gap: {:.2}",
+            all.coverage()
+        );
+        // Baseline numbers are recoverable from the checked campaign and
+        // match the unchecked one exactly.
+        assert_eq!(all.baseline_detected(), off.detected());
+        assert!((all.baseline_coverage() - off.coverage()).abs() < 1e-12);
+        // Per class: the conflict-detected classes are untouched; the
+        // formerly silent classes are now fully caught.
+        for c in all.class_coverage() {
+            assert_eq!(c.detected, c.total, "{} fully detected", c.class);
+            let was = off
+                .class_coverage()
+                .into_iter()
+                .find(|o| o.class == c.class)
+                .expect("same classes");
+            assert_eq!(c.baseline, was.detected, "{} baseline", c.class);
+        }
+        // The detector keeps the exact first-violation site, like the
+        // conflict localization does.
+        let drop_row = all
+            .rows
+            .iter()
+            .find(|r| matches!(r.fault, FaultKind::DropTransfer { .. }))
+            .expect("fig1 has a drop fault");
+        match &drop_row.outcome {
+            FaultOutcome::DetectedValue(v) => {
+                assert_eq!(drop_row.outcome.as_str(), "detected-value");
+                assert!(drop_row.outcome.is_detected());
+                assert!(!drop_row.outcome.is_baseline_detected());
+                assert!(v.site().is_some(), "divergence is step/phase-localized");
+            }
+            other => panic!("drop should hit the value monitor, got {other}"),
+        }
+        let json = all.to_json();
+        assert!(json.contains("\"checkers\": \"all\""), "{json}");
+        assert!(json.contains("\"outcome\": \"detected-value\""), "{json}");
+        assert!(json.contains("value monitor"), "{json}");
+        let text = all.to_string();
+        assert!(text.contains("checkers all"), "{text}");
+        assert!(text.contains("baseline"), "{text}");
+    }
+
+    #[test]
+    fn invariants_alone_catch_out_of_range_inits() {
+        // Mined invariants are weaker than monitors (a dropped transfer
+        // leaves every register inside its observed range) but they need
+        // no golden trajectory at mutant-run time — and a corrupted init
+        // lands outside the mined range at delta 0.
+        let model = fig1_model(3, 4);
+        let report = run_campaign(
+            &model,
+            &CampaignConfig {
+                classes: vec![FaultClass::Inits],
+                checkers: CheckerMode::Invariants,
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("campaign runs");
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            match &row.outcome {
+                FaultOutcome::DetectedInvariant(v) => {
+                    assert_eq!(row.outcome.as_str(), "detected-invariant");
+                    assert_eq!(v.delta, 0, "corrupted inits violate at delta 0");
+                    assert!(v.to_string().contains("at initialization"), "{v}");
+                }
+                other => panic!("corrupted init escaped the invariants: {other}"),
+            }
+        }
+        let json = report.to_json();
+        assert!(
+            json.contains("\"outcome\": \"detected-invariant\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn coverage_denominator_excludes_quarantined_rows() {
+        // One applicable (detected) fault plus three quarantined ones:
+        // the campaign is 100% covered, not 25% — inapplicable rows
+        // never ran, so they cannot count as escapes.
+        let model = fig1_model(3, 4);
+        let faults = vec![
+            FaultKind::StuckAtDisc {
+                register: "R1".into(),
+            },
+            FaultKind::SkewWrite { index: 0, delta: 5 },
+            FaultKind::DropTransfer { index: 9 },
+            FaultKind::StuckAtDisc {
+                register: "R9".into(),
+            },
+        ];
+        for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+            let config = CampaignConfig {
+                engine,
+                ..CampaignConfig::default()
+            };
+            let report =
+                run_campaign_with_faults(&model, faults.clone(), &config).expect("campaign runs");
+            assert_eq!(report.rows.len(), 4, "{engine}");
+            assert_eq!(report.inapplicable(), 3, "{engine}");
+            assert_eq!(report.applicable(), 1, "{engine}");
+            assert_eq!(report.detected(), 1, "{engine}");
+            assert!(
+                (report.coverage() - 1.0).abs() < 1e-12,
+                "{engine}: quarantined rows must not dilute coverage ({})",
+                report.coverage()
+            );
+            // Class rows count only applicable faults: the stuck class
+            // drops its quarantined `R9` row, and the skew/drop classes
+            // (quarantined only) vanish entirely.
+            assert_eq!(
+                report.class_coverage(),
+                vec![ClassCoverage {
+                    class: FaultClass::Stuck,
+                    detected: 1,
+                    baseline: 1,
+                    total: 1
+                }],
+                "{engine}"
+            );
+            let json = report.to_json();
+            assert!(json.contains("\"faults\": 4"), "{json}");
+            assert!(json.contains("\"applicable\": 1"), "{json}");
+            assert!(json.contains("\"coverage\": 1.0000"), "{json}");
+        }
+    }
+
+    #[test]
     fn skew_checks_cannot_drift_between_generation_and_apply() {
         // Every skew generation emits must apply; every ±1 skew it
         // refuses must be refused by `apply` with the same message.
@@ -1460,27 +1780,37 @@ mod tests {
     }
 
     /// Byte-identity of the batched and legacy engines on one model,
-    /// across both execution backends.
+    /// across both execution backends, both checker extremes, and
+    /// several worker counts.
     fn assert_engines_agree(model: &RtModel, context: &str) {
         for backend in [Backend::Interpreted, Backend::Compiled] {
-            let mut reports = Vec::new();
-            for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
-                let config = CampaignConfig {
-                    backend,
-                    engine,
-                    ..CampaignConfig::default()
-                };
-                reports.push(
-                    run_campaign(model, &config)
-                        .unwrap_or_else(|e| panic!("{context} ({backend}/{engine}): {e}")),
-                );
+            for checkers in [CheckerMode::Off, CheckerMode::All] {
+                let mut reports = Vec::new();
+                for (engine, workers) in [
+                    (CampaignEngine::Batched, 1),
+                    (CampaignEngine::Legacy, 1),
+                    (CampaignEngine::Legacy, 3),
+                ] {
+                    let config = CampaignConfig {
+                        backend,
+                        engine,
+                        workers,
+                        checkers,
+                        ..CampaignConfig::default()
+                    };
+                    reports.push(run_campaign(model, &config).unwrap_or_else(|e| {
+                        panic!("{context} ({backend}/{engine}/{checkers}): {e}")
+                    }));
+                }
+                for other in &reports[1..] {
+                    assert_eq!(&reports[0], other, "{context} ({backend}/{checkers})");
+                    assert_eq!(
+                        reports[0].to_json(),
+                        other.to_json(),
+                        "{context} ({backend}/{checkers})"
+                    );
+                }
             }
-            assert_eq!(reports[0], reports[1], "{context} ({backend})");
-            assert_eq!(
-                reports[0].to_json(),
-                reports[1].to_json(),
-                "{context} ({backend})"
-            );
         }
     }
 

@@ -32,6 +32,12 @@
 //!   corrupted inits) run on private kernels and classified against the
 //!   golden run, measuring how much of the fault space the `ILLEGAL`
 //!   detector actually observes.
+//! * [`monitor`] — golden-run value monitors: checker-mode selection and
+//!   one-recording construction of the check program campaigns arm to
+//!   catch the silent value corruption the resolution function misses.
+//! * [`invariants`] — mined functional invariants (ranges, reachable
+//!   sets, pair relations) learned from the clean run and carried in a
+//!   deterministic JSON artifact (`clockless mine` / `run --check`).
 //!
 //! ## Example
 //!
@@ -50,7 +56,9 @@
 pub mod conflicts;
 pub mod equiv;
 pub mod faults;
+pub mod invariants;
 pub mod lint;
+pub mod monitor;
 pub mod normalize;
 pub mod semantics;
 pub mod sweep;
@@ -64,9 +72,14 @@ pub use equiv::{
 };
 pub use faults::{
     generate_faults, run_campaign, run_campaign_with_faults, CampaignConfig, CampaignEngine,
-    CampaignReport, CampaignRow, FaultClass, FaultKind, FaultOutcome, FaultsError, ALL_CLASSES,
+    CampaignReport, CampaignRow, ClassCoverage, FaultClass, FaultKind, FaultOutcome, FaultsError,
+    ALL_CLASSES,
+};
+pub use invariants::{
+    mine_artifact, mine_invariants, mine_program, parse_artifact, render_artifact, REACHABLE_MAX,
 };
 pub use lint::{lint_model, Lint};
+pub use monitor::{build_checkers, CheckerMode, ParseCheckerModeError};
 pub use normalize::{equivalent, normalize, Atom, Poly};
 pub use semantics::{merge_partials, reconstruct_partials, roundtrip_check, SemanticsError};
 pub use sweep::{conflict_sweep, ConflictSweep, SweepRow};

@@ -33,6 +33,35 @@ grep -q "detected (100%)" <<<"$faults_out"
 grep -q "0 silent" <<<"$faults_out"
 grep -q "detected: ILLEGAL" <<<"$faults_out"
 
+echo "== value-checker coverage gate (checkers all must close the silent-corruption gap)"
+checked_out="$(./target/release/clockless faults models/fig1.rtl --checkers all)"
+grep -q "9 detected (100%)" <<<"$checked_out"
+grep -q "0 silent" <<<"$checked_out"
+# Per-class floors: the baseline-blind classes must be fully covered,
+# and the report must show the baseline they improved on.
+grep -q "drops    1/1 detected (baseline 0)" <<<"$checked_out"
+grep -q "skews    2/2 detected (baseline 0)" <<<"$checked_out"
+grep -q "inits    2/2 detected (baseline 0)" <<<"$checked_out"
+grep -q "value monitor" <<<"$checked_out"
+# Sanity: with checkers off the same campaign leaves silent corruption.
+unchecked_out="$(./target/release/clockless faults models/fig1.rtl)"
+grep -q "5 silent" <<<"$unchecked_out"
+
+echo "== mine/check round trip (mined invariants hold on the clean run, artifact is canonical)"
+mine_dir="$(mktemp -d)"
+./target/release/clockless mine models/fig1.rtl > "$mine_dir/inv.json"
+grep -q '"kind": "range"' "$mine_dir/inv.json"
+check_out="$(./target/release/clockless run models/fig1.rtl --check "$mine_dir/inv.json")"
+grep -q "value checks against .*: clean" <<<"$check_out"
+./target/release/clockless run models/fig1.rtl --check "$mine_dir/inv.json" --backend compiled >/dev/null
+# A violated artifact must fail the run with the violation site.
+sed 's/"max": 7/"max": 5/' "$mine_dir/inv.json" > "$mine_dir/bad.json"
+bad_status=0
+bad_out="$(./target/release/clockless run models/fig1.rtl --check "$mine_dir/bad.json" 2>&1)" || bad_status=$?
+[ "$bad_status" -eq 1 ]
+grep -q "invariant \`R1 in \[3, 5\]\` violated" <<<"$bad_out"
+rm -rf "$mine_dir"
+
 echo "== fleet quarantine smoke (hostile batch completes, failures quarantined)"
 fleet_status=0
 fleet_out="$(./target/release/clockless fleet models/chaos.fleet --jobs 4 2>&1)" || fleet_status=$?
@@ -62,6 +91,15 @@ done
 faults_batched_compiled="$(./target/release/clockless faults models/iks_fir.rtl --json --backend compiled)"
 faults_legacy_compiled="$(./target/release/clockless faults models/iks_fir.rtl --json --engine legacy --backend compiled)"
 [ "$faults_batched_compiled" = "$faults_legacy_compiled" ]
+# Checked campaigns carry the same obligation: engines and backends must
+# agree byte-for-byte with the value checkers armed.
+for model in models/fig1.rtl models/iks_fir.rtl; do
+  checked_batched="$(./target/release/clockless faults "$model" --json --checkers all)"
+  checked_legacy="$(./target/release/clockless faults "$model" --json --checkers all --engine legacy --jobs 3)"
+  checked_compiled="$(./target/release/clockless faults "$model" --json --checkers all --backend compiled)"
+  [ "$checked_batched" = "$checked_legacy" ]
+  [ "$checked_batched" = "$checked_compiled" ]
+done
 fleet_interp="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json)"
 fleet_compiled="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled)"
 [ "$fleet_interp" = "$fleet_compiled" ]
@@ -80,6 +118,11 @@ serve_faults="$(echo '{"id":2,"op":"faults","path":"models/fig1.rtl","seed":7}' 
   | ./target/release/clockless client "$serve_sock" --payload)"
 cli_faults="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json)"
 [ "$serve_faults" = "$cli_faults" ]
+serve_checked="$(echo '{"id":4,"op":"faults","path":"models/fig1.rtl","checkers":"all"}' \
+  | ./target/release/clockless client "$serve_sock" --payload)"
+cli_checked="$(./target/release/clockless faults models/fig1.rtl --json --checkers all)"
+[ "$serve_checked" = "$cli_checked" ]
+grep -q '"checkers": "all"' <<<"$serve_checked"
 echo '{"id":3,"op":"shutdown"}' | ./target/release/clockless client "$serve_sock" >/dev/null
 wait "$serve_pid"
 [ ! -e "$serve_sock" ]

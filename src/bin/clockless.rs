@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! clockless run <model.rtl> [--json] [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
-//!               [--backend interpreted|compiled]
+//!               [--backend interpreted|compiled] [--check <invariants.json>]
 //! clockless check <model.rtl>
+//! clockless mine <model.rtl>
 //! clockless stats <model.rtl> [--json]
 //! clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]
 //!                 [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]
 //!                 [--backend interpreted|compiled]
 //! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
 //!                  [--backend interpreted|compiled] [--engine batched|legacy]
+//!                  [--checkers off|golden|invariants|all]
 //! clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]
 //! clockless client <socket> [--payload]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
@@ -26,7 +28,17 @@
 //! `--engine` picks the mutant machinery — the plan-sharing batched
 //! executor (default, one lowered plan, all mutants in lockstep) or the
 //! legacy one-fleet-job-per-mutant path. Reports are byte-identical
-//! across engines.
+//! across engines. `--checkers` arms the value-checking detection
+//! layer on top of the baseline `ILLEGAL`/overflow detectors: `golden`
+//! replays each mutant against the clean run's commit trace, `invariants`
+//! re-asserts functional laws mined from the clean run, `all` does both
+//! (closing the silent-corruption gap), `off` (default) keeps the
+//! baseline-only verdicts.
+//!
+//! `mine` learns those functional invariants from a model's clean run
+//! and prints them as a deterministic JSON artifact; `run --check`
+//! re-asserts a previously mined artifact against a (possibly edited)
+//! model and fails the run on the first violation.
 //!
 //! `--backend` selects the execution engine — the interpreted delta
 //! kernel (default) or the compiled phase-schedule walker. Both are
@@ -61,14 +73,16 @@ use clockless::verify::{cross_check, roundtrip_check};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  clockless run <model.rtl> [--json] [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n                \
-         [--backend interpreted|compiled]\n  \
+         [--backend interpreted|compiled] [--check <invariants.json>]\n  \
          clockless check <model.rtl>\n  \
+         clockless mine <model.rtl>\n  \
          clockless stats <model.rtl> [--json]\n  \
          clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]\n                  \
          [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]\n                  \
          [--backend interpreted|compiled]\n  \
          clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n                   \
-         [--backend interpreted|compiled] [--engine batched|legacy]\n  \
+         [--backend interpreted|compiled] [--engine batched|legacy]\n                   \
+         [--checkers off|golden|invariants|all]\n  \
          clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]\n  \
          clockless client <socket> [--payload]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
@@ -79,7 +93,9 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take a value (so `positional_args` skips the value word).
-const VALUED_FLAGS: [&str; 13] = [
+const VALUED_FLAGS: [&str; 15] = [
+    "--check",
+    "--checkers",
     "--jobs",
     "--retries",
     "--delta-budget",
@@ -140,6 +156,52 @@ fn load(path: &str) -> Result<RtModel, String> {
     }
 }
 
+/// Loads and validates a mined-invariant artifact for `--check`.
+fn load_check_program(
+    artifact: &str,
+    model: &RtModel,
+) -> Result<clockless::core::CheckProgram, String> {
+    let text =
+        std::fs::read_to_string(artifact).map_err(|e| format!("cannot read {artifact}: {e}"))?;
+    let (mined_from, program) =
+        clockless::verify::parse_artifact(&text).map_err(|e| format!("{artifact}: {e}"))?;
+    if mined_from != model.name() {
+        return Err(format!(
+            "{artifact}: artifact was mined from `{mined_from}` but the model is `{}`",
+            model.name()
+        ));
+    }
+    Ok(program)
+}
+
+/// The `"check"` member spliced into the `--json` run report when
+/// `--check` is given (the plain report stays byte-identical).
+fn check_report_json(artifact: &str, report: &clockless::core::CheckReport) -> String {
+    use clockless::core::json::escape;
+    let mut violations = Vec::new();
+    if let Some(v) = &report.invariant {
+        violations.push(v.to_string());
+    }
+    if let Some(v) = &report.monitor {
+        violations.push(v.to_string());
+    }
+    let rendered: Vec<String> = violations
+        .iter()
+        .map(|v| format!("\"{}\"", escape(v)))
+        .collect();
+    format!(
+        "{{\"artifact\": \"{}\", \"status\": \"{}\", \"violations\": [{}]}}",
+        escape(artifact),
+        if report.is_clean() {
+            "clean"
+        } else {
+            "violated"
+        },
+        rendered.join(", ")
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn cmd_run(
     path: &str,
     json: bool,
@@ -147,6 +209,7 @@ fn cmd_run(
     vcd: Option<&str>,
     transcript_cols: Option<&str>,
     backend: Backend,
+    check: Option<&str>,
 ) -> Result<(), String> {
     let model = load(path)?;
     let options = ExecOptions {
@@ -156,18 +219,47 @@ fn cmd_run(
         trace: trace || json || vcd.is_some(),
         ..Default::default()
     };
-    let outcome = backend
-        .execute(&model, &options)
-        .map_err(|e| e.to_string())?;
+    let (outcome, verdict) = match check {
+        Some(artifact) => {
+            let program = load_check_program(artifact, &model)?;
+            let (outcome, report) =
+                clockless::core::execute_checked(&model, backend, &options, &program)
+                    .map_err(|e| e.to_string())?;
+            (outcome, Some((artifact, report)))
+        }
+        None => {
+            let outcome = backend
+                .execute(&model, &options)
+                .map_err(|e| e.to_string())?;
+            (outcome, None)
+        }
+    };
     let summary = &outcome.summary;
 
     if json {
-        print!("{}", clockless::core::json::run_report(&model, summary));
+        let doc = clockless::core::json::run_report(&model, summary);
+        match &verdict {
+            // Splice the check verdict in as a trailing member; without
+            // `--check` the document is byte-identical to before.
+            Some((artifact, report)) => {
+                let body = doc.strip_suffix("\n}\n").expect("run report shape");
+                print!(
+                    "{body},\n  \"check\": {}\n}}\n",
+                    check_report_json(artifact, report)
+                );
+            }
+            None => print!("{doc}"),
+        }
         if let Some(out) = vcd {
             let doc = outcome.vcd.as_deref().expect("traced run exports VCD");
             std::fs::write(out, doc).map_err(|e| format!("cannot write {out}: {e}"))?;
         }
-        return Ok(());
+        return match &verdict {
+            Some((artifact, report)) if !report.is_clean() => {
+                Err(format!("{artifact}: value checks failed"))
+            }
+            _ => Ok(()),
+        };
     }
     println!(
         "model `{}`: {} steps, {} transfers — {}",
@@ -193,6 +285,26 @@ fn cmd_run(
         let table = transcript(&model, &names).map_err(|e| e.to_string())?;
         println!("\nphase transcript:\n{table}");
     }
+    if let Some((artifact, report)) = &verdict {
+        if report.is_clean() {
+            println!("value checks against {artifact}: clean");
+        } else {
+            if let Some(v) = &report.invariant {
+                println!("value checks against {artifact}: {v}");
+            }
+            if let Some(v) = &report.monitor {
+                println!("value checks against {artifact}: {v}");
+            }
+            return Err(format!("{artifact}: value checks failed"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mine(path: &str) -> Result<(), String> {
+    let model = load(path)?;
+    let artifact = clockless::verify::mine_artifact(&model).map_err(|e| e.to_string())?;
+    print!("{artifact}");
     Ok(())
 }
 
@@ -325,6 +437,7 @@ fn cmd_faults(
     json: bool,
     backend: Backend,
     engine: clockless::verify::CampaignEngine,
+    checkers: clockless::verify::CheckerMode,
 ) -> Result<(), String> {
     let model = load(path)?;
     let mut config = clockless::verify::CampaignConfig {
@@ -332,6 +445,7 @@ fn cmd_faults(
         max_faults: max,
         backend,
         engine,
+        checkers,
         ..Default::default()
     };
     if let Some(seed) = seed {
@@ -436,13 +550,24 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(b) => b,
                 FlagValue::Malformed => return usage(),
             };
-            cmd_run(path, json, trace, vcd, cols, backend)
+            let check = args
+                .iter()
+                .position(|a| a == "--check")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            cmd_run(path, json, trace, vcd, cols, backend, check)
         }
         "check" => {
             let Some(path) = args.get(1) else {
                 return usage();
             };
             cmd_check(path)
+        }
+        "mine" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            cmd_mine(path)
         }
         "stats" => {
             let Some(path) = args.get(1) else {
@@ -523,11 +648,18 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(e) => e,
                 FlagValue::Malformed => return usage(),
             };
+            let checkers = match flag_value(&args, "--checkers") {
+                FlagValue::Absent => clockless::verify::CheckerMode::default(),
+                FlagValue::Parsed(c) => c,
+                FlagValue::Malformed => return usage(),
+            };
             let positional = positional_args(&args);
             let [path] = positional.as_slice() else {
                 return usage();
             };
-            cmd_faults(path, seed, classes, max, jobs, json, backend, engine)
+            cmd_faults(
+                path, seed, classes, max, jobs, json, backend, engine, checkers,
+            )
         }
         "serve" => {
             let workers = match flag_value(&args, "--jobs") {
