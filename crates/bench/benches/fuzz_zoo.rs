@@ -1,0 +1,124 @@
+//! Writes `BENCH_fuzz.json` at the repository root: throughput of the
+//! seeded differential fuzz campaign (`clockless_verify::fuzz`) at
+//! several zoo sizes. Every campaign must come back clean — a
+//! divergence here is a real cross-layer bug, so the bench doubles as
+//! the acceptance gate for the ≥1000-model zero-divergence claim.
+//!
+//! Per the workspace convention, counters (`checked`, `hls_models`,
+//! `guarded_models`, `memory_models`, `array_models`,
+//! `clocked_checked`, `divergences`, `deterministic`) are
+//! machine-independent; `wall_ns` and the derived `models_per_sec` are
+//! machine-local. The `deterministic` field asserts that re-running the
+//! campaign at the same seed yields a byte-identical JSON report.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use clockless_verify::run_fuzz;
+
+/// One (seed, count) measurement.
+struct Row {
+    seed: u64,
+    count: usize,
+    hls_models: usize,
+    guarded_models: usize,
+    memory_models: usize,
+    array_models: usize,
+    clocked_checked: usize,
+    divergences: usize,
+    wall_ns: u64,
+    models_per_sec: f64,
+    deterministic: bool,
+}
+
+fn main() {
+    let scales: [(u64, usize); 3] = [(0xC10C_1E55, 250), (0xC10C_1E55, 1000), (0xF00D, 2000)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (seed, count) in scales {
+        let reference = run_fuzz(seed, count);
+        assert!(
+            reference.clean(),
+            "seed {seed} count {count}: fuzz campaign diverged:\n{reference}"
+        );
+        let deterministic = run_fuzz(seed, count).to_json() == reference.to_json();
+        assert!(deterministic, "seed {seed} count {count}: report not reproducible");
+
+        // Best-of-3 wall time.
+        let mut wall_ns = u64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let report = run_fuzz(seed, count);
+            let ns = t.elapsed().as_nanos() as u64;
+            std::hint::black_box(report);
+            wall_ns = wall_ns.min(ns);
+        }
+        let models_per_sec = count as f64 / (wall_ns as f64 / 1e9);
+        eprintln!(
+            "seed={seed:#x} count={count:<5} hls={} guarded={} mem={} arr={} clocked={} \
+             wall={:.1} ms ({:.0} models/s)",
+            reference.hls_models,
+            reference.guarded_models,
+            reference.memory_models,
+            reference.array_models,
+            reference.clocked_checked,
+            wall_ns as f64 / 1e6,
+            models_per_sec
+        );
+        rows.push(Row {
+            seed,
+            count,
+            hls_models: reference.hls_models,
+            guarded_models: reference.guarded_models,
+            memory_models: reference.memory_models,
+            array_models: reference.array_models,
+            clocked_checked: reference.clocked_checked,
+            divergences: reference.divergence_count,
+            wall_ns,
+            models_per_sec,
+            deterministic,
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo bench --manifest-path crates/bench/Cargo.toml \
+         --bench fuzz_zoo\",\n",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"seed\": {}, \"count\": {}, \"hls_models\": {}, \
+             \"guarded_models\": {}, \"memory_models\": {}, \"array_models\": {}, \
+             \"clocked_checked\": {}, \"divergences\": {}, \"wall_ns\": {}, \
+             \"models_per_sec\": {:.0}, \"deterministic\": {}}}{}",
+            r.seed,
+            r.count,
+            r.hls_models,
+            r.guarded_models,
+            r.memory_models,
+            r.array_models,
+            r.clocked_checked,
+            r.divergences,
+            r.wall_ns,
+            r.models_per_sec,
+            r.deterministic,
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fuzz.json");
+    std::fs::write(&path, out).expect("writes BENCH_fuzz.json");
+    eprintln!(
+        "fuzz zoo: {} rows written to {}",
+        rows.len(),
+        path.canonicalize().unwrap_or(path).display()
+    );
+}

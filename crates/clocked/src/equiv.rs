@@ -181,6 +181,11 @@ pub fn check_clocked_equivalence(
 ///
 /// Returns [`EquivError`] when either simulation fails.
 pub fn check_handshake_equivalence(model: &RtModel) -> Result<EquivalenceReport, EquivError> {
+    if let Some(m) = model.memories().first() {
+        return Err(EquivError::Translate(TranslateError::UnsupportedMemory {
+            memory: m.name.clone(),
+        }));
+    }
     let mut abstract_sim = RtSimulation::new(model)?;
     abstract_sim.run_to_completion()?;
     let mut hs = HandshakeSim::new(model)?;
@@ -211,6 +216,102 @@ mod tests {
         let model = fig1_model(9, 33);
         let report = check_handshake_equivalence(&model).unwrap();
         assert!(report.equivalent(), "{report}");
+    }
+
+    #[test]
+    fn guarded_models_equivalent_across_styles() {
+        // Step 1 clears R1; the step-2 guard must see the cleared value
+        // and leave R3 untouched. A guard-unaware rendering writes 5.
+        let gated = clockless_core::text::parse_model(
+            "model g1 steps 3\nregister Z init 0\nregister R1 init 1\n\
+             register R2 init 5\nregister R3 init 9\nbus B1\nbus B2\n\
+             module CP ops passa comb\n\
+             transfer (Z,B1,-,-,1,CP,1,B2,R1)\n\
+             transfer if R1 /= 0 then (R2,B1,-,-,2,CP,2,B2,R3)\n",
+        )
+        .unwrap();
+        // Same schedule with a guard that stays true: R3 becomes 5.
+        let open = clockless_core::text::parse_model(
+            "model g1 steps 3\nregister Z init 0\nregister R1 init 1\n\
+             register R2 init 5\nregister R3 init 9\nbus B1\nbus B2\n\
+             module CP ops passa comb\n\
+             transfer (Z,B1,-,-,1,CP,1,B2,R1)\n\
+             transfer if R1 >= 0 then (R2,B1,-,-,2,CP,2,B2,R3)\n",
+        )
+        .unwrap();
+        for (model, r3) in [(&gated, 9), (&open, 5)] {
+            let mut abs = RtSimulation::new(model).unwrap();
+            abs.run_to_completion().unwrap();
+            assert_eq!(
+                abs.registers().iter().find(|(n, _)| n == "R3").unwrap().1,
+                Value::Num(r3)
+            );
+            for scheme in [
+                ClockScheme::OneCyclePerStep { period_fs: 10 * NS },
+                ClockScheme::TwoCyclesPerStep { period_fs: 10 * NS },
+            ] {
+                let report = check_clocked_equivalence(model, scheme).unwrap();
+                assert!(report.equivalent(), "{report}");
+            }
+            let report = check_handshake_equivalence(model).unwrap();
+            assert!(report.equivalent(), "{report}");
+        }
+    }
+
+    #[test]
+    fn same_step_write_does_not_leak_into_guard() {
+        // Both writes land in step 1. The guard on the second write reads
+        // R1, which the first write clears *in the same step* — the
+        // abstract wb phase still sees the pre-commit value 1, so the
+        // guarded write must go through. A serialized rendering that
+        // evaluates guards write-by-write would see 0 and skip it.
+        let model = clockless_core::text::parse_model(
+            "model g2 steps 2\nregister Z init 0\nregister R1 init 1\n\
+             register R2 init 5\nregister R3 init 9\n\
+             bus B1\nbus B2\nbus B3\nbus B4\n\
+             module CP ops passa comb\nmodule CQ ops passa comb\n\
+             transfer (Z,B1,-,-,1,CP,1,B2,R1)\n\
+             transfer if R1 /= 0 then (R2,B3,-,-,1,CQ,1,B4,R3)\n",
+        )
+        .unwrap();
+        let mut abs = RtSimulation::new(&model).unwrap();
+        abs.run_to_completion().unwrap();
+        assert_eq!(
+            abs.registers().iter().find(|(n, _)| n == "R3").unwrap().1,
+            Value::Num(5)
+        );
+        let report =
+            check_clocked_equivalence(&model, ClockScheme::OneCyclePerStep { period_fs: 10 * NS })
+                .unwrap();
+        assert!(report.equivalent(), "{report}");
+        let report = check_handshake_equivalence(&model).unwrap();
+        assert!(report.equivalent(), "{report}");
+    }
+
+    #[test]
+    fn memory_models_are_rejected_not_mistranslated() {
+        let model = clockless_core::text::parse_model(
+            "model mm steps 2\nregister R init 1\nmemory M[4] init 0\n\
+             bus B1\nbus B2\nmodule CP ops passa comb\n\
+             transfer (R,B1,-,-,1,CP,1,B2,M[2])\n",
+        )
+        .unwrap();
+        let err = check_clocked_equivalence(&model, ClockScheme::default()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                EquivError::Translate(TranslateError::UnsupportedMemory { memory }) if memory == "M"
+            ),
+            "{err}"
+        );
+        let err = check_handshake_equivalence(&model).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EquivError::Translate(TranslateError::UnsupportedMemory { .. })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

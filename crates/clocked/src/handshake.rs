@@ -18,7 +18,7 @@
 //! delta-cycle traffic this is than the six-phase control-step scheme.
 
 use clockless_core::value::kernel_resolver;
-use clockless_core::{Op, RtModel, Step, Value};
+use clockless_core::{Guard, Op, RtModel, Step, Value};
 use clockless_kernel::{KernelError, ProcessCtx, SignalId, SimStats, Simulator, Wait};
 
 /// One schedulable action of a transfer.
@@ -26,8 +26,24 @@ use clockless_kernel::{KernelError, ProcessCtx, SignalId, SimStats, Simulator, W
 enum ActionKind {
     /// Fetch operands and run the module (read phases of a step).
     Read,
+    /// Latch guard decisions for the step's writes — broadcast after all
+    /// reads of the step but before any of its writes commit, so every
+    /// write guard observes the same pre-commit register state the
+    /// abstract model's wb phase does.
+    GuardEval,
     /// Deliver the result into the destination register (write phases).
     Write,
+}
+
+/// A guard bound to the `_data` nets of the registers it reads.
+type ResolvedGuard = (Guard, Vec<(String, SignalId)>);
+
+fn eval_guard(ctx: &ProcessCtx<'_, Value>, rg: &ResolvedGuard) -> bool {
+    rg.0.eval(|name| {
+        rg.1.iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, s)| ctx.value(*s).num())
+    })
 }
 
 /// The handshake rendering of a clock-free RT model.
@@ -149,6 +165,7 @@ enum TransState {
     AwaitModuleAck,
     AwaitModuleRelease,
     AwaitReadTrigDrop,
+    AwaitGuardEval,
     AwaitWriteTrig,
     AwaitRegAck,
     AwaitRegRelease,
@@ -172,6 +189,13 @@ struct TransferAgent {
     op_index: i64,
     module: ModuleChannel,
     dest: Option<RegChannel>,
+    // The tuple's guard, if any: on the read side a false guard replaces
+    // the operands with DISC; on the write side the decision is latched
+    // at the step's GuardEval broadcast and a false guard writes DISC
+    // (which the register server ignores).
+    guard: Option<ResolvedGuard>,
+    gseval: Option<SignalId>,
+    write_enabled: bool,
     result: Value,
     state: TransState,
     started: bool,
@@ -186,8 +210,15 @@ impl clockless_kernel::Process<Value> for TransferAgent {
             let next = match self.state {
                 AwaitReadTrig => {
                     if *ctx.value(self.read_trig) == Value::Num(1) {
-                        let a = self.src_a.map(|s| *ctx.value(s)).unwrap_or(Value::Disc);
-                        let b = self.src_b.map(|s| *ctx.value(s)).unwrap_or(Value::Disc);
+                        let pass = self.guard.as_ref().is_none_or(|g| eval_guard(ctx, g));
+                        let (a, b) = if pass {
+                            (
+                                self.src_a.map(|s| *ctx.value(s)).unwrap_or(Value::Disc),
+                                self.src_b.map(|s| *ctx.value(s)).unwrap_or(Value::Disc),
+                            )
+                        } else {
+                            (Value::Disc, Value::Disc)
+                        };
                         ctx.assign(self.module.d1, a);
                         ctx.assign(self.module.d2, b);
                         ctx.assign(self.module.opsel, Value::Num(self.op_index));
@@ -220,11 +251,21 @@ impl clockless_kernel::Process<Value> for TransferAgent {
                 AwaitReadTrigDrop => {
                     if *ctx.value(self.read_trig) == Value::Num(0) {
                         ctx.assign(self.read_ack, Value::Num(0));
-                        Some(if self.dest.is_some() {
-                            AwaitWriteTrig
-                        } else {
-                            Finished
+                        Some(match (self.dest.is_some(), self.gseval.is_some()) {
+                            (true, true) => AwaitGuardEval,
+                            (true, false) => AwaitWriteTrig,
+                            (false, _) => Finished,
                         })
+                    } else {
+                        None
+                    }
+                }
+                AwaitGuardEval => {
+                    let gs = self.gseval.expect("guard states imply broadcast line");
+                    if *ctx.value(gs) == Value::Num(1) {
+                        let g = self.guard.as_ref().expect("gseval implies guard");
+                        self.write_enabled = eval_guard(ctx, g);
+                        Some(AwaitWriteTrig)
                     } else {
                         None
                     }
@@ -233,7 +274,12 @@ impl clockless_kernel::Process<Value> for TransferAgent {
                     let trig = self.write_trig.expect("write states imply write channel");
                     if *ctx.value(trig) == Value::Num(1) {
                         let dest = self.dest.expect("write states imply destination");
-                        ctx.assign(dest.wdata, self.result);
+                        let v = if self.write_enabled {
+                            self.result
+                        } else {
+                            Value::Disc
+                        };
+                        ctx.assign(dest.wdata, v);
                         ctx.assign(dest.wreq, Value::Num(1));
                         Some(AwaitRegAck)
                     } else {
@@ -291,6 +337,9 @@ impl clockless_kernel::Process<Value> for TransferAgent {
             if let Some(d) = self.dest {
                 sens.push(d.wack);
             }
+            if let Some(gs) = self.gseval {
+                sens.push(gs);
+            }
             Wait::Event(sens)
         }
     }
@@ -299,8 +348,9 @@ impl clockless_kernel::Process<Value> for TransferAgent {
 /// The sequencer: triggers each action in schedule order through its own
 /// 4-phase handshake.
 struct Sequencer {
-    /// `(trigger, ack)` per action, in execution order.
-    actions: Vec<(SignalId, SignalId)>,
+    /// `(trigger, ack)` per action, in execution order. `None` ack marks
+    /// an ack-less broadcast (guard evaluation): raise and move on.
+    actions: Vec<(SignalId, Option<SignalId>)>,
     index: usize,
     /// false = trigger raised / awaiting ack, true = trigger dropped /
     /// awaiting release.
@@ -316,6 +366,12 @@ impl clockless_kernel::Process<Value> for Sequencer {
                 return Wait::Done;
             }
             let (trig, ack) = self.actions[self.index];
+            let Some(ack) = ack else {
+                ctx.assign(trig, Value::Num(1));
+                self.index += 1;
+                self.launched = false;
+                continue;
+            };
             if !self.launched {
                 ctx.assign(trig, Value::Num(1));
                 self.launched = true;
@@ -335,9 +391,12 @@ impl clockless_kernel::Process<Value> for Sequencer {
                 break;
             }
         }
-        // Sensitivity must follow the current action's ack line.
+        // Sensitivity must follow the current action's ack line. (The
+        // loop above consumes ack-less broadcasts immediately, so the
+        // action waited on here always has one.)
         if self.index < self.actions.len() {
             let (_, ack) = self.actions[self.index];
+            let ack = ack.expect("broadcast actions never await");
             let w = Wait::Event(vec![ack]);
             if self.started {
                 // The ack signal changes between actions; re-register.
@@ -353,10 +412,25 @@ impl clockless_kernel::Process<Value> for Sequencer {
 impl HandshakeSim {
     /// Builds and initializes the handshake rendering of `model`.
     ///
+    /// Guarded transfers are honoured: a false guard yields `DISC`
+    /// operands on the read side, and write guards are latched at a
+    /// per-step broadcast before any of the step's writes commit.
+    /// Memory-declaring models have no handshake rendering (reject them
+    /// upstream, as [`crate::equiv::check_handshake_equivalence`] does).
+    ///
     /// # Errors
     ///
     /// Propagates kernel elaboration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model declares memories (indexed endpoints have
+    /// no register channel to bind to).
     pub fn new(model: &RtModel) -> Result<HandshakeSim, KernelError> {
+        assert!(
+            model.memories().is_empty(),
+            "memory models have no handshake rendering"
+        );
         let mut sim: Simulator<Value> = Simulator::new();
 
         // Register channels.
@@ -397,9 +471,41 @@ impl HandshakeSim {
             mod_ch.push(ch);
         }
 
+        // One guard-evaluation broadcast line per step with guarded
+        // writes; the sequencer raises it after the step's reads and
+        // before its writes.
+        let mut gseval_by_step: std::collections::HashMap<Step, SignalId> =
+            std::collections::HashMap::new();
+        for tuple in model.tuples() {
+            if tuple.guard.is_none() {
+                continue;
+            }
+            if let Some(w) = &tuple.write {
+                gseval_by_step
+                    .entry(w.step)
+                    .or_insert_with(|| sim.signal(format!("gseval_s{}", w.step), Value::Num(0)));
+            }
+        }
+
+        let resolve = |g: &Guard| -> ResolvedGuard {
+            let mut regs: Vec<(String, SignalId)> = Vec::new();
+            for r in g.registers() {
+                if !regs.iter().any(|(n, _)| n == r) {
+                    let rid = model
+                        .register_by_name(r)
+                        .expect("guard reads known register");
+                    regs.push((r.to_string(), reg_ch[rid.0 as usize].data));
+                }
+            }
+            (g.clone(), regs)
+        };
+
         // Transfer agents plus the schedule.
         // Schedule entries: (step, kind, trigger, ack).
-        let mut schedule: Vec<(Step, ActionKind, SignalId, SignalId)> = Vec::new();
+        let mut schedule: Vec<(Step, ActionKind, SignalId, Option<SignalId>)> = Vec::new();
+        for (step, sig) in &gseval_by_step {
+            schedule.push((*step, ActionKind::GuardEval, *sig, None));
+        }
         for (tidx, tuple) in model.tuples().iter().enumerate() {
             let mid = model
                 .module_by_name(&tuple.module)
@@ -410,13 +516,13 @@ impl HandshakeSim {
 
             let read_trig = sim.signal(format!("t{tidx}_rtrig"), Value::Num(0));
             let read_ack = sim.signal(format!("t{tidx}_rack"), Value::Num(0));
-            schedule.push((tuple.read_step, ActionKind::Read, read_trig, read_ack));
+            schedule.push((tuple.read_step, ActionKind::Read, read_trig, Some(read_ack)));
 
             let (write_trig, write_ack, dest) = match &tuple.write {
                 Some(w) => {
                     let trig = sim.signal(format!("t{tidx}_wtrig"), Value::Num(0));
                     let ack = sim.signal(format!("t{tidx}_wack"), Value::Num(0));
-                    schedule.push((w.step, ActionKind::Write, trig, ack));
+                    schedule.push((w.step, ActionKind::Write, trig, Some(ack)));
                     let rid = model
                         .register_by_name(&w.register)
                         .expect("validated tuple references known register");
@@ -456,6 +562,13 @@ impl HandshakeSim {
                     op_index,
                     module: ch,
                     dest,
+                    guard: tuple.guard.as_ref().map(&resolve),
+                    gseval: tuple
+                        .guard
+                        .as_ref()
+                        .and(tuple.write.as_ref())
+                        .and_then(|w| gseval_by_step.get(&w.step).copied()),
+                    write_enabled: true,
                     result: Value::Disc,
                     state: TransState::AwaitReadTrig,
                     started: false,
@@ -490,9 +603,10 @@ impl HandshakeSim {
             );
         }
 
-        // Sequencer: reads of a step strictly before its writes.
+        // Sequencer: reads of a step strictly before its guard broadcast,
+        // which precedes all of its writes.
         schedule.sort_by_key(|(step, kind, _, _)| (*step, *kind));
-        let actions: Vec<(SignalId, SignalId)> =
+        let actions: Vec<(SignalId, Option<SignalId>)> =
             schedule.iter().map(|(_, _, t, a)| (*t, *a)).collect();
         let trigs: Vec<SignalId> = actions.iter().map(|(t, _)| *t).collect();
         sim.process(

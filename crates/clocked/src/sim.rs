@@ -8,10 +8,35 @@
 //! expressed in clock cycles and nanoseconds instead of control steps and
 //! delta cycles.
 
-use clockless_core::{Op, RtModel, Step, Value};
+use clockless_core::{Guard, Op, RtModel, Step, Value};
 use clockless_kernel::{Femtos, KernelError, ProcessCtx, SignalId, SimStats, Simulator, Wait};
 
 use crate::translate::ClockedDesign;
+
+/// A guard bound to the `_q` nets of the registers it reads, ready to be
+/// evaluated inside a process against live simulation values.
+type ResolvedGuard = (Guard, Vec<(String, SignalId)>);
+
+fn resolve_guard(model: &RtModel, reg_out: &[SignalId], g: &Guard) -> ResolvedGuard {
+    let mut regs: Vec<(String, SignalId)> = Vec::new();
+    for r in g.registers() {
+        if !regs.iter().any(|(n, _)| n == r) {
+            let rid = model
+                .register_by_name(r)
+                .expect("guard reads known register");
+            regs.push((r.to_string(), reg_out[rid.0 as usize]));
+        }
+    }
+    (g.clone(), regs)
+}
+
+fn guard_passes(ctx: &ProcessCtx<'_, Value>, rg: &ResolvedGuard) -> bool {
+    rg.0.eval(|name| {
+        rg.1.iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, s)| ctx.value(*s).num())
+    })
+}
 
 /// A value latched into a clocked register, attributed to the control
 /// step it implements.
@@ -157,11 +182,17 @@ impl ClockedSimulation {
         for (ridx, rdecl) in model.registers().iter().enumerate() {
             // Per-step load source (bus signal), step 1 at index 0.
             let rid = model.register_by_name(&rdecl.name).expect("own register");
-            let loads: Vec<Option<SignalId>> = (0..cs_max as usize)
+            // Each load carries the owning tuple's guard (if any): a false
+            // guard at the latch edge disables the load, mirroring the
+            // write-side transfer process driving DISC.
+            let loads: Vec<Option<(SignalId, Option<ResolvedGuard>)>> = (0..cs_max as usize)
                 .map(|si| {
-                    design.tables().reg_load[si]
-                        .get(&rid)
-                        .map(|b| bus_wmux[b.0 as usize])
+                    design.tables().reg_load[si].get(&rid).map(|b| {
+                        let g = design.tables().reg_load_guard[si]
+                            .get(&rid)
+                            .map(|g| resolve_guard(&model, &reg_out, g));
+                        (bus_wmux[b.0 as usize], g)
+                    })
                 })
                 .collect();
             let q = reg_out[ridx];
@@ -177,10 +208,12 @@ impl ClockedSimulation {
                         if edge > 1 && (edge - 1).is_multiple_of(cps) {
                             let s = (edge - 1) / cps; // the completed step
                             if s >= 1 && s <= cs_max {
-                                if let Some(Some(src)) = loads.get(s as usize - 1) {
-                                    let v = *ctx.value(*src);
-                                    if v != Value::Disc {
-                                        ctx.assign(q, v);
+                                if let Some(Some((src, g))) = loads.get(s as usize - 1) {
+                                    if g.as_ref().is_none_or(|g| guard_passes(ctx, g)) {
+                                        let v = *ctx.value(*src);
+                                        if v != Value::Disc {
+                                            ctx.assign(q, v);
+                                        }
                                     }
                                 }
                             }
@@ -226,14 +259,23 @@ impl ClockedSimulation {
         // --- Bus multiplexers (combinational, one per side) --------------
         for (bidx, bdecl) in model.buses().iter().enumerate() {
             let bid = model.bus_by_name(&bdecl.name).expect("own bus");
-            let sides: [(&str, Vec<Option<SignalId>>, SignalId); 2] = [
+            // Read-side drives carry the owning tuple's guard: a false
+            // guard puts DISC on the bus in place of the register value,
+            // just as TRANSG does in the clock-free model. Write-side
+            // drives are never guarded here — a false guard already
+            // surfaces as DISC operands and a disabled load.
+            type Drive = Vec<Option<(SignalId, Option<ResolvedGuard>)>>;
+            let sides: [(&str, Drive, SignalId); 2] = [
                 (
                     "r",
                     (0..cs_max as usize)
                         .map(|si| {
-                            design.tables().bus_read[si]
-                                .get(&bid)
-                                .map(|r| reg_out[r.0 as usize])
+                            design.tables().bus_read[si].get(&bid).map(|r| {
+                                let g = design.tables().bus_read_guard[si]
+                                    .get(&bid)
+                                    .map(|g| resolve_guard(&model, &reg_out, g));
+                                (reg_out[r.0 as usize], g)
+                            })
                         })
                         .collect(),
                     bus_rmux[bidx],
@@ -244,7 +286,7 @@ impl ClockedSimulation {
                         .map(|si| {
                             design.tables().bus_write[si]
                                 .get(&bid)
-                                .map(|m| mod_out[m.0 as usize])
+                                .map(|m| (mod_out[m.0 as usize], None))
                         })
                         .collect(),
                     bus_wmux[bidx],
@@ -255,9 +297,14 @@ impl ClockedSimulation {
                     continue; // unused side: stays DISC, no process needed
                 }
                 let mut sens: Vec<SignalId> = vec![step_sig];
-                for s in drive.iter().flatten() {
+                for (s, g) in drive.iter().flatten() {
                     if !sens.contains(s) {
                         sens.push(*s);
+                    }
+                    for (_, gs) in g.iter().flat_map(|rg| rg.1.iter()) {
+                        if !sens.contains(gs) {
+                            sens.push(*gs);
+                        }
                     }
                 }
                 sim.process(
@@ -266,8 +313,14 @@ impl ClockedSimulation {
                     move |ctx: &mut ProcessCtx<'_, Value>| {
                         let step = ctx.value(step_sig).num().unwrap_or(0);
                         let v = if step >= 1 && (step as usize) <= drive.len() {
-                            match drive[step as usize - 1] {
-                                Some(src) => *ctx.value(src),
+                            match &drive[step as usize - 1] {
+                                Some((src, g)) => {
+                                    if g.as_ref().is_none_or(|g| guard_passes(ctx, g)) {
+                                        *ctx.value(*src)
+                                    } else {
+                                        Value::Disc
+                                    }
+                                }
                                 None => Value::Disc,
                             }
                         } else {

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use clockless_core::{BusId, ModuleId, ModuleTiming, Op, RegisterId, RtModel, Step};
+use clockless_core::{BusId, Guard, ModuleId, ModuleTiming, Op, RegisterId, RtModel, Step};
 
 /// How control steps map to clock cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +120,14 @@ pub enum TranslateError {
         /// Step of the offending second initiation.
         step: Step,
     },
+    /// The model declares a memory. Memories are indexed resources with
+    /// run-time addressing and whole-memory poisoning on a bad address;
+    /// the §4 routing-table architecture has no clocked counterpart for
+    /// them, so such models are rejected rather than mistranslated.
+    UnsupportedMemory {
+        /// The memory's name.
+        memory: String,
+    },
 }
 
 impl fmt::Display for TranslateError {
@@ -149,6 +157,12 @@ impl fmt::Display for TranslateError {
                     "sequential module `{module}` re-initiated while busy in step {step}"
                 )
             }
+            TranslateError::UnsupportedMemory { memory } => {
+                write!(
+                    f,
+                    "memory `{memory}` has no clocked translation (outside the section 4 subset)"
+                )
+            }
         }
     }
 }
@@ -172,6 +186,14 @@ pub struct RoutingTables {
     pub mod_op: Vec<HashMap<ModuleId, Op>>,
     /// Register load selections per step.
     pub reg_load: Vec<HashMap<RegisterId, BusId>>,
+    /// Guards gating the read-side bus drives per step: a false guard
+    /// puts `DISC` on the bus instead of the register value, exactly as
+    /// the abstract guarded transfer process does.
+    pub bus_read_guard: Vec<HashMap<BusId, Guard>>,
+    /// Guards gating the register load enables per step, evaluated over
+    /// the register values current at the end-of-step latch edge (the
+    /// write-side spec's guard evaluation point in the abstract model).
+    pub reg_load_guard: Vec<HashMap<RegisterId, Guard>>,
 }
 
 impl RoutingTables {
@@ -184,6 +206,8 @@ impl RoutingTables {
             mod_in2: vec![HashMap::new(); n],
             mod_op: vec![HashMap::new(); n],
             reg_load: vec![HashMap::new(); n],
+            bus_read_guard: vec![HashMap::new(); n],
+            reg_load_guard: vec![HashMap::new(); n],
         }
     }
 
@@ -222,6 +246,11 @@ impl ClockedDesign {
         model: &RtModel,
         scheme: ClockScheme,
     ) -> Result<ClockedDesign, TranslateError> {
+        if let Some(m) = model.memories().first() {
+            return Err(TranslateError::UnsupportedMemory {
+                memory: m.name.clone(),
+            });
+        }
         let mut tables = RoutingTables::with_steps(model.cs_max());
         let mut seq_busy_until: HashMap<ModuleId, Step> = HashMap::new();
 
@@ -261,6 +290,9 @@ impl ClockedDesign {
                         port,
                         step: rs,
                     });
+                }
+                if let Some(g) = &tuple.guard {
+                    tables.bus_read_guard[rsi].insert(bid, g.clone());
                 }
             }
 
@@ -306,6 +338,9 @@ impl ClockedDesign {
                         register: w.register.clone(),
                         step: w.step,
                     });
+                }
+                if let Some(g) = &tuple.guard {
+                    tables.reg_load_guard[wsi].insert(rid, g.clone());
                 }
             }
         }

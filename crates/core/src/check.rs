@@ -55,15 +55,18 @@ use crate::value::Value;
 pub enum SignalKind {
     /// A register's output port.
     Register,
+    /// One word of a memory (named `M[i]`).
+    MemoryWord,
     /// A bus.
     Bus,
 }
 
 impl SignalKind {
-    /// Lowercase label (`"register"` / `"bus"`).
+    /// Lowercase label (`"register"` / `"memory word"` / `"bus"`).
     pub fn as_str(self) -> &'static str {
         match self {
             SignalKind::Register => "register",
+            SignalKind::MemoryWord => "memory word",
             SignalKind::Bus => "bus",
         }
     }
@@ -85,8 +88,9 @@ pub struct CheckSignal {
 }
 
 /// The monitorable signals of a model: every register output, then every
-/// bus, both in declaration order. This ordering is the canonical one —
-/// monitor tables and invariant indices refer to it.
+/// memory word, then every bus, all in declaration order. This ordering
+/// is the canonical one — monitor tables and invariant indices refer to
+/// it. Memory-free models keep the historical registers-then-buses list.
 pub fn check_signals(model: &RtModel) -> Vec<CheckSignal> {
     let mut signals = Vec::with_capacity(model.registers().len() + model.buses().len());
     for r in model.registers() {
@@ -94,6 +98,14 @@ pub fn check_signals(model: &RtModel) -> Vec<CheckSignal> {
             name: r.name.clone(),
             kind: SignalKind::Register,
         });
+    }
+    for m in model.memories() {
+        for i in 0..m.len {
+            signals.push(CheckSignal {
+                name: m.word_name(i),
+                kind: SignalKind::MemoryWord,
+            });
+        }
     }
     for b in model.buses() {
         signals.push(CheckSignal {
@@ -495,6 +507,16 @@ fn resolve_kernel_ids(
                 .register_by_name(&s.name)
                 .map(|id| layout.reg_out[id.0 as usize])
                 .ok_or_else(|| format!("unknown register `{}`", s.name)),
+            SignalKind::MemoryWord => model
+                .memories()
+                .iter()
+                .enumerate()
+                .find_map(|(mi, m)| {
+                    (0..m.len)
+                        .find(|&i| m.word_name(i) == s.name)
+                        .map(|i| layout.mem_word[mi][i as usize])
+                })
+                .ok_or_else(|| format!("unknown memory word `{}`", s.name)),
             SignalKind::Bus => model
                 .bus_by_name(&s.name)
                 .map(|id| layout.bus[id.0 as usize])

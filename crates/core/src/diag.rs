@@ -29,6 +29,12 @@ pub enum ConflictSite {
     /// A register output: the conflict was *stored* and now poisons the
     /// dataflow downstream.
     RegisterValue,
+    /// A memory's write-value or write-address port: two or more
+    /// transfers wrote the memory in the same control step.
+    MemoryPort,
+    /// One word of a memory: a conflicting or mis-addressed write was
+    /// *stored* and now poisons reads of that word.
+    MemoryWord,
 }
 
 impl fmt::Display for ConflictSite {
@@ -40,6 +46,8 @@ impl fmt::Display for ConflictSite {
             ConflictSite::ModuleOut => "module output",
             ConflictSite::RegisterPort => "register port",
             ConflictSite::RegisterValue => "register",
+            ConflictSite::MemoryPort => "memory port",
+            ConflictSite::MemoryWord => "memory word",
         };
         f.write_str(s)
     }

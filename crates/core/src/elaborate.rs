@@ -10,8 +10,10 @@ use clockless_kernel::{SignalId, Simulator};
 
 use crate::model::RtModel;
 use crate::phase::Phase;
-use crate::processes::{Controller, ModuleProc, Reg, Trans, TransSource};
-use crate::tuples::Endpoint;
+use crate::processes::{
+    Controller, GuardSrc, MemCommit, ModuleProc, Reg, Trans, TransGuard, TransSource,
+};
+use crate::tuples::{Endpoint, Guard, GuardOperand, MemAddr};
 use crate::value::{kernel_resolver, Value};
 
 /// Options controlling elaboration.
@@ -59,6 +61,24 @@ pub enum SignalRole {
     ModOp(String),
     /// A module's output port.
     ModOut(String),
+    /// A memory's write-value port (resolved).
+    MemWin(String),
+    /// A memory's write-address port (resolved).
+    MemWaddr(String),
+    /// One word of a memory.
+    MemWord {
+        /// Memory name.
+        mem: String,
+        /// Word index.
+        index: u32,
+    },
+}
+
+impl SignalRole {
+    /// The canonical signal name of a memory-word role (`M[3]`).
+    pub fn mem_word_name(mem: &str, index: u32) -> String {
+        format!("{mem}[{index}]")
+    }
 }
 
 /// The signal map produced by elaboration.
@@ -82,6 +102,12 @@ pub struct SignalLayout {
     pub mod_op: Vec<Option<SignalId>>,
     /// Module output ports.
     pub mod_out: Vec<SignalId>,
+    /// Memory write-value ports, indexed like `RtModel::memories`.
+    pub mem_win: Vec<SignalId>,
+    /// Memory write-address ports, indexed like `RtModel::memories`.
+    pub mem_waddr: Vec<SignalId>,
+    /// Memory word signals, outer index like `RtModel::memories`.
+    pub mem_word: Vec<Vec<SignalId>>,
     /// Role of every kernel signal, indexed by `SignalId::index()`.
     pub roles: Vec<SignalRole>,
 }
@@ -121,8 +147,47 @@ impl SignalLayout {
             Endpoint::ModOp(m) => model
                 .module_by_name(m)
                 .and_then(|id| self.mod_op[id.0 as usize]),
-            Endpoint::ConstOp(_) => None,
+            Endpoint::MemWin(m) => model
+                .memory_by_name(m)
+                .map(|id| self.mem_win[id.0 as usize]),
+            Endpoint::MemWaddr(m) => model
+                .memory_by_name(m)
+                .map(|id| self.mem_waddr[id.0 as usize]),
+            Endpoint::MemWord {
+                mem,
+                addr: MemAddr::Const(i),
+            } => model
+                .memory_by_name(mem)
+                .and_then(|id| self.mem_word[id.0 as usize].get(*i as usize).copied()),
+            // Register-indirect reads have no single signal; the transfer
+            // process selects the word at activation time.
+            Endpoint::MemWord {
+                addr: MemAddr::Reg(_),
+                ..
+            } => None,
+            Endpoint::ConstOp(_) | Endpoint::ConstVal(_) => None,
         }
+    }
+}
+
+/// Resolves a model-level guard onto kernel signals.
+fn resolve_guard(model: &RtModel, layout: &SignalLayout, guard: &Guard) -> TransGuard {
+    let side = |op: &GuardOperand| match op {
+        GuardOperand::Reg(r) => {
+            let id = model
+                .register_by_name(r)
+                .expect("validated guard references known register");
+            GuardSrc::Sig(layout.reg_out[id.0 as usize])
+        }
+        GuardOperand::Const(v) => GuardSrc::Const(*v),
+    };
+    TransGuard {
+        negated: guard.negated,
+        clauses: guard
+            .clauses
+            .iter()
+            .map(|c| (side(&c.lhs), c.cmp, side(&c.rhs)))
+            .collect(),
     }
 }
 
@@ -186,7 +251,30 @@ pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value
         mod_out.push(o);
     }
 
-    // Processes: controller, registers, modules, transfers.
+    let mut mem_win = Vec::new();
+    let mut mem_waddr = Vec::new();
+    let mut mem_word = Vec::new();
+    for m in model.memories() {
+        let win = sim.resolved_signal(format!("{}_win", m.name), Value::Disc, kernel_resolver());
+        roles.push(SignalRole::MemWin(m.name.clone()));
+        let waddr =
+            sim.resolved_signal(format!("{}_waddr", m.name), Value::Disc, kernel_resolver());
+        roles.push(SignalRole::MemWaddr(m.name.clone()));
+        let mut words = Vec::with_capacity(m.len as usize);
+        for i in 0..m.len {
+            let w = sim.signal(m.word_name(i), m.init);
+            roles.push(SignalRole::MemWord {
+                mem: m.name.clone(),
+                index: i,
+            });
+            words.push(w);
+        }
+        mem_win.push(win);
+        mem_waddr.push(waddr);
+        mem_word.push(words);
+    }
+
+    // Processes: controller, registers, modules, memories, transfers.
     sim.process(
         "CONTROL",
         &[cs, ph],
@@ -215,6 +303,14 @@ pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value
         );
     }
 
+    for (idx, m) in model.memories().iter().enumerate() {
+        sim.process(
+            format!("{}_proc", m.name),
+            &mem_word[idx],
+            MemCommit::new(ph, mem_win[idx], mem_waddr[idx], mem_word[idx].clone()),
+        );
+    }
+
     let layout = SignalLayout {
         cs,
         ph,
@@ -225,11 +321,14 @@ pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value
         mod_in2,
         mod_op,
         mod_out,
+        mem_win,
+        mem_waddr,
+        mem_word,
         roles,
     };
 
     for tuple in model.tuples() {
-        for spec in tuple.expand() {
+        for spec in tuple.expand_in(model) {
             let src = match &spec.src {
                 Endpoint::ConstOp(op) => {
                     let mid = model
@@ -240,6 +339,22 @@ pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value
                         .expect("validated tuple selects supported op");
                     TransSource::Const(Value::Num(idx as i64))
                 }
+                Endpoint::ConstVal(v) => TransSource::Const(Value::Num(*v)),
+                Endpoint::MemWord {
+                    mem,
+                    addr: MemAddr::Reg(r),
+                } => {
+                    let mid = model
+                        .memory_by_name(mem)
+                        .expect("validated tuple references known memory");
+                    let addr = model
+                        .register_by_name(r)
+                        .expect("validated tuple addresses via known register");
+                    TransSource::MemRead {
+                        words: layout.mem_word[mid.0 as usize].clone(),
+                        addr: layout.reg_out[addr.0 as usize],
+                    }
+                }
                 other => TransSource::Signal(
                     layout
                         .signal_of(model, other)
@@ -249,6 +364,10 @@ pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value
             let dst = layout
                 .signal_of(model, &spec.dst)
                 .expect("validated tuple references known resources");
+            let guard = spec
+                .guard
+                .as_ref()
+                .map(|g| resolve_guard(model, &layout, g));
             sim.process(
                 spec.instance_name(),
                 &[dst],
@@ -260,7 +379,8 @@ pub fn elaborate(model: &RtModel, options: ElaborateOptions) -> (Simulator<Value
                     src,
                     dst,
                     options.faithful_trans_wakeups,
-                ),
+                )
+                .with_guard(guard),
             );
         }
     }

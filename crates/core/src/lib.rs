@@ -114,11 +114,17 @@ pub use model::{fig1_model, ModelError, RtModel};
 pub use op::{Arity, Op};
 pub use phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
 pub use plan::{Action, ExecPlan, PlanChecks, PlanDelta, Source, StaticConflict};
-pub use resource::{BusDecl, BusId, ModuleDecl, ModuleId, ModuleTiming, RegisterDecl, RegisterId};
+pub use resource::{
+    ArrayDecl, BusDecl, BusId, MemoryDecl, MemoryId, ModuleDecl, ModuleId, ModuleTiming,
+    RegisterDecl, RegisterId,
+};
 pub use run::{RegisterCommit, RtSimulation, RunSummary};
 pub use stats::{model_stats, ModelStats, RunStatsReport};
 pub use transcript::{transcript, TranscriptError};
-pub use tuples::{Endpoint, OperandRoute, TransferSpec, TransferTuple, WriteRoute};
+pub use tuples::{
+    CmpOp, Endpoint, Guard, GuardClause, GuardOperand, MemAddr, OperandRoute, ParseGuardError,
+    TransferSpec, TransferTuple, WriteRoute,
+};
 pub use value::{resolve, Value};
 pub use vhdl::{emit_vhdl, EmitVhdlError};
 pub use vhdl_parse::{parse_vhdl, ParseVhdlError, ParsedDesign};

@@ -16,8 +16,10 @@ use std::fmt;
 
 use crate::op::{Arity, Op};
 use crate::phase::Step;
-use crate::resource::{BusDecl, BusId, ModuleDecl, ModuleId, RegisterDecl, RegisterId};
-use crate::tuples::TransferTuple;
+use crate::resource::{
+    ArrayDecl, BusDecl, BusId, MemoryDecl, MemoryId, ModuleDecl, ModuleId, RegisterDecl, RegisterId,
+};
+use crate::tuples::{indexed_parts, TransferTuple};
 use crate::value::Value;
 
 /// Errors from building an [`RtModel`].
@@ -69,6 +71,20 @@ pub enum ModelError {
     },
     /// The tuple has neither operands nor a write-back: it does nothing.
     EmptyTransfer,
+    /// A constant memory index lies outside the memory's word range.
+    MemoryIndexOutOfRange {
+        /// Memory name.
+        memory: String,
+        /// The offending index.
+        index: u32,
+        /// The memory's length.
+        len: u32,
+    },
+    /// An array or memory was declared with zero elements.
+    EmptyStorage(String),
+    /// A guard referenced a name that is not a register (memory words
+    /// cannot appear in guards — their value would need an address port).
+    GuardRegisterUnknown(String),
 }
 
 impl fmt::Display for ModelError {
@@ -96,6 +112,15 @@ impl fmt::Display for ModelError {
                 write!(f, "operands for `{op}` on module `{module}`: {detail}")
             }
             ModelError::EmptyTransfer => write!(f, "transfer has neither operands nor write-back"),
+            ModelError::MemoryIndexOutOfRange { memory, index, len } => {
+                write!(f, "index {index} outside memory `{memory}` (length {len})")
+            }
+            ModelError::EmptyStorage(n) => {
+                write!(f, "array/memory `{n}` must have at least one element")
+            }
+            ModelError::GuardRegisterUnknown(n) => {
+                write!(f, "guard operand `{n}` is not a register")
+            }
         }
     }
 }
@@ -128,10 +153,34 @@ pub struct RtModel {
     registers: Vec<RegisterDecl>,
     buses: Vec<BusDecl>,
     modules: Vec<ModuleDecl>,
+    arrays: Vec<ArrayDecl>,
+    memories: Vec<MemoryDecl>,
     tuples: Vec<TransferTuple>,
     reg_index: HashMap<String, RegisterId>,
     bus_index: HashMap<String, BusId>,
     mod_index: HashMap<String, ModuleId>,
+    mem_index: HashMap<String, MemoryId>,
+}
+
+/// What a storage name in a transfer's register position resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageRead {
+    /// An ordinary register (including array elements).
+    Register(RegisterId),
+    /// A memory word at a constant address.
+    MemWord {
+        /// The memory.
+        mem: MemoryId,
+        /// The fixed word index (validated in range).
+        index: u32,
+    },
+    /// A memory word addressed indirectly through a register.
+    MemIndirect {
+        /// The memory.
+        mem: MemoryId,
+        /// The register whose value selects the word.
+        addr: RegisterId,
+    },
 }
 
 impl RtModel {
@@ -144,10 +193,13 @@ impl RtModel {
             registers: Vec::new(),
             buses: Vec::new(),
             modules: Vec::new(),
+            arrays: Vec::new(),
+            memories: Vec::new(),
             tuples: Vec::new(),
             reg_index: HashMap::new(),
             bus_index: HashMap::new(),
             mod_index: HashMap::new(),
+            mem_index: HashMap::new(),
         }
     }
 
@@ -225,6 +277,111 @@ impl RtModel {
         Ok(id)
     }
 
+    /// Adds a register array: `len` ordinary registers named
+    /// `name[0]` … `name[len-1]`, each initialized to `init`, plus the
+    /// array declaration itself (kept for textual/VHDL round trips).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyStorage`] for `len == 0`, or
+    /// [`ModelError::DuplicateName`] if the base name is taken by another
+    /// array or a memory, or any element name collides with a register.
+    pub fn add_array(
+        &mut self,
+        name: impl Into<String>,
+        len: u32,
+        init: Value,
+    ) -> Result<(), ModelError> {
+        let name = name.into();
+        if len == 0 {
+            return Err(ModelError::EmptyStorage(name));
+        }
+        if self.mem_index.contains_key(&name) || self.arrays.iter().any(|a| a.name == name) {
+            return Err(ModelError::DuplicateName(name));
+        }
+        for i in 0..len {
+            self.add_register_init(format!("{name}[{i}]"), init)?;
+        }
+        self.arrays.push(ArrayDecl { name, len, init });
+        Ok(())
+    }
+
+    /// Adds a memory of `len` words, each initialized to `init`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyStorage`] for `len == 0`, or
+    /// [`ModelError::DuplicateName`] if the name is taken by a memory,
+    /// an array, or a register.
+    pub fn add_memory(
+        &mut self,
+        name: impl Into<String>,
+        len: u32,
+        init: Value,
+    ) -> Result<MemoryId, ModelError> {
+        let name = name.into();
+        if len == 0 {
+            return Err(ModelError::EmptyStorage(name));
+        }
+        if self.mem_index.contains_key(&name)
+            || self.reg_index.contains_key(&name)
+            || self.arrays.iter().any(|a| a.name == name)
+        {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = MemoryId(self.memories.len() as u32);
+        self.mem_index.insert(name.clone(), id);
+        self.memories.push(MemoryDecl { name, len, init });
+        Ok(id)
+    }
+
+    /// Resolves a storage name from a transfer's register position:
+    /// a register match wins (array elements are registers), otherwise an
+    /// indexed reference `M[idx]` into a declared memory (constant index
+    /// validated in range; otherwise `idx` must name a register used as
+    /// the address).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownRegister`] when nothing matches, or
+    /// [`ModelError::MemoryIndexOutOfRange`] for a bad constant index.
+    pub fn resolve_storage(&self, name: &str) -> Result<StorageRead, ModelError> {
+        if let Some(id) = self.register_by_name(name) {
+            return Ok(StorageRead::Register(id));
+        }
+        if let Some((base, idx)) = indexed_parts(name) {
+            if let Some(mem) = self.memory_by_name(base) {
+                let decl = &self.memories[mem.0 as usize];
+                return match idx.parse::<u32>() {
+                    Ok(i) if i < decl.len => Ok(StorageRead::MemWord { mem, index: i }),
+                    Ok(i) => Err(ModelError::MemoryIndexOutOfRange {
+                        memory: base.to_string(),
+                        index: i,
+                        len: decl.len,
+                    }),
+                    Err(_) => match self.register_by_name(idx) {
+                        Some(addr) => Ok(StorageRead::MemIndirect { mem, addr }),
+                        None => Err(ModelError::UnknownRegister(idx.to_string())),
+                    },
+                };
+            }
+        }
+        Err(ModelError::UnknownRegister(name.to_string()))
+    }
+
+    /// Validates a tuple's guard: every named operand must be a register
+    /// (array elements included; memory words are not allowed).
+    fn validate_guard(&self, tuple: &TransferTuple) -> Result<(), ModelError> {
+        if let Some(g) = &tuple.guard {
+            for r in g.registers() {
+                if self.register_by_name(r).is_none() {
+                    return Err(ModelError::GuardRegisterUnknown(r.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Adds a register transfer after validating it against the declared
     /// resources and the module's timing.
     ///
@@ -273,13 +430,12 @@ impl RtModel {
 
         // Operand routes must exist and match the operation's arity.
         for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
-            if self.register_by_name(&route.register).is_none() {
-                return Err(ModelError::UnknownRegister(route.register.clone()));
-            }
+            self.resolve_storage(&route.register)?;
             if self.bus_by_name(&route.bus).is_none() {
                 return Err(ModelError::UnknownBus(route.bus.clone()));
             }
         }
+        self.validate_guard(tuple)?;
         let arity_err = |detail| ModelError::ArityMismatch {
             module: decl.name.clone(),
             op,
@@ -316,9 +472,7 @@ impl RtModel {
             if self.bus_by_name(&w.bus).is_none() {
                 return Err(ModelError::UnknownBus(w.bus.clone()));
             }
-            if self.register_by_name(&w.register).is_none() {
-                return Err(ModelError::UnknownRegister(w.register.clone()));
-            }
+            self.resolve_storage(&w.register)?;
             let expected = tuple.read_step + decl.timing.latency();
             if w.step != expected {
                 return Err(ModelError::WrongWriteStep {
@@ -359,6 +513,33 @@ impl RtModel {
     /// The scheduled transfers.
     pub fn tuples(&self) -> &[TransferTuple] {
         &self.tuples
+    }
+
+    /// The declared register arrays (their elements also appear in
+    /// [`registers`](Self::registers)).
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// The declared memories, indexable by [`MemoryId`].
+    pub fn memories(&self) -> &[MemoryDecl] {
+        &self.memories
+    }
+
+    /// Looks up a memory by name.
+    pub fn memory_by_name(&self, name: &str) -> Option<MemoryId> {
+        self.mem_index.get(name).copied()
+    }
+
+    /// Looks up an array declaration by base name.
+    pub fn array_by_name(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// `true` when `name` names a register that belongs to a declared
+    /// array (i.e. was created by [`add_array`](Self::add_array)).
+    pub fn is_array_element(&self, name: &str) -> bool {
+        indexed_parts(name).is_some_and(|(base, _)| self.array_by_name(base).is_some())
     }
 
     /// Looks up a register by name.
@@ -474,21 +655,18 @@ impl RtModel {
             return Err(ModelError::UnknownModule(tuple.module.clone()));
         }
         for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
-            if self.register_by_name(&route.register).is_none() {
-                return Err(ModelError::UnknownRegister(route.register.clone()));
-            }
+            self.resolve_storage(&route.register)?;
             if self.bus_by_name(&route.bus).is_none() {
                 return Err(ModelError::UnknownBus(route.bus.clone()));
             }
         }
+        self.validate_guard(tuple)?;
         if let Some(w) = &tuple.write {
             self.check_step(w.step)?;
             if self.bus_by_name(&w.bus).is_none() {
                 return Err(ModelError::UnknownBus(w.bus.clone()));
             }
-            if self.register_by_name(&w.register).is_none() {
-                return Err(ModelError::UnknownRegister(w.register.clone()));
-            }
+            self.resolve_storage(&w.register)?;
         }
         Ok(())
     }
@@ -513,6 +691,12 @@ impl RtModel {
             .iter()
             .enumerate()
             .map(|(i, m)| (m.name.clone(), ModuleId(i as u32)))
+            .collect();
+        self.mem_index = self
+            .memories
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), MemoryId(i as u32)))
             .collect();
     }
 }
@@ -782,6 +966,110 @@ mod tests {
         assert_eq!(m.registers().len(), 2);
         assert_eq!(m.tuples().len(), 1);
         assert_eq!(m.effective_op(&m.tuples()[0]), Op::Add);
+    }
+
+    #[test]
+    fn arrays_expand_to_element_registers() {
+        let mut m = base();
+        m.add_array("A", 3, Value::Num(7)).unwrap();
+        assert_eq!(m.arrays().len(), 1);
+        assert!(m.register_by_name("A[0]").is_some());
+        assert!(m.register_by_name("A[2]").is_some());
+        assert!(m.register_by_name("A[3]").is_none());
+        assert!(m.is_array_element("A[1]"));
+        assert!(!m.is_array_element("R1"));
+        // Elements work wherever registers do.
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("A[0]", "B1")
+            .src_b("A[1]", "B2")
+            .write(6, "B1", "A[2]");
+        assert!(m.add_transfer(t).is_ok());
+        // Zero-length and duplicate declarations are rejected.
+        assert!(matches!(
+            m.add_array("Z", 0, Value::Disc),
+            Err(ModelError::EmptyStorage(_))
+        ));
+        assert!(matches!(
+            m.add_array("A", 2, Value::Disc),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn memory_references_resolve_and_validate() {
+        let mut m = base();
+        m.add_register("IDX").unwrap();
+        let mem = m.add_memory("M", 4, Value::Num(0)).unwrap();
+        assert_eq!(m.memories()[mem.0 as usize].len, 4);
+        assert_eq!(
+            m.resolve_storage("M[2]"),
+            Ok(StorageRead::MemWord { mem, index: 2 })
+        );
+        assert!(matches!(
+            m.resolve_storage("M[IDX]"),
+            Ok(StorageRead::MemIndirect { .. })
+        ));
+        assert_eq!(
+            m.resolve_storage("M[9]"),
+            Err(ModelError::MemoryIndexOutOfRange {
+                memory: "M".into(),
+                index: 9,
+                len: 4
+            })
+        );
+        assert_eq!(
+            m.resolve_storage("M[NOPE]"),
+            Err(ModelError::UnknownRegister("NOPE".into()))
+        );
+        // Memory reads and writes pass tuple validation.
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("M[0]", "B1")
+            .src_b("M[IDX]", "B2")
+            .write(6, "B1", "M[1]");
+        assert!(m.add_transfer(t).is_ok());
+        // Bad constant index inside a tuple is caught.
+        let t = TransferTuple::new(5, "ADD")
+            .src_a("M[4]", "B1")
+            .src_b("R2", "B2")
+            .write(6, "B1", "R1");
+        assert!(matches!(
+            m.add_transfer(t),
+            Err(ModelError::MemoryIndexOutOfRange { .. })
+        ));
+        // Name collisions across storage kinds are rejected.
+        assert!(matches!(
+            m.add_memory("R1", 2, Value::Disc),
+            Err(ModelError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            m.add_array("M", 2, Value::Disc),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn guard_operands_must_be_registers() {
+        use crate::tuples::Guard;
+        let mut m = base();
+        m.add_array("A", 2, Value::Num(0)).unwrap();
+        m.add_memory("M", 2, Value::Num(0)).unwrap();
+        let t = |g: &str| {
+            TransferTuple::new(5, "ADD")
+                .src_a("R1", "B1")
+                .src_b("R2", "B2")
+                .write(6, "B1", "R1")
+                .guard(Guard::parse(g).unwrap())
+        };
+        assert!(m.validate_tuple(&t("R1 = 0 and A[1] < 5")).is_ok());
+        assert_eq!(
+            m.validate_tuple(&t("NOPE = 0")),
+            Err(ModelError::GuardRegisterUnknown("NOPE".into()))
+        );
+        // Memory words cannot be guard operands.
+        assert_eq!(
+            m.validate_tuple(&t("M[0] = 0")),
+            Err(ModelError::GuardRegisterUnknown("M[0]".into()))
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::op::Op;
 use crate::phase::{Phase, PhaseTime, Step};
 use crate::resource::ModuleTiming;
 use crate::run::{RegisterCommit, RunSummary};
-use crate::tuples::Endpoint;
+use crate::tuples::{CmpOp, Endpoint, Guard, GuardOperand, MemAddr};
 use crate::value::{resolve, Value};
 
 /// Where an [`Action::Assert`] takes its value from.
@@ -51,8 +51,20 @@ pub enum Source {
     /// Read the signal with this dense index at execution time.
     Signal(usize),
     /// Drive a constant (operation-select transfers carry the operation
-    /// code as a literal).
+    /// code as a literal; memory-write address transfers carry constant
+    /// addresses the same way).
     Const(Value),
+    /// Register-indirect memory-word read: take the address from signal
+    /// `addr` at execution time and read word `base + addr`. A `DISC`,
+    /// `ILLEGAL` or out-of-range address reads `ILLEGAL`.
+    MemRead {
+        /// Dense index of the addressing register's output signal.
+        addr: usize,
+        /// Dense index of the memory's word 0 (words are contiguous).
+        base: usize,
+        /// Number of words.
+        len: u32,
+    },
 }
 
 /// One straight-line step of the compiled schedule.
@@ -71,7 +83,9 @@ pub enum Action {
         value: Value,
     },
     /// Transfer assert: read `src` now and schedule it on driver `slot`
-    /// of `dst`.
+    /// of `dst`. A guarded assert first evaluates its guard over current
+    /// register values and drives `DISC` when disabled — the driver
+    /// update still happens, so statistics stay guard-independent.
     Assert {
         /// The value source.
         src: Source,
@@ -79,6 +93,9 @@ pub enum Action {
         dst: usize,
         /// The transfer's driver slot on `dst`.
         slot: usize,
+        /// Index into the plan's guard table, when the transfer is
+        /// conditional.
+        guard: Option<u16>,
     },
     /// Transfer release: schedule `DISC` on driver `slot` of `dst`.
     Release {
@@ -98,6 +115,14 @@ pub enum Action {
     Commit {
         /// Dense index into the plan's register table.
         reg: usize,
+    },
+    /// Memory commit (the `cr` body): when the write-value port is
+    /// non-`DISC`, store it at the write-address port's word — or poison
+    /// every word `ILLEGAL` when the address is not a regular number in
+    /// range.
+    CommitMem {
+        /// Dense index into the plan's memory table.
+        mem: usize,
     },
 }
 
@@ -174,6 +199,58 @@ struct PlanModule {
     timing: ModuleTiming,
 }
 
+/// One memory: dense indices of its port and word signals.
+#[derive(Debug, Clone)]
+struct PlanMem {
+    /// Write-value port (resolved).
+    win: usize,
+    /// Write-address port (resolved).
+    waddr: usize,
+    /// Word signals, contiguous and in ascending address order.
+    words: Vec<usize>,
+}
+
+/// One side of a lowered guard comparison.
+#[derive(Debug, Clone, Copy)]
+enum GuardSig {
+    /// A register-output signal, read at evaluation time.
+    Sig(usize),
+    /// An integer literal.
+    Const(i64),
+}
+
+/// A transfer guard lowered to dense signal indices. Mirrors
+/// [`Guard::eval`]: the conjunction of clauses (a clause holds only over
+/// two regular numbers), XOR-ed with the `not (…)` wrapper.
+#[derive(Debug, Clone)]
+struct PlanGuard {
+    negated: bool,
+    clauses: Vec<(GuardSig, CmpOp, GuardSig)>,
+}
+
+impl PlanGuard {
+    fn eval(&self, mut read: impl FnMut(usize) -> Value) -> bool {
+        let conj = self.clauses.iter().all(|&(lhs, cmp, rhs)| {
+            let mut side = |s: GuardSig| match s {
+                GuardSig::Sig(i) => read(i).num(),
+                GuardSig::Const(v) => Some(v),
+            };
+            match (side(lhs), side(rhs)) {
+                (Some(a), Some(b)) => cmp.holds(a, b),
+                _ => false,
+            }
+        });
+        conj != self.negated
+    }
+
+    fn flipped(&self) -> PlanGuard {
+        PlanGuard {
+            negated: !self.negated,
+            clauses: self.clauses.clone(),
+        }
+    }
+}
+
 /// A transfer spec resolved to dense indices. Retained by the plan so
 /// [`PlanDelta`]s can be expressed as spec-level edits (drop, re-step)
 /// without re-lowering.
@@ -184,6 +261,7 @@ struct LoweredSpec {
     src: Source,
     dst: usize,
     slot: usize,
+    guard: Option<u16>,
 }
 
 /// A spurious extra bus driver expressed at plan level: the batched
@@ -220,6 +298,10 @@ pub struct PlanDelta {
     disabled_specs: Vec<usize>,
     /// `(spec, new_step)` re-schedules (skewed write-backs).
     moved_specs: Vec<(usize, Step)>,
+    /// Spec indices whose guard is logically negated (guard-flip faults).
+    flipped_specs: Vec<usize>,
+    /// Spec indices whose guard is removed entirely (guard-force faults).
+    forced_specs: Vec<usize>,
     /// Spurious extra bus driver (driver faults).
     spur: Option<PlanSpur>,
 }
@@ -238,6 +320,9 @@ pub struct ExecPlan {
     signals: Vec<PlanSignal>,
     regs: Vec<PlanReg>,
     modules: Vec<PlanModule>,
+    mems: Vec<PlanMem>,
+    /// Lowered transfer guards, indexed by [`LoweredSpec::guard`].
+    guards: Vec<PlanGuard>,
     /// Actions of the initialization delta (delta 0).
     init_actions: Vec<Action>,
     /// `slots[(s-1)*6 + p.index()]` = actions of step `s`, phase `p`
@@ -378,8 +463,47 @@ impl ExecPlan {
             });
         }
 
+        // Memory signals come last, exactly as in `elaborate`, so
+        // memory-free models keep byte-identical signal indices.
+        let mut mems = Vec::new();
+        for m in model.memories() {
+            let win = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_win", m.name),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: true,
+                role: SignalRole::MemWin(m.name.clone()),
+            });
+            let waddr = signals.len();
+            signals.push(PlanSignal {
+                name: format!("{}_waddr", m.name),
+                init: Value::Disc,
+                drivers: 0,
+                resolved: true,
+                role: SignalRole::MemWaddr(m.name.clone()),
+            });
+            let mut words = Vec::with_capacity(m.len as usize);
+            for i in 0..m.len {
+                let w = signals.len();
+                signals.push(PlanSignal {
+                    name: m.word_name(i),
+                    init: m.init,
+                    drivers: 0,
+                    resolved: false,
+                    role: SignalRole::MemWord {
+                        mem: m.name.clone(),
+                        index: i,
+                    },
+                });
+                words.push(w);
+            }
+            mems.push(PlanMem { win, waddr, words });
+        }
+
         // Driver attachment in process-creation order, mirroring the
-        // kernel: controller, register procs, module procs, transfers.
+        // kernel: controller, register procs, module procs, memory-commit
+        // procs, transfers.
         signals[cs].drivers = 1;
         signals[ph].drivers = 1;
         for r in &regs {
@@ -387,6 +511,11 @@ impl ExecPlan {
         }
         for m in &modules {
             signals[m.out].drivers += 1;
+        }
+        for m in &mems {
+            for &w in &m.words {
+                signals[w].drivers += 1;
+            }
         }
 
         let index_of = |endpoint: &Endpoint| -> Option<usize> {
@@ -404,14 +533,55 @@ impl ExecPlan {
                 Endpoint::ModOp(m) => model
                     .module_by_name(m)
                     .and_then(|id| modules[id.0 as usize].op),
-                Endpoint::ConstOp(_) => None,
+                Endpoint::MemWin(m) => model.memory_by_name(m).map(|id| mems[id.0 as usize].win),
+                Endpoint::MemWaddr(m) => {
+                    model.memory_by_name(m).map(|id| mems[id.0 as usize].waddr)
+                }
+                Endpoint::MemWord {
+                    mem,
+                    addr: MemAddr::Const(i),
+                } => model
+                    .memory_by_name(mem)
+                    .map(|id| mems[id.0 as usize].words[*i as usize]),
+                Endpoint::MemWord {
+                    addr: MemAddr::Reg(_),
+                    ..
+                }
+                | Endpoint::ConstVal(_)
+                | Endpoint::ConstOp(_) => None,
+            }
+        };
+
+        let lower_guard = |g: &Guard| -> PlanGuard {
+            let side = |op: &GuardOperand| match op {
+                GuardOperand::Reg(r) => {
+                    let id = model
+                        .register_by_name(r)
+                        .expect("validated guard references known register");
+                    GuardSig::Sig(regs[id.0 as usize].output)
+                }
+                GuardOperand::Const(v) => GuardSig::Const(*v),
+            };
+            PlanGuard {
+                negated: g.negated,
+                clauses: g
+                    .clauses
+                    .iter()
+                    .map(|c| (side(&c.lhs), c.cmp, side(&c.rhs)))
+                    .collect(),
             }
         };
 
         let mut specs: Vec<LoweredSpec> = Vec::new();
         let mut spec_tuple: Vec<usize> = Vec::new();
+        let mut guards: Vec<PlanGuard> = Vec::new();
         for (tuple_index, tuple) in model.tuples().iter().enumerate() {
-            for spec in tuple.expand() {
+            let guard = tuple.guard.as_ref().map(|g| {
+                let gi = guards.len() as u16;
+                guards.push(lower_guard(g));
+                gi
+            });
+            for spec in tuple.expand_in(model) {
                 let src = match &spec.src {
                     Endpoint::ConstOp(op) => {
                         let mid = model
@@ -421,6 +591,24 @@ impl ExecPlan {
                             .op_index(*op)
                             .expect("validated tuple selects supported op");
                         Source::Const(Value::Num(idx as i64))
+                    }
+                    Endpoint::ConstVal(v) => Source::Const(Value::Num(*v)),
+                    Endpoint::MemWord {
+                        mem,
+                        addr: MemAddr::Reg(r),
+                    } => {
+                        let mid = model
+                            .memory_by_name(mem)
+                            .expect("validated tuple references known memory");
+                        let pm = &mems[mid.0 as usize];
+                        let rid = model
+                            .register_by_name(r)
+                            .expect("validated tuple indexes with known register");
+                        Source::MemRead {
+                            addr: regs[rid.0 as usize].output,
+                            base: pm.words[0],
+                            len: pm.words.len() as u32,
+                        }
                     }
                     other => Source::Signal(
                         index_of(other).expect("validated tuple references known resources"),
@@ -435,6 +623,7 @@ impl ExecPlan {
                     src,
                     dst,
                     slot,
+                    guard,
                 });
                 spec_tuple.push(tuple_index);
             }
@@ -461,6 +650,7 @@ impl ExecPlan {
                     src: sp.src,
                     dst: sp.dst,
                     slot: sp.slot,
+                    guard: sp.guard,
                 });
             }
             ra.push(ph_to(Phase::Rb));
@@ -480,6 +670,7 @@ impl ExecPlan {
                         src: sp.src,
                         dst: sp.dst,
                         slot: sp.slot,
+                        guard: sp.guard,
                     }),
                     _ => {}
                 }
@@ -507,6 +698,7 @@ impl ExecPlan {
                     src: sp.src,
                     dst: sp.dst,
                     slot: sp.slot,
+                    guard: sp.guard,
                 });
             }
 
@@ -519,6 +711,7 @@ impl ExecPlan {
                     src: sp.src,
                     dst: sp.dst,
                     slot: sp.slot,
+                    guard: sp.guard,
                 });
             }
             for sp in step_specs().filter(|sp| sp.phase == Phase::Wa) {
@@ -529,8 +722,8 @@ impl ExecPlan {
             }
 
             // cr: controller advances (CS before PH, matching its push
-            // order; nothing on the last step), registers commit, then
-            // Wb releases.
+            // order; nothing on the last step), registers commit,
+            // memories commit, then Wb releases.
             let cr = &mut slots[base + Phase::Cr.index() as usize];
             if s < cs_max {
                 cr.push(Action::Control {
@@ -541,6 +734,9 @@ impl ExecPlan {
             }
             for i in 0..regs.len() {
                 cr.push(Action::Commit { reg: i });
+            }
+            for i in 0..mems.len() {
+                cr.push(Action::CommitMem { mem: i });
             }
             for sp in step_specs().filter(|sp| sp.phase == Phase::Wb) {
                 cr.push(Action::Release {
@@ -595,6 +791,13 @@ impl ExecPlan {
                     SignalRole::ModOut(n) => (ConflictSite::ModuleOut, n.clone()),
                     SignalRole::RegIn(n) => (ConflictSite::RegisterPort, n.clone()),
                     SignalRole::RegOut(n) => (ConflictSite::RegisterValue, n.clone()),
+                    SignalRole::MemWin(n) | SignalRole::MemWaddr(n) => {
+                        (ConflictSite::MemoryPort, n.clone())
+                    }
+                    SignalRole::MemWord { mem, index } => (
+                        ConflictSite::MemoryWord,
+                        SignalRole::mem_word_name(mem, *index),
+                    ),
                     SignalRole::ControlStep | SignalRole::PhaseSignal => continue,
                 };
                 static_conflicts.push(StaticConflict {
@@ -608,7 +811,9 @@ impl ExecPlan {
 
         // Analytic kernel statistics (derived in closed form; the
         // differential suite pins them against the interpreted run).
-        let fixed_procs = (regs.len() + modules.len()) as u64;
+        // Memory-commit processes wake exactly like register processes,
+        // so they count as fixed processes.
+        let fixed_procs = (regs.len() + modules.len() + mems.len()) as u64;
         let (activations, wake_hits, wake_misses) = analytic_stats(
             cs_max,
             fixed_procs,
@@ -621,6 +826,8 @@ impl ExecPlan {
             signals,
             regs,
             modules,
+            mems,
+            guards,
             init_actions,
             slots,
             flush,
@@ -759,10 +966,27 @@ impl ExecPlan {
             for &action in actions {
                 match action {
                     Action::Control { sig, value } => pending.push((sig, 0, value)),
-                    Action::Assert { src, dst, slot } => {
-                        let v = match src {
-                            Source::Signal(s) => values[s],
-                            Source::Const(v) => v,
+                    Action::Assert {
+                        src,
+                        dst,
+                        slot,
+                        guard,
+                    } => {
+                        let enabled =
+                            guard.is_none_or(|gi| self.guards[gi as usize].eval(|s| values[s]));
+                        let v = if !enabled {
+                            Value::Disc
+                        } else {
+                            match src {
+                                Source::Signal(s) => values[s],
+                                Source::Const(v) => v,
+                                Source::MemRead { addr, base, len } => match values[addr].num() {
+                                    Some(a) if (0..i64::from(len)).contains(&a) => {
+                                        values[base + a as usize]
+                                    }
+                                    _ => Value::Illegal,
+                                },
+                            }
                         };
                         pending.push((dst, slot, v));
                     }
@@ -806,6 +1030,22 @@ impl ExecPlan {
                             pending.push((r.output, 0, v));
                         }
                     }
+                    Action::CommitMem { mem } => {
+                        let m = &self.mems[mem];
+                        let v = values[m.win];
+                        if v != Value::Disc {
+                            match values[m.waddr].num() {
+                                Some(a) if (0..m.words.len() as i64).contains(&a) => {
+                                    pending.push((m.words[a as usize], 0, v));
+                                }
+                                _ => {
+                                    for &w in &m.words {
+                                        pending.push((w, 0, Value::Illegal));
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
 
@@ -822,11 +1062,16 @@ impl ExecPlan {
         }
         stats.delta_cycles = needed;
 
-        let registers: Vec<(String, Value)> = self
+        let mut registers: Vec<(String, Value)> = self
             .regs
             .iter()
             .map(|r| (r.name.clone(), values[r.output]))
             .collect();
+        for m in &self.mems {
+            for &w in &m.words {
+                registers.push((self.signals[w].name.clone(), values[w]));
+            }
+        }
 
         let conflicts = trace.as_ref().map(|_| self.dynamic_conflicts(&events));
         let commits = trace.as_ref().map(|_| self.commit_log(&events));
@@ -866,6 +1111,13 @@ impl ExecPlan {
                 SignalRole::ModOut(n) => (ConflictSite::ModuleOut, n.clone()),
                 SignalRole::RegIn(n) => (ConflictSite::RegisterPort, n.clone()),
                 SignalRole::RegOut(n) => (ConflictSite::RegisterValue, n.clone()),
+                SignalRole::MemWin(n) | SignalRole::MemWaddr(n) => {
+                    (ConflictSite::MemoryPort, n.clone())
+                }
+                SignalRole::MemWord { mem, index } => (
+                    ConflictSite::MemoryWord,
+                    SignalRole::mem_word_name(mem, *index),
+                ),
                 SignalRole::ControlStep | SignalRole::PhaseSignal => continue,
             };
             conflicts.push(Conflict {
@@ -877,19 +1129,22 @@ impl ExecPlan {
         ConflictReport { conflicts }
     }
 
-    /// Register-output events attributed to the storing step (the same
-    /// extraction `RtSimulation::register_commits` performs).
+    /// Register-output and memory-word events attributed to the storing
+    /// step (the same extraction `RtSimulation::register_commits`
+    /// performs).
     fn commit_log(&self, events: &[(u64, usize, Value)]) -> Vec<RegisterCommit> {
         let mut commits = Vec::new();
         for &(delta, sig, value) in events {
-            let SignalRole::RegOut(name) = &self.signals[sig].role else {
-                continue;
+            let register = match &self.signals[sig].role {
+                SignalRole::RegOut(name) => name.clone(),
+                SignalRole::MemWord { mem, index } => SignalRole::mem_word_name(mem, *index),
+                _ => continue,
             };
             let Some(pt) = PhaseTime::from_active_delta(delta) else {
                 continue; // initial value, not a commit
             };
             commits.push(RegisterCommit {
-                register: name.clone(),
+                register,
                 step: pt.step - 1,
                 value,
             });
@@ -1002,6 +1257,48 @@ impl ExecPlan {
         })
     }
 
+    /// Spec indices of the guarded tuple at `index`, or an error when the
+    /// index is out of range or the tuple is unguarded.
+    fn guarded_specs(&self, index: usize) -> Result<Vec<usize>, String> {
+        if index >= self.tuple_count {
+            return Err(format!("no transfer at index {index}"));
+        }
+        let specs: Vec<usize> = (0..self.specs.len())
+            .filter(|&i| self.spec_tuple[i] == index && self.specs[i].guard.is_some())
+            .collect();
+        if specs.is_empty() {
+            return Err(format!("transfer {index} has no guard"));
+        }
+        Ok(specs)
+    }
+
+    /// Delta logically negating the guard of the tuple at `index`
+    /// (guard-flip faults): the transfer fires exactly when it should
+    /// not, and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// A message when `index` is out of range or the tuple is unguarded.
+    pub fn delta_flip_guard(&self, index: usize) -> Result<PlanDelta, String> {
+        Ok(PlanDelta {
+            flipped_specs: self.guarded_specs(index)?,
+            ..PlanDelta::default()
+        })
+    }
+
+    /// Delta removing the guard of the tuple at `index` (guard-force
+    /// faults): the transfer fires unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// A message when `index` is out of range or the tuple is unguarded.
+    pub fn delta_force_guard(&self, index: usize) -> Result<PlanDelta, String> {
+        Ok(PlanDelta {
+            forced_specs: self.guarded_specs(index)?,
+            ..PlanDelta::default()
+        })
+    }
+
     /// Executes many [`PlanDelta`] mutants of this plan in lockstep.
     ///
     /// Mutants run in chunks of up to 64 columns over
@@ -1050,6 +1347,9 @@ impl ExecPlan {
                     .iter()
                     .position(|ps| match (&s.kind, &ps.role) {
                         (SignalKind::Register, SignalRole::RegOut(n)) => *n == s.name,
+                        (SignalKind::MemoryWord, SignalRole::MemWord { mem, index }) => {
+                            SignalRole::mem_word_name(mem, *index) == s.name
+                        }
                         (SignalKind::Bus, SignalRole::Bus(n)) => *n == s.name,
                         _ => false,
                     })
@@ -1096,7 +1396,7 @@ impl ExecPlan {
         let n = chunk.len();
         let bit = |c: usize| 1u64 << c;
         let delta_limit = options.delta_limit.unwrap_or(100_000_000);
-        let base_fixed = (self.regs.len() + self.modules.len()) as u64;
+        let base_fixed = (self.regs.len() + self.modules.len() + self.mems.len()) as u64;
 
         // Per-column schedule summary: effective specs → flush, exact
         // delta count, closed-form kernel counters. The budget precheck
@@ -1285,6 +1585,66 @@ impl ExecPlan {
             v.sort_by_key(|&(i, _)| i);
         }
 
+        // Guard-fault overrides: per-spec column masks for flipped and
+        // forced guards, plus a chunk-local guard table extended with the
+        // flipped variants. Guard edits leave the schedule shape (and
+        // therefore the analytic stats) untouched — a disabled transfer
+        // still asserts, it just drives `DISC`.
+        let mut flip_mask = vec![0u64; self.specs.len()];
+        let mut force_mask = vec![0u64; self.specs.len()];
+        for (c, d) in chunk.iter().enumerate() {
+            if full & bit(c) == 0 {
+                continue;
+            }
+            for &i in &d.forced_specs {
+                force_mask[i] |= bit(c);
+            }
+            for &i in &d.flipped_specs {
+                flip_mask[i] |= bit(c);
+            }
+        }
+        for (fm, om) in flip_mask.iter_mut().zip(&force_mask) {
+            *fm &= !om; // force wins when combined
+        }
+        let mut chunk_guards: Vec<PlanGuard> = self.guards.clone();
+        let mut flip_of: Vec<Option<u16>> = vec![None; self.guards.len()];
+        for (sp, &mask) in self.specs.iter().zip(&flip_mask) {
+            if mask != 0 {
+                let gi = sp.guard.expect("flipped spec has a guard") as usize;
+                if flip_of[gi].is_none() {
+                    flip_of[gi] = Some(chunk_guards.len() as u16);
+                    let flipped = chunk_guards[gi].flipped();
+                    chunk_guards.push(flipped);
+                }
+            }
+        }
+        // Pushes a spec's assert, split into base / flipped / forced
+        // entries by the per-column override masks. Within any single
+        // column exactly one variant is active, so per-column action
+        // order is preserved.
+        let push_assert = |vec: &mut Vec<(Action, u64)>, i: usize, m: u64| {
+            let sp = self.specs[i];
+            let assert = |guard: Option<u16>| Action::Assert {
+                src: sp.src,
+                dst: sp.dst,
+                slot: sp.slot,
+                guard,
+            };
+            let fm = m & flip_mask[i];
+            let om = m & force_mask[i];
+            let bm = m & !(fm | om);
+            if bm != 0 {
+                vec.push((assert(sp.guard), bm));
+            }
+            if fm != 0 {
+                let gi = sp.guard.expect("flipped spec has a guard") as usize;
+                vec.push((assert(flip_of[gi]), fm));
+            }
+            if om != 0 {
+                vec.push((assert(None), om));
+            }
+        };
+
         let cs_sig = self
             .signals
             .iter()
@@ -1314,15 +1674,7 @@ impl ExecPlan {
 
             let ra = &mut sched[base + Phase::Ra.index() as usize];
             for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Ra) {
-                let sp = spec(i);
-                ra.push((
-                    Action::Assert {
-                        src: sp.src,
-                        dst: sp.dst,
-                        slot: sp.slot,
-                    },
-                    m,
-                ));
+                push_assert(ra, i, m);
             }
             for &(c, spur) in &spur_here {
                 ra.push((
@@ -1330,6 +1682,7 @@ impl ExecPlan {
                         src: Source::Signal(spur.src),
                         dst: spur.bus,
                         slot: bus_slot(spur.bus),
+                        guard: None,
                     },
                     bit(c),
                 ));
@@ -1348,14 +1701,7 @@ impl ExecPlan {
                         },
                         m,
                     )),
-                    Phase::Rb => rb.push((
-                        Action::Assert {
-                            src: sp.src,
-                            dst: sp.dst,
-                            slot: sp.slot,
-                        },
-                        m,
-                    )),
+                    Phase::Rb => push_assert(rb, i, m),
                     _ => {}
                 }
             }
@@ -1372,6 +1718,7 @@ impl ExecPlan {
                         src: Source::Signal(spur.bus),
                         dst: spur_in1,
                         slot: 0,
+                        guard: None,
                     },
                     bit(c),
                 ));
@@ -1413,29 +1760,13 @@ impl ExecPlan {
             let wa = &mut sched[base + Phase::Wa.index() as usize];
             wa.push((ph_to(Phase::Wb), full));
             for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wa) {
-                let sp = spec(i);
-                wa.push((
-                    Action::Assert {
-                        src: sp.src,
-                        dst: sp.dst,
-                        slot: sp.slot,
-                    },
-                    m,
-                ));
+                push_assert(wa, i, m);
             }
 
             let wb = &mut sched[base + Phase::Wb.index() as usize];
             wb.push((ph_to(Phase::Cr), full));
             for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wb) {
-                let sp = spec(i);
-                wb.push((
-                    Action::Assert {
-                        src: sp.src,
-                        dst: sp.dst,
-                        slot: sp.slot,
-                    },
-                    m,
-                ));
+                push_assert(wb, i, m);
             }
             for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wa) {
                 let sp = spec(i);
@@ -1461,6 +1792,9 @@ impl ExecPlan {
             }
             for i in 0..self.regs.len() {
                 cr.push((Action::Commit { reg: i }, full));
+            }
+            for i in 0..self.mems.len() {
+                cr.push((Action::CommitMem { mem: i }, full));
             }
             for &(i, m) in entries.iter().filter(|&&(i, _)| spec(i).phase == Phase::Wb) {
                 let sp = spec(i);
@@ -1618,15 +1952,35 @@ impl ExecPlan {
                             vals[row + c] = value;
                         }
                     }
-                    Action::Assert { src, dst, slot } => {
+                    Action::Assert {
+                        src,
+                        dst,
+                        slot,
+                        guard,
+                    } => {
                         let row = push_row(&mut meta, &mut vals, n, dst, slot, mask);
                         let mut mm = mask;
                         while mm != 0 {
                             let c = mm.trailing_zeros() as usize;
                             mm &= mm - 1;
-                            vals[row + c] = match src {
-                                Source::Signal(sig) => values[sig * n + c],
-                                Source::Const(v) => v,
+                            let enabled = guard.is_none_or(|gi| {
+                                chunk_guards[gi as usize].eval(|s| values[s * n + c])
+                            });
+                            vals[row + c] = if !enabled {
+                                Value::Disc
+                            } else {
+                                match src {
+                                    Source::Signal(sig) => values[sig * n + c],
+                                    Source::Const(v) => v,
+                                    Source::MemRead { addr, base, len } => {
+                                        match values[addr * n + c].num() {
+                                            Some(a) if (0..i64::from(len)).contains(&a) => {
+                                                values[(base + a as usize) * n + c]
+                                            }
+                                            _ => Value::Illegal,
+                                        }
+                                    }
+                                }
                             };
                         }
                     }
@@ -1694,6 +2048,51 @@ impl ExecPlan {
                             }
                         }
                     }
+                    Action::CommitMem { mem } => {
+                        // Classify columns (store-at-word vs poison-all),
+                        // then push one row per word in ascending order —
+                        // each column's masked view matches its solo
+                        // pending order (a single store, or the full
+                        // 0..len poison sweep).
+                        let pm = &self.mems[mem];
+                        let len = pm.words.len();
+                        let mut word_mask = vec![0u64; len];
+                        let mut poison = 0u64;
+                        let mut buf = [Value::Disc; BATCH_WIDTH];
+                        let mut mm = mask;
+                        while mm != 0 {
+                            let c = mm.trailing_zeros() as usize;
+                            mm &= mm - 1;
+                            let v = values[pm.win * n + c];
+                            if v == Value::Disc {
+                                continue;
+                            }
+                            match values[pm.waddr * n + c].num() {
+                                Some(a) if (0..len as i64).contains(&a) => {
+                                    word_mask[a as usize] |= bit(c);
+                                    buf[c] = v;
+                                }
+                                _ => poison |= bit(c),
+                            }
+                        }
+                        for (w, &word) in pm.words.iter().enumerate() {
+                            let m2 = word_mask[w] | poison;
+                            if m2 == 0 {
+                                continue;
+                            }
+                            let row = push_row(&mut meta, &mut vals, n, word, 0, m2);
+                            let mut mm = m2;
+                            while mm != 0 {
+                                let c = mm.trailing_zeros() as usize;
+                                mm &= mm - 1;
+                                vals[row + c] = if poison & bit(c) != 0 {
+                                    Value::Illegal
+                                } else {
+                                    buf[c]
+                                };
+                            }
+                        }
+                    }
                 }
             }
 
@@ -1710,11 +2109,16 @@ impl ExecPlan {
         }
 
         for (c, d) in chunk.iter().enumerate() {
-            let registers: Vec<(String, Value)> = self
+            let mut registers: Vec<(String, Value)> = self
                 .regs
                 .iter()
                 .map(|r| (r.name.clone(), values[r.output * n + c]))
                 .collect();
+            for m in &self.mems {
+                for &w in &m.words {
+                    registers.push((self.signals[w].name.clone(), values[w * n + c]));
+                }
+            }
             let first_conflict = first_ill[c].and_then(|(sig, delta)| {
                 let visible_at = PhaseTime::from_active_delta(delta)?;
                 let (site, name) = if sig < s0 {
@@ -1727,6 +2131,13 @@ impl ExecPlan {
                         SignalRole::ModOut(nm) => (ConflictSite::ModuleOut, nm.clone()),
                         SignalRole::RegIn(nm) => (ConflictSite::RegisterPort, nm.clone()),
                         SignalRole::RegOut(nm) => (ConflictSite::RegisterValue, nm.clone()),
+                        SignalRole::MemWin(nm) | SignalRole::MemWaddr(nm) => {
+                            (ConflictSite::MemoryPort, nm.clone())
+                        }
+                        SignalRole::MemWord { mem, index } => (
+                            ConflictSite::MemoryWord,
+                            SignalRole::mem_word_name(mem, *index),
+                        ),
                         SignalRole::ControlStep | SignalRole::PhaseSignal => return None,
                     }
                 } else {
@@ -2338,5 +2749,240 @@ mod tests {
             .delta_extra_driver("B1", 9, "R1")
             .unwrap_err()
             .contains("out of range"));
+    }
+
+    /// A model with two guarded transfers over registers and array
+    /// elements: tuple 0 guarded by `g0`, tuple 1 by `g1` (`None` =
+    /// unguarded). With the canonical guards, tuple 0 fires (R2 = 4 ≠ 0)
+    /// and tuple 1 is suppressed (A[1] = 1 < 3).
+    fn guarded_model(g0: Option<Guard>, g1: Option<Guard>) -> RtModel {
+        let mut model = RtModel::new("guarded", 4);
+        model.add_register_init("R1", Value::Num(3)).unwrap();
+        model.add_register_init("R2", Value::Num(4)).unwrap();
+        model.add_array("A", 2, Value::Num(1)).unwrap();
+        model.add_bus("B1").unwrap();
+        model.add_bus("B2").unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "ADD",
+                Op::Add,
+                ModuleTiming::Pipelined { latency: 1 },
+            ))
+            .unwrap();
+        let mut t0 = TransferTuple::new(1, "ADD")
+            .src_a("R1", "B1")
+            .src_b("R2", "B2")
+            .write(2, "B1", "R1");
+        if let Some(g) = g0 {
+            t0 = t0.guard(g);
+        }
+        model.add_transfer(t0).unwrap();
+        let mut t1 = TransferTuple::new(3, "ADD")
+            .src_a("A[0]", "B1")
+            .src_b("R2", "B2")
+            .write(4, "B2", "A[1]");
+        if let Some(g) = g1 {
+            t1 = t1.guard(g);
+        }
+        model.add_transfer(t1).unwrap();
+        model
+    }
+
+    fn canonical_guards() -> (Guard, Guard) {
+        (
+            Guard::parse("R2 /= 0").unwrap(),
+            Guard::parse("A[1] >= 3").unwrap(),
+        )
+    }
+
+    #[test]
+    fn guarded_transfers_are_byte_equivalent() {
+        let (g0, g1) = canonical_guards();
+        let model = guarded_model(Some(g0), Some(g1));
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        // The true guard fires, the false one drives DISC instead.
+        assert_eq!(out.summary.register("R1"), Some(Value::Num(7)));
+        assert_eq!(out.summary.register("A[1]"), Some(Value::Num(1)));
+        assert!(out.summary.conflicts.as_ref().unwrap().is_clean());
+        // A suppressed transfer still wakes its processes and drives its
+        // slot (with DISC), so the scheduling counters are
+        // guard-independent; only value-event counts may differ.
+        let unguarded = guarded_model(None, None);
+        assert_equivalent(&unguarded);
+        let base = compiled_traced(&unguarded).summary.stats;
+        let s = out.summary.stats;
+        assert_eq!(base.delta_cycles, s.delta_cycles);
+        assert_eq!(base.process_activations, s.process_activations);
+        assert_eq!(base.wake_filter_hits, s.wake_filter_hits);
+        assert_eq!(base.wake_filter_misses, s.wake_filter_misses);
+        assert_eq!(
+            compiled_traced(&unguarded).summary.register("A[1]"),
+            Some(Value::Num(5))
+        );
+    }
+
+    #[test]
+    fn flipped_and_forced_guard_models_are_byte_equivalent() {
+        let (g0, g1) = canonical_guards();
+        let model = guarded_model(Some(g0.flipped()), Some(g1.flipped()));
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        assert_eq!(out.summary.register("R1"), Some(Value::Num(3)));
+        assert_eq!(out.summary.register("A[1]"), Some(Value::Num(5)));
+    }
+
+    #[test]
+    fn guard_deltas_match_solo_mutant_runs() {
+        let (g0, g1) = canonical_guards();
+        let golden = guarded_model(Some(g0.clone()), Some(g1.clone()));
+        let plan = ExecPlan::lower(&golden);
+        let deltas = vec![
+            PlanDelta::default(),
+            plan.delta_flip_guard(0).unwrap(),
+            plan.delta_flip_guard(1).unwrap(),
+            plan.delta_force_guard(0).unwrap(),
+            plan.delta_force_guard(1).unwrap(),
+        ];
+        let mutants = vec![
+            golden.clone(),
+            guarded_model(Some(g0.flipped()), Some(g1.clone())),
+            guarded_model(Some(g0.clone()), Some(g1.flipped())),
+            guarded_model(None, Some(g1.clone())),
+            guarded_model(Some(g0), None),
+        ];
+        assert_batch_matches_solo(&golden, &deltas, &mutants);
+    }
+
+    #[test]
+    fn guard_delta_constructors_reject_bad_targets() {
+        let (g0, _) = canonical_guards();
+        let plan = ExecPlan::lower(&guarded_model(Some(g0), None));
+        assert!(plan
+            .delta_flip_guard(1)
+            .unwrap_err()
+            .contains("has no guard"));
+        assert!(plan
+            .delta_force_guard(1)
+            .unwrap_err()
+            .contains("has no guard"));
+        assert!(plan
+            .delta_flip_guard(9)
+            .unwrap_err()
+            .contains("no transfer at index 9"));
+    }
+
+    /// Memory exerciser: a constant-address read, a register-indirect
+    /// read through `RI`, and a write (constant `M[0]` or indirect
+    /// `M[RI]`). Words start at 5, `RA` = 7.
+    fn memory_model(ri_init: i64, indirect_write: bool) -> RtModel {
+        let mut model = RtModel::new("mem", 3);
+        model.add_register_init("RA", Value::Num(7)).unwrap();
+        model.add_register_init("RI", Value::Num(ri_init)).unwrap();
+        model.add_register("RD").unwrap();
+        model.add_register("RE").unwrap();
+        model.add_memory("M", 3, Value::Num(5)).unwrap();
+        model.add_bus("B1").unwrap();
+        model.add_bus("B2").unwrap();
+        model
+            .add_module(ModuleDecl::single(
+                "CP",
+                Op::PassA,
+                ModuleTiming::Combinational,
+            ))
+            .unwrap();
+        model
+            .add_transfer(
+                TransferTuple::new(1, "CP")
+                    .src_a("M[1]", "B1")
+                    .write(1, "B2", "RD"),
+            )
+            .unwrap();
+        model
+            .add_transfer(
+                TransferTuple::new(2, "CP")
+                    .src_a("M[RI]", "B1")
+                    .write(2, "B2", "RE"),
+            )
+            .unwrap();
+        let dst = if indirect_write { "M[RI]" } else { "M[0]" };
+        model
+            .add_transfer(
+                TransferTuple::new(3, "CP")
+                    .src_a("RA", "B1")
+                    .write(3, "B2", dst),
+            )
+            .unwrap();
+        model
+    }
+
+    #[test]
+    fn memory_models_are_byte_equivalent() {
+        let model = memory_model(1, false);
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        assert_eq!(out.summary.register("RD"), Some(Value::Num(5)));
+        assert_eq!(out.summary.register("RE"), Some(Value::Num(5)));
+        assert_eq!(out.summary.register("M[0]"), Some(Value::Num(7)));
+        assert_eq!(out.summary.register("M[1]"), Some(Value::Num(5)));
+        assert_eq!(out.summary.register("M[2]"), Some(Value::Num(5)));
+        assert!(out.summary.conflicts.as_ref().unwrap().is_clean());
+    }
+
+    #[test]
+    fn indirect_memory_write_is_byte_equivalent() {
+        let model = memory_model(2, true);
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        // The step-2 read sees the pre-write word value.
+        assert_eq!(out.summary.register("RE"), Some(Value::Num(5)));
+        assert_eq!(out.summary.register("M[2]"), Some(Value::Num(7)));
+        assert_eq!(out.summary.register("M[0]"), Some(Value::Num(5)));
+    }
+
+    #[test]
+    fn bad_memory_address_poisons_all_words_identically() {
+        let model = memory_model(9, true);
+        assert_equivalent(&model);
+        let out = compiled_traced(&model);
+        // Out-of-range read: ILLEGAL lands in RE.
+        assert_eq!(out.summary.register("RE"), Some(Value::Illegal));
+        // Out-of-range write: every word is poisoned.
+        for w in ["M[0]", "M[1]", "M[2]"] {
+            assert_eq!(out.summary.register(w), Some(Value::Illegal), "{w}");
+        }
+        let report = out.summary.conflicts.unwrap();
+        assert!(
+            report
+                .conflicts
+                .iter()
+                .any(|c| c.site == ConflictSite::MemoryWord),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn memory_batch_columns_match_solo_runs() {
+        // Diverging address columns exercise the chunked commit's
+        // per-word store masks and the poison path side by side.
+        let golden = memory_model(1, true);
+        let plan = ExecPlan::lower(&golden);
+        let deltas = vec![
+            PlanDelta::default(),
+            plan.delta_set_init("RI", Value::Num(9)).unwrap(),
+            plan.delta_set_init("RI", Value::Num(0)).unwrap(),
+            plan.delta_set_init("RI", Value::Disc).unwrap(),
+        ];
+        let mutants = vec![
+            golden.clone(),
+            memory_model(9, true),
+            memory_model(0, true),
+            {
+                let mut m = memory_model(0, true);
+                m.set_register_init("RI", Value::Disc).unwrap();
+                m
+            },
+        ];
+        assert_batch_matches_solo(&golden, &deltas, &mutants);
     }
 }

@@ -81,7 +81,7 @@ impl clockless_kernel::Process<Value> for Controller {
 }
 
 /// Where a transfer process takes its value from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransSource {
     /// Read a signal (register/module output port or bus) at the
     /// activation phase.
@@ -89,6 +89,51 @@ pub enum TransSource {
     /// Drive a constant — used for operation-select transfers, whose
     /// "source" is the operation code named by the tuple.
     Const(Value),
+    /// Read one word of a memory, selected by an address register at the
+    /// activation phase. A non-numeric or out-of-range address reads
+    /// `ILLEGAL`.
+    MemRead {
+        /// The memory's word signals, in address order.
+        words: Vec<SignalId>,
+        /// The register output carrying the address.
+        addr: SignalId,
+    },
+}
+
+/// One side of a resolved guard clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardSrc {
+    /// A register-output signal.
+    Sig(SignalId),
+    /// An integer literal.
+    Const(i64),
+}
+
+/// A transfer guard resolved onto kernel signals; see
+/// [`Guard`](crate::tuples::Guard) for the semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransGuard {
+    /// Whether the conjunction is negated as a whole.
+    pub negated: bool,
+    /// The comparison clauses.
+    pub clauses: Vec<(GuardSrc, crate::tuples::CmpOp, GuardSrc)>,
+}
+
+impl TransGuard {
+    /// Evaluates the guard over the current signal values.
+    pub fn eval(&self, ctx: &ProcessCtx<'_, Value>) -> bool {
+        let conj = self.clauses.iter().all(|(l, cmp, r)| {
+            let side = |s: &GuardSrc| match s {
+                GuardSrc::Sig(id) => ctx.value(*id).num(),
+                GuardSrc::Const(v) => Some(*v),
+            };
+            match (side(l), side(r)) {
+                (Some(a), Some(b)) => cmp.holds(a, b),
+                _ => false,
+            }
+        });
+        conj != self.negated
+    }
 }
 
 /// A transfer process (§2.4): at phase `phase` of step `step` it assigns
@@ -115,6 +160,7 @@ pub struct Trans {
     ph: SignalId,
     src: TransSource,
     dst: SignalId,
+    guard: Option<TransGuard>,
     state: TransState,
     faithful_wakeups: bool,
     started: bool,
@@ -151,10 +197,20 @@ impl Trans {
             ph,
             src,
             dst,
+            guard: None,
             state: TransState::AwaitStep,
             faithful_wakeups,
             started: false,
         }
+    }
+
+    /// Attaches a guard: when it evaluates false at the activation phase,
+    /// the process drives `DISC` instead of the source value. The driver
+    /// update (and release) still happen, so event counts and schedule
+    /// statistics are guard-independent.
+    pub fn with_guard(mut self, guard: Option<TransGuard>) -> Trans {
+        self.guard = guard;
+        self
     }
 
     /// The step and phase at which the sink is released again.
@@ -170,9 +226,20 @@ impl Trans {
 impl Trans {
     /// Performs the assert action.
     fn assert_value(&self, ctx: &mut ProcessCtx<'_, Value>) {
-        let v = match self.src {
-            TransSource::Signal(s) => *ctx.value(s),
-            TransSource::Const(v) => v,
+        let enabled = self.guard.as_ref().is_none_or(|g| g.eval(ctx));
+        let v = if !enabled {
+            Value::Disc
+        } else {
+            match &self.src {
+                TransSource::Signal(s) => *ctx.value(*s),
+                TransSource::Const(v) => *v,
+                TransSource::MemRead { words, addr } => match ctx.value(*addr).num() {
+                    Some(a) if (0..words.len() as i64).contains(&a) => {
+                        *ctx.value(words[a as usize])
+                    }
+                    _ => Value::Illegal,
+                },
+            }
         };
         ctx.assign(self.dst, v);
     }
@@ -288,6 +355,64 @@ impl clockless_kernel::Process<Value> for Reg {
         // The store happens only at cr; the in-kernel filter skips the
         // five other phases entirely (VHDL's implicit `wait until PH=cR`
         // loop, evaluated by the scheduler).
+        if self.started {
+            Wait::Same
+        } else {
+            self.started = true;
+            Wait::UntilEq(self.ph, Value::Num(Phase::Cr.index() as i64))
+        }
+    }
+}
+
+/// A memory-commit process: at each `cr` phase, if the memory's resolved
+/// write-value port is not `DISC`, the value is stored into the word the
+/// write-address port selects.
+///
+/// Mirrors [`Reg`] — memories commit once per control step — with the
+/// extra address indirection: an address that is not a regular number in
+/// `0..len` (including the ports having resolved to `ILLEGAL` under
+/// conflicting writers) poisons **every** word `ILLEGAL`, because which
+/// word was corrupted is unknowable.
+#[derive(Debug)]
+pub struct MemCommit {
+    ph: SignalId,
+    win: SignalId,
+    waddr: SignalId,
+    words: Vec<SignalId>,
+    started: bool,
+}
+
+impl MemCommit {
+    /// Creates a memory-commit process over the given word signals.
+    pub fn new(ph: SignalId, win: SignalId, waddr: SignalId, words: Vec<SignalId>) -> MemCommit {
+        MemCommit {
+            ph,
+            win,
+            waddr,
+            words,
+            started: false,
+        }
+    }
+}
+
+impl clockless_kernel::Process<Value> for MemCommit {
+    fn resume(&mut self, ctx: &mut ProcessCtx<'_, Value>) -> Wait<Value> {
+        let ph = Phase::from_index(num_of(ctx, self.ph) as u8);
+        if ph == Phase::Cr {
+            let v = *ctx.value(self.win);
+            if v != Value::Disc {
+                match ctx.value(self.waddr).num() {
+                    Some(a) if (0..self.words.len() as i64).contains(&a) => {
+                        ctx.assign(self.words[a as usize], v);
+                    }
+                    _ => {
+                        for &w in &self.words {
+                            ctx.assign(w, Value::Illegal);
+                        }
+                    }
+                }
+            }
+        }
         if self.started {
             Wait::Same
         } else {

@@ -24,6 +24,10 @@ pub struct BusId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModuleId(pub u32);
 
+/// Identifies a memory within one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemoryId(pub u32);
+
 impl fmt::Display for RegisterId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "reg#{}", self.0)
@@ -37,6 +41,11 @@ impl fmt::Display for BusId {
 impl fmt::Display for ModuleId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "mod#{}", self.0)
+    }
+}
+impl fmt::Display for MemoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem#{}", self.0)
     }
 }
 
@@ -53,6 +62,51 @@ pub struct RegisterDecl {
     /// The paper's registers output `DISC` until first written; an initial
     /// value models a preloaded register (or an input port of the design).
     pub init: Value,
+}
+
+/// A register-array declaration.
+///
+/// An array is syntactic sugar: declaring `array A[N]` creates `N`
+/// ordinary registers named `A[0]` … `A[N-1]`, each with the array's
+/// initial value. Every element is individually addressable wherever a
+/// register name is accepted (operand routes, write routes, guards), and
+/// the elements behave exactly like hand-declared registers in both
+/// engines. The declaration itself is kept only so the textual form and
+/// the VHDL round trip can re-emit the array as one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// The array's base name, unique among storage base names.
+    pub name: String,
+    /// Number of elements (≥ 1).
+    pub len: u32,
+    /// Initial value of every element.
+    pub init: Value,
+}
+
+/// A memory declaration.
+///
+/// Unlike an array, a memory is a genuinely indexed resource: reads take
+/// the address at the transfer's activation phase (constant or register
+/// indirect), and writes go through a shared resolved write-value /
+/// write-address port pair committed once per control step at phase `cr`
+/// — so two transfers writing the same memory in one step conflict on the
+/// ports like any other resource conflict. A write whose address is not a
+/// regular number in range poisons every word `ILLEGAL`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryDecl {
+    /// The memory's name, unique among storage base names.
+    pub name: String,
+    /// Number of words (≥ 1).
+    pub len: u32,
+    /// Initial value of every word.
+    pub init: Value,
+}
+
+impl MemoryDecl {
+    /// Canonical signal name of word `i`, e.g. `M[3]`.
+    pub fn word_name(&self, i: u32) -> String {
+        format!("{}[{}]", self.name, i)
+    }
 }
 
 /// A bus declaration.

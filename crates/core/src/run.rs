@@ -230,14 +230,25 @@ impl RtSimulation {
         Some(*self.sim.value(self.layout.mod_out[id.0 as usize]))
     }
 
-    /// All register values, in declaration order.
+    /// All register values, in declaration order, followed by every
+    /// memory word (`M[0]`, `M[1]`, …) in declaration then address order.
     pub fn registers(&self) -> Vec<(String, Value)> {
-        self.model
+        let mut out: Vec<(String, Value)> = self
+            .model
             .registers()
             .iter()
             .enumerate()
             .map(|(i, r)| (r.name.clone(), *self.sim.value(self.layout.reg_out[i])))
-            .collect()
+            .collect();
+        for (mi, m) in self.model.memories().iter().enumerate() {
+            for i in 0..m.len {
+                out.push((
+                    m.word_name(i),
+                    *self.sim.value(self.layout.mem_word[mi][i as usize]),
+                ));
+            }
+        }
+        out
     }
 
     /// Registers currently holding `ILLEGAL` — works without tracing.
@@ -300,6 +311,13 @@ impl RtSimulation {
                 SignalRole::ModOut(n) => (ConflictSite::ModuleOut, n.clone()),
                 SignalRole::RegIn(n) => (ConflictSite::RegisterPort, n.clone()),
                 SignalRole::RegOut(n) => (ConflictSite::RegisterValue, n.clone()),
+                SignalRole::MemWin(n) | SignalRole::MemWaddr(n) => {
+                    (ConflictSite::MemoryPort, n.clone())
+                }
+                SignalRole::MemWord { mem, index } => (
+                    ConflictSite::MemoryWord,
+                    SignalRole::mem_word_name(mem, *index),
+                ),
                 SignalRole::ControlStep | SignalRole::PhaseSignal => continue,
             };
             conflicts.push(Conflict {
@@ -311,9 +329,9 @@ impl RtSimulation {
         Some(ConflictReport { conflicts })
     }
 
-    /// The observable register commits: each change of a register's output
-    /// port, attributed to the control step whose `cr` phase stored it.
-    /// `None` when the simulation was not traced.
+    /// The observable register commits: each change of a register's
+    /// output port or memory word, attributed to the control step whose
+    /// `cr` phase stored it. `None` when the simulation was not traced.
     ///
     /// A commit that stores the value already held is invisible (no signal
     /// event) and therefore not listed; functional comparisons should
@@ -322,8 +340,10 @@ impl RtSimulation {
         let trace = self.sim.trace()?;
         let mut commits = Vec::new();
         for e in trace.events() {
-            let SignalRole::RegOut(name) = self.layout.role(e.signal) else {
-                continue;
+            let register = match self.layout.role(e.signal) {
+                SignalRole::RegOut(name) => name.clone(),
+                SignalRole::MemWord { mem, index } => SignalRole::mem_word_name(mem, *index),
+                _ => continue,
             };
             let Some(pt) = PhaseTime::from_active_delta(e.at.delta) else {
                 continue; // initial value, not a commit
@@ -331,7 +351,7 @@ impl RtSimulation {
             // The output changes in the delta after cr, i.e. at ra of the
             // following step; attribute the commit to the storing step.
             commits.push(RegisterCommit {
-                register: name.clone(),
+                register,
                 step: pt.step - 1,
                 value: e.value,
             });

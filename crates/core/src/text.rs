@@ -10,16 +10,23 @@
 //! model example steps 7
 //! register R1 init 3
 //! register R2 init 4
+//! array A[4] init 0
+//! memory M[8] init 0
 //! bus B1
 //! bus B2
 //! module ADD ops add pipelined 1
 //! transfer (R1,B1,R2,B2,5,ADD,6,B1,R1)
+//! transfer if R1 /= 0 then (A[0],B1,M[2],B2,1,ADD,2,B1,R2)
 //! ```
 //!
 //! Module timing is `comb`, `pipelined <latency>` or
 //! `sequential <latency>`. Transfers use the paper's 9-tuple notation
-//! (with the `MODULE:op` extension). `#` starts a comment.
+//! (with the `MODULE:op` extension), optionally prefixed by a guard
+//! `if <cond> then`. `array NAME[N]` declares `N` element registers
+//! `NAME[0]`…; `memory NAME[N]` declares an indexed storage resource.
+//! `#` starts a comment.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::model::{ModelError, RtModel};
@@ -33,6 +40,9 @@ use crate::value::Value;
 pub struct ParseModelError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based column of the offending token, or 0 when the error has no
+    /// finer location than the line itself.
+    pub col: usize,
     /// Description of the problem.
     pub msg: String,
 }
@@ -41,6 +51,15 @@ impl ParseModelError {
     fn new(line: usize, msg: impl Into<String>) -> Self {
         ParseModelError {
             line,
+            col: 0,
+            msg: msg.into(),
+        }
+    }
+
+    fn at(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        ParseModelError {
+            line,
+            col,
             msg: msg.into(),
         }
     }
@@ -48,7 +67,11 @@ impl ParseModelError {
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        if self.col == 0 {
+            write!(f, "line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
+        }
     }
 }
 
@@ -60,13 +83,54 @@ impl From<(usize, ModelError)> for ParseModelError {
     }
 }
 
+/// Splits a line into whitespace-separated tokens with their byte
+/// offsets, so errors can point at the offending column.
+fn tokenize(line: &str) -> Vec<(usize, &str)> {
+    let mut toks = Vec::new();
+    let mut start = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                toks.push((s, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        toks.push((s, &line[s..]));
+    }
+    toks
+}
+
+/// Parses a `NAME[N]` storage spec; on failure returns the message and
+/// the byte offset of the offending part within `spec`.
+fn parse_storage_spec(spec: &str) -> Result<(&str, u32), (String, usize)> {
+    let Some(open) = spec.find('[') else {
+        return Err((format!("expected `NAME[N]`, found `{spec}`"), 0));
+    };
+    let name = &spec[..open];
+    if name.is_empty() {
+        return Err(("storage name must come before `[`".into(), 0));
+    }
+    let Some(idx) = spec[open + 1..].strip_suffix(']') else {
+        return Err(("unclosed `[` in storage spec".into(), open));
+    };
+    let len: u32 = idx
+        .parse()
+        .map_err(|_| (format!("bad length `{idx}`"), open + 1))?;
+    Ok((name, len))
+}
+
 /// Parses a model from its textual description.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseModelError`] locating the first offending line; model
-/// validation errors (unknown resources, wrong write step, …) are
-/// reported the same way.
+/// Returns a [`ParseModelError`] locating the first offending line; when
+/// the offending token is known (malformed guards, storage indices, …)
+/// the error additionally carries its 1-based column. Model validation
+/// errors (unknown resources, wrong write step, …) are reported the same
+/// way.
 ///
 /// # Examples
 ///
@@ -89,15 +153,19 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
     let mut model: Option<RtModel> = None;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = match raw.find('#') {
+        let stripped = match raw.find('#') {
             Some(i) => &raw[..i],
             None => raw,
-        }
-        .trim();
+        };
+        let indent = stripped.len() - stripped.trim_start().len();
+        let line = stripped.trim();
         if line.is_empty() {
             continue;
         }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let toks = tokenize(line);
+        let tokens: Vec<&str> = toks.iter().map(|&(_, t)| t).collect();
+        // 1-based column of byte offset `off` within the trimmed line.
+        let col = |off: usize| indent + off + 1;
         match tokens[0] {
             "model" => {
                 if model.is_some() {
@@ -113,7 +181,7 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
                     }
                 };
                 let steps: u32 = steps.parse().map_err(|_| {
-                    ParseModelError::new(lineno, format!("bad step count `{steps}`"))
+                    ParseModelError::at(lineno, col(toks[3].0), format!("bad step count `{steps}`"))
                 })?;
                 model = Some(RtModel::new(name, steps));
             }
@@ -127,7 +195,11 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
                         .map_err(|e| ParseModelError::from((lineno, e)))?,
                     [_, name, "init", v] => {
                         let v: i64 = v.parse().map_err(|_| {
-                            ParseModelError::new(lineno, format!("bad init value `{v}`"))
+                            ParseModelError::at(
+                                lineno,
+                                col(toks[3].0),
+                                format!("bad init value `{v}`"),
+                            )
                         })?;
                         m.add_register_init(*name, Value::Num(v))
                             .map_err(|e| ParseModelError::from((lineno, e)))?
@@ -139,6 +211,39 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
                         ))
                     }
                 };
+            }
+            "array" | "memory" => {
+                let directive = tokens[0];
+                let m = model
+                    .as_mut()
+                    .ok_or_else(|| ParseModelError::new(lineno, "`model` line must come first"))?;
+                let (spec, init) = match tokens.as_slice() {
+                    [_, spec] => (*spec, Value::Disc),
+                    [_, spec, "init", v] => {
+                        let v: i64 = v.parse().map_err(|_| {
+                            ParseModelError::at(
+                                lineno,
+                                col(toks[3].0),
+                                format!("bad init value `{v}`"),
+                            )
+                        })?;
+                        (*spec, Value::Num(v))
+                    }
+                    _ => {
+                        return Err(ParseModelError::new(
+                            lineno,
+                            format!("expected `{directive} NAME[N] [init <value>]`"),
+                        ))
+                    }
+                };
+                let (name, len) = parse_storage_spec(spec)
+                    .map_err(|(msg, off)| ParseModelError::at(lineno, col(toks[1].0 + off), msg))?;
+                let result = if directive == "array" {
+                    m.add_array(name, len, init)
+                } else {
+                    m.add_memory(name, len, init).map(|_| ())
+                };
+                result.map_err(|e| ParseModelError::from((lineno, e)))?;
             }
             "bus" => {
                 let m = model
@@ -166,7 +271,7 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
                     .split(',')
                     .map(|s| s.parse::<Op>())
                     .collect::<Result<Vec<_>, _>>()
-                    .map_err(|e| ParseModelError::new(lineno, e.to_string()))?;
+                    .map_err(|e| ParseModelError::at(lineno, col(toks[3].0), e.to_string()))?;
                 let timing = match timing_tokens {
                     ["comb"] => ModuleTiming::Combinational,
                     ["pipelined", n] => ModuleTiming::Pipelined {
@@ -197,12 +302,14 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
                 let m = model
                     .as_mut()
                     .ok_or_else(|| ParseModelError::new(lineno, "`model` line must come first"))?;
-                let tuple_text = line["transfer".len()..].trim();
+                let after = &line["transfer".len()..];
+                let tuple_off = "transfer".len() + (after.len() - after.trim_start().len());
+                let tuple_text = after.trim();
                 let tuple: TransferTuple =
                     tuple_text
                         .parse()
                         .map_err(|e: crate::tuples::ParseTupleError| {
-                            ParseModelError::new(lineno, e.to_string())
+                            ParseModelError::at(lineno, col(tuple_off + e.offset()), e.to_string())
                         })?;
                 m.add_transfer(tuple)
                     .map_err(|e| ParseModelError::from((lineno, e)))?;
@@ -218,14 +325,44 @@ pub fn parse_model(text: &str) -> Result<RtModel, ParseModelError> {
     model.ok_or_else(|| ParseModelError::new(1, "no `model` line found"))
 }
 
+fn storage_line(out: &mut String, directive: &str, name: &str, len: u32, init: Value) {
+    use std::fmt::Write as _;
+    match init {
+        Value::Num(n) => {
+            let _ = writeln!(out, "{directive} {name}[{len}] init {n}");
+        }
+        // ILLEGAL init is unreachable for built models; keep loadable.
+        Value::Disc | Value::Illegal => {
+            let _ = writeln!(out, "{directive} {name}[{len}]");
+        }
+    }
+}
+
 /// Renders a model in the textual format; [`parse_model`] of the result
-/// reproduces the model.
+/// reproduces the model. Array element registers are folded back into
+/// their `array` declaration (emitted where the first element sits in
+/// declaration order); memories follow the registers.
 pub fn to_text(model: &RtModel) -> String {
     use std::fmt::Write as _;
+
+    // Map each array element register to its declaration and index.
+    let mut elements: HashMap<String, (usize, u32)> = HashMap::new();
+    for (ai, a) in model.arrays().iter().enumerate() {
+        for i in 0..a.len {
+            elements.insert(format!("{}[{}]", a.name, i), (ai, i));
+        }
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "model {} steps {}", model.name(), model.cs_max());
     for r in model.registers() {
+        if let Some(&(ai, i)) = elements.get(&r.name) {
+            if i == 0 {
+                let a = &model.arrays()[ai];
+                storage_line(&mut out, "array", &a.name, a.len, a.init);
+            }
+            continue;
+        }
         match r.init {
             Value::Disc => {
                 let _ = writeln!(out, "register {}", r.name);
@@ -238,6 +375,9 @@ pub fn to_text(model: &RtModel) -> String {
                 let _ = writeln!(out, "register {}", r.name);
             }
         }
+    }
+    for m in model.memories() {
+        storage_line(&mut out, "memory", &m.name, m.len, m.init);
     }
     for b in model.buses() {
         let _ = writeln!(out, "bus {}", b.name);
@@ -287,7 +427,9 @@ mod tests {
     fn errors_carry_line_numbers() {
         let err = parse_model("model x steps 2\nbogus Y\n").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.col, 0);
         assert!(err.to_string().contains("bogus"));
+        assert!(err.to_string().starts_with("line 2: "));
     }
 
     #[test]
@@ -324,5 +466,103 @@ mod tests {
     #[test]
     fn missing_model_line_is_error() {
         assert!(parse_model("# nothing here\n").is_err());
+    }
+
+    #[test]
+    fn arrays_and_memories_parse_and_roundtrip() {
+        let text = "model st steps 3\nregister R init 1\narray A[3] init 7\n\
+                    memory M[4] init 0\nbus B\nbus C\nmodule CP ops passa comb\n\
+                    transfer (A[1],B,-,-,1,CP,1,C,R)\n\
+                    transfer if R /= 0 then (R,B,-,-,2,CP,2,C,M[2])\n";
+        let m = parse_model(text).unwrap();
+        assert_eq!(m.arrays().len(), 1);
+        assert_eq!(m.memories().len(), 1);
+        // 1 plain register + 3 array elements.
+        assert_eq!(m.registers().len(), 4);
+        assert!(m.register_by_name("A[2]").is_some());
+        assert!(m.tuples()[1].guard.is_some());
+
+        let rendered = to_text(&m);
+        // Element registers fold back into the array line.
+        assert!(rendered.contains("array A[3] init 7\n"), "{rendered}");
+        assert!(!rendered.contains("register A[0]"), "{rendered}");
+        assert!(rendered.contains("memory M[4] init 0\n"), "{rendered}");
+        assert!(rendered.contains("if R /= 0 then "), "{rendered}");
+        let m2 = parse_model(&rendered).unwrap();
+        assert_eq!(m2.registers(), m.registers());
+        assert_eq!(m2.arrays(), m.arrays());
+        assert_eq!(m2.memories(), m.memories());
+        assert_eq!(m2.tuples(), m.tuples());
+    }
+
+    #[test]
+    fn uninitialized_storage_defaults_to_disc() {
+        let m = parse_model("model x steps 1\narray A[2]\nmemory M[2]\n").unwrap();
+        assert_eq!(m.arrays()[0].init, Value::Disc);
+        assert_eq!(m.memories()[0].init, Value::Disc);
+    }
+
+    /// The satellite diagnostic table: every malformed guard or index
+    /// points at its exact line *and* column.
+    #[test]
+    fn malformed_guards_and_indices_locate_line_and_column() {
+        // (source, expected line, expected 1-based column, msg fragment)
+        let table: &[(&str, usize, usize, &str)] = &[
+            // `array A3`: no bracket in the spec token.
+            ("model x steps 1\narray A3\n", 2, 7, "expected `NAME[N]`"),
+            // Unclosed bracket: column of the `[`.
+            ("model x steps 1\nmemory M[4\n", 2, 9, "unclosed `[`"),
+            // Non-numeric length: column of the index text.
+            ("model x steps 1\narray A[x]\n", 2, 9, "bad length `x`"),
+            // Missing name: column of the spec itself.
+            ("model x steps 1\nmemory [4]\n", 2, 8, "storage name"),
+            // Indented line: columns shift with the indentation.
+            ("model x steps 1\n  array A[x]\n", 2, 11, "bad length `x`"),
+            // Bad comparison operator inside a guard: the tuple text
+            // starts at col 10, `??` sits 6 bytes into it (`if R1 `).
+            (
+                "model x steps 1\nregister R1\nbus B\nbus C\nmodule CP ops passa comb\n\
+                 transfer if R1 ?? 0 then (R1,B,-,-,1,CP,1,C,R1)\n",
+                6,
+                16,
+                "unknown comparison `??`",
+            ),
+            // Bad guard literal: `0x` is 8 bytes into the tuple text.
+            (
+                "model x steps 1\nregister R1\nbus B\nbus C\nmodule CP ops passa comb\n\
+                 transfer if R1 = 0x then (R1,B,-,-,1,CP,1,C,R1)\n",
+                6,
+                18,
+                "bad literal `0x`",
+            ),
+            // Guard without `then`: column of the tuple text.
+            (
+                "model x steps 1\nregister R1\nbus B\nbus C\nmodule CP ops passa comb\n\
+                 transfer if R1 = 0 (R1,B,-,-,1,CP,1,C,R1)\n",
+                6,
+                10,
+                "then",
+            ),
+        ];
+        for &(src, line, column, frag) in table {
+            let err = parse_model(src).unwrap_err();
+            assert_eq!(err.line, line, "{src:?}: {err}");
+            assert_eq!(err.col, column, "{src:?}: {err}");
+            assert!(err.msg.contains(frag), "{src:?}: {err}");
+            assert!(
+                err.to_string()
+                    .starts_with(&format!("line {line}:{column}: ")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_validation_errors_carry_lines() {
+        let err = parse_model("model x steps 1\narray A[0]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("at least one element"), "{err}");
+        let err = parse_model("model x steps 1\nmemory M[2]\nmemory M[2]\n").unwrap_err();
+        assert_eq!(err.line, 3);
     }
 }

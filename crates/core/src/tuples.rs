@@ -24,6 +24,332 @@ use std::str::FromStr;
 use crate::op::Op;
 use crate::phase::{Phase, Step};
 
+/// Splits an indexed storage reference `BASE[IDX]` into its parts.
+///
+/// Returns `None` when `name` carries no index suffix. The index part is
+/// returned raw (it may be a number or a register name); callers resolve
+/// it against the model.
+pub fn indexed_parts(name: &str) -> Option<(&str, &str)> {
+    let open = name.find('[')?;
+    let rest = &name[open + 1..];
+    let close = rest.find(']')?;
+    if open == 0 || close + 1 != rest.len() || rest[..close].is_empty() {
+        return None;
+    }
+    Some((&name[..open], &rest[..close]))
+}
+
+/// A comparison operator usable in transfer guards, printed in VHDL
+/// relational notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The logically opposite comparison (`=` ↔ `/=`, `<` ↔ `>=`, …).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+        }
+    }
+
+    /// Applies the comparison to two numbers.
+    pub fn holds(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "/=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl FromStr for CmpOp {
+    type Err = ParseGuardError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "=" => CmpOp::Eq,
+            "/=" => CmpOp::Ne,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            _ => {
+                return Err(ParseGuardError {
+                    msg: format!("unknown comparison `{s}`"),
+                    offset: 0,
+                })
+            }
+        })
+    }
+}
+
+/// One side of a guard comparison: a register (possibly an array element)
+/// or an integer literal. Buses are deliberately excluded — their values
+/// are phase-transient within a step, so a guard re-evaluated at each
+/// spec's activation phase would be incoherent; register outputs are
+/// stable from `ra` through `wb` (commits land at `cr`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GuardOperand {
+    /// A register output, read at guard-evaluation time.
+    Reg(String),
+    /// An integer literal.
+    Const(i64),
+}
+
+impl fmt::Display for GuardOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardOperand::Reg(r) => f.write_str(r),
+            GuardOperand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One comparison clause of a guard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GuardClause {
+    /// Left operand.
+    pub lhs: GuardOperand,
+    /// Comparison operator.
+    pub cmp: CmpOp,
+    /// Right operand.
+    pub rhs: GuardOperand,
+}
+
+impl fmt::Display for GuardClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.cmp, self.rhs)
+    }
+}
+
+/// A transfer guard: a conjunction of comparison clauses, optionally
+/// negated as a whole (`not (…)`).
+///
+/// The guard is a combinational enable, re-evaluated at each asserting
+/// spec's activation phase over the *current* register-output values: the
+/// read-side specs see the registers as of the read step, the write-side
+/// specs as of the write step. A clause holds only when both operands are
+/// regular numbers and the comparison is true; a `DISC` or `ILLEGAL`
+/// operand makes the clause false. A false guard makes the transfer
+/// process drive `DISC` instead of the source value — the driver update
+/// still happens, so schedule statistics are guard-independent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// Whether the conjunction is negated as a whole.
+    pub negated: bool,
+    /// The conjunction clauses (non-empty).
+    pub clauses: Vec<GuardClause>,
+}
+
+impl Guard {
+    /// A single-clause guard.
+    pub fn new(lhs: GuardOperand, cmp: CmpOp, rhs: GuardOperand) -> Guard {
+        Guard {
+            negated: false,
+            clauses: vec![GuardClause { lhs, cmp, rhs }],
+        }
+    }
+
+    /// The guard's logical negation (toggles the `not` wrapper).
+    pub fn flipped(&self) -> Guard {
+        Guard {
+            negated: !self.negated,
+            clauses: self.clauses.clone(),
+        }
+    }
+
+    /// Evaluates the guard; `lookup` maps register names to their current
+    /// values (`None` meaning no numeric value is available).
+    pub fn eval(&self, mut lookup: impl FnMut(&str) -> Option<i64>) -> bool {
+        let conj = self.clauses.iter().all(|c| {
+            let mut side = |op: &GuardOperand| match op {
+                GuardOperand::Reg(r) => lookup(r),
+                GuardOperand::Const(v) => Some(*v),
+            };
+            match (side(&c.lhs), side(&c.rhs)) {
+                (Some(a), Some(b)) => c.cmp.holds(a, b),
+                _ => false,
+            }
+        });
+        conj != self.negated
+    }
+
+    /// Register names the guard reads, in clause order (with duplicates).
+    pub fn registers(&self) -> impl Iterator<Item = &str> {
+        self.clauses.iter().flat_map(|c| {
+            [&c.lhs, &c.rhs].into_iter().filter_map(|op| match op {
+                GuardOperand::Reg(r) => Some(r.as_str()),
+                GuardOperand::Const(_) => None,
+            })
+        })
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = self
+            .clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" and ");
+        if self.negated {
+            write!(f, "not ({body})")
+        } else {
+            f.write_str(&body)
+        }
+    }
+}
+
+/// Error parsing a [`Guard`], locating the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGuardError {
+    /// Description of the problem.
+    pub msg: String,
+    /// Byte offset of the offending token within the parsed text.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseGuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid guard: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseGuardError {}
+
+impl Guard {
+    /// Parses a guard from its textual form, e.g. `R1 /= 0 and A[1] <= 5`
+    /// or `not (MODE = 2)`.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseGuardError`] carrying the byte offset of the offending
+    /// token within `text`.
+    pub fn parse(text: &str) -> Result<Guard, ParseGuardError> {
+        let trimmed = text.trim();
+        let base = text.len() - text.trim_start().len();
+        let at = |tok_offset: usize| base + tok_offset;
+        let (negated, body, body_base) = match trimmed.strip_prefix("not") {
+            Some(rest) if rest.trim_start().starts_with('(') => {
+                let inner = rest.trim_start();
+                let inner_base = at(trimmed.len() - inner.len());
+                let inner = inner
+                    .strip_prefix('(')
+                    .and_then(|s| s.trim_end().strip_suffix(')'))
+                    .ok_or_else(|| ParseGuardError {
+                        msg: "`not` needs a parenthesized condition".into(),
+                        offset: inner_base,
+                    })?;
+                (true, inner, inner_base + 1)
+            }
+            _ => (false, trimmed, base),
+        };
+        if body.trim().is_empty() {
+            return Err(ParseGuardError {
+                msg: "empty condition".into(),
+                offset: base,
+            });
+        }
+        let mut clauses = Vec::new();
+        let mut cursor = 0usize;
+        for part in body.split(" and ") {
+            let part_base = body_base + cursor;
+            cursor += part.len() + " and ".len();
+            let toks: Vec<(usize, &str)> = split_tokens(part);
+            let [l, c, r] = toks.as_slice() else {
+                return Err(ParseGuardError {
+                    msg: format!(
+                        "expected `<operand> <cmp> <operand>`, found `{}`",
+                        part.trim()
+                    ),
+                    offset: part_base + toks.first().map_or(0, |&(o, _)| o),
+                });
+            };
+            let cmp: CmpOp = c.1.parse().map_err(|e: ParseGuardError| ParseGuardError {
+                msg: e.msg,
+                offset: part_base + c.0,
+            })?;
+            let operand = |(off, tok): (usize, &str)| -> Result<GuardOperand, ParseGuardError> {
+                if tok
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '+')
+                {
+                    tok.parse::<i64>()
+                        .map(GuardOperand::Const)
+                        .map_err(|_| ParseGuardError {
+                            msg: format!("bad literal `{tok}`"),
+                            offset: part_base + off,
+                        })
+                } else {
+                    Ok(GuardOperand::Reg(tok.to_string()))
+                }
+            };
+            clauses.push(GuardClause {
+                lhs: operand(*l)?,
+                cmp,
+                rhs: operand(*r)?,
+            });
+        }
+        Ok(Guard { negated, clauses })
+    }
+}
+
+/// Whitespace-splits `s` into `(byte offset, token)` pairs.
+fn split_tokens(s: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    let mut off = 0usize;
+    loop {
+        let skipped = rest.len() - rest.trim_start().len();
+        off += skipped;
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+        out.push((off, &rest[..end]));
+        off += end;
+        rest = &rest[end..];
+    }
+    out
+}
+
 /// One operand route: a register read onto a bus.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OperandRoute {
@@ -96,6 +422,10 @@ pub struct TransferTuple {
     pub op: Option<Op>,
     /// Result route, if the transfer writes a register this tuple.
     pub write: Option<WriteRoute>,
+    /// Optional guard: when present, every asserting process of this
+    /// tuple drives `DISC` instead of its source value whenever the
+    /// guard evaluates false at the process's activation phase.
+    pub guard: Option<Guard>,
 }
 
 impl TransferTuple {
@@ -109,7 +439,14 @@ impl TransferTuple {
             module: module.into(),
             op: None,
             write: None,
+            guard: None,
         }
+    }
+
+    /// Sets the transfer guard.
+    pub fn guard(mut self, guard: Guard) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     /// Sets the first-operand route.
@@ -145,57 +482,130 @@ impl TransferTuple {
     /// following the mapping of §2.7: up to two `ra`-phase, two
     /// `rb`-phase, one `wa`-phase and one `wb`-phase processes, plus the
     /// operation-select process for multi-operation modules.
+    ///
+    /// This purely syntactic expansion treats every storage name as a
+    /// register. Models that may declare memories must use
+    /// [`TransferTuple::expand_in`], which resolves indexed references
+    /// against the model's memory table.
     pub fn expand(&self) -> Vec<TransferSpec> {
-        let mut out = Vec::with_capacity(7);
+        self.expand_with(|name| Endpoint::RegOut(name.to_string()), |_| None)
+    }
+
+    /// Expands the tuple like [`TransferTuple::expand`], but resolves
+    /// storage names against `model`: an operand `M[x]` where `M` is a
+    /// declared memory becomes a memory-word read endpoint, and a write
+    /// destination `M[x]` lowers to a pair of `wb`-phase processes
+    /// driving the memory's write-value and write-address ports.
+    pub fn expand_in(&self, model: &crate::model::RtModel) -> Vec<TransferSpec> {
+        let read = |name: &str| -> Endpoint {
+            if let Some((base, idx)) = indexed_parts(name) {
+                if model.memory_by_name(base).is_some() {
+                    let addr = match idx.parse::<u32>() {
+                        Ok(i) => MemAddr::Const(i),
+                        Err(_) => MemAddr::Reg(idx.to_string()),
+                    };
+                    return Endpoint::MemWord {
+                        mem: base.to_string(),
+                        addr,
+                    };
+                }
+            }
+            Endpoint::RegOut(name.to_string())
+        };
+        let write = |name: &str| -> Option<(String, MemAddr)> {
+            let (base, idx) = indexed_parts(name)?;
+            model.memory_by_name(base)?;
+            let addr = match idx.parse::<u32>() {
+                Ok(i) => MemAddr::Const(i),
+                Err(_) => MemAddr::Reg(idx.to_string()),
+            };
+            Some((base.to_string(), addr))
+        };
+        self.expand_with(read, write)
+    }
+
+    /// Shared expansion body: `read` maps an operand storage name to its
+    /// source endpoint; `mem_write` classifies a write destination as a
+    /// memory reference (returning the memory name and address).
+    fn expand_with(
+        &self,
+        read: impl Fn(&str) -> Endpoint,
+        mem_write: impl Fn(&str) -> Option<(String, MemAddr)>,
+    ) -> Vec<TransferSpec> {
+        let mut out = Vec::with_capacity(8);
+        let mut push = |step: Step, phase: Phase, src: Endpoint, dst: Endpoint| {
+            out.push(TransferSpec {
+                step,
+                phase,
+                src,
+                dst,
+                guard: self.guard.clone(),
+            });
+        };
         if let Some(a) = &self.src_a {
-            out.push(TransferSpec {
-                step: self.read_step,
-                phase: Phase::Ra,
-                src: Endpoint::RegOut(a.register.clone()),
-                dst: Endpoint::Bus(a.bus.clone()),
-            });
-            out.push(TransferSpec {
-                step: self.read_step,
-                phase: Phase::Rb,
-                src: Endpoint::Bus(a.bus.clone()),
-                dst: Endpoint::ModIn1(self.module.clone()),
-            });
+            push(
+                self.read_step,
+                Phase::Ra,
+                read(&a.register),
+                Endpoint::Bus(a.bus.clone()),
+            );
+            push(
+                self.read_step,
+                Phase::Rb,
+                Endpoint::Bus(a.bus.clone()),
+                Endpoint::ModIn1(self.module.clone()),
+            );
         }
         if let Some(b) = &self.src_b {
-            out.push(TransferSpec {
-                step: self.read_step,
-                phase: Phase::Ra,
-                src: Endpoint::RegOut(b.register.clone()),
-                dst: Endpoint::Bus(b.bus.clone()),
-            });
-            out.push(TransferSpec {
-                step: self.read_step,
-                phase: Phase::Rb,
-                src: Endpoint::Bus(b.bus.clone()),
-                dst: Endpoint::ModIn2(self.module.clone()),
-            });
+            push(
+                self.read_step,
+                Phase::Ra,
+                read(&b.register),
+                Endpoint::Bus(b.bus.clone()),
+            );
+            push(
+                self.read_step,
+                Phase::Rb,
+                Endpoint::Bus(b.bus.clone()),
+                Endpoint::ModIn2(self.module.clone()),
+            );
         }
         if let Some(op) = self.op {
-            out.push(TransferSpec {
-                step: self.read_step,
-                phase: Phase::Rb,
-                src: Endpoint::ConstOp(op),
-                dst: Endpoint::ModOp(self.module.clone()),
-            });
+            push(
+                self.read_step,
+                Phase::Rb,
+                Endpoint::ConstOp(op),
+                Endpoint::ModOp(self.module.clone()),
+            );
         }
         if let Some(w) = &self.write {
-            out.push(TransferSpec {
-                step: w.step,
-                phase: Phase::Wa,
-                src: Endpoint::ModOut(self.module.clone()),
-                dst: Endpoint::Bus(w.bus.clone()),
-            });
-            out.push(TransferSpec {
-                step: w.step,
-                phase: Phase::Wb,
-                src: Endpoint::Bus(w.bus.clone()),
-                dst: Endpoint::RegIn(w.register.clone()),
-            });
+            push(
+                w.step,
+                Phase::Wa,
+                Endpoint::ModOut(self.module.clone()),
+                Endpoint::Bus(w.bus.clone()),
+            );
+            match mem_write(&w.register) {
+                Some((mem, addr)) => {
+                    push(
+                        w.step,
+                        Phase::Wb,
+                        Endpoint::Bus(w.bus.clone()),
+                        Endpoint::MemWin(mem.clone()),
+                    );
+                    let addr_src = match addr {
+                        MemAddr::Const(i) => Endpoint::ConstVal(i64::from(i)),
+                        MemAddr::Reg(r) => Endpoint::RegOut(r),
+                    };
+                    push(w.step, Phase::Wb, addr_src, Endpoint::MemWaddr(mem));
+                }
+                None => push(
+                    w.step,
+                    Phase::Wb,
+                    Endpoint::Bus(w.bus.clone()),
+                    Endpoint::RegIn(w.register.clone()),
+                ),
+            }
         }
         out
     }
@@ -220,6 +630,38 @@ pub enum Endpoint {
     ModOp(String),
     /// A constant operation code (source for [`Endpoint::ModOp`]).
     ConstOp(Op),
+    /// A memory word read (source): `mem[addr]`, with the address fixed
+    /// at elaboration time or taken from a register output.
+    MemWord {
+        /// Memory name.
+        mem: String,
+        /// Word address.
+        addr: MemAddr,
+    },
+    /// A memory's write-value port (sink; resolved).
+    MemWin(String),
+    /// A memory's write-address port (sink; resolved).
+    MemWaddr(String),
+    /// A constant integer (source for [`Endpoint::MemWaddr`]).
+    ConstVal(i64),
+}
+
+/// Address selector of a memory-word read endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemAddr {
+    /// A fixed word index.
+    Const(u32),
+    /// The current value of a register output.
+    Reg(String),
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemAddr::Const(i) => write!(f, "{i}"),
+            MemAddr::Reg(r) => f.write_str(r),
+        }
+    }
 }
 
 impl fmt::Display for Endpoint {
@@ -233,6 +675,10 @@ impl fmt::Display for Endpoint {
             Endpoint::ModOut(m) => write!(f, "{m}_out"),
             Endpoint::ModOp(m) => write!(f, "{m}_op"),
             Endpoint::ConstOp(op) => write!(f, "const({op})"),
+            Endpoint::MemWord { mem, addr } => write!(f, "{mem}[{addr}]"),
+            Endpoint::MemWin(m) => write!(f, "{m}_win"),
+            Endpoint::MemWaddr(m) => write!(f, "{m}_waddr"),
+            Endpoint::ConstVal(v) => write!(f, "const({v})"),
         }
     }
 }
@@ -250,6 +696,9 @@ pub struct TransferSpec {
     /// The value sink (assigned at `phase`, disconnected at the
     /// successor phase).
     pub dst: Endpoint,
+    /// Guard inherited from the originating tuple, if any; evaluated at
+    /// the process's activation phase.
+    pub guard: Option<Guard>,
 }
 
 impl TransferSpec {
@@ -274,11 +723,21 @@ impl fmt::Display for TransferSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTupleError {
     msg: String,
+    offset: usize,
 }
 
 impl ParseTupleError {
     fn new(msg: impl Into<String>) -> Self {
-        ParseTupleError { msg: msg.into() }
+        ParseTupleError {
+            msg: msg.into(),
+            offset: 0,
+        }
+    }
+
+    /// Byte offset of the offending token within the (trimmed) parsed
+    /// text; 0 when the whole text is at fault.
+    pub fn offset(&self) -> usize {
+        self.offset
     }
 }
 
@@ -314,6 +773,9 @@ impl fmt::Display for TransferTuple {
             .as_ref()
             .map(|w| (w.step.to_string(), w.bus.clone(), w.register.clone()))
             .unwrap_or((dash.clone(), dash.clone(), dash));
+        if let Some(g) = &self.guard {
+            write!(f, "if {g} then ")?;
+        }
         write!(
             f,
             "({ra},{ba},{rb},{bb},{},{module},{ws},{wb},{wr})",
@@ -326,6 +788,25 @@ impl FromStr for TransferTuple {
     type Err = ParseTupleError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (guard, s) = match s.strip_prefix("if ") {
+            Some(rest) => {
+                let paren = rest.rfind('(').ok_or_else(|| {
+                    ParseTupleError::new("guarded transfer needs a parenthesized tuple")
+                })?;
+                let head = &rest[..paren];
+                let cond = head.trim_end().strip_suffix("then").ok_or_else(|| {
+                    ParseTupleError::new("guarded transfer needs `then` before the tuple")
+                })?;
+                let guard = Guard::parse(cond).map_err(|e| ParseTupleError {
+                    msg: e.msg,
+                    // `cond` starts right after the 3-byte `if ` prefix.
+                    offset: 3 + e.offset,
+                })?;
+                (Some(guard), &rest[paren..])
+            }
+            None => (None, s),
+        };
         let body = s
             .trim()
             .strip_prefix('(')
@@ -409,6 +890,7 @@ impl FromStr for TransferTuple {
             module,
             op,
             write,
+            guard,
         })
     }
 }
@@ -436,6 +918,7 @@ mod tests {
                 phase: Phase::Ra,
                 src: Endpoint::RegOut("R1".into()),
                 dst: Endpoint::Bus("B1".into()),
+                guard: None,
             }
         );
         assert_eq!(specs[0].instance_name(), "R1_out_B1_5");
@@ -507,5 +990,86 @@ mod tests {
         assert!("(R1,B1,R2,B2,5,ADD:frob,6,B1,R1)"
             .parse::<TransferTuple>()
             .is_err());
+    }
+
+    #[test]
+    fn guarded_tuple_roundtrip() {
+        let t: TransferTuple = "if R3 /= 0 and R4 <= 7 then (R1,B1,R2,B2,5,ADD,6,B1,R1)"
+            .parse()
+            .unwrap();
+        let g = t.guard.as_ref().unwrap();
+        assert_eq!(g.clauses.len(), 2);
+        assert!(!g.negated);
+        assert_eq!(g.clauses[0].lhs, GuardOperand::Reg("R3".into()));
+        assert_eq!(g.clauses[0].cmp, CmpOp::Ne);
+        assert_eq!(g.clauses[0].rhs, GuardOperand::Const(0));
+        assert_eq!(
+            t.to_string(),
+            "if R3 /= 0 and R4 <= 7 then (R1,B1,R2,B2,5,ADD,6,B1,R1)"
+        );
+        assert_eq!(t.to_string().parse::<TransferTuple>().unwrap(), t);
+        // Every asserting spec inherits the guard.
+        assert!(t.expand().iter().all(|s| s.guard.is_some()));
+    }
+
+    #[test]
+    fn negated_guard_roundtrip() {
+        let t: TransferTuple = "if not (MODE = 2) then (R1,B1,-,-,3,NEG,4,B1,R1)"
+            .parse()
+            .unwrap();
+        assert!(t.guard.as_ref().unwrap().negated);
+        assert_eq!(
+            t.to_string(),
+            "if not (MODE = 2) then (R1,B1,-,-,3,NEG,4,B1,R1)"
+        );
+        assert_eq!(t.to_string().parse::<TransferTuple>().unwrap(), t);
+        let flipped = t.guard.as_ref().unwrap().flipped();
+        assert!(!flipped.negated);
+    }
+
+    #[test]
+    fn guard_eval_semantics() {
+        let g = Guard::parse("A > 1 and B = 3").unwrap();
+        let vals = |a: Option<i64>, b: Option<i64>| {
+            g.eval(|r| match r {
+                "A" => a,
+                "B" => b,
+                _ => None,
+            })
+        };
+        assert!(vals(Some(2), Some(3)));
+        assert!(!vals(Some(1), Some(3)));
+        // DISC / ILLEGAL operands (no numeric value) make a clause false.
+        assert!(!vals(None, Some(3)));
+        assert!(g.flipped().eval(|_| None));
+    }
+
+    #[test]
+    fn malformed_guards_rejected_with_offset() {
+        let e = Guard::parse("R1 >< 3").unwrap_err();
+        assert_eq!(e.offset, 3);
+        let e = Guard::parse("R1 <").unwrap_err();
+        assert_eq!(e.offset, 0);
+        let e = Guard::parse("R1 < 1 and R2 >> 4").unwrap_err();
+        assert_eq!(e.offset, 14);
+        assert!(Guard::parse("").is_err());
+        // `not` requires parentheses around the condition.
+        assert!(Guard::parse("not R1 = 1").is_err());
+        assert!("if R1 >< 3 then (R1,B1,-,-,3,NEG,4,B1,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+        assert!("if R1 = 3 (R1,B1,-,-,3,NEG,4,B1,R1)"
+            .parse::<TransferTuple>()
+            .is_err());
+    }
+
+    #[test]
+    fn indexed_parts_splits_bracketed_names() {
+        assert_eq!(indexed_parts("M[2]"), Some(("M", "2")));
+        assert_eq!(indexed_parts("MEM[R3]"), Some(("MEM", "R3")));
+        assert_eq!(indexed_parts("R1"), None);
+        assert_eq!(indexed_parts("[2]"), None);
+        assert_eq!(indexed_parts("M[]"), None);
+        assert_eq!(indexed_parts("M[2]x"), None);
     }
 }

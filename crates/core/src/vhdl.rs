@@ -119,6 +119,36 @@ end transfer;
 
 use work.rt_pkg.all;
 
+-- Guarded transfer (conditional-transfer extension of section 2.4): the
+-- source is forwarded only while the guard signal G is 1; a false guard
+-- drives DISC instead, so the driver hand-off — and with it the delta
+-- schedule — is identical to the unguarded TRANS.
+entity TRANSG is
+  generic (S : Natural; P : Phase);
+  port (CS   : in  Natural;
+        PH   : in  Phase;
+        G    : in  Integer;
+        InS  : in  Integer;
+        OutS : out Integer := DISC);
+end TRANSG;
+
+architecture transfer of TRANSG is
+begin
+  process
+  begin
+    wait until CS = S and PH = P;
+    if G = 1 then
+      OutS <= InS;
+    else
+      OutS <= DISC;
+    end if;
+    wait until CS = S and PH = Phase'Succ(P);
+    OutS <= DISC;
+  end process;
+end transfer;
+
+use work.rt_pkg.all;
+
 -- Section 2.5: registers fetch at cr whenever a transfer assigned their
 -- input port; otherwise the old value is kept.
 entity REG is
@@ -348,6 +378,35 @@ pub fn emit_vhdl(model: &RtModel) -> Result<String, EmitVhdlError> {
     let _ = writeln!(out, "use work.rt_pkg.all;\n");
     let _ = writeln!(out, "entity {name} is\nend {name};\n");
     let _ = writeln!(out, "architecture transfer of {name} is");
+    // Structured storage map: bracketed storage names are sanitized into
+    // VHDL identifiers below; these comments let the importer restore
+    // the array/memory declarations and the original names.
+    if !model.arrays().is_empty() || !model.memories().is_empty() {
+        let _ = writeln!(out, "  -- storage map");
+        for a in model.arrays() {
+            match a.init {
+                Value::Num(v) => {
+                    let _ = writeln!(out, "  -- array: {} length {} init {}", a.name, a.len, v);
+                }
+                _ => {
+                    let _ = writeln!(out, "  -- array: {} length {}", a.name, a.len);
+                }
+            }
+        }
+        for m in model.memories() {
+            match m.init {
+                Value::Num(v) => {
+                    let _ = writeln!(out, "  -- memory: {} length {} init {}", m.name, m.len, v);
+                }
+                _ => {
+                    let _ = writeln!(out, "  -- memory: {} length {}", m.name, m.len);
+                }
+            }
+        }
+        for port in indirect_mem_ports(model) {
+            let _ = writeln!(out, "  -- memory port: {port}");
+        }
+    }
     let _ = writeln!(out, "  -- timing signals");
     let _ = writeln!(out, "  signal CS : Natural;");
     let _ = writeln!(out, "  signal PH : Phase;");
@@ -361,13 +420,42 @@ pub fn emit_vhdl(model: &RtModel) -> Result<String, EmitVhdlError> {
     }
     let _ = writeln!(out, "  -- register ports");
     for r in model.registers() {
-        let _ = writeln!(out, "  signal {0}_in : RInteger;", r.name);
+        let rn = sanitize(&r.name);
+        let _ = writeln!(out, "  signal {rn}_in : RInteger;");
         match r.init {
             Value::Num(v) => {
-                let _ = writeln!(out, "  signal {0}_out : Integer := {v};", r.name);
+                let _ = writeln!(out, "  signal {rn}_out : Integer := {v};");
             }
             _ => {
-                let _ = writeln!(out, "  signal {0}_out : Integer;", r.name);
+                let _ = writeln!(out, "  signal {rn}_out : Integer;");
+            }
+        }
+    }
+    for m in model.memories() {
+        let _ = writeln!(out, "  -- memory `{}` word ports", m.name);
+        for i in 0..m.len {
+            let wn = sanitize(&m.word_name(i));
+            let _ = writeln!(out, "  signal {wn}_in : RInteger;");
+            match m.init {
+                Value::Num(v) => {
+                    let _ = writeln!(out, "  signal {wn}_out : Integer := {v};");
+                }
+                _ => {
+                    let _ = writeln!(out, "  signal {wn}_out : Integer;");
+                }
+            }
+        }
+    }
+    for port in indirect_mem_ports(model) {
+        let pn = sanitize(&port);
+        let _ = writeln!(out, "  signal {pn}_in : RInteger;");
+        let _ = writeln!(out, "  signal {pn}_out : Integer;");
+    }
+    if model.tuples().iter().any(|t| t.guard.is_some()) {
+        let _ = writeln!(out, "  -- transfer guards");
+        for (k, tuple) in model.tuples().iter().enumerate() {
+            if tuple.guard.is_some() {
+                let _ = writeln!(out, "  signal g_{k} : Integer := 0;");
             }
         }
     }
@@ -394,14 +482,38 @@ pub fn emit_vhdl(model: &RtModel) -> Result<String, EmitVhdlError> {
     }
     let _ = writeln!(out, "  -- registers");
     for r in model.registers() {
+        let rn = sanitize(&r.name);
         let _ = writeln!(
             out,
-            "  {0}_proc : entity work.REG port map (PH, {0}_in, {0}_out);",
-            r.name
+            "  {rn}_proc : entity work.REG port map (PH, {rn}_in, {rn}_out);"
         );
     }
+    for m in model.memories() {
+        for i in 0..m.len {
+            let wn = sanitize(&m.word_name(i));
+            let _ = writeln!(
+                out,
+                "  {wn}_proc : entity work.REG port map (PH, {wn}_in, {wn}_out);"
+            );
+        }
+    }
+    for port in indirect_mem_ports(model) {
+        let pn = sanitize(&port);
+        let _ = writeln!(
+            out,
+            "  {pn}_proc : entity work.REG port map (PH, {pn}_in, {pn}_out);"
+        );
+    }
+    if model.tuples().iter().any(|t| t.guard.is_some()) {
+        let _ = writeln!(out, "  -- guard conditions");
+        for (k, tuple) in model.tuples().iter().enumerate() {
+            if let Some(g) = &tuple.guard {
+                let _ = writeln!(out, "  g_{k} <= 1 when {} else 0;", guard_condition(g));
+            }
+        }
+    }
     let _ = writeln!(out, "  -- transfers");
-    for tuple in model.tuples() {
+    for (k, tuple) in model.tuples().iter().enumerate() {
         for spec in tuple.expand() {
             use crate::tuples::Endpoint;
             let src = match &spec.src {
@@ -415,15 +527,29 @@ pub fn emit_vhdl(model: &RtModel) -> Result<String, EmitVhdlError> {
                 other => endpoint_signal(other),
             };
             let dst = endpoint_signal(&spec.dst);
-            let _ = writeln!(
-                out,
-                "  {0} : entity work.TRANS generic map ({1}, {2}) port map (CS, PH, {3}, {4});",
-                spec.instance_name(),
-                spec.step,
-                spec.phase,
-                src,
-                dst
-            );
+            if tuple.guard.is_some() {
+                let _ = writeln!(
+                    out,
+                    "  {0} : entity work.TRANSG generic map ({1}, {2}) \
+                     port map (CS, PH, g_{3}, {4}, {5});",
+                    sanitize(&spec.instance_name()),
+                    spec.step,
+                    spec.phase,
+                    k,
+                    src,
+                    dst
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {0} : entity work.TRANS generic map ({1}, {2}) port map (CS, PH, {3}, {4});",
+                    sanitize(&spec.instance_name()),
+                    spec.step,
+                    spec.phase,
+                    src,
+                    dst
+                );
+            }
         }
     }
     let _ = writeln!(out, "  -- controller");
@@ -436,22 +562,84 @@ pub fn emit_vhdl(model: &RtModel) -> Result<String, EmitVhdlError> {
     Ok(out)
 }
 
+/// Distinct register-indirect memory references used by the model's
+/// tuples (e.g. `M[R1]`), in first-use order. Each becomes a REG-backed
+/// port pair plus a `-- memory port:` comment so the importer can map
+/// the sanitized signal back to the bracketed name.
+fn indirect_mem_ports(model: &RtModel) -> Vec<String> {
+    use crate::tuples::indexed_parts;
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |name: &str| {
+        if let Some((base, idx)) = indexed_parts(name) {
+            if model.memory_by_name(base).is_some()
+                && idx.parse::<u32>().is_err()
+                && !out.iter().any(|n| n == name)
+            {
+                out.push(name.to_string());
+            }
+        }
+    };
+    for t in model.tuples() {
+        for route in [&t.src_a, &t.src_b].into_iter().flatten() {
+            push(&route.register);
+        }
+        if let Some(w) = &t.write {
+            push(&w.register);
+        }
+    }
+    out
+}
+
+/// Renders a guard as a VHDL boolean expression over `_out` register
+/// signals, e.g. `R1_out /= 0 and A_1__out >= 3`.
+fn guard_condition(g: &crate::tuples::Guard) -> String {
+    use crate::tuples::GuardOperand;
+    let side = |op: &GuardOperand| match op {
+        GuardOperand::Reg(r) => format!("{}_out", sanitize(r)),
+        GuardOperand::Const(v) => v.to_string(),
+    };
+    let body = g
+        .clauses
+        .iter()
+        .map(|c| format!("{} {} {}", side(&c.lhs), c.cmp, side(&c.rhs)))
+        .collect::<Vec<_>>()
+        .join(" and ");
+    if g.negated {
+        format!("not ({body})")
+    } else {
+        body
+    }
+}
+
 /// The VHDL signal name of an endpoint, matching the §2.7 declarations.
+/// Memory-word names contain brackets and are sanitized; the structured
+/// comments the emitter writes let the importer restore them.
 fn endpoint_signal(e: &crate::tuples::Endpoint) -> String {
-    use crate::tuples::Endpoint;
+    use crate::tuples::{Endpoint, MemAddr};
     match e {
-        Endpoint::RegOut(r) => format!("{r}_out"),
-        Endpoint::RegIn(r) => format!("{r}_in"),
+        Endpoint::RegOut(r) => format!("{}_out", sanitize(r)),
+        Endpoint::RegIn(r) => format!("{}_in", sanitize(r)),
         Endpoint::Bus(b) => b.clone(),
         Endpoint::ModIn1(m) => format!("{m}_in1"),
         Endpoint::ModIn2(m) => format!("{m}_in2"),
         Endpoint::ModOut(m) => format!("{m}_out"),
         Endpoint::ModOp(m) => format!("{m}_op"),
+        Endpoint::MemWord { mem, addr } => match addr {
+            MemAddr::Const(i) => format!("{}_out", sanitize(&format!("{mem}[{i}]"))),
+            MemAddr::Reg(r) => format!("{mem}_rd_{r}"),
+        },
+        Endpoint::MemWin(m) => format!("{m}_win"),
+        Endpoint::MemWaddr(m) => format!("{m}_waddr"),
+        Endpoint::ConstVal(v) => v.to_string(),
         Endpoint::ConstOp(_) => unreachable!("handled by the caller"),
     }
 }
 
-fn sanitize(name: &str) -> String {
+/// Turns a storage name into a VHDL identifier: non-alphanumeric
+/// characters become `_` (so `A[0]` → `A_0_`), with a leading `m` when
+/// the result would not start with a letter. Shared with the importer,
+/// which inverts it via the structured storage map comments.
+pub(crate) fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })

@@ -19,8 +19,8 @@ use std::fmt;
 
 use crate::op::Op;
 use crate::phase::{Phase, Step};
-use crate::resource::{ModuleDecl, ModuleTiming};
-use crate::tuples::{Endpoint, TransferSpec};
+use crate::resource::{ArrayDecl, MemoryDecl, ModuleDecl, ModuleTiming};
+use crate::tuples::{indexed_parts, Endpoint, Guard, TransferSpec};
 use crate::value::Value;
 
 /// A design parsed from VHDL: resources plus raw transfer processes
@@ -41,7 +41,15 @@ pub struct ParsedDesign {
     /// Module declarations (operations and timing recovered from the
     /// module entities).
     pub modules: Vec<ModuleDecl>,
-    /// One entry per `TRANS` instantiation.
+    /// Register arrays, restored from the emitter's `-- array:` storage
+    /// map comments. Their element registers also appear in
+    /// [`ParsedDesign::registers`] (they are ordinary `REG` instances).
+    pub arrays: Vec<ArrayDecl>,
+    /// Memories, restored from the `-- memory:` storage map comments.
+    /// Their word signals are *not* listed in
+    /// [`ParsedDesign::registers`].
+    pub memories: Vec<MemoryDecl>,
+    /// One entry per `TRANS`/`TRANSG` instantiation.
     pub specs: Vec<TransferSpec>,
 }
 
@@ -182,7 +190,14 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
                             }
                         }
                     } else if let Some(expr) = extract_assignment(l) {
-                        if expr != "ILLEGAL" && expr != "DISC" && !expr.starts_with('m') {
+                        // Skip the sentinels and the pipeline-stage
+                        // variables (`m1`, `m2`, …) — but not operation
+                        // expressions that merely start with `m`, like
+                        // `minimum(a, b)`.
+                        let is_pipe_var = expr.strip_prefix('m').is_some_and(|d| {
+                            !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit())
+                        });
+                        if expr != "ILLEGAL" && expr != "DISC" && !is_pipe_var {
                             single = Some(
                                 expr_op(&expr).ok_or(ParseVhdlError::UnknownExpression(expr))?,
                             );
@@ -234,6 +249,67 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
     let body_end = top_text.find("end transfer;").unwrap_or(top_text.len());
     let body = &top_text[decl_end..body_end];
 
+    // Storage map comments: `-- array: A length 2 init 1`,
+    // `-- memory: M length 4 init 0`, `-- memory port: M[R1]`. These
+    // restore the bracketed storage names behind the sanitized signal
+    // identifiers.
+    let mut arrays: Vec<ArrayDecl> = Vec::new();
+    let mut memories: Vec<MemoryDecl> = Vec::new();
+    let mut mem_ports: Vec<String> = Vec::new();
+    for raw in decls.lines() {
+        let l = raw.trim();
+        if let Some(rest) = l.strip_prefix("-- array: ") {
+            let (name, len, init) =
+                parse_storage_comment(rest).ok_or_else(|| malformed(l, "array storage map"))?;
+            arrays.push(ArrayDecl { name, len, init });
+        } else if let Some(rest) = l.strip_prefix("-- memory: ") {
+            let (name, len, init) =
+                parse_storage_comment(rest).ok_or_else(|| malformed(l, "memory storage map"))?;
+            memories.push(MemoryDecl { name, len, init });
+        } else if let Some(rest) = l.strip_prefix("-- memory port: ") {
+            mem_ports.push(rest.trim().to_string());
+        }
+    }
+
+    // Sanitized identifier → original bracketed name.
+    let mut renames: Vec<(String, String)> = Vec::new();
+    {
+        let mut add = |orig: String| {
+            let san = crate::vhdl::sanitize(&orig);
+            if san != orig {
+                renames.push((san, orig));
+            }
+        };
+        for a in &arrays {
+            for i in 0..a.len {
+                add(format!("{}[{}]", a.name, i));
+            }
+        }
+        for m in &memories {
+            for i in 0..m.len {
+                add(m.word_name(i));
+            }
+        }
+        for p in &mem_ports {
+            add(p.clone());
+        }
+    }
+    let desan = |port: &str| -> String {
+        for (san, orig) in &renames {
+            if port == san {
+                return orig.clone();
+            }
+            if let Some(rest) = port.strip_prefix(san.as_str()) {
+                if rest == "_in" || rest == "_out" {
+                    return format!("{orig}{rest}");
+                }
+            }
+        }
+        port.to_string()
+    };
+    let is_mem_name =
+        |x: &str| indexed_parts(x).is_some_and(|(b, _)| memories.iter().any(|m| m.name == b));
+
     // Signal declarations: collect (name, resolved, init).
     let mut signals: Vec<(String, bool, Option<i64>)> = Vec::new();
     for raw in decls.lines() {
@@ -261,31 +337,64 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
     // ---- Pass 3: instantiations. ----
     let mut registers: Vec<(String, Value)> = Vec::new();
     let mut used_modules: Vec<String> = Vec::new();
-    let mut trans_raw: Vec<(Step, Phase, String, String)> = Vec::new();
+    let mut trans_raw: Vec<(Step, Phase, String, String, Option<String>)> = Vec::new();
+    let mut guard_defs: Vec<(String, String)> = Vec::new();
     let mut cs_max: Step = 0;
     for stmt in body.split(';') {
         let s: String = stmt.split_whitespace().collect::<Vec<_>>().join(" ");
         if s.contains("entity work.REG ") {
             // `X_proc : entity work.REG port map (PH, X_in, X_out)`
             let ports = port_list(&s)?;
-            let reg = ports
+            let san = ports
                 .get(1)
                 .and_then(|p| p.strip_suffix("_in"))
                 .ok_or_else(|| malformed(&s, "REG port map"))?;
             let init = signals
                 .iter()
-                .find(|(n, _, _)| n == &format!("{reg}_out"))
+                .find(|(n, _, _)| n == &format!("{san}_out"))
                 .and_then(|(_, _, i)| *i)
                 .map(Value::Num)
                 .unwrap_or(Value::Disc);
-            registers.push((reg.to_string(), init));
+            let orig = desan(san);
+            // Memory words and indirect memory ports are REG-backed
+            // signals, not model registers — the memory declaration
+            // from the storage map covers them.
+            if !is_mem_name(&orig) {
+                registers.push((orig, init));
+            }
         } else if s.contains("entity work.TRANS ") {
             let (step, phase) = generic_pair(&s)?;
             let ports = port_list(&s)?;
             if ports.len() != 4 {
                 return Err(malformed(&s, "TRANS takes (CS, PH, src, dst)"));
             }
-            trans_raw.push((step, phase, ports[2].clone(), ports[3].clone()));
+            trans_raw.push((step, phase, ports[2].clone(), ports[3].clone(), None));
+        } else if s.contains("entity work.TRANSG ") {
+            let (step, phase) = generic_pair(&s)?;
+            let ports = port_list(&s)?;
+            if ports.len() != 5 {
+                return Err(malformed(&s, "TRANSG takes (CS, PH, G, src, dst)"));
+            }
+            trans_raw.push((
+                step,
+                phase,
+                ports[3].clone(),
+                ports[4].clone(),
+                Some(ports[2].clone()),
+            ));
+        } else if let Some((gname, rest)) = s.split_once(" <= 1 when ") {
+            // A guard definition: `g_0 <= 1 when <cond> else 0`. The
+            // statement may start with leftover comment text from the
+            // preceding line; the signal name is the last token before
+            // the assignment.
+            let gname = gname
+                .split_whitespace()
+                .last()
+                .ok_or_else(|| malformed(&s, "guard assignment needs a signal name"))?;
+            let cond = rest
+                .strip_suffix(" else 0")
+                .ok_or_else(|| malformed(&s, "guard assignment must end in `else 0`"))?;
+            guard_defs.push((gname.to_string(), cond.trim().to_string()));
         } else if s.contains("entity work.CONTROLLER ") {
             let inner = between(&s, "generic map (", ")")
                 .ok_or_else(|| malformed(&s, "CONTROLLER generic map"))?;
@@ -307,15 +416,21 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
         return Err(ParseVhdlError::NoTopArchitecture);
     }
 
-    // Buses: resolved signals that are not register inputs or module ports.
+    // Buses: resolved signals that are not register inputs, memory word
+    // inputs or module ports.
     let mut buses: Vec<String> = Vec::new();
     for (n, resolved, _) in &signals {
         if !resolved {
             continue;
         }
-        let is_reg_in = n
-            .strip_suffix("_in")
-            .is_some_and(|r| registers.iter().any(|(name, _)| name == r));
+        let n = desan(n);
+        let is_reg_in = n.strip_suffix("_in").is_some_and(|r| {
+            registers.iter().any(|(name, _)| name == r)
+                || is_mem_name(r)
+                || arrays
+                    .iter()
+                    .any(|a| indexed_parts(r).is_some_and(|(b, _)| b == a.name))
+        });
         let is_mod_port = ["_in1", "_in2", "_op"].iter().any(|suf| {
             n.strip_suffix(suf)
                 .is_some_and(|m| modules.iter().any(|d| d.name == m))
@@ -325,12 +440,41 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
         }
     }
 
+    // Guard definitions: turn the VHDL condition back into a [`Guard`]
+    // by stripping the `_out` suffix (and the sanitization) from every
+    // register operand.
+    let mut guards: Vec<(String, Guard)> = Vec::new();
+    for (gname, cond) in guard_defs {
+        let text = cond
+            .split_whitespace()
+            .map(|tok| {
+                let open = tok.len() - tok.trim_start_matches('(').len();
+                let close_start = tok.trim_end_matches(')').len().max(open);
+                let (pre, rest) = tok.split_at(open);
+                let (core, post) = rest.split_at(close_start - open);
+                let core = match core.strip_suffix("_out") {
+                    Some(base) => desan(base),
+                    None => core.to_string(),
+                };
+                format!("{pre}{core}{post}")
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let guard = Guard::parse(&text).map_err(|e| ParseVhdlError::Malformed {
+            statement: cond.clone(),
+            reason: e.msg,
+        })?;
+        guards.push((gname, guard));
+    }
+
     // Resolve TRANS ports into endpoints.
     let modules: Vec<ModuleDecl> = modules
         .into_iter()
         .filter(|m| used_modules.contains(&m.name))
         .collect();
     let to_endpoint = |port: &str, dst_hint: Option<&str>| -> Result<Endpoint, ParseVhdlError> {
+        let port = desan(port);
+        let port = port.as_str();
         if let Ok(idx) = port.parse::<usize>() {
             // A constant operation code; the destination names the module.
             let module = dst_hint
@@ -358,7 +502,7 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
             }
         }
         if let Some(x) = port.strip_suffix("_out") {
-            if registers.iter().any(|(n, _)| n == x) {
+            if registers.iter().any(|(n, _)| n == x) || is_mem_name(x) {
                 return Ok(Endpoint::RegOut(x.to_string()));
             }
             if modules.iter().any(|d| d.name == x) {
@@ -366,7 +510,7 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
             }
         }
         if let Some(r) = port.strip_suffix("_in") {
-            if registers.iter().any(|(n, _)| n == r) {
+            if registers.iter().any(|(n, _)| n == r) || is_mem_name(r) {
                 return Ok(Endpoint::RegIn(r.to_string()));
             }
         }
@@ -377,14 +521,25 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
     };
 
     let mut specs = Vec::new();
-    for (step, phase, src, dst) in trans_raw {
+    for (step, phase, src, dst, gsig) in trans_raw {
         let dst_ep = to_endpoint(&dst, None)?;
         let src_ep = to_endpoint(&src, Some(&dst))?;
+        let guard = match gsig {
+            Some(g) => Some(
+                guards
+                    .iter()
+                    .find(|(n, _)| *n == g)
+                    .map(|(_, guard)| guard.clone())
+                    .ok_or(ParseVhdlError::UnknownSignal(g))?,
+            ),
+            None => None,
+        };
         specs.push(TransferSpec {
             step,
             phase,
             src: src_ep,
             dst: dst_ep,
+            guard,
         });
     }
 
@@ -394,8 +549,24 @@ pub fn parse_vhdl(text: &str) -> Result<ParsedDesign, ParseVhdlError> {
         registers,
         buses,
         modules,
+        arrays,
+        memories,
         specs,
     })
+}
+
+/// Parses a storage map comment body: `NAME length N [init V]`.
+fn parse_storage_comment(rest: &str) -> Option<(String, u32, Value)> {
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    match toks.as_slice() {
+        [name, "length", len] => Some((name.to_string(), len.parse().ok()?, Value::Disc)),
+        [name, "length", len, "init", v] => Some((
+            name.to_string(),
+            len.parse().ok()?,
+            Value::Num(v.parse().ok()?),
+        )),
+        _ => None,
+    }
 }
 
 fn parse_timing(s: &str) -> Option<ModuleTiming> {

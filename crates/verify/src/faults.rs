@@ -88,15 +88,20 @@ pub enum FaultClass {
     Skews,
     /// Corrupted register init values ([`FaultKind::CorruptInit`]).
     Inits,
+    /// Flipped or forced transfer guards ([`FaultKind::FlipGuard`],
+    /// [`FaultKind::ForceGuard`]) — control-condition faults that never
+    /// add a driver, so the resolution function alone rarely sees them.
+    Guards,
 }
 
 /// Every class, in canonical (reporting) order.
-pub const ALL_CLASSES: [FaultClass; 5] = [
+pub const ALL_CLASSES: [FaultClass; 6] = [
     FaultClass::Stuck,
     FaultClass::Drivers,
     FaultClass::Drops,
     FaultClass::Skews,
     FaultClass::Inits,
+    FaultClass::Guards,
 ];
 
 impl FaultClass {
@@ -108,6 +113,7 @@ impl FaultClass {
             FaultClass::Drops => "drops",
             FaultClass::Skews => "skews",
             FaultClass::Inits => "inits",
+            FaultClass::Guards => "guards",
         }
     }
 }
@@ -127,8 +133,9 @@ impl std::str::FromStr for FaultClass {
             "drops" => Ok(FaultClass::Drops),
             "skews" => Ok(FaultClass::Skews),
             "inits" => Ok(FaultClass::Inits),
+            "guards" => Ok(FaultClass::Guards),
             other => Err(format!(
-                "unknown fault class `{other}` (expected stuck|drivers|drops|skews|inits)"
+                "unknown fault class `{other}` (expected stuck|drivers|drops|skews|inits|guards)"
             )),
         }
     }
@@ -175,6 +182,19 @@ pub enum FaultKind {
         /// The corrupted value.
         value: i64,
     },
+    /// Logically negate the guard of the transfer at `index`: a transfer
+    /// that should fire stays silent and vice versa — a control fault
+    /// with no extra driver for the resolution function to flag.
+    FlipGuard {
+        /// Index into the model's tuple list (must carry a guard).
+        index: usize,
+    },
+    /// Remove the guard of the transfer at `index` entirely, forcing the
+    /// transfer to fire unconditionally.
+    ForceGuard {
+        /// Index into the model's tuple list (must carry a guard).
+        index: usize,
+    },
 }
 
 impl FaultKind {
@@ -186,6 +206,7 @@ impl FaultKind {
             FaultKind::DropTransfer { .. } => FaultClass::Drops,
             FaultKind::SkewWrite { .. } => FaultClass::Skews,
             FaultKind::CorruptInit { .. } => FaultClass::Inits,
+            FaultKind::FlipGuard { .. } | FaultKind::ForceGuard { .. } => FaultClass::Guards,
         }
     }
 
@@ -241,6 +262,16 @@ impl FaultKind {
                     .as_ref()
                     .ok_or_else(|| format!("transfer {index} has no write-back"))?;
                 skew_target_step(write.step, *delta, model.cs_max()).map(|_| ())
+            }
+            FaultKind::FlipGuard { index } | FaultKind::ForceGuard { index } => {
+                let tuple = model
+                    .tuples()
+                    .get(*index)
+                    .ok_or_else(|| format!("no transfer at index {index}"))?;
+                if tuple.guard.is_none() {
+                    return Err(format!("transfer {index} has no guard"));
+                }
+                Ok(())
             }
         }
     }
@@ -298,6 +329,19 @@ impl FaultKind {
                 m.set_register_init(register, Value::Num(*value))
                     .map_err(|e| e.to_string())?;
             }
+            FaultKind::FlipGuard { index } | FaultKind::ForceGuard { index } => {
+                let mut tuple = m
+                    .tuples()
+                    .get(*index)
+                    .ok_or_else(|| format!("no transfer at index {index}"))?
+                    .clone();
+                tuple.guard = match self {
+                    FaultKind::FlipGuard { .. } => tuple.guard.map(|g| g.flipped()),
+                    _ => None,
+                };
+                m.replace_transfer_unchecked(*index, tuple)
+                    .map_err(|e| e.to_string())?;
+            }
         }
         Ok(m)
     }
@@ -323,6 +367,12 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::CorruptInit { register, value } => {
                 write!(f, "corrupted init `{register}` = {value}")
+            }
+            FaultKind::FlipGuard { index } => {
+                write!(f, "flipped guard of transfer #{index}")
+            }
+            FaultKind::ForceGuard { index } => {
+                write!(f, "forced guard of transfer #{index}")
             }
         }
     }
@@ -863,6 +913,7 @@ pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKin
     let mut drops = Vec::new();
     let mut skews = Vec::new();
     let mut inits = Vec::new();
+    let mut guards = Vec::new();
 
     if wants(FaultClass::Stuck) {
         for r in model.registers() {
@@ -916,10 +967,19 @@ pub fn generate_faults(model: &RtModel, config: &CampaignConfig) -> Vec<FaultKin
         }
     }
 
+    if wants(FaultClass::Guards) {
+        for (index, tuple) in model.tuples().iter().enumerate() {
+            if tuple.guard.is_some() {
+                guards.push(FaultKind::FlipGuard { index });
+                guards.push(FaultKind::ForceGuard { index });
+            }
+        }
+    }
+
     // Round-robin across the classes in canonical order: stuck[0],
-    // drivers[0], …, inits[0], stuck[1], … — deterministic, and a
+    // drivers[0], …, guards[0], stuck[1], … — deterministic, and a
     // truncated prefix covers every non-empty class.
-    let mut buckets = [stuck, drivers, drops, skews, inits].map(Vec::into_iter);
+    let mut buckets = [stuck, drivers, drops, skews, inits, guards].map(Vec::into_iter);
     let mut faults = Vec::new();
     loop {
         let before = faults.len();
@@ -1222,6 +1282,8 @@ fn fault_to_delta(plan: &ExecPlan, fault: &FaultKind) -> Result<PlanDelta, Strin
             step,
             register,
         } => plan.delta_extra_driver(bus, *step, register),
+        FaultKind::FlipGuard { index } => plan.delta_flip_guard(*index),
+        FaultKind::ForceGuard { index } => plan.delta_force_guard(*index),
     }
 }
 
@@ -1266,9 +1328,17 @@ mod tests {
         let b = generate_faults(&model, &config);
         assert_eq!(a, b, "same seed, same faults");
         // fig1: 2 stuck (R1, R2), 2 drivers (B1@5, B2@5), 1 drop,
-        // 2 skews (write step 6 → 5 and 7), 2 corrupted inits.
+        // 2 skews (write step 6 → 5 and 7), 2 corrupted inits. No guard
+        // faults — fig1 has no guarded transfers.
         assert_eq!(a.len(), 9);
         for class in ALL_CLASSES {
+            if class == FaultClass::Guards {
+                assert!(
+                    !a.iter().any(|f| f.class() == class),
+                    "fig1 has no guards to fault"
+                );
+                continue;
+            }
             assert!(
                 a.iter().any(|f| f.class() == class),
                 "missing class {class}"
@@ -1449,7 +1519,13 @@ mod tests {
         );
         assert_eq!(capped.as_slice(), &full[..5], "cap is a prefix");
         let classes: Vec<FaultClass> = capped.iter().map(|f| f.class()).collect();
-        assert_eq!(classes, ALL_CLASSES, "one fault per class, in order");
+        // One fault per class, in canonical order — minus guards, which
+        // fig1 (no guarded transfers) never generates.
+        assert_eq!(
+            classes,
+            &ALL_CLASSES[..5],
+            "one fault per non-empty class, in order"
+        );
         assert_eq!(
             capped[0],
             FaultKind::StuckAtDisc {
@@ -1583,6 +1659,92 @@ mod tests {
         let text = all.to_string();
         assert!(text.contains("checkers all"), "{text}");
         assert!(text.contains("baseline"), "{text}");
+    }
+
+    #[test]
+    fn guard_faults_cover_flip_and_force_on_a_guarded_model() {
+        // `R1 := R2` guarded by `R1 /= 0`, true in the golden run.
+        // Flipping the guard suppresses the transfer without adding a
+        // driver — no conflict, so the baseline sees silent corruption
+        // and the value monitors close the gap. Forcing the guard away
+        // is masked: the guard was already true.
+        let model = clockless_core::text::parse_model(
+            "model gf steps 2\nregister R1 init 1\nregister R2 init 5\n\
+             bus B1\nbus B2\nmodule CP ops passa comb\n\
+             transfer if R1 /= 0 then (R2,B1,-,-,1,CP,1,B2,R1)\n",
+        )
+        .expect("guarded model parses");
+        for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
+            let report = run_campaign(
+                &model,
+                &CampaignConfig {
+                    classes: vec![FaultClass::Guards],
+                    engine,
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect("guard campaign runs");
+            assert_eq!(report.rows.len(), 2, "{engine}");
+            let flip = report
+                .rows
+                .iter()
+                .find(|r| matches!(r.fault, FaultKind::FlipGuard { .. }))
+                .expect("flip row");
+            match &flip.outcome {
+                FaultOutcome::SilentCorruption {
+                    register,
+                    expected,
+                    got,
+                } => {
+                    assert_eq!(register, "R1", "{engine}");
+                    assert_eq!(*expected, Value::Num(5), "{engine}");
+                    assert_eq!(*got, Value::Num(1), "{engine}");
+                }
+                other => panic!("{engine}: flipped guard should corrupt silently: {other}"),
+            }
+            let force = report
+                .rows
+                .iter()
+                .find(|r| matches!(r.fault, FaultKind::ForceGuard { .. }))
+                .expect("force row");
+            assert!(
+                matches!(force.outcome, FaultOutcome::Masked),
+                "{engine}: forcing a true guard changes nothing: {}",
+                force.outcome
+            );
+
+            let checked = run_campaign(
+                &model,
+                &CampaignConfig {
+                    classes: vec![FaultClass::Guards],
+                    engine,
+                    checkers: CheckerMode::All,
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect("checked guard campaign runs");
+            let flip = checked
+                .rows
+                .iter()
+                .find(|r| matches!(r.fault, FaultKind::FlipGuard { .. }))
+                .expect("flip row");
+            assert!(
+                matches!(flip.outcome, FaultOutcome::DetectedValue(_)),
+                "{engine}: monitors must catch the flipped guard: {}",
+                flip.outcome
+            );
+            let cov = checked.class_coverage();
+            assert_eq!(
+                cov,
+                vec![ClassCoverage {
+                    class: FaultClass::Guards,
+                    detected: 1,
+                    baseline: 0,
+                    total: 2
+                }],
+                "{engine}: flip caught by monitors, force masked, none by conflicts"
+            );
+        }
     }
 
     #[test]
@@ -1763,6 +1925,7 @@ mod tests {
             vec![FaultClass::Drops],
             vec![FaultClass::Skews],
             vec![FaultClass::Drivers],
+            vec![FaultClass::Guards],
         ] {
             for engine in [CampaignEngine::Batched, CampaignEngine::Legacy] {
                 let config = CampaignConfig {

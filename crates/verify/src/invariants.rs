@@ -260,11 +260,12 @@ pub fn parse_artifact(text: &str) -> Result<(String, CheckProgram), String> {
             .ok_or_else(|| format!("invariant artifact: signal {i}: missing `name`"))?;
         let kind = match entry.get("kind").and_then(Json::as_str) {
             Some("register") => SignalKind::Register,
+            Some("memory word") => SignalKind::MemoryWord,
             Some("bus") => SignalKind::Bus,
             other => {
                 return Err(format!(
                     "invariant artifact: signal `{name}`: bad kind {other:?} \
-                     (expected register|bus)"
+                     (expected register|memory word|bus)"
                 ))
             }
         };
@@ -378,6 +379,27 @@ mod tests {
             ["R1 in [3, 7]", "R1 in {3, 7}", "R2 in [4, 4]", "R2 in {4}",],
             "canonical mined order"
         );
+    }
+
+    #[test]
+    fn memory_word_signals_survive_the_artifact_round_trip() {
+        let model = clockless_core::text::parse_model(
+            "model mm steps 3\nregister IDX init 1\nregister R init 2\n\
+             memory M[2] init 5\nbus B\nbus C\nmodule CP ops passa comb\n\
+             transfer (M[0],B,-,-,1,CP,1,C,R)\n\
+             transfer if R >= 0 then (R,B,-,-,2,CP,2,C,M[IDX])\n",
+        )
+        .unwrap();
+        let artifact = mine_artifact(&model).expect("clean run");
+        assert!(artifact.contains("\"memory word\""), "{artifact}");
+        let (name, program) = parse_artifact(&artifact).expect("round trips");
+        assert_eq!(name, "mm");
+        assert!(program
+            .signals
+            .iter()
+            .any(|s| s.name == "M[0]" && s.kind == SignalKind::MemoryWord));
+        // Canonical: re-rendering the parsed program is byte-identical.
+        assert_eq!(render_artifact(&name, &program), artifact);
     }
 
     #[test]

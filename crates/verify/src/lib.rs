@@ -56,6 +56,7 @@
 pub mod conflicts;
 pub mod equiv;
 pub mod faults;
+pub mod fuzz;
 pub mod invariants;
 pub mod lint;
 pub mod monitor;
@@ -75,6 +76,7 @@ pub use faults::{
     CampaignReport, CampaignRow, ClassCoverage, FaultClass, FaultKind, FaultOutcome, FaultsError,
     ALL_CLASSES,
 };
+pub use fuzz::{generate_hls_model, generate_model, run_fuzz, FuzzDivergence, FuzzReport};
 pub use invariants::{
     mine_artifact, mine_invariants, mine_program, parse_artifact, render_artifact, REACHABLE_MAX,
 };

@@ -10,6 +10,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use clockless_core::model::StorageRead;
 use clockless_core::{RtModel, Step, Value};
 
 /// One lint finding.
@@ -67,14 +68,34 @@ pub fn lint_model(model: &RtModel) -> Vec<Lint> {
     let mut writes: Vec<(String, Step)> = Vec::new();
     let mut used_buses: HashSet<&str> = HashSet::new();
     let mut used_modules: HashSet<&str> = HashSet::new();
+    // A register-indexed memory endpoint `M[R]` also reads its address
+    // register at the access step.
+    let addr_read = |name: &str, step: Step, reads: &mut Vec<(String, Step)>| {
+        if let Ok(StorageRead::MemIndirect { addr, .. }) = model.resolve_storage(name) {
+            reads.push((model.registers()[addr.0 as usize].name.clone(), step));
+        }
+    };
     for t in model.tuples() {
         used_modules.insert(&t.module);
         for r in [&t.src_a, &t.src_b].into_iter().flatten() {
             reads.push((r.register.clone(), t.read_step));
+            addr_read(&r.register, t.read_step, &mut reads);
             used_buses.insert(&r.bus);
+        }
+        // Guard operands are read at every phase the guard is evaluated
+        // in: the read step and (when the transfer writes) the write
+        // step.
+        if let Some(g) = &t.guard {
+            for r in g.registers() {
+                reads.push((r.to_string(), t.read_step));
+                if let Some(w) = &t.write {
+                    reads.push((r.to_string(), w.step));
+                }
+            }
         }
         if let Some(w) = &t.write {
             writes.push((w.register.clone(), w.step));
+            addr_read(&w.register, w.step, &mut reads);
             used_buses.insert(&w.bus);
         }
     }
@@ -84,7 +105,24 @@ pub fn lint_model(model: &RtModel) -> Vec<Lint> {
     // value survives to the end (observable output — only counted as
     // live if the register is *ever* read; final observability is the
     // caller's judgement, so we only flag overwritten-unread commits).
+    // Memory endpoints fold onto their memory's base name for the
+    // dataflow lints below: register-indexed addressing aliases the
+    // words, so per-word liveness is not statically decidable — the
+    // whole memory is treated as one cell (conservative: no false
+    // dead-write/undefined-read findings from aliasing).
+    let base = |name: &str| -> String {
+        match model.resolve_storage(name) {
+            Ok(StorageRead::MemWord { mem, .. }) | Ok(StorageRead::MemIndirect { mem, .. }) => {
+                model.memories()[mem.0 as usize].name.clone()
+            }
+            _ => name.to_string(),
+        }
+    };
+
     for (reg, step) in &writes {
+        if model.register_by_name(reg).is_none() {
+            continue; // memory word: aliasing hides later reads
+        }
         let next_overwrite = writes
             .iter()
             .filter(|(r, s)| r == reg && s > step)
@@ -106,12 +144,17 @@ pub fn lint_model(model: &RtModel) -> Vec<Lint> {
 
     // Reads of provably-undefined registers.
     for (reg, step) in &reads {
-        let rid = model.register_by_name(reg).expect("validated tuple");
-        let preloaded = model.registers()[rid.0 as usize].init != Value::Disc;
+        let preloaded = match model.resolve_storage(reg).expect("validated tuple") {
+            StorageRead::Register(rid) => model.registers()[rid.0 as usize].init != Value::Disc,
+            StorageRead::MemWord { mem, .. } | StorageRead::MemIndirect { mem, .. } => {
+                model.memories()[mem.0 as usize].init != Value::Disc
+            }
+        };
         if preloaded {
             continue;
         }
-        let written_before = writes.iter().any(|(r, s)| r == reg && s < step);
+        let key = base(reg);
+        let written_before = writes.iter().any(|(r, s)| base(r) == key && s < step);
         if !written_before {
             findings.push(Lint::ReadOfUndefined {
                 register: reg.clone(),

@@ -122,6 +122,9 @@ pub fn reconstruct_partials(specs: &[TransferSpec]) -> Result<Vec<TransferTuple>
                 } else {
                     t.src_b = Some(clockless_core::OperandRoute::new(reg.clone(), bus.clone()));
                 }
+                if t.guard.is_none() {
+                    t.guard = s.guard.clone();
+                }
             }
             // Operation select.
             (Endpoint::ConstOp(op), Endpoint::ModOp(m)) => {
@@ -153,6 +156,7 @@ pub fn reconstruct_partials(specs: &[TransferSpec]) -> Result<Vec<TransferTuple>
                     bus.clone(),
                     reg.clone(),
                 ));
+                t.guard = s.guard.clone();
                 writes.push(t);
             }
             // The pair-initiating processes; consumed via `bus_source`.
@@ -206,6 +210,9 @@ pub fn merge_partials(
                 step: write.step,
             })?;
         host.write = Some(write);
+        if host.guard.is_none() {
+            host.guard = w.guard;
+        }
     }
     Ok(reads)
 }
@@ -266,6 +273,20 @@ mod tests {
     }
 
     #[test]
+    fn guarded_and_memory_models_roundtrip() {
+        // Guards and storage endpoints travel through the process
+        // expansion and back; the reverse mapping must reproduce them.
+        let model = clockless_core::text::parse_model(
+            "model gm steps 3\nregister R init 1\narray A[2] init 1\nmemory M[2] init 0\n\
+             bus B1\nbus B2\nmodule CP ops passa comb\n\
+             transfer if R /= 0 then (A[0],B1,-,-,1,CP,1,B2,M[1])\n\
+             transfer (M[0],B1,-,-,2,CP,2,B2,R)\n",
+        )
+        .unwrap();
+        roundtrip_check(&model).unwrap();
+    }
+
+    #[test]
     fn unmatched_bus_to_port_is_error() {
         // A bus→port process without the register→bus counterpart.
         let spec = TransferSpec {
@@ -273,6 +294,7 @@ mod tests {
             phase: Phase::Rb,
             src: Endpoint::Bus("B1".into()),
             dst: Endpoint::ModIn1("ADD".into()),
+            guard: None,
         };
         assert!(matches!(
             reconstruct_partials(&[spec]),

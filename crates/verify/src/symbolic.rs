@@ -13,7 +13,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use clockless_core::{Op, RtModel, Step, Value};
+use clockless_core::model::StorageRead;
+use clockless_core::{Guard, Op, RtModel, Step, Value};
 
 /// A symbolic expression over register/input variables.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -151,6 +152,22 @@ pub enum SymbolicError {
     },
     /// Evaluation referenced an unbound variable.
     UnboundVariable(String),
+    /// A guard's operand did not fold to a constant, so the branch
+    /// cannot be decided symbolically.
+    UnresolvedGuard {
+        /// The guard's textual form.
+        guard: String,
+        /// The step whose phase evaluates the guard.
+        step: Step,
+    },
+    /// A register-indexed memory access whose address expression did not
+    /// fold to an in-range constant.
+    UnresolvedAddress {
+        /// The memory endpoint as written (`M[R]`).
+        endpoint: String,
+        /// The step of the access.
+        step: Step,
+    },
 }
 
 impl fmt::Display for SymbolicError {
@@ -166,6 +183,19 @@ impl fmt::Display for SymbolicError {
                 write!(f, "operation `{op}` applied to illegal operands")
             }
             SymbolicError::UnboundVariable(v) => write!(f, "variable `{v}` is unbound"),
+            SymbolicError::UnresolvedGuard { guard, step } => {
+                write!(
+                    f,
+                    "guard `{guard}` at step {step} does not fold to a constant"
+                )
+            }
+            SymbolicError::UnresolvedAddress { endpoint, step } => {
+                write!(
+                    f,
+                    "memory address `{endpoint}` at step {step} does not fold to an \
+                     in-range constant"
+                )
+            }
         }
     }
 }
@@ -179,14 +209,22 @@ impl std::error::Error for SymbolicError {}
 /// preloaded with numbers become constants, everything else starts
 /// undefined.
 ///
-/// Returns the final symbolic value of every register that ends up
-/// defined.
+/// Returns the final symbolic value of every register and memory word
+/// that ends up defined.
+///
+/// Control stays concrete: a guard decides its branch only when every
+/// operand folds to a constant in the pre-commit state of its step (an
+/// undefined operand reads `DISC`, making the clause false exactly as
+/// in the abstract model), and a register-indexed memory access needs
+/// its address to fold to an in-range constant.
 ///
 /// # Errors
 ///
 /// [`SymbolicError::UndefinedRead`] when a transfer reads an undefined
-/// register, or [`SymbolicError::IllegalOperation`] when folding hits
-/// illegal arithmetic.
+/// register, [`SymbolicError::IllegalOperation`] when folding hits
+/// illegal arithmetic, [`SymbolicError::UnresolvedGuard`] /
+/// [`SymbolicError::UnresolvedAddress`] when control or addressing
+/// stays symbolic.
 pub fn symbolic_run(
     model: &RtModel,
     bindings: &HashMap<String, Rc<Expr>>,
@@ -199,38 +237,118 @@ pub fn symbolic_run(
             state.insert(r.name.clone(), Expr::constant(v));
         }
     }
+    for m in model.memories() {
+        for i in 0..m.len {
+            let name = format!("{}[{i}]", m.name);
+            if let Some(e) = bindings.get(&name) {
+                state.insert(name, e.clone());
+            } else if let Value::Num(v) = m.init {
+                state.insert(name, Expr::constant(v));
+            }
+        }
+    }
 
-    // Pending commits: (write step, destination, expression).
-    let mut pending: Vec<(Step, String, Rc<Expr>)> = Vec::new();
+    // Resolves a storage endpoint to its state key at `step`; a
+    // register-indexed word needs a constant in-range address.
+    let resolve = |state: &HashMap<String, Rc<Expr>>,
+                   name: &str,
+                   step: Step|
+     -> Result<String, SymbolicError> {
+        match model.resolve_storage(name) {
+            Ok(StorageRead::MemIndirect { mem, addr }) => {
+                let decl = &model.memories()[mem.0 as usize];
+                let addr_name = &model.registers()[addr.0 as usize].name;
+                match state.get(addr_name).map(|e| &**e) {
+                    Some(&Expr::Const(i)) if (0..i64::from(decl.len)).contains(&i) => {
+                        Ok(format!("{}[{i}]", decl.name))
+                    }
+                    _ => Err(SymbolicError::UnresolvedAddress {
+                        endpoint: name.to_string(),
+                        step,
+                    }),
+                }
+            }
+            _ => Ok(name.to_string()),
+        }
+    };
+
+    // Decides a guard over the current (pre-commit) state. An undefined
+    // operand register reads DISC — the clause is false, as in the
+    // abstract model; a *symbolic* operand is an error.
+    let decide =
+        |state: &HashMap<String, Rc<Expr>>, g: &Guard, step: Step| -> Result<bool, SymbolicError> {
+            let mut symbolic = false;
+            let pass = g.eval(|r| match state.get(r).map(|e| &**e) {
+                None => None,
+                Some(&Expr::Const(c)) => Some(c),
+                Some(_) => {
+                    symbolic = true;
+                    None
+                }
+            });
+            if symbolic {
+                return Err(SymbolicError::UnresolvedGuard {
+                    guard: g.to_string(),
+                    step,
+                });
+            }
+            Ok(pass)
+        };
+
+    // Pending commits: (write step, destination endpoint, expression,
+    // guard re-evaluated at the write step).
+    let mut pending: Vec<(Step, String, Rc<Expr>, Option<Guard>)> = Vec::new();
 
     for step in 1..=model.cs_max() {
         // Reads of this step (ra/rb phases; module computes from these).
         for tuple in model.tuples().iter().filter(|t| t.read_step == step) {
+            // A false read-side guard drives DISC operands: the module
+            // result is DISC and nothing ever commits from this tuple.
+            if let Some(g) = &tuple.guard {
+                if !decide(&state, g, step)? {
+                    continue;
+                }
+            }
             let mut args = Vec::new();
             for route in [&tuple.src_a, &tuple.src_b].into_iter().flatten() {
-                let e = state.get(&route.register).cloned().ok_or_else(|| {
-                    SymbolicError::UndefinedRead {
+                let key = resolve(&state, &route.register, step)?;
+                let e = state
+                    .get(&key)
+                    .cloned()
+                    .ok_or_else(|| SymbolicError::UndefinedRead {
                         register: route.register.clone(),
                         step,
-                    }
-                })?;
+                    })?;
                 args.push(e);
             }
             let op = model.effective_op(tuple);
             let result = Expr::apply(op, args)?;
             if let Some(w) = &tuple.write {
-                pending.push((w.step, w.register.clone(), result));
+                pending.push((w.step, w.register.clone(), result, tuple.guard.clone()));
             }
         }
         // Commits of this step (cr phase — strictly after the reads).
+        // Write-side guards and addresses are evaluated over the
+        // pre-commit state (the wb phase), then all commits land at
+        // once, so same-step commits never leak into each other.
+        let mut commits: Vec<(String, Rc<Expr>)> = Vec::new();
         let mut i = 0;
         while i < pending.len() {
             if pending[i].0 == step {
-                let (_, reg, e) = pending.swap_remove(i);
-                state.insert(reg, e);
+                let (_, dest, e, guard) = pending.swap_remove(i);
+                let enabled = match &guard {
+                    Some(g) => decide(&state, g, step)?,
+                    None => true,
+                };
+                if enabled {
+                    commits.push((resolve(&state, &dest, step)?, e));
+                }
             } else {
                 i += 1;
             }
+        }
+        for (key, e) in commits {
+            state.insert(key, e);
         }
     }
     Ok(state)
@@ -241,6 +359,59 @@ mod tests {
     use super::*;
     use clockless_core::model::fig1_model;
     use clockless_core::prelude::*;
+
+    #[test]
+    fn guards_and_memories_run_with_concrete_control() {
+        // The guarded/memory corpus shape: a constant-address load, a
+        // register-indexed write-back, and a guard over the result.
+        let model = clockless_core::text::parse_model(
+            "model sym steps 5\nregister IDX init 1\nregister ACC init 0\n\
+             memory M[3] init 5\nbus B\nbus C\nmodule CP ops passa comb\n\
+             transfer (M[0],B,-,-,1,CP,1,C,ACC)\n\
+             transfer if ACC >= 5 then (ACC,B,-,-,2,CP,2,C,M[IDX])\n\
+             transfer if ACC < 5 then (IDX,B,-,-,3,CP,3,C,M[2])\n",
+        )
+        .unwrap();
+        let out = symbolic_run(&model, &HashMap::new()).unwrap();
+        assert_eq!(*out["ACC"], Expr::Const(5));
+        assert_eq!(*out["M[1]"], Expr::Const(5), "indexed write landed");
+        assert_eq!(*out["M[2]"], Expr::Const(5), "false guard left the word");
+    }
+
+    #[test]
+    fn symbolic_guard_operand_is_a_typed_error() {
+        let model = clockless_core::text::parse_model(
+            "model sg steps 3\nregister A\nregister R init 1\n\
+             bus B\nbus C\nmodule CP ops passa comb\n\
+             transfer if A = 1 then (R,B,-,-,1,CP,1,C,R)\n",
+        )
+        .unwrap();
+        let bindings: HashMap<String, Rc<Expr>> = [("A".to_string(), Expr::var("a"))].into();
+        let err = symbolic_run(&model, &bindings).unwrap_err();
+        assert!(
+            matches!(&err, SymbolicError::UnresolvedGuard { step: 1, .. }),
+            "{err}"
+        );
+        // With no binding, A reads DISC: the clause is false, no error.
+        let out = symbolic_run(&model, &HashMap::new()).unwrap();
+        assert_eq!(*out["R"], Expr::Const(1));
+    }
+
+    #[test]
+    fn symbolic_memory_address_is_a_typed_error() {
+        let model = clockless_core::text::parse_model(
+            "model sa steps 3\nregister IDX\nregister R init 1\n\
+             memory M[2] init 0\nbus B\nbus C\nmodule CP ops passa comb\n\
+             transfer (R,B,-,-,1,CP,1,C,M[IDX])\n",
+        )
+        .unwrap();
+        let bindings: HashMap<String, Rc<Expr>> = [("IDX".to_string(), Expr::var("i"))].into();
+        let err = symbolic_run(&model, &bindings).unwrap_err();
+        assert!(
+            matches!(&err, SymbolicError::UnresolvedAddress { step: 1, .. }),
+            "{err}"
+        );
+    }
 
     #[test]
     fn fig1_concrete_initials_fold_to_constant() {

@@ -60,8 +60,28 @@ impl From<ModelError> for ImportVhdlError {
 /// [`ImportVhdlError`] when reconstruction or validation fails.
 pub fn model_from_design(design: &ParsedDesign) -> Result<RtModel, ImportVhdlError> {
     let mut model = RtModel::new(design.name.clone(), design.cs_max);
+    // Registers in REG-instance order; an array is declared at its first
+    // element's position (recreating the original declaration order),
+    // with element inits restored from the signal defaults.
     for (name, init) in &design.registers {
-        model.add_register_init(name.clone(), *init)?;
+        let array = clockless_core::tuples::indexed_parts(name)
+            .and_then(|(base, _)| design.arrays.iter().find(|a| a.name == base));
+        match array {
+            Some(a) => {
+                if model.array_by_name(&a.name).is_none() {
+                    model.add_array(a.name.clone(), a.len, a.init)?;
+                }
+                if *init != a.init {
+                    model.set_register_init(name, *init)?;
+                }
+            }
+            None => {
+                model.add_register_init(name.clone(), *init)?;
+            }
+        }
+    }
+    for m in &design.memories {
+        model.add_memory(m.name.clone(), m.len, m.init)?;
     }
     for b in &design.buses {
         model.add_bus(b.clone())?;
@@ -118,6 +138,8 @@ mod tests {
         assert_eq!(back.registers(), model.registers());
         assert_eq!(back.buses(), model.buses());
         assert_eq!(back.modules(), model.modules());
+        assert_eq!(back.arrays(), model.arrays());
+        assert_eq!(back.memories(), model.memories());
         let mut a = back.tuples().to_vec();
         let mut b = model.tuples().to_vec();
         let key = |t: &TransferTuple| (t.module.clone(), t.read_step);
@@ -188,6 +210,46 @@ mod tests {
         )
         .unwrap();
         assert_roundtrip(&m);
+    }
+
+    #[test]
+    fn guarded_model_roundtrips() {
+        let model = clockless_core::text::parse_model(
+            "model gv steps 3\nregister R1 init 1\nregister R2 init 5\n\
+             bus B1\nbus B2\nmodule CP ops passa comb\n\
+             transfer if R1 /= 0 then (R2,B1,-,-,1,CP,1,B2,R1)\n\
+             transfer if not (R2 < 3 and R1 >= 0) then (R1,B1,-,-,2,CP,2,B2,R2)\n",
+        )
+        .unwrap();
+        let vhdl = emit_vhdl(&model).unwrap();
+        assert!(vhdl.contains("entity work.TRANSG"), "{vhdl}");
+        assert!(vhdl.contains("g_0 <= 1 when R1_out /= 0 else 0;"), "{vhdl}");
+        assert!(
+            vhdl.contains("g_1 <= 1 when not (R2_out < 3 and R1_out >= 0) else 0;"),
+            "{vhdl}"
+        );
+        assert_roundtrip(&model);
+    }
+
+    #[test]
+    fn array_and_memory_model_roundtrips() {
+        let model = clockless_core::text::parse_model(
+            "model store steps 4\nregister R init 1\narray A[2] init 7\n\
+             memory M[3] init 0\nbus B1\nbus B2\nmodule CP ops passa comb\n\
+             transfer if A[1] >= 3 then (A[0],B1,-,-,1,CP,1,B2,M[1])\n\
+             transfer (M[0],B1,-,-,2,CP,2,B2,R)\n\
+             transfer (R,B1,-,-,3,CP,3,B2,M[R])\n",
+        )
+        .unwrap();
+        let vhdl = emit_vhdl(&model).unwrap();
+        assert!(vhdl.contains("-- array: A length 2 init 7"), "{vhdl}");
+        assert!(vhdl.contains("-- memory: M length 3 init 0"), "{vhdl}");
+        assert!(vhdl.contains("-- memory port: M[R]"), "{vhdl}");
+        assert!(
+            vhdl.contains("A_0__proc : entity work.REG port map (PH, A_0__in, A_0__out);"),
+            "{vhdl}"
+        );
+        assert_roundtrip(&model);
     }
 
     #[test]

@@ -104,6 +104,15 @@ fleet_interp="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --js
 fleet_compiled="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled)"
 [ "$fleet_interp" = "$fleet_compiled" ]
 
+echo "== differential fuzz smoke (seeded zoo, zero divergences, reproducible report)"
+fuzz_out="$(./target/release/clockless fuzz --seed 3238796885 --count 250)"
+grep -q "fuzzed 250 models" <<<"$fuzz_out"
+grep -q "no divergences" <<<"$fuzz_out"
+fuzz_json="$(./target/release/clockless fuzz --seed 3238796885 --count 250 --json)"
+fuzz_json2="$(./target/release/clockless fuzz --seed 3238796885 --count 250 --json)"
+[ "$fuzz_json" = "$fuzz_json2" ]
+grep -q '"divergence_count": 0' <<<"$fuzz_json"
+
 echo "== serve smoke (daemon payloads byte-identical to one-shot CLI, clean shutdown)"
 serve_sock="$(mktemp -d)/ci.sock"
 ./target/release/clockless serve --socket "$serve_sock" 2>/dev/null &

@@ -12,6 +12,7 @@
 //! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
 //!                  [--backend interpreted|compiled] [--engine batched|legacy]
 //!                  [--checkers off|golden|invariants|all]
+//! clockless fuzz [--seed <N>] [--count <N>] [--json]
 //! clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]
 //! clockless client <socket> [--payload]
 //! clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]
@@ -34,6 +35,12 @@
 //! re-asserts functional laws mined from the clean run, `all` does both
 //! (closing the silent-corruption gap), `off` (default) keeps the
 //! baseline-only verdicts.
+//!
+//! `fuzz` runs the seeded differential campaign of `clockless-verify`:
+//! generated guarded/array/memory models and randomly synthesized HLS
+//! schedules pushed through every oracle the repo has (backend
+//! byte-identity, text and VHDL round trips, clocked and handshake
+//! equivalence). Any divergence prints its seed and the command exits 1.
 //!
 //! `mine` learns those functional invariants from a model's clean run
 //! and prints them as a deterministic JSON artifact; `run --check`
@@ -83,6 +90,7 @@ fn usage() -> ExitCode {
          clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n                   \
          [--backend interpreted|compiled] [--engine batched|legacy]\n                   \
          [--checkers off|golden|invariants|all]\n  \
+         clockless fuzz [--seed <N>] [--count <N>] [--json]\n  \
          clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]\n  \
          clockless client <socket> [--payload]\n  \
          clockless translate <model.rtl> [--scheme one|two] [--period-ns <N>]\n  \
@@ -93,8 +101,9 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take a value (so `positional_args` skips the value word).
-const VALUED_FLAGS: [&str; 15] = [
+const VALUED_FLAGS: [&str; 16] = [
     "--check",
+    "--count",
     "--checkers",
     "--jobs",
     "--retries",
@@ -465,6 +474,23 @@ fn cmd_faults(
     Ok(())
 }
 
+fn cmd_fuzz(seed: u64, count: usize, json: bool) -> Result<(), String> {
+    let report = clockless::verify::run_fuzz(seed, count);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} divergence(s) found (re-run with the printed seeds)",
+            report.divergence_count
+        ))
+    }
+}
+
 fn cmd_serve(socket: Option<&str>, workers: usize, cache: usize) -> Result<(), String> {
     let daemon = clockless::serve::Daemon::new(clockless::serve::ServeConfig {
         workers,
@@ -660,6 +686,20 @@ fn main() -> ExitCode {
             cmd_faults(
                 path, seed, classes, max, jobs, json, backend, engine, checkers,
             )
+        }
+        "fuzz" => {
+            let seed = match flag_value(&args, "--seed") {
+                FlagValue::Absent => 0xC10C_1E55,
+                FlagValue::Parsed(n) => n,
+                FlagValue::Malformed => return usage(),
+            };
+            let count = match flag_value(&args, "--count") {
+                FlagValue::Absent => 1000,
+                FlagValue::Parsed(n) if n >= 1 => n,
+                _ => return usage(),
+            };
+            let json = args.iter().any(|a| a == "--json");
+            cmd_fuzz(seed, count, json)
         }
         "serve" => {
             let workers = match flag_value(&args, "--jobs") {

@@ -633,3 +633,120 @@ fn faults_rejects_unknown_classes() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown fault class `meteor`"), "{stderr}");
 }
+
+// ------------------------------------------------ guarded/memory corpus goldens
+
+/// `models/guarded.rtl` (mutually exclusive guards, a conjunction and a
+/// negated guard over an array): the run report and the fully-checked
+/// fault campaign are pinned byte-for-byte, on both backends.
+#[test]
+fn guarded_corpus_model_matches_goldens() {
+    let run_golden = std::fs::read_to_string(repo_path("tests/golden/run_guarded.json"))
+        .expect("golden present");
+    let faults_golden = std::fs::read_to_string(repo_path("tests/golden/faults_guarded.json"))
+        .expect("golden present");
+    for backend in ["interpreted", "compiled"] {
+        let out = cli()
+            .args([
+                "run",
+                &repo_path("models/guarded.rtl"),
+                "--json",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            run_golden,
+            "run report drifted on backend {backend}"
+        );
+        let out = cli()
+            .args([
+                "faults",
+                &repo_path("models/guarded.rtl"),
+                "--json",
+                "--checkers",
+                "all",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            faults_golden,
+            "faults report drifted on backend {backend}"
+        );
+    }
+    // The guards class is exercised and, with the checkers armed, the
+    // campaign leaves no silent corruption.
+    assert!(
+        faults_golden.contains("\"class\": \"guards\""),
+        "{faults_golden}"
+    );
+    assert!(faults_golden.contains("\"silent\": 0"), "{faults_golden}");
+}
+
+/// `models/memory.rtl` (constant- and register-indexed memory words):
+/// same pinning as the guarded model, plus the final-state spot checks
+/// of the indexed read-modify-write walk.
+#[test]
+fn memory_corpus_model_matches_goldens() {
+    let run_golden =
+        std::fs::read_to_string(repo_path("tests/golden/run_memory.json")).expect("golden present");
+    let faults_golden = std::fs::read_to_string(repo_path("tests/golden/faults_memory.json"))
+        .expect("golden present");
+    for backend in ["interpreted", "compiled"] {
+        let out = cli()
+            .args([
+                "run",
+                &repo_path("models/memory.rtl"),
+                "--json",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            run_golden,
+            "run report drifted on backend {backend}"
+        );
+        let out = cli()
+            .args([
+                "faults",
+                &repo_path("models/memory.rtl"),
+                "--json",
+                "--checkers",
+                "all",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            faults_golden,
+            "faults report drifted on backend {backend}"
+        );
+    }
+    // The indexed walk: M[0]=5 loads, increments, spills to M[IDX]=M[2],
+    // doubles through the read-back, and the guarded spill hits M[3].
+    assert!(
+        run_golden.contains(r#"{"name": "ACC", "value": "12"}"#),
+        "{run_golden}"
+    );
+    assert!(
+        run_golden.contains(r#"{"name": "M[2]", "value": "6"}"#),
+        "{run_golden}"
+    );
+    assert!(
+        run_golden.contains(r#"{"name": "M[3]", "value": "12"}"#),
+        "{run_golden}"
+    );
+}
