@@ -1,6 +1,8 @@
 //! Writes `BENCH_backend.json` at the repository root: the interpreted
-//! delta kernel vs the compiled phase-schedule engine, head to head on
-//! the Fig. 1 model and the IKS chip corpus, single-threaded.
+//! delta kernel vs the compiled phase-schedule engine — at `-O0` (the
+//! generic schedule walker) and `-O2` (the specialized micro-op
+//! stream) — head to head on the Fig. 1 model and the IKS chip corpus,
+//! single-threaded.
 //!
 //! Per the workspace convention, counters (`cs_max`, `tuples`,
 //! `equivalent`) are machine-independent; `*_ns` and the derived
@@ -13,7 +15,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use clockless_core::model::fig1_model;
-use clockless_core::{Backend, ExecOptions, RtModel};
+use clockless_core::{Backend, ExecOptions, OptLevel, RtModel};
 use clockless_iks::prelude::*;
 use clockless_iks::{build_fir_chip, build_ik_chip};
 use clockless_verify::backend_equiv;
@@ -24,15 +26,17 @@ struct Row {
     cs_max: u32,
     tuples: usize,
     interpreted_ns: u64,
+    compiled_o0_ns: u64,
     compiled_ns: u64,
     speedup: f64,
+    opt_speedup: f64,
     equivalent: bool,
 }
 
 /// Best-of-5 mean wall time per run for one backend, amortized over an
 /// inner loop so sub-microsecond runs still measure cleanly.
-fn time_backend(backend: Backend, model: &RtModel, iters: u32) -> u64 {
-    let options = ExecOptions::default();
+fn time_backend(backend: Backend, model: &RtModel, opt: OptLevel, iters: u32) -> u64 {
+    let options = ExecOptions::default().at_opt(opt);
     let mut best = u64::MAX;
     for _ in 0..5 {
         let t = Instant::now();
@@ -64,22 +68,28 @@ fn main() {
     for (name, model, iters) in &targets {
         let equivalent = backend_equiv(model).is_ok();
         assert!(equivalent, "{name}: backends diverge — bench numbers void");
-        let interpreted_ns = time_backend(Backend::Interpreted, model, *iters);
-        let compiled_ns = time_backend(Backend::Compiled, model, *iters);
+        let interpreted_ns = time_backend(Backend::Interpreted, model, OptLevel::O0, *iters);
+        let compiled_o0_ns = time_backend(Backend::Compiled, model, OptLevel::O0, *iters);
+        let compiled_ns = time_backend(Backend::Compiled, model, OptLevel::O2, *iters);
         let speedup = interpreted_ns as f64 / compiled_ns as f64;
+        let opt_speedup = compiled_o0_ns as f64 / compiled_ns as f64;
         rows.push(Row {
             model: name,
             cs_max: model.cs_max().into(),
             tuples: model.tuples().len(),
             interpreted_ns,
+            compiled_o0_ns,
             compiled_ns,
             speedup,
+            opt_speedup,
             equivalent,
         });
         eprintln!(
-            "{name:<8} cs_max={:<3} interpreted={:>9} ns  compiled={:>9} ns  speedup={speedup:.2}x",
+            "{name:<8} cs_max={:<3} interpreted={:>9} ns  compiled-O0={:>9} ns  \
+             compiled-O2={:>9} ns  speedup={speedup:.2}x  opt={opt_speedup:.2}x",
             model.cs_max(),
             interpreted_ns,
+            compiled_o0_ns,
             compiled_ns
         );
     }
@@ -103,20 +113,26 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let per_step_i = r.interpreted_ns as f64 / f64::from(r.cs_max);
+        let per_step_o0 = r.compiled_o0_ns as f64 / f64::from(r.cs_max);
         let per_step_c = r.compiled_ns as f64 / f64::from(r.cs_max);
         let _ = writeln!(
             out,
             "    {{\"model\": \"{}\", \"cs_max\": {}, \"tuples\": {}, \
-             \"interpreted_ns\": {}, \"compiled_ns\": {}, \"interpreted_ns_per_step\": {:.0}, \
-             \"compiled_ns_per_step\": {:.0}, \"speedup\": {:.2}, \"equivalent\": {}}}{}",
+             \"interpreted_ns\": {}, \"compiled_o0_ns\": {}, \"compiled_o2_ns\": {}, \
+             \"interpreted_ns_per_step\": {:.0}, \"compiled_o0_ns_per_step\": {:.0}, \
+             \"compiled_o2_ns_per_step\": {:.0}, \"speedup\": {:.2}, \
+             \"opt_speedup\": {:.2}, \"equivalent\": {}}}{}",
             r.model,
             r.cs_max,
             r.tuples,
             r.interpreted_ns,
+            r.compiled_o0_ns,
             r.compiled_ns,
             per_step_i,
+            per_step_o0,
             per_step_c,
             r.speedup,
+            r.opt_speedup,
             r.equivalent,
             comma
         );

@@ -76,7 +76,10 @@ fn time_campaign(model: &RtModel, config: &CampaignConfig) -> u64 {
 /// Per-class detected/total for one class, if the campaign had
 /// applicable faults of that class.
 fn class_row(report: &CampaignReport, class: FaultClass) -> Option<ClassCoverage> {
-    report.class_coverage().into_iter().find(|c| c.class == class)
+    report
+        .class_coverage()
+        .into_iter()
+        .find(|c| c.class == class)
 }
 
 /// The detection claim of the value-checking layer: for the classes the

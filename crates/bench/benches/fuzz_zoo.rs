@@ -43,7 +43,10 @@ fn main() {
             "seed {seed} count {count}: fuzz campaign diverged:\n{reference}"
         );
         let deterministic = run_fuzz(seed, count).to_json() == reference.to_json();
-        assert!(deterministic, "seed {seed} count {count}: report not reproducible");
+        assert!(
+            deterministic,
+            "seed {seed} count {count}: report not reproducible"
+        );
 
         // Best-of-3 wall time.
         let mut wall_ns = u64::MAX;

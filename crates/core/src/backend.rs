@@ -49,6 +49,132 @@ use crate::plan::ExecPlan;
 use crate::run::{RegisterCommit, RtSimulation, RunSummary};
 use crate::value::Value;
 
+/// Optimization level of the compiled engine's plan optimizer
+/// ([`crate::opt`]).
+///
+/// The levels are strictly cumulative pipelines over the lowered
+/// [`ExecPlan`]; every level produces **byte-identical observables** to
+/// `O0` and to the interpreter — the optimizer only ever changes how the
+/// schedule is walked, never what it computes. The interpreted backend
+/// ignores the level entirely.
+///
+/// # Examples
+///
+/// ```
+/// use clockless_core::backend::OptLevel;
+///
+/// let o: OptLevel = "2".parse()?;
+/// assert_eq!(o, OptLevel::O2);
+/// assert_eq!(o.to_string(), "2");
+/// assert_eq!(OptLevel::default(), OptLevel::O2);
+/// # Ok::<(), clockless_core::backend::ParseOptLevelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum OptLevel {
+    /// No optimization: interpret the generic per-`(step, phase)` action
+    /// tables exactly as [`ExecPlan::execute`] does.
+    O0,
+    /// Slot fusion + resolution specialization: one contiguous micro-op
+    /// stream with precomputed delta boundaries; single-driver asserts
+    /// compile to direct stores that skip `resolve()` and the driver
+    /// buffers.
+    O1,
+    /// Everything in `O1` plus control-trajectory constant folding and
+    /// dead-spur elimination (statically decided guards, elided control
+    /// bookkeeping and provably event-free module/commit evaluations,
+    /// with their counter contributions credited analytically).
+    #[default]
+    O2,
+}
+
+impl OptLevel {
+    /// All levels, lowest first — the sweep order equivalence gates use.
+    pub const ALL: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+
+    /// The per-pass toggle set this level enables.
+    pub fn config(self) -> OptConfig {
+        match self {
+            OptLevel::O0 => OptConfig {
+                fuse: false,
+                specialize: false,
+                fold: false,
+                dse: false,
+            },
+            OptLevel::O1 => OptConfig {
+                fuse: true,
+                specialize: true,
+                fold: false,
+                dse: false,
+            },
+            OptLevel::O2 => OptConfig {
+                fuse: true,
+                specialize: true,
+                fold: true,
+                dse: true,
+            },
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptLevel::O0 => "0",
+            OptLevel::O1 => "1",
+            OptLevel::O2 => "2",
+        })
+    }
+}
+
+/// Error parsing an [`OptLevel`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOptLevelError(pub String);
+
+impl fmt::Display for ParseOptLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown opt level `{}` (expected 0|1|2)", self.0)
+    }
+}
+
+impl std::error::Error for ParseOptLevelError {}
+
+impl FromStr for OptLevel {
+    type Err = ParseOptLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "0" => Ok(OptLevel::O0),
+            "1" => Ok(OptLevel::O1),
+            "2" => Ok(OptLevel::O2),
+            other => Err(ParseOptLevelError(other.to_string())),
+        }
+    }
+}
+
+/// Individual pass toggles of the optimizer pipeline.
+///
+/// [`OptLevel::config`] maps the user-facing levels onto these; the
+/// benchmarks flip passes one at a time for per-pass attribution.
+/// `fuse` is the carrier pass — the others rewrite the fused stream, so
+/// they are only meaningful when `fuse` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptConfig {
+    /// Slot fusion: flatten the `(step, phase)` action tables into one
+    /// contiguous micro-op stream with precomputed delta boundaries.
+    pub fuse: bool,
+    /// Resolution specialization: single-driver asserts become direct
+    /// compare-and-store, skipping `resolve()` and the driver buffers.
+    pub specialize: bool,
+    /// Control-trajectory constant folding: the CS/PH trajectory is
+    /// static, so statically decided guards are pre-evaluated and
+    /// untraced control bookkeeping is elided (credited analytically).
+    pub fold: bool,
+    /// Dead-spur elimination: module evaluations and register/memory
+    /// commits that provably observe only `DISC` are dropped from the
+    /// stream.
+    pub dse: bool,
+}
+
 /// Options for one backend execution.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
@@ -63,6 +189,10 @@ pub struct ExecOptions {
     /// [`KernelError::WallBudgetExceeded`]. Checked after every delta
     /// cycle by both backends.
     pub deadline: Option<Instant>,
+    /// Optimization level of the compiled engine (default `O2`). The
+    /// interpreted backend ignores it; every level is observably
+    /// byte-identical, so this only trades compile time for run time.
+    pub opt: OptLevel,
 }
 
 impl ExecOptions {
@@ -72,6 +202,11 @@ impl ExecOptions {
             trace: true,
             ..Default::default()
         }
+    }
+
+    /// These options with the given optimization level.
+    pub fn at_opt(self, opt: OptLevel) -> ExecOptions {
+        ExecOptions { opt, ..self }
     }
 }
 
@@ -171,7 +306,11 @@ impl ExecBackend for CompiledBackend {
     }
 
     fn execute(&self, model: &RtModel, options: &ExecOptions) -> Result<ExecOutcome, KernelError> {
-        ExecPlan::lower(model).execute(options)
+        let plan = ExecPlan::lower(model);
+        match options.opt {
+            OptLevel::O0 => plan.execute(options),
+            level => crate::opt::OptPlan::from_plan(plan, level.config()).execute(options),
+        }
     }
 }
 

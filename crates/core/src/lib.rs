@@ -61,6 +61,9 @@
 //! * [`mod@elaborate`], [`mod@run`] — instantiation and execution.
 //! * [`plan`] — lowering to a compiled phase-schedule IR with a static
 //!   conflict pre-pass (the six-phase scheme makes the schedule static).
+//! * [`opt`] — the optimizing plan compiler: fuses the per-slot action
+//!   tables into one specialized micro-op stream (`-O` pipeline) with
+//!   byte-identical observables at every level.
 //! * [`backend`] — the pluggable execution-engine layer: the interpreted
 //!   delta kernel and the compiled plan walker behind one trait, with a
 //!   byte-identical observable-output contract.
@@ -86,6 +89,7 @@ pub mod elaborate;
 pub mod json;
 pub mod model;
 pub mod op;
+pub mod opt;
 pub mod phase;
 pub mod plan;
 pub mod processes;
@@ -101,7 +105,7 @@ pub mod vhdl_parse;
 
 pub use backend::{
     Backend, BatchOutcome, CompiledBackend, ExecBackend, ExecOptions, ExecOutcome,
-    InterpretedBackend, ParseBackendError,
+    InterpretedBackend, OptConfig, OptLevel, ParseBackendError, ParseOptLevelError,
 };
 pub use check::{
     check_signals, execute_checked, record_table, CheckEval, CheckProgram, CheckReport,
@@ -112,6 +116,7 @@ pub use diag::{Conflict, ConflictReport, ConflictSite};
 pub use elaborate::{elaborate, ElaborateOptions, SignalLayout, SignalRole};
 pub use model::{fig1_model, ModelError, RtModel};
 pub use op::{Arity, Op};
+pub use opt::OptPlan;
 pub use phase::{Phase, PhaseTime, Step, PHASES_PER_STEP};
 pub use plan::{Action, ExecPlan, PlanChecks, PlanDelta, Source, StaticConflict};
 pub use resource::{

@@ -1,0 +1,754 @@
+//! The optimizing plan compiler: `-O` pipeline between [`ExecPlan::lower`]
+//! and execution.
+//!
+//! [`ExecPlan::execute`] interprets a generic [`Action`]
+//! enum per slot, re-reads statically known controller values and routes
+//! every assert through the generic `resolve()` even when a slot provably
+//! has one driver. This module compiles the lowered plan one stage
+//! further, into an [`OptPlan`]: one contiguous **micro-op stream** with
+//! precomputed delta boundaries, walked by a loop that never touches the
+//! per-slot `Vec<Vec<Action>>` tables again. Four passes, gated by
+//! [`OptConfig`] (the per-level toggle sets of [`OptLevel`](crate::OptLevel)):
+//!
+//! 1. **Slot fusion** (`fuse`, the carrier pass) — flatten the
+//!    per-`(step, phase)` action tables into one flat `Vec<MicroOp>`
+//!    plus a `bounds` table mapping each delta cycle to its op range.
+//!    Operand addressing is resolved at compile time: every op carries
+//!    dense source/destination indices, eliminating the per-slot
+//!    dispatch and bounds checks of the generic walker.
+//! 2. **Resolution specialization** (`specialize`) — each `(signal,
+//!    slot)` destination is classified statically. Unresolved signals
+//!    and resolved signals with exactly one driver compile to **direct
+//!    stores**: the pushed value *is* the effective value (`resolve` is
+//!    the identity on singleton driver sets), so the per-delta driver
+//!    buffers and the resolution call disappear. Only genuinely
+//!    multi-driven signals keep rows in a flat driver buffer.
+//! 3. **Control-trajectory constant folding** (`fold`) — the CS/PH
+//!    trajectory is statically fixed (the paper's central observation),
+//!    so guards whose operands are all literals are pre-evaluated:
+//!    statically true guards compile to unguarded ops, statically false
+//!    ones to the `DISC` drive the disabled assert would perform. The
+//!    control bookkeeping pushes themselves are elidable: on untraced
+//!    runs the walker skips them and credits their (exactly known)
+//!    counter contributions analytically — every control push is an
+//!    event, since CS strictly increments and PH always moves to a
+//!    different phase. No transfer [`Source`] can
+//!    name CS or PH (the endpoint grammar has no such endpoint), so
+//!    there are no control *reads* to fold — the trajectory is folded
+//!    into the schedule shape itself, as it already is in `lower`.
+//! 4. **Dead-spur elimination** (`dse`) — module evaluations and
+//!    register/memory commits whose pushes provably observe and produce
+//!    only `DISC` are dropped from the stream. A module evaluation at
+//!    step `s` is dead when no transfer asserts any of its operand
+//!    ports within the preceding `2·latency + 2` steps: its operands
+//!    are `DISC`, the latency pipeline has drained to `DISC`, the
+//!    initiation counter is zero, and the output is already `DISC` — so
+//!    the evaluation would push a value equal to the current one,
+//!    producing no event and no observable difference. Its pending-queue
+//!    and driver-update counter contributions are credited per delta. A
+//!    commit at step `s` is dead when no transfer asserts the register
+//!    input (or memory write port) in step `s`: the port is provably
+//!    `DISC` at `cr(s)` and the generic engine would push nothing at
+//!    all, so elimination is free.
+//!
+//! # Byte-identity obligations
+//!
+//! Every pass must leave **all observables byte-identical** to the
+//! un-optimized walk and to the interpreted kernel: final registers,
+//! trace/VCD, commit log, conflict sites (step **and** phase),
+//! [`SimStats`] (every counter, including the pending-queue high-water
+//! mark), rendered errors and checker verdicts. The obligations each
+//! pass discharges are recorded in DESIGN.md §5i; `clockless-verify`
+//! enforces them differentially at every level over the corpus, the IKS
+//! chips, the fuzz zoo and every fault mutant.
+
+use std::collections::VecDeque;
+
+use clockless_kernel::{KernelError, SignalId, SimStats, SimTime, Trace};
+
+use crate::backend::{ExecOptions, ExecOutcome, OptConfig};
+use crate::phase::Phase;
+use crate::plan::{combine, Action, ExecPlan, GuardSig, Source};
+use crate::resource::ModuleTiming;
+use crate::run::RunSummary;
+use crate::value::{resolve, Value};
+
+/// Sentinel row index marking a direct-store destination (no driver
+/// buffer, no resolution call).
+const NO_ROW: u32 = u32::MAX;
+
+/// Sentinel guard index for unconditional ops.
+const NO_GUARD: u16 = u16::MAX;
+
+/// A compile-time-resolved destination: the driven signal plus either a
+/// row in the flat driver buffer or [`NO_ROW`] for specialized direct
+/// stores.
+#[derive(Debug, Clone, Copy)]
+struct Dst {
+    sig: u32,
+    row: u32,
+}
+
+/// One specialized instruction of the fused stream.
+///
+/// Each op reads current values and pushes driver updates for the next
+/// delta cycle, in exactly the order the generic walker would — push
+/// order is what makes events, traces and conflict diagnoses
+/// byte-identical.
+#[derive(Debug, Clone, Copy)]
+enum MicroOp {
+    /// Control bookkeeping push (CS/PH). Elidable on untraced runs when
+    /// `fold` is enabled (the walk credits its counters analytically);
+    /// pushed for real on traced runs.
+    Ctl { sig: u32, v: Value },
+    /// Push a constant (const asserts, releases, statically false
+    /// guards, un-foldable control pushes).
+    Const { dst: Dst, guard: u16, v: Value },
+    /// Push the current value of another signal.
+    Copy { dst: Dst, guard: u16, src: u32 },
+    /// Register-indirect memory-word read, then push.
+    MemRead {
+        dst: Dst,
+        guard: u16,
+        addr: u32,
+        base: u32,
+        len: u32,
+    },
+    /// Module evaluation: combine operand ports, advance the latency
+    /// pipeline, push the output port.
+    Eval { module: u32 },
+    /// Register commit: push the input port on the output unless `DISC`.
+    Commit { reg: u32 },
+    /// Memory commit: store the write port at the addressed word, or
+    /// poison every word on a bad address.
+    CommitMem { mem: u32 },
+}
+
+/// The optimized execution plan: the fused micro-op stream plus the
+/// run-time shapes the walker needs.
+///
+/// Built by [`OptPlan::compile`] from a lowered [`ExecPlan`]; executed
+/// by [`OptPlan::execute`] with observables byte-identical to
+/// [`ExecPlan::execute`] (see the module docs for the per-pass
+/// obligations). The source plan is retained for observable extraction
+/// (register names, conflict/commit attribution, analytic statistics).
+#[derive(Debug, Clone)]
+pub struct OptPlan {
+    plan: ExecPlan,
+    config: OptConfig,
+    /// Exact delta count of a run (`ExecPlan::total_deltas`).
+    needed: u64,
+    /// The fused stream; delta `d` runs `ops[bounds[d]..bounds[d + 1]]`.
+    ops: Vec<MicroOp>,
+    bounds: Vec<u32>,
+    /// Per-delta pending/driver-update credits from DSE-eliminated
+    /// module evaluations (indexed by the delta the eliminated push
+    /// would have been applied in).
+    phantom: Vec<u32>,
+    /// Per signal: `(start, len)` row span in the flat driver buffer;
+    /// `len == 0` marks a direct-store signal.
+    span: Vec<(u32, u32)>,
+    /// Initial contents of the flat driver buffer.
+    dbuf_init: Vec<Value>,
+}
+
+impl OptPlan {
+    /// Compiles a lowered plan into its optimized stream under the given
+    /// pass toggles.
+    ///
+    /// `fuse` is the carrier pass and is always performed; the other
+    /// toggles specialize or shrink the fused stream. Compilation is a
+    /// single linear walk over the slot tables.
+    pub fn compile(plan: &ExecPlan, config: OptConfig) -> OptPlan {
+        Self::from_plan(plan.clone(), config)
+    }
+
+    /// [`compile`](Self::compile) taking the plan by value — the
+    /// one-shot path ([`crate::backend::CompiledBackend`]) moves its
+    /// freshly lowered plan in instead of cloning it.
+    pub fn from_plan(plan: ExecPlan, config: OptConfig) -> OptPlan {
+        assert!(
+            plan.guards.len() < NO_GUARD as usize,
+            "guard table exceeds the micro-op index range"
+        );
+        let needed = plan.total_deltas();
+        let phases = Phase::ALL.len();
+
+        // Pass 2 (specialization): row spans. A signal keeps driver
+        // rows only when its effective value genuinely depends on more
+        // than the pushed value: resolved with more than one driver, or
+        // any resolved signal when specialization is off. Unresolved
+        // signals read back exactly what was pushed in both engines.
+        let mut span: Vec<(u32, u32)> = Vec::with_capacity(plan.signals.len());
+        let mut dbuf_init: Vec<Value> = Vec::new();
+        for s in &plan.signals {
+            let rows = if s.resolved && (s.drivers > 1 || !config.specialize) {
+                s.drivers
+            } else {
+                0
+            };
+            span.push((dbuf_init.len() as u32, rows as u32));
+            dbuf_init.extend(std::iter::repeat_n(s.init, rows));
+        }
+        let dst = |sig: usize, slot: usize| -> Dst {
+            let (start, len) = span[sig];
+            Dst {
+                sig: sig as u32,
+                row: if len == 0 {
+                    NO_ROW
+                } else {
+                    start + slot as u32
+                },
+            }
+        };
+
+        // Pass 3 (folding): pre-evaluate guards whose operands are all
+        // literals. `eval` never invokes the read closure for them.
+        let guard_static: Vec<Option<bool>> = plan
+            .guards
+            .iter()
+            .map(|g| {
+                let all_const = g.clauses.iter().all(|&(l, _, r)| {
+                    matches!(l, GuardSig::Const(_)) && matches!(r, GuardSig::Const(_))
+                });
+                (config.fold && all_const).then(|| g.eval(|_| unreachable!("const-only guard")))
+            })
+            .collect();
+
+        // Pass 4 (DSE): per-step activity tables. `port_active[m][s]`
+        // marks an assert into module `m`'s operand ports anywhere in
+        // step `s` (guards ignored — a disabled assert still drives
+        // `DISC`, and presence is all the conservative window needs).
+        let steps = plan.cs_max as usize;
+        let step_asserts = |s: usize| {
+            plan.slots[s * phases..(s + 1) * phases]
+                .iter()
+                .flatten()
+                .filter_map(|a| match *a {
+                    Action::Assert { dst, .. } => Some(dst),
+                    _ => None,
+                })
+        };
+        let mut port_active: Vec<Vec<bool>> = vec![vec![false; steps]; plan.modules.len()];
+        let mut reg_in_active: Vec<Vec<bool>> = vec![vec![false; steps]; plan.regs.len()];
+        let mut mem_win_active: Vec<Vec<bool>> = vec![vec![false; steps]; plan.mems.len()];
+        if config.dse {
+            // Reverse maps (signal → consumer) keep the table build
+            // linear in the assert count rather than assert × consumer.
+            let mut port_of: Vec<u32> = vec![u32::MAX; plan.signals.len()];
+            let mut regin_of: Vec<u32> = vec![u32::MAX; plan.signals.len()];
+            let mut memwin_of: Vec<u32> = vec![u32::MAX; plan.signals.len()];
+            for (m, pm) in plan.modules.iter().enumerate() {
+                port_of[pm.in1] = m as u32;
+                port_of[pm.in2] = m as u32;
+                if let Some(op) = pm.op {
+                    port_of[op] = m as u32;
+                }
+            }
+            for (r, pr) in plan.regs.iter().enumerate() {
+                regin_of[pr.input] = r as u32;
+            }
+            for (w, pw) in plan.mems.iter().enumerate() {
+                memwin_of[pw.win] = w as u32;
+            }
+            for s in 0..steps {
+                for dst_sig in step_asserts(s) {
+                    if port_of[dst_sig] != u32::MAX {
+                        port_active[port_of[dst_sig] as usize][s] = true;
+                    }
+                    if regin_of[dst_sig] != u32::MAX {
+                        reg_in_active[regin_of[dst_sig] as usize][s] = true;
+                    }
+                    if memwin_of[dst_sig] != u32::MAX {
+                        mem_win_active[memwin_of[dst_sig] as usize][s] = true;
+                    }
+                }
+            }
+        }
+        // A module evaluation at step `s` (0-based here) is dead when no
+        // operand-port assert lands within the last `2·latency + 2`
+        // steps: operands are `DISC`, the pipeline has drained, the
+        // initiation counter is zero and the output already reads
+        // `DISC` — the push would be a perfect no-op.
+        let eval_dead = |m: usize, s: usize| -> bool {
+            if !config.dse {
+                return false;
+            }
+            let window = 2 * plan.modules[m].timing.latency() as usize + 2;
+            (s.saturating_sub(window)..=s).all(|t| !port_active[m][t])
+        };
+
+        // Pass 1 (fusion): one linear walk over the schedule, emitting
+        // micro-ops in the generic walker's exact action order.
+        let action_count = plan.init_actions.len() + plan.slots.iter().map(Vec::len).sum::<usize>();
+        let mut ops: Vec<MicroOp> = Vec::with_capacity(action_count);
+        let mut bounds: Vec<u32> = Vec::with_capacity(needed as usize + 1);
+        let mut phantom: Vec<u32> = vec![0; needed as usize + 1];
+        bounds.push(0);
+        for d in 0..needed as usize {
+            let actions: &[Action] = if d == 0 {
+                &plan.init_actions
+            } else {
+                plan.slots.get(d - 1).map(Vec::as_slice).unwrap_or(&[])
+            };
+            // 0-based step of this delta (valid for d >= 1).
+            let step = d.saturating_sub(1) / phases;
+            for &action in actions {
+                match action {
+                    Action::Control { sig, value } => {
+                        if config.fold {
+                            ops.push(MicroOp::Ctl {
+                                sig: sig as u32,
+                                v: value,
+                            });
+                        } else {
+                            ops.push(MicroOp::Const {
+                                dst: dst(sig, 0),
+                                guard: NO_GUARD,
+                                v: value,
+                            });
+                        }
+                    }
+                    Action::Assert {
+                        src,
+                        dst: d_sig,
+                        slot,
+                        guard,
+                    } => {
+                        let g = match guard {
+                            None => NO_GUARD,
+                            Some(gi) => match guard_static[gi as usize] {
+                                Some(true) => NO_GUARD,
+                                Some(false) => {
+                                    // Statically disabled: the assert
+                                    // still drives `DISC` every run.
+                                    ops.push(MicroOp::Const {
+                                        dst: dst(d_sig, slot),
+                                        guard: NO_GUARD,
+                                        v: Value::Disc,
+                                    });
+                                    continue;
+                                }
+                                None => gi,
+                            },
+                        };
+                        let dst = dst(d_sig, slot);
+                        ops.push(match src {
+                            Source::Signal(s) => MicroOp::Copy {
+                                dst,
+                                guard: g,
+                                src: s as u32,
+                            },
+                            Source::Const(v) => MicroOp::Const { dst, guard: g, v },
+                            Source::MemRead { addr, base, len } => MicroOp::MemRead {
+                                dst,
+                                guard: g,
+                                addr: addr as u32,
+                                base: base as u32,
+                                len,
+                            },
+                        });
+                    }
+                    Action::Release { dst: d_sig, slot } => ops.push(MicroOp::Const {
+                        dst: dst(d_sig, slot),
+                        guard: NO_GUARD,
+                        v: Value::Disc,
+                    }),
+                    Action::Eval { module } => {
+                        if eval_dead(module, step) {
+                            // The push lands in the next delta; credit
+                            // its pending/driver-update counters there.
+                            phantom[d + 1] += 1;
+                        } else {
+                            ops.push(MicroOp::Eval {
+                                module: module as u32,
+                            });
+                        }
+                    }
+                    Action::Commit { reg } => {
+                        // Dead commit: the input port is provably `DISC`
+                        // at `cr(s)`, so the generic engine would push
+                        // nothing — elimination is free.
+                        if !config.dse || reg_in_active[reg][step] {
+                            ops.push(MicroOp::Commit { reg: reg as u32 });
+                        }
+                    }
+                    Action::CommitMem { mem } => {
+                        if !config.dse || mem_win_active[mem][step] {
+                            ops.push(MicroOp::CommitMem { mem: mem as u32 });
+                        }
+                    }
+                }
+            }
+            bounds.push(ops.len() as u32);
+        }
+
+        OptPlan {
+            plan,
+            config,
+            needed,
+            ops,
+            bounds,
+            phantom,
+            span,
+            dbuf_init,
+        }
+    }
+
+    /// The pass toggles this plan was compiled under.
+    pub fn config(&self) -> OptConfig {
+        self.config
+    }
+
+    /// Number of micro-ops in the fused stream (diagnostics/benchmarks).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Walks the optimized stream and harvests the observable output —
+    /// byte-identical to [`ExecPlan::execute`] on the source plan.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ExecPlan::execute`]'s: [`KernelError::DeltaOverflow`]
+    /// diagnosed up front from the static schedule length, and
+    /// [`KernelError::WallBudgetExceeded`] when the deadline passes
+    /// mid-walk.
+    pub fn execute(&self, options: &ExecOptions) -> Result<ExecOutcome, KernelError> {
+        let plan = &self.plan;
+        let delta_limit = options.delta_limit.unwrap_or(100_000_000);
+        let needed = self.needed;
+        if needed > delta_limit {
+            return Err(KernelError::DeltaOverflow {
+                at: SimTime {
+                    fs: 0,
+                    delta: delta_limit,
+                },
+                limit: delta_limit,
+            });
+        }
+
+        let mut values: Vec<Value> = plan.signals.iter().map(|s| s.init).collect();
+        let mut dbuf: Vec<Value> = self.dbuf_init.clone();
+        let mut pipes: Vec<VecDeque<Value>> = plan
+            .modules
+            .iter()
+            .map(|m| VecDeque::from(vec![Value::Disc; m.timing.latency() as usize]))
+            .collect();
+        let mut busy: Vec<u32> = vec![0; plan.modules.len()];
+
+        let mut trace: Option<Trace<Value>> = options.trace.then(Trace::new);
+        let mut events: Vec<(u64, usize, Value)> = Vec::new();
+        if let Some(t) = &mut trace {
+            for (i, s) in plan.signals.iter().enumerate() {
+                t.push(SimTime::ZERO, SignalId::from_index(i), s.init);
+            }
+        }
+        // Control pushes are only elidable when nothing records them.
+        let elide_ctl = self.config.fold && trace.is_none();
+
+        let mut stats = SimStats {
+            process_activations: plan.activations,
+            wake_filter_hits: plan.wake_hits,
+            wake_filter_misses: plan.wake_misses,
+            peak_runnable: plan.process_count,
+            ..SimStats::default()
+        };
+
+        // Double-buffered pending queue: the drained allocation is
+        // reused every delta instead of freed (the generic walker
+        // reallocates per delta).
+        let mut cur: Vec<(u32, u32, Value)> = Vec::new();
+        let mut nxt: Vec<(u32, u32, Value)> = Vec::new();
+        // Counter credits for control pushes elided during the previous
+        // delta's run phase: each would have been one pending entry, one
+        // driver update and one event in this delta.
+        let mut carry: u64 = 0;
+        for d in 0..needed {
+            let phantom = u64::from(self.phantom[d as usize]);
+            stats.peak_pending_updates = stats
+                .peak_pending_updates
+                .max(cur.len() as u64 + carry + phantom);
+            stats.driver_updates += carry + phantom;
+            stats.events += carry;
+            carry = 0;
+
+            for &(sig, row, value) in &cur {
+                stats.driver_updates += 1;
+                let sig = sig as usize;
+                let effective = if row == NO_ROW {
+                    value
+                } else {
+                    dbuf[row as usize] = value;
+                    let (start, len) = self.span[sig];
+                    resolve(&dbuf[start as usize..(start + len) as usize])
+                };
+                if effective != values[sig] {
+                    values[sig] = effective;
+                    stats.events += 1;
+                    if let Some(t) = &mut trace {
+                        t.push(
+                            SimTime { fs: 0, delta: d },
+                            SignalId::from_index(sig),
+                            effective,
+                        );
+                        events.push((d, sig, effective));
+                    }
+                }
+            }
+            cur.clear();
+
+            let (lo, hi) = (
+                self.bounds[d as usize] as usize,
+                self.bounds[d as usize + 1] as usize,
+            );
+            for op in &self.ops[lo..hi] {
+                match *op {
+                    MicroOp::Ctl { sig, v } => {
+                        if elide_ctl {
+                            // Every control push is an event: CS strictly
+                            // increments and PH always changes phase.
+                            carry += 1;
+                        } else {
+                            nxt.push((sig, NO_ROW, v));
+                        }
+                    }
+                    MicroOp::Const { dst, guard, v } => {
+                        let v = if guard == NO_GUARD
+                            || plan.guards[guard as usize].eval(|s| values[s])
+                        {
+                            v
+                        } else {
+                            Value::Disc
+                        };
+                        nxt.push((dst.sig, dst.row, v));
+                    }
+                    MicroOp::Copy { dst, guard, src } => {
+                        let v = if guard == NO_GUARD
+                            || plan.guards[guard as usize].eval(|s| values[s])
+                        {
+                            values[src as usize]
+                        } else {
+                            Value::Disc
+                        };
+                        nxt.push((dst.sig, dst.row, v));
+                    }
+                    MicroOp::MemRead {
+                        dst,
+                        guard,
+                        addr,
+                        base,
+                        len,
+                    } => {
+                        let v = if guard == NO_GUARD
+                            || plan.guards[guard as usize].eval(|s| values[s])
+                        {
+                            match values[addr as usize].num() {
+                                Some(a) if (0..i64::from(len)).contains(&a) => {
+                                    values[base as usize + a as usize]
+                                }
+                                _ => Value::Illegal,
+                            }
+                        } else {
+                            Value::Disc
+                        };
+                        nxt.push((dst.sig, dst.row, v));
+                    }
+                    MicroOp::Eval { module } => {
+                        let module = module as usize;
+                        let m = &plan.modules[module];
+                        let mut result = combine(
+                            values[m.in1],
+                            values[m.in2],
+                            m.op.map(|p| values[p]),
+                            &m.ops,
+                        );
+                        if let ModuleTiming::Sequential { latency } = m.timing {
+                            if busy[module] > 0 {
+                                busy[module] -= 1;
+                                if result != Value::Disc {
+                                    result = Value::Illegal;
+                                    for v in pipes[module].iter_mut() {
+                                        *v = Value::Illegal;
+                                    }
+                                }
+                            } else if result != Value::Disc {
+                                busy[module] = latency.saturating_sub(1);
+                            }
+                        }
+                        let pipe = &mut pipes[module];
+                        match pipe.pop_front() {
+                            None => nxt.push((m.out as u32, NO_ROW, result)),
+                            Some(due) => {
+                                nxt.push((m.out as u32, NO_ROW, due));
+                                pipe.push_back(result);
+                            }
+                        }
+                    }
+                    MicroOp::Commit { reg } => {
+                        let r = &plan.regs[reg as usize];
+                        let v = values[r.input];
+                        if v != Value::Disc {
+                            nxt.push((r.output as u32, NO_ROW, v));
+                        }
+                    }
+                    MicroOp::CommitMem { mem } => {
+                        let m = &plan.mems[mem as usize];
+                        let v = values[m.win];
+                        if v != Value::Disc {
+                            match values[m.waddr].num() {
+                                Some(a) if (0..m.words.len() as i64).contains(&a) => {
+                                    nxt.push((m.words[a as usize] as u32, NO_ROW, v));
+                                }
+                                _ => {
+                                    for &w in &m.words {
+                                        nxt.push((w as u32, NO_ROW, Value::Illegal));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+
+            if let Some(deadline) = options.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(KernelError::WallBudgetExceeded {
+                        at: SimTime {
+                            fs: 0,
+                            delta: d + 1,
+                        },
+                    });
+                }
+            }
+        }
+        stats.delta_cycles = needed;
+
+        let mut registers: Vec<(String, Value)> = plan
+            .regs
+            .iter()
+            .map(|r| (r.name.clone(), values[r.output]))
+            .collect();
+        for m in &plan.mems {
+            for &w in &m.words {
+                registers.push((plan.signals[w].name.clone(), values[w]));
+            }
+        }
+
+        let conflicts = trace.as_ref().map(|_| plan.dynamic_conflicts(&events));
+        let commits = trace.as_ref().map(|_| plan.commit_log(&events));
+        let vcd = trace.as_ref().map(|t| {
+            let names: Vec<String> = plan.signals.iter().map(|s| s.name.clone()).collect();
+            t.to_vcd(&names)
+        });
+
+        Ok(ExecOutcome {
+            summary: RunSummary {
+                stats,
+                registers,
+                conflicts,
+            },
+            commits,
+            vcd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::OptLevel;
+    use crate::model::fig1_model;
+
+    fn assert_outcomes_identical(model: &crate::model::RtModel, options: &ExecOptions) {
+        let plan = ExecPlan::lower(model);
+        let base = plan.execute(options).map_err(|e| e.to_string());
+        for level in [OptLevel::O1, OptLevel::O2] {
+            let opt = OptPlan::compile(&plan, level.config());
+            let out = opt.execute(options).map_err(|e| e.to_string());
+            match (&base, &out) {
+                (Ok(b), Ok(o)) => {
+                    assert_eq!(b.summary.registers, o.summary.registers, "{level}");
+                    assert_eq!(b.summary.stats, o.summary.stats, "{level}");
+                    assert_eq!(b.summary.conflicts, o.summary.conflicts, "{level}");
+                    assert_eq!(b.commits, o.commits, "{level}");
+                    assert_eq!(b.vcd, o.vcd, "{level}");
+                }
+                (Err(b), Err(o)) => assert_eq!(b, o, "{level}"),
+                _ => panic!("outcome kind diverged at O{level}: {base:?} vs {out:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_byte_identical_at_every_level_traced_and_untraced() {
+        let model = fig1_model(3, 4);
+        assert_outcomes_identical(&model, &ExecOptions::traced());
+        assert_outcomes_identical(&model, &ExecOptions::default());
+    }
+
+    #[test]
+    fn per_pass_configs_stay_byte_identical() {
+        // Each pass toggled alone on top of fusion must already be
+        // observable-preserving — the bench relies on this for per-pass
+        // attribution.
+        let model = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&model);
+        let base = plan.execute(&ExecOptions::traced()).unwrap();
+        for config in [
+            OptConfig {
+                fuse: true,
+                ..Default::default()
+            },
+            OptConfig {
+                fuse: true,
+                specialize: true,
+                ..Default::default()
+            },
+            OptConfig {
+                fuse: true,
+                fold: true,
+                ..Default::default()
+            },
+            OptConfig {
+                fuse: true,
+                dse: true,
+                ..Default::default()
+            },
+        ] {
+            let out = OptPlan::compile(&plan, config)
+                .execute(&ExecOptions::traced())
+                .unwrap();
+            assert_eq!(base.summary.stats, out.summary.stats, "{config:?}");
+            assert_eq!(base.vcd, out.vcd, "{config:?}");
+            assert_eq!(base.commits, out.commits, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn delta_overflow_is_diagnosed_identically() {
+        let model = fig1_model(3, 4);
+        let options = ExecOptions {
+            delta_limit: Some(10),
+            ..Default::default()
+        };
+        assert_outcomes_identical(&model, &options);
+    }
+
+    #[test]
+    fn dse_shrinks_the_stream_on_sparse_schedules() {
+        // fig1 schedules one transfer at steps 5/6 of 7: most module
+        // evaluations are provably dead.
+        let model = fig1_model(3, 4);
+        let plan = ExecPlan::lower(&model);
+        let o1 = OptPlan::compile(&plan, OptLevel::O1.config());
+        let o2 = OptPlan::compile(&plan, OptLevel::O2.config());
+        assert!(
+            o2.op_count() < o1.op_count(),
+            "O2 stream ({} ops) not smaller than O1 ({} ops)",
+            o2.op_count(),
+            o1.op_count()
+        );
+    }
+}

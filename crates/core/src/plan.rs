@@ -168,51 +168,51 @@ impl std::fmt::Display for StaticConflict {
 
 /// One signal of the plan, mirroring the kernel's elaboration order.
 #[derive(Debug, Clone)]
-struct PlanSignal {
-    name: String,
-    init: Value,
+pub(crate) struct PlanSignal {
+    pub(crate) name: String,
+    pub(crate) init: Value,
     /// Number of driver slots (process-attachment order, exactly as the
     /// kernel would attach them).
-    drivers: usize,
+    pub(crate) drivers: usize,
     /// Whether the signal resolves colliding drivers (buses and ports).
-    resolved: bool,
-    role: SignalRole,
+    pub(crate) resolved: bool,
+    pub(crate) role: SignalRole,
 }
 
 /// One register: dense indices of its port signals.
 #[derive(Debug, Clone)]
-struct PlanReg {
-    name: String,
-    input: usize,
-    output: usize,
+pub(crate) struct PlanReg {
+    pub(crate) name: String,
+    pub(crate) input: usize,
+    pub(crate) output: usize,
 }
 
 /// One functional module: port indices plus operation/timing data.
 #[derive(Debug, Clone)]
-struct PlanModule {
-    in1: usize,
-    in2: usize,
+pub(crate) struct PlanModule {
+    pub(crate) in1: usize,
+    pub(crate) in2: usize,
     /// Operation-select port (multi-operation modules only).
-    op: Option<usize>,
-    out: usize,
-    ops: Vec<Op>,
-    timing: ModuleTiming,
+    pub(crate) op: Option<usize>,
+    pub(crate) out: usize,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) timing: ModuleTiming,
 }
 
 /// One memory: dense indices of its port and word signals.
 #[derive(Debug, Clone)]
-struct PlanMem {
+pub(crate) struct PlanMem {
     /// Write-value port (resolved).
-    win: usize,
+    pub(crate) win: usize,
     /// Write-address port (resolved).
-    waddr: usize,
+    pub(crate) waddr: usize,
     /// Word signals, contiguous and in ascending address order.
-    words: Vec<usize>,
+    pub(crate) words: Vec<usize>,
 }
 
 /// One side of a lowered guard comparison.
 #[derive(Debug, Clone, Copy)]
-enum GuardSig {
+pub(crate) enum GuardSig {
     /// A register-output signal, read at evaluation time.
     Sig(usize),
     /// An integer literal.
@@ -223,13 +223,13 @@ enum GuardSig {
 /// [`Guard::eval`]: the conjunction of clauses (a clause holds only over
 /// two regular numbers), XOR-ed with the `not (…)` wrapper.
 #[derive(Debug, Clone)]
-struct PlanGuard {
-    negated: bool,
-    clauses: Vec<(GuardSig, CmpOp, GuardSig)>,
+pub(crate) struct PlanGuard {
+    pub(crate) negated: bool,
+    pub(crate) clauses: Vec<(GuardSig, CmpOp, GuardSig)>,
 }
 
 impl PlanGuard {
-    fn eval(&self, mut read: impl FnMut(usize) -> Value) -> bool {
+    pub(crate) fn eval(&self, mut read: impl FnMut(usize) -> Value) -> bool {
         let conj = self.clauses.iter().all(|&(lhs, cmp, rhs)| {
             let mut side = |s: GuardSig| match s {
                 GuardSig::Sig(i) => read(i).num(),
@@ -255,13 +255,13 @@ impl PlanGuard {
 /// [`PlanDelta`]s can be expressed as spec-level edits (drop, re-step)
 /// without re-lowering.
 #[derive(Debug, Clone, Copy)]
-struct LoweredSpec {
-    step: Step,
-    phase: Phase,
-    src: Source,
-    dst: usize,
-    slot: usize,
-    guard: Option<u16>,
+pub(crate) struct LoweredSpec {
+    pub(crate) step: Step,
+    pub(crate) phase: Phase,
+    pub(crate) src: Source,
+    pub(crate) dst: usize,
+    pub(crate) slot: usize,
+    pub(crate) guard: Option<u16>,
 }
 
 /// A spurious extra bus driver expressed at plan level: the batched
@@ -269,7 +269,7 @@ struct LoweredSpec {
 /// `SPUR_<bus>_<step>` PassA module the legacy mutation adds) plus the
 /// two specs its transfer tuple would lower to.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct PlanSpur {
+pub(crate) struct PlanSpur {
     /// The shadow module's name (used in conflict diagnoses).
     name: String,
     /// The step in which the spurious driver asserts.
@@ -316,36 +316,36 @@ pub struct PlanDelta {
 /// byte-identical.
 #[derive(Debug, Clone)]
 pub struct ExecPlan {
-    cs_max: Step,
-    signals: Vec<PlanSignal>,
-    regs: Vec<PlanReg>,
-    modules: Vec<PlanModule>,
-    mems: Vec<PlanMem>,
+    pub(crate) cs_max: Step,
+    pub(crate) signals: Vec<PlanSignal>,
+    pub(crate) regs: Vec<PlanReg>,
+    pub(crate) modules: Vec<PlanModule>,
+    pub(crate) mems: Vec<PlanMem>,
     /// Lowered transfer guards, indexed by [`LoweredSpec::guard`].
-    guards: Vec<PlanGuard>,
+    pub(crate) guards: Vec<PlanGuard>,
     /// Actions of the initialization delta (delta 0).
-    init_actions: Vec<Action>,
+    pub(crate) init_actions: Vec<Action>,
     /// `slots[(s-1)*6 + p.index()]` = actions of step `s`, phase `p`
     /// (executed in delta `(s-1)*6 + p.index() + 1`).
-    slots: Vec<Vec<Action>>,
+    pub(crate) slots: Vec<Vec<Action>>,
     /// Whether a trailing flush delta follows `cr(CS_MAX)`. Statically
     /// determined: some transfer asserts a register input at
     /// `wb(CS_MAX)`, so its commit and release are still pending after
     /// the last scheduled phase.
-    flush: bool,
+    pub(crate) flush: bool,
     /// Lowered transfer specs in attachment order (the source of the
     /// slot tables), kept so plan deltas can edit the schedule.
-    specs: Vec<LoweredSpec>,
+    pub(crate) specs: Vec<LoweredSpec>,
     /// `spec_tuple[i]` maps spec `i` back to its source tuple index.
-    spec_tuple: Vec<usize>,
+    pub(crate) spec_tuple: Vec<usize>,
     /// Number of transfer tuples in the source model.
-    tuple_count: usize,
-    static_conflicts: Vec<StaticConflict>,
+    pub(crate) tuple_count: usize,
+    pub(crate) static_conflicts: Vec<StaticConflict>,
     /// Analytic stats derived from the schedule (see module docs).
-    process_count: u64,
-    activations: u64,
-    wake_hits: u64,
-    wake_misses: u64,
+    pub(crate) process_count: u64,
+    pub(crate) activations: u64,
+    pub(crate) wake_hits: u64,
+    pub(crate) wake_misses: u64,
 }
 
 impl ExecPlan {
@@ -1093,7 +1093,7 @@ impl ExecPlan {
 
     /// `ILLEGAL`-valued events localized to step and phase (the same
     /// extraction `RtSimulation::conflicts` performs on the trace).
-    fn dynamic_conflicts(&self, events: &[(u64, usize, Value)]) -> ConflictReport {
+    pub(crate) fn dynamic_conflicts(&self, events: &[(u64, usize, Value)]) -> ConflictReport {
         let mut conflicts = Vec::new();
         for &(delta, sig, value) in events {
             if value != Value::Illegal {
@@ -1132,7 +1132,7 @@ impl ExecPlan {
     /// Register-output and memory-word events attributed to the storing
     /// step (the same extraction `RtSimulation::register_commits`
     /// performs).
-    fn commit_log(&self, events: &[(u64, usize, Value)]) -> Vec<RegisterCommit> {
+    pub(crate) fn commit_log(&self, events: &[(u64, usize, Value)]) -> Vec<RegisterCommit> {
         let mut commits = Vec::new();
         for &(delta, sig, value) in events {
             let register = match &self.signals[sig].role {
@@ -1315,6 +1315,13 @@ impl ExecPlan {
     /// without disturbing the other columns. Tracing is not supported;
     /// `options.trace` is ignored.
     ///
+    /// `options.opt` gates the same stream specializations the solo
+    /// compiled backend gets from [`crate::OptPlan`] — single-driver
+    /// resolution bypass, folded control pushes, dead-spur elimination —
+    /// re-derived on each chunk's merged mutant schedule. Elided work is
+    /// re-credited to the per-column counters, so outcomes stay
+    /// byte-identical at every level.
+    ///
     /// # Errors
     ///
     /// [`KernelError::WallBudgetExceeded`] when `options.deadline` passes
@@ -1395,6 +1402,7 @@ impl ExecPlan {
     ) -> Result<(), KernelError> {
         let n = chunk.len();
         let bit = |c: usize| 1u64 << c;
+        let cfg = options.opt.config();
         let delta_limit = options.delta_limit.unwrap_or(100_000_000);
         let base_fixed = (self.regs.len() + self.modules.len() + self.mems.len()) as u64;
 
@@ -1807,7 +1815,105 @@ impl ExecPlan {
                 ));
             }
         }
-        let init_sched: Vec<(Action, u64)> = self.init_actions.iter().map(|&a| (a, full)).collect();
+        let mut init_sched: Vec<(Action, u64)> =
+            self.init_actions.iter().map(|&a| (a, full)).collect();
+
+        // `-O` gated stream tweaks, mirroring [`OptPlan`] on the merged
+        // masked schedule. Because the schedule is rebuilt per chunk the
+        // passes see every mutation (drops, skews, spurs, guard edits)
+        // before deciding what to elide — the "re-optimize per chunk"
+        // obligation. Elided actions credit their exact pending/update/
+        // event contributions back per delta, so every column's counters
+        // stay byte-identical to the unoptimized walk.
+        //
+        // `elided_du[d]` rows would have sat pending at the top of delta
+        // `d` and been applied there (one driver update per `full`
+        // column); `elided_ev[d]` of those were guaranteed events
+        // (control pushes: CS strictly increments, PH always changes).
+        let mut elided_du = vec![0u64; num_slots + 2];
+        let mut elided_ev = vec![0u64; num_slots + 2];
+        if cfg.fold {
+            // Constant folding: CS/PH pushes carry no information the
+            // batch observes — columns are untraced, guards and checkers
+            // read only register/memory/bus values, and the conflict
+            // latch skips control roles — so the rows fold into per-delta
+            // counter credits. The control signals' value cells simply go
+            // stale.
+            let mut fold = |actions: &mut Vec<(Action, u64)>, apply_at: usize| {
+                actions.retain(|&(a, m)| {
+                    if matches!(a, Action::Control { .. }) {
+                        debug_assert_eq!(m, full, "control pushes are unmasked");
+                        elided_du[apply_at] += 1;
+                        elided_ev[apply_at] += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            };
+            fold(&mut init_sched, 1);
+            for (slot, actions) in sched.iter_mut().enumerate() {
+                fold(actions, slot + 2);
+            }
+        }
+        if cfg.dse {
+            // Dead-spur elimination on the union schedule: an assert's
+            // presence in `by_step` for *any* column (base, moved-in,
+            // flipped or forced — guard edits only gate the driven
+            // value, never the dst) marks its dst active, so an action
+            // is elided only when it is dead in every column. Spur
+            // asserts target the shadow module and a bus, never a
+            // golden module's operand ports, and `init_edits` only
+            // touch register outputs, which no elimination reads.
+            let steps = self.cs_max as usize;
+            let mut port_active = vec![vec![false; steps]; self.modules.len()];
+            let mut reg_in_active = vec![vec![false; steps]; self.regs.len()];
+            let mut mem_win_active = vec![vec![false; steps]; self.mems.len()];
+            for s in 0..steps {
+                for &(i, _) in &by_step[s + 1] {
+                    let dst_sig = self.specs[i].dst;
+                    for (m, pm) in self.modules.iter().enumerate() {
+                        if dst_sig == pm.in1 || dst_sig == pm.in2 || Some(dst_sig) == pm.op {
+                            port_active[m][s] = true;
+                        }
+                    }
+                    for (r, pr) in self.regs.iter().enumerate() {
+                        if dst_sig == pr.input {
+                            reg_in_active[r][s] = true;
+                        }
+                    }
+                    for (w, pw) in self.mems.iter().enumerate() {
+                        if dst_sig == pw.win {
+                            mem_win_active[w][s] = true;
+                        }
+                    }
+                }
+            }
+            let eval_dead = |m: usize, s: usize| -> bool {
+                let window = 2 * self.modules[m].timing.latency() as usize + 2;
+                (s.saturating_sub(window)..=s).all(|t| !port_active[m][t])
+            };
+            for (slot, actions) in sched.iter_mut().enumerate() {
+                let s = slot / Phase::ALL.len();
+                actions.retain(|&(a, _)| match a {
+                    // A dead eval's row is a perfect no-op (all inputs
+                    // `DISC` across the window, pipeline drained), but
+                    // it still counted one pending row and one driver
+                    // update per column — credit those, no event.
+                    Action::Eval { module }
+                        if module < self.modules.len() && eval_dead(module, s) =>
+                    {
+                        elided_du[slot + 2] += 1;
+                        false
+                    }
+                    // Commits push a row only for live (non-`DISC`)
+                    // inputs, so eliding a never-live commit is free.
+                    Action::Commit { reg } => reg_in_active[reg][s],
+                    Action::CommitMem { mem } => mem_win_active[mem][s],
+                    _ => true,
+                });
+            }
+        }
 
         /// Appends one pending transaction row (`n` wide, `DISC`-filled).
         fn push_row(
@@ -1854,6 +1960,20 @@ impl ExecPlan {
                     mm &= mm - 1;
                 }
             }
+            // Credit elided rows exactly where they would have been
+            // counted: pending at the top of this delta, applied (one
+            // driver update, and for controls one event) right here.
+            let (carry_du, carry_ev) = (elided_du[d as usize], elided_ev[d as usize]);
+            if carry_du != 0 {
+                let mut mm = full;
+                while mm != 0 {
+                    let c = mm.trailing_zeros() as usize;
+                    mm &= mm - 1;
+                    pend_cnt[c] += carry_du;
+                    du_count[c] += carry_du;
+                    ev_count[c] += carry_ev;
+                }
+            }
             for c in 0..n {
                 peak_pending[c] = peak_pending[c].max(pend_cnt[c]);
             }
@@ -1876,13 +1996,22 @@ impl ExecPlan {
                 } else {
                     true
                 };
+                // Resolution specialization: a resolved signal with one
+                // driver slot (note: a spur-driven bus grows an extra
+                // chunk-local slot, disqualifying it) resolves to the
+                // just-pushed value — `resolve` of a singleton is the
+                // identity on `DISC`/`ILLEGAL`/`Num` alike — so the
+                // driver buffer is neither written nor scanned.
+                let direct = cfg.specialize && resolved && slot_count[sig] == 1;
                 let mut mm = m;
                 while mm != 0 {
                     let c = mm.trailing_zeros() as usize;
                     mm &= mm - 1;
                     du_count[c] += 1;
-                    drivers[dbase * n + c] = vals[row + c];
-                    let effective = if resolved {
+                    let effective = if direct {
+                        vals[row + c]
+                    } else if resolved {
+                        drivers[dbase * n + c] = vals[row + c];
                         let mut seen: Option<Value> = None;
                         let mut acc = Value::Disc;
                         for k in 0..slot_count[sig] {
@@ -1908,6 +2037,7 @@ impl ExecPlan {
                             seen.unwrap_or(Value::Disc)
                         }
                     } else {
+                        drivers[dbase * n + c] = vals[row + c];
                         drivers[slot_base[sig] * n + c]
                     };
                     let vi = sig * n + c;
@@ -2200,31 +2330,30 @@ fn analytic_stats(
 ) -> (u64, u64, u64) {
     let steps = cs_max as u64;
     let mut activations = 1 + 6 * steps + fixed_procs * (1 + steps);
+    // The kernel buckets `UntilEq` waiters per awaited value, so a filter
+    // only ever fires when its predicate just became true: every
+    // evaluation is a hit and the miss count is structurally zero.
     let mut wake_hits = fixed_procs * steps;
-    let mut wake_misses = fixed_procs * 5 * steps;
+    let wake_misses = 0;
     for (step, phase) in specs {
         if (1..=cs_max).contains(&step) {
-            // CS filter: misses while CS counts up to the step, one hit
-            // when it arrives.
+            // CS filter: one hit when CS arrives at the spec's step.
             wake_hits += 1;
-            wake_misses += step as u64 - 1;
             if phase == Phase::Ra {
                 // init + assert + release; PH filter hits once (the
                 // release phase).
                 activations += 3;
                 wake_hits += 1;
             } else {
-                // init + arm + assert + release; PH misses phases
-                // between ra and the assert phase, hits twice.
+                // init + arm + assert + release; PH filter hits twice
+                // (the assert phase and the release phase).
                 activations += 4;
                 wake_hits += 2;
-                wake_misses += phase.index() as u64 - 1;
             }
         } else {
             // Defensive: a spec outside the schedule only ever runs its
-            // init resume and watches CS miss every step.
+            // init resume; its CS bucket never fires.
             activations += 1;
-            wake_misses += steps;
         }
     }
     (activations, wake_hits, wake_misses)
@@ -2234,7 +2363,7 @@ fn analytic_stats(
 /// process: the op port (when present) selects the operation by index;
 /// `DISC` selection with live operands and out-of-range selections are
 /// `ILLEGAL`.
-fn combine(a: Value, b: Value, op_sel: Option<Value>, ops: &[Op]) -> Value {
+pub(crate) fn combine(a: Value, b: Value, op_sel: Option<Value>, ops: &[Op]) -> Value {
     let op = match op_sel {
         None => ops[0],
         Some(Value::Disc) => {
@@ -2317,7 +2446,7 @@ mod tests {
         assert_eq!(s.delta_cycles, 43);
         assert_eq!(s.process_activations, 89);
         assert_eq!(s.wake_filter_hits, 37);
-        assert_eq!(s.wake_filter_misses, 136);
+        assert_eq!(s.wake_filter_misses, 0);
         assert_eq!(s.time_advances, 0);
     }
 
@@ -2542,24 +2671,31 @@ mod tests {
     }
 
     /// Batched column `i` must show exactly the observables a solo run of
-    /// `mutants[i]` shows: registers, first conflict, kernel counters.
+    /// `mutants[i]` shows — registers, first conflict, kernel counters —
+    /// at every optimization level of the lockstep walk.
     fn assert_batch_matches_solo(golden: &RtModel, deltas: &[PlanDelta], mutants: &[RtModel]) {
         assert_eq!(deltas.len(), mutants.len());
         let plan = ExecPlan::lower(golden);
-        let outs = plan.execute_batch(deltas, &ExecOptions::default()).unwrap();
-        for (i, (out, mutant)) in outs.iter().zip(mutants).enumerate() {
-            let solo = compiled_traced(mutant);
-            assert!(!out.overflowed, "column {i}");
-            assert_eq!(
-                out.registers, solo.summary.registers,
-                "column {i} registers"
-            );
-            assert_eq!(
-                out.first_conflict.as_ref(),
-                solo.summary.conflicts.as_ref().unwrap().first(),
-                "column {i} conflict"
-            );
-            assert_eq!(out.stats, solo.summary.stats, "column {i} stats");
+        for level in crate::OptLevel::ALL {
+            let options = ExecOptions::default().at_opt(level);
+            let outs = plan.execute_batch(deltas, &options).unwrap();
+            for (i, (out, mutant)) in outs.iter().zip(mutants).enumerate() {
+                let solo = compiled_traced(mutant);
+                assert!(!out.overflowed, "column {i} at -O{level}");
+                assert_eq!(
+                    out.registers, solo.summary.registers,
+                    "column {i} registers at -O{level}"
+                );
+                assert_eq!(
+                    out.first_conflict.as_ref(),
+                    solo.summary.conflicts.as_ref().unwrap().first(),
+                    "column {i} conflict at -O{level}"
+                );
+                assert_eq!(
+                    out.stats, solo.summary.stats,
+                    "column {i} stats at -O{level}"
+                );
+            }
         }
     }
 

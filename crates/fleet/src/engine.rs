@@ -27,7 +27,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use clockless_core::{Backend, CheckProgram};
+use clockless_core::{Backend, CheckProgram, OptLevel};
 
 use crate::executor::{execute_job, Emission, JobExecutor, ResolvedJob, ThreadPool};
 use crate::report::{FailureKind, FleetReport, JobFailure, JobOutcome};
@@ -67,6 +67,11 @@ pub struct FleetConfig {
     /// deterministic JSON, which stays byte-identical with or without
     /// checking. Shared by `Arc` — workers read it concurrently.
     pub check: Option<Arc<CheckProgram>>,
+    /// Optimization level for compiled-backend jobs (the CLI's `--opt`
+    /// flag; ignored by the interpreter). Every level produces
+    /// byte-identical reports — like [`FleetConfig::backend`], this
+    /// choice never leaks into the deterministic JSON.
+    pub opt: OptLevel,
 }
 
 /// Runs every job of `spec` with the default fault-tolerant

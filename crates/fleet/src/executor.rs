@@ -53,7 +53,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use clockless_core::{execute_checked, Backend, CheckProgram, CheckedError, ExecOptions, RtModel};
+use clockless_core::{
+    execute_checked, Backend, CheckProgram, CheckedError, ExecOptions, OptLevel, RtModel,
+};
 use clockless_kernel::KernelError;
 
 use crate::engine::FleetConfig;
@@ -306,6 +308,9 @@ pub struct ResolvedJob {
     pub delta_budget: Option<u64>,
     /// The engine this job executes on.
     pub backend: Backend,
+    /// Optimization level for the compiled engine (ignored by the
+    /// interpreter; reports stay byte-identical across levels).
+    pub opt: OptLevel,
     /// Value-checking program evaluated alongside the run, if any.
     pub check: Option<Arc<CheckProgram>>,
     /// Deliberate misbehaviour to trip inside the worker fence, if any.
@@ -323,6 +328,7 @@ impl ResolvedJob {
             model: spec.resolve(),
             delta_budget: min_budget(config.delta_budget, spec.delta_budget),
             backend: config.backend.or(spec.backend).unwrap_or_default(),
+            opt: config.opt,
             check: config.check.clone(),
             chaos: match spec.source {
                 JobSource::Chaos(p) => Some(p),
@@ -342,6 +348,7 @@ impl ResolvedJob {
             model: Ok(model),
             delta_budget: config.delta_budget,
             backend: config.backend.unwrap_or_default(),
+            opt: config.opt,
             check: config.check.clone(),
             chaos: None,
         }
@@ -400,6 +407,7 @@ pub fn execute_job(job: &ResolvedJob, config: &FleetConfig) -> JobOutcome {
                     job.delta_budget,
                     config.wall_budget,
                     job.backend,
+                    job.opt,
                     job.check.as_deref(),
                     job.chaos,
                 )
@@ -457,6 +465,7 @@ fn run_job(
     delta_budget: Option<u64>,
     wall_budget: Option<Duration>,
     backend: Backend,
+    opt: OptLevel,
     check: Option<&CheckProgram>,
     chaos: Option<ChaosProbe>,
 ) -> Result<JobResult, (FailureKind, String)> {
@@ -468,6 +477,7 @@ fn run_job(
         trace: true,
         delta_limit: delta_budget,
         deadline: wall_budget.map(|d| t0 + d),
+        opt,
     };
     let (summary, check) = match check {
         Some(program) => {

@@ -61,6 +61,15 @@ pub(crate) struct SignalSlot<V> {
     /// Entries whose token no longer matches the process's current wait
     /// token are stale and removed lazily.
     pub(crate) waiters: Vec<(u32, u64)>,
+    /// Processes waiting until this signal equals a specific value
+    /// (`Wait::UntilEq`), bucketed by the awaited value so an event only
+    /// ever touches the waiters whose predicate just became true. The
+    /// value type carries no `Hash` bound, so the bucket key lookup is a
+    /// linear scan — the number of distinct awaited values per signal is
+    /// small (control steps, phases). Entries are `(process, token)` like
+    /// [`waiters`](Self::waiters) and stale entries are compacted away
+    /// whenever their bucket fires.
+    pub(crate) pred_buckets: Vec<(V, Vec<(u32, u64)>)>,
     /// Delta/time at which the last event (value change) occurred, as a
     /// monotonically increasing tick; used by `ProcessCtx::had_event`.
     pub(crate) last_event_tick: u64,
@@ -85,6 +94,7 @@ impl<V: Clone> SignalSlot<V> {
             drivers: Vec::new(),
             resolver,
             waiters: Vec::new(),
+            pred_buckets: Vec::new(),
             last_event_tick: 0,
         }
     }

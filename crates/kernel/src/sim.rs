@@ -47,11 +47,14 @@ pub struct SimStats {
     pub driver_updates: u64,
     /// Physical-time advances.
     pub time_advances: u64,
-    /// `Wait::UntilEq` filter evaluations that woke the process (the
-    /// watched signal changed to the target value).
+    /// `Wait::UntilEq` filter firings that woke a process (the watched
+    /// signal changed to the awaited value). Waiters are bucketed per
+    /// awaited value, so the filter only ever fires on a match.
     pub wake_filter_hits: u64,
-    /// `Wait::UntilEq` filter evaluations that suppressed a wake-up —
-    /// each one is a resumption the in-kernel filter saved.
+    /// `Wait::UntilEq` filter evaluations that suppressed a wake-up.
+    /// Since waiters are bucketed per awaited value, non-matching
+    /// waiters are never scanned and this counter is structurally zero;
+    /// it is kept for report-layout stability.
     pub wake_filter_misses: u64,
     /// Highest number of processes made runnable in any single delta.
     pub peak_runnable: u64,
@@ -804,10 +807,10 @@ impl<V: SimValue> Simulator<V> {
     }
 
     fn wake_waiters(&mut self, sid: u32) {
-        // One in-place pass: stale registrations (token mismatch — the
-        // process re-armed or terminated since registering) are compacted
-        // away, live ones are order-preserved and woken. No allocation,
-        // no second sweep.
+        // One in-place pass per list: stale registrations (token mismatch
+        // — the process re-armed or terminated since registering) are
+        // compacted away, live ones are order-preserved and woken. No
+        // allocation, no second sweep.
         let Simulator {
             signals,
             procs,
@@ -825,26 +828,36 @@ impl<V: SimValue> Simulator<V> {
             }
             slot.waiters[kept] = (pid, tok);
             kept += 1;
-            // A wake filter (Wait::UntilEq) is evaluated here, in-kernel,
-            // against the signal's freshly updated value; filtered-out
-            // processes keep their registration and cost one comparison.
-            let wake = match &p.pred {
-                None => true,
-                Some(v) if slot.value == *v => {
-                    stats.wake_filter_hits += 1;
-                    true
-                }
-                Some(_) => {
-                    stats.wake_filter_misses += 1;
-                    false
-                }
-            };
-            if wake && !p.runnable {
+            if !p.runnable {
                 p.runnable = true;
                 runnable.push(pid);
             }
         }
         slot.waiters.truncate(kept);
+        // Wake filters (Wait::UntilEq) are bucketed per awaited value, so
+        // an event only ever visits the waiters whose predicate just
+        // became true: every live entry in the matching bucket is a
+        // filter hit, and non-matching waiters are never scanned — the
+        // miss counter is structurally zero.
+        let current = slot.value.clone();
+        if let Some((_, bucket)) = slot.pred_buckets.iter_mut().find(|(v, _)| *v == current) {
+            let mut kept = 0;
+            for i in 0..bucket.len() {
+                let (pid, tok) = bucket[i];
+                let p = &mut procs[pid as usize];
+                if p.done || p.token != tok {
+                    continue; // stale registration: dropped by compaction
+                }
+                bucket[kept] = (pid, tok);
+                kept += 1;
+                stats.wake_filter_hits += 1;
+                if !p.runnable {
+                    p.runnable = true;
+                    runnable.push(pid);
+                }
+            }
+            bucket.truncate(kept);
+        }
     }
 
     fn make_runnable(&mut self, pid: u32) {
@@ -934,10 +947,17 @@ impl<V: SimValue> Simulator<V> {
                         p.token += 1;
                         p.sens.clear();
                         p.sens.push(sig);
-                        p.pred = Some(value);
+                        p.pred = Some(value.clone());
                         p.token
                     };
-                    self.signals[sig.index()].waiters.push((pid, token));
+                    // Filtered waits register in the bucket for their
+                    // awaited value, not the plain waiter list: events
+                    // whose new value differs never see this process.
+                    let slot = &mut self.signals[sig.index()];
+                    match slot.pred_buckets.iter_mut().find(|(v, _)| *v == value) {
+                        Some((_, bucket)) => bucket.push((pid, token)),
+                        None => slot.pred_buckets.push((value, vec![(pid, token)])),
+                    }
                 }
                 self.procs[pid as usize].body = Some(body);
             }

@@ -2,13 +2,16 @@
 //! across every job the daemon serves.
 //!
 //! Entries are keyed by a 64-bit **content hash** of the model source
-//! text ([`content_hash`], FNV-1a — no external crates), so two clients
-//! submitting the same model text share one parsed [`RtModel`] and one
-//! lowered [`ExecPlan`] regardless of file paths. Eviction is
+//! text ([`content_hash`], FNV-1a — no external crates) mixed with the
+//! requested optimization level ([`cache_key`]), so two clients
+//! submitting the same model text at the same level share one parsed
+//! [`RtModel`], one lowered [`ExecPlan`] and one compiled [`OptPlan`]
+//! regardless of file paths — and a level change can never serve a
+//! stream compiled under different pass toggles. Eviction is
 //! least-recently-used with a fixed capacity; hit/miss/eviction counters
-//! are surfaced through [`PlanCache::stats`] and the daemon's
-//! `{"op":"stats"}` job, so `BENCH_serve.json` and operators read the
-//! same numbers.
+//! (total and per level) are surfaced through [`PlanCache::stats`] and
+//! the daemon's `{"op":"stats"}` job, so `BENCH_serve.json` and
+//! operators read the same numbers.
 //!
 //! Build failures are **not** cached: a malformed model answers with an
 //! error and leaves the cache untouched, so a typo cannot evict a warm
@@ -17,16 +20,39 @@
 use std::sync::Arc;
 
 use clockless_core::plan::ExecPlan;
-use clockless_core::RtModel;
+use clockless_core::{ExecOptions, ExecOutcome, OptLevel, OptPlan, RtModel};
+use clockless_kernel::KernelError;
 
-/// One cached model: the parsed [`RtModel`] plus its lowered
-/// [`ExecPlan`], shared between jobs via [`Arc`].
+/// One cached model: the parsed [`RtModel`], its lowered [`ExecPlan`]
+/// and (above `-O0`) the compiled micro-op stream, shared between jobs
+/// via [`Arc`].
 #[derive(Debug)]
 pub struct CachedPlan {
     /// The parsed, validated model.
     pub model: RtModel,
     /// The model lowered to the compiled phase-schedule IR.
     pub plan: ExecPlan,
+    /// The level the entry was compiled at (part of the cache key).
+    pub opt: OptLevel,
+    /// The optimized stream; `None` at [`OptLevel::O0`], where the warm
+    /// path walks the lowered plan directly.
+    pub optimized: Option<OptPlan>,
+}
+
+impl CachedPlan {
+    /// Executes the cached artifact: the optimized stream when one was
+    /// compiled, the raw plan walk at `-O0`. Observables are
+    /// byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ExecPlan::execute`]'s.
+    pub fn execute(&self, options: &ExecOptions) -> Result<ExecOutcome, KernelError> {
+        match &self.optimized {
+            Some(opt) => opt.execute(options),
+            None => self.plan.execute(options),
+        }
+    }
 }
 
 /// Counter snapshot of a [`PlanCache`].
@@ -42,6 +68,9 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum resident entries.
     pub capacity: usize,
+    /// Per-level `(hits, misses)`, indexed like [`OptLevel::ALL`] —
+    /// the totals above are their sums.
+    pub by_level: [(u64, u64); 3],
 }
 
 struct Entry {
@@ -58,16 +87,22 @@ struct Entry {
 ///
 /// ```
 /// use clockless_core::text::parse_model;
-/// use clockless_serve::cache::{content_hash, PlanCache};
+/// use clockless_core::OptLevel;
+/// use clockless_serve::cache::{cache_key, PlanCache};
 ///
 /// let text = "model tiny steps 1\nregister R init 3\n";
 /// let mut cache = PlanCache::new(8);
-/// let key = content_hash(text.as_bytes());
-/// let first = cache.get_or_insert(key, || parse_model(text).map_err(|e| e.to_string()))?;
-/// let second = cache.get_or_insert(key, || unreachable!("warm key never rebuilds"))?;
+/// let key = cache_key(text.as_bytes(), false, OptLevel::O2);
+/// let first = cache.get_or_insert(key, OptLevel::O2, || {
+///     parse_model(text).map_err(|e| e.to_string())
+/// })?;
+/// let second =
+///     cache.get_or_insert(key, OptLevel::O2, || unreachable!("warm key never rebuilds"))?;
 /// assert_eq!(first.model.name(), second.model.name());
+/// assert!(second.optimized.is_some());
 /// assert_eq!(cache.stats().hits, 1);
 /// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().by_level[2], (1, 1));
 /// # Ok::<(), String>(())
 /// ```
 pub struct PlanCache {
@@ -77,9 +112,11 @@ pub struct PlanCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Per-level `(hits, misses)`, indexed like [`OptLevel::ALL`].
+    by_level: [(u64, u64); 3],
 }
 
-/// FNV-1a content hash of model source text — the cache key.
+/// FNV-1a content hash of model source text.
 pub fn content_hash(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -87,6 +124,14 @@ pub fn content_hash(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The full cache key: content hash mixed with the source flavor (VHDL
+/// sources parse differently from the same bytes) and the optimization
+/// level (each level caches its own compiled artifact).
+pub fn cache_key(bytes: &[u8], vhdl: bool, opt: OptLevel) -> u64 {
+    // Golden-ratio multiples keep the three level keys far apart.
+    content_hash(bytes) ^ u64::from(vhdl) ^ (opt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 impl PlanCache {
@@ -101,12 +146,15 @@ impl PlanCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            by_level: [(0, 0); 3],
         }
     }
 
-    /// Looks up `key`, building (parse via `build`, then lower) and
-    /// inserting on a miss. The LRU entry is evicted when the cache is
-    /// full.
+    /// Looks up `key`, building (parse via `build`, lower, then compile
+    /// the optimized stream for `opt` above `-O0`) and inserting on a
+    /// miss. The LRU entry is evicted when the cache is full. `opt` must
+    /// be the level `key` was derived with ([`cache_key`]) — it selects
+    /// the compiled artifact and attributes the per-level counters.
     ///
     /// # Errors
     ///
@@ -114,18 +162,30 @@ impl PlanCache {
     pub fn get_or_insert(
         &mut self,
         key: u64,
+        opt: OptLevel,
         build: impl FnOnce() -> Result<RtModel, String>,
     ) -> Result<Arc<CachedPlan>, String> {
         self.tick += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
             e.stamp = self.tick;
             self.hits += 1;
+            self.by_level[opt as usize].0 += 1;
             return Ok(Arc::clone(&e.plan));
         }
         self.misses += 1;
+        self.by_level[opt as usize].1 += 1;
         let model = build()?;
         let plan = ExecPlan::lower(&model);
-        let cached = Arc::new(CachedPlan { model, plan });
+        let optimized = match opt {
+            OptLevel::O0 => None,
+            level => Some(OptPlan::compile(&plan, level.config())),
+        };
+        let cached = Arc::new(CachedPlan {
+            model,
+            plan,
+            opt,
+            optimized,
+        });
         if self.entries.len() >= self.capacity {
             let lru = self
                 .entries
@@ -153,6 +213,7 @@ impl PlanCache {
             evictions: self.evictions,
             entries: self.entries.len(),
             capacity: self.capacity,
+            by_level: self.by_level,
         }
     }
 }
@@ -167,9 +228,13 @@ mod tests {
     }
 
     fn insert(cache: &mut PlanCache, i: usize) -> Arc<CachedPlan> {
+        insert_at(cache, i, OptLevel::O2)
+    }
+
+    fn insert_at(cache: &mut PlanCache, i: usize, opt: OptLevel) -> Arc<CachedPlan> {
         let text = model_text(i);
         cache
-            .get_or_insert(content_hash(text.as_bytes()), || {
+            .get_or_insert(cache_key(text.as_bytes(), false, opt), opt, || {
                 parse_model(&text).map_err(|e| e.to_string())
             })
             .expect("builds")
@@ -215,7 +280,9 @@ mod tests {
     fn build_failures_are_not_cached() {
         let mut cache = PlanCache::new(2);
         let err = cache
-            .get_or_insert(content_hash(b"not a model"), || Err("nope".to_string()))
+            .get_or_insert(content_hash(b"not a model"), OptLevel::O2, || {
+                Err("nope".to_string())
+            })
             .expect_err("fails");
         assert_eq!(err, "nope");
         assert_eq!(cache.stats().entries, 0);
@@ -223,11 +290,43 @@ mod tests {
         // The same key rebuilds — and can succeed this time.
         let text = model_text(9);
         cache
-            .get_or_insert(content_hash(b"not a model"), || {
+            .get_or_insert(content_hash(b"not a model"), OptLevel::O2, || {
                 parse_model(&text).map_err(|e| e.to_string())
             })
             .expect("second build succeeds");
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn levels_key_and_count_separately() {
+        let mut cache = PlanCache::new(8);
+        let o0 = insert_at(&mut cache, 0, OptLevel::O0);
+        let o2 = insert_at(&mut cache, 0, OptLevel::O2);
+        // Same text, different level: distinct entries and artifacts.
+        assert_eq!(cache.stats().entries, 2);
+        assert!(o0.optimized.is_none());
+        assert!(o2.optimized.is_some());
+        insert_at(&mut cache, 0, OptLevel::O2); // warm at O2 only
+        let s = cache.stats();
+        assert_eq!(s.by_level[0], (0, 1));
+        assert_eq!(s.by_level[1], (0, 0));
+        assert_eq!(s.by_level[2], (1, 1));
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn cached_artifacts_execute_byte_identically_across_levels() {
+        use clockless_core::ExecOptions;
+        let mut cache = PlanCache::new(8);
+        let o0 = insert_at(&mut cache, 3, OptLevel::O0);
+        let base = o0.execute(&ExecOptions::traced()).expect("runs");
+        for level in [OptLevel::O1, OptLevel::O2] {
+            let c = insert_at(&mut cache, 3, level);
+            let out = c.execute(&ExecOptions::traced()).expect("runs");
+            assert_eq!(base.summary.registers, out.summary.registers);
+            assert_eq!(base.summary.stats, out.summary.stats);
+            assert_eq!(base.vcd, out.vcd);
+        }
     }
 
     #[test]
@@ -245,7 +344,7 @@ mod tests {
         use clockless_core::{Backend, ExecOptions};
         let mut cache = PlanCache::new(2);
         let cached = insert(&mut cache, 5);
-        let from_cache = cached.plan.execute(&ExecOptions::traced()).expect("runs");
+        let from_cache = cached.execute(&ExecOptions::traced()).expect("runs");
         let fresh = Backend::Compiled
             .execute(&cached.model, &ExecOptions::traced())
             .expect("runs");

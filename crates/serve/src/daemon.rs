@@ -105,19 +105,30 @@ impl ServeStats {
     /// document (deterministic given the counter values — there are no
     /// wall-clock fields).
     pub fn document(&self, cache: CacheStats, queue_depth: usize, workers: usize) -> String {
+        let by_level: Vec<String> = cache
+            .by_level
+            .iter()
+            .enumerate()
+            .map(|(level, (hits, misses))| {
+                format!("\"{level}\": {{\"hits\": {hits}, \"misses\": {misses}}}")
+            })
+            .collect();
         format!(
-            "{{\n  \"serve\": {{\"protocol\": {PROTOCOL_VERSION}, \"workers\": {workers}}},\n  \
+            "{{\n  \"serve\": {{\"protocol\": {PROTOCOL_VERSION}, \"workers\": {workers}, \
+             \"opt\": {}}},\n  \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
-             \"capacity\": {}}},\n  \
+             \"capacity\": {}, \"by_level\": {{{}}}}},\n  \
              \"jobs\": {{\"submitted\": {}, \"completed\": {}, \"errors\": {}, \
              \"queue_depth\": {queue_depth}}},\n  \
              \"ops\": {{\"run\": {}, \"faults\": {}, \"fleet\": {}, \"sweep\": {}, \
              \"stats\": {}, \"ping\": {}, \"shutdown\": {}}}\n}}\n",
+            clockless_core::OptLevel::default(),
             cache.hits,
             cache.misses,
             cache.evictions,
             cache.entries,
             cache.capacity,
+            by_level.join(", "),
             self.submitted.load(Ordering::Relaxed),
             self.completed.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
@@ -420,21 +431,66 @@ mod tests {
     fn stats_document_reports_counters() {
         let daemon = Daemon::new(ServeConfig::default());
         let model = "model tiny steps 1\\nregister R init 3\\n";
+        // Two default-level (-O2) runs plus one pinned at -O0: the
+        // levels key separate cache entries and separate counters.
         let input = format!(
             "{{\"id\":1,\"op\":\"run\",\"model\":\"{model}\"}}\n\
              {{\"id\":2,\"op\":\"run\",\"model\":\"{model}\"}}\n\
-             {{\"id\":3,\"op\":\"stats\"}}\n"
+             {{\"id\":3,\"op\":\"run\",\"model\":\"{model}\",\"opt\":0}}\n\
+             {{\"id\":4,\"op\":\"stats\"}}\n"
         );
         let (lines, _) = serve(&daemon, &input);
-        assert_eq!(lines.len(), 3, "{lines:?}");
-        let stats_doc = decode_payload(&lines[2]).expect("stats payload");
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        let stats_doc = decode_payload(&lines[3]).expect("stats payload");
         let v = Json::parse(&stats_doc).expect("stats is JSON");
+        let serve_block = v.get("serve").expect("serve block");
+        assert_eq!(serve_block.get("opt").and_then(Json::as_u64), Some(2));
         let cache = v.get("cache").expect("cache block");
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
-        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+        let by_level = cache.get("by_level").expect("by_level block");
+        let level = |l: &str, k: &str| {
+            by_level
+                .get(l)
+                .and_then(|b| b.get(k))
+                .and_then(Json::as_u64)
+        };
+        assert_eq!(
+            (level("2", "hits"), level("2", "misses")),
+            (Some(1), Some(1))
+        );
+        assert_eq!(
+            (level("0", "hits"), level("0", "misses")),
+            (Some(0), Some(1))
+        );
+        assert_eq!(
+            (level("1", "hits"), level("1", "misses")),
+            (Some(0), Some(0))
+        );
         let ops = v.get("ops").expect("ops block");
-        assert_eq!(ops.get("run").and_then(Json::as_u64), Some(2));
+        assert_eq!(ops.get("run").and_then(Json::as_u64), Some(3));
         assert_eq!(ops.get("stats").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn run_payload_is_byte_identical_across_opt_levels() {
+        let daemon = Daemon::new(ServeConfig::default());
+        let model = "model tiny steps 2\\nregister R init 3\\nregister S init 4\\n";
+        let input = format!(
+            "{{\"id\":1,\"op\":\"run\",\"model\":\"{model}\",\"opt\":0}}\n\
+             {{\"id\":2,\"op\":\"run\",\"model\":\"{model}\",\"opt\":1}}\n\
+             {{\"id\":3,\"op\":\"run\",\"model\":\"{model}\",\"opt\":2}}\n\
+             {{\"id\":4,\"op\":\"run\",\"model\":\"{model}\"}}\n"
+        );
+        let (lines, _) = serve(&daemon, &input);
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        let payloads: Vec<String> = (0..4)
+            .map(|i| decode_payload(&lines[i]).expect("run payload"))
+            .collect();
+        assert!(payloads[0].contains("\"registers\""), "{}", payloads[0]);
+        for p in &payloads[1..] {
+            assert_eq!(&payloads[0], p, "opt levels must not change the payload");
+        }
     }
 
     #[test]

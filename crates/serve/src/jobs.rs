@@ -12,11 +12,11 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 use clockless_core::text::parse_model;
-use clockless_core::{Backend, ExecOptions};
+use clockless_core::{Backend, ExecOptions, OptLevel};
 use clockless_fleet::{run_batch_with, BatchSpec, FleetConfig};
 use clockless_verify::{conflict_sweep, model_from_vhdl, run_campaign, CampaignConfig};
 
-use crate::cache::{content_hash, CachedPlan, PlanCache};
+use crate::cache::{cache_key, CachedPlan, PlanCache};
 use crate::daemon::ServeStats;
 use crate::protocol::{render_error, render_ok, ErrorCode, JobError, Json, Request};
 
@@ -105,6 +105,19 @@ fn opt_parse<T: std::str::FromStr>(body: &Json, key: &str) -> Result<Option<T>, 
     }
 }
 
+/// The request's optimization level (`"opt"`, a number `0..=2`); absent
+/// means the daemon default, `-O2` — warm runs execute the fully
+/// optimized stream unless a client asks for a lower level.
+fn opt_level(body: &Json) -> Result<OptLevel, JobError> {
+    match opt_u64(body, "opt")? {
+        None => Ok(OptLevel::default()),
+        Some(0) => Ok(OptLevel::O0),
+        Some(1) => Ok(OptLevel::O1),
+        Some(2) => Ok(OptLevel::O2),
+        Some(n) => Err(bad(format!("`opt` must be 0, 1 or 2 (got {n})"))),
+    }
+}
+
 /// Worker-thread count for the job's own internal parallelism
 /// (`faults`/`fleet`/`sweep`); defaults to 1 so a job never oversubscribes
 /// the daemon's pool unless asked to.
@@ -136,14 +149,21 @@ fn model_source(body: &Json) -> Result<(String, bool), JobError> {
     ))
 }
 
-/// Parses + lowers through the daemon's plan cache. The cache key is the
-/// content hash of the source text (VHDL sources keyed separately, since
-/// the same bytes parse differently).
-fn cache_get(ctx: &JobCtx, text: &str, vhdl: bool) -> Result<Arc<CachedPlan>, JobError> {
-    let key = content_hash(text.as_bytes()) ^ u64::from(vhdl);
+/// Parses + lowers + optimizes through the daemon's plan cache. The
+/// cache key is the content hash of the source text mixed with the
+/// source flavor (VHDL sources parse differently from the same bytes)
+/// and the optimization level (each level caches its own compiled
+/// stream).
+fn cache_get(
+    ctx: &JobCtx,
+    text: &str,
+    vhdl: bool,
+    opt: OptLevel,
+) -> Result<Arc<CachedPlan>, JobError> {
+    let key = cache_key(text.as_bytes(), vhdl, opt);
     let mut cache = ctx.cache.lock().unwrap_or_else(|e| e.into_inner());
     cache
-        .get_or_insert(key, || {
+        .get_or_insert(key, opt, || {
             if vhdl {
                 model_from_vhdl(text).map_err(|e| e.to_string())
             } else {
@@ -165,11 +185,12 @@ fn cache_get(ctx: &JobCtx, text: &str, vhdl: bool) -> Result<Arc<CachedPlan>, Jo
 fn job_run(body: &Json, ctx: &JobCtx) -> Result<String, JobError> {
     let (text, vhdl) = model_source(body)?;
     let backend: Option<Backend> = opt_parse(body, "backend")?;
-    let cached = cache_get(ctx, &text, vhdl)?;
-    let options = ExecOptions::traced();
+    let opt = opt_level(body)?;
+    let cached = cache_get(ctx, &text, vhdl, opt)?;
+    let options = ExecOptions::traced().at_opt(opt);
     let outcome = match backend {
         Some(Backend::Interpreted) => Backend::Interpreted.execute(&cached.model, &options),
-        _ => cached.plan.execute(&options),
+        _ => cached.execute(&options),
     }
     .map_err(|e| JobError::new(ErrorCode::RunFailed, e.to_string()))?;
     Ok(clockless_core::json::run_report(
@@ -182,13 +203,15 @@ fn job_run(body: &Json, ctx: &JobCtx) -> Result<String, JobError> {
 /// `clockless faults --json` document.
 fn job_faults(body: &Json, ctx: &JobCtx) -> Result<String, JobError> {
     let (text, vhdl) = model_source(body)?;
-    let cached = cache_get(ctx, &text, vhdl)?;
+    let opt = opt_level(body)?;
+    let cached = cache_get(ctx, &text, vhdl, opt)?;
     let mut config = CampaignConfig {
         workers: job_threads(body)?,
         max_faults: opt_u64(body, "max")?.map(|n| n as usize),
         backend: opt_parse(body, "backend")?.unwrap_or_default(),
         engine: opt_parse(body, "engine")?.unwrap_or_default(),
         checkers: opt_parse(body, "checkers")?.unwrap_or_default(),
+        opt,
         ..Default::default()
     };
     if let Some(seed) = opt_u64(body, "seed")? {
@@ -227,6 +250,7 @@ fn job_fleet(body: &Json) -> Result<String, JobError> {
         config.wall_budget = Some(std::time::Duration::from_millis(ms));
     }
     config.backend = opt_parse(body, "backend")?;
+    config.opt = opt_level(body)?;
 
     let spec = if let Some(text) = opt_str(body, "spec")? {
         BatchSpec::parse(text, ".")
@@ -262,6 +286,7 @@ fn job_sweep(body: &Json, ctx: &JobCtx) -> Result<String, JobError> {
     if paths.is_empty() {
         return Err(bad("`paths` must not be empty"));
     }
+    let opt = opt_level(body)?;
     let mut models = Vec::with_capacity(paths.len());
     for p in paths {
         let path = p
@@ -271,7 +296,7 @@ fn job_sweep(body: &Json, ctx: &JobCtx) -> Result<String, JobError> {
             JobError::new(ErrorCode::BuildFailed, format!("cannot read {path}: {e}"))
         })?;
         let vhdl = path.ends_with(".vhd") || path.ends_with(".vhdl");
-        models.push(cache_get(ctx, &text, vhdl)?.model.clone());
+        models.push(cache_get(ctx, &text, vhdl, opt)?.model.clone());
     }
     let sweep = conflict_sweep(&models, job_threads(body)?)
         .map_err(|e| JobError::new(ErrorCode::RunFailed, e.to_string()))?;

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use clockless_core::{Backend, ExecOptions, RtModel, RtSimulation, Value};
+use clockless_core::{Backend, ExecOptions, OptLevel, RtModel, RtSimulation, Value};
 use clockless_hls::{Dfg, Operand, Synthesized, ValueId};
 
 use crate::normalize::equivalent;
@@ -295,16 +295,19 @@ impl fmt::Display for BackendDivergence {
 impl std::error::Error for BackendDivergence {}
 
 /// Differentially runs `model` on the interpreted and the compiled
-/// backend — once traced, once untraced — and checks every observable
-/// for byte identity: final registers, kernel statistics, conflict
-/// diagnoses (exact site, step and phase), the register-commit log, the
-/// VCD waveform, and, when a run fails, the rendered error itself.
+/// backend — once traced, once untraced, the compiled engine swept over
+/// **every optimization level** (`-O0`, `-O1`, `-O2`) — and checks every
+/// observable for byte identity: final registers, kernel statistics,
+/// conflict diagnoses (exact site, step and phase), the register-commit
+/// log, the VCD waveform, and, when a run fails, the rendered error
+/// itself.
 ///
 /// This is the proof obligation the pluggable-backend layer carries: the
-/// compiled phase-schedule engine may take any shortcut it likes, but it
-/// must be *observationally indistinguishable* from the paper's VHDL
-/// delta semantics. CI runs this over the `.rtl` corpus, the HLS
-/// workloads, the IKS chips and every fault-campaign mutant.
+/// compiled phase-schedule engine and its optimizing plan compiler may
+/// take any shortcut they like, but every level must be *observationally
+/// indistinguishable* from the paper's VHDL delta semantics. CI runs
+/// this over the `.rtl` corpus, the HLS workloads, the IKS chips and
+/// every fault-campaign mutant.
 ///
 /// # Errors
 ///
@@ -322,7 +325,9 @@ impl std::error::Error for BackendDivergence {}
 /// ```
 pub fn backend_equiv(model: &RtModel) -> Result<(), BackendDivergence> {
     for options in [ExecOptions::traced(), ExecOptions::default()] {
-        backend_equiv_with(model, &options)?;
+        for level in OptLevel::ALL {
+            backend_equiv_with(model, &options.at_opt(level))?;
+        }
     }
     Ok(())
 }

@@ -65,7 +65,8 @@ use std::sync::Arc;
 
 use clockless_core::{
     Backend, CheckProgram, CheckReport, ExecOptions, ExecPlan, InvariantViolation, ModuleDecl,
-    ModuleTiming, MonitorViolation, Op, Phase, PlanDelta, RtModel, Step, TransferTuple, Value,
+    ModuleTiming, MonitorViolation, Op, OptLevel, Phase, PlanDelta, RtModel, Step, TransferTuple,
+    Value,
 };
 use clockless_fleet::{
     run_batch_with, BatchSpec, FailureKind, FleetConfig, FleetError, JobSource, JobSpec,
@@ -573,6 +574,11 @@ pub struct CampaignConfig {
     /// [`CheckerMode::Off`] reproduces the paper's baseline: the
     /// resolution function and the delta budget are the only detectors.
     pub checkers: CheckerMode,
+    /// Optimization level for compiled-engine runs (golden and mutants;
+    /// the interpreter ignores it). Reports are byte-identical across
+    /// levels — like [`CampaignConfig::backend`], this only selects the
+    /// machinery.
+    pub opt: OptLevel,
 }
 
 impl Default for CampaignConfig {
@@ -585,6 +591,7 @@ impl Default for CampaignConfig {
             backend: Backend::default(),
             engine: CampaignEngine::default(),
             checkers: CheckerMode::default(),
+            opt: OptLevel::default(),
         }
     }
 }
@@ -1029,7 +1036,7 @@ pub fn run_campaign_with_faults(
     }
     let golden = config
         .backend
-        .execute(model, &ExecOptions::traced())
+        .execute(model, &ExecOptions::traced().at_opt(config.opt))
         .map_err(|e| FaultsError::Golden { msg: e.to_string() })?
         .summary;
     let golden_registers: HashMap<&str, Value> = golden
@@ -1067,6 +1074,7 @@ pub fn run_campaign_with_faults(
             &golden_registers,
             delta_budget,
             check.as_ref(),
+            config.opt,
         )?,
         CampaignEngine::Legacy => run_mutants_legacy(
             model,
@@ -1142,6 +1150,7 @@ fn classify_checked(
 /// applicable fault as a [`PlanDelta`] and run all mutants in lockstep
 /// via [`ExecPlan::execute_batch`]. Returns per-fault outcomes (`None`
 /// on quarantined slots) and the merged kernel totals.
+#[allow(clippy::too_many_arguments)]
 fn run_mutants_batched(
     model: &RtModel,
     faults: &[FaultKind],
@@ -1149,6 +1158,7 @@ fn run_mutants_batched(
     golden: &HashMap<&str, Value>,
     delta_budget: u64,
     check: Option<&CheckProgram>,
+    opt: OptLevel,
 ) -> Result<(Vec<Option<FaultOutcome>>, SimStats), FaultsError> {
     let plan = ExecPlan::lower(model);
     let mut deltas = Vec::new();
@@ -1166,6 +1176,7 @@ fn run_mutants_batched(
     }
     let options = ExecOptions {
         delta_limit: Some(delta_budget),
+        opt,
         ..Default::default()
     };
     let outs = match check {
@@ -1235,6 +1246,7 @@ fn run_mutants_legacy(
         delta_budget: Some(delta_budget),
         backend: Some(config.backend),
         check: check.map(|p| Arc::new(p.clone())),
+        opt: config.opt,
         ..FleetConfig::default()
     };
     let report = run_batch_with(&BatchSpec { jobs }, config.workers, &fleet_config)?;

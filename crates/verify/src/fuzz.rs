@@ -7,9 +7,12 @@
 //! through the HLS pipeline and decorated with random guards. Every model
 //! is then held against a battery of oracles:
 //!
-//! 1. **Backend equivalence** — the interpreted delta kernel and the
-//!    compiled phase-schedule walker must be byte-identical on every
-//!    observable ([`crate::equiv::backend_equiv`]).
+//! 1. **Backend equivalence** — a three-way differential: the
+//!    interpreted delta kernel against the compiled phase-schedule
+//!    walker at **every optimization level** (`-O0` raw walk, `-O1`
+//!    fused/specialized, `-O2` folded with dead spurs eliminated), all
+//!    byte-identical on every observable
+//!    ([`crate::equiv::backend_equiv`]).
 //! 2. **Text round trip** — the canonical `.rtl` rendering must re-parse
 //!    to the identical canonical rendering.
 //! 3. **VHDL round trip** — the §2.7 emission must re-import to the same
@@ -405,7 +408,9 @@ fn check_model(model: &RtModel, seed: u64, allow_emit_skip: bool, report: &mut F
         detail,
     };
 
-    // 1. The two execution backends must be byte-identical.
+    // 1. The execution engines must be byte-identical: interpreter vs
+    //    the compiled walker at -O0, -O1 and -O2 (the optimizer's whole
+    //    pass pipeline differentially checked on every generated model).
     if let Err(d) = backend_equiv(model) {
         report.record(diverge("backend", d.to_string()));
     }

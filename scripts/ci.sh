@@ -82,6 +82,26 @@ faults_interp="$(./target/release/clockless faults models/fig1.rtl --seed 7 --js
 faults_compiled="$(./target/release/clockless faults models/fig1.rtl --seed 7 --json --backend compiled)"
 [ "$faults_interp" = "$faults_compiled" ]
 
+echo "== opt-level sweep (-O0/1/2 must be byte-identical end to end)"
+for model in models/*.rtl; do
+  o0_status=0
+  o0_out="$(./target/release/clockless run "$model" --trace --backend compiled --opt 0 2>&1)" || o0_status=$?
+  for lvl in 1 2; do
+    lvl_status=0
+    lvl_out="$(./target/release/clockless run "$model" --trace --backend compiled --opt "$lvl" 2>&1)" || lvl_status=$?
+    [ "$o0_status" -eq "$lvl_status" ]
+    [ "$o0_out" = "$lvl_out" ]
+  done
+done
+# Campaign and fleet reports carry the same obligation: the optimized
+# stream (solo and batched-lockstep alike) must not leak into the JSON.
+faults_o0="$(./target/release/clockless faults models/iks_fir.rtl --json --backend compiled --opt 0)"
+faults_o2="$(./target/release/clockless faults models/iks_fir.rtl --json --backend compiled --opt 2)"
+[ "$faults_o0" = "$faults_o2" ]
+fleet_o0="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled --opt 0)"
+fleet_o2="$(./target/release/clockless fleet models/demo.fleet --jobs 2 --json --backend compiled --opt 2)"
+[ "$fleet_o0" = "$fleet_o2" ]
+
 echo "== campaign engine sweep (batched engine must be byte-identical to legacy)"
 for model in models/*.rtl; do
   faults_batched="$(./target/release/clockless faults "$model" --json)"
@@ -132,6 +152,10 @@ serve_checked="$(echo '{"id":4,"op":"faults","path":"models/fig1.rtl","checkers"
 cli_checked="$(./target/release/clockless faults models/fig1.rtl --json --checkers all)"
 [ "$serve_checked" = "$cli_checked" ]
 grep -q '"checkers": "all"' <<<"$serve_checked"
+# A request pinning any -O level must return the exact default payload.
+serve_run_o0="$(echo '{"id":5,"op":"run","path":"models/fig1.rtl","opt":0}' \
+  | ./target/release/clockless client "$serve_sock" --payload)"
+[ "$serve_run_o0" = "$cli_run" ]
 echo '{"id":3,"op":"shutdown"}' | ./target/release/clockless client "$serve_sock" >/dev/null
 wait "$serve_pid"
 [ ! -e "$serve_sock" ]

@@ -2,15 +2,15 @@
 //!
 //! ```text
 //! clockless run <model.rtl> [--json] [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]
-//!               [--backend interpreted|compiled] [--check <invariants.json>]
+//!               [--backend interpreted|compiled] [--opt 0|1|2] [--check <invariants.json>]
 //! clockless check <model.rtl>
 //! clockless mine <model.rtl>
 //! clockless stats <model.rtl> [--json]
 //! clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]
 //!                 [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]
-//!                 [--backend interpreted|compiled]
+//!                 [--backend interpreted|compiled] [--opt 0|1|2]
 //! clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]
-//!                  [--backend interpreted|compiled] [--engine batched|legacy]
+//!                  [--backend interpreted|compiled] [--opt 0|1|2] [--engine batched|legacy]
 //!                  [--checkers off|golden|invariants|all]
 //! clockless fuzz [--seed <N>] [--count <N>] [--json]
 //! clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]
@@ -52,7 +52,12 @@
 //! observationally byte-identical (`clockless-verify` enforces it), so
 //! every report is the same either way; the compiled engine is simply
 //! faster. On `fleet` the flag overrides any per-job `backend` spec
-//! options.
+//! options. `--opt` sets the compiled engine's optimization level
+//! (default `2`): `0` walks the lowered plan directly, `1` adds slot
+//! fusion and resolution specialization, `2` adds control-trajectory
+//! folding and dead-spur elimination. Every level is byte-identical
+//! too — the flag only changes how fast the same report is produced.
+//! The interpreter ignores it.
 //!
 //! `serve` keeps the process resident as a simulation daemon: jobs
 //! arrive as NDJSON lines (one JSON request per line — see
@@ -72,7 +77,7 @@ use std::process::ExitCode;
 use clockless::clocked::{check_clocked_equivalence, ClockScheme, ClockedDesign};
 use clockless::core::text::parse_model;
 use clockless::core::transcript::transcript;
-use clockless::core::{Backend, ExecOptions, RtModel, RtSimulation, TransferTuple};
+use clockless::core::{Backend, ExecOptions, OptLevel, RtModel, RtSimulation, TransferTuple};
 use clockless::fleet::BatchSpec;
 use clockless::kernel::NS;
 use clockless::verify::{cross_check, roundtrip_check};
@@ -80,15 +85,15 @@ use clockless::verify::{cross_check, roundtrip_check};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  clockless run <model.rtl> [--json] [--trace] [--vcd <out.vcd>] [--transcript <sig,sig,…>]\n                \
-         [--backend interpreted|compiled] [--check <invariants.json>]\n  \
+         [--backend interpreted|compiled] [--opt 0|1|2] [--check <invariants.json>]\n  \
          clockless check <model.rtl>\n  \
          clockless mine <model.rtl>\n  \
          clockless stats <model.rtl> [--json]\n  \
          clockless fleet <spec.fleet | model.rtl…> [--jobs <N>] [--json] [--timing]\n                  \
          [--fail-fast] [--retries <N>] [--delta-budget <N>] [--wall-budget-ms <N>]\n                  \
-         [--backend interpreted|compiled]\n  \
+         [--backend interpreted|compiled] [--opt 0|1|2]\n  \
          clockless faults <model.rtl> [--seed <N>] [--classes <c,c,…>] [--max <N>] [--jobs <N>] [--json]\n                   \
-         [--backend interpreted|compiled] [--engine batched|legacy]\n                   \
+         [--backend interpreted|compiled] [--opt 0|1|2] [--engine batched|legacy]\n                   \
          [--checkers off|golden|invariants|all]\n  \
          clockless fuzz [--seed <N>] [--count <N>] [--json]\n  \
          clockless serve [--socket <path>] [--jobs <N>] [--cache <N>]\n  \
@@ -101,8 +106,9 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take a value (so `positional_args` skips the value word).
-const VALUED_FLAGS: [&str; 16] = [
+const VALUED_FLAGS: [&str; 17] = [
     "--check",
+    "--opt",
     "--count",
     "--checkers",
     "--jobs",
@@ -218,6 +224,7 @@ fn cmd_run(
     vcd: Option<&str>,
     transcript_cols: Option<&str>,
     backend: Backend,
+    opt: OptLevel,
     check: Option<&str>,
 ) -> Result<(), String> {
     let model = load(path)?;
@@ -226,6 +233,7 @@ fn cmd_run(
         // sites, and the serve daemon's `run` payload (always traced)
         // must diff clean against this output.
         trace: trace || json || vcd.is_some(),
+        opt,
         ..Default::default()
     };
     let (outcome, verdict) = match check {
@@ -445,6 +453,7 @@ fn cmd_faults(
     jobs: usize,
     json: bool,
     backend: Backend,
+    opt: OptLevel,
     engine: clockless::verify::CampaignEngine,
     checkers: clockless::verify::CheckerMode,
 ) -> Result<(), String> {
@@ -453,6 +462,7 @@ fn cmd_faults(
         workers: jobs,
         max_faults: max,
         backend,
+        opt,
         engine,
         checkers,
         ..Default::default()
@@ -576,12 +586,17 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(b) => b,
                 FlagValue::Malformed => return usage(),
             };
+            let opt = match flag_value(&args, "--opt") {
+                FlagValue::Absent => OptLevel::default(),
+                FlagValue::Parsed(o) => o,
+                FlagValue::Malformed => return usage(),
+            };
             let check = args
                 .iter()
                 .position(|a| a == "--check")
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str);
-            cmd_run(path, json, trace, vcd, cols, backend, check)
+            cmd_run(path, json, trace, vcd, cols, backend, opt, check)
         }
         "check" => {
             let Some(path) = args.get(1) else {
@@ -636,6 +651,11 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(b) => config.backend = Some(b),
                 FlagValue::Malformed => return usage(),
             }
+            match flag_value(&args, "--opt") {
+                FlagValue::Absent => {}
+                FlagValue::Parsed(o) => config.opt = o,
+                FlagValue::Malformed => return usage(),
+            }
             let positional = positional_args(&args);
             if positional.is_empty() {
                 return usage();
@@ -679,12 +699,17 @@ fn main() -> ExitCode {
                 FlagValue::Parsed(c) => c,
                 FlagValue::Malformed => return usage(),
             };
+            let opt = match flag_value(&args, "--opt") {
+                FlagValue::Absent => OptLevel::default(),
+                FlagValue::Parsed(o) => o,
+                FlagValue::Malformed => return usage(),
+            };
             let positional = positional_args(&args);
             let [path] = positional.as_slice() else {
                 return usage();
             };
             cmd_faults(
-                path, seed, classes, max, jobs, json, backend, engine, checkers,
+                path, seed, classes, max, jobs, json, backend, opt, engine, checkers,
             )
         }
         "fuzz" => {
